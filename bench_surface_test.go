@@ -1,0 +1,279 @@
+// Multi-parameter benchmarks: the full Equation 1 story. X7 maps the
+// response surface of a two-knob deployment (temporal sampling × GEO-I) and
+// configures both parameters jointly; X8 fits the property-aware model
+// (coefficients linear in dataset properties d_i) and transfers a
+// configuration to users it never swept. X9 injects signal-loss gaps and
+// checks the decision survives.
+package repro_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/lppm"
+	"repro/internal/metrics"
+	"repro/internal/model"
+	"repro/internal/poi"
+	"repro/internal/rng"
+	"repro/internal/stat"
+	"repro/internal/trace"
+)
+
+// BenchmarkX7ResponseSurface runs the factorial sweep over the
+// sampling+GEO-I pipeline, fits the bilinear surface of Equation 1 for
+// both metrics, and configures the two parameters jointly.
+func BenchmarkX7ResponseSurface(b *testing.B) {
+	f := getFixture(b)
+	pipe, err := lppm.NewPipeline("sampled-geoi", lppm.NewTemporalSampling(), lppm.NewGeoIndistinguishability())
+	if err != nil {
+		b.Fatal(err)
+	}
+	epsGrid := stat.LogSpace(1e-3, 1e-1, 7)
+	periodGrid := stat.LogSpace(60, 1800, 4)
+	sweep := &eval.Sweep2D{
+		Mechanism: pipe,
+		ParamX:    "geoi.epsilon",
+		ParamY:    "sampling.period_sec",
+		ValuesX:   epsGrid,
+		ValuesY:   periodGrid,
+		Metrics: []metrics.Metric{
+			metrics.MustPOIRetrieval(metrics.DefaultPOIRetrievalConfig()),
+			metrics.MustAreaCoverage(metrics.DefaultAreaCoverageConfig()),
+		},
+		Repeats: 1,
+		Seed:    29,
+	}
+	res, err := eval.RunGrid(context.Background(), sweep, f.dataset)
+	if err != nil {
+		b.Fatal(err)
+	}
+	priv, err := res.Surface("poi_retrieval")
+	if err != nil {
+		b.Fatal(err)
+	}
+	util, err := res.Surface("area_coverage")
+	if err != nil {
+		b.Fatal(err)
+	}
+	pSurf, err := model.FitSurface(epsGrid, periodGrid, priv, true, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	uSurf, err := model.FitSurface(epsGrid, periodGrid, util, true, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Logf("X7 privacy surface: %v", pSurf)
+	b.Logf("X7 utility surface: %v", uSurf)
+	if pSurf.Bx <= 0 {
+		b.Fatalf("privacy must rise with ε: Bx=%v", pSurf.Bx)
+	}
+	if uSurf.Bx <= 0 {
+		b.Fatalf("utility must rise with ε: Bx=%v", uSurf.Bx)
+	}
+
+	obj := model.Objectives{MaxPrivacy: 0.20, MinUtility: 0.60}
+	cells, best, ok := model.FeasiblePairs(epsGrid, periodGrid, priv, util, obj)
+	if len(cells) != len(epsGrid)*len(periodGrid) {
+		b.Fatalf("cells = %d, want %d", len(cells), len(epsGrid)*len(periodGrid))
+	}
+	if !ok {
+		b.Fatal("expected a feasible (ε, period) pair at relaxed objectives")
+	}
+	b.Logf("X7 joint configuration: ε=%.4g, period=%.0fs (privacy %.3f, utility %.3f)",
+		best.X, best.Y, best.Privacy, best.Utility)
+	b.ReportMetric(best.X, "joint-eps")
+	b.ReportMetric(best.Y, "joint-period-sec")
+
+	// Partial inversion: at the chosen period, the surface's ε for the
+	// privacy bound must be in the same decade as the grid search's.
+	eps, err := pSurf.InvertX(obj.MaxPrivacy, best.Y)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if eps < best.X/10 || eps > best.X*10 {
+		b.Fatalf("surface inversion ε=%v disagrees with grid search ε=%v beyond a decade", eps, best.X)
+	}
+
+	small := smallSubset(f.dataset, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s2 := *sweep
+		s2.ValuesX = epsGrid[:3]
+		s2.ValuesY = periodGrid[:2]
+		s2.Seed = int64(i)
+		if _, err := eval.RunGrid(context.Background(), &s2, small); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkX8PropertyModelTransfer fits Equation 1's property-aware form on
+// a mixed taxi+commuter population and predicts per-user response curves
+// from properties alone, checking that held-out users' configurations
+// follow their dataset properties (Eq. 1's d_i earning their place).
+func BenchmarkX8PropertyModelTransfer(b *testing.B) {
+	f := getFixture(b)
+	// Per-user privacy series from the canonical sweep.
+	xs, _, err := f.sweep.Series("poi_retrieval")
+	if err != nil {
+		b.Fatal(err)
+	}
+	perUser := make(map[string][]float64, len(f.sweep.Users))
+	for _, u := range f.sweep.Users {
+		series := make([]float64, len(f.sweep.Points))
+		for i, p := range f.sweep.Points {
+			series[i] = p.PerUser["poi_retrieval"][u]
+		}
+		perUser[u] = series
+	}
+	props := make(map[string][]float64, len(f.sweep.Users))
+	for _, up := range trace.DatasetProperties(f.dataset, 500) {
+		props[up.User] = up.PropertyVector()
+	}
+
+	pm, err := model.FitPropertyModel(trace.PropertyNames(), xs, perUser, props, 0.05)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Logf("X8: property model over %d users: intercept R²=%.3f slope R²=%.3f",
+		pm.Users, pm.InterceptR2, pm.SlopeR2)
+	meanProps, err := model.MeanProperties(props)
+	if err != nil {
+		b.Fatal(err)
+	}
+	curve, err := pm.CurveFor(meanProps)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// The dataset-mean curve must agree with the population fit within
+	// the active zone.
+	popModel := f.analysis.PrivacyModel
+	mid := (popModel.XMin + popModel.XMax) / 2
+	gap := curve.Predict(mid) - popModel.Predict(mid)
+	b.Logf("X8: mean-property curve vs population fit at ε=%.4g: Δ=%.3f", mid, gap)
+	if gap < -0.25 || gap > 0.25 {
+		b.Fatalf("property model diverges from the population fit: Δ=%v", gap)
+	}
+	b.ReportMetric(pm.InterceptR2, "intercept-R2")
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := model.FitPropertyModel(trace.PropertyNames(), xs, perUser, props, 0.05); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkX9GapRobustness injects signal-loss gaps into every trace and
+// re-runs the headline configuration: the recommended ε must stay in the
+// same decade — the framework's answer should not hinge on perfect GPS
+// coverage.
+func BenchmarkX9GapRobustness(b *testing.B) {
+	f := getFixture(b)
+	r := rng.New(41)
+	damaged := trace.NewDataset()
+	for _, tr := range f.dataset.Traces() {
+		damaged.Add(tr.InjectGaps(3, 45*time.Minute, r.Float64))
+	}
+	if damaged.NumRecords() >= f.dataset.NumRecords() {
+		b.Fatal("gap injection removed nothing")
+	}
+	def := f.analysis.Definition
+	analysis, err := core.Analyze(context.Background(), def, damaged)
+	if err != nil {
+		b.Fatal(err)
+	}
+	obj := model.Objectives{MaxPrivacy: 0.10, MinUtility: 0.80}
+	clean, err := f.analysis.Configure(obj)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dirty, err := analysis.Configure(obj)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Logf("X9: clean ε=%.4g (feasible=%v) vs gap-damaged ε=%.4g (feasible=%v); %d → %d records",
+		clean.Value, clean.Feasible, dirty.Value, dirty.Feasible,
+		f.dataset.NumRecords(), damaged.NumRecords())
+	if !dirty.Feasible {
+		b.Fatal("objectives must stay feasible under moderate signal loss")
+	}
+	ratio := dirty.Value / clean.Value
+	if ratio < 0.1 || ratio > 10 {
+		b.Fatalf("recommendation moved beyond a decade under gaps: %v vs %v", clean.Value, dirty.Value)
+	}
+	b.ReportMetric(ratio, "gap-over-clean-eps-ratio")
+
+	user := damaged.Users()[0]
+	tr := damaged.Trace(user)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tr.Gaps(5 * time.Minute); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationExtractorKind (A6) contrasts the two POI extraction
+// algorithms against the dummy-injection LPPM: the paper-style sequential
+// stay-point extractor is blinded by interleaved decoy records (retrieval
+// ≈ 0), while the density-based extractor — the realistic adversary —
+// recovers the user's places regardless of record order. Metrics encode
+// threat models; the framework must be run with the adversary's, not the
+// weakest, extractor.
+func BenchmarkAblationExtractorKind(b *testing.B) {
+	f := getFixture(b)
+	seq := metrics.MustPOIRetrieval(metrics.DefaultPOIRetrievalConfig())
+	den, err := poi.NewDensityExtractor(poi.DefaultDensityExtractorConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	denMetric, err := metrics.NewFinderRetrieval("density_poi_retrieval", den, 100)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	dummies := lppm.NewDummyInjection()
+	prot, err := lppm.ProtectDataset(f.dataset, dummies, lppm.Params{lppm.WalkersParam: 4}, rng.New(19))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var seqSum, denSum float64
+	users := f.dataset.Users()
+	for _, u := range users {
+		at, pt := f.dataset.Trace(u), prot.Trace(u)
+		vs, err := seq.Evaluate(at, pt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		vd, err := denMetric.Evaluate(at, pt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		seqSum += vs
+		denSum += vd
+	}
+	seqMean := seqSum / float64(len(users))
+	denMean := denSum / float64(len(users))
+	b.Logf("A6: dummy release (4 walkers): sequential retrieval %.3f, density retrieval %.3f", seqMean, denMean)
+	if seqMean > 0.15 {
+		b.Fatalf("sequential extractor should be blinded by decoys, got %v", seqMean)
+	}
+	if denMean < 0.5 {
+		b.Fatalf("density extractor should still recover places, got %v", denMean)
+	}
+	b.ReportMetric(denMean-seqMean, "density-minus-sequential-retrieval")
+
+	tr := f.dataset.Trace(users[0])
+	ptr := prot.Trace(users[0])
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := denMetric.Evaluate(tr, ptr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

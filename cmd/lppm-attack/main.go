@@ -1,0 +1,146 @@
+// Command lppm-attack mounts the adversary's side of the framework: it
+// protects a dataset with a configured mechanism and reports how well the
+// inference attacks in internal/attack still work on the release —
+// re-identification, top-POI (home/depot) inference, mobility-profile
+// predictability and trajectory denoising. It is the operational
+// counterpart of the privacy metrics: "ε = 0.01" is abstract, "4 of 25
+// drivers re-identified" is not.
+//
+// Usage:
+//
+//	lppm-attack -in traces.csv -mechanism geoi -params epsilon=0.01
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+
+	"repro/internal/attack"
+	"repro/internal/lppm"
+	"repro/internal/rng"
+	"repro/internal/trace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "lppm-attack:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		in        = flag.String("in", "", "input dataset CSV (required)")
+		mechanism = flag.String("mechanism", "geoi", "LPPM name")
+		params    = flag.String("params", "", "comma-separated name=value parameter assignments (default: mechanism defaults)")
+		seed      = flag.Int64("seed", 42, "protection seed")
+		window    = flag.Int("window", 9, "smoothing-attack window (odd)")
+	)
+	flag.Parse()
+	if *in == "" {
+		return fmt.Errorf("-in is required")
+	}
+
+	f, err := os.Open(*in)
+	if err != nil {
+		return err
+	}
+	actual, err := trace.ReadCSV(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+
+	registry := lppm.NewRegistry()
+	mech, err := registry.Get(*mechanism)
+	if err != nil {
+		return err
+	}
+	p := lppm.Defaults(mech)
+	if *params != "" {
+		if err := parseParams(p, *params); err != nil {
+			return err
+		}
+	}
+
+	protected, err := lppm.ProtectDataset(actual, mech, p, rng.New(*seed))
+	if err != nil {
+		return err
+	}
+
+	reident, err := attack.Reidentify(actual, protected, attack.DefaultReidentConfig())
+	if err != nil {
+		return err
+	}
+
+	users := actual.Users()
+	var topHits, topPossible int
+	var markovSum, smoothSum float64
+	var markovN, smoothN int
+	markov := attack.MarkovPredictability{}
+	smoothing := attack.SmoothingAdvantage{Window: *window}
+	for _, u := range users {
+		at, pt := actual.Trace(u), protected.Trace(u)
+		hit, possible, err := attack.InferTopPOI(at, pt, attack.DefaultTopPOIConfig())
+		if err != nil {
+			return fmt.Errorf("top-POI attack on %s: %w", u, err)
+		}
+		if possible {
+			topPossible++
+			if hit {
+				topHits++
+			}
+		}
+		if at.Len() >= 2 {
+			v, err := markov.Evaluate(at, pt)
+			if err != nil {
+				return fmt.Errorf("markov attack on %s: %w", u, err)
+			}
+			markovSum += v
+			markovN++
+		}
+		v, err := smoothing.Evaluate(at, pt)
+		if err != nil {
+			return fmt.Errorf("smoothing attack on %s: %w", u, err)
+		}
+		smoothSum += v
+		smoothN++
+	}
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "attack\tresult\tinterpretation\n")
+	fmt.Fprintf(w, "re-identification\t%.1f%% (%d users)\tfingerprint linkage across the release\n",
+		reident.SuccessRate*100, reident.Candidates)
+	if topPossible > 0 {
+		fmt.Fprintf(w, "top-POI inference\t%d/%d hits\thome/depot located within tolerance\n", topHits, topPossible)
+	} else {
+		fmt.Fprintf(w, "top-POI inference\tno POIs exposed\trelease leaks no stay points\n")
+	}
+	if markovN > 0 {
+		fmt.Fprintf(w, "mobility profile\t%.3f\tper-step predictability vs background profile (1 = intact)\n", markovSum/float64(markovN))
+	}
+	if smoothN > 0 {
+		fmt.Fprintf(w, "trajectory denoising\t%.3f\tfraction of noise removed by a window-%d moving average\n", smoothSum/float64(smoothN), *window)
+	}
+	return w.Flush()
+}
+
+// parseParams merges "name=value,name=value" assignments into p.
+func parseParams(p lppm.Params, s string) error {
+	for _, kv := range strings.Split(s, ",") {
+		parts := strings.SplitN(strings.TrimSpace(kv), "=", 2)
+		if len(parts) != 2 {
+			return fmt.Errorf("malformed parameter assignment %q (want name=value)", kv)
+		}
+		v, err := strconv.ParseFloat(parts[1], 64)
+		if err != nil {
+			return fmt.Errorf("parameter %q: %w", parts[0], err)
+		}
+		p[parts[0]] = v
+	}
+	return nil
+}

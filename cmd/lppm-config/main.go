@@ -1,0 +1,131 @@
+// Command lppm-config is the full framework pipeline (paper §3): it sweeps
+// the mechanism, fits the invertible privacy/utility models of Equation 2,
+// inverts them under the given objectives, and prints the recommended
+// configuration together with the fitted constants.
+//
+// Usage:
+//
+//	lppm-config -in traces.csv -max-privacy 0.10 -min-utility 0.80
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"os/signal"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/lppm"
+	"repro/internal/metrics"
+	"repro/internal/model"
+	"repro/internal/trace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "lppm-config:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		in         = flag.String("in", "", "input dataset CSV (required)")
+		mechanism  = flag.String("mechanism", "geoi", "LPPM name")
+		maxPrivacy = flag.Float64("max-privacy", 0.10, "privacy objective: max POI retrieval fraction")
+		minUtility = flag.Float64("min-utility", 0.80, "utility objective: min area-coverage similarity")
+		points     = flag.Int("points", 25, "sweep grid resolution")
+		repeats    = flag.Int("repeats", 3, "protection runs averaged per grid value")
+		seed       = flag.Int64("seed", 42, "seed")
+	)
+	flag.Parse()
+	if *in == "" {
+		return fmt.Errorf("-in is required")
+	}
+
+	f, err := os.Open(*in)
+	if err != nil {
+		return err
+	}
+	dataset, err := trace.ReadCSV(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+
+	registry := lppm.NewRegistry()
+	mech, err := registry.Get(*mechanism)
+	if err != nil {
+		return err
+	}
+
+	def := core.Definition{
+		Mechanism:  mech,
+		Privacy:    metrics.MustPOIRetrieval(metrics.DefaultPOIRetrievalConfig()),
+		Utility:    metrics.MustAreaCoverage(metrics.DefaultAreaCoverageConfig()),
+		GridPoints: *points,
+		Repeats:    *repeats,
+		Seed:       *seed,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	start := time.Now()
+	analysis, err := core.Analyze(ctx, def, dataset)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("modeled %s over %d users in %v\n",
+		mech.Name(), dataset.NumUsers(), time.Since(start).Round(time.Millisecond))
+	fmt.Printf("privacy model:  Pr = %.3f + %.3f·ln(%s)   R²=%.3f  active %s∈[%.4g, %.4g]\n",
+		analysis.PrivacyModel.A, analysis.PrivacyModel.B, analysis.Definition.Param,
+		analysis.PrivacyModel.R2, analysis.Definition.Param,
+		analysis.PrivacyModel.XMin, analysis.PrivacyModel.XMax)
+	fmt.Printf("utility model:  Ut = %.3f + %.3f·ln(%s)   R²=%.3f  active %s∈[%.4g, %.4g]\n",
+		analysis.UtilityModel.A, analysis.UtilityModel.B, analysis.Definition.Param,
+		analysis.UtilityModel.R2, analysis.Definition.Param,
+		analysis.UtilityModel.XMin, analysis.UtilityModel.XMax)
+	if names := analysis.Properties.SelectedNames(); len(names) > 0 {
+		fmt.Printf("impactful dataset properties: %v\n", names)
+	} else {
+		fmt.Println("impactful dataset properties: none (as in the paper's GEO-I case)")
+	}
+
+	cfg, err := analysis.Configure(model.Objectives{
+		MaxPrivacy: *maxPrivacy,
+		MinUtility: *minUtility,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nobjectives: privacy ≤ %.2f, utility ≥ %.2f\n", *maxPrivacy, *minUtility)
+	if !cfg.Feasible {
+		fmt.Printf("INFEASIBLE: no %s satisfies both (closest %s=%.4g → privacy %.3f, utility %.3f)\n",
+			analysis.Definition.Param, analysis.Definition.Param,
+			cfg.Value, cfg.PredictedPrivacy, cfg.PredictedUtility)
+		return nil
+	}
+	fmt.Printf("feasible %s range: [%.4g, %.4g]\n", analysis.Definition.Param, rangeLo(cfg), rangeHi(cfg))
+	fmt.Printf("recommended %s = %.4g  → predicted privacy %.3f, predicted utility %.3f\n",
+		analysis.Definition.Param, cfg.Value, cfg.PredictedPrivacy, cfg.PredictedUtility)
+	return nil
+}
+
+// rangeLo/rangeHi keep the printout readable when a side is unbounded.
+func rangeLo(c model.Configuration) float64 {
+	if c.Min <= math.SmallestNonzeroFloat64 {
+		return 0
+	}
+	return c.Min
+}
+
+func rangeHi(c model.Configuration) float64 {
+	if c.Max >= math.MaxFloat64 {
+		return math.Inf(1)
+	}
+	return c.Max
+}

@@ -1,0 +1,79 @@
+// Command lppm-eval scores a protected dataset against the actual one with
+// the registered privacy and utility metrics.
+//
+// Usage:
+//
+//	lppm-eval -actual traces.csv -protected protected.csv [-metrics poi_retrieval,area_coverage]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/metrics"
+	"repro/internal/stat"
+	"repro/internal/trace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "lppm-eval:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		actualPath    = flag.String("actual", "", "actual dataset CSV (required)")
+		protectedPath = flag.String("protected", "", "protected dataset CSV (required)")
+		names         = flag.String("metrics", "poi_retrieval,area_coverage", "comma-separated metric names")
+	)
+	flag.Parse()
+	if *actualPath == "" || *protectedPath == "" {
+		return fmt.Errorf("both -actual and -protected are required")
+	}
+
+	actual, err := readCSV(*actualPath)
+	if err != nil {
+		return fmt.Errorf("actual: %w", err)
+	}
+	protected, err := readCSV(*protectedPath)
+	if err != nil {
+		return fmt.Errorf("protected: %w", err)
+	}
+
+	registry := metrics.NewRegistry()
+	for _, name := range strings.Split(*names, ",") {
+		m, err := registry.Get(strings.TrimSpace(name))
+		if err != nil {
+			return err
+		}
+		var vals []float64
+		for _, u := range actual.Users() {
+			pt := protected.Trace(u)
+			if pt == nil {
+				return fmt.Errorf("user %s missing from protected data", u)
+			}
+			v, err := m.Evaluate(actual.Trace(u), pt)
+			if err != nil {
+				return fmt.Errorf("metric %s user %s: %w", m.Name(), u, err)
+			}
+			vals = append(vals, v)
+		}
+		s := stat.Summarize(vals)
+		fmt.Printf("%-24s (%s)  mean=%.4f  std=%.4f  median=%.4f  p90=%.4f\n",
+			m.Name(), m.Kind(), s.Mean, s.Std, s.Median, s.P90)
+	}
+	return nil
+}
+
+func readCSV(path string) (*trace.Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return trace.ReadCSV(f)
+}

@@ -1,0 +1,145 @@
+// Command lppm-pareto maps a mechanism's reachable privacy/utility
+// trade-offs: it runs the framework's sweep, prints the empirical Pareto
+// front with its knee point, checks the designer's objectives against both
+// the fitted models and the raw measurements, and reports a bootstrap
+// confidence interval on the recommended parameter. It is the tool to reach
+// for when lppm-config reports the objectives infeasible — the front shows
+// what the mechanism can actually deliver.
+//
+// Usage:
+//
+//	lppm-pareto -in traces.csv -mechanism geoi -max-privacy 0.1 -min-utility 0.8
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"text/tabwriter"
+
+	"repro/internal/core"
+	"repro/internal/lppm"
+	"repro/internal/metrics"
+	"repro/internal/model"
+	"repro/internal/trace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "lppm-pareto:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		in         = flag.String("in", "", "input dataset CSV (required)")
+		mechanism  = flag.String("mechanism", "geoi", "LPPM name")
+		param      = flag.String("param", "", "modeled parameter (default: the mechanism's sole parameter)")
+		points     = flag.Int("points", 25, "sweep grid resolution")
+		repeats    = flag.Int("repeats", 2, "protection runs averaged per grid value")
+		seed       = flag.Int64("seed", 42, "sweep seed")
+		maxPrivacy = flag.Float64("max-privacy", 0.10, "privacy objective (metric upper bound)")
+		minUtility = flag.Float64("min-utility", 0.80, "utility objective (metric lower bound)")
+		ciIters    = flag.Int("ci-iters", 200, "bootstrap replicates for the confidence interval (0 disables)")
+		ciLevel    = flag.Float64("ci-level", 0.90, "bootstrap confidence level")
+	)
+	flag.Parse()
+	if *in == "" {
+		return fmt.Errorf("-in is required")
+	}
+
+	f, err := os.Open(*in)
+	if err != nil {
+		return err
+	}
+	dataset, err := trace.ReadCSV(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+
+	registry := lppm.NewRegistry()
+	mech, err := registry.Get(*mechanism)
+	if err != nil {
+		return err
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	def := core.Definition{
+		Mechanism:  mech,
+		Param:      *param,
+		Privacy:    metrics.MustPOIRetrieval(metrics.DefaultPOIRetrievalConfig()),
+		Utility:    metrics.MustAreaCoverage(metrics.DefaultAreaCoverageConfig()),
+		GridPoints: *points,
+		Repeats:    *repeats,
+		Seed:       *seed,
+	}
+	analysis, err := core.Analyze(ctx, def, dataset)
+	if err != nil {
+		return err
+	}
+
+	front, err := analysis.Pareto()
+	if err != nil {
+		return err
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "pareto front (%d of %d sweep points)\t\t\n", len(front), *points)
+	fmt.Fprintf(w, "%s\tprivacy\tutility\n", analysis.Definition.Param)
+	for _, p := range front {
+		fmt.Fprintf(w, "%.4g\t%.3f\t%.3f\n", p.X, p.Privacy, p.Utility)
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	if knee, ok := model.KneePoint(front); ok {
+		fmt.Printf("\nknee (best balanced trade-off): %s=%.4g  privacy=%.3f utility=%.3f\n",
+			analysis.Definition.Param, knee.X, knee.Privacy, knee.Utility)
+	}
+
+	obj := model.Objectives{MaxPrivacy: *maxPrivacy, MinUtility: *minUtility}
+	cfg, err := analysis.Configure(obj)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nobjectives: privacy ≤ %.2f, utility ≥ %.2f\n", obj.MaxPrivacy, obj.MinUtility)
+	if cfg.Feasible {
+		fmt.Printf("model-based window: [%.4g, %.4g], recommendation %.4g\n", cfg.Min, cfg.Max, cfg.Value)
+	} else {
+		fmt.Printf("model-based: INFEASIBLE (conflicting bounds %.4g vs %.4g) — consult the front above\n", cfg.Min, cfg.Max)
+	}
+
+	xs, prs, err := analysis.Sweep.Series(def.Privacy.Name())
+	if err != nil {
+		return err
+	}
+	_, uts, err := analysis.Sweep.Series(def.Utility.Name())
+	if err != nil {
+		return err
+	}
+	pts, err := model.ZipSweep(xs, prs, uts)
+	if err != nil {
+		return err
+	}
+	if lo, hi, ok := model.EmpiricalWindow(pts, obj); ok {
+		fmt.Printf("empirical window (raw sweep): [%.4g, %.4g]\n", lo, hi)
+	} else {
+		fmt.Println("empirical window (raw sweep): no sampled point satisfies both objectives")
+	}
+
+	if cfg.Feasible && *ciIters > 0 {
+		ci, err := analysis.ConfigureWithConfidence(obj, *ciIters, *ciLevel)
+		if err != nil {
+			fmt.Printf("confidence interval: unavailable (%v)\n", err)
+			return nil
+		}
+		fmt.Printf("recommendation CI: %.4g [%.4g, %.4g] @%.0f%% (feasible in %.0f%% of replicates)\n",
+			ci.Value.Point, ci.Value.Lo, ci.Value.Hi, *ciLevel*100, ci.FeasibleFraction*100)
+	}
+	return nil
+}

@@ -1,0 +1,121 @@
+// Composite deployment: real systems stack defenses — minimize first
+// (publish one fix per period), then perturb what remains (GEO-I). That
+// pipeline has two knobs, so the single-parameter walkthrough of the paper
+// no longer suffices: this example maps the (ε × period) response surface
+// of Equation 1, configures both parameters jointly from measured data, and
+// cross-checks the answer with the fitted surface's partial inversion.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/eval"
+	"repro/internal/lppm"
+	"repro/internal/metrics"
+	"repro/internal/model"
+	"repro/internal/stat"
+	"repro/internal/synth"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	gen := synth.DefaultConfig()
+	gen.NumDrivers = 16
+	gen.Duration = 10 * time.Hour
+	fleet, err := synth.Generate(gen, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	pipe, err := lppm.NewPipeline("sampled-geoi",
+		lppm.NewTemporalSampling(), lppm.NewGeoIndistinguishability())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("mechanism: %s with parameters %v\n", pipe.Name(), paramNames(pipe))
+
+	epsGrid := stat.LogSpace(1e-3, 1e-1, 7)
+	periodGrid := stat.LogSpace(60, 1800, 4)
+	sweep := &eval.Sweep2D{
+		Mechanism: pipe,
+		ParamX:    "geoi.epsilon",
+		ParamY:    "sampling.period_sec",
+		ValuesX:   epsGrid,
+		ValuesY:   periodGrid,
+		Metrics: []metrics.Metric{
+			metrics.MustPOIRetrieval(metrics.DefaultPOIRetrievalConfig()),
+			metrics.MustAreaCoverage(metrics.DefaultAreaCoverageConfig()),
+		},
+		Repeats: 1,
+		Seed:    42,
+	}
+	res, err := eval.RunGrid(context.Background(), sweep, fleet.Dataset)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	priv, err := res.Surface("poi_retrieval")
+	if err != nil {
+		log.Fatal(err)
+	}
+	util, err := res.Surface("area_coverage")
+	if err != nil {
+		log.Fatal(err)
+	}
+	pSurf, err := model.FitSurface(epsGrid, periodGrid, priv, true, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	uSurf, err := model.FitSurface(epsGrid, periodGrid, util, true, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("privacy surface: %v\n", pSurf)
+	fmt.Printf("utility surface: %v\n", uSurf)
+
+	obj := model.Objectives{MaxPrivacy: 0.15, MinUtility: 0.70}
+	cells, best, ok := model.FeasiblePairs(epsGrid, periodGrid, priv, util, obj)
+	feasible := 0
+	for _, c := range cells {
+		if c.Feasible {
+			feasible++
+		}
+	}
+	fmt.Printf("objectives Pr ≤ %.2f, Ut ≥ %.2f: %d/%d grid cells feasible\n",
+		obj.MaxPrivacy, obj.MinUtility, feasible, len(cells))
+	if !ok {
+		fmt.Println("no feasible cell — relax an objective or drop a stage")
+		return
+	}
+	fmt.Printf("joint configuration: ε = %.4g, period = %.0f s (measured Pr %.3f, Ut %.3f)\n",
+		best.X, best.Y, best.Privacy, best.Utility)
+
+	// Cross-check with the model: at the chosen period, invert the
+	// privacy surface for the bound.
+	eps, err := pSurf.InvertX(obj.MaxPrivacy, best.Y)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("surface cross-check: at period %.0f s the model puts Pr = %.2f at ε = %.4g\n",
+		best.Y, obj.MaxPrivacy, eps)
+
+	// The deployment insight the surface makes quantitative: sampling
+	// less often buys privacy (By < 0 on the privacy surface) but costs
+	// coverage (By < 0 on the utility surface too) — the framework
+	// resolves the three-way trade automatically.
+	fmt.Printf("per-decade-of-period effect: privacy %+.3f, utility %+.3f\n",
+		pSurf.By*2.302585, uSurf.By*2.302585)
+}
+
+func paramNames(m lppm.Mechanism) []string {
+	specs := m.Params()
+	names := make([]string, len(specs))
+	for i, s := range specs {
+		names[i] = s.Name
+	}
+	return names
+}

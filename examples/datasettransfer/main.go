@@ -1,0 +1,132 @@
+// Dataset transfer: the paper's future work asks how the fitted model
+// moves across datasets. This example runs the identical framework
+// definition over two archetypes — roaming taxis and pendulum commuters —
+// and shows that (1) the Equation-2 constants are dataset-specific, (2) a
+// configuration tuned on taxis misses its objectives on commuters, and
+// (3) re-running the automated pipeline on the right dataset fixes it.
+// That gap is exactly why framework step 1 screens dataset properties d_i.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/lppm"
+	"repro/internal/metrics"
+	"repro/internal/model"
+	"repro/internal/synth"
+	"repro/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	taxiCfg := synth.DefaultConfig()
+	taxiCfg.NumDrivers = 20
+	taxiCfg.Duration = 12 * time.Hour
+	taxis, err := synth.Generate(taxiCfg, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	commCfg := synth.DefaultCommuterConfig()
+	commCfg.NumUsers = 20
+	commCfg.Days = 2
+	commuters, err := synth.GenerateCommuters(commCfg, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("taxis:     %d users, %d records\n", taxis.Dataset.NumUsers(), taxis.Dataset.NumRecords())
+	fmt.Printf("commuters: %d users, %d records\n", commuters.Dataset.NumUsers(), commuters.Dataset.NumRecords())
+
+	def := core.Definition{
+		Mechanism: lppm.NewGeoIndistinguishability(),
+		Privacy:   metrics.MustPOIRetrieval(metrics.DefaultPOIRetrievalConfig()),
+		Utility:   metrics.MustAreaCoverage(metrics.DefaultAreaCoverageConfig()),
+		Repeats:   2,
+		Seed:      42,
+	}
+	obj := model.Objectives{MaxPrivacy: 0.10, MinUtility: 0.80}
+
+	taxiAnalysis, err := core.Analyze(context.Background(), def, taxis.Dataset)
+	if err != nil {
+		log.Fatal(err)
+	}
+	commAnalysis, err := core.Analyze(context.Background(), def, commuters.Dataset)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nEquation 2 on taxis:     Pr = %.3f + %.3f·ln(ε) | Ut = %.3f + %.3f·ln(ε)\n",
+		taxiAnalysis.PrivacyModel.A, taxiAnalysis.PrivacyModel.B,
+		taxiAnalysis.UtilityModel.A, taxiAnalysis.UtilityModel.B)
+	fmt.Printf("Equation 2 on commuters: Pr = %.3f + %.3f·ln(ε) | Ut = %.3f + %.3f·ln(ε)\n",
+		commAnalysis.PrivacyModel.A, commAnalysis.PrivacyModel.B,
+		commAnalysis.UtilityModel.A, commAnalysis.UtilityModel.B)
+
+	taxiCfgd, err := taxiAnalysis.Configure(obj)
+	if err != nil {
+		log.Fatal(err)
+	}
+	commCfgd, err := commAnalysis.Configure(obj)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ntaxis:     objectives feasible=%v, recommended ε=%.4g\n", taxiCfgd.Feasible, taxiCfgd.Value)
+	fmt.Printf("commuters: objectives feasible=%v", commCfgd.Feasible)
+	if !commCfgd.Feasible {
+		// The same objectives that work on taxis have no window on
+		// commuters — their POIs (overnight home dwells) survive far
+		// more noise. The framework says so instead of guessing, and
+		// the Pareto knee is the honest fallback.
+		front, err := commAnalysis.Pareto()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if knee, ok := model.KneePoint(front); ok {
+			fmt.Printf(" — best balanced trade-off instead: ε=%.4g (privacy %.3f, utility %.3f)",
+				knee.X, knee.Privacy, knee.Utility)
+		}
+	} else {
+		fmt.Printf(", recommended ε=%.4g", commCfgd.Value)
+	}
+	fmt.Println()
+
+	// The crux: the *same* ε produces different outcomes on the two
+	// populations, so a configuration cannot be transferred blindly.
+	prTaxi, utTaxi := measure(taxis.Dataset, taxiCfgd.Value)
+	prComm, utComm := measure(commuters.Dataset, taxiCfgd.Value)
+	fmt.Printf("\nat the taxi-tuned ε=%.4g:\n", taxiCfgd.Value)
+	fmt.Printf("  taxis:     privacy %.3f, utility %.3f (meets Pr ≤ %.2f: %v)\n",
+		prTaxi, utTaxi, obj.MaxPrivacy, prTaxi <= obj.MaxPrivacy+0.05)
+	fmt.Printf("  commuters: privacy %.3f, utility %.3f (meets Pr ≤ %.2f: %v)\n",
+		prComm, utComm, obj.MaxPrivacy, prComm <= obj.MaxPrivacy+0.05)
+	if prComm > prTaxi+0.05 {
+		fmt.Println("\n→ the taxi configuration leaks substantially more on commuters;")
+		fmt.Println("  dataset properties belong in the model (framework step 1), and the")
+		fmt.Println("  automated pipeline re-derives the right configuration per dataset.")
+	}
+}
+
+// measure protects the dataset at one GEO-I ε and returns the mean paper
+// metrics.
+func measure(d *trace.Dataset, eps float64) (pr, ut float64) {
+	sweep := &eval.Sweep{
+		Mechanism: lppm.NewGeoIndistinguishability(),
+		Param:     lppm.EpsilonParam,
+		Values:    []float64{eps},
+		Metrics: []metrics.Metric{
+			metrics.MustPOIRetrieval(metrics.DefaultPOIRetrievalConfig()),
+			metrics.MustAreaCoverage(metrics.DefaultAreaCoverageConfig()),
+		},
+		Repeats: 3,
+		Seed:    7,
+	}
+	res, err := eval.Run(context.Background(), sweep, d)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res.Points[0].Mean["poi_retrieval"], res.Points[0].Mean["area_coverage"]
+}

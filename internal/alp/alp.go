@@ -1,0 +1,215 @@
+// Package alp reimplements the greedy configurator of ALP (Adaptive
+// Location Privacy, Primault et al., SRDS'16) — the only prior system the
+// paper identifies for automated LPPM configuration, and the baseline our
+// model-inversion framework is compared against (experiment X2 in
+// DESIGN.md).
+//
+// ALP does not model the mechanism: it repeatedly protects the data at a
+// candidate parameter value, measures the privacy and utility metrics, and
+// greedily nudges the parameter up or down (multiplicative steps, shrinking
+// on direction reversals) until the objectives are met or the evaluation
+// budget is exhausted. Each probe costs a full protect-and-evaluate pass,
+// which is exactly the cost our one-shot inversion amortizes into the
+// offline modeling phase.
+package alp
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"repro/internal/lppm"
+	"repro/internal/metrics"
+	"repro/internal/rng"
+	"repro/internal/stat"
+	"repro/internal/trace"
+)
+
+// Config parameterizes the greedy search.
+type Config struct {
+	// Mechanism is the LPPM to configure.
+	Mechanism lppm.Mechanism
+	// Param is the configuration parameter being searched.
+	Param string
+	// Fixed holds the mechanism's other parameters.
+	Fixed lppm.Params
+	// PrivacyMetric and UtilityMetric score candidates (same conventions
+	// as package metrics: privacy lower-is-better, utility
+	// higher-is-better).
+	PrivacyMetric, UtilityMetric metrics.Metric
+	// MaxPrivacy and MinUtility are the objectives.
+	MaxPrivacy, MinUtility float64
+	// MaxEvaluations bounds the number of protect-and-evaluate probes.
+	MaxEvaluations int
+	// InitialStepFactor is the multiplicative step (> 1), e.g. 4.
+	InitialStepFactor float64
+	// InitialValue is the search's starting parameter value; 0 uses the
+	// parameter's declared default.
+	InitialValue float64
+	// Seed drives the stochastic mechanisms during probing.
+	Seed int64
+}
+
+// Validate reports configuration errors.
+func (c *Config) Validate() error {
+	switch {
+	case c.Mechanism == nil:
+		return fmt.Errorf("alp: nil mechanism")
+	case c.PrivacyMetric == nil || c.UtilityMetric == nil:
+		return fmt.Errorf("alp: both metrics are required")
+	case c.MaxEvaluations < 1:
+		return fmt.Errorf("alp: MaxEvaluations must be >= 1, got %d", c.MaxEvaluations)
+	case c.InitialStepFactor <= 1:
+		return fmt.Errorf("alp: InitialStepFactor must be > 1, got %v", c.InitialStepFactor)
+	}
+	for _, spec := range c.Mechanism.Params() {
+		if spec.Name == c.Param {
+			return nil
+		}
+	}
+	return fmt.Errorf("alp: mechanism %q has no parameter %q", c.Mechanism.Name(), c.Param)
+}
+
+// Probe is one evaluated candidate.
+type Probe struct {
+	Value            float64
+	Privacy, Utility float64
+	Score            float64
+}
+
+// Result is the outcome of a greedy search.
+type Result struct {
+	// Best is the lowest-score probe seen (score 0 means both objectives
+	// met).
+	Best Probe
+	// Satisfied reports whether Best meets both objectives.
+	Satisfied bool
+	// Evaluations is the number of protect-and-evaluate probes spent —
+	// the cost axis of the comparison with model inversion.
+	Evaluations int
+	// Trajectory is every probe in order, for inspection and plotting.
+	Trajectory []Probe
+}
+
+// score measures constraint violation: 0 when both objectives hold.
+func score(privacy, utility, maxPrivacy, minUtility float64) float64 {
+	var s float64
+	if privacy > maxPrivacy {
+		s += (privacy - maxPrivacy) / math.Max(maxPrivacy, 1e-9)
+	}
+	if utility < minUtility {
+		s += (minUtility - utility) / math.Max(minUtility, 1e-9)
+	}
+	return s
+}
+
+// Run executes the greedy search over the dataset.
+func Run(ctx context.Context, cfg *Config, actual *trace.Dataset) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if actual == nil || actual.NumUsers() == 0 {
+		return nil, fmt.Errorf("alp: empty dataset")
+	}
+	var spec lppm.ParamSpec
+	for _, s := range cfg.Mechanism.Params() {
+		if s.Name == cfg.Param {
+			spec = s
+			break
+		}
+	}
+
+	root := rng.New(cfg.Seed)
+	res := &Result{}
+	evaluate := func(value float64) (Probe, error) {
+		params := cfg.Fixed.Clone()
+		if params == nil {
+			params = make(lppm.Params, 1)
+		}
+		params[cfg.Param] = value
+		protected, err := lppm.ProtectDataset(actual, cfg.Mechanism, params, root.Split(int64(res.Evaluations)))
+		if err != nil {
+			return Probe{}, err
+		}
+		var privVals, utilVals []float64
+		for _, u := range actual.Users() {
+			pv, err := cfg.PrivacyMetric.Evaluate(actual.Trace(u), protected.Trace(u))
+			if err != nil {
+				return Probe{}, fmt.Errorf("alp: privacy metric: %w", err)
+			}
+			uv, err := cfg.UtilityMetric.Evaluate(actual.Trace(u), protected.Trace(u))
+			if err != nil {
+				return Probe{}, fmt.Errorf("alp: utility metric: %w", err)
+			}
+			privVals = append(privVals, pv)
+			utilVals = append(utilVals, uv)
+		}
+		p := Probe{Value: value, Privacy: stat.Mean(privVals), Utility: stat.Mean(utilVals)}
+		p.Score = score(p.Privacy, p.Utility, cfg.MaxPrivacy, cfg.MinUtility)
+		res.Evaluations++
+		res.Trajectory = append(res.Trajectory, p)
+		return p, nil
+	}
+
+	value := spec.Default
+	if cfg.InitialValue != 0 {
+		if err := spec.Validate(cfg.InitialValue); err != nil {
+			return nil, err
+		}
+		value = cfg.InitialValue
+	}
+	stepFactor := cfg.InitialStepFactor
+
+	best, err := evaluate(value)
+	if err != nil {
+		return nil, err
+	}
+	res.Best = best
+
+	// Greedy multiplicative search with adaptive step: probe value·step
+	// and value/step and move to the better one. Metric plateaus are wide
+	// on the log axis (Figure 1), so when neither neighbour improves the
+	// step EXPANDS (squared) to jump across the plateau; after a
+	// successful move it resets. The search stops when both probes are
+	// pinned to the parameter bounds without improvement, or the budget
+	// runs out.
+	for res.Evaluations < cfg.MaxEvaluations && res.Best.Score > 0 {
+		select {
+		case <-ctx.Done():
+			return nil, fmt.Errorf("alp: cancelled: %w", ctx.Err())
+		default:
+		}
+
+		up := stat.Clamp(value*stepFactor, spec.Min, spec.Max)
+		down := stat.Clamp(value/stepFactor, spec.Min, spec.Max)
+
+		improved := false
+		for _, cand := range []float64{down, up} {
+			if cand == value || res.Evaluations >= cfg.MaxEvaluations {
+				continue
+			}
+			p, err := evaluate(cand)
+			if err != nil {
+				return nil, err
+			}
+			if p.Score < res.Best.Score {
+				res.Best = p
+				value = cand
+				improved = true
+				break
+			}
+		}
+		switch {
+		case improved:
+			stepFactor = cfg.InitialStepFactor
+		case up == spec.Max && down == spec.Min:
+			// The whole range has been bracketed without progress.
+			res.Satisfied = res.Best.Score == 0
+			return res, nil
+		default:
+			stepFactor *= stepFactor // expand across the plateau
+		}
+	}
+	res.Satisfied = res.Best.Score == 0
+	return res, nil
+}

@@ -1,0 +1,179 @@
+package alp
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/lppm"
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+var (
+	t0     = time.Date(2008, 5, 17, 8, 0, 0, 0, time.UTC)
+	anchor = geo.Point{Lat: 37.7749, Lng: -122.4194}
+)
+
+func testDataset(t *testing.T, users int) *trace.Dataset {
+	t.Helper()
+	d := trace.NewDataset()
+	for u := 0; u < users; u++ {
+		base := anchor.Offset(float64(u)*3000, float64(u)*1000)
+		var recs []trace.Record
+		user := string(rune('a' + u))
+		for i := 0; i < 25; i++ {
+			recs = append(recs, trace.Record{
+				User: user, Time: t0.Add(time.Duration(i) * time.Minute),
+				Point: base.Offset(float64(i%4)*4, float64(i%3)*4),
+			})
+		}
+		for i := 0; i < 25; i++ {
+			recs = append(recs, trace.Record{
+				User: user, Time: t0.Add(time.Duration(25+i) * time.Minute),
+				Point: base.Offset(float64(i+1)*120, 60),
+			})
+		}
+		tr, err := trace.NewTrace(user, recs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d.Add(tr)
+	}
+	return d
+}
+
+func testConfig() *Config {
+	return &Config{
+		Mechanism:         lppm.NewGeoIndistinguishability(),
+		Param:             lppm.EpsilonParam,
+		PrivacyMetric:     metrics.MustPOIRetrieval(metrics.DefaultPOIRetrievalConfig()),
+		UtilityMetric:     metrics.MustAreaCoverage(metrics.DefaultAreaCoverageConfig()),
+		MaxPrivacy:        0.20,
+		MinUtility:        0.60,
+		MaxEvaluations:    40,
+		InitialStepFactor: 4,
+		Seed:              3,
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := testConfig().Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	mutations := map[string]func(*Config){
+		"nil mechanism": func(c *Config) { c.Mechanism = nil },
+		"nil privacy":   func(c *Config) { c.PrivacyMetric = nil },
+		"nil utility":   func(c *Config) { c.UtilityMetric = nil },
+		"zero budget":   func(c *Config) { c.MaxEvaluations = 0 },
+		"step <= 1":     func(c *Config) { c.InitialStepFactor = 1 },
+		"bad param":     func(c *Config) { c.Param = "nope" },
+	}
+	for name, mutate := range mutations {
+		t.Run(name, func(t *testing.T) {
+			c := testConfig()
+			mutate(c)
+			if err := c.Validate(); err == nil {
+				t.Errorf("%s should fail", name)
+			}
+		})
+	}
+}
+
+func TestRunSatisfiesReachableObjectives(t *testing.T) {
+	d := testDataset(t, 3)
+	cfg := testConfig()
+	res, err := Run(context.Background(), cfg, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Satisfied {
+		t.Fatalf("ALP failed to satisfy reachable objectives: best %+v after %d evals",
+			res.Best, res.Evaluations)
+	}
+	if res.Best.Privacy > cfg.MaxPrivacy {
+		t.Errorf("best privacy %v > %v", res.Best.Privacy, cfg.MaxPrivacy)
+	}
+	if res.Best.Utility < cfg.MinUtility {
+		t.Errorf("best utility %v < %v", res.Best.Utility, cfg.MinUtility)
+	}
+	if res.Evaluations < 1 || res.Evaluations > cfg.MaxEvaluations {
+		t.Errorf("evaluations = %d", res.Evaluations)
+	}
+	if len(res.Trajectory) != res.Evaluations {
+		t.Errorf("trajectory %d entries for %d evaluations", len(res.Trajectory), res.Evaluations)
+	}
+}
+
+func TestRunRespectsBudget(t *testing.T) {
+	d := testDataset(t, 2)
+	cfg := testConfig()
+	// Unsatisfiable: no leakage at all AND perfect coverage.
+	cfg.MaxPrivacy = 0.0
+	cfg.MinUtility = 1.0
+	cfg.MaxEvaluations = 10
+	res, err := Run(context.Background(), cfg, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Satisfied {
+		t.Error("unsatisfiable objectives reported satisfied")
+	}
+	if res.Evaluations > 10 {
+		t.Errorf("budget exceeded: %d evaluations", res.Evaluations)
+	}
+}
+
+func TestRunCancelled(t *testing.T) {
+	d := testDataset(t, 2)
+	cfg := testConfig()
+	cfg.MaxPrivacy = 0 // force a long search
+	cfg.MinUtility = 1
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Run(ctx, cfg, d); err == nil {
+		t.Error("cancelled context should error")
+	}
+}
+
+func TestRunEmptyDataset(t *testing.T) {
+	if _, err := Run(context.Background(), testConfig(), trace.NewDataset()); err == nil {
+		t.Error("empty dataset should error")
+	}
+	if _, err := Run(context.Background(), testConfig(), nil); err == nil {
+		t.Error("nil dataset should error")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	d := testDataset(t, 2)
+	r1, err := Run(context.Background(), testConfig(), d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(context.Background(), testConfig(), d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Evaluations != r2.Evaluations || r1.Best.Value != r2.Best.Value {
+		t.Errorf("non-deterministic: %+v vs %+v", r1.Best, r2.Best)
+	}
+}
+
+func TestScore(t *testing.T) {
+	if s := score(0.05, 0.9, 0.1, 0.8); s != 0 {
+		t.Errorf("satisfied score = %v, want 0", s)
+	}
+	if s := score(0.2, 0.9, 0.1, 0.8); s <= 0 {
+		t.Errorf("privacy violation score = %v, want > 0", s)
+	}
+	if s := score(0.05, 0.5, 0.1, 0.8); s <= 0 {
+		t.Errorf("utility violation score = %v, want > 0", s)
+	}
+	both := score(0.2, 0.5, 0.1, 0.8)
+	one := score(0.2, 0.9, 0.1, 0.8)
+	if both <= one {
+		t.Errorf("double violation %v should exceed single %v", both, one)
+	}
+}

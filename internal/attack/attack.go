@@ -1,0 +1,206 @@
+// Package attack implements inference attacks against protected mobility
+// data. The paper's privacy metric asks how many POIs survive protection;
+// these attacks ask the sharper operational questions behind it — can an
+// adversary with background knowledge re-identify whose trace a protected
+// release is, and can it find a user's most important place (home/depot)?
+// They extend the framework's metric catalogue (paper §3: "by using
+// different metrics ... adapt the provided model to specific privacy
+// guarantees").
+package attack
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/geo"
+	"repro/internal/poi"
+	"repro/internal/trace"
+)
+
+// ReidentConfig tunes the POI-fingerprint re-identification attack.
+type ReidentConfig struct {
+	// Extractor configures POI extraction on both the background
+	// knowledge and the protected traces.
+	Extractor poi.ExtractorConfig
+	// MatchRadiusMeters is the distance within which two POIs are
+	// considered the same place.
+	MatchRadiusMeters float64
+}
+
+// DefaultReidentConfig returns the configuration used in experiments.
+func DefaultReidentConfig() ReidentConfig {
+	return ReidentConfig{
+		Extractor:         poi.DefaultExtractorConfig(),
+		MatchRadiusMeters: 200,
+	}
+}
+
+// Validate reports configuration errors.
+func (c ReidentConfig) Validate() error {
+	if c.MatchRadiusMeters <= 0 {
+		return fmt.Errorf("attack: MatchRadiusMeters must be positive, got %v", c.MatchRadiusMeters)
+	}
+	return c.Extractor.Validate()
+}
+
+// ReidentResult is the outcome of a re-identification attack over a whole
+// dataset release.
+type ReidentResult struct {
+	// SuccessRate is the fraction of protected traces linked to the
+	// correct user.
+	SuccessRate float64
+	// Linked maps each protected user to the background-knowledge user
+	// the attack linked it to ("" when the trace exposed no POIs).
+	Linked map[string]string
+	// Candidates is the number of background-knowledge users.
+	Candidates int
+}
+
+// Reidentify mounts a POI-fingerprint linkage attack: the adversary knows
+// every user's actual POI set (background knowledge, e.g. from a previous
+// unprotected release) and receives the protected traces pseudonymized. For
+// each protected trace it extracts POIs and links the trace to the
+// background user with the highest fingerprint similarity (fraction of
+// matched POIs, ties broken by mean matched distance). The success rate is
+// the canonical privacy measure of LPPM evaluation suites.
+func Reidentify(actual, protected *trace.Dataset, cfg ReidentConfig) (*ReidentResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if actual == nil || protected == nil || actual.NumUsers() == 0 {
+		return nil, fmt.Errorf("attack: empty datasets")
+	}
+	extractor, err := poi.NewExtractor(cfg.Extractor)
+	if err != nil {
+		return nil, err
+	}
+
+	// Background knowledge: actual POI fingerprints.
+	users := actual.Users()
+	background := make(map[string][]poi.POI, len(users))
+	for _, u := range users {
+		background[u] = extractor.POIs(actual.Trace(u))
+	}
+
+	res := &ReidentResult{Linked: make(map[string]string), Candidates: len(users)}
+	correct := 0
+	evaluated := 0
+	for _, u := range protected.Users() {
+		if actual.Trace(u) == nil {
+			return nil, fmt.Errorf("attack: protected user %q absent from background", u)
+		}
+		observed := extractor.POIs(protected.Trace(u))
+		linked := linkFingerprint(observed, background, users, cfg.MatchRadiusMeters)
+		res.Linked[u] = linked
+		evaluated++
+		if linked == u {
+			correct++
+		}
+	}
+	if evaluated > 0 {
+		res.SuccessRate = float64(correct) / float64(evaluated)
+	}
+	return res, nil
+}
+
+// linkFingerprint returns the background user best matching the observed POI
+// set, or "" when nothing matches at all.
+func linkFingerprint(observed []poi.POI, background map[string][]poi.POI, users []string, radius float64) string {
+	bestUser := ""
+	bestScore := 0.0
+	bestDist := math.MaxFloat64
+	for _, u := range users {
+		score, dist := fingerprintSimilarity(observed, background[u], radius)
+		if score > bestScore || (score == bestScore && score > 0 && dist < bestDist) {
+			bestUser, bestScore, bestDist = u, score, dist
+		}
+	}
+	return bestUser
+}
+
+// fingerprintSimilarity returns the fraction of background POIs matched by
+// an observed POI within radius, and the mean distance of those matches.
+func fingerprintSimilarity(observed, background []poi.POI, radius float64) (score, meanDist float64) {
+	if len(background) == 0 || len(observed) == 0 {
+		return 0, math.MaxFloat64
+	}
+	matched := 0
+	var distSum float64
+	for _, b := range background {
+		best := math.MaxFloat64
+		for _, o := range observed {
+			if d := geo.Equirectangular(b.Center, o.Center); d < best {
+				best = d
+			}
+		}
+		if best <= radius {
+			matched++
+			distSum += best
+		}
+	}
+	if matched == 0 {
+		return 0, math.MaxFloat64
+	}
+	return float64(matched) / float64(len(background)), distSum / float64(matched)
+}
+
+// TopPOIConfig tunes the home/depot inference attack.
+type TopPOIConfig struct {
+	// Extractor configures POI extraction.
+	Extractor poi.ExtractorConfig
+	// HitRadiusMeters is how close the inferred top place must be to the
+	// actual one to count as a successful inference.
+	HitRadiusMeters float64
+}
+
+// DefaultTopPOIConfig returns the configuration used in experiments.
+func DefaultTopPOIConfig() TopPOIConfig {
+	return TopPOIConfig{
+		Extractor:       poi.DefaultExtractorConfig(),
+		HitRadiusMeters: 200,
+	}
+}
+
+// InferTopPOI mounts the "find the user's most important place" attack on
+// one user: it extracts POIs from the protected trace, picks the one with
+// the largest total dwell, and succeeds when it lies within HitRadiusMeters
+// of the actual top POI. The second return value is false when either trace
+// exposes no POI (attack impossible — maximal privacy).
+func InferTopPOI(actual, protected *trace.Trace, cfg TopPOIConfig) (hit, possible bool, err error) {
+	if cfg.HitRadiusMeters <= 0 {
+		return false, false, fmt.Errorf("attack: HitRadiusMeters must be positive, got %v", cfg.HitRadiusMeters)
+	}
+	extractor, err := poi.NewExtractor(cfg.Extractor)
+	if err != nil {
+		return false, false, err
+	}
+	actualTop, ok := topPOI(extractor.POIs(actual))
+	if !ok {
+		return false, false, nil
+	}
+	observedTop, ok := topPOI(extractor.POIs(protected))
+	if !ok {
+		return false, true, nil
+	}
+	d := geo.Equirectangular(actualTop.Center, observedTop.Center)
+	return d <= cfg.HitRadiusMeters, true, nil
+}
+
+// topPOI returns the POI with the largest total dwell.
+func topPOI(pois []poi.POI) (poi.POI, bool) {
+	if len(pois) == 0 {
+		return poi.POI{}, false
+	}
+	sort.Slice(pois, func(i, j int) bool {
+		if pois[i].TotalDwell != pois[j].TotalDwell {
+			return pois[i].TotalDwell > pois[j].TotalDwell
+		}
+		// Deterministic tie-break by location.
+		if pois[i].Center.Lat != pois[j].Center.Lat {
+			return pois[i].Center.Lat < pois[j].Center.Lat
+		}
+		return pois[i].Center.Lng < pois[j].Center.Lng
+	})
+	return pois[0], true
+}

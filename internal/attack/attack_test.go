@@ -1,0 +1,236 @@
+package attack
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/lppm"
+	"repro/internal/metrics"
+	"repro/internal/rng"
+	"repro/internal/synth"
+	"repro/internal/trace"
+)
+
+var (
+	t0     = time.Date(2008, 5, 17, 8, 0, 0, 0, time.UTC)
+	anchor = geo.Point{Lat: 37.7749, Lng: -122.4194}
+)
+
+// userTrace builds a trace with a long stop at `home` (the top POI), a
+// shorter stop at `second`, and travel in between.
+func userTrace(t *testing.T, user string, home, second geo.Point) *trace.Trace {
+	t.Helper()
+	var recs []trace.Record
+	add := func(p geo.Point, minutes int) {
+		for i := 0; i < minutes; i++ {
+			recs = append(recs, trace.Record{
+				User: user, Time: t0.Add(time.Duration(len(recs)) * time.Minute),
+				Point: p.Offset(float64(i%4)*3, float64(i%3)*3),
+			})
+		}
+	}
+	travel := func(a, b geo.Point, steps int) {
+		pr := geo.NewProjection(a)
+		e, n := pr.ToPlane(b)
+		for i := 0; i < steps; i++ {
+			f := float64(i+1) / float64(steps+1)
+			recs = append(recs, trace.Record{
+				User: user, Time: t0.Add(time.Duration(len(recs)) * time.Minute),
+				Point: pr.FromPlane(e*f, n*f),
+			})
+		}
+	}
+	add(home, 45) // top POI by dwell
+	travel(home, second, 20)
+	add(second, 20)
+	travel(second, home, 20)
+	tr, err := trace.NewTrace(user, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// twoUserWorld builds two users with well-separated places.
+func twoUserWorld(t *testing.T) *trace.Dataset {
+	t.Helper()
+	d := trace.NewDataset()
+	d.Add(userTrace(t, "alice", anchor, anchor.Offset(2500, 0)))
+	d.Add(userTrace(t, "bob", anchor.Offset(0, 6000), anchor.Offset(3000, 6000)))
+	return d
+}
+
+func TestReidentifyUnprotectedIsPerfect(t *testing.T) {
+	d := twoUserWorld(t)
+	res, err := Reidentify(d, d.Clone(), DefaultReidentConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SuccessRate != 1 {
+		t.Errorf("unprotected re-identification = %v, want 1 (linked: %v)", res.SuccessRate, res.Linked)
+	}
+	if res.Candidates != 2 {
+		t.Errorf("candidates = %d", res.Candidates)
+	}
+}
+
+func TestReidentifyHeavyNoiseDefeatsAttack(t *testing.T) {
+	d := twoUserWorld(t)
+	g := lppm.NewGeoIndistinguishability()
+	protected, err := lppm.ProtectDataset(d, g, lppm.Params{lppm.EpsilonParam: 0.001}, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Reidentify(d, protected, DefaultReidentConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With 2 km mean noise no POI survives, so no link is made.
+	for u, linked := range res.Linked {
+		if linked != "" {
+			t.Errorf("user %s linked to %q under heavy noise", u, linked)
+		}
+	}
+	if res.SuccessRate != 0 {
+		t.Errorf("heavy-noise success rate = %v", res.SuccessRate)
+	}
+}
+
+func TestReidentifyMonotoneInEpsilon(t *testing.T) {
+	cfg := synth.DefaultConfig()
+	cfg.NumDrivers = 10
+	cfg.Duration = 8 * time.Hour
+	fleet, err := synth.Generate(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := fleet.Dataset
+	g := lppm.NewGeoIndistinguishability()
+	prev := -1.0
+	for _, eps := range []float64{0.003, 0.03, 0.3} {
+		protected, err := lppm.ProtectDataset(d, g, lppm.Params{lppm.EpsilonParam: eps}, rng.New(9))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Reidentify(d, protected, DefaultReidentConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.SuccessRate < prev-0.15 {
+			t.Fatalf("re-identification not (weakly) increasing in eps: %v after %v", res.SuccessRate, prev)
+		}
+		prev = res.SuccessRate
+	}
+	if prev < 0.8 {
+		t.Errorf("near-raw release should re-identify most users, got %v", prev)
+	}
+}
+
+func TestReidentifyErrors(t *testing.T) {
+	d := twoUserWorld(t)
+	bad := DefaultReidentConfig()
+	bad.MatchRadiusMeters = 0
+	if _, err := Reidentify(d, d, bad); err == nil {
+		t.Error("bad config should error")
+	}
+	if _, err := Reidentify(trace.NewDataset(), d, DefaultReidentConfig()); err == nil {
+		t.Error("empty background should error")
+	}
+	// Protected user unknown to the background.
+	stranger := trace.NewDataset()
+	stranger.Add(userTrace(t, "mallory", anchor.Offset(0, 9000), anchor.Offset(1000, 9000)))
+	if _, err := Reidentify(d, stranger, DefaultReidentConfig()); err == nil {
+		t.Error("unknown protected user should error")
+	}
+}
+
+func TestInferTopPOI(t *testing.T) {
+	tr := userTrace(t, "alice", anchor, anchor.Offset(2500, 0))
+	hit, possible, err := InferTopPOI(tr, tr.Clone(), DefaultTopPOIConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !possible || !hit {
+		t.Errorf("unprotected top-POI inference should succeed: hit=%v possible=%v", hit, possible)
+	}
+
+	// Shift the protected trace far away: attack possible but must miss.
+	shifted := tr.Clone()
+	for i := range shifted.Records {
+		shifted.Records[i].Point = shifted.Records[i].Point.Offset(5000, 5000)
+	}
+	hit, possible, err = InferTopPOI(tr, shifted, DefaultTopPOIConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !possible || hit {
+		t.Errorf("far-shifted inference: hit=%v possible=%v, want miss", hit, possible)
+	}
+
+	// No POIs in the actual trace: attack impossible.
+	var moving []trace.Record
+	for i := 0; i < 30; i++ {
+		moving = append(moving, trace.Record{
+			User: "m", Time: t0.Add(time.Duration(i) * time.Minute),
+			Point: anchor.Offset(float64(i)*400, 0),
+		})
+	}
+	mt, err := trace.NewTrace("m", moving)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, possible, err = InferTopPOI(mt, mt.Clone(), DefaultTopPOIConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if possible {
+		t.Error("no-POI trace should make the attack impossible")
+	}
+
+	// Bad config.
+	bad := DefaultTopPOIConfig()
+	bad.HitRadiusMeters = -1
+	if _, _, err := InferTopPOI(tr, tr, bad); err == nil {
+		t.Error("bad config should error")
+	}
+}
+
+func TestTopPOIInferenceMetric(t *testing.T) {
+	var m TopPOIInference
+	if m.Name() != "top_poi_inference" || m.Kind() != metrics.Privacy {
+		t.Errorf("metric identity wrong: %s %v", m.Name(), m.Kind())
+	}
+	tr := userTrace(t, "alice", anchor, anchor.Offset(2500, 0))
+	v, err := m.Evaluate(tr, tr.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 1 {
+		t.Errorf("unprotected inference metric = %v, want 1", v)
+	}
+	g := lppm.NewGeoIndistinguishability()
+	protected, err := g.Protect(tr, lppm.Params{lppm.EpsilonParam: 0.0005}, rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err = m.Evaluate(tr, protected)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0 {
+		t.Errorf("heavy-noise inference metric = %v, want 0", v)
+	}
+}
+
+func TestTopPOIInferenceMetricInRegistry(t *testing.T) {
+	// The attack metric must be registrable alongside the paper metrics,
+	// demonstrating the framework's metric modularity.
+	r := metrics.NewRegistry()
+	if err := r.Register(TopPOIInference{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Get("top_poi_inference"); err != nil {
+		t.Error(err)
+	}
+}

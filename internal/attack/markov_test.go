@@ -1,0 +1,175 @@
+package attack
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/metrics"
+	"repro/internal/rng"
+	"repro/internal/trace"
+)
+
+var (
+	at0    = time.Date(2008, 5, 17, 8, 0, 0, 0, time.UTC)
+	aBase  = geo.Point{Lat: 37.7749, Lng: -122.4194}
+	aWork  = aBase.Offset(3000, 0)
+	aLunch = aBase.Offset(3000, 2000)
+)
+
+// commuteTrace builds a repetitive home→work→lunch→work→home day pattern,
+// the kind of regular mobility a Markov profile captures well.
+func commuteTrace(t *testing.T, days int) *trace.Trace {
+	t.Helper()
+	var recs []trace.Record
+	at := at0
+	emit := func(p geo.Point, n int) {
+		for i := 0; i < n; i++ {
+			recs = append(recs, trace.Record{User: "u1", Time: at, Point: p})
+			at = at.Add(5 * time.Minute)
+		}
+	}
+	for d := 0; d < days; d++ {
+		emit(aBase, 6)
+		emit(aWork, 12)
+		emit(aLunch, 3)
+		emit(aWork, 10)
+		emit(aBase, 8)
+	}
+	tr, err := trace.NewTrace("u1", recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestFitMarkovBasics(t *testing.T) {
+	tr := commuteTrace(t, 5)
+	m, err := FitMarkov(tr, DefaultMarkovConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.States() < 3 {
+		t.Errorf("States = %d, want ≥ 3 (home, work, lunch)", m.States())
+	}
+	// Transition probabilities out of any visited cell sum to < 1 +
+	// smoothing slack and the self-loop at home is dominant.
+	home := m.grid.CellOf(aBase)
+	next, ok := m.PredictNext(home)
+	if !ok {
+		t.Fatal("home cell should have successors")
+	}
+	if p := m.TransitionProb(home, next); p < 0.5 {
+		t.Errorf("dominant transition from home has p = %v, want ≥ 0.5 on repetitive data", p)
+	}
+}
+
+func TestFitMarkovErrors(t *testing.T) {
+	short := &trace.Trace{User: "u1", Records: []trace.Record{{User: "u1", Time: at0, Point: aBase}}}
+	if _, err := FitMarkov(short, DefaultMarkovConfig()); err == nil {
+		t.Error("single-record trace should fail")
+	}
+	tr := commuteTrace(t, 1)
+	if _, err := FitMarkov(tr, MarkovConfig{CellSizeMeters: -5}); err == nil {
+		t.Error("negative cell size should fail")
+	}
+	if _, err := FitMarkov(tr, MarkovConfig{CellSizeMeters: 500, SmoothingAlpha: -1}); err == nil {
+		t.Error("negative smoothing should fail")
+	}
+}
+
+func TestMarkovSelfFitnessHigh(t *testing.T) {
+	tr := commuteTrace(t, 5)
+	m, err := FitMarkov(tr, DefaultMarkovConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	self := m.Fitness(tr)
+	if self < 0.7 {
+		t.Errorf("self-fitness = %v, want ≥ 0.7 on repetitive mobility", self)
+	}
+	if self > 1 {
+		t.Errorf("fitness must not exceed 1, got %v", self)
+	}
+}
+
+func TestMarkovFitnessDropsWithNoise(t *testing.T) {
+	tr := commuteTrace(t, 5)
+	m, err := FitMarkov(tr, DefaultMarkovConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(2)
+	noisy := tr.Clone()
+	for i := range noisy.Records {
+		noisy.Records[i].Point = noisy.Records[i].Point.Offset(3000*r.NormFloat64(), 3000*r.NormFloat64())
+	}
+	if self, noised := m.Fitness(tr), m.Fitness(noisy); noised >= self/2 {
+		t.Errorf("noise should at least halve fitness: self=%v noised=%v", self, noised)
+	}
+}
+
+func TestMarkovPredictabilityMetric(t *testing.T) {
+	metric := MarkovPredictability{}
+	if metric.Kind() != metrics.Privacy {
+		t.Error("markov predictability must be a privacy metric")
+	}
+	tr := commuteTrace(t, 4)
+	identity, err := metric.Evaluate(tr, tr.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(identity-1) > 1e-9 {
+		t.Errorf("identity release predictability = %v, want 1", identity)
+	}
+	r := rng.New(7)
+	noisy := tr.Clone()
+	for i := range noisy.Records {
+		noisy.Records[i].Point = noisy.Records[i].Point.Offset(5000*r.NormFloat64(), 5000*r.NormFloat64())
+	}
+	noised, err := metric.Evaluate(tr, noisy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noised >= identity {
+		t.Errorf("noised release must leak less: identity=%v noised=%v", identity, noised)
+	}
+	if _, err := metric.Evaluate(&trace.Trace{User: "u1"}, tr); err == nil {
+		t.Error("empty actual should error")
+	}
+}
+
+func TestMarkovPredictNextDeterministicTieBreak(t *testing.T) {
+	// Two successors with equal counts: prediction must be stable.
+	var recs []trace.Record
+	at := at0
+	pts := []geo.Point{aBase, aWork, aBase, aLunch, aBase, aWork, aBase, aLunch}
+	for _, p := range pts {
+		recs = append(recs, trace.Record{User: "u1", Time: at, Point: p})
+		at = at.Add(5 * time.Minute)
+	}
+	tr, err := trace.NewTrace("u1", recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, err := FitMarkov(tr, DefaultMarkovConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	home := m1.grid.CellOf(aBase)
+	a, ok := m1.PredictNext(home)
+	if !ok {
+		t.Fatal("expected successors")
+	}
+	for i := 0; i < 5; i++ {
+		m2, err := FitMarkov(tr, DefaultMarkovConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := m2.PredictNext(home)
+		if a != b {
+			t.Fatal("tie-break must be deterministic")
+		}
+	}
+}

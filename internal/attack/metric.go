@@ -1,0 +1,40 @@
+package attack
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+// TopPOIInference adapts the home/depot inference attack to the framework's
+// per-user Metric interface so it can drive sweeps and models exactly like
+// the paper's POI-retrieval metric: the value is 1 when the attack locates
+// the user's top place from the protected trace, 0 otherwise (and 0 when the
+// user has no POIs — nothing to find).
+type TopPOIInference struct {
+	// Config tunes the attack; the zero value uses DefaultTopPOIConfig.
+	Config TopPOIConfig
+}
+
+// Name implements metrics.Metric.
+func (TopPOIInference) Name() string { return "top_poi_inference" }
+
+// Kind implements metrics.Metric.
+func (TopPOIInference) Kind() metrics.Kind { return metrics.Privacy }
+
+// Evaluate implements metrics.Metric.
+func (m TopPOIInference) Evaluate(actual, protected *trace.Trace) (float64, error) {
+	cfg := m.Config
+	if cfg.HitRadiusMeters == 0 && cfg.Extractor.MaxDiameterMeters == 0 {
+		cfg = DefaultTopPOIConfig()
+	}
+	hit, possible, err := InferTopPOI(actual, protected, cfg)
+	if err != nil {
+		return 0, fmt.Errorf("attack: top-POI metric: %w", err)
+	}
+	if !possible || !hit {
+		return 0, nil
+	}
+	return 1, nil
+}

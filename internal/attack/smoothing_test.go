@@ -1,0 +1,147 @@
+package attack
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/lppm"
+	"repro/internal/metrics"
+	"repro/internal/rng"
+	"repro/internal/trace"
+)
+
+// drivingTrace builds a smooth continuous drive (no stops), the worst case
+// for i.i.d. noise: strong autocorrelation to exploit.
+func drivingTrace(t *testing.T, n int) *trace.Trace {
+	t.Helper()
+	recs := make([]trace.Record, n)
+	for i := range recs {
+		recs[i] = trace.Record{
+			User:  "u1",
+			Time:  at0.Add(time.Duration(i) * 30 * time.Second),
+			Point: aBase.Offset(float64(i)*120, float64(i)*40),
+		}
+	}
+	tr, err := trace.NewTrace("u1", recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestSmoothWindowValidation(t *testing.T) {
+	tr := drivingTrace(t, 20)
+	if _, err := Smooth(tr, 0); err == nil {
+		t.Error("window 0 should fail")
+	}
+	if _, err := Smooth(tr, 4); err == nil {
+		t.Error("even window should fail")
+	}
+	out, err := Smooth(tr, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range tr.Records {
+		if out.Records[i].Point != tr.Records[i].Point {
+			t.Fatal("window 1 must be the identity")
+		}
+	}
+}
+
+func TestSmoothingRemovesIIDNoise(t *testing.T) {
+	tr := drivingTrace(t, 300)
+	g := lppm.NewGeoIndistinguishability()
+	prot, err := g.Protect(tr, lppm.Params{lppm.EpsilonParam: 0.005}, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gain, err := SmoothingGain(tr, prot, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gain < 0.4 {
+		t.Errorf("smoothing gain = %v on GEO-I noise over a smooth drive, want ≥ 0.4", gain)
+	}
+}
+
+func TestSmoothingGainZeroOnCleanRelease(t *testing.T) {
+	tr := drivingTrace(t, 100)
+	gain, err := SmoothingGain(tr, tr.Clone(), 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gain != 0 {
+		t.Errorf("gain on an exact release = %v, want 0", gain)
+	}
+}
+
+func TestSmoothingGainErrors(t *testing.T) {
+	tr := drivingTrace(t, 50)
+	shorter := tr.TimeWindow(at0, at0.Add(10*time.Minute))
+	if _, err := SmoothingGain(tr, shorter, 9); err == nil {
+		t.Error("misaligned traces should fail")
+	}
+	empty := &trace.Trace{User: "u1"}
+	if _, err := SmoothingGain(empty, empty, 9); err == nil {
+		t.Error("empty traces should fail")
+	}
+}
+
+func TestSmoothingAdvantageMetric(t *testing.T) {
+	m := SmoothingAdvantage{}
+	if m.Kind() != metrics.Privacy {
+		t.Error("smoothing advantage must be a privacy metric")
+	}
+	tr := drivingTrace(t, 200)
+
+	// GEO-I: i.i.d. noise → substantial advantage.
+	g := lppm.NewGeoIndistinguishability()
+	prot, err := g.Protect(tr, lppm.Params{lppm.EpsilonParam: 0.01}, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	vNoise, err := m.Evaluate(tr, prot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vNoise <= 0.2 {
+		t.Errorf("GEO-I smoothing advantage = %v, want > 0.2", vNoise)
+	}
+
+	// Promesse: no i.i.d. noise and different record counts → metric
+	// reports 0 instead of erroring, so sweeps across mechanisms work.
+	p := lppm.NewPromesse()
+	pprot, err := p.Protect(tr, lppm.Params{lppm.AlphaParam: 500}, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	vPromesse, err := m.Evaluate(tr, pprot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vPromesse != 0 {
+		t.Errorf("Promesse smoothing advantage = %v, want 0 (misaligned release)", vPromesse)
+	}
+}
+
+func TestSmoothPreservesMetadata(t *testing.T) {
+	tr := drivingTrace(t, 30)
+	out, err := Smooth(tr, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.User != tr.User || out.Len() != tr.Len() {
+		t.Fatal("smoothing must preserve user and record count")
+	}
+	for i := range out.Records {
+		if !out.Records[i].Time.Equal(tr.Records[i].Time) {
+			t.Fatal("smoothing must preserve timestamps")
+		}
+	}
+	// Interior points of a straight line are fixed points of averaging.
+	mid := tr.Len() / 2
+	if d := geo.Haversine(out.Records[mid].Point, tr.Records[mid].Point); d > 1.5 {
+		t.Errorf("straight-line midpoint moved %.2f m under smoothing, want ≈ 0", d)
+	}
+}

@@ -1,0 +1,242 @@
+// Package core is the paper's contribution: a framework for the easy,
+// automated configuration of Location Privacy Protection Mechanisms. It
+// wires the three automated steps together (paper §3):
+//
+//  1. System definition — the privacy metric Pr, the utility metric Ut, the
+//     LPPM's configuration parameters with their ranges, and the dataset
+//     properties d_i (screened by PCA).
+//  2. Modeling — automated experiments sweep the parameters while metrics
+//     are measured, and the invertible relationship (Pr, Ut) = f(p, d) of
+//     Equation 2 is fitted on the non-saturated zone.
+//  3. Configuration — f is inverted under the designer's privacy and
+//     utility objectives to produce the parameter value to deploy.
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/eval"
+	"repro/internal/lppm"
+	"repro/internal/metrics"
+	"repro/internal/model"
+	"repro/internal/trace"
+)
+
+// Definition is framework step 1: what to analyze and with which yardsticks.
+type Definition struct {
+	// Mechanism is the LPPM under analysis (e.g. GEO-I).
+	Mechanism lppm.Mechanism
+	// Param is the configuration parameter to model (e.g. "epsilon").
+	// Empty selects the mechanism's sole parameter.
+	Param string
+	// Privacy and Utility are the objective metrics.
+	Privacy, Utility metrics.Metric
+	// GridPoints is the sweep resolution (≥ 3; the paper uses ~25 points
+	// across four decades).
+	GridPoints int
+	// Repeats averages this many protection runs per grid value.
+	Repeats int
+	// Seed drives all randomness.
+	Seed int64
+	// Workers bounds evaluation parallelism; 0 means GOMAXPROCS.
+	Workers int
+	// SaturationTolFrac is the plateau-detection tolerance for the
+	// non-saturated-zone detection (0 uses 0.05).
+	SaturationTolFrac float64
+	// PropertyCellMeters discretizes space for dataset-property
+	// computation (0 uses 500 m).
+	PropertyCellMeters float64
+}
+
+// normalize fills defaults and validates.
+func (d *Definition) normalize() error {
+	if d.Mechanism == nil {
+		return fmt.Errorf("core: nil mechanism")
+	}
+	if d.Privacy == nil || d.Utility == nil {
+		return fmt.Errorf("core: both privacy and utility metrics are required")
+	}
+	if d.Privacy.Kind() != metrics.Privacy {
+		return fmt.Errorf("core: %q is not a privacy metric", d.Privacy.Name())
+	}
+	if d.Utility.Kind() != metrics.Utility {
+		return fmt.Errorf("core: %q is not a utility metric", d.Utility.Name())
+	}
+	specs := d.Mechanism.Params()
+	if len(specs) == 0 {
+		return fmt.Errorf("core: mechanism %q has no configurable parameters", d.Mechanism.Name())
+	}
+	if d.Param == "" {
+		if len(specs) > 1 {
+			return fmt.Errorf("core: mechanism %q has %d parameters; Param must name one", d.Mechanism.Name(), len(specs))
+		}
+		d.Param = specs[0].Name
+	}
+	if d.GridPoints == 0 {
+		d.GridPoints = 25
+	}
+	if d.GridPoints < 3 {
+		return fmt.Errorf("core: GridPoints must be >= 3, got %d", d.GridPoints)
+	}
+	if d.Repeats == 0 {
+		d.Repeats = 1
+	}
+	if d.Repeats < 1 {
+		return fmt.Errorf("core: Repeats must be >= 1, got %d", d.Repeats)
+	}
+	if d.SaturationTolFrac == 0 {
+		d.SaturationTolFrac = 0.05
+	}
+	if d.PropertyCellMeters == 0 {
+		d.PropertyCellMeters = 500
+	}
+	return nil
+}
+
+// paramSpec returns the spec of the modeled parameter.
+func (d *Definition) paramSpec() (lppm.ParamSpec, error) {
+	for _, s := range d.Mechanism.Params() {
+		if s.Name == d.Param {
+			return s, nil
+		}
+	}
+	return lppm.ParamSpec{}, fmt.Errorf("core: mechanism %q has no parameter %q", d.Mechanism.Name(), d.Param)
+}
+
+// Analysis is the output of the modeling phase (step 2): the raw sweep, the
+// two fitted models, and the dataset-property screening.
+type Analysis struct {
+	// Definition echoes the (normalized) input definition.
+	Definition Definition
+	// Sweep is the raw experiment outcome (Figure 1's data).
+	Sweep *eval.Result
+	// PrivacyModel and UtilityModel are the fitted halves of Equation 2.
+	PrivacyModel, UtilityModel model.LogLinear
+	// Properties is the PCA screening of dataset properties; its
+	// Selected list is empty when — as in the paper's GEO-I case — no
+	// property need enter the model.
+	Properties *model.PropertySelection
+}
+
+// Analyze runs framework steps 1 and 2 on the dataset: sweep the parameter
+// across its declared range, measure both metrics, screen dataset
+// properties, and fit the invertible models.
+func Analyze(ctx context.Context, def Definition, actual *trace.Dataset) (*Analysis, error) {
+	if err := def.normalize(); err != nil {
+		return nil, err
+	}
+	if actual == nil || actual.NumUsers() == 0 {
+		return nil, fmt.Errorf("core: empty dataset")
+	}
+	spec, err := def.paramSpec()
+	if err != nil {
+		return nil, err
+	}
+
+	values, err := grid(spec, def.GridPoints)
+	if err != nil {
+		return nil, err
+	}
+	sweep := &eval.Sweep{
+		Mechanism: def.Mechanism,
+		Param:     def.Param,
+		Values:    values,
+		// Multi-parameter mechanisms hold their other parameters at
+		// their defaults while one is modeled (framework step 1 models
+		// one p_i at a time).
+		Fixed:   lppm.Defaults(def.Mechanism),
+		Metrics: []metrics.Metric{def.Privacy, def.Utility},
+		Repeats: def.Repeats,
+		Seed:    def.Seed,
+		Workers: def.Workers,
+	}
+	result, err := eval.Run(ctx, sweep, actual)
+	if err != nil {
+		return nil, err
+	}
+
+	a := &Analysis{Definition: def, Sweep: result}
+
+	xs, ys, err := result.Series(def.Privacy.Name())
+	if err != nil {
+		return nil, err
+	}
+	a.PrivacyModel, err = model.FitLogLinear(xs, ys, def.SaturationTolFrac)
+	if err != nil {
+		return nil, fmt.Errorf("core: privacy model: %w", err)
+	}
+	xs, ys, err = result.Series(def.Utility.Name())
+	if err != nil {
+		return nil, err
+	}
+	a.UtilityModel, err = model.FitLogLinear(xs, ys, def.SaturationTolFrac)
+	if err != nil {
+		return nil, fmt.Errorf("core: utility model: %w", err)
+	}
+
+	a.Properties, err = screenProperties(def, actual, result)
+	if err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// screenProperties correlates per-user dataset properties with per-user
+// privacy outcomes at the middle of the sweep, the framework's PCA-based
+// step-1 analysis.
+func screenProperties(def Definition, actual *trace.Dataset, result *eval.Result) (*model.PropertySelection, error) {
+	props := trace.DatasetProperties(actual, def.PropertyCellMeters)
+	rows := make([][]float64, len(props))
+	for i, p := range props {
+		rows[i] = p.PropertyVector()
+	}
+	if len(rows) < 3 {
+		// Too few users to screen anything; report an empty selection.
+		return &model.PropertySelection{Names: trace.PropertyNames()}, nil
+	}
+	mid := result.Points[len(result.Points)/2]
+	perUser := mid.PerUser[def.Privacy.Name()]
+	users := actual.Users()
+	metricVals := make([]float64, len(users))
+	for i, u := range users {
+		metricVals[i] = perUser[u]
+	}
+	return model.SelectProperties(trace.PropertyNames(), rows, metricVals, 0.2, 0.5)
+}
+
+// Configure is framework step 3: invert the fitted models under the
+// designer's objectives.
+func (a *Analysis) Configure(obj model.Objectives) (model.Configuration, error) {
+	cfg, err := model.Configure(a.PrivacyModel, a.UtilityModel, obj)
+	if err != nil {
+		return model.Configuration{}, err
+	}
+	// Clamp the recommendation into the mechanism's declared range.
+	spec, err := a.Definition.paramSpec()
+	if err != nil {
+		return model.Configuration{}, err
+	}
+	if cfg.Value < spec.Min {
+		cfg.Value = spec.Min
+	}
+	if cfg.Value > spec.Max {
+		cfg.Value = spec.Max
+	}
+	return cfg, nil
+}
+
+// grid builds the sweep grid from a parameter spec: log-spaced for LogScale
+// parameters, linear otherwise.
+func grid(spec lppm.ParamSpec, n int) ([]float64, error) {
+	if spec.Min >= spec.Max {
+		return nil, fmt.Errorf("core: parameter %q has degenerate range [%v, %v]", spec.Name, spec.Min, spec.Max)
+	}
+	if spec.LogScale {
+		if spec.Min <= 0 {
+			return nil, fmt.Errorf("core: log-scale parameter %q has non-positive min %v", spec.Name, spec.Min)
+		}
+		return logSpace(spec.Min, spec.Max, n), nil
+	}
+	return linSpace(spec.Min, spec.Max, n), nil
+}

@@ -1,0 +1,218 @@
+package core
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/lppm"
+	"repro/internal/metrics"
+	"repro/internal/model"
+	"repro/internal/rng"
+	"repro/internal/synth"
+	"repro/internal/trace"
+)
+
+// smallFleet generates a compact synthetic dataset shared by the tests.
+func smallFleet(t *testing.T) *trace.Dataset {
+	t.Helper()
+	cfg := synth.DefaultConfig()
+	cfg.NumDrivers = 14
+	cfg.Duration = 12 * time.Hour
+	fleet, err := synth.Generate(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fleet.Dataset
+}
+
+func testDefinition() Definition {
+	return Definition{
+		Mechanism:  lppm.NewGeoIndistinguishability(),
+		Privacy:    metrics.MustPOIRetrieval(metrics.DefaultPOIRetrievalConfig()),
+		Utility:    metrics.MustAreaCoverage(metrics.DefaultAreaCoverageConfig()),
+		GridPoints: 17,
+		Repeats:    2,
+		Seed:       42,
+	}
+}
+
+func TestAnalyzeEndToEnd(t *testing.T) {
+	d := smallFleet(t)
+	a, err := Analyze(context.Background(), testDefinition(), d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Sweep.Points) != 17 {
+		t.Fatalf("sweep points = %d", len(a.Sweep.Points))
+	}
+	// Both fitted models must rise with ε and fit reasonably.
+	if a.PrivacyModel.B <= 0 {
+		t.Errorf("privacy slope = %v, want > 0", a.PrivacyModel.B)
+	}
+	if a.UtilityModel.B <= 0 {
+		t.Errorf("utility slope = %v, want > 0", a.UtilityModel.B)
+	}
+	if a.PrivacyModel.R2 < 0.7 || a.UtilityModel.R2 < 0.7 {
+		t.Errorf("poor fits: privacy R²=%v utility R²=%v", a.PrivacyModel.R2, a.UtilityModel.R2)
+	}
+	// Privacy must transition over a narrower ε range than utility —
+	// the paper's core observation (Figure 1).
+	prDecades := math.Log10(a.PrivacyModel.XMax) - math.Log10(a.PrivacyModel.XMin)
+	utDecades := math.Log10(a.UtilityModel.XMax) - math.Log10(a.UtilityModel.XMin)
+	if prDecades >= utDecades {
+		t.Errorf("privacy active zone (%v decades) should be narrower than utility (%v)",
+			prDecades, utDecades)
+	}
+	// GEO-I on this data should need no dataset properties, as in the
+	// paper's illustration.
+	if props := a.Properties.SelectedNames(); len(props) > 1 {
+		t.Errorf("unexpectedly many selected properties: %v", props)
+	}
+}
+
+func TestAnalyzeThenConfigureHeadline(t *testing.T) {
+	d := smallFleet(t)
+	a, err := Analyze(context.Background(), testDefinition(), d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := a.Configure(model.Objectives{MaxPrivacy: 0.10, MinUtility: 0.80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cfg.Feasible {
+		t.Fatalf("paper objectives infeasible: %+v", cfg)
+	}
+	// The recommended ε must be within GEO-I's declared range and in the
+	// paper's decade neighbourhood.
+	if cfg.Value < 1e-4 || cfg.Value > 1 {
+		t.Errorf("recommended ε = %v outside declared range", cfg.Value)
+	}
+	if cfg.Value < 0.001 || cfg.Value > 0.1 {
+		t.Errorf("recommended ε = %v, want within [0.001, 0.1] (paper: 0.01)", cfg.Value)
+	}
+}
+
+func TestConfigurationVerifiedEmpirically(t *testing.T) {
+	// The real test of the framework: protect the data at the
+	// recommended ε and check the measured metrics meet the objectives.
+	d := smallFleet(t)
+	def := testDefinition()
+	a, err := Analyze(context.Background(), def, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj := model.Objectives{MaxPrivacy: 0.15, MinUtility: 0.75}
+	cfg, err := a.Configure(obj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cfg.Feasible {
+		t.Fatalf("objectives infeasible: %+v", cfg)
+	}
+
+	pr, ut := measureAt(t, def, d, cfg.Value)
+	// Allow modest slack: the verification run uses fresh noise.
+	if pr > obj.MaxPrivacy+0.1 {
+		t.Errorf("measured privacy %v far above objective %v", pr, obj.MaxPrivacy)
+	}
+	if ut < obj.MinUtility-0.1 {
+		t.Errorf("measured utility %v far below objective %v", ut, obj.MinUtility)
+	}
+}
+
+// measureAt protects the dataset at one ε and returns mean privacy/utility.
+func measureAt(t *testing.T, def Definition, d *trace.Dataset, eps float64) (pr, ut float64) {
+	t.Helper()
+	protected, err := lppm.ProtectDataset(d, def.Mechanism,
+		lppm.Params{lppm.EpsilonParam: eps}, rng.New(12345))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prs, uts []float64
+	for _, u := range d.Users() {
+		p, err := def.Privacy.Evaluate(d.Trace(u), protected.Trace(u))
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, err := def.Utility.Evaluate(d.Trace(u), protected.Trace(u))
+		if err != nil {
+			t.Fatal(err)
+		}
+		prs = append(prs, p)
+		uts = append(uts, v)
+	}
+	return mean(prs), mean(uts)
+}
+
+func TestDefinitionNormalizeErrors(t *testing.T) {
+	d := smallFleet(t)
+	mutations := map[string]func(*Definition){
+		"nil mechanism":  func(def *Definition) { def.Mechanism = nil },
+		"nil privacy":    func(def *Definition) { def.Privacy = nil },
+		"nil utility":    func(def *Definition) { def.Utility = nil },
+		"swapped kinds":  func(def *Definition) { def.Privacy, def.Utility = def.Utility, def.Privacy },
+		"few gridpoints": func(def *Definition) { def.GridPoints = 2 },
+		"neg repeats":    func(def *Definition) { def.Repeats = -1 },
+		"unknown param":  func(def *Definition) { def.Param = "nope" },
+	}
+	for name, mutate := range mutations {
+		t.Run(name, func(t *testing.T) {
+			def := testDefinition()
+			mutate(&def)
+			if _, err := Analyze(context.Background(), def, d); err == nil {
+				t.Errorf("%s should fail", name)
+			}
+		})
+	}
+	// Parameterless mechanism.
+	def := testDefinition()
+	def.Mechanism = lppm.Identity{}
+	def.Param = ""
+	if _, err := Analyze(context.Background(), def, d); err == nil {
+		t.Error("parameterless mechanism should fail")
+	}
+}
+
+func TestAnalyzeEmptyDataset(t *testing.T) {
+	if _, err := Analyze(context.Background(), testDefinition(), trace.NewDataset()); err == nil {
+		t.Error("empty dataset should error")
+	}
+	if _, err := Analyze(context.Background(), testDefinition(), nil); err == nil {
+		t.Error("nil dataset should error")
+	}
+}
+
+func TestAnalyzeCancellation(t *testing.T) {
+	d := smallFleet(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Analyze(ctx, testDefinition(), d); err == nil {
+		t.Error("cancelled context should error")
+	}
+}
+
+func TestAnalyzeDefaultParamResolution(t *testing.T) {
+	// Param left empty resolves to the sole parameter.
+	d := smallFleet(t)
+	def := testDefinition()
+	def.Param = ""
+	def.GridPoints = 5
+	a, err := Analyze(context.Background(), def, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Definition.Param != lppm.EpsilonParam {
+		t.Errorf("resolved param = %q", a.Definition.Param)
+	}
+}
+
+func mean(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+	"repro/internal/rng"
+)
+
+// FullCurveModels fits the sigmoid (full-curve) alternatives to Equation
+// 2's log-linear models on the analysis' sweep. Where the log-linear pair
+// is valid only inside the non-saturated zone, the sigmoids model plateaus
+// too, at the cost of the paper's closed form.
+func (a *Analysis) FullCurveModels() (privacy, utility model.Sigmoid, err error) {
+	xs, ys, err := a.Sweep.Series(a.Definition.Privacy.Name())
+	if err != nil {
+		return model.Sigmoid{}, model.Sigmoid{}, err
+	}
+	privacy, err = model.FitSigmoidModel(xs, ys)
+	if err != nil {
+		return model.Sigmoid{}, model.Sigmoid{}, fmt.Errorf("core: privacy sigmoid: %w", err)
+	}
+	xs, ys, err = a.Sweep.Series(a.Definition.Utility.Name())
+	if err != nil {
+		return model.Sigmoid{}, model.Sigmoid{}, err
+	}
+	utility, err = model.FitSigmoidModel(xs, ys)
+	if err != nil {
+		return model.Sigmoid{}, model.Sigmoid{}, fmt.Errorf("core: utility sigmoid: %w", err)
+	}
+	return privacy, utility, nil
+}
+
+// ConfigureFullCurve is Configure using the sigmoid models instead of the
+// log-linear ones. The recommendation is clamped into the mechanism's
+// declared parameter range like Configure's.
+func (a *Analysis) ConfigureFullCurve(obj model.Objectives) (model.Configuration, error) {
+	pm, um, err := a.FullCurveModels()
+	if err != nil {
+		return model.Configuration{}, err
+	}
+	cfg, err := model.ConfigureSigmoid(pm, um, obj)
+	if err != nil {
+		return model.Configuration{}, err
+	}
+	spec, err := a.Definition.paramSpec()
+	if err != nil {
+		return model.Configuration{}, err
+	}
+	if cfg.Value < spec.Min {
+		cfg.Value = spec.Min
+	}
+	if cfg.Value > spec.Max {
+		cfg.Value = spec.Max
+	}
+	return cfg, nil
+}
+
+// Pareto returns the empirically non-dominated operating points of the
+// sweep — the trade-offs the mechanism can actually reach. Designers
+// consult it when Configure reports the objectives infeasible.
+func (a *Analysis) Pareto() ([]model.SweepPoint, error) {
+	xs, prs, err := a.Sweep.Series(a.Definition.Privacy.Name())
+	if err != nil {
+		return nil, err
+	}
+	_, uts, err := a.Sweep.Series(a.Definition.Utility.Name())
+	if err != nil {
+		return nil, err
+	}
+	pts, err := model.ZipSweep(xs, prs, uts)
+	if err != nil {
+		return nil, err
+	}
+	return model.ParetoFront(pts), nil
+}
+
+// ConfigureWithConfidence augments Configure with a bootstrap confidence
+// interval on the recommended parameter value, quantifying how much the
+// recommendation depends on sweep measurement noise. iters bootstrap
+// replicates are run at the given two-sided level (e.g. 0.90).
+func (a *Analysis) ConfigureWithConfidence(obj model.Objectives, iters int, level float64) (model.ConfigurationCI, error) {
+	xs, prs, err := a.Sweep.Series(a.Definition.Privacy.Name())
+	if err != nil {
+		return model.ConfigurationCI{}, err
+	}
+	_, uts, err := a.Sweep.Series(a.Definition.Utility.Name())
+	if err != nil {
+		return model.ConfigurationCI{}, err
+	}
+	r := rng.New(a.Definition.Seed).Named("bootstrap")
+	return model.BootstrapConfigure(r, xs, prs, uts, a.Definition.SaturationTolFrac, obj, iters, level)
+}

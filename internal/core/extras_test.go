@@ -1,0 +1,156 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/lppm"
+	"repro/internal/model"
+)
+
+// analyzeSmall runs the full analysis once and caches nothing — tests each
+// exercise different outputs of the same Analyze call.
+func analyzeSmall(t *testing.T) *Analysis {
+	t.Helper()
+	a, err := Analyze(context.Background(), testDefinition(), smallFleet(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestFullCurveModelsFitTheSweep(t *testing.T) {
+	a := analyzeSmall(t)
+	pm, um, err := a.FullCurveModels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pm.Fit.K <= 0 {
+		t.Errorf("privacy sigmoid steepness = %v, want > 0 (leakage rises with ε)", pm.Fit.K)
+	}
+	if um.Fit.K <= 0 {
+		t.Errorf("utility sigmoid steepness = %v, want > 0", um.Fit.K)
+	}
+	// The sigmoid covers the whole sweep, so its fit should be at least
+	// as good as the zone-restricted log-linear evaluated globally.
+	if pm.R2() < 0.85 {
+		t.Errorf("privacy sigmoid R² = %v, want ≥ 0.85", pm.R2())
+	}
+	// Privacy transitions faster than utility (Figure 1's core claim) —
+	// in sigmoid terms, a larger steepness.
+	if pm.Fit.K <= um.Fit.K {
+		t.Errorf("privacy steepness %v should exceed utility steepness %v", pm.Fit.K, um.Fit.K)
+	}
+}
+
+func TestConfigureFullCurveAgreesWithLogLinear(t *testing.T) {
+	a := analyzeSmall(t)
+	obj := model.Objectives{MaxPrivacy: 0.10, MinUtility: 0.80}
+	linear, err := a.Configure(obj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := a.ConfigureFullCurve(obj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !linear.Feasible || !full.Feasible {
+		t.Fatalf("both configurations should be feasible: linear=%+v full=%+v", linear, full)
+	}
+	// The two model families must agree on the order of magnitude — the
+	// decision-relevant quantity.
+	ratio := full.Value / linear.Value
+	if ratio < 0.2 || ratio > 5 {
+		t.Errorf("model families disagree: log-linear ε=%v vs sigmoid ε=%v", linear.Value, full.Value)
+	}
+}
+
+func TestParetoFrontFromSweep(t *testing.T) {
+	a := analyzeSmall(t)
+	front, err := a.Pareto()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(front) < 3 {
+		t.Fatalf("front has %d points, want ≥ 3 on a 17-point sweep", len(front))
+	}
+	// Along a privacy-sorted front, utility must be non-decreasing —
+	// otherwise a point would be dominated.
+	for i := 1; i < len(front); i++ {
+		if front[i].Utility < front[i-1].Utility {
+			t.Errorf("front utility decreases at %d: %+v", i, front[i])
+		}
+	}
+	if _, ok := model.KneePoint(front); !ok {
+		t.Error("non-empty front must have a knee")
+	}
+}
+
+func TestConfigureWithConfidence(t *testing.T) {
+	a := analyzeSmall(t)
+	// Relaxed objectives give a wide feasible window, so the bootstrap
+	// exercises the estimator rather than the window's knife edge (the
+	// paper's exact objectives sit in a narrow window on this fixture —
+	// that is an EXPERIMENTS.md finding, not a test target).
+	obj := model.Objectives{MaxPrivacy: 0.5, MinUtility: 0.6}
+	ci, err := a.ConfigureWithConfidence(obj, 150, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ci.Value.Lo > ci.Value.Hi {
+		t.Errorf("malformed CI: %+v", ci.Value)
+	}
+	if ci.Value.Point < ci.Value.Lo/3 || ci.Value.Point > ci.Value.Hi*3 {
+		t.Errorf("point estimate %v far outside CI [%v, %v]", ci.Value.Point, ci.Value.Lo, ci.Value.Hi)
+	}
+	if ci.FeasibleFraction < 0.5 {
+		t.Errorf("feasible fraction = %v, want ≥ 0.5 with relaxed objectives", ci.FeasibleFraction)
+	}
+	// The interval must stay within the sweep's decade neighbourhood —
+	// a sanity bound, not a tight one.
+	if ci.Value.Lo < 1e-4 || ci.Value.Hi > 1 {
+		t.Errorf("CI [%v, %v] escapes the swept range", ci.Value.Lo, ci.Value.Hi)
+	}
+}
+
+func TestAnalyzeMultiParameterMechanism(t *testing.T) {
+	// A mechanism with more than one parameter must sweep the named one
+	// while holding the others at their defaults (framework step 1
+	// models one p_i at a time).
+	def := testDefinition()
+	def.Mechanism = lppm.NewElasticGeoInd()
+	def.Param = lppm.EpsilonParam
+	def.GridPoints = 9
+	a, err := Analyze(context.Background(), def, smallFleet(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.PrivacyModel.B <= 0 {
+		t.Errorf("elastic privacy slope = %v, want > 0", a.PrivacyModel.B)
+	}
+	// Omitting Param on a multi-parameter mechanism must fail loudly.
+	bad := testDefinition()
+	bad.Mechanism = lppm.NewElasticGeoInd()
+	bad.Param = ""
+	if _, err := Analyze(context.Background(), bad, smallFleet(t)); err == nil {
+		t.Error("ambiguous parameter selection should fail")
+	}
+}
+
+func TestAnalyzePipelineMechanism(t *testing.T) {
+	pipe, err := lppm.NewPipeline("sampled-geoi", lppm.NewTemporalSampling(), lppm.NewGeoIndistinguishability())
+	if err != nil {
+		t.Fatal(err)
+	}
+	def := testDefinition()
+	def.Mechanism = pipe
+	def.Param = "geoi.epsilon"
+	def.GridPoints = 9
+	a, err := Analyze(context.Background(), def, smallFleet(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.UtilityModel.B <= 0 {
+		t.Errorf("pipeline utility slope = %v, want > 0", a.UtilityModel.B)
+	}
+}

@@ -1,0 +1,9 @@
+package core
+
+import "repro/internal/stat"
+
+// logSpace and linSpace delegate to the stat package; kept as tiny wrappers
+// so core reads without a stat import at every call site.
+func logSpace(lo, hi float64, n int) []float64 { return stat.LogSpace(lo, hi, n) }
+
+func linSpace(lo, hi float64, n int) []float64 { return stat.LinSpace(lo, hi, n) }

@@ -1,0 +1,285 @@
+// Package eval is the experiment engine of the framework: it sweeps an
+// LPPM's configuration parameter over a grid of values, protects the dataset
+// at every value, evaluates privacy and utility metrics per user, and
+// aggregates the results into the metric-versus-parameter series that the
+// modeling step fits (framework step 2, and Figure 1 of the paper).
+//
+// Work fans out over a bounded worker pool — one work item per (grid value,
+// repeat) — and reduces deterministically: every work item derives its
+// randomness from the sweep seed, the value index and the repeat index, so
+// results are identical regardless of scheduling.
+package eval
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/lppm"
+	"repro/internal/metrics"
+	"repro/internal/rng"
+	"repro/internal/stat"
+	"repro/internal/trace"
+)
+
+// Sweep describes one parameter-sweep experiment.
+type Sweep struct {
+	// Mechanism is the LPPM under analysis.
+	Mechanism lppm.Mechanism
+	// Param is the name of the swept configuration parameter.
+	Param string
+	// Values is the grid of parameter values to evaluate.
+	Values []float64
+	// Fixed holds values for the mechanism's other parameters (may be
+	// nil when the mechanism has only the swept one).
+	Fixed lppm.Params
+	// Metrics are evaluated at every grid value.
+	Metrics []metrics.Metric
+	// Repeats is how many independent protection runs are averaged per
+	// grid value (≥ 1); more repeats smooth the stochastic mechanisms.
+	Repeats int
+	// Seed drives all randomness of the sweep.
+	Seed int64
+	// Workers bounds the worker pool; 0 means GOMAXPROCS.
+	Workers int
+}
+
+// Validate reports configuration errors.
+func (s *Sweep) Validate() error {
+	switch {
+	case s.Mechanism == nil:
+		return fmt.Errorf("eval: nil mechanism")
+	case s.Param == "":
+		return fmt.Errorf("eval: empty sweep parameter name")
+	case len(s.Values) == 0:
+		return fmt.Errorf("eval: empty value grid")
+	case len(s.Metrics) == 0:
+		return fmt.Errorf("eval: no metrics")
+	case s.Repeats < 1:
+		return fmt.Errorf("eval: Repeats must be >= 1, got %d", s.Repeats)
+	case s.Workers < 0:
+		return fmt.Errorf("eval: Workers must be >= 0, got %d", s.Workers)
+	}
+	declared := false
+	for _, spec := range s.Mechanism.Params() {
+		if spec.Name == s.Param {
+			declared = true
+			break
+		}
+	}
+	if !declared {
+		return fmt.Errorf("eval: mechanism %q has no parameter %q", s.Mechanism.Name(), s.Param)
+	}
+	return nil
+}
+
+// Point is the aggregated outcome at one grid value.
+type Point struct {
+	// Value is the parameter value.
+	Value float64
+	// Mean maps metric name to the across-user, across-repeat mean.
+	Mean map[string]float64
+	// Std maps metric name to the across-user standard deviation (of
+	// per-user values pooled over repeats).
+	Std map[string]float64
+	// PerUser maps metric name → user → mean value over repeats.
+	PerUser map[string]map[string]float64
+}
+
+// Result is a completed sweep.
+type Result struct {
+	// MechanismName and Param identify the experiment.
+	MechanismName string
+	Param         string
+	// Points are ordered like Sweep.Values.
+	Points []Point
+	// Users lists the evaluated users.
+	Users []string
+}
+
+// Series returns the (parameter value, metric mean) series for a metric, in
+// grid order — exactly one curve of the paper's Figure 1.
+func (r *Result) Series(metric string) (xs, ys []float64, err error) {
+	xs = make([]float64, len(r.Points))
+	ys = make([]float64, len(r.Points))
+	for i, p := range r.Points {
+		v, ok := p.Mean[metric]
+		if !ok {
+			return nil, nil, fmt.Errorf("eval: metric %q absent from sweep result", metric)
+		}
+		xs[i] = p.Value
+		ys[i] = v
+	}
+	return xs, ys, nil
+}
+
+// workItem is one protection+evaluation unit: a grid value × repeat.
+type workItem struct {
+	valueIdx  int
+	repeatIdx int
+}
+
+// workOutcome carries per-user metric values for one work item.
+type workOutcome struct {
+	workItem
+	// perMetricUser[metricName][userIdx] is the metric value for that
+	// user under this repeat.
+	perMetricUser map[string][]float64
+	err           error
+}
+
+// Run executes the sweep over the dataset. It honours ctx cancellation and
+// returns the first error encountered.
+func Run(ctx context.Context, s *Sweep, actual *trace.Dataset) (*Result, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if actual == nil || actual.NumUsers() == 0 {
+		return nil, fmt.Errorf("eval: empty dataset")
+	}
+
+	users := actual.Users()
+	items := make([]workItem, 0, len(s.Values)*s.Repeats)
+	for vi := range s.Values {
+		for rep := 0; rep < s.Repeats; rep++ {
+			items = append(items, workItem{valueIdx: vi, repeatIdx: rep})
+		}
+	}
+
+	workers := s.Workers
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(items) {
+		workers = len(items)
+	}
+
+	itemCh := make(chan workItem)
+	outCh := make(chan workOutcome, len(items))
+	root := rng.New(s.Seed)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for it := range itemCh {
+				outCh <- runItem(s, actual, users, root, it)
+			}
+		}()
+	}
+
+	// Feed items, honouring cancellation.
+	var feedErr error
+feed:
+	for _, it := range items {
+		select {
+		case <-ctx.Done():
+			feedErr = ctx.Err()
+			break feed
+		case itemCh <- it:
+		}
+	}
+	close(itemCh)
+	wg.Wait()
+	close(outCh)
+
+	outcomes := make([]workOutcome, 0, len(items))
+	for o := range outCh {
+		if o.err != nil {
+			return nil, o.err
+		}
+		outcomes = append(outcomes, o)
+	}
+	if feedErr != nil {
+		return nil, fmt.Errorf("eval: sweep cancelled: %w", feedErr)
+	}
+
+	return reduce(s, users, outcomes), nil
+}
+
+// runItem protects the dataset at one grid value and evaluates all metrics.
+func runItem(s *Sweep, actual *trace.Dataset, users []string, root *rng.Source, it workItem) workOutcome {
+	out := workOutcome{workItem: it, perMetricUser: make(map[string][]float64, len(s.Metrics))}
+
+	params := s.Fixed.Clone()
+	if params == nil {
+		params = make(lppm.Params, 1)
+	}
+	params[s.Param] = s.Values[it.valueIdx]
+
+	// A deterministic stream per (value, repeat); ProtectDataset further
+	// splits per user.
+	r := root.Split(int64(it.valueIdx)*1_000_003 + int64(it.repeatIdx))
+	protected, err := lppm.ProtectDataset(actual, s.Mechanism, params, r)
+	if err != nil {
+		out.err = fmt.Errorf("eval: value %v repeat %d: %w", s.Values[it.valueIdx], it.repeatIdx, err)
+		return out
+	}
+
+	for _, m := range s.Metrics {
+		vals := make([]float64, len(users))
+		for ui, u := range users {
+			v, err := m.Evaluate(actual.Trace(u), protected.Trace(u))
+			if err != nil {
+				out.err = fmt.Errorf("eval: metric %s user %s: %w", m.Name(), u, err)
+				return out
+			}
+			vals[ui] = v
+		}
+		out.perMetricUser[m.Name()] = vals
+	}
+	return out
+}
+
+// reduce merges work outcomes into ordered Points.
+func reduce(s *Sweep, users []string, outcomes []workOutcome) *Result {
+	res := &Result{
+		MechanismName: s.Mechanism.Name(),
+		Param:         s.Param,
+		Points:        make([]Point, len(s.Values)),
+		Users:         users,
+	}
+	// accum[valueIdx][metric][userIdx] = sum over repeats.
+	type cell map[string][]float64
+	accum := make([]cell, len(s.Values))
+	for i := range accum {
+		accum[i] = make(cell, len(s.Metrics))
+		for _, m := range s.Metrics {
+			accum[i][m.Name()] = make([]float64, len(users))
+		}
+	}
+	for _, o := range outcomes {
+		for name, vals := range o.perMetricUser {
+			dst := accum[o.valueIdx][name]
+			for ui, v := range vals {
+				dst[ui] += v
+			}
+		}
+	}
+	for vi := range s.Values {
+		p := Point{
+			Value:   s.Values[vi],
+			Mean:    make(map[string]float64, len(s.Metrics)),
+			Std:     make(map[string]float64, len(s.Metrics)),
+			PerUser: make(map[string]map[string]float64, len(s.Metrics)),
+		}
+		for _, m := range s.Metrics {
+			name := m.Name()
+			perUser := accum[vi][name]
+			byUser := make(map[string]float64, len(users))
+			for ui := range perUser {
+				perUser[ui] /= float64(s.Repeats)
+				byUser[users[ui]] = perUser[ui]
+			}
+			p.Mean[name] = stat.Mean(perUser)
+			if len(perUser) >= 2 {
+				p.Std[name] = stat.StdDev(perUser)
+			}
+			p.PerUser[name] = byUser
+		}
+		res.Points[vi] = p
+	}
+	return res
+}

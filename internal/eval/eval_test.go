@@ -1,0 +1,243 @@
+package eval
+
+import (
+	"context"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/lppm"
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+var (
+	t0     = time.Date(2008, 5, 17, 8, 0, 0, 0, time.UTC)
+	anchor = geo.Point{Lat: 37.7749, Lng: -122.4194}
+)
+
+// testDataset builds a small dataset with stop-and-go users.
+func testDataset(t *testing.T, users int) *trace.Dataset {
+	t.Helper()
+	d := trace.NewDataset()
+	for u := 0; u < users; u++ {
+		base := anchor.Offset(float64(u)*4000, 0)
+		var recs []trace.Record
+		user := string(rune('a' + u))
+		for i := 0; i < 25; i++ { // 25-minute stop
+			recs = append(recs, trace.Record{
+				User: user, Time: t0.Add(time.Duration(i) * time.Minute),
+				Point: base.Offset(float64(i%4)*4, float64(i%3)*4),
+			})
+		}
+		for i := 0; i < 25; i++ { // excursion
+			recs = append(recs, trace.Record{
+				User: user, Time: t0.Add(time.Duration(25+i) * time.Minute),
+				Point: base.Offset(float64(i+1)*120, 50),
+			})
+		}
+		tr, err := trace.NewTrace(user, recs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d.Add(tr)
+	}
+	return d
+}
+
+func testSweep() *Sweep {
+	return &Sweep{
+		Mechanism: lppm.NewGeoIndistinguishability(),
+		Param:     lppm.EpsilonParam,
+		Values:    []float64{0.001, 0.01, 0.1, 1},
+		Metrics: []metrics.Metric{
+			metrics.MustPOIRetrieval(metrics.DefaultPOIRetrievalConfig()),
+			metrics.MustAreaCoverage(metrics.DefaultAreaCoverageConfig()),
+		},
+		Repeats: 2,
+		Seed:    7,
+	}
+}
+
+func TestSweepValidate(t *testing.T) {
+	valid := testSweep()
+	if err := valid.Validate(); err != nil {
+		t.Fatalf("valid sweep rejected: %v", err)
+	}
+	mutations := map[string]func(*Sweep){
+		"nil mechanism": func(s *Sweep) { s.Mechanism = nil },
+		"empty param":   func(s *Sweep) { s.Param = "" },
+		"unknown param": func(s *Sweep) { s.Param = "nope" },
+		"empty grid":    func(s *Sweep) { s.Values = nil },
+		"no metrics":    func(s *Sweep) { s.Metrics = nil },
+		"zero repeats":  func(s *Sweep) { s.Repeats = 0 },
+		"neg workers":   func(s *Sweep) { s.Workers = -1 },
+	}
+	for name, mutate := range mutations {
+		t.Run(name, func(t *testing.T) {
+			s := testSweep()
+			mutate(s)
+			if err := s.Validate(); err == nil {
+				t.Errorf("%s should fail validation", name)
+			}
+		})
+	}
+}
+
+func TestRunProducesOrderedPoints(t *testing.T) {
+	d := testDataset(t, 3)
+	s := testSweep()
+	res, err := Run(context.Background(), s, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MechanismName != "geoi" || res.Param != lppm.EpsilonParam {
+		t.Errorf("identity fields: %+v", res)
+	}
+	if len(res.Points) != len(s.Values) {
+		t.Fatalf("points = %d, want %d", len(res.Points), len(s.Values))
+	}
+	for i, p := range res.Points {
+		if p.Value != s.Values[i] {
+			t.Errorf("point %d value %v, want %v", i, p.Value, s.Values[i])
+		}
+		for _, m := range s.Metrics {
+			v, ok := p.Mean[m.Name()]
+			if !ok {
+				t.Fatalf("point %d missing metric %s", i, m.Name())
+			}
+			if math.IsNaN(v) {
+				t.Errorf("point %d metric %s is NaN", i, m.Name())
+			}
+			if len(p.PerUser[m.Name()]) != 3 {
+				t.Errorf("point %d metric %s has %d users", i, m.Name(), len(p.PerUser[m.Name()]))
+			}
+		}
+	}
+	if len(res.Users) != 3 {
+		t.Errorf("users = %v", res.Users)
+	}
+}
+
+func TestRunDeterministicAcrossWorkerCounts(t *testing.T) {
+	d := testDataset(t, 3)
+	run := func(workers int) *Result {
+		s := testSweep()
+		s.Workers = workers
+		res, err := Run(context.Background(), s, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	seq := run(1)
+	par := run(8)
+	for i := range seq.Points {
+		for name, v := range seq.Points[i].Mean {
+			if pv := par.Points[i].Mean[name]; pv != v {
+				t.Fatalf("point %d metric %s: %v (1 worker) vs %v (8 workers)", i, name, v, pv)
+			}
+		}
+	}
+}
+
+func TestRunMetricShapes(t *testing.T) {
+	// Privacy (POI retrieval) must not decrease with epsilon; utility
+	// (area coverage) must not decrease either — both improve as noise
+	// shrinks.
+	d := testDataset(t, 3)
+	s := testSweep()
+	s.Repeats = 3
+	res, err := Run(context.Background(), s, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, pr, err := res.Series("poi_retrieval")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ut, err := res.Series("area_coverage")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(pr); i++ {
+		if pr[i] < pr[i-1]-0.15 {
+			t.Errorf("privacy series decreasing: %v", pr)
+		}
+		if ut[i] < ut[i-1]-0.15 {
+			t.Errorf("utility series decreasing: %v", ut)
+		}
+	}
+	if pr[0] > 0.2 {
+		t.Errorf("heavy noise should hide POIs, got %v", pr[0])
+	}
+	if pr[len(pr)-1] < 0.8 {
+		t.Errorf("light noise should expose POIs, got %v", pr[len(pr)-1])
+	}
+	if ut[len(ut)-1] < 0.95 {
+		t.Errorf("light noise should keep coverage, got %v", ut[len(ut)-1])
+	}
+}
+
+func TestRunCancellation(t *testing.T) {
+	d := testDataset(t, 2)
+	s := testSweep()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Run(ctx, s, d); err == nil {
+		t.Error("cancelled context should error")
+	}
+}
+
+func TestRunEmptyDataset(t *testing.T) {
+	if _, err := Run(context.Background(), testSweep(), trace.NewDataset()); err == nil {
+		t.Error("empty dataset should error")
+	}
+	if _, err := Run(context.Background(), testSweep(), nil); err == nil {
+		t.Error("nil dataset should error")
+	}
+}
+
+func TestRunInvalidSweep(t *testing.T) {
+	s := testSweep()
+	s.Repeats = 0
+	if _, err := Run(context.Background(), s, testDataset(t, 1)); err == nil {
+		t.Error("invalid sweep should error")
+	}
+}
+
+func TestSeriesUnknownMetric(t *testing.T) {
+	d := testDataset(t, 1)
+	res, err := Run(context.Background(), testSweep(), d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := res.Series("nope"); err == nil {
+		t.Error("unknown metric should error")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	d := testDataset(t, 2)
+	res, err := Run(context.Background(), testSweep(), d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := WriteCSV(&sb, res); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 1+len(res.Points) {
+		t.Fatalf("csv lines = %d, want %d", len(lines), 1+len(res.Points))
+	}
+	if !strings.HasPrefix(lines[0], "epsilon,area_coverage_mean,area_coverage_std,poi_retrieval_mean,poi_retrieval_std") {
+		t.Errorf("header = %q", lines[0])
+	}
+	if err := WriteCSV(&sb, &Result{}); err == nil {
+		t.Error("empty result should error")
+	}
+}

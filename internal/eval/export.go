@@ -1,0 +1,88 @@
+package eval
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// WriteCSV emits the sweep result as CSV: one row per grid value, one column
+// pair (mean, std) per metric, metrics in sorted order. This is the file
+// format cmd/lppm-sweep produces for plotting Figure 1.
+func WriteCSV(w io.Writer, r *Result) error {
+	if len(r.Points) == 0 {
+		return fmt.Errorf("eval: empty result")
+	}
+	names := make([]string, 0, len(r.Points[0].Mean))
+	for n := range r.Points[0].Mean {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	cw := csv.NewWriter(w)
+	header := []string{r.Param}
+	for _, n := range names {
+		header = append(header, n+"_mean", n+"_std")
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("eval: write header: %w", err)
+	}
+	for _, p := range r.Points {
+		row := []string{strconv.FormatFloat(p.Value, 'g', 8, 64)}
+		for _, n := range names {
+			row = append(row,
+				strconv.FormatFloat(p.Mean[n], 'f', 6, 64),
+				strconv.FormatFloat(p.Std[n], 'f', 6, 64),
+			)
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("eval: write row: %w", err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("eval: flush: %w", err)
+	}
+	return nil
+}
+
+// WriteCSV2D emits a factorial-sweep result in long format — one row per
+// grid cell with both parameter values and every metric's mean — the shape
+// plotting tools expect for surface/contour rendering.
+func WriteCSV2D(w io.Writer, r *Result2D) error {
+	if len(r.Rows) == 0 || len(r.Rows[0].Points) == 0 {
+		return fmt.Errorf("eval: empty 2D result")
+	}
+	names := make([]string, 0, len(r.Rows[0].Points[0].Mean))
+	for n := range r.Rows[0].Points[0].Mean {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	cw := csv.NewWriter(w)
+	header := append([]string{r.ParamX, r.ParamY}, names...)
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("eval: write header: %w", err)
+	}
+	for yi, row := range r.Rows {
+		for _, p := range row.Points {
+			rec := []string{
+				strconv.FormatFloat(p.Value, 'g', 8, 64),
+				strconv.FormatFloat(r.ValuesY[yi], 'g', 8, 64),
+			}
+			for _, n := range names {
+				rec = append(rec, strconv.FormatFloat(p.Mean[n], 'f', 6, 64))
+			}
+			if err := cw.Write(rec); err != nil {
+				return fmt.Errorf("eval: write row: %w", err)
+			}
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("eval: flush: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,153 @@
+package eval
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/lppm"
+	"repro/internal/metrics"
+	"repro/internal/rng"
+	"repro/internal/trace"
+)
+
+// Sweep2D describes a factorial experiment over two configuration
+// parameters — the response surface behind the paper's multi-parameter
+// Equation 1, f(p1, p2). The natural subjects are pipeline mechanisms
+// ("sampling.period_sec" × "geoi.epsilon") and intrinsically two-knob
+// mechanisms (elastic GEO-I's ε × elasticity).
+type Sweep2D struct {
+	// Mechanism is the LPPM under analysis.
+	Mechanism lppm.Mechanism
+	// ParamX and ParamY name the two swept parameters.
+	ParamX, ParamY string
+	// ValuesX and ValuesY are the per-axis grids.
+	ValuesX, ValuesY []float64
+	// Fixed holds values for any remaining parameters.
+	Fixed lppm.Params
+	// Metrics are evaluated at every grid cell.
+	Metrics []metrics.Metric
+	// Repeats is how many protection runs are averaged per cell.
+	Repeats int
+	// Seed drives all randomness.
+	Seed int64
+	// Workers bounds the per-row worker pool; 0 means GOMAXPROCS.
+	Workers int
+}
+
+// Validate reports configuration errors.
+func (s *Sweep2D) Validate() error {
+	if s.Mechanism == nil {
+		return fmt.Errorf("eval: nil mechanism")
+	}
+	if s.ParamX == "" || s.ParamY == "" {
+		return fmt.Errorf("eval: both parameter names are required")
+	}
+	if s.ParamX == s.ParamY {
+		return fmt.Errorf("eval: ParamX and ParamY are both %q", s.ParamX)
+	}
+	if len(s.ValuesX) == 0 || len(s.ValuesY) == 0 {
+		return fmt.Errorf("eval: empty grid (%d × %d)", len(s.ValuesX), len(s.ValuesY))
+	}
+	if len(s.Metrics) == 0 {
+		return fmt.Errorf("eval: no metrics")
+	}
+	if s.Repeats < 1 {
+		return fmt.Errorf("eval: Repeats must be >= 1, got %d", s.Repeats)
+	}
+	for _, name := range []string{s.ParamX, s.ParamY} {
+		found := false
+		for _, spec := range s.Mechanism.Params() {
+			if spec.Name == name {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("eval: mechanism %q has no parameter %q", s.Mechanism.Name(), name)
+		}
+	}
+	return nil
+}
+
+// Result2D is a completed factorial sweep.
+type Result2D struct {
+	// MechanismName, ParamX and ParamY identify the experiment.
+	MechanismName  string
+	ParamX, ParamY string
+	// ValuesX and ValuesY echo the grids.
+	ValuesX, ValuesY []float64
+	// Rows holds one 1D result per Y value, each sweeping the X grid.
+	Rows []*Result
+}
+
+// Surface returns the metric means as a matrix indexed [yi][xi], ready for
+// response-surface fitting.
+func (r *Result2D) Surface(metric string) ([][]float64, error) {
+	out := make([][]float64, len(r.Rows))
+	for yi, row := range r.Rows {
+		_, ys, err := row.Series(metric)
+		if err != nil {
+			return nil, err
+		}
+		out[yi] = ys
+	}
+	return out, nil
+}
+
+// At returns the metric mean at one grid cell.
+func (r *Result2D) At(metric string, xi, yi int) (float64, error) {
+	if yi < 0 || yi >= len(r.Rows) {
+		return 0, fmt.Errorf("eval: yi %d outside grid height %d", yi, len(r.Rows))
+	}
+	row := r.Rows[yi]
+	if xi < 0 || xi >= len(row.Points) {
+		return 0, fmt.Errorf("eval: xi %d outside grid width %d", xi, len(row.Points))
+	}
+	v, ok := row.Points[xi].Mean[metric]
+	if !ok {
+		return 0, fmt.Errorf("eval: metric %q absent from sweep result", metric)
+	}
+	return v, nil
+}
+
+// RunGrid executes the factorial sweep: for each Y value, a full X sweep
+// with Y held fixed. Each row derives an independent seed, so the grid is
+// deterministic regardless of execution order, and cancelling ctx aborts
+// between (and within) rows.
+func RunGrid(ctx context.Context, s *Sweep2D, actual *trace.Dataset) (*Result2D, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	root := rng.New(s.Seed)
+	res := &Result2D{
+		MechanismName: s.Mechanism.Name(),
+		ParamX:        s.ParamX,
+		ParamY:        s.ParamY,
+		ValuesX:       append([]float64(nil), s.ValuesX...),
+		ValuesY:       append([]float64(nil), s.ValuesY...),
+		Rows:          make([]*Result, len(s.ValuesY)),
+	}
+	for yi, y := range s.ValuesY {
+		fixed := s.Fixed.Clone()
+		if fixed == nil {
+			fixed = make(lppm.Params, 1)
+		}
+		fixed[s.ParamY] = y
+		row := &Sweep{
+			Mechanism: s.Mechanism,
+			Param:     s.ParamX,
+			Values:    s.ValuesX,
+			Fixed:     fixed,
+			Metrics:   s.Metrics,
+			Repeats:   s.Repeats,
+			Seed:      root.Split(int64(yi)).Seed(),
+			Workers:   s.Workers,
+		}
+		out, err := Run(ctx, row, actual)
+		if err != nil {
+			return nil, fmt.Errorf("eval: grid row %s=%v: %w", s.ParamY, y, err)
+		}
+		res.Rows[yi] = out
+	}
+	return res, nil
+}

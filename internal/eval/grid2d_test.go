@@ -1,0 +1,160 @@
+package eval
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/lppm"
+	"repro/internal/metrics"
+)
+
+func mkGridSweep(t *testing.T) *Sweep2D {
+	t.Helper()
+	pipe, err := lppm.NewPipeline("sampled-geoi", lppm.NewTemporalSampling(), lppm.NewGeoIndistinguishability())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Sweep2D{
+		Mechanism: pipe,
+		ParamX:    "geoi.epsilon",
+		ParamY:    "sampling.period_sec",
+		ValuesX:   []float64{1e-3, 1e-2, 1e-1},
+		ValuesY:   []float64{60, 600},
+		Metrics: []metrics.Metric{
+			metrics.MustAreaCoverage(metrics.DefaultAreaCoverageConfig()),
+		},
+		Repeats: 1,
+		Seed:    5,
+	}
+}
+
+func TestRunGridShapeAndDeterminism(t *testing.T) {
+	d := testDataset(t, 4)
+	s := mkGridSweep(t)
+	a, err := RunGrid(context.Background(), s, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(a.Rows))
+	}
+	for yi, row := range a.Rows {
+		if len(row.Points) != 3 {
+			t.Fatalf("row %d has %d points, want 3", yi, len(row.Points))
+		}
+	}
+	b, err := RunGrid(context.Background(), s, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for yi := range a.Rows {
+		for xi := range a.Rows[yi].Points {
+			va := a.Rows[yi].Points[xi].Mean["area_coverage"]
+			vb := b.Rows[yi].Points[xi].Mean["area_coverage"]
+			if va != vb {
+				t.Fatalf("grid cell (%d,%d) differs across identical runs: %v vs %v", xi, yi, va, vb)
+			}
+		}
+	}
+}
+
+func TestRunGridSurfaceAndAt(t *testing.T) {
+	d := testDataset(t, 4)
+	s := mkGridSweep(t)
+	res, err := RunGrid(context.Background(), s, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	z, err := res.Surface("area_coverage")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(z) != 2 || len(z[0]) != 3 {
+		t.Fatalf("surface shape %dx%d, want 2x3", len(z), len(z[0]))
+	}
+	v, err := res.At("area_coverage", 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != z[0][1] {
+		t.Errorf("At(1,0)=%v, surface says %v", v, z[0][1])
+	}
+	// Utility must rise with ε within each sampling row.
+	for yi := range z {
+		if z[yi][0] >= z[yi][2] {
+			t.Errorf("row %d: utility should rise with ε: %v", yi, z[yi])
+		}
+	}
+	if _, err := res.At("area_coverage", 9, 0); err == nil {
+		t.Error("out-of-range xi should fail")
+	}
+	if _, err := res.At("nope", 0, 0); err == nil {
+		t.Error("unknown metric should fail")
+	}
+}
+
+func TestSweep2DValidation(t *testing.T) {
+	d := testDataset(t, 2)
+	base := mkGridSweep(t)
+	bad := []func(*Sweep2D){
+		func(s *Sweep2D) { s.Mechanism = nil },
+		func(s *Sweep2D) { s.ParamX = "" },
+		func(s *Sweep2D) { s.ParamY = s.ParamX },
+		func(s *Sweep2D) { s.ValuesX = nil },
+		func(s *Sweep2D) { s.ValuesY = nil },
+		func(s *Sweep2D) { s.Metrics = nil },
+		func(s *Sweep2D) { s.Repeats = 0 },
+		func(s *Sweep2D) { s.ParamX = "missing" },
+	}
+	for i, mutate := range bad {
+		s := mkGridSweep(t)
+		mutate(s)
+		if _, err := RunGrid(context.Background(), s, d); err == nil {
+			t.Errorf("case %d: invalid 2D sweep accepted", i)
+		}
+	}
+	if err := base.Validate(); err != nil {
+		t.Errorf("valid sweep rejected: %v", err)
+	}
+}
+
+func TestRunGridCancellation(t *testing.T) {
+	d := testDataset(t, 3)
+	s := mkGridSweep(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunGrid(ctx, s, d); err == nil {
+		t.Error("cancelled context should abort the grid")
+	}
+}
+
+func TestWriteCSV2D(t *testing.T) {
+	d := testDataset(t, 3)
+	s := mkGridSweep(t)
+	res, err := RunGrid(context.Background(), s, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV2D(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	// Header + 3×2 cells.
+	if len(lines) != 1+6 {
+		t.Fatalf("CSV has %d lines, want 7:\n%s", len(lines), buf.String())
+	}
+	if !strings.HasPrefix(lines[0], "geoi.epsilon,sampling.period_sec,area_coverage") {
+		t.Errorf("header = %q", lines[0])
+	}
+	for _, l := range lines[1:] {
+		if len(strings.Split(l, ",")) != 3 {
+			t.Errorf("malformed row %q", l)
+		}
+	}
+	if err := WriteCSV2D(&buf, &Result2D{}); err == nil {
+		t.Error("empty result should fail")
+	}
+}

@@ -1,0 +1,114 @@
+package geo
+
+import "fmt"
+
+// BBox is an axis-aligned geographic bounding box. Boxes in this repository
+// never cross the antimeridian (San Francisco does not either).
+type BBox struct {
+	MinLat, MinLng float64
+	MaxLat, MaxLng float64
+}
+
+// NewBBox returns the bounding box of the given points. The second return
+// value is false when pts is empty.
+func NewBBox(pts []Point) (BBox, bool) {
+	if len(pts) == 0 {
+		return BBox{}, false
+	}
+	b := BBox{
+		MinLat: pts[0].Lat, MaxLat: pts[0].Lat,
+		MinLng: pts[0].Lng, MaxLng: pts[0].Lng,
+	}
+	for _, p := range pts[1:] {
+		b = b.Extend(p)
+	}
+	return b, true
+}
+
+// Extend returns the box grown to include p.
+func (b BBox) Extend(p Point) BBox {
+	if p.Lat < b.MinLat {
+		b.MinLat = p.Lat
+	}
+	if p.Lat > b.MaxLat {
+		b.MaxLat = p.Lat
+	}
+	if p.Lng < b.MinLng {
+		b.MinLng = p.Lng
+	}
+	if p.Lng > b.MaxLng {
+		b.MaxLng = p.Lng
+	}
+	return b
+}
+
+// Union returns the smallest box containing both b and o.
+func (b BBox) Union(o BBox) BBox {
+	return b.Extend(Point{Lat: o.MinLat, Lng: o.MinLng}).
+		Extend(Point{Lat: o.MaxLat, Lng: o.MaxLng})
+}
+
+// Contains reports whether p lies inside the box (inclusive of edges).
+func (b BBox) Contains(p Point) bool {
+	return p.Lat >= b.MinLat && p.Lat <= b.MaxLat &&
+		p.Lng >= b.MinLng && p.Lng <= b.MaxLng
+}
+
+// Center returns the geometric center of the box.
+func (b BBox) Center() Point {
+	return Point{Lat: (b.MinLat + b.MaxLat) / 2, Lng: (b.MinLng + b.MaxLng) / 2}
+}
+
+// Corners returns the SW and NE corners of the box.
+func (b BBox) Corners() (sw, ne Point) {
+	return Point{Lat: b.MinLat, Lng: b.MinLng}, Point{Lat: b.MaxLat, Lng: b.MaxLng}
+}
+
+// WidthMeters returns the east-west extent measured at the box's mid
+// latitude, in meters.
+func (b BBox) WidthMeters() float64 {
+	midLat := (b.MinLat + b.MaxLat) / 2
+	return Equirectangular(
+		Point{Lat: midLat, Lng: b.MinLng},
+		Point{Lat: midLat, Lng: b.MaxLng},
+	)
+}
+
+// HeightMeters returns the north-south extent of the box in meters.
+func (b BBox) HeightMeters() float64 {
+	return Equirectangular(
+		Point{Lat: b.MinLat, Lng: b.MinLng},
+		Point{Lat: b.MaxLat, Lng: b.MinLng},
+	)
+}
+
+// Buffer returns the box expanded by the given margin in meters on every
+// side.
+func (b BBox) Buffer(meters float64) BBox {
+	sw, ne := b.Corners()
+	sw = sw.Offset(-meters, -meters)
+	ne = ne.Offset(meters, meters)
+	return BBox{MinLat: sw.Lat, MinLng: sw.Lng, MaxLat: ne.Lat, MaxLng: ne.Lng}
+}
+
+// Clamp returns p moved to the nearest location inside the box.
+func (b BBox) Clamp(p Point) Point {
+	if p.Lat < b.MinLat {
+		p.Lat = b.MinLat
+	}
+	if p.Lat > b.MaxLat {
+		p.Lat = b.MaxLat
+	}
+	if p.Lng < b.MinLng {
+		p.Lng = b.MinLng
+	}
+	if p.Lng > b.MaxLng {
+		p.Lng = b.MaxLng
+	}
+	return p
+}
+
+// String implements fmt.Stringer.
+func (b BBox) String() string {
+	return fmt.Sprintf("[%.5f,%.5f .. %.5f,%.5f]", b.MinLat, b.MinLng, b.MaxLat, b.MaxLng)
+}

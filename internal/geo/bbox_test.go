@@ -1,0 +1,102 @@
+package geo
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewBBox(t *testing.T) {
+	if _, ok := NewBBox(nil); ok {
+		t.Error("NewBBox(nil) should report not ok")
+	}
+	pts := []Point{
+		{Lat: 37.70, Lng: -122.52},
+		{Lat: 37.82, Lng: -122.35},
+		{Lat: 37.75, Lng: -122.40},
+	}
+	b, ok := NewBBox(pts)
+	if !ok {
+		t.Fatal("NewBBox should succeed")
+	}
+	want := BBox{MinLat: 37.70, MinLng: -122.52, MaxLat: 37.82, MaxLng: -122.35}
+	if b != want {
+		t.Errorf("bbox = %v, want %v", b, want)
+	}
+	for _, p := range pts {
+		if !b.Contains(p) {
+			t.Errorf("bbox should contain %v", p)
+		}
+	}
+}
+
+func TestBBoxContains(t *testing.T) {
+	b := BBox{MinLat: 37.70, MinLng: -122.52, MaxLat: 37.82, MaxLng: -122.35}
+	tests := []struct {
+		name string
+		p    Point
+		want bool
+	}{
+		{"center", b.Center(), true},
+		{"sw corner", Point{Lat: 37.70, Lng: -122.52}, true},
+		{"north of box", Point{Lat: 37.83, Lng: -122.40}, false},
+		{"west of box", Point{Lat: 37.75, Lng: -122.53}, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := b.Contains(tt.p); got != tt.want {
+				t.Errorf("Contains(%v) = %v, want %v", tt.p, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestBBoxUnion(t *testing.T) {
+	a := BBox{MinLat: 1, MinLng: 1, MaxLat: 2, MaxLng: 2}
+	b := BBox{MinLat: 3, MinLng: 0, MaxLat: 4, MaxLng: 1.5}
+	u := a.Union(b)
+	want := BBox{MinLat: 1, MinLng: 0, MaxLat: 4, MaxLng: 2}
+	if u != want {
+		t.Errorf("union = %v, want %v", u, want)
+	}
+}
+
+func TestBBoxDimensions(t *testing.T) {
+	sw := sf
+	ne := sf.Offset(3000, 2000)
+	b := BBox{MinLat: sw.Lat, MinLng: sw.Lng, MaxLat: ne.Lat, MaxLng: ne.Lng}
+	if w := b.WidthMeters(); math.Abs(w-3000) > 15 {
+		t.Errorf("width = %v, want ~3000", w)
+	}
+	if h := b.HeightMeters(); math.Abs(h-2000) > 10 {
+		t.Errorf("height = %v, want ~2000", h)
+	}
+}
+
+func TestBBoxBuffer(t *testing.T) {
+	b := BBox{MinLat: sf.Lat, MinLng: sf.Lng, MaxLat: sf.Lat, MaxLng: sf.Lng}
+	bb := b.Buffer(500)
+	if w := bb.WidthMeters(); math.Abs(w-1000) > 5 {
+		t.Errorf("buffered width = %v, want ~1000", w)
+	}
+	if !bb.Contains(sf.Offset(400, 400)) {
+		t.Error("buffered box should contain a point 400 m away")
+	}
+	if bb.Contains(sf.Offset(600, 0)) {
+		t.Error("buffered box should not contain a point 600 m east")
+	}
+}
+
+func TestBBoxClamp(t *testing.T) {
+	b := BBox{MinLat: 10, MinLng: 20, MaxLat: 11, MaxLng: 21}
+	tests := []struct{ in, want Point }{
+		{Point{Lat: 10.5, Lng: 20.5}, Point{Lat: 10.5, Lng: 20.5}},
+		{Point{Lat: 9, Lng: 20.5}, Point{Lat: 10, Lng: 20.5}},
+		{Point{Lat: 12, Lng: 22}, Point{Lat: 11, Lng: 21}},
+		{Point{Lat: 9, Lng: 19}, Point{Lat: 10, Lng: 20}},
+	}
+	for _, tt := range tests {
+		if got := b.Clamp(tt.in); got != tt.want {
+			t.Errorf("Clamp(%v) = %v, want %v", tt.in, got, tt.want)
+		}
+	}
+}

@@ -1,0 +1,55 @@
+package geo
+
+import "math"
+
+// Haversine returns the great-circle distance between p and q in meters.
+// It is exact on the sphere and numerically stable for small distances.
+func Haversine(p, q Point) float64 {
+	lat1, lng1 := p.Radians()
+	lat2, lng2 := q.Radians()
+
+	sinDLat := math.Sin((lat2 - lat1) / 2)
+	sinDLng := math.Sin((lng2 - lng1) / 2)
+	h := sinDLat*sinDLat + math.Cos(lat1)*math.Cos(lat2)*sinDLng*sinDLng
+	if h > 1 {
+		h = 1
+	}
+	return 2 * EarthRadiusMeters * math.Asin(math.Sqrt(h))
+}
+
+// Equirectangular returns the fast planar approximation of the distance
+// between p and q in meters. For city-scale separations (< ~50 km) the error
+// versus Haversine is below 0.1 %, which is far under the noise amplitudes
+// LPPMs add, so hot paths (POI matching, coverage grids) use this.
+func Equirectangular(p, q Point) float64 {
+	lat1, lng1 := p.Radians()
+	lat2, lng2 := q.Radians()
+	x := (lng2 - lng1) * math.Cos((lat1+lat2)/2)
+	y := lat2 - lat1
+	return EarthRadiusMeters * math.Hypot(x, y)
+}
+
+// PathLength returns the cumulative Haversine length of the polyline through
+// pts, in meters. It returns 0 for fewer than two points.
+func PathLength(pts []Point) float64 {
+	var total float64
+	for i := 1; i < len(pts); i++ {
+		total += Haversine(pts[i-1], pts[i])
+	}
+	return total
+}
+
+// MaxPairwiseDistance returns the diameter (largest pairwise Haversine
+// distance) of the point set. It is O(n²) and intended for the small point
+// clusters produced by stay-point detection.
+func MaxPairwiseDistance(pts []Point) float64 {
+	var max float64
+	for i := 0; i < len(pts); i++ {
+		for j := i + 1; j < len(pts); j++ {
+			if d := Haversine(pts[i], pts[j]); d > max {
+				max = d
+			}
+		}
+	}
+	return max
+}

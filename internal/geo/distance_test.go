@@ -1,0 +1,100 @@
+package geo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestHaversineKnownPairs(t *testing.T) {
+	tests := []struct {
+		name string
+		p, q Point
+		want float64 // meters
+		tol  float64
+	}{
+		{"same point", sf, sf, 0, 1e-9},
+		{
+			"SF to LA",
+			sf, Point{Lat: 34.0522, Lng: -118.2437},
+			559e3, 5e3, // ~559 km great-circle
+		},
+		{
+			"one degree latitude",
+			Point{Lat: 0, Lng: 0}, Point{Lat: 1, Lng: 0},
+			111195, 50, // 2πR/360
+		},
+		{
+			"one degree longitude at equator",
+			Point{Lat: 0, Lng: 0}, Point{Lat: 0, Lng: 1},
+			111195, 50,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := Haversine(tt.p, tt.q)
+			if math.Abs(got-tt.want) > tt.tol {
+				t.Errorf("Haversine = %v, want %v ± %v", got, tt.want, tt.tol)
+			}
+		})
+	}
+}
+
+func TestHaversineSymmetric(t *testing.T) {
+	f := func(a, b, c, d int16) bool {
+		p := Point{Lat: float64(a) / 400, Lng: float64(b) / 200}
+		q := Point{Lat: float64(c) / 400, Lng: float64(d) / 200}
+		return math.Abs(Haversine(p, q)-Haversine(q, p)) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHaversineTriangleInequality(t *testing.T) {
+	f := func(seeds [6]int16) bool {
+		mk := func(i int) Point {
+			return sf.Offset(float64(seeds[i])/2, float64(seeds[i+1])/2)
+		}
+		p, q, r := mk(0), mk(2), mk(4)
+		return Haversine(p, r) <= Haversine(p, q)+Haversine(q, r)+1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEquirectangularMatchesHaversineAtCityScale(t *testing.T) {
+	f := func(e16, n16 int16) bool {
+		q := sf.Offset(float64(e16), float64(n16)) // up to ~33 km
+		h := Haversine(sf, q)
+		e := Equirectangular(sf, q)
+		return math.Abs(h-e) <= h*2e-3+1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPathLength(t *testing.T) {
+	if got := PathLength(nil); got != 0 {
+		t.Errorf("PathLength(nil) = %v, want 0", got)
+	}
+	if got := PathLength([]Point{sf}); got != 0 {
+		t.Errorf("PathLength(single) = %v, want 0", got)
+	}
+	pts := []Point{sf, sf.Offset(300, 0), sf.Offset(300, 400)}
+	if got := PathLength(pts); math.Abs(got-700) > 1 {
+		t.Errorf("PathLength = %v, want ~700", got)
+	}
+}
+
+func TestMaxPairwiseDistance(t *testing.T) {
+	if got := MaxPairwiseDistance(nil); got != 0 {
+		t.Errorf("empty diameter = %v, want 0", got)
+	}
+	pts := []Point{sf, sf.Offset(100, 0), sf.Offset(-200, 0)}
+	if got := MaxPairwiseDistance(pts); math.Abs(got-300) > 1 {
+		t.Errorf("diameter = %v, want ~300", got)
+	}
+}

@@ -1,0 +1,171 @@
+package geo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewGridPanicsOnBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewGrid with zero size should panic")
+		}
+	}()
+	NewGrid(sf, 0)
+}
+
+func TestGridCellOfOrigin(t *testing.T) {
+	g := NewGrid(sf, 150)
+	if c := g.CellOf(sf); c != (Cell{0, 0}) {
+		t.Errorf("origin cell = %v, want {0 0}", c)
+	}
+	if got := g.CellSize(); got != 150 {
+		t.Errorf("CellSize = %v, want 150", got)
+	}
+	if g.Origin() != sf {
+		t.Errorf("Origin = %v, want %v", g.Origin(), sf)
+	}
+}
+
+func TestGridNeighboringCells(t *testing.T) {
+	g := NewGrid(sf, 150)
+	tests := []struct {
+		east, north float64
+		want        Cell
+	}{
+		{75, 75, Cell{0, 0}},
+		{151, 0, Cell{1, 0}},
+		{0, 151, Cell{0, 1}},
+		{-1, 0, Cell{-1, 0}},
+		{-151, -151, Cell{-2, -2}},
+		{449, 299, Cell{2, 1}},
+	}
+	for _, tt := range tests {
+		p := sf.Offset(tt.east, tt.north)
+		if got := g.CellOf(p); got != tt.want {
+			t.Errorf("CellOf(offset %v,%v) = %v, want %v", tt.east, tt.north, got, tt.want)
+		}
+	}
+}
+
+func TestGridCellCenterInsideCell(t *testing.T) {
+	g := NewGrid(sf, 200)
+	f := func(col, row int8) bool {
+		c := Cell{Col: int(col), Row: int(row)}
+		return g.CellOf(g.CellCenter(c)) == c
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGridSnapToCellCenterIdempotent(t *testing.T) {
+	g := NewGrid(sf, 150)
+	p := sf.Offset(512, -77)
+	s1 := g.SnapToCellCenter(p)
+	s2 := g.SnapToCellCenter(s1)
+	if d := Haversine(s1, s2); d > 1e-6 {
+		t.Errorf("snap not idempotent, moved %v m", d)
+	}
+	// Snapped point is at most half a cell diagonal away.
+	maxD := 150 * math.Sqrt2 / 2
+	if d := Haversine(p, s1); d > maxD+0.01 {
+		t.Errorf("snap moved point %v m, max %v", d, maxD)
+	}
+}
+
+func TestGridCoverage(t *testing.T) {
+	g := NewGrid(sf, 100)
+	pts := []Point{
+		sf.Offset(10, 10),
+		sf.Offset(20, 20),  // same cell
+		sf.Offset(150, 10), // east neighbor
+		sf.Offset(10, 250), // two rows up
+	}
+	cov := g.Coverage(pts)
+	if len(cov) != 3 {
+		t.Fatalf("coverage size = %d, want 3", len(cov))
+	}
+	for _, want := range []Cell{{0, 0}, {1, 0}, {0, 2}} {
+		if _, ok := cov[want]; !ok {
+			t.Errorf("coverage missing cell %v", want)
+		}
+	}
+}
+
+func TestFloorDiv(t *testing.T) {
+	tests := []struct {
+		v, size float64
+		want    int
+	}{
+		{0, 100, 0}, {99.9, 100, 0}, {100, 100, 1}, {-0.1, 100, -1},
+		{-100, 100, -1}, {-100.1, 100, -2}, {250, 100, 2},
+	}
+	for _, tt := range tests {
+		if got := floorDiv(tt.v, tt.size); got != tt.want {
+			t.Errorf("floorDiv(%v, %v) = %d, want %d", tt.v, tt.size, got, tt.want)
+		}
+	}
+}
+
+func TestCellSetF1(t *testing.T) {
+	mk := func(cells ...Cell) map[Cell]struct{} {
+		m := make(map[Cell]struct{})
+		for _, c := range cells {
+			m[c] = struct{}{}
+		}
+		return m
+	}
+	tests := []struct {
+		name     string
+		ref, cnd map[Cell]struct{}
+		want     float64
+	}{
+		{"both empty", mk(), mk(), 1},
+		{"ref empty", mk(), mk(Cell{1, 1}), 0},
+		{"cnd empty", mk(Cell{1, 1}), mk(), 0},
+		{"identical", mk(Cell{0, 0}, Cell{1, 0}), mk(Cell{0, 0}, Cell{1, 0}), 1},
+		{"disjoint", mk(Cell{0, 0}), mk(Cell{5, 5}), 0},
+		{"half overlap", mk(Cell{0, 0}, Cell{1, 0}), mk(Cell{0, 0}, Cell{9, 9}), 0.5},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := CellSetF1(tt.ref, tt.cnd); math.Abs(got-tt.want) > 1e-12 {
+				t.Errorf("F1 = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestCellSetF1SymmetricProperty(t *testing.T) {
+	f := func(aCells, bCells []uint8) bool {
+		a := make(map[Cell]struct{})
+		b := make(map[Cell]struct{})
+		for _, v := range aCells {
+			a[Cell{int(v % 16), int(v / 16)}] = struct{}{}
+		}
+		for _, v := range bCells {
+			b[Cell{int(v % 16), int(v / 16)}] = struct{}{}
+		}
+		d := CellSetF1(a, b) - CellSetF1(b, a)
+		j := CellSetJaccard(a, b) - CellSetJaccard(b, a)
+		f1 := CellSetF1(a, b)
+		return math.Abs(d) < 1e-12 && math.Abs(j) < 1e-12 && f1 >= 0 && f1 <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCellSetJaccard(t *testing.T) {
+	a := map[Cell]struct{}{{0, 0}: {}, {1, 0}: {}}
+	b := map[Cell]struct{}{{0, 0}: {}, {2, 2}: {}, {3, 3}: {}}
+	// intersection 1, union 4
+	if got := CellSetJaccard(a, b); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("Jaccard = %v, want 0.25", got)
+	}
+	if got := CellSetJaccard(nil, nil); got != 1 {
+		t.Errorf("Jaccard(empty, empty) = %v, want 1", got)
+	}
+}

@@ -1,0 +1,147 @@
+// Package geo provides the geographic primitives used throughout the
+// repository: WGS-84 points, great-circle and fast planar distances, local
+// tangent-plane projections, bounding boxes and fixed-size spatial grids at
+// city-block granularity.
+//
+// All distances are expressed in meters and all angles in decimal degrees
+// unless stated otherwise. The package is purely computational and safe for
+// concurrent use.
+package geo
+
+import (
+	"fmt"
+	"math"
+)
+
+// EarthRadiusMeters is the mean Earth radius used by every spherical
+// computation in this package (IUGG mean radius R1).
+const EarthRadiusMeters = 6371008.8
+
+// Point is a geographic location in the WGS-84 datum.
+type Point struct {
+	// Lat is the latitude in decimal degrees, in [-90, +90].
+	Lat float64
+	// Lng is the longitude in decimal degrees, in [-180, +180].
+	Lng float64
+}
+
+// String implements fmt.Stringer with 6 decimal places (~11 cm resolution).
+func (p Point) String() string {
+	return fmt.Sprintf("(%.6f, %.6f)", p.Lat, p.Lng)
+}
+
+// Valid reports whether the point lies within the WGS-84 coordinate domain.
+func (p Point) Valid() bool {
+	return p.Lat >= -90 && p.Lat <= 90 &&
+		p.Lng >= -180 && p.Lng <= 180 &&
+		!math.IsNaN(p.Lat) && !math.IsNaN(p.Lng)
+}
+
+// IsZero reports whether the point is the zero value (0, 0), which this
+// repository treats as "unset" (Null Island never appears in real traces).
+func (p Point) IsZero() bool {
+	return p.Lat == 0 && p.Lng == 0
+}
+
+// Radians returns the latitude and longitude converted to radians.
+func (p Point) Radians() (lat, lng float64) {
+	return p.Lat * math.Pi / 180, p.Lng * math.Pi / 180
+}
+
+// Destination returns the point reached by travelling the given distance (in
+// meters) from p along the given initial bearing (degrees clockwise from
+// north), following a great circle.
+func (p Point) Destination(distanceMeters, bearingDeg float64) Point {
+	lat1, lng1 := p.Radians()
+	brg := bearingDeg * math.Pi / 180
+	ang := distanceMeters / EarthRadiusMeters
+
+	sinLat1, cosLat1 := math.Sincos(lat1)
+	sinAng, cosAng := math.Sincos(ang)
+
+	sinLat2 := sinLat1*cosAng + cosLat1*sinAng*math.Cos(brg)
+	lat2 := math.Asin(sinLat2)
+	y := math.Sin(brg) * sinAng * cosLat1
+	x := cosAng - sinLat1*sinLat2
+	lng2 := lng1 + math.Atan2(y, x)
+
+	return Point{
+		Lat: lat2 * 180 / math.Pi,
+		Lng: normalizeLng(lng2 * 180 / math.Pi),
+	}
+}
+
+// Offset returns the point displaced by the given east and north offsets in
+// meters, using a local equirectangular approximation that is accurate to
+// well under a meter for the sub-kilometer displacements LPPMs produce.
+func (p Point) Offset(eastMeters, northMeters float64) Point {
+	dLat := northMeters / EarthRadiusMeters * 180 / math.Pi
+	cos := math.Cos(p.Lat * math.Pi / 180)
+	if math.Abs(cos) < 1e-12 {
+		cos = 1e-12 // polar singularity guard; traces never get here
+	}
+	dLng := eastMeters / (EarthRadiusMeters * cos) * 180 / math.Pi
+	return Point{Lat: p.Lat + dLat, Lng: normalizeLng(p.Lng + dLng)}
+}
+
+// BearingTo returns the initial great-circle bearing from p to q in degrees
+// clockwise from north, in [0, 360).
+func (p Point) BearingTo(q Point) float64 {
+	lat1, lng1 := p.Radians()
+	lat2, lng2 := q.Radians()
+	dLng := lng2 - lng1
+	y := math.Sin(dLng) * math.Cos(lat2)
+	x := math.Cos(lat1)*math.Sin(lat2) - math.Sin(lat1)*math.Cos(lat2)*math.Cos(dLng)
+	brg := math.Atan2(y, x) * 180 / math.Pi
+	if brg < 0 {
+		brg += 360
+	}
+	return brg
+}
+
+// Midpoint returns the great-circle midpoint between p and q.
+func (p Point) Midpoint(q Point) Point {
+	lat1, lng1 := p.Radians()
+	lat2, lng2 := q.Radians()
+	dLng := lng2 - lng1
+
+	bx := math.Cos(lat2) * math.Cos(dLng)
+	by := math.Cos(lat2) * math.Sin(dLng)
+	lat3 := math.Atan2(
+		math.Sin(lat1)+math.Sin(lat2),
+		math.Sqrt((math.Cos(lat1)+bx)*(math.Cos(lat1)+bx)+by*by),
+	)
+	lng3 := lng1 + math.Atan2(by, math.Cos(lat1)+bx)
+
+	return Point{
+		Lat: lat3 * 180 / math.Pi,
+		Lng: normalizeLng(lng3 * 180 / math.Pi),
+	}
+}
+
+// normalizeLng wraps a longitude into [-180, +180].
+func normalizeLng(lng float64) float64 {
+	for lng > 180 {
+		lng -= 360
+	}
+	for lng < -180 {
+		lng += 360
+	}
+	return lng
+}
+
+// Centroid returns the arithmetic centroid of the points using the local
+// planar approximation (adequate for clusters spanning a city). It returns
+// the zero Point when pts is empty.
+func Centroid(pts []Point) Point {
+	if len(pts) == 0 {
+		return Point{}
+	}
+	var sumLat, sumLng float64
+	for _, p := range pts {
+		sumLat += p.Lat
+		sumLng += p.Lng
+	}
+	n := float64(len(pts))
+	return Point{Lat: sumLat / n, Lng: sumLng / n}
+}

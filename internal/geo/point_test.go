@@ -1,0 +1,159 @@
+package geo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// sf is a reference point in downtown San Francisco used across tests.
+var sf = Point{Lat: 37.7749, Lng: -122.4194}
+
+func TestPointValid(t *testing.T) {
+	tests := []struct {
+		name string
+		p    Point
+		want bool
+	}{
+		{"downtown SF", sf, true},
+		{"north pole", Point{Lat: 90, Lng: 0}, true},
+		{"south pole", Point{Lat: -90, Lng: 180}, true},
+		{"lat too big", Point{Lat: 90.0001, Lng: 0}, false},
+		{"lat too small", Point{Lat: -91, Lng: 0}, false},
+		{"lng too big", Point{Lat: 0, Lng: 180.5}, false},
+		{"lng too small", Point{Lat: 0, Lng: -181}, false},
+		{"NaN lat", Point{Lat: math.NaN(), Lng: 0}, false},
+		{"NaN lng", Point{Lat: 0, Lng: math.NaN()}, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.p.Valid(); got != tt.want {
+				t.Errorf("Valid(%v) = %v, want %v", tt.p, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestPointIsZero(t *testing.T) {
+	if !(Point{}).IsZero() {
+		t.Error("zero Point should report IsZero")
+	}
+	if sf.IsZero() {
+		t.Error("SF should not report IsZero")
+	}
+}
+
+func TestPointString(t *testing.T) {
+	got := sf.String()
+	want := "(37.774900, -122.419400)"
+	if got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestDestinationDistanceRoundTrip(t *testing.T) {
+	// Travelling d meters in any direction must land d meters away.
+	for _, d := range []float64{1, 10, 100, 1000, 10000} {
+		for _, brg := range []float64{0, 45, 90, 135, 180, 270, 359} {
+			q := sf.Destination(d, brg)
+			got := Haversine(sf, q)
+			if math.Abs(got-d) > d*1e-9+1e-9 {
+				t.Errorf("Destination(%v, %v): distance = %v, want %v", d, brg, got, d)
+			}
+		}
+	}
+}
+
+func TestDestinationBearing(t *testing.T) {
+	q := sf.Destination(5000, 90)
+	if q.Lng <= sf.Lng {
+		t.Errorf("bearing 90 should move east: %v -> %v", sf, q)
+	}
+	q = sf.Destination(5000, 0)
+	if q.Lat <= sf.Lat {
+		t.Errorf("bearing 0 should move north: %v -> %v", sf, q)
+	}
+}
+
+func TestOffsetMatchesDestination(t *testing.T) {
+	// A 300 m east offset should land within a few centimeters of the
+	// great-circle destination with bearing 90.
+	q1 := sf.Offset(300, 0)
+	q2 := sf.Destination(300, 90)
+	if d := Haversine(q1, q2); d > 0.05 {
+		t.Errorf("Offset east diverges from Destination by %v m", d)
+	}
+	q1 = sf.Offset(0, -450)
+	q2 = sf.Destination(450, 180)
+	if d := Haversine(q1, q2); d > 0.05 {
+		t.Errorf("Offset south diverges from Destination by %v m", d)
+	}
+}
+
+func TestOffsetRoundTrip(t *testing.T) {
+	// The reverse offset evaluates the longitude scale at a slightly
+	// different latitude, so the round trip is approximate at the mm level.
+	q := sf.Offset(123.4, -56.7).Offset(-123.4, 56.7)
+	if d := Haversine(sf, q); d > 0.005 {
+		t.Errorf("Offset round trip moved point by %v m", d)
+	}
+}
+
+func TestBearingToCardinal(t *testing.T) {
+	north := sf.Offset(0, 1000)
+	if b := sf.BearingTo(north); math.Abs(b) > 0.1 && math.Abs(b-360) > 0.1 {
+		t.Errorf("bearing to north = %v, want ~0", b)
+	}
+	east := sf.Offset(1000, 0)
+	if b := sf.BearingTo(east); math.Abs(b-90) > 0.5 {
+		t.Errorf("bearing to east = %v, want ~90", b)
+	}
+}
+
+func TestMidpoint(t *testing.T) {
+	q := sf.Offset(2000, 0)
+	m := sf.Midpoint(q)
+	d1, d2 := Haversine(sf, m), Haversine(m, q)
+	if math.Abs(d1-d2) > 0.01 {
+		t.Errorf("midpoint not equidistant: %v vs %v", d1, d2)
+	}
+	if math.Abs(d1-1000) > 1 {
+		t.Errorf("midpoint distance = %v, want ~1000", d1)
+	}
+}
+
+func TestNormalizeLng(t *testing.T) {
+	tests := []struct{ in, want float64 }{
+		{0, 0}, {180, 180}, {-180, -180}, {181, -179}, {-181, 179}, {540, 180}, {359, -1},
+	}
+	for _, tt := range tests {
+		if got := normalizeLng(tt.in); math.Abs(got-tt.want) > 1e-9 {
+			t.Errorf("normalizeLng(%v) = %v, want %v", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestCentroid(t *testing.T) {
+	if !Centroid(nil).IsZero() {
+		t.Error("centroid of empty set should be zero point")
+	}
+	pts := []Point{sf.Offset(100, 0), sf.Offset(-100, 0), sf.Offset(0, 100), sf.Offset(0, -100)}
+	c := Centroid(pts)
+	if d := Haversine(c, sf); d > 0.01 {
+		t.Errorf("centroid off by %v m", d)
+	}
+}
+
+func TestOffsetPropertyDistance(t *testing.T) {
+	// Property: |Offset(e,n) - p| == hypot(e,n) within 0.1% at city scale.
+	f := func(e16, n16 int16) bool {
+		e, n := float64(e16)/4, float64(n16)/4 // up to ~8 km
+		q := sf.Offset(e, n)
+		want := math.Hypot(e, n)
+		got := Haversine(sf, q)
+		return math.Abs(got-want) <= want*1e-3+1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

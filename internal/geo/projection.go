@@ -1,0 +1,44 @@
+package geo
+
+import "math"
+
+// Projection maps WGS-84 points to a local east/north tangent plane anchored
+// at an origin, and back. Planar meters are what LPPM noise, coverage grids
+// and regression features are expressed in; a single projection instance is
+// shared by a whole dataset so that every module agrees on the frame.
+//
+// The projection is the azimuthal equirectangular approximation: exact at the
+// origin and accurate to centimeters across a metropolitan area, which is the
+// only scale this repository operates at.
+type Projection struct {
+	origin Point
+	cosLat float64
+}
+
+// NewProjection returns a local tangent-plane projection anchored at origin.
+func NewProjection(origin Point) *Projection {
+	cos := math.Cos(origin.Lat * math.Pi / 180)
+	if math.Abs(cos) < 1e-12 {
+		cos = 1e-12
+	}
+	return &Projection{origin: origin, cosLat: cos}
+}
+
+// Origin returns the anchor point of the projection.
+func (pr *Projection) Origin() Point { return pr.origin }
+
+// ToPlane converts a geographic point to east/north meters from the origin.
+func (pr *Projection) ToPlane(p Point) (east, north float64) {
+	const degToRad = math.Pi / 180
+	east = (p.Lng - pr.origin.Lng) * degToRad * EarthRadiusMeters * pr.cosLat
+	north = (p.Lat - pr.origin.Lat) * degToRad * EarthRadiusMeters
+	return east, north
+}
+
+// FromPlane converts east/north meters from the origin back to WGS-84.
+func (pr *Projection) FromPlane(east, north float64) Point {
+	const radToDeg = 180 / math.Pi
+	lat := pr.origin.Lat + north/EarthRadiusMeters*radToDeg
+	lng := pr.origin.Lng + east/(EarthRadiusMeters*pr.cosLat)*radToDeg
+	return Point{Lat: lat, Lng: normalizeLng(lng)}
+}

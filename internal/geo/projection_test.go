@@ -1,0 +1,51 @@
+package geo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestProjectionOriginMapsToZero(t *testing.T) {
+	pr := NewProjection(sf)
+	e, n := pr.ToPlane(sf)
+	if e != 0 || n != 0 {
+		t.Errorf("origin maps to (%v, %v), want (0, 0)", e, n)
+	}
+	if pr.Origin() != sf {
+		t.Errorf("Origin() = %v, want %v", pr.Origin(), sf)
+	}
+}
+
+func TestProjectionRoundTrip(t *testing.T) {
+	pr := NewProjection(sf)
+	f := func(e16, n16 int16) bool {
+		east, north := float64(e16), float64(n16)
+		p := pr.FromPlane(east, north)
+		e2, n2 := pr.ToPlane(p)
+		return math.Abs(e2-east) < 1e-6 && math.Abs(n2-north) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProjectionDistancePreserved(t *testing.T) {
+	pr := NewProjection(sf)
+	p := sf.Offset(1500, -2300)
+	e, n := pr.ToPlane(p)
+	planar := math.Hypot(e, n)
+	sphere := Haversine(sf, p)
+	if math.Abs(planar-sphere) > sphere*2e-3 {
+		t.Errorf("planar %v vs spherical %v", planar, sphere)
+	}
+}
+
+func TestProjectionAgreesWithOffset(t *testing.T) {
+	pr := NewProjection(sf)
+	p := pr.FromPlane(250, -400)
+	q := sf.Offset(250, -400)
+	if d := Haversine(p, q); d > 0.01 {
+		t.Errorf("FromPlane and Offset disagree by %v m", d)
+	}
+}

@@ -1,0 +1,216 @@
+// Package lbs simulates the consumer of protected location data: a
+// Location-Based Service answering nearest-venue and range queries against
+// a venue database. The paper motivates LPPM configuration with "navigation
+// or recommendation applications" whose quality degrades as noise grows;
+// this package closes that loop by measuring service quality end-to-end —
+// the k-nearest venues the service returns for a protected position versus
+// the ones the user actually needed — instead of through geometric proxies.
+package lbs
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/geo"
+	"repro/internal/rng"
+)
+
+// Venue is one entry of the service's database.
+type Venue struct {
+	// ID uniquely identifies the venue.
+	ID int
+	// Category is a coarse venue class (restaurant, fuel, ...).
+	Category string
+	// Location is the venue position.
+	Location geo.Point
+}
+
+// Categories lists the venue classes the generator draws from, roughly a
+// city's service mix.
+var Categories = []string{"restaurant", "cafe", "fuel", "pharmacy", "grocery", "parking"}
+
+// GenerateVenues builds a deterministic synthetic venue database inside the
+// bounding box: a fraction of venues cluster around commercial centers (as
+// real venues do) and the rest scatter uniformly. n must be positive and
+// the box non-degenerate.
+func GenerateVenues(box geo.BBox, n int, r *rng.Source) ([]Venue, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("lbs: venue count must be positive, got %d", n)
+	}
+	if box.MinLat >= box.MaxLat || box.MinLng >= box.MaxLng {
+		return nil, fmt.Errorf("lbs: degenerate bounding box %v", box)
+	}
+	uniform := func() geo.Point {
+		return geo.Point{
+			Lat: box.MinLat + r.Float64()*(box.MaxLat-box.MinLat),
+			Lng: box.MinLng + r.Float64()*(box.MaxLng-box.MinLng),
+		}
+	}
+	// Commercial centers: one per ~250 venues, at least 2.
+	nCenters := n/250 + 2
+	centers := make([]geo.Point, nCenters)
+	for i := range centers {
+		centers[i] = uniform()
+	}
+	venues := make([]Venue, n)
+	const clusteredFrac = 0.6
+	for i := range venues {
+		var p geo.Point
+		if r.Float64() < clusteredFrac {
+			c := centers[r.Intn(nCenters)]
+			p = box.Clamp(c.Offset(400*r.NormFloat64(), 400*r.NormFloat64()))
+		} else {
+			p = uniform()
+		}
+		venues[i] = Venue{
+			ID:       i,
+			Category: Categories[r.Intn(len(Categories))],
+			Location: p,
+		}
+	}
+	return venues, nil
+}
+
+// Index answers spatial queries over a fixed venue set. It buckets venues
+// into a uniform grid and expands cell rings outward, so queries touch only
+// venues near the query point. The zero value is not usable; build with
+// NewIndex. An Index is immutable after construction and safe for
+// concurrent use.
+type Index struct {
+	grid    *geo.Grid
+	buckets map[geo.Cell][]Venue
+	venues  []Venue
+}
+
+// NewIndex builds an index over the venues with the given bucket size in
+// meters (0 uses 500 m).
+func NewIndex(venues []Venue, bucketMeters float64) (*Index, error) {
+	if len(venues) == 0 {
+		return nil, fmt.Errorf("lbs: cannot index zero venues")
+	}
+	if bucketMeters < 0 {
+		return nil, fmt.Errorf("lbs: bucket size must be non-negative, got %v", bucketMeters)
+	}
+	if bucketMeters == 0 {
+		bucketMeters = 500
+	}
+	origin := venues[0].Location
+	grid := geo.NewGrid(geo.Point{Lat: origin.Lat - 1, Lng: origin.Lng - 1}, bucketMeters)
+	idx := &Index{
+		grid:    grid,
+		buckets: make(map[geo.Cell][]Venue),
+		venues:  append([]Venue(nil), venues...),
+	}
+	for _, v := range idx.venues {
+		c := grid.CellOf(v.Location)
+		idx.buckets[c] = append(idx.buckets[c], v)
+	}
+	return idx, nil
+}
+
+// Len returns the number of indexed venues.
+func (ix *Index) Len() int { return len(ix.venues) }
+
+// hit pairs a venue with its distance to the query point.
+type hit struct {
+	venue Venue
+	dist  float64
+}
+
+// KNN returns the k venues nearest to p, ordered by increasing distance
+// (ties broken by venue ID for determinism). It returns all venues when
+// k exceeds the database size.
+func (ix *Index) KNN(p geo.Point, k int) []Venue {
+	if k <= 0 {
+		return nil
+	}
+	if k > len(ix.venues) {
+		k = len(ix.venues)
+	}
+	center := ix.grid.CellOf(p)
+	var hits []hit
+	// Expand rings until the k-th best hit is provably closer than any
+	// venue in the next unexplored ring.
+	for ring := 0; ; ring++ {
+		for _, c := range ringCells(center, ring) {
+			for _, v := range ix.buckets[c] {
+				hits = append(hits, hit{venue: v, dist: geo.Equirectangular(p, v.Location)})
+			}
+		}
+		// Venues outside the explored square are at least
+		// ring·bucket meters away from p.
+		guarantee := float64(ring) * ix.grid.CellSize()
+		if len(hits) >= k {
+			sortHits(hits)
+			if hits[k-1].dist <= guarantee {
+				break
+			}
+		}
+		if ring > 0 && float64(ring)*ix.grid.CellSize() > 1e7 {
+			// Entire Earth explored; nothing more to find.
+			sortHits(hits)
+			break
+		}
+	}
+	out := make([]Venue, k)
+	for i := 0; i < k; i++ {
+		out[i] = hits[i].venue
+	}
+	return out
+}
+
+// Range returns the venues within radius meters of p, ordered by increasing
+// distance (ties broken by ID).
+func (ix *Index) Range(p geo.Point, radius float64) []Venue {
+	if radius < 0 {
+		return nil
+	}
+	center := ix.grid.CellOf(p)
+	maxRing := int(radius/ix.grid.CellSize()) + 1
+	var hits []hit
+	for ring := 0; ring <= maxRing; ring++ {
+		for _, c := range ringCells(center, ring) {
+			for _, v := range ix.buckets[c] {
+				if d := geo.Equirectangular(p, v.Location); d <= radius {
+					hits = append(hits, hit{venue: v, dist: d})
+				}
+			}
+		}
+	}
+	sortHits(hits)
+	out := make([]Venue, len(hits))
+	for i, h := range hits {
+		out[i] = h.venue
+	}
+	return out
+}
+
+// sortHits orders by distance then ID.
+func sortHits(hits []hit) {
+	sort.Slice(hits, func(i, j int) bool {
+		if hits[i].dist != hits[j].dist {
+			return hits[i].dist < hits[j].dist
+		}
+		return hits[i].venue.ID < hits[j].venue.ID
+	})
+}
+
+// ringCells returns the cells on the square ring at Chebyshev distance
+// ring from the center (the center itself for ring 0).
+func ringCells(center geo.Cell, ring int) []geo.Cell {
+	if ring == 0 {
+		return []geo.Cell{center}
+	}
+	cells := make([]geo.Cell, 0, 8*ring)
+	for dc := -ring; dc <= ring; dc++ {
+		cells = append(cells,
+			geo.Cell{Col: center.Col + dc, Row: center.Row - ring},
+			geo.Cell{Col: center.Col + dc, Row: center.Row + ring})
+	}
+	for dr := -ring + 1; dr <= ring-1; dr++ {
+		cells = append(cells,
+			geo.Cell{Col: center.Col - ring, Row: center.Row + dr},
+			geo.Cell{Col: center.Col + ring, Row: center.Row + dr})
+	}
+	return cells
+}

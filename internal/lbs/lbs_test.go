@@ -1,0 +1,282 @@
+package lbs
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geo"
+	"repro/internal/rng"
+)
+
+var testBox = geo.BBox{MinLat: 37.70, MinLng: -122.52, MaxLat: 37.82, MaxLng: -122.36}
+
+func genVenues(t *testing.T, n int, seed int64) []Venue {
+	t.Helper()
+	vs, err := GenerateVenues(testBox, n, rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return vs
+}
+
+func TestGenerateVenuesBasics(t *testing.T) {
+	vs := genVenues(t, 500, 1)
+	if len(vs) != 500 {
+		t.Fatalf("got %d venues, want 500", len(vs))
+	}
+	seen := make(map[int]bool, len(vs))
+	for _, v := range vs {
+		if seen[v.ID] {
+			t.Fatalf("duplicate venue ID %d", v.ID)
+		}
+		seen[v.ID] = true
+		if !testBox.Contains(v.Location) {
+			t.Fatalf("venue %d at %v outside the box", v.ID, v.Location)
+		}
+		if v.Category == "" {
+			t.Fatalf("venue %d has no category", v.ID)
+		}
+	}
+}
+
+func TestGenerateVenuesDeterministic(t *testing.T) {
+	a := genVenues(t, 100, 7)
+	b := genVenues(t, 100, 7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed must generate identical venues")
+		}
+	}
+}
+
+func TestGenerateVenuesErrors(t *testing.T) {
+	if _, err := GenerateVenues(testBox, 0, rng.New(1)); err == nil {
+		t.Error("zero venues should fail")
+	}
+	bad := geo.BBox{MinLat: 1, MaxLat: 1, MinLng: 0, MaxLng: 1}
+	if _, err := GenerateVenues(bad, 10, rng.New(1)); err == nil {
+		t.Error("degenerate box should fail")
+	}
+}
+
+// bruteKNN is the oracle the index is checked against.
+func bruteKNN(venues []Venue, p geo.Point, k int) []Venue {
+	vs := append([]Venue(nil), venues...)
+	sort.Slice(vs, func(i, j int) bool {
+		di := geo.Equirectangular(p, vs[i].Location)
+		dj := geo.Equirectangular(p, vs[j].Location)
+		if di != dj {
+			return di < dj
+		}
+		return vs[i].ID < vs[j].ID
+	})
+	if k > len(vs) {
+		k = len(vs)
+	}
+	return vs[:k]
+}
+
+func TestKNNMatchesBruteForce(t *testing.T) {
+	vs := genVenues(t, 800, 3)
+	ix, err := NewIndex(vs, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(4)
+	for trial := 0; trial < 40; trial++ {
+		p := geo.Point{
+			Lat: testBox.MinLat + r.Float64()*(testBox.MaxLat-testBox.MinLat),
+			Lng: testBox.MinLng + r.Float64()*(testBox.MaxLng-testBox.MinLng),
+		}
+		k := 1 + r.Intn(10)
+		got := ix.KNN(p, k)
+		want := bruteKNN(vs, p, k)
+		if len(got) != len(want) {
+			t.Fatalf("KNN returned %d venues, want %d", len(got), len(want))
+		}
+		for i := range want {
+			if got[i].ID != want[i].ID {
+				t.Fatalf("trial %d: KNN[%d] = venue %d, want %d", trial, i, got[i].ID, want[i].ID)
+			}
+		}
+	}
+}
+
+func TestKNNEdgeCases(t *testing.T) {
+	vs := genVenues(t, 50, 5)
+	ix, err := NewIndex(vs, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ix.KNN(testBox.Center(), 0); got != nil {
+		t.Error("k=0 should return nil")
+	}
+	if got := ix.KNN(testBox.Center(), 500); len(got) != 50 {
+		t.Errorf("k beyond database size should return all venues, got %d", len(got))
+	}
+	// Query far outside the box must still terminate and find venues.
+	far := testBox.Center().Offset(50000, 50000)
+	if got := ix.KNN(far, 3); len(got) != 3 {
+		t.Errorf("distant query returned %d venues, want 3", len(got))
+	}
+}
+
+func TestRangeMatchesBruteForce(t *testing.T) {
+	vs := genVenues(t, 600, 6)
+	ix, err := NewIndex(vs, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(7)
+	for trial := 0; trial < 30; trial++ {
+		p := geo.Point{
+			Lat: testBox.MinLat + r.Float64()*(testBox.MaxLat-testBox.MinLat),
+			Lng: testBox.MinLng + r.Float64()*(testBox.MaxLng-testBox.MinLng),
+		}
+		radius := 200 + r.Float64()*3000
+		got := ix.Range(p, radius)
+		var want []Venue
+		for _, v := range vs {
+			if geo.Equirectangular(p, v.Location) <= radius {
+				want = append(want, v)
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: Range returned %d venues, want %d", trial, len(got), len(want))
+		}
+		// Results must be distance-ordered.
+		for i := 1; i < len(got); i++ {
+			if geo.Equirectangular(p, got[i-1].Location) > geo.Equirectangular(p, got[i].Location)+1e-9 {
+				t.Fatalf("Range results out of order at %d", i)
+			}
+		}
+	}
+}
+
+func TestRangeEdgeCases(t *testing.T) {
+	vs := genVenues(t, 50, 8)
+	ix, err := NewIndex(vs, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ix.Range(testBox.Center(), -5); got != nil {
+		t.Error("negative radius should return nil")
+	}
+}
+
+func TestNewIndexErrors(t *testing.T) {
+	if _, err := NewIndex(nil, 500); err == nil {
+		t.Error("empty venue set should fail")
+	}
+	vs := genVenues(t, 5, 9)
+	if _, err := NewIndex(vs, -1); err == nil {
+		t.Error("negative bucket size should fail")
+	}
+	ix, err := NewIndex(vs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Len() != 5 {
+		t.Errorf("Len = %d, want 5", ix.Len())
+	}
+}
+
+func TestKNNFirstResultIsNearestProperty(t *testing.T) {
+	vs := genVenues(t, 300, 11)
+	ix, err := NewIndex(vs, 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(latFrac, lngFrac uint16) bool {
+		p := geo.Point{
+			Lat: testBox.MinLat + float64(latFrac)/65535*(testBox.MaxLat-testBox.MinLat),
+			Lng: testBox.MinLng + float64(lngFrac)/65535*(testBox.MaxLng-testBox.MinLng),
+		}
+		got := ix.KNN(p, 1)
+		if len(got) != 1 {
+			return false
+		}
+		best := geo.Equirectangular(p, got[0].Location)
+		for _, v := range vs {
+			if geo.Equirectangular(p, v.Location) < best-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRingCells(t *testing.T) {
+	c := geo.Cell{Col: 3, Row: -2}
+	if got := ringCells(c, 0); len(got) != 1 || got[0] != c {
+		t.Fatalf("ring 0 = %v", got)
+	}
+	for ring := 1; ring <= 4; ring++ {
+		cells := ringCells(c, ring)
+		if len(cells) != 8*ring {
+			t.Fatalf("ring %d has %d cells, want %d", ring, len(cells), 8*ring)
+		}
+		seen := make(map[geo.Cell]bool, len(cells))
+		for _, cell := range cells {
+			if seen[cell] {
+				t.Fatalf("ring %d repeats cell %v", ring, cell)
+			}
+			seen[cell] = true
+			dc, dr := cell.Col-c.Col, cell.Row-c.Row
+			if maxAbs(dc, dr) != ring {
+				t.Fatalf("ring %d contains cell at Chebyshev distance %d", ring, maxAbs(dc, dr))
+			}
+		}
+	}
+}
+
+func maxAbs(a, b int) int {
+	if a < 0 {
+		a = -a
+	}
+	if b < 0 {
+		b = -b
+	}
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func TestKNNHandlesDuplicateLocations(t *testing.T) {
+	p := testBox.Center()
+	vs := []Venue{
+		{ID: 2, Category: "cafe", Location: p},
+		{ID: 1, Category: "cafe", Location: p},
+		{ID: 3, Category: "fuel", Location: p.Offset(100, 0)},
+	}
+	ix, err := NewIndex(vs, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := ix.KNN(p, 2)
+	if got[0].ID != 1 || got[1].ID != 2 {
+		t.Errorf("duplicate locations must tie-break by ID: got %d, %d", got[0].ID, got[1].ID)
+	}
+}
+
+func TestVenueCategoriesCovered(t *testing.T) {
+	vs := genVenues(t, 2000, 13)
+	counts := make(map[string]int)
+	for _, v := range vs {
+		counts[v.Category]++
+	}
+	for _, c := range Categories {
+		if counts[c] == 0 {
+			t.Errorf("category %q never generated in 2000 venues", c)
+		}
+	}
+	if math.Abs(float64(len(counts))-float64(len(Categories))) > 0 {
+		t.Errorf("unexpected categories: %v", counts)
+	}
+}

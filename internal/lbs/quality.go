@@ -1,0 +1,113 @@
+package lbs
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+// KNNQualityConfig tunes the end-to-end service-quality metric.
+type KNNQualityConfig struct {
+	// K is the result-list length per query (e.g. "5 nearest
+	// restaurants").
+	K int
+	// Queries is how many positions along the trace issue a query.
+	Queries int
+}
+
+// DefaultKNNQualityConfig returns the experiment configuration: top-5
+// results at 30 positions.
+func DefaultKNNQualityConfig() KNNQualityConfig {
+	return KNNQualityConfig{K: 5, Queries: 30}
+}
+
+// Validate reports configuration errors.
+func (c KNNQualityConfig) Validate() error {
+	if c.K <= 0 {
+		return fmt.Errorf("lbs: K must be positive, got %d", c.K)
+	}
+	if c.Queries <= 0 {
+		return fmt.Errorf("lbs: Queries must be positive, got %d", c.Queries)
+	}
+	return nil
+}
+
+// KNNQuality is the end-to-end utility metric: at positions sampled along
+// the trace, the user queries the service from her *protected* location and
+// the score is the overlap between the venues returned and the ones her
+// *actual* location would have returned — the fraction of recommendations
+// that are still the right ones. It implements metrics.Metric so the whole
+// configuration framework can target deployed service quality directly.
+type KNNQuality struct {
+	cfg   KNNQualityConfig
+	index *Index
+}
+
+// NewKNNQuality builds the metric over a venue index.
+func NewKNNQuality(index *Index, cfg KNNQualityConfig) (*KNNQuality, error) {
+	if index == nil {
+		return nil, fmt.Errorf("lbs: KNN quality needs a venue index")
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &KNNQuality{cfg: cfg, index: index}, nil
+}
+
+// Name implements metrics.Metric.
+func (*KNNQuality) Name() string { return "lbs_knn_quality" }
+
+// Kind implements metrics.Metric.
+func (*KNNQuality) Kind() metrics.Kind { return metrics.Utility }
+
+// Evaluate implements metrics.Metric. Queries are issued at evenly-spaced
+// record indexes; the protected position for a query is the protected
+// record at the same relative position along the trace, so mechanisms that
+// change the record count (Promesse, sampling) are still comparable. An
+// empty protected trace scores 0.
+func (q *KNNQuality) Evaluate(actual, protected *trace.Trace) (float64, error) {
+	if actual.Len() == 0 {
+		return 0, fmt.Errorf("lbs: KNN quality of empty actual trace")
+	}
+	if protected.Len() == 0 {
+		return 0, nil
+	}
+	n := q.cfg.Queries
+	if n > actual.Len() {
+		n = actual.Len()
+	}
+	var sum float64
+	for i := 0; i < n; i++ {
+		frac := 0.0
+		if n > 1 {
+			frac = float64(i) / float64(n-1)
+		}
+		actIdx := int(frac * float64(actual.Len()-1))
+		proIdx := int(frac * float64(protected.Len()-1))
+		want := q.index.KNN(actual.Records[actIdx].Point, q.cfg.K)
+		got := q.index.KNN(protected.Records[proIdx].Point, q.cfg.K)
+		sum += overlap(want, got)
+	}
+	return sum / float64(n), nil
+}
+
+// overlap returns |want ∩ got| / |want| by venue ID.
+func overlap(want, got []Venue) float64 {
+	if len(want) == 0 {
+		return 0
+	}
+	ids := make(map[int]struct{}, len(want))
+	for _, v := range want {
+		ids[v.ID] = struct{}{}
+	}
+	n := 0
+	for _, v := range got {
+		if _, ok := ids[v.ID]; ok {
+			n++
+		}
+	}
+	return float64(n) / float64(len(want))
+}
+
+var _ metrics.Metric = (*KNNQuality)(nil)

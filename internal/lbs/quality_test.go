@@ -1,0 +1,160 @@
+package lbs
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/lppm"
+	"repro/internal/metrics"
+	"repro/internal/rng"
+	"repro/internal/trace"
+)
+
+func cityTrace(t *testing.T, n int) *trace.Trace {
+	t.Helper()
+	start := time.Date(2008, 5, 17, 9, 0, 0, 0, time.UTC)
+	base := testBox.Center()
+	recs := make([]trace.Record, n)
+	for i := range recs {
+		recs[i] = trace.Record{
+			User:  "u1",
+			Time:  start.Add(time.Duration(i) * time.Minute),
+			Point: base.Offset(float64(i)*50, math.Sin(float64(i)/8)*400),
+		}
+	}
+	tr, err := trace.NewTrace("u1", recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func mkQuality(t *testing.T) *KNNQuality {
+	t.Helper()
+	vs := genVenues(t, 1000, 21)
+	ix, err := NewIndex(vs, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := NewKNNQuality(ix, DefaultKNNQualityConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+func TestKNNQualityIdentityIsOne(t *testing.T) {
+	q := mkQuality(t)
+	tr := cityTrace(t, 120)
+	v, err := q.Evaluate(tr, tr.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 1 {
+		t.Errorf("identity service quality = %v, want 1", v)
+	}
+}
+
+func TestKNNQualityDegradesWithEpsilon(t *testing.T) {
+	q := mkQuality(t)
+	tr := cityTrace(t, 150)
+	g := lppm.NewGeoIndistinguishability()
+	quality := func(eps float64) float64 {
+		prot, err := g.Protect(tr, lppm.Params{lppm.EpsilonParam: eps}, rng.New(3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, err := q.Evaluate(tr, prot)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	high := quality(0.5)  // ~4 m mean noise
+	low := quality(0.001) // ~2 km mean noise
+	if !(high > low) {
+		t.Errorf("quality must degrade with noise: ε=0.5 → %v, ε=0.001 → %v", high, low)
+	}
+	if high < 0.6 {
+		t.Errorf("near-exact release quality = %v, want ≥ 0.6", high)
+	}
+	if low > 0.4 {
+		t.Errorf("2 km-noise release quality = %v, want ≤ 0.4", low)
+	}
+}
+
+func TestKNNQualityHandlesResampledReleases(t *testing.T) {
+	q := mkQuality(t)
+	tr := cityTrace(t, 200)
+	p := lppm.NewPromesse()
+	prot, err := p.Protect(tr, lppm.Params{lppm.AlphaParam: 300}, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prot.Len() == 0 {
+		t.Fatal("promesse should publish a non-empty release here")
+	}
+	v, err := q.Evaluate(tr, prot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Promesse keeps the spatial path, so service quality stays high
+	// even though record counts differ.
+	if v < 0.5 {
+		t.Errorf("promesse service quality = %v, want ≥ 0.5 (path preserved)", v)
+	}
+}
+
+func TestKNNQualityEmptyCases(t *testing.T) {
+	q := mkQuality(t)
+	tr := cityTrace(t, 50)
+	v, err := q.Evaluate(tr, &trace.Trace{User: "u1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0 {
+		t.Errorf("empty release quality = %v, want 0", v)
+	}
+	if _, err := q.Evaluate(&trace.Trace{User: "u1"}, tr); err == nil {
+		t.Error("empty actual should error")
+	}
+}
+
+func TestKNNQualityConfigAndKind(t *testing.T) {
+	vs := genVenues(t, 10, 1)
+	ix, err := NewIndex(vs, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewKNNQuality(nil, DefaultKNNQualityConfig()); err == nil {
+		t.Error("nil index should fail")
+	}
+	if _, err := NewKNNQuality(ix, KNNQualityConfig{K: 0, Queries: 5}); err == nil {
+		t.Error("K=0 should fail")
+	}
+	if _, err := NewKNNQuality(ix, KNNQualityConfig{K: 5, Queries: 0}); err == nil {
+		t.Error("Queries=0 should fail")
+	}
+	q, err := NewKNNQuality(ix, DefaultKNNQualityConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Kind() != metrics.Utility {
+		t.Error("KNN quality must be a utility metric")
+	}
+	if q.Name() == "" {
+		t.Error("metric must have a name")
+	}
+}
+
+func TestOverlap(t *testing.T) {
+	a := []Venue{{ID: 1}, {ID: 2}, {ID: 3}}
+	b := []Venue{{ID: 3}, {ID: 4}, {ID: 1}}
+	if got := overlap(a, b); math.Abs(got-2.0/3.0) > 1e-12 {
+		t.Errorf("overlap = %v, want 2/3", got)
+	}
+	if got := overlap(nil, b); got != 0 {
+		t.Errorf("overlap with empty want = %v, want 0", got)
+	}
+}

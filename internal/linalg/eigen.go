@@ -1,0 +1,118 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// EigenSym computes the eigendecomposition of a symmetric matrix using the
+// cyclic Jacobi rotation method. It returns the eigenvalues in descending
+// order and the corresponding unit eigenvectors as the columns of the second
+// return value. Jacobi is exact to machine precision for the small (≤ ~20
+// dimensional) property matrices PCA sees in this framework.
+func EigenSym(a *Matrix) (values []float64, vectors *Matrix, err error) {
+	const (
+		maxSweeps = 100
+		offTol    = 1e-13
+	)
+	if !a.IsSymmetric(1e-9) {
+		return nil, nil, fmt.Errorf("linalg: EigenSym requires a symmetric matrix")
+	}
+	n := a.rows
+	m := a.Clone()
+	v := Identity(n)
+
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := offDiagNorm(m)
+		if off < offTol {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := m.At(p, q)
+				if math.Abs(apq) < offTol/float64(n*n) {
+					continue
+				}
+				app, aqq := m.At(p, p), m.At(q, q)
+				// Rotation angle that annihilates m[p][q].
+				theta := (aqq - app) / (2 * apq)
+				var t float64
+				if theta >= 0 {
+					t = 1 / (theta + math.Sqrt(1+theta*theta))
+				} else {
+					t = -1 / (-theta + math.Sqrt(1+theta*theta))
+				}
+				c := 1 / math.Sqrt(1+t*t)
+				s := t * c
+
+				rotate(m, p, q, c, s)
+				rotateColumns(v, p, q, c, s)
+			}
+		}
+	}
+
+	values = make([]float64, n)
+	for i := 0; i < n; i++ {
+		values[i] = m.At(i, i)
+	}
+
+	// Sort eigenpairs by descending eigenvalue.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(i, j int) bool { return values[idx[i]] > values[idx[j]] })
+
+	sortedVals := make([]float64, n)
+	sortedVecs := NewMatrix(n, n)
+	for newJ, oldJ := range idx {
+		sortedVals[newJ] = values[oldJ]
+		for i := 0; i < n; i++ {
+			sortedVecs.Set(i, newJ, v.At(i, oldJ))
+		}
+	}
+	return sortedVals, sortedVecs, nil
+}
+
+// rotate applies the symmetric Jacobi rotation J(p,q,θ)ᵀ·M·J(p,q,θ) in place.
+func rotate(m *Matrix, p, q int, c, s float64) {
+	n := m.rows
+	for i := 0; i < n; i++ {
+		if i == p || i == q {
+			continue
+		}
+		aip, aiq := m.At(i, p), m.At(i, q)
+		m.Set(i, p, c*aip-s*aiq)
+		m.Set(p, i, c*aip-s*aiq)
+		m.Set(i, q, s*aip+c*aiq)
+		m.Set(q, i, s*aip+c*aiq)
+	}
+	app, aqq, apq := m.At(p, p), m.At(q, q), m.At(p, q)
+	m.Set(p, p, c*c*app-2*s*c*apq+s*s*aqq)
+	m.Set(q, q, s*s*app+2*s*c*apq+c*c*aqq)
+	m.Set(p, q, 0)
+	m.Set(q, p, 0)
+}
+
+// rotateColumns applies the rotation to the eigenvector accumulator.
+func rotateColumns(v *Matrix, p, q int, c, s float64) {
+	for i := 0; i < v.rows; i++ {
+		vip, viq := v.At(i, p), v.At(i, q)
+		v.Set(i, p, c*vip-s*viq)
+		v.Set(i, q, s*vip+c*viq)
+	}
+}
+
+// offDiagNorm returns the Frobenius norm of the off-diagonal part.
+func offDiagNorm(m *Matrix) float64 {
+	var s float64
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < m.cols; j++ {
+			if i != j {
+				s += m.At(i, j) * m.At(i, j)
+			}
+		}
+	}
+	return math.Sqrt(s)
+}

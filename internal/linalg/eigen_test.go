@@ -1,0 +1,107 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestEigenSymDiagonal(t *testing.T) {
+	a, _ := FromRows([][]float64{
+		{3, 0, 0},
+		{0, 1, 0},
+		{0, 0, 2},
+	})
+	vals, vecs, err := EigenSym(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{3, 2, 1}
+	for i := range want {
+		if math.Abs(vals[i]-want[i]) > 1e-12 {
+			t.Errorf("eigenvalue %d = %v, want %v", i, vals[i], want[i])
+		}
+	}
+	// First eigenvector should be ±e1.
+	if math.Abs(math.Abs(vecs.At(0, 0))-1) > 1e-10 {
+		t.Errorf("first eigenvector not aligned with axis: %v", vecs.Col(0))
+	}
+}
+
+func TestEigenSymKnown2x2(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 3 and 1.
+	a, _ := FromRows([][]float64{{2, 1}, {1, 2}})
+	vals, vecs, err := EigenSym(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(vals[0]-3) > 1e-12 || math.Abs(vals[1]-1) > 1e-12 {
+		t.Fatalf("eigenvalues = %v, want [3 1]", vals)
+	}
+	// Eigenvector for 3 is (1,1)/√2 up to sign.
+	v := vecs.Col(0)
+	if math.Abs(math.Abs(v[0])-math.Sqrt2/2) > 1e-10 || math.Abs(v[0]-v[1]) > 1e-10 {
+		t.Errorf("eigenvector for 3 = %v", v)
+	}
+}
+
+func TestEigenSymRejectsAsymmetric(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2}, {0, 1}})
+	if _, _, err := EigenSym(a); err == nil {
+		t.Error("asymmetric input should error")
+	}
+}
+
+// TestEigenSymReconstruction checks A·v = λ·v and orthonormality on random
+// symmetric matrices.
+func TestEigenSymReconstruction(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + r.Intn(7)
+		a := NewMatrix(n, n)
+		for i := 0; i < n; i++ {
+			for j := i; j < n; j++ {
+				v := r.NormFloat64()
+				a.Set(i, j, v)
+				a.Set(j, i, v)
+			}
+		}
+		vals, vecs, err := EigenSym(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Descending order.
+		for i := 1; i < n; i++ {
+			if vals[i] > vals[i-1]+1e-10 {
+				t.Fatalf("eigenvalues not sorted: %v", vals)
+			}
+		}
+		for k := 0; k < n; k++ {
+			v := vecs.Col(k)
+			av := a.MulVec(v)
+			for i := 0; i < n; i++ {
+				if math.Abs(av[i]-vals[k]*v[i]) > 1e-8 {
+					t.Fatalf("trial %d: A·v != λ·v for pair %d (err %v)",
+						trial, k, math.Abs(av[i]-vals[k]*v[i]))
+				}
+			}
+			// Unit norm.
+			var norm float64
+			for _, x := range v {
+				norm += x * x
+			}
+			if math.Abs(norm-1) > 1e-10 {
+				t.Fatalf("eigenvector %d has norm² %v", k, norm)
+			}
+		}
+		// Trace preservation: Σλ == tr(A).
+		var trace, sum float64
+		for i := 0; i < n; i++ {
+			trace += a.At(i, i)
+			sum += vals[i]
+		}
+		if math.Abs(trace-sum) > 1e-9 {
+			t.Fatalf("trace %v != eigenvalue sum %v", trace, sum)
+		}
+	}
+}

@@ -1,0 +1,198 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewMatrixPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewMatrix(0, 3) should panic")
+		}
+	}()
+	NewMatrix(0, 3)
+}
+
+func TestFromRows(t *testing.T) {
+	if _, err := FromRows(nil); err == nil {
+		t.Error("FromRows(nil) should error")
+	}
+	if _, err := FromRows([][]float64{{1, 2}, {3}}); err == nil {
+		t.Error("ragged rows should error")
+	}
+	m, err := FromRows([][]float64{{1, 2}, {3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.At(1, 0) != 3 || m.At(0, 1) != 2 {
+		t.Errorf("element access wrong: %v", m)
+	}
+}
+
+func TestIdentityMul(t *testing.T) {
+	m, _ := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	got := m.Mul(Identity(3))
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			if got.At(i, j) != m.At(i, j) {
+				t.Fatalf("M*I != M at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestMulKnown(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2}, {3, 4}})
+	b, _ := FromRows([][]float64{{5, 6}, {7, 8}})
+	got := a.Mul(b)
+	want := [][]float64{{19, 22}, {43, 50}}
+	for i := range want {
+		for j := range want[i] {
+			if got.At(i, j) != want[i][j] {
+				t.Errorf("(A·B)[%d][%d] = %v, want %v", i, j, got.At(i, j), want[i][j])
+			}
+		}
+	}
+}
+
+func TestMulShapePanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("shape mismatch should panic")
+		}
+	}()
+	a, _ := FromRows([][]float64{{1, 2}})
+	a.Mul(a)
+}
+
+func TestMulVec(t *testing.T) {
+	m, _ := FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	got := m.MulVec([]float64{1, -1})
+	want := []float64{-1, -1, -1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("MulVec[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	m, _ := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	tr := m.T()
+	if tr.Rows() != 3 || tr.Cols() != 2 {
+		t.Fatalf("transpose shape %dx%d", tr.Rows(), tr.Cols())
+	}
+	if tr.At(2, 1) != 6 || tr.At(0, 1) != 4 {
+		t.Errorf("transpose values wrong: %v", tr)
+	}
+}
+
+func TestRowColClone(t *testing.T) {
+	m, _ := FromRows([][]float64{{1, 2}, {3, 4}})
+	r := m.Row(1)
+	r[0] = 99
+	if m.At(1, 0) != 3 {
+		t.Error("Row must return a copy")
+	}
+	c := m.Col(0)
+	if c[0] != 1 || c[1] != 3 {
+		t.Errorf("Col(0) = %v", c)
+	}
+	cl := m.Clone()
+	cl.Set(0, 0, 42)
+	if m.At(0, 0) != 1 {
+		t.Error("Clone must be deep")
+	}
+}
+
+func TestIsSymmetric(t *testing.T) {
+	s, _ := FromRows([][]float64{{2, 1}, {1, 2}})
+	if !s.IsSymmetric(0) {
+		t.Error("should be symmetric")
+	}
+	a, _ := FromRows([][]float64{{2, 1}, {0, 2}})
+	if a.IsSymmetric(1e-9) {
+		t.Error("should not be symmetric")
+	}
+	r, _ := FromRows([][]float64{{1, 2, 3}})
+	if r.IsSymmetric(1e-9) {
+		t.Error("non-square cannot be symmetric")
+	}
+}
+
+func TestCovariance(t *testing.T) {
+	// Two perfectly correlated columns and one anti-correlated.
+	data, _ := FromRows([][]float64{
+		{1, 2, -1},
+		{2, 4, -2},
+		{3, 6, -3},
+		{4, 8, -4},
+	})
+	cov, err := Covariance(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// var(col0) with values 1..4 is 5/3.
+	if math.Abs(cov.At(0, 0)-5.0/3) > 1e-12 {
+		t.Errorf("var(col0) = %v, want %v", cov.At(0, 0), 5.0/3)
+	}
+	if math.Abs(cov.At(0, 1)-2*cov.At(0, 0)) > 1e-12 {
+		t.Errorf("cov(0,1) = %v, want %v", cov.At(0, 1), 2*cov.At(0, 0))
+	}
+	if cov.At(0, 2) >= 0 {
+		t.Errorf("cov(0,2) = %v, want negative", cov.At(0, 2))
+	}
+	if !cov.IsSymmetric(0) {
+		t.Error("covariance must be symmetric")
+	}
+
+	one, _ := FromRows([][]float64{{1, 2}})
+	if _, err := Covariance(one); err == nil {
+		t.Error("covariance of single row should error")
+	}
+}
+
+func TestSolveSPD(t *testing.T) {
+	a, _ := FromRows([][]float64{{4, 1}, {1, 3}})
+	x, err := SolveSPD(a, []float64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Check A·x == b.
+	b := a.MulVec(x)
+	if math.Abs(b[0]-1) > 1e-12 || math.Abs(b[1]-2) > 1e-12 {
+		t.Errorf("A·x = %v, want [1 2]", b)
+	}
+}
+
+func TestSolveSPDErrors(t *testing.T) {
+	a, _ := FromRows([][]float64{{0, 0}, {0, 0}})
+	if _, err := SolveSPD(a, []float64{1, 1}); err == nil {
+		t.Error("singular matrix should error")
+	}
+	b, _ := FromRows([][]float64{{1, 0}, {0, 1}})
+	if _, err := SolveSPD(b, []float64{1}); err == nil {
+		t.Error("shape mismatch should error")
+	}
+	// Indefinite matrix.
+	c, _ := FromRows([][]float64{{1, 2}, {2, 1}})
+	if _, err := SolveSPD(c, []float64{1, 1}); err == nil {
+		t.Error("indefinite matrix should error")
+	}
+}
+
+func TestScale(t *testing.T) {
+	m, _ := FromRows([][]float64{{1, -2}})
+	m.Scale(3)
+	if m.At(0, 0) != 3 || m.At(0, 1) != -6 {
+		t.Errorf("scaled = %v", m)
+	}
+}
+
+func TestStringNonEmpty(t *testing.T) {
+	m := Identity(2)
+	if m.String() == "" {
+		t.Error("String should produce output")
+	}
+}

@@ -1,0 +1,148 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// QR holds the Householder QR factorization of an m×n matrix (m ≥ n):
+// A = Q·R with Q orthogonal (applied implicitly) and R upper triangular
+// (n×n). It is the numerically stable path for least-squares problems whose
+// normal equations would be ill-conditioned — forming AᵀA squares the
+// condition number, which is exactly what SolveSPD does — so the
+// multi-feature property models solve through QR instead.
+type QR struct {
+	// qr stores R above the diagonal, the R diagonal on the diagonal, and
+	// the Householder vectors (minus their leading entries) below it.
+	qr *Matrix
+	// v0 holds the leading entry of each Householder vector, kept in
+	// [1, 2] by the sign convention so reflector application never
+	// divides by a small number.
+	v0 []float64
+}
+
+// FactorQR computes the Householder QR factorization of a. The input must
+// have at least as many rows as columns, be non-empty and have full column
+// rank.
+func FactorQR(a *Matrix) (*QR, error) {
+	m, n := a.Rows(), a.Cols()
+	if m == 0 || n == 0 {
+		return nil, fmt.Errorf("linalg: QR of empty matrix %dx%d", m, n)
+	}
+	if m < n {
+		return nil, fmt.Errorf("linalg: QR needs rows ≥ cols, got %dx%d", m, n)
+	}
+	f := a.Clone()
+	// Rank deficiency manifests as a column norm that is zero up to
+	// rounding; measure it against the overall matrix scale.
+	var frob float64
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			frob = math.Hypot(frob, a.At(i, j))
+		}
+	}
+	const rankTol = 1e-12
+	v0 := make([]float64, n)
+	for k := 0; k < n; k++ {
+		// Build the Householder reflector annihilating column k below
+		// the diagonal. Giving nrm the sign of the diagonal keeps the
+		// scaled leading entry in [1, 2].
+		var nrm float64
+		for i := k; i < m; i++ {
+			nrm = math.Hypot(nrm, f.At(i, k))
+		}
+		if nrm <= rankTol*frob {
+			return nil, fmt.Errorf("linalg: QR found rank-deficient column %d", k)
+		}
+		if f.At(k, k) < 0 {
+			nrm = -nrm
+		}
+		for i := k; i < m; i++ {
+			f.Set(i, k, f.At(i, k)/nrm)
+		}
+		f.Set(k, k, f.At(k, k)+1)
+		v0[k] = f.At(k, k)
+
+		// Apply the reflector to the remaining columns:
+		// H = I − v·vᵀ/v₀.
+		for j := k + 1; j < n; j++ {
+			var s float64
+			for i := k; i < m; i++ {
+				s += f.At(i, k) * f.At(i, j)
+			}
+			s = -s / v0[k]
+			for i := k; i < m; i++ {
+				f.Set(i, j, f.At(i, j)+s*f.At(i, k))
+			}
+		}
+		// The reflector maps column k onto −nrm·e_k; record that R
+		// diagonal in place of the (saved) leading vector entry.
+		f.Set(k, k, -nrm)
+	}
+	return &QR{qr: f, v0: v0}, nil
+}
+
+// R returns the n×n upper-triangular factor.
+func (q *QR) R() *Matrix {
+	n := q.qr.Cols()
+	r := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			r.Set(i, j, q.qr.At(i, j))
+		}
+	}
+	return r
+}
+
+// applyQT overwrites b (length m) with Qᵀ·b by applying the stored
+// reflectors in order.
+func (q *QR) applyQT(b []float64) {
+	m, n := q.qr.Rows(), q.qr.Cols()
+	for k := 0; k < n; k++ {
+		s := q.v0[k] * b[k]
+		for i := k + 1; i < m; i++ {
+			s += q.qr.At(i, k) * b[i]
+		}
+		s = -s / q.v0[k]
+		b[k] += s * q.v0[k]
+		for i := k + 1; i < m; i++ {
+			b[i] += s * q.qr.At(i, k)
+		}
+	}
+}
+
+// Solve returns the least-squares solution x minimizing ‖A·x − b‖₂ for the
+// factored A. len(b) must equal the factored matrix's row count.
+func (q *QR) Solve(b []float64) ([]float64, error) {
+	m, n := q.qr.Rows(), q.qr.Cols()
+	if len(b) != m {
+		return nil, fmt.Errorf("linalg: QR solve needs len(b)=%d, got %d", m, len(b))
+	}
+	w := make([]float64, m)
+	copy(w, b)
+	q.applyQT(w)
+	// Back-substitute R·x = (Qᵀb)[:n].
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := w[i]
+		for j := i + 1; j < n; j++ {
+			s -= q.qr.At(i, j) * x[j]
+		}
+		d := q.qr.At(i, i)
+		if d == 0 {
+			return nil, fmt.Errorf("linalg: QR solve hit zero diagonal at %d", i)
+		}
+		x[i] = s / d
+	}
+	return x, nil
+}
+
+// SolveLeastSquares factors a and solves the least-squares problem in one
+// call.
+func SolveLeastSquares(a *Matrix, b []float64) ([]float64, error) {
+	f, err := FactorQR(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.Solve(b)
+}

@@ -1,0 +1,182 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestQRSolveSquareSystem(t *testing.T) {
+	a, err := FromRows([][]float64{
+		{2, 1},
+		{1, 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Solution of [2 1; 1 3]x = [5; 10] is x = [1, 3].
+	x, err := SolveLeastSquares(a, []float64{5, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 3}
+	for i := range want {
+		if math.Abs(x[i]-want[i]) > 1e-10 {
+			t.Fatalf("x = %v, want %v", x, want)
+		}
+	}
+}
+
+func TestQRLeastSquaresOverdetermined(t *testing.T) {
+	// y = 1 + 2t sampled exactly: residual zero, coefficients exact.
+	ts := []float64{0, 1, 2, 3, 4}
+	a := NewMatrix(len(ts), 2)
+	b := make([]float64, len(ts))
+	for i, tv := range ts {
+		a.Set(i, 0, 1)
+		a.Set(i, 1, tv)
+		b[i] = 1 + 2*tv
+	}
+	x, err := SolveLeastSquares(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-1) > 1e-10 || math.Abs(x[1]-2) > 1e-10 {
+		t.Fatalf("coefficients = %v, want [1 2]", x)
+	}
+}
+
+func TestQRMatchesNormalEquationsOnWellConditioned(t *testing.T) {
+	r := rng.New(5)
+	m, n := 40, 3
+	a := NewMatrix(m, n)
+	b := make([]float64, m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			a.Set(i, j, r.NormFloat64())
+		}
+		b[i] = r.NormFloat64()
+	}
+	xQR, err := SolveLeastSquares(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ata := a.T().Mul(a)
+	atb := a.T().MulVec(b)
+	xNE, err := SolveSPD(ata, atb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range xQR {
+		if math.Abs(xQR[i]-xNE[i]) > 1e-8 {
+			t.Fatalf("QR %v vs normal equations %v differ at %d", xQR, xNE, i)
+		}
+	}
+}
+
+func TestQRRFactorIsUpperTriangularAndReconstructs(t *testing.T) {
+	r := rng.New(9)
+	m, n := 6, 4
+	a := NewMatrix(m, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			a.Set(i, j, r.NormFloat64())
+		}
+	}
+	f, err := FactorQR(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rm := f.R()
+	for i := 0; i < n; i++ {
+		for j := 0; j < i; j++ {
+			if rm.At(i, j) != 0 {
+				t.Fatalf("R not upper triangular at (%d,%d): %v", i, j, rm.At(i, j))
+			}
+		}
+	}
+	// ‖R‖F must equal ‖A‖F (orthogonal invariance).
+	var na, nr float64
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			na += a.At(i, j) * a.At(i, j)
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			nr += rm.At(i, j) * rm.At(i, j)
+		}
+	}
+	if math.Abs(na-nr) > 1e-8*na {
+		t.Errorf("Frobenius norms differ: ‖A‖²=%v ‖R‖²=%v", na, nr)
+	}
+}
+
+func TestQRErrors(t *testing.T) {
+	wide := NewMatrix(2, 3)
+	if _, err := FactorQR(wide); err == nil {
+		t.Error("want error for wide matrix")
+	}
+	rankDef, err := FromRows([][]float64{{1, 2}, {2, 4}, {3, 6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FactorQR(rankDef); err == nil {
+		t.Error("want error for rank-deficient matrix")
+	}
+	ok, err := FromRows([][]float64{{1, 0}, {0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := FactorQR(ok)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Solve([]float64{1}); err == nil {
+		t.Error("want error for wrong RHS length")
+	}
+}
+
+func TestQRResidualOrthogonalityProperty(t *testing.T) {
+	// Property of least squares: the residual b − A·x is orthogonal to
+	// every column of A.
+	f := func(seed int64) bool {
+		r := rng.New(seed)
+		m, n := 12, 3
+		a := NewMatrix(m, n)
+		b := make([]float64, m)
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				a.Set(i, j, r.NormFloat64())
+			}
+			b[i] = r.NormFloat64()
+		}
+		x, err := SolveLeastSquares(a, b)
+		if err != nil {
+			return true // rank-deficient draw; nothing to check
+		}
+		res := make([]float64, m)
+		for i := 0; i < m; i++ {
+			s := b[i]
+			for j := 0; j < n; j++ {
+				s -= a.At(i, j) * x[j]
+			}
+			res[i] = s
+		}
+		for j := 0; j < n; j++ {
+			var dot float64
+			for i := 0; i < m; i++ {
+				dot += a.At(i, j) * res[i]
+			}
+			if math.Abs(dot) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

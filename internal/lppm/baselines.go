@@ -1,0 +1,147 @@
+package lppm
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/rng"
+	"repro/internal/stat"
+	"repro/internal/trace"
+)
+
+// SigmaParam configures GaussianPerturbation (meters).
+const SigmaParam = "sigma"
+
+// GaussianPerturbation is a baseline noise LPPM: isotropic Gaussian noise of
+// a configurable standard deviation per axis. It provides no differential
+// guarantee; the ablation benches contrast it with GEO-I's planar Laplace.
+type GaussianPerturbation struct {
+	spec ParamSpec
+}
+
+// NewGaussianPerturbation returns the mechanism with σ ∈ [1 m, 20 km].
+func NewGaussianPerturbation() *GaussianPerturbation {
+	return &GaussianPerturbation{
+		spec: ParamSpec{Name: SigmaParam, Unit: "m", Min: 1, Max: 2e4, Default: 100, LogScale: true},
+	}
+}
+
+// Name implements Mechanism.
+func (g *GaussianPerturbation) Name() string { return "gaussian" }
+
+// Params implements Mechanism.
+func (g *GaussianPerturbation) Params() []ParamSpec { return []ParamSpec{g.spec} }
+
+// Protect implements Mechanism.
+func (g *GaussianPerturbation) Protect(t *trace.Trace, p Params, r *rng.Source) (*trace.Trace, error) {
+	sigma, err := p.Get(SigmaParam)
+	if err != nil {
+		return nil, err
+	}
+	if err := g.spec.Validate(sigma); err != nil {
+		return nil, err
+	}
+	out := t.Clone()
+	for i := range out.Records {
+		east, north := stat.SampleGaussian2D(r, sigma)
+		out.Records[i].Point = out.Records[i].Point.Offset(east, north)
+	}
+	return out, nil
+}
+
+// CellSizeParam configures GridCloaking (meters).
+const CellSizeParam = "cell_size"
+
+// GridCloaking is a spatial-generalization LPPM: every location is snapped
+// to the center of its enclosing grid cell, so all points inside a cell
+// become indistinguishable. The grid is anchored at a data-independent
+// origin (the whole-degree corner below the trace) so that all of a user's
+// records share one tessellation.
+type GridCloaking struct {
+	spec ParamSpec
+}
+
+// NewGridCloaking returns the mechanism with cell sizes from 10 m to 20 km.
+func NewGridCloaking() *GridCloaking {
+	return &GridCloaking{
+		spec: ParamSpec{Name: CellSizeParam, Unit: "m", Min: 10, Max: 2e4, Default: 500, LogScale: true},
+	}
+}
+
+// Name implements Mechanism.
+func (g *GridCloaking) Name() string { return "cloaking" }
+
+// Params implements Mechanism.
+func (g *GridCloaking) Params() []ParamSpec { return []ParamSpec{g.spec} }
+
+// Protect implements Mechanism. It is deterministic; r is unused.
+func (g *GridCloaking) Protect(t *trace.Trace, p Params, _ *rng.Source) (*trace.Trace, error) {
+	size, err := p.Get(CellSizeParam)
+	if err != nil {
+		return nil, err
+	}
+	if err := g.spec.Validate(size); err != nil {
+		return nil, err
+	}
+	out := t.Clone()
+	if len(out.Records) == 0 {
+		return out, nil
+	}
+	first := out.Records[0].Point
+	origin := geo.Point{Lat: math.Floor(first.Lat), Lng: math.Floor(first.Lng)}
+	grid := geo.NewGrid(origin, size)
+	for i := range out.Records {
+		out.Records[i].Point = grid.SnapToCellCenter(out.Records[i].Point)
+	}
+	return out, nil
+}
+
+// PeriodSecParam configures TemporalSampling (seconds).
+const PeriodSecParam = "period_sec"
+
+// TemporalSampling is a data-minimization LPPM: it keeps at most one record
+// per period, hiding dwell durations and densities rather than locations.
+type TemporalSampling struct {
+	spec ParamSpec
+}
+
+// NewTemporalSampling returns the mechanism with periods from 1 s to 24 h.
+func NewTemporalSampling() *TemporalSampling {
+	return &TemporalSampling{
+		spec: ParamSpec{Name: PeriodSecParam, Unit: "s", Min: 1, Max: 86400, Default: 300, LogScale: true},
+	}
+}
+
+// Name implements Mechanism.
+func (s *TemporalSampling) Name() string { return "sampling" }
+
+// Params implements Mechanism.
+func (s *TemporalSampling) Params() []ParamSpec { return []ParamSpec{s.spec} }
+
+// Protect implements Mechanism. It is deterministic; r is unused.
+func (s *TemporalSampling) Protect(t *trace.Trace, p Params, _ *rng.Source) (*trace.Trace, error) {
+	period, err := p.Get(PeriodSecParam)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.spec.Validate(period); err != nil {
+		return nil, err
+	}
+	return t.Resample(time.Duration(period * float64(time.Second))), nil
+}
+
+// Identity is the no-op LPPM: it publishes the raw trace. It anchors the
+// privacy/utility extremes in comparison experiments.
+type Identity struct{}
+
+// Name implements Mechanism.
+func (Identity) Name() string { return "identity" }
+
+// Params implements Mechanism.
+func (Identity) Params() []ParamSpec { return nil }
+
+// Protect implements Mechanism.
+func (Identity) Protect(t *trace.Trace, _ Params, _ *rng.Source) (*trace.Trace, error) {
+	return t.Clone(), nil
+}

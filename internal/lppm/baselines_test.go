@@ -1,0 +1,137 @@
+package lppm
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/rng"
+	"repro/internal/trace"
+)
+
+func TestGaussianPerturbation(t *testing.T) {
+	tr := mkTrace(t, "u", 2000)
+	g := NewGaussianPerturbation()
+	out, err := g.Protect(tr, Params{SigmaParam: 100}, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum2 float64
+	for i := range out.Records {
+		d := geo.Equirectangular(tr.Records[i].Point, out.Records[i].Point)
+		sum2 += d * d
+	}
+	// E[d²] = 2σ² for isotropic Gaussian noise.
+	rms := math.Sqrt(sum2 / float64(out.Len()))
+	want := 100 * math.Sqrt2
+	if math.Abs(rms-want) > want*0.1 {
+		t.Errorf("rms displacement = %v, want ~%v", rms, want)
+	}
+	if _, err := g.Protect(tr, Params{SigmaParam: 0}, rng.New(1)); err == nil {
+		t.Error("sigma below min should error")
+	}
+	if _, err := g.Protect(tr, Params{}, rng.New(1)); err == nil {
+		t.Error("missing sigma should error")
+	}
+}
+
+func TestGridCloakingSnapsConsistently(t *testing.T) {
+	tr := mkTrace(t, "u", 40)
+	c := NewGridCloaking()
+	out, err := c.Protect(tr, Params{CellSizeParam: 500}, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Nearby points must collapse to few distinct snapped locations.
+	distinct := make(map[geo.Point]struct{})
+	for _, r := range out.Records {
+		distinct[r.Point] = struct{}{}
+	}
+	if len(distinct) >= tr.Len()/2 {
+		t.Errorf("cloaking left %d distinct points out of %d", len(distinct), tr.Len())
+	}
+	// Deterministic: same input gives same output.
+	out2, err := c.Protect(tr, Params{CellSizeParam: 500}, rng.New(999))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range out.Records {
+		if out.Records[i].Point != out2.Records[i].Point {
+			t.Fatal("cloaking must be deterministic")
+		}
+	}
+	// Each snapped point is within half a cell diagonal of its original.
+	maxD := 500 * math.Sqrt2 / 2
+	for i := range out.Records {
+		if d := geo.Equirectangular(tr.Records[i].Point, out.Records[i].Point); d > maxD+1 {
+			t.Errorf("record %d moved %v m, max %v", i, d, maxD)
+		}
+	}
+}
+
+func TestGridCloakingEmptyTrace(t *testing.T) {
+	empty, err := trace.NewTrace("u", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewGridCloaking()
+	out, err := c.Protect(empty, Params{CellSizeParam: 500}, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 0 {
+		t.Error("empty in, empty out")
+	}
+}
+
+func TestTemporalSampling(t *testing.T) {
+	tr := mkTrace(t, "u", 60) // 1/min
+	s := NewTemporalSampling()
+	out, err := s.Protect(tr, Params{PeriodSecParam: 600}, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 6 {
+		t.Errorf("sampled len = %d, want 6", out.Len())
+	}
+	if _, err := s.Protect(tr, Params{PeriodSecParam: 0}, rng.New(1)); err == nil {
+		t.Error("period below min should error")
+	}
+}
+
+func TestIdentity(t *testing.T) {
+	tr := mkTrace(t, "u", 5)
+	var id Identity
+	out, err := id.Protect(tr, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range out.Records {
+		if out.Records[i] != tr.Records[i] {
+			t.Fatal("identity must preserve records")
+		}
+	}
+	out.Records[0].Point = geo.Point{Lat: 1, Lng: 1}
+	if tr.Records[0].Point == out.Records[0].Point {
+		t.Error("identity must return a copy, not an alias")
+	}
+	if id.Params() != nil {
+		t.Error("identity has no parameters")
+	}
+}
+
+func TestBaselineSpecsSane(t *testing.T) {
+	for _, m := range []Mechanism{
+		NewGaussianPerturbation(), NewGridCloaking(), NewTemporalSampling(),
+	} {
+		specs := m.Params()
+		if len(specs) != 1 {
+			t.Errorf("%s: %d params, want 1", m.Name(), len(specs))
+			continue
+		}
+		s := specs[0]
+		if s.Min >= s.Max || s.Default < s.Min || s.Default > s.Max {
+			t.Errorf("%s: inconsistent spec %+v", m.Name(), s)
+		}
+	}
+}

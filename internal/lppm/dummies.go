@@ -1,0 +1,122 @@
+package lppm
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/rng"
+	"repro/internal/trace"
+)
+
+// WalkersParam configures DummyInjection: the number of synthetic decoy
+// walkers whose records are interleaved with the real trace.
+const WalkersParam = "walkers"
+
+// DummyInjection is the classic decoy LPPM (Kido et al., ICPS'05 lineage):
+// the published trace mixes the user's real records with the records of k
+// synthetic "walkers" moving plausibly through the same area over the same
+// time window — an adversary must first decide which records are real.
+// Dummy walkers dwell occasionally so they also deposit fake stay points
+// into POI extractors.
+//
+// The mechanism publishes everything under the user's identity (that is the
+// point: the server cannot tell records apart), so protected traces grow by
+// a factor of k+1. It trades bandwidth and server-side quality for
+// plausible deniability instead of perturbing true locations — a third
+// behavioural family alongside noise (GEO-I) and generalization (cloaking),
+// which is what makes it worth modeling.
+type DummyInjection struct {
+	spec ParamSpec
+}
+
+// NewDummyInjection returns the mechanism with 1–32 dummy walkers.
+func NewDummyInjection() *DummyInjection {
+	return &DummyInjection{
+		spec: ParamSpec{Name: WalkersParam, Unit: "walkers", Min: 1, Max: 32, Default: 4, LogScale: true},
+	}
+}
+
+// Name implements Mechanism.
+func (*DummyInjection) Name() string { return "dummies" }
+
+// Params implements Mechanism.
+func (m *DummyInjection) Params() []ParamSpec { return []ParamSpec{m.spec} }
+
+// Protect implements Mechanism. A fractional walkers value rounds down, so
+// log-scale sweep grids remain valid on this discrete parameter.
+func (m *DummyInjection) Protect(t *trace.Trace, p Params, r *rng.Source) (*trace.Trace, error) {
+	v, err := p.Get(WalkersParam)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.spec.Validate(v); err != nil {
+		return nil, err
+	}
+	k := int(v)
+	out := t.Clone()
+	if len(t.Records) < 2 {
+		return out, nil
+	}
+	box, _ := geo.NewBBox(t.Points())
+	// Give walkers room around the real trace so decoys do not trivially
+	// outline it.
+	area := box.Buffer(1000)
+	for w := 0; w < k; w++ {
+		walker := r.Split(int64(w))
+		out.Records = append(out.Records, dummyWalk(t, area, walker)...)
+	}
+	sort.SliceStable(out.Records, func(i, j int) bool { return out.Records[i].Time.Before(out.Records[j].Time) })
+	return out, nil
+}
+
+// dummyWalk synthesizes one decoy walker: it follows the real trace's
+// timestamps, moving between random waypoints inside area at a plausible
+// urban speed and dwelling at some waypoints long enough to look like a
+// stay.
+func dummyWalk(t *trace.Trace, area geo.BBox, r *rng.Source) []trace.Record {
+	const (
+		speedMPS      = 8.0 // brisk urban driving average
+		dwellProb     = 0.3 // chance a reached waypoint becomes a fake stay
+		minDwell      = 5 * time.Minute
+		maxDwell      = 40 * time.Minute
+		arriveEpsilon = 30.0 // meters at which a waypoint counts as reached
+	)
+	pos := randPointIn(area, r)
+	dest := randPointIn(area, r)
+	var dwellUntil time.Time
+	records := make([]trace.Record, 0, len(t.Records))
+	prevTime := t.Records[0].Time
+	for _, rec := range t.Records {
+		dt := rec.Time.Sub(prevTime).Seconds()
+		prevTime = rec.Time
+		if rec.Time.Before(dwellUntil) {
+			// Parked at a fake stay: deposit the same position.
+			records = append(records, trace.Record{User: t.User, Time: rec.Time, Point: pos})
+			continue
+		}
+		if dist := geo.Haversine(pos, dest); dist <= arriveEpsilon {
+			if r.Float64() < dwellProb {
+				dwell := minDwell + time.Duration(r.Float64()*float64(maxDwell-minDwell))
+				dwellUntil = rec.Time.Add(dwell)
+			}
+			dest = randPointIn(area, r)
+		} else if dt > 0 {
+			step := speedMPS * dt
+			if step > dist {
+				step = dist
+			}
+			pos = pos.Destination(step, pos.BearingTo(dest))
+		}
+		records = append(records, trace.Record{User: t.User, Time: rec.Time, Point: pos})
+	}
+	return records
+}
+
+// randPointIn draws a uniform point inside the bounding box.
+func randPointIn(b geo.BBox, r *rng.Source) geo.Point {
+	return geo.Point{
+		Lat: b.MinLat + r.Float64()*(b.MaxLat-b.MinLat),
+		Lng: b.MinLng + r.Float64()*(b.MaxLng-b.MinLng),
+	}
+}

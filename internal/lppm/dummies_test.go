@@ -1,0 +1,140 @@
+package lppm
+
+import (
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/rng"
+	"repro/internal/trace"
+)
+
+func TestDummyInjectionGrowsTraceByWalkers(t *testing.T) {
+	m := NewDummyInjection()
+	tr := mkTrace(t, "u1", 40)
+	for _, k := range []int{1, 4, 8} {
+		out, err := m.Protect(tr, Params{WalkersParam: float64(k)}, rng.New(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := out.Len(), tr.Len()*(k+1); got != want {
+			t.Errorf("walkers=%d: %d records, want %d", k, got, want)
+		}
+	}
+}
+
+func TestDummyInjectionPreservesRealRecords(t *testing.T) {
+	m := NewDummyInjection()
+	tr := mkTrace(t, "u1", 30)
+	out, err := m.Protect(tr, Params{WalkersParam: 3}, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every real record must appear verbatim in the release.
+	have := make(map[trace.Record]bool, out.Len())
+	for _, rec := range out.Records {
+		have[rec] = true
+	}
+	for _, rec := range tr.Records {
+		if !have[rec] {
+			t.Fatalf("real record %v missing from the release", rec)
+		}
+	}
+}
+
+func TestDummyInjectionRecordsSortedAndSameUser(t *testing.T) {
+	m := NewDummyInjection()
+	tr := mkTrace(t, "u1", 25)
+	out, err := m.Protect(tr, Params{WalkersParam: 5}, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Sorted() {
+		t.Error("release must be time-sorted")
+	}
+	for _, rec := range out.Records {
+		if rec.User != "u1" {
+			t.Fatalf("record published under %q, want u1", rec.User)
+		}
+	}
+}
+
+func TestDummyWalkersHavePlausibleSpeed(t *testing.T) {
+	m := NewDummyInjection()
+	tr := mkTrace(t, "u1", 60)
+	out, err := m.Protect(tr, Params{WalkersParam: 1}, rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Split the release back into real and dummy records: dummies are the
+	// ones not present in the original.
+	real := make(map[trace.Record]bool, tr.Len())
+	for _, rec := range tr.Records {
+		real[rec] = true
+	}
+	var dummy []trace.Record
+	for _, rec := range out.Records {
+		if !real[rec] {
+			dummy = append(dummy, rec)
+		}
+	}
+	if len(dummy) != tr.Len() {
+		t.Fatalf("%d dummy records, want %d", len(dummy), tr.Len())
+	}
+	for i := 1; i < len(dummy); i++ {
+		dt := dummy[i].Time.Sub(dummy[i-1].Time).Seconds()
+		if dt <= 0 {
+			continue
+		}
+		speed := geo.Haversine(dummy[i-1].Point, dummy[i].Point) / dt
+		if speed > 9 {
+			t.Fatalf("dummy segment %d moves at %.1f m/s, want ≤ 9 (walker speed cap)", i, speed)
+		}
+	}
+}
+
+func TestDummyInjectionDeterministicPerSeed(t *testing.T) {
+	m := NewDummyInjection()
+	tr := mkTrace(t, "u1", 20)
+	a, err := m.Protect(tr, Params{WalkersParam: 2}, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.Protect(tr, Params{WalkersParam: 2}, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != b.Len() {
+		t.Fatal("same seed must reproduce the same release")
+	}
+	for i := range a.Records {
+		if a.Records[i] != b.Records[i] {
+			t.Fatal("same seed must reproduce the same release")
+		}
+	}
+}
+
+func TestDummyInjectionShortTraceUntouched(t *testing.T) {
+	m := NewDummyInjection()
+	single, err := trace.NewTrace("u1", []trace.Record{{User: "u1", Time: t0, Point: basePt}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := m.Protect(single, Params{WalkersParam: 4}, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 1 {
+		t.Errorf("short trace should be released as-is, got %d records", out.Len())
+	}
+}
+
+func TestDummyInjectionParamValidation(t *testing.T) {
+	m := NewDummyInjection()
+	tr := mkTrace(t, "u1", 5)
+	if _, err := m.Protect(tr, Params{}, rng.New(1)); err == nil {
+		t.Error("missing walkers should fail")
+	}
+	if _, err := m.Protect(tr, Params{WalkersParam: 100}, rng.New(1)); err == nil {
+		t.Error("out-of-range walkers should fail")
+	}
+}

@@ -1,0 +1,137 @@
+package lppm
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/rng"
+	"repro/internal/trace"
+)
+
+// mkDenseSparsTrace builds a trace that spends most records clustered at
+// basePt (dense cell) and a few records far away (sparse cells).
+func mkDenseSparseTrace(t *testing.T, denseN, sparseN int) *trace.Trace {
+	t.Helper()
+	var recs []trace.Record
+	at := t0
+	for i := 0; i < denseN; i++ {
+		recs = append(recs, trace.Record{User: "u1", Time: at, Point: basePt.Offset(float64(i%5)*10, 0)})
+		at = at.Add(time.Minute)
+	}
+	for i := 0; i < sparseN; i++ {
+		recs = append(recs, trace.Record{User: "u1", Time: at, Point: basePt.Offset(8000+float64(i)*3000, 5000)})
+		at = at.Add(time.Minute)
+	}
+	tr, err := trace.NewTrace("u1", recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestElasticZeroElasticityMatchesGeoI(t *testing.T) {
+	tr := mkTrace(t, "u1", 30)
+	e := NewElasticGeoInd()
+	g := NewGeoIndistinguishability()
+	outE, err := e.Protect(tr, Params{EpsilonParam: 0.01, ElasticityParam: 0}, rng.New(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	outG, err := g.Protect(tr, Params{EpsilonParam: 0.01}, rng.New(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range outE.Records {
+		if outE.Records[i].Point != outG.Records[i].Point {
+			t.Fatalf("elasticity 0 must reproduce GEO-I exactly; record %d differs", i)
+		}
+	}
+}
+
+func TestElasticSparseCellsGetMoreNoise(t *testing.T) {
+	tr := mkDenseSparseTrace(t, 200, 8)
+	e := NewElasticGeoInd()
+	p := Params{EpsilonParam: 0.02, ElasticityParam: 8}
+	// Average displacement over repeated runs, separately for dense and
+	// sparse records.
+	var denseSum, sparseSum float64
+	var denseN, sparseN int
+	for rep := 0; rep < 20; rep++ {
+		out, err := e.Protect(tr, p, rng.New(int64(rep)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, rec := range out.Records {
+			d := geo.Haversine(tr.Records[i].Point, rec.Point)
+			if geo.Haversine(tr.Records[i].Point, basePt) < 1000 {
+				denseSum += d
+				denseN++
+			} else {
+				sparseSum += d
+				sparseN++
+			}
+		}
+	}
+	dense := denseSum / float64(denseN)
+	sparse := sparseSum / float64(sparseN)
+	if sparse < 2*dense {
+		t.Errorf("sparse cells got %.0f m mean noise vs dense %.0f m; want ≥ 2× more", sparse, dense)
+	}
+}
+
+func TestElasticNoiseFloorIsNominalEpsilon(t *testing.T) {
+	// In the densest cell ε_eff = ε, so mean displacement there should be
+	// close to GEO-I's 2/ε.
+	tr := mkDenseSparseTrace(t, 300, 5)
+	e := NewElasticGeoInd()
+	eps := 0.05
+	var sum float64
+	var n int
+	for rep := 0; rep < 30; rep++ {
+		out, err := e.Protect(tr, Params{EpsilonParam: eps, ElasticityParam: 4}, rng.New(int64(100+rep)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, rec := range out.Records {
+			if geo.Haversine(tr.Records[i].Point, basePt) < 200 {
+				sum += geo.Haversine(tr.Records[i].Point, rec.Point)
+				n++
+			}
+		}
+	}
+	mean := sum / float64(n)
+	want := 2 / eps
+	if mean < 0.8*want || mean > 1.3*want {
+		t.Errorf("dense-cell mean displacement %.1f m, want ≈ %.1f (2/ε)", mean, want)
+	}
+}
+
+func TestElasticEmptyTrace(t *testing.T) {
+	e := NewElasticGeoInd()
+	empty := &trace.Trace{User: "u1"}
+	out, err := e.Protect(empty, Params{EpsilonParam: 0.01, ElasticityParam: 2}, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 0 {
+		t.Errorf("empty trace should stay empty, got %d records", out.Len())
+	}
+}
+
+func TestElasticParamValidation(t *testing.T) {
+	e := NewElasticGeoInd()
+	tr := mkTrace(t, "u1", 5)
+	if _, err := e.Protect(tr, Params{EpsilonParam: 0.01}, rng.New(1)); err == nil {
+		t.Error("missing elasticity should fail")
+	}
+	if _, err := e.Protect(tr, Params{ElasticityParam: 1}, rng.New(1)); err == nil {
+		t.Error("missing epsilon should fail")
+	}
+	if _, err := e.Protect(tr, Params{EpsilonParam: 5, ElasticityParam: 1}, rng.New(1)); err == nil {
+		t.Error("out-of-range epsilon should fail")
+	}
+	if len(e.Params()) != 2 {
+		t.Errorf("elastic should declare 2 params, got %d", len(e.Params()))
+	}
+}

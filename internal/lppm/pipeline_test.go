@@ -1,0 +1,127 @@
+package lppm
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/rng"
+)
+
+func mkPipeline(t *testing.T) *Pipeline {
+	t.Helper()
+	p, err := NewPipeline("sampled-geoi", NewTemporalSampling(), NewGeoIndistinguishability())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestNewPipelineValidation(t *testing.T) {
+	if _, err := NewPipeline(""); err == nil {
+		t.Error("empty name should fail")
+	}
+	if _, err := NewPipeline("p"); err == nil {
+		t.Error("zero stages should fail")
+	}
+	if _, err := NewPipeline("p", Identity{}, Identity{}); err == nil {
+		t.Error("duplicate stage names should fail")
+	}
+}
+
+func TestPipelineParamsAreNamespaced(t *testing.T) {
+	p := mkPipeline(t)
+	specs := p.Params()
+	if len(specs) != 2 {
+		t.Fatalf("got %d params, want 2", len(specs))
+	}
+	want := map[string]bool{"sampling.period_sec": true, "geoi.epsilon": true}
+	for _, s := range specs {
+		if !want[s.Name] {
+			t.Errorf("unexpected param %q", s.Name)
+		}
+	}
+}
+
+func TestPipelineAppliesStagesInOrder(t *testing.T) {
+	p := mkPipeline(t)
+	tr := mkTrace(t, "u1", 60)
+	out, err := p.Protect(tr, Params{
+		"sampling.period_sec": 300, // keep one record per 5 min
+		"geoi.epsilon":        0.01,
+	}, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sampling first: 60 one-minute records → 12 five-minute records.
+	if want := tr.Resample(5 * time.Minute).Len(); out.Len() != want {
+		t.Errorf("pipeline kept %d records, want %d (sampling applied)", out.Len(), want)
+	}
+	// GEO-I second: surviving records are displaced.
+	kept := tr.Resample(5 * time.Minute)
+	var moved int
+	for i := range out.Records {
+		if geo.Haversine(out.Records[i].Point, kept.Records[i].Point) > 1 {
+			moved++
+		}
+	}
+	if moved < out.Len()/2 {
+		t.Errorf("only %d/%d records displaced; noise stage missing", moved, out.Len())
+	}
+}
+
+func TestPipelineMissingParam(t *testing.T) {
+	p := mkPipeline(t)
+	tr := mkTrace(t, "u1", 10)
+	_, err := p.Protect(tr, Params{"geoi.epsilon": 0.01}, rng.New(1))
+	if err == nil || !strings.Contains(err.Error(), "sampling.period_sec") {
+		t.Errorf("missing stage param should fail naming it, got %v", err)
+	}
+}
+
+func TestPipelineStageRandomnessIndependent(t *testing.T) {
+	// Adding an upstream no-noise stage must not change the noise drawn
+	// by the geoi stage (per-stage Named streams).
+	tr := mkTrace(t, "u1", 20)
+	solo, err := NewPipeline("solo", NewGeoIndistinguishability())
+	if err != nil {
+		t.Fatal(err)
+	}
+	chained, err := NewPipeline("chained", Identity{}, NewGeoIndistinguishability())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := solo.Protect(tr, Params{"geoi.epsilon": 0.01}, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := chained.Protect(tr, Params{"geoi.epsilon": 0.01}, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Records {
+		if a.Records[i].Point != b.Records[i].Point {
+			t.Fatal("identity prefix changed the noise stream; stages must draw independently")
+		}
+	}
+}
+
+func TestPipelineDefaultsValidate(t *testing.T) {
+	p := mkPipeline(t)
+	if err := ValidateParams(p, Defaults(p)); err != nil {
+		t.Errorf("pipeline defaults should validate: %v", err)
+	}
+}
+
+func TestSplitParamName(t *testing.T) {
+	stage, param, ok := SplitParamName("geoi.epsilon")
+	if !ok || stage != "geoi" || param != "epsilon" {
+		t.Errorf("SplitParamName = %q, %q, %v", stage, param, ok)
+	}
+	for _, bad := range []string{"epsilon", ".epsilon", "geoi.", ""} {
+		if _, _, ok := SplitParamName(bad); ok {
+			t.Errorf("SplitParamName(%q) should not parse", bad)
+		}
+	}
+}

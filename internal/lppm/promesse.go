@@ -1,0 +1,107 @@
+package lppm
+
+import (
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/rng"
+	"repro/internal/trace"
+)
+
+// AlphaParam configures Promesse: the uniform spatial interval, in meters,
+// between consecutive published locations.
+const AlphaParam = "alpha"
+
+// Promesse is the speed-smoothing LPPM of Primault et al. (TrustCom'15),
+// built by the same group as the paper and the natural "other LPPM" for its
+// future-work agenda (§4). Instead of perturbing locations it re-samples the
+// trajectory at a uniform spatial interval α and redistributes timestamps
+// uniformly, so published speed is constant: stops vanish (stay points emit
+// no distance, hence no samples) while the travelled path is preserved
+// almost exactly. Privacy comes from erasing the dwell signal that POI
+// extraction needs; utility is spatial, not temporal.
+type Promesse struct {
+	spec ParamSpec
+}
+
+// NewPromesse returns the mechanism with α from 10 m to 5 km.
+func NewPromesse() *Promesse {
+	return &Promesse{
+		spec: ParamSpec{Name: AlphaParam, Unit: "m", Min: 10, Max: 5000, Default: 200, LogScale: true},
+	}
+}
+
+// Name implements Mechanism.
+func (*Promesse) Name() string { return "promesse" }
+
+// Params implements Mechanism.
+func (m *Promesse) Params() []ParamSpec { return []ParamSpec{m.spec} }
+
+// Protect implements Mechanism. It is deterministic; r is unused.
+//
+// The published trace walks the input polyline emitting a point every α
+// meters of accumulated path distance, then assigns timestamps linearly
+// between the input's first and last instants. Traces whose total path is
+// shorter than α publish nothing — there is not enough movement to hide a
+// stop in, the same release rule as the original mechanism.
+func (m *Promesse) Protect(t *trace.Trace, p Params, _ *rng.Source) (*trace.Trace, error) {
+	alpha, err := p.Get(AlphaParam)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.spec.Validate(alpha); err != nil {
+		return nil, err
+	}
+	out := &trace.Trace{User: t.User}
+	if len(t.Records) < 2 {
+		return out, nil
+	}
+	pts := resampleUniform(t.Points(), alpha)
+	if len(pts) == 0 {
+		return out, nil
+	}
+	start := t.Records[0].Time
+	span := t.Records[len(t.Records)-1].Time.Sub(start)
+	out.Records = make([]trace.Record, len(pts))
+	for i, pt := range pts {
+		var at time.Time
+		if len(pts) == 1 {
+			at = start.Add(span / 2)
+		} else {
+			at = start.Add(time.Duration(float64(span) * float64(i) / float64(len(pts)-1)))
+		}
+		out.Records[i] = trace.Record{User: t.User, Time: at, Point: pt}
+	}
+	return out, nil
+}
+
+// resampleUniform walks the polyline and returns one point every alpha
+// meters of accumulated path distance, starting at the first point. It
+// returns nil when the total path length is below alpha.
+func resampleUniform(pts []geo.Point, alpha float64) []geo.Point {
+	if len(pts) < 2 || geo.PathLength(pts) < alpha {
+		return nil
+	}
+	out := []geo.Point{pts[0]}
+	var carried float64 // distance already walked on the current budget
+	for i := 1; i < len(pts); i++ {
+		seg := geo.Haversine(pts[i-1], pts[i])
+		if seg == 0 {
+			continue
+		}
+		from := pts[i-1]
+		for carried+seg >= alpha {
+			// The next sample lies (alpha − carried) meters into
+			// the remaining segment.
+			need := alpha - carried
+			bearing := from.BearingTo(pts[i])
+			sample := from.Destination(need, bearing)
+			out = append(out, sample)
+			seg -= need
+			from = sample
+			carried = 0
+		}
+		carried += seg
+	}
+	return out
+}

@@ -1,0 +1,144 @@
+package lppm
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/rng"
+	"repro/internal/trace"
+)
+
+// mkStopAndGoTrace builds a trace that dwells at basePt for dwell minutes
+// (one record per minute), then drives east at 600 m/min for driveKm
+// kilometers.
+func mkStopAndGoTrace(t *testing.T, user string, dwellMin, driveKm int) *trace.Trace {
+	t.Helper()
+	var recs []trace.Record
+	at := t0
+	for i := 0; i < dwellMin; i++ {
+		recs = append(recs, trace.Record{User: user, Time: at, Point: basePt})
+		at = at.Add(time.Minute)
+	}
+	steps := driveKm * 1000 / 600
+	for i := 0; i <= steps; i++ {
+		recs = append(recs, trace.Record{User: user, Time: at, Point: basePt.Offset(float64(i)*600, 0)})
+		at = at.Add(time.Minute)
+	}
+	tr, err := trace.NewTrace(user, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestPromesseUniformSpacing(t *testing.T) {
+	m := NewPromesse()
+	tr := mkStopAndGoTrace(t, "u1", 30, 12)
+	out, err := m.Protect(tr, Params{AlphaParam: 500}, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() < 2 {
+		t.Fatalf("expected a resampled trace, got %d records", out.Len())
+	}
+	for i := 1; i < out.Len(); i++ {
+		d := geo.Haversine(out.Records[i-1].Point, out.Records[i].Point)
+		if math.Abs(d-500) > 5 {
+			t.Fatalf("gap %d is %.1f m, want 500±5", i, d)
+		}
+	}
+}
+
+func TestPromesseErasesDwell(t *testing.T) {
+	m := NewPromesse()
+	tr := mkStopAndGoTrace(t, "u1", 60, 10)
+	out, err := m.Protect(tr, Params{AlphaParam: 500}, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The 60-minute dwell contributes zero path length, so at most one
+	// published point may sit within 100 m of the stop.
+	near := 0
+	for _, rec := range out.Records {
+		if geo.Haversine(rec.Point, basePt) < 100 {
+			near++
+		}
+	}
+	if near > 1 {
+		t.Errorf("%d published points near the stay point, dwell not erased", near)
+	}
+}
+
+func TestPromesseConstantPublishedSpeed(t *testing.T) {
+	m := NewPromesse()
+	tr := mkStopAndGoTrace(t, "u1", 45, 15)
+	out, err := m.Protect(tr, Params{AlphaParam: 300}, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() < 3 {
+		t.Fatalf("too few records: %d", out.Len())
+	}
+	gap0 := out.Records[1].Time.Sub(out.Records[0].Time)
+	for i := 2; i < out.Len(); i++ {
+		gap := out.Records[i].Time.Sub(out.Records[i-1].Time)
+		if gap <= 0 {
+			t.Fatalf("non-increasing timestamps at %d", i)
+		}
+		if math.Abs(gap.Seconds()-gap0.Seconds()) > 1 {
+			t.Fatalf("irregular time gap at %d: %v vs %v", i, gap, gap0)
+		}
+	}
+}
+
+func TestPromesseShortTracePublishesNothing(t *testing.T) {
+	m := NewPromesse()
+	tr := mkTrace(t, "u1", 3) // ~90 m of path
+	out, err := m.Protect(tr, Params{AlphaParam: 5000}, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 0 {
+		t.Errorf("path shorter than alpha should publish nothing, got %d records", out.Len())
+	}
+	single, err := trace.NewTrace("u2", []trace.Record{{User: "u2", Time: t0, Point: basePt}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err = m.Protect(single, Params{AlphaParam: 100}, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 0 {
+		t.Errorf("single-record trace should publish nothing, got %d", out.Len())
+	}
+}
+
+func TestPromesseStaysOnPath(t *testing.T) {
+	m := NewPromesse()
+	tr := mkStopAndGoTrace(t, "u1", 10, 8)
+	out, err := m.Protect(tr, Params{AlphaParam: 250}, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every published point must be within a few meters of the original
+	// straight-line path (lat is constant along it).
+	for _, rec := range out.Records {
+		if math.Abs(rec.Point.Lat-basePt.Lat) > 1e-3 {
+			t.Fatalf("published point %v strays off the path", rec.Point)
+		}
+	}
+}
+
+func TestPromesseParamValidation(t *testing.T) {
+	m := NewPromesse()
+	tr := mkTrace(t, "u1", 5)
+	if _, err := m.Protect(tr, Params{}, rng.New(1)); err == nil {
+		t.Error("missing alpha should fail")
+	}
+	if _, err := m.Protect(tr, Params{AlphaParam: 1}, rng.New(1)); err == nil {
+		t.Error("out-of-range alpha should fail")
+	}
+}

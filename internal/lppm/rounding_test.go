@@ -1,0 +1,122 @@
+package lppm
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geo"
+	"repro/internal/rng"
+)
+
+func TestRoundingSnapsToDecimalGrid(t *testing.T) {
+	m := NewCoordinateRounding()
+	tr := mkTrace(t, "u1", 20)
+	out, err := m.Protect(tr, Params{DigitsParam: 2}, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range out.Records {
+		for _, v := range []float64{rec.Point.Lat, rec.Point.Lng} {
+			scaled := v * 100
+			if math.Abs(scaled-math.Round(scaled)) > 1e-9 {
+				t.Fatalf("coordinate %v not on the 0.01° grid", v)
+			}
+		}
+	}
+}
+
+func TestRoundingSixDigitsIsNearIdentity(t *testing.T) {
+	m := NewCoordinateRounding()
+	tr := mkTrace(t, "u1", 20)
+	out, err := m.Protect(tr, Params{DigitsParam: 6}, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range tr.Records {
+		d := geo.Haversine(tr.Records[i].Point, out.Records[i].Point)
+		if d > 0.2 {
+			t.Fatalf("record %d displaced %.3f m at 6 digits, want < 0.2 m", i, d)
+		}
+	}
+}
+
+func TestRoundingCoarserDigitsDisplaceMore(t *testing.T) {
+	m := NewCoordinateRounding()
+	tr := mkTrace(t, "u1", 50)
+	meanDisp := func(digits float64) float64 {
+		out, err := m.Protect(tr, Params{DigitsParam: digits}, rng.New(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum float64
+		for i := range tr.Records {
+			sum += geo.Haversine(tr.Records[i].Point, out.Records[i].Point)
+		}
+		return sum / float64(tr.Len())
+	}
+	d4, d2 := meanDisp(4), meanDisp(2)
+	if d2 <= d4 {
+		t.Errorf("2-digit displacement %.2f should exceed 4-digit %.2f", d2, d4)
+	}
+}
+
+func TestRoundingDeterministicAndIdempotent(t *testing.T) {
+	m := NewCoordinateRounding()
+	tr := mkTrace(t, "u1", 15)
+	p := Params{DigitsParam: 3}
+	a, err := m.Protect(tr, p, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.Protect(tr, p, rng.New(99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := m.Protect(a, p, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Records {
+		if a.Records[i].Point != b.Records[i].Point {
+			t.Fatal("rounding must be deterministic")
+		}
+		if a.Records[i].Point != c.Records[i].Point {
+			t.Fatal("rounding must be idempotent")
+		}
+	}
+}
+
+func TestRoundingDisplacementBoundProperty(t *testing.T) {
+	// Property: at d digits, displacement is bounded by half a grid
+	// diagonal: (10^-d degrees) · ~111 km/degree · √2 / 2, with slack for
+	// the spherical metric.
+	f := func(latSeed, lngSeed uint16, digitsRaw uint8) bool {
+		digits := float64(digitsRaw % 7)
+		pt := geo.Point{
+			Lat: -80 + 160*float64(latSeed)/65535,
+			Lng: -179 + 358*float64(lngSeed)/65535,
+		}
+		scale := math.Pow(10, digits)
+		rounded := geo.Point{
+			Lat: math.Round(pt.Lat*scale) / scale,
+			Lng: math.Round(pt.Lng*scale) / scale,
+		}
+		bound := math.Pow(10, -digits) * 111320 * math.Sqrt2 / 2 * 1.01
+		return geo.Haversine(pt, rounded) <= bound
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRoundingParamValidation(t *testing.T) {
+	m := NewCoordinateRounding()
+	tr := mkTrace(t, "u1", 5)
+	if _, err := m.Protect(tr, Params{}, rng.New(1)); err == nil {
+		t.Error("missing digits should fail")
+	}
+	if _, err := m.Protect(tr, Params{DigitsParam: 9}, rng.New(1)); err == nil {
+		t.Error("out-of-range digits should fail")
+	}
+}

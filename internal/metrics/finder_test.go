@@ -1,0 +1,74 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/poi"
+	"repro/internal/trace"
+)
+
+// dwellTrace parks at mBase long enough to form a POI under both
+// extractors.
+func dwellTrace(t *testing.T, minutes int) *trace.Trace {
+	t.Helper()
+	recs := make([]trace.Record, minutes)
+	for i := range recs {
+		recs[i] = trace.Record{User: "u1", Time: mt0.Add(time.Duration(i) * time.Minute), Point: mBase.Offset(float64(i%3)*10, 0)}
+	}
+	tr, err := trace.NewTrace("u1", recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestFinderRetrievalWithDensityFinder(t *testing.T) {
+	den, err := poi.NewDensityExtractor(poi.DefaultDensityExtractorConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewFinderRetrieval("density_poi_retrieval", den, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Kind() != Privacy {
+		t.Error("finder retrieval must be a privacy metric")
+	}
+	tr := dwellTrace(t, 45)
+	v, err := m.Evaluate(tr, tr.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 1 {
+		t.Errorf("identity release retrieval = %v, want 1", v)
+	}
+	// A faraway release retrieves nothing.
+	far := tr.Clone()
+	for i := range far.Records {
+		far.Records[i].Point = far.Records[i].Point.Offset(50000, 0)
+	}
+	v, err = m.Evaluate(tr, far)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0 {
+		t.Errorf("displaced release retrieval = %v, want 0", v)
+	}
+}
+
+func TestNewFinderRetrievalValidation(t *testing.T) {
+	den, err := poi.NewDensityExtractor(poi.DefaultDensityExtractorConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewFinderRetrieval("", den, 200); err == nil {
+		t.Error("empty name should fail")
+	}
+	if _, err := NewFinderRetrieval("x", nil, 200); err == nil {
+		t.Error("nil finder should fail")
+	}
+	if _, err := NewFinderRetrieval("x", den, 0); err == nil {
+		t.Error("non-positive radius should fail")
+	}
+}

@@ -1,0 +1,122 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/geo"
+	"repro/internal/trace"
+)
+
+// HeatmapSimilarityConfig tunes the heat-map utility metric.
+type HeatmapSimilarityConfig struct {
+	// CellSizeMeters is the heat-map resolution; 0 is invalid.
+	CellSizeMeters float64
+}
+
+// DefaultHeatmapSimilarityConfig returns the experiment configuration:
+// 200 m cells, the city-block scale.
+func DefaultHeatmapSimilarityConfig() HeatmapSimilarityConfig {
+	return HeatmapSimilarityConfig{CellSizeMeters: 200}
+}
+
+// Validate reports configuration errors.
+func (c HeatmapSimilarityConfig) Validate() error {
+	if c.CellSizeMeters <= 0 {
+		return fmt.Errorf("metrics: CellSizeMeters must be positive, got %v", c.CellSizeMeters)
+	}
+	return nil
+}
+
+// HeatmapSimilarity is a distributional utility metric: it renders both
+// traces as visit-frequency heat maps at city-block resolution and scores
+// 1 − JSD(actual ‖ protected), where JSD is the Jensen–Shannon divergence
+// normalized to [0, 1]. Where AreaCoverage asks "are the same blocks
+// touched?", this asks "are they touched with the same intensity?" — the
+// utility notion behind crowd-density products.
+type HeatmapSimilarity struct {
+	cfg HeatmapSimilarityConfig
+}
+
+// NewHeatmapSimilarity builds the metric, validating the configuration.
+func NewHeatmapSimilarity(cfg HeatmapSimilarityConfig) (*HeatmapSimilarity, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &HeatmapSimilarity{cfg: cfg}, nil
+}
+
+// MustHeatmapSimilarity is NewHeatmapSimilarity panicking on error, for
+// registry initialization.
+func MustHeatmapSimilarity(cfg HeatmapSimilarityConfig) *HeatmapSimilarity {
+	m, err := NewHeatmapSimilarity(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Name implements Metric.
+func (*HeatmapSimilarity) Name() string { return "heatmap_similarity" }
+
+// Kind implements Metric.
+func (*HeatmapSimilarity) Kind() Kind { return Utility }
+
+// Evaluate implements Metric. Both heat maps share the grid anchored at the
+// actual trace, so identical releases score exactly 1; an empty protected
+// trace scores 0.
+func (m *HeatmapSimilarity) Evaluate(actual, protected *trace.Trace) (float64, error) {
+	if actual.Len() == 0 {
+		return 0, fmt.Errorf("metrics: heat map of empty actual trace")
+	}
+	if protected.Len() == 0 {
+		return 0, nil
+	}
+	first := actual.Records[0].Point
+	origin := geo.Point{Lat: math.Floor(first.Lat), Lng: math.Floor(first.Lng)}
+	grid := geo.NewGrid(origin, m.cfg.CellSizeMeters)
+	p := cellFrequencies(grid, actual)
+	q := cellFrequencies(grid, protected)
+	return 1 - JensenShannon(p, q), nil
+}
+
+// cellFrequencies returns the normalized visit histogram of the trace on
+// the grid.
+func cellFrequencies(grid *geo.Grid, t *trace.Trace) map[geo.Cell]float64 {
+	freq := make(map[geo.Cell]float64)
+	for _, rec := range t.Records {
+		freq[grid.CellOf(rec.Point)]++
+	}
+	n := float64(t.Len())
+	for c := range freq {
+		freq[c] /= n
+	}
+	return freq
+}
+
+// JensenShannon returns the Jensen–Shannon divergence between two discrete
+// distributions given as sparse maps, normalized to [0, 1] (base-2). Keys
+// absent from a map have probability zero; the function is symmetric and
+// returns 0 iff the distributions are identical.
+func JensenShannon(p, q map[geo.Cell]float64) float64 {
+	var js float64
+	seen := make(map[geo.Cell]struct{}, len(p)+len(q))
+	for _, dist := range []map[geo.Cell]float64{p, q} {
+		for c := range dist {
+			if _, done := seen[c]; done {
+				continue
+			}
+			seen[c] = struct{}{}
+			pi, qi := p[c], q[c]
+			mi := (pi + qi) / 2
+			if pi > 0 {
+				js += pi * math.Log2(pi/mi) / 2
+			}
+			if qi > 0 {
+				js += qi * math.Log2(qi/mi) / 2
+			}
+		}
+	}
+	// Clamp rounding excursions outside [0, 1].
+	return math.Max(0, math.Min(1, js))
+}

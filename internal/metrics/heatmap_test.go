@@ -1,0 +1,131 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/rng"
+	"repro/internal/trace"
+)
+
+func clusteredTrace(t *testing.T, user string, centers []geo.Point, perCenter int) *trace.Trace {
+	t.Helper()
+	var recs []trace.Record
+	at := mt0
+	for _, c := range centers {
+		for i := 0; i < perCenter; i++ {
+			recs = append(recs, trace.Record{User: user, Time: at, Point: c.Offset(float64(i%5)*10, 0)})
+			at = at.Add(time.Minute)
+		}
+	}
+	tr, err := trace.NewTrace(user, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestHeatmapSimilarityIdentity(t *testing.T) {
+	m := MustHeatmapSimilarity(DefaultHeatmapSimilarityConfig())
+	tr := clusteredTrace(t, "u1", []geo.Point{mBase, mBase2}, 30)
+	v, err := m.Evaluate(tr, tr.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v-1) > 1e-9 {
+		t.Errorf("identity heat-map similarity = %v, want 1", v)
+	}
+}
+
+func TestHeatmapSimilarityDisjointIsZero(t *testing.T) {
+	m := MustHeatmapSimilarity(DefaultHeatmapSimilarityConfig())
+	a := clusteredTrace(t, "u1", []geo.Point{mBase}, 30)
+	b := clusteredTrace(t, "u1", []geo.Point{mBase.Offset(50000, 50000)}, 30)
+	v, err := m.Evaluate(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v > 1e-9 {
+		t.Errorf("disjoint heat maps similarity = %v, want 0", v)
+	}
+}
+
+func TestHeatmapSimilarityIntensityMatters(t *testing.T) {
+	// Same cells visited, different intensity split: similarity must be
+	// strictly between 0 and 1 — this is what AreaCoverage cannot see.
+	m := MustHeatmapSimilarity(DefaultHeatmapSimilarityConfig())
+	even := clusteredTrace(t, "u1", []geo.Point{mBase, mBase2}, 30)
+	var recs []trace.Record
+	at := mt0
+	for i := 0; i < 55; i++ {
+		recs = append(recs, trace.Record{User: "u1", Time: at, Point: mBase.Offset(float64(i%5)*10, 0)})
+		at = at.Add(time.Minute)
+	}
+	for i := 0; i < 5; i++ {
+		recs = append(recs, trace.Record{User: "u1", Time: at, Point: mBase2.Offset(float64(i%5)*10, 0)})
+		at = at.Add(time.Minute)
+	}
+	skewed, err := trace.NewTrace("u1", recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := m.Evaluate(even, skewed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v <= 0.1 || v >= 0.99 {
+		t.Errorf("intensity-skewed similarity = %v, want strictly inside (0.1, 0.99)", v)
+	}
+}
+
+func TestHeatmapSimilarityEmptyCases(t *testing.T) {
+	m := MustHeatmapSimilarity(DefaultHeatmapSimilarityConfig())
+	tr := clusteredTrace(t, "u1", []geo.Point{mBase}, 10)
+	v, err := m.Evaluate(tr, &trace.Trace{User: "u1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0 {
+		t.Errorf("empty protected = %v, want 0", v)
+	}
+	if _, err := m.Evaluate(&trace.Trace{User: "u1"}, tr); err == nil {
+		t.Error("empty actual should error")
+	}
+	if _, err := NewHeatmapSimilarity(HeatmapSimilarityConfig{}); err == nil {
+		t.Error("zero cell size should fail validation")
+	}
+}
+
+func TestJensenShannonProperties(t *testing.T) {
+	r := rng.New(4)
+	randDist := func(cells int) map[geo.Cell]float64 {
+		d := make(map[geo.Cell]float64, cells)
+		var sum float64
+		for i := 0; i < cells; i++ {
+			v := r.Float64()
+			d[geo.Cell{Col: i, Row: r.Intn(3)}] += v
+			sum += v
+		}
+		for c := range d {
+			d[c] /= sum
+		}
+		return d
+	}
+	for trial := 0; trial < 30; trial++ {
+		p := randDist(1 + r.Intn(10))
+		q := randDist(1 + r.Intn(10))
+		pq := JensenShannon(p, q)
+		qp := JensenShannon(q, p)
+		if math.Abs(pq-qp) > 1e-12 {
+			t.Fatalf("JSD not symmetric: %v vs %v", pq, qp)
+		}
+		if pq < 0 || pq > 1 {
+			t.Fatalf("JSD out of range: %v", pq)
+		}
+		if self := JensenShannon(p, p); self > 1e-12 {
+			t.Fatalf("JSD(p, p) = %v, want 0", self)
+		}
+	}
+}

@@ -1,0 +1,287 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/trace"
+)
+
+var (
+	t0     = time.Date(2008, 5, 17, 8, 0, 0, 0, time.UTC)
+	anchor = geo.Point{Lat: 37.7749, Lng: -122.4194}
+)
+
+// mkStopAndGo builds a trace with a 30-minute stop at the anchor followed by
+// a 3 km excursion.
+func mkStopAndGo(t *testing.T, user string) *trace.Trace {
+	t.Helper()
+	var recs []trace.Record
+	for i := 0; i < 30; i++ {
+		recs = append(recs, trace.Record{
+			User: user, Time: t0.Add(time.Duration(i) * time.Minute),
+			Point: anchor.Offset(float64(i%4)*3, float64(i%3)*3),
+		})
+	}
+	for i := 0; i < 30; i++ {
+		recs = append(recs, trace.Record{
+			User: user, Time: t0.Add(time.Duration(30+i) * time.Minute),
+			Point: anchor.Offset(float64(i+1)*100, 0),
+		})
+	}
+	tr, err := trace.NewTrace(user, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// shifted returns the trace with every point moved east by the given meters.
+func shifted(t *testing.T, tr *trace.Trace, east float64) *trace.Trace {
+	t.Helper()
+	out := tr.Clone()
+	for i := range out.Records {
+		out.Records[i].Point = out.Records[i].Point.Offset(east, 0)
+	}
+	return out
+}
+
+func TestKindString(t *testing.T) {
+	if Privacy.String() != "privacy" || Utility.String() != "utility" {
+		t.Error("Kind.String broken")
+	}
+	if Kind(42).String() == "" {
+		t.Error("unknown kind should still print")
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry()
+	names := r.Names()
+	want := []string{"area_coverage", "coverage_entropy_gain", "heatmap_similarity", "mean_displacement", "poi_retrieval", "range_query_accuracy", "trajectory_similarity"}
+	if len(names) != len(want) {
+		t.Fatalf("Names = %v", names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Errorf("Names[%d] = %q, want %q", i, names[i], want[i])
+		}
+	}
+	m, err := r.Get("poi_retrieval")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Kind() != Privacy {
+		t.Error("poi_retrieval should be a privacy metric")
+	}
+	u, err := r.Get("area_coverage")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Kind() != Utility {
+		t.Error("area_coverage should be a utility metric")
+	}
+	if _, err := r.Get("nope"); err == nil {
+		t.Error("unknown metric should error")
+	}
+	if err := r.Register(MeanDisplacement{}); err == nil {
+		t.Error("duplicate registration should error")
+	}
+}
+
+func TestPOIRetrievalIdenticalTraces(t *testing.T) {
+	m := MustPOIRetrieval(DefaultPOIRetrievalConfig())
+	tr := mkStopAndGo(t, "u")
+	v, err := m.Evaluate(tr, tr.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 1 {
+		t.Errorf("identical traces retrieval = %v, want 1", v)
+	}
+	if len(m.ActualPOIs(tr)) != 1 {
+		t.Errorf("ActualPOIs = %d, want 1", len(m.ActualPOIs(tr)))
+	}
+}
+
+func TestPOIRetrievalDestroyedByLargeShift(t *testing.T) {
+	m := MustPOIRetrieval(DefaultPOIRetrievalConfig())
+	tr := mkStopAndGo(t, "u")
+	// A rigid 5 km shift keeps the stop structure but moves every POI far
+	// away from the actual one.
+	v, err := m.Evaluate(tr, shifted(t, tr, 5000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0 {
+		t.Errorf("far-shifted retrieval = %v, want 0", v)
+	}
+}
+
+func TestPOIRetrievalNoPOIsMeansNoLeak(t *testing.T) {
+	m := MustPOIRetrieval(DefaultPOIRetrievalConfig())
+	// Pure movement, no stops.
+	var recs []trace.Record
+	for i := 0; i < 40; i++ {
+		recs = append(recs, trace.Record{
+			User: "u", Time: t0.Add(time.Duration(i) * time.Minute),
+			Point: anchor.Offset(float64(i)*300, 0),
+		})
+	}
+	tr, err := trace.NewTrace("u", recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := m.Evaluate(tr, tr.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0 {
+		t.Errorf("no-POI retrieval = %v, want 0", v)
+	}
+}
+
+func TestNewPOIRetrievalValidation(t *testing.T) {
+	cfg := DefaultPOIRetrievalConfig()
+	cfg.MatchRadiusMeters = 0
+	if _, err := NewPOIRetrieval(cfg); err == nil {
+		t.Error("zero match radius should error")
+	}
+	cfg = DefaultPOIRetrievalConfig()
+	cfg.Extractor.MaxDiameterMeters = -1
+	if _, err := NewPOIRetrieval(cfg); err == nil {
+		t.Error("bad extractor config should error")
+	}
+}
+
+func TestAreaCoveragePerfectAndDestroyed(t *testing.T) {
+	m := MustAreaCoverage(DefaultAreaCoverageConfig())
+	tr := mkStopAndGo(t, "u")
+	v, err := m.Evaluate(tr, tr.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 1 {
+		t.Errorf("identical coverage = %v, want 1", v)
+	}
+	v, err = m.Evaluate(tr, shifted(t, tr, 20000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0 {
+		t.Errorf("20 km-shifted coverage = %v, want 0", v)
+	}
+}
+
+func TestAreaCoverageToleratesOneBlock(t *testing.T) {
+	m := MustAreaCoverage(DefaultAreaCoverageConfig()) // 200 m cells, tol 1
+	tr := mkStopAndGo(t, "u")
+	// A 200 m shift moves every point one block: with one-block tolerance
+	// coverage must remain perfect or near-perfect.
+	v, err := m.Evaluate(tr, shifted(t, tr, 200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v < 0.95 {
+		t.Errorf("one-block shift coverage = %v, want ~1", v)
+	}
+	// Without tolerance the same shift must hurt.
+	strict := MustAreaCoverage(AreaCoverageConfig{CellSizeMeters: 200, ToleranceCells: 0})
+	vs, err := strict.Evaluate(tr, shifted(t, tr, 200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vs >= v {
+		t.Errorf("strict coverage %v should be below tolerant %v", vs, v)
+	}
+}
+
+func TestAreaCoverageEmptyTraces(t *testing.T) {
+	m := MustAreaCoverage(DefaultAreaCoverageConfig())
+	empty, err := trace.NewTrace("u", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := mkStopAndGo(t, "u")
+	if v, err := m.Evaluate(empty, empty); err != nil || v != 1 {
+		t.Errorf("both empty: %v, %v", v, err)
+	}
+	if v, err := m.Evaluate(tr, empty); err != nil || v != 0 {
+		t.Errorf("protected empty: %v, %v", v, err)
+	}
+}
+
+func TestNewAreaCoverageValidation(t *testing.T) {
+	if _, err := NewAreaCoverage(AreaCoverageConfig{CellSizeMeters: 0}); err == nil {
+		t.Error("zero cell size should error")
+	}
+	if _, err := NewAreaCoverage(AreaCoverageConfig{CellSizeMeters: 100, ToleranceCells: -1}); err == nil {
+		t.Error("negative tolerance should error")
+	}
+}
+
+func TestMeanDisplacement(t *testing.T) {
+	var m MeanDisplacement
+	tr := mkStopAndGo(t, "u")
+	v, err := m.Evaluate(tr, shifted(t, tr, 150))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v < 149 || v > 151 {
+		t.Errorf("mean displacement = %v, want ~150", v)
+	}
+	// Identical traces displace zero.
+	if v, err := m.Evaluate(tr, tr.Clone()); err != nil || v != 0 {
+		t.Errorf("identical displacement = %v, %v", v, err)
+	}
+	// Empty actual trace: zero by convention.
+	empty, err := trace.NewTrace("u", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, err := m.Evaluate(empty, tr); err != nil || v != 0 {
+		t.Errorf("empty actual: %v, %v", v, err)
+	}
+	// Disjoint timestamps: error.
+	late := tr.Clone()
+	for i := range late.Records {
+		late.Records[i].Time = late.Records[i].Time.Add(24 * time.Hour)
+	}
+	if _, err := m.Evaluate(tr, late); err == nil {
+		t.Error("disjoint timestamps should error")
+	}
+}
+
+func TestCoverageEntropyGain(t *testing.T) {
+	m := CoverageEntropyGain{CellSizeMeters: 200}
+	tr := mkStopAndGo(t, "u")
+	// Spreading the trace raises entropy: scatter every point widely and
+	// deterministically.
+	spread := tr.Clone()
+	for i := range spread.Records {
+		spread.Records[i].Point = anchor.Offset(
+			float64((i*2654435761)%7001)-3500,
+			float64((i*40503)%7001)-3500,
+		)
+	}
+	v, err := m.Evaluate(tr, spread)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v <= 0 {
+		t.Errorf("entropy gain = %v, want > 0", v)
+	}
+	if v2, err := m.Evaluate(tr, tr.Clone()); err != nil || v2 > 1e-12 || v2 < -1e-12 {
+		t.Errorf("identical entropy gain = %v, %v", v2, err)
+	}
+	bad := CoverageEntropyGain{CellSizeMeters: -5}
+	if _, err := bad.Evaluate(tr, tr); err == nil {
+		t.Error("negative cell size should error")
+	}
+	// Zero uses the default and must work.
+	zero := CoverageEntropyGain{}
+	if _, err := zero.Evaluate(tr, tr.Clone()); err != nil {
+		t.Errorf("zero config should default: %v", err)
+	}
+}

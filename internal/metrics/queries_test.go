@@ -1,0 +1,97 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/trace"
+)
+
+func TestRangeQueryAccuracyIdentity(t *testing.T) {
+	m := MustRangeQueryAccuracy(DefaultRangeQueryConfig())
+	tr := lineTrace(t, "u1", mBase, 100, 80)
+	v, err := m.Evaluate(tr, tr.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v-1) > 1e-9 {
+		t.Errorf("identity accuracy = %v, want 1", v)
+	}
+}
+
+func TestRangeQueryAccuracyDegradesWithNoise(t *testing.T) {
+	m := MustRangeQueryAccuracy(DefaultRangeQueryConfig())
+	tr := lineTrace(t, "u1", mBase, 120, 60)
+	r := rng.New(9)
+	noisy := func(sigma float64) *trace.Trace {
+		out := tr.Clone()
+		for i := range out.Records {
+			out.Records[i].Point = out.Records[i].Point.Offset(sigma*r.NormFloat64(), sigma*r.NormFloat64())
+		}
+		return out
+	}
+	small, err := m.Evaluate(tr, noisy(50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := m.Evaluate(tr, noisy(5000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(small > large) {
+		t.Errorf("accuracy should degrade with noise: σ=50 → %v, σ=5000 → %v", small, large)
+	}
+	if small < 0.5 {
+		t.Errorf("mild noise accuracy = %v, implausibly low", small)
+	}
+}
+
+func TestRangeQueryAccuracyDeterministicWorkload(t *testing.T) {
+	m := MustRangeQueryAccuracy(DefaultRangeQueryConfig())
+	tr := lineTrace(t, "u1", mBase, 60, 100)
+	prot := tr.Clone()
+	for i := range prot.Records {
+		prot.Records[i].Point = prot.Records[i].Point.Offset(200, -100)
+	}
+	a, err := m.Evaluate(tr, prot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.Evaluate(tr, prot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("query workload must be deterministic: %v vs %v", a, b)
+	}
+}
+
+func TestRangeQueryAccuracyBounds(t *testing.T) {
+	m := MustRangeQueryAccuracy(DefaultRangeQueryConfig())
+	tr := lineTrace(t, "u1", mBase, 60, 100)
+	// A protected release far away answers every query with 0: accuracy 0.
+	far := tr.Clone()
+	for i := range far.Records {
+		far.Records[i].Point = far.Records[i].Point.Offset(1e5, 1e5)
+	}
+	v, err := m.Evaluate(tr, far)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v < 0 || v > 0.05 {
+		t.Errorf("displaced release accuracy = %v, want ≈ 0", v)
+	}
+	if _, err := m.Evaluate(&trace.Trace{User: "u1"}, tr); err == nil {
+		t.Error("empty actual should error")
+	}
+}
+
+func TestRangeQueryConfigValidation(t *testing.T) {
+	if _, err := NewRangeQueryAccuracy(RangeQueryConfig{Queries: 0, RadiusMeters: 100}); err == nil {
+		t.Error("zero queries should fail")
+	}
+	if _, err := NewRangeQueryAccuracy(RangeQueryConfig{Queries: 10, RadiusMeters: 0}); err == nil {
+		t.Error("zero radius should fail")
+	}
+}

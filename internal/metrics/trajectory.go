@@ -1,0 +1,230 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/geo"
+	"repro/internal/trace"
+)
+
+// TrajectorySimilarityConfig tunes the DTW-based utility metric.
+type TrajectorySimilarityConfig struct {
+	// ScaleMeters converts an alignment distance into a similarity: a
+	// mean aligned displacement equal to the scale scores 0.5. The
+	// default is 200 m, the city-block scale of the paper's utility
+	// objective.
+	ScaleMeters float64
+	// MaxPoints downsamples longer traces before the quadratic DTW;
+	// 0 uses 400.
+	MaxPoints int
+	// BandFrac is the Sakoe–Chiba band half-width as a fraction of the
+	// longer sequence, bounding how far the alignment may warp; 0 uses
+	// 0.1.
+	BandFrac float64
+}
+
+// DefaultTrajectorySimilarityConfig returns the experiment configuration.
+func DefaultTrajectorySimilarityConfig() TrajectorySimilarityConfig {
+	return TrajectorySimilarityConfig{ScaleMeters: 200, MaxPoints: 400, BandFrac: 0.1}
+}
+
+// Validate reports configuration errors.
+func (c TrajectorySimilarityConfig) Validate() error {
+	if c.ScaleMeters <= 0 {
+		return fmt.Errorf("metrics: ScaleMeters must be positive, got %v", c.ScaleMeters)
+	}
+	if c.MaxPoints < 0 {
+		return fmt.Errorf("metrics: MaxPoints must be non-negative, got %v", c.MaxPoints)
+	}
+	if c.BandFrac < 0 || c.BandFrac > 1 {
+		return fmt.Errorf("metrics: BandFrac must be in [0, 1], got %v", c.BandFrac)
+	}
+	return nil
+}
+
+// TrajectorySimilarity is a shape-level utility metric: the dynamic-time-
+// warping alignment between actual and protected trajectories, converted to
+// a [0, 1] similarity. Unlike AreaCoverage it is order-sensitive — it
+// rewards releases that preserve the travelled route, not merely the
+// visited set — so it discriminates mechanisms (Promesse, sampling) that
+// area coverage scores identically.
+type TrajectorySimilarity struct {
+	cfg TrajectorySimilarityConfig
+}
+
+// NewTrajectorySimilarity builds the metric, validating the configuration.
+func NewTrajectorySimilarity(cfg TrajectorySimilarityConfig) (*TrajectorySimilarity, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.MaxPoints == 0 {
+		cfg.MaxPoints = 400
+	}
+	if cfg.BandFrac == 0 {
+		cfg.BandFrac = 0.1
+	}
+	return &TrajectorySimilarity{cfg: cfg}, nil
+}
+
+// MustTrajectorySimilarity is NewTrajectorySimilarity panicking on error,
+// for registry initialization.
+func MustTrajectorySimilarity(cfg TrajectorySimilarityConfig) *TrajectorySimilarity {
+	m, err := NewTrajectorySimilarity(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Name implements Metric.
+func (*TrajectorySimilarity) Name() string { return "trajectory_similarity" }
+
+// Kind implements Metric.
+func (*TrajectorySimilarity) Kind() Kind { return Utility }
+
+// Evaluate implements Metric. An empty protected trace has similarity 0; an
+// identical one has similarity 1.
+func (m *TrajectorySimilarity) Evaluate(actual, protected *trace.Trace) (float64, error) {
+	a := decimate(actual.Points(), m.cfg.MaxPoints)
+	p := decimate(protected.Points(), m.cfg.MaxPoints)
+	if len(a) == 0 {
+		return 0, fmt.Errorf("metrics: trajectory similarity of empty actual trace")
+	}
+	if len(p) == 0 {
+		return 0, nil
+	}
+	mean, err := DTWMeanDistance(a, p, m.cfg.BandFrac)
+	if err != nil {
+		return 0, err
+	}
+	return 1 / (1 + mean/m.cfg.ScaleMeters), nil
+}
+
+// DTWMeanDistance returns the mean per-step displacement of the optimal
+// dynamic-time-warping alignment of the two point sequences, constrained to
+// a Sakoe–Chiba band of half-width bandFrac·max(len). Both sequences must be
+// non-empty.
+func DTWMeanDistance(a, b []geo.Point, bandFrac float64) (float64, error) {
+	n, m := len(a), len(b)
+	if n == 0 || m == 0 {
+		return 0, fmt.Errorf("metrics: DTW of empty sequence (%d, %d points)", n, m)
+	}
+	band := int(bandFrac * float64(maxInt(n, m)))
+	// The band must at least cover the length difference, or no
+	// monotone alignment exists inside it.
+	if d := absInt(n - m); band < d {
+		band = d
+	}
+	if band < 1 {
+		band = 1
+	}
+	const inf = math.MaxFloat64
+	// Rolling two-row DP over cumulative cost and alignment length.
+	prevCost := make([]float64, m+1)
+	curCost := make([]float64, m+1)
+	prevLen := make([]int, m+1)
+	curLen := make([]int, m+1)
+	for j := 0; j <= m; j++ {
+		prevCost[j] = inf
+	}
+	prevCost[0] = 0
+	for i := 1; i <= n; i++ {
+		for j := 0; j <= m; j++ {
+			curCost[j] = inf
+			curLen[j] = 0
+		}
+		lo := maxInt(1, i-band)
+		hi := minInt(m, i+band)
+		for j := lo; j <= hi; j++ {
+			d := geo.Equirectangular(a[i-1], b[j-1])
+			// Choose the cheapest predecessor among match,
+			// insertion and deletion.
+			bestCost, bestLen := prevCost[j-1], prevLen[j-1]
+			if prevCost[j] < bestCost {
+				bestCost, bestLen = prevCost[j], prevLen[j]
+			}
+			if curCost[j-1] < bestCost {
+				bestCost, bestLen = curCost[j-1], curLen[j-1]
+			}
+			if bestCost == inf {
+				continue
+			}
+			curCost[j] = bestCost + d
+			curLen[j] = bestLen + 1
+		}
+		prevCost, curCost = curCost, prevCost
+		prevLen, curLen = curLen, prevLen
+	}
+	if prevCost[m] == inf {
+		return 0, fmt.Errorf("metrics: DTW band %d too narrow for lengths %d and %d", band, n, m)
+	}
+	return prevCost[m] / float64(prevLen[m]), nil
+}
+
+// FrechetDistance returns the discrete Fréchet distance ("dog-leash
+// distance") between the two point sequences in meters: the minimax
+// displacement over monotone alignments. It is the classical companion of
+// DTW for trajectory comparison — DTW averages displacement, Fréchet bounds
+// its worst step. Quadratic; decimate long inputs first.
+func FrechetDistance(a, b []geo.Point) (float64, error) {
+	n, m := len(a), len(b)
+	if n == 0 || m == 0 {
+		return 0, fmt.Errorf("metrics: Fréchet of empty sequence (%d, %d points)", n, m)
+	}
+	prev := make([]float64, m)
+	cur := make([]float64, m)
+	for i := 0; i < n; i++ {
+		for j := 0; j < m; j++ {
+			d := geo.Equirectangular(a[i], b[j])
+			switch {
+			case i == 0 && j == 0:
+				cur[j] = d
+			case i == 0:
+				cur[j] = math.Max(cur[j-1], d)
+			case j == 0:
+				cur[j] = math.Max(prev[j], d)
+			default:
+				cur[j] = math.Max(math.Min(math.Min(prev[j], prev[j-1]), cur[j-1]), d)
+			}
+		}
+		prev, cur = cur, prev
+	}
+	return prev[m-1], nil
+}
+
+// decimate returns at most maxN points sampled uniformly (by index) from
+// pts, always keeping the first and last point. maxN ≤ 0 disables
+// decimation.
+func decimate(pts []geo.Point, maxN int) []geo.Point {
+	if maxN <= 0 || len(pts) <= maxN {
+		return pts
+	}
+	out := make([]geo.Point, maxN)
+	for i := range out {
+		idx := i * (len(pts) - 1) / (maxN - 1)
+		out[i] = pts[idx]
+	}
+	return out
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func absInt(a int) int {
+	if a < 0 {
+		return -a
+	}
+	return a
+}

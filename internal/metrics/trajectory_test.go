@@ -1,0 +1,178 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/rng"
+	"repro/internal/trace"
+)
+
+var (
+	mt0    = time.Date(2008, 5, 17, 12, 0, 0, 0, time.UTC)
+	mBase  = geo.Point{Lat: 37.7749, Lng: -122.4194}
+	mBase2 = geo.Point{Lat: 37.80, Lng: -122.40}
+)
+
+func lineTrace(t *testing.T, user string, start geo.Point, n int, stepEast float64) *trace.Trace {
+	t.Helper()
+	recs := make([]trace.Record, n)
+	for i := range recs {
+		recs[i] = trace.Record{User: user, Time: mt0.Add(time.Duration(i) * time.Minute), Point: start.Offset(float64(i)*stepEast, 0)}
+	}
+	tr, err := trace.NewTrace(user, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestTrajectorySimilarityIdentityScoresOne(t *testing.T) {
+	m := MustTrajectorySimilarity(DefaultTrajectorySimilarityConfig())
+	tr := lineTrace(t, "u1", mBase, 50, 100)
+	v, err := m.Evaluate(tr, tr.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v-1) > 1e-9 {
+		t.Errorf("identity similarity = %v, want 1", v)
+	}
+}
+
+func TestTrajectorySimilarityDecreasesWithNoise(t *testing.T) {
+	m := MustTrajectorySimilarity(DefaultTrajectorySimilarityConfig())
+	tr := lineTrace(t, "u1", mBase, 80, 100)
+	r := rng.New(3)
+	noisy := func(sigma float64) *trace.Trace {
+		out := tr.Clone()
+		for i := range out.Records {
+			out.Records[i].Point = out.Records[i].Point.Offset(sigma*r.NormFloat64(), sigma*r.NormFloat64())
+		}
+		return out
+	}
+	v100, err := m.Evaluate(tr, noisy(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2000, err := m.Evaluate(tr, noisy(2000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(1 > v100 && v100 > v2000 && v2000 > 0) {
+		t.Errorf("want 1 > sim(σ=100)=%v > sim(σ=2000)=%v > 0", v100, v2000)
+	}
+}
+
+func TestTrajectorySimilarityEmptyProtected(t *testing.T) {
+	m := MustTrajectorySimilarity(DefaultTrajectorySimilarityConfig())
+	tr := lineTrace(t, "u1", mBase, 10, 100)
+	v, err := m.Evaluate(tr, &trace.Trace{User: "u1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0 {
+		t.Errorf("empty protected similarity = %v, want 0", v)
+	}
+	if _, err := m.Evaluate(&trace.Trace{User: "u1"}, tr); err == nil {
+		t.Error("empty actual trace should error")
+	}
+}
+
+func TestDTWAlignsShiftedSampling(t *testing.T) {
+	// Same path sampled at different rates: DTW should align them with a
+	// small mean distance, unlike a naive index-paired comparison.
+	a := make([]geo.Point, 60)
+	for i := range a {
+		a[i] = mBase.Offset(float64(i)*100, 0)
+	}
+	b := make([]geo.Point, 30)
+	for i := range b {
+		b[i] = mBase.Offset(float64(i)*200, 0)
+	}
+	mean, err := DTWMeanDistance(a, b, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mean > 60 {
+		t.Errorf("DTW mean distance %v m on the same path resampled, want < 60", mean)
+	}
+}
+
+func TestDTWErrors(t *testing.T) {
+	if _, err := DTWMeanDistance(nil, []geo.Point{mBase}, 0.1); err == nil {
+		t.Error("empty sequence should error")
+	}
+}
+
+func TestFrechetKnownValue(t *testing.T) {
+	// Two parallel straight lines 500 m apart: Fréchet distance is 500.
+	a := make([]geo.Point, 20)
+	b := make([]geo.Point, 20)
+	for i := range a {
+		a[i] = mBase.Offset(float64(i)*100, 0)
+		b[i] = mBase.Offset(float64(i)*100, 500)
+	}
+	d, err := FrechetDistance(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d-500) > 5 {
+		t.Errorf("Fréchet = %v, want ≈ 500", d)
+	}
+}
+
+func TestFrechetDominatesDTWMeanProperty(t *testing.T) {
+	// Property: the Fréchet distance (max over the best alignment) is ≥
+	// the DTW mean step distance on the same inputs.
+	f := func(seed int64) bool {
+		r := rng.New(seed)
+		n := 5 + r.Intn(20)
+		a := make([]geo.Point, n)
+		b := make([]geo.Point, n)
+		for i := range a {
+			a[i] = mBase.Offset(r.Float64()*2000, r.Float64()*2000)
+			b[i] = mBase.Offset(r.Float64()*2000, r.Float64()*2000)
+		}
+		fd, err1 := FrechetDistance(a, b)
+		dm, err2 := DTWMeanDistance(a, b, 1)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return fd >= dm-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecimateKeepsEndpoints(t *testing.T) {
+	pts := make([]geo.Point, 1000)
+	for i := range pts {
+		pts[i] = mBase.Offset(float64(i), 0)
+	}
+	out := decimate(pts, 50)
+	if len(out) != 50 {
+		t.Fatalf("decimate kept %d points, want 50", len(out))
+	}
+	if out[0] != pts[0] || out[len(out)-1] != pts[len(pts)-1] {
+		t.Error("decimate must keep the endpoints")
+	}
+	if got := decimate(pts, 0); len(got) != len(pts) {
+		t.Error("maxN=0 must disable decimation")
+	}
+}
+
+func TestTrajectorySimilarityConfigValidation(t *testing.T) {
+	if _, err := NewTrajectorySimilarity(TrajectorySimilarityConfig{ScaleMeters: -1}); err == nil {
+		t.Error("negative scale should fail")
+	}
+	if _, err := NewTrajectorySimilarity(TrajectorySimilarityConfig{ScaleMeters: 100, BandFrac: 2}); err == nil {
+		t.Error("band fraction > 1 should fail")
+	}
+	if _, err := NewTrajectorySimilarity(TrajectorySimilarityConfig{ScaleMeters: 100, MaxPoints: -1}); err == nil {
+		t.Error("negative MaxPoints should fail")
+	}
+}

@@ -1,0 +1,143 @@
+package model
+
+import (
+	"fmt"
+	"math"
+)
+
+// Objectives are the designer's expectations (paper §2): leak at most
+// MaxPrivacy of the POIs and keep utility at least MinUtility. With the
+// default metrics both are fractions in [0, 1].
+type Objectives struct {
+	// MaxPrivacy is the upper bound on the privacy metric (lower metric =
+	// more private; the paper uses 0.10).
+	MaxPrivacy float64
+	// MinUtility is the lower bound on the utility metric (the paper
+	// uses 0.80).
+	MinUtility float64
+}
+
+// Validate reports objective errors.
+func (o Objectives) Validate() error {
+	if math.IsNaN(o.MaxPrivacy) || math.IsNaN(o.MinUtility) {
+		return fmt.Errorf("model: objectives must be numbers")
+	}
+	return nil
+}
+
+// Configuration is the framework's output (step 3): the parameter value to
+// configure the LPPM with, the whole feasible range, and the model's
+// predictions at the recommendation.
+type Configuration struct {
+	// Feasible is false when no parameter value satisfies both
+	// objectives; the remaining fields then describe the conflict.
+	Feasible bool
+	// Value is the recommended parameter value (geometric midpoint of
+	// the feasible range).
+	Value float64
+	// Min and Max bound the feasible parameter range.
+	Min, Max float64
+	// PredictedPrivacy and PredictedUtility evaluate the two models at
+	// Value.
+	PredictedPrivacy, PredictedUtility float64
+}
+
+// intervalFor returns the parameter interval on which the fitted model
+// satisfies "metric ≤ bound" (when upper is true) or "metric ≥ bound"
+// (when upper is false), intersected with the model's validity range —
+// extended to its saturated plateaus: outside the active zone the metric
+// stays at its plateau value, so a plateau that already satisfies the bound
+// keeps satisfying it arbitrarily far on that side.
+func intervalFor(m LogLinear, bound float64, upper bool) (lo, hi float64, err error) {
+	const (
+		negInf = math.SmallestNonzeroFloat64
+		posInf = math.MaxFloat64
+	)
+	if math.Abs(m.B) < 1e-15 {
+		return 0, 0, fmt.Errorf("model: zero-slope model cannot bound the metric")
+	}
+	x, err := m.Invert(bound)
+	if err != nil {
+		return 0, 0, err
+	}
+	// Metric increases with x when B > 0.
+	increasing := m.B > 0
+	metricLowSide := increasing // low x side has low metric when increasing
+
+	switch {
+	case upper && metricLowSide, !upper && !metricLowSide:
+		// Satisfied for x ≤ threshold.
+		lo, hi = negInf, math.Min(x, m.XMax)
+		if x > m.XMax {
+			hi = posInf // bound met across the whole valid range and beyond
+		}
+	default:
+		// Satisfied for x ≥ threshold.
+		lo, hi = math.Max(x, m.XMin), posInf
+		if x < m.XMin {
+			lo = negInf
+		}
+	}
+	if lo > hi {
+		return 0, 0, fmt.Errorf("model: empty satisfying interval")
+	}
+	return lo, hi, nil
+}
+
+// Configure inverts the fitted privacy and utility models to find the
+// parameter values meeting both objectives, mirroring the paper's GEO-I
+// walkthrough: privacy ≤ MaxPrivacy gives one bound on ε, utility ≥
+// MinUtility the other; the recommendation is the geometric midpoint of the
+// intersection.
+func Configure(privacy, utility LogLinear, obj Objectives) (Configuration, error) {
+	if err := obj.Validate(); err != nil {
+		return Configuration{}, err
+	}
+	pLo, pHi, err := intervalFor(privacy, obj.MaxPrivacy, true)
+	if err != nil {
+		return Configuration{}, fmt.Errorf("model: privacy objective: %w", err)
+	}
+	uLo, uHi, err := intervalFor(utility, obj.MinUtility, false)
+	if err != nil {
+		return Configuration{}, fmt.Errorf("model: utility objective: %w", err)
+	}
+
+	lo := math.Max(pLo, uLo)
+	hi := math.Min(pHi, uHi)
+	cfg := Configuration{Min: lo, Max: hi}
+	if lo > hi {
+		// Infeasible: report the least-bad midpoint between the two
+		// conflicting thresholds for diagnosis.
+		mid := math.Sqrt(lo * hi)
+		cfg.Value = mid
+		cfg.PredictedPrivacy = predictSaturated(privacy, mid)
+		cfg.PredictedUtility = predictSaturated(utility, mid)
+		return cfg, nil
+	}
+
+	cfg.Feasible = true
+	// Clamp the unbounded sides into the joint validity range before
+	// taking the midpoint, so the recommendation stays where the models
+	// are trustworthy.
+	vLo := math.Max(lo, math.Min(privacy.XMin, utility.XMin))
+	vHi := math.Min(hi, math.Max(privacy.XMax, utility.XMax))
+	if vLo > vHi {
+		vLo, vHi = lo, hi
+	}
+	cfg.Value = math.Sqrt(vLo * vHi)
+	cfg.PredictedPrivacy = predictSaturated(privacy, cfg.Value)
+	cfg.PredictedUtility = predictSaturated(utility, cfg.Value)
+	return cfg, nil
+}
+
+// predictSaturated evaluates the model and clamps the prediction to the
+// plateau values attained at the edges of the active zone: outside that zone
+// the real metric saturates, so the raw log-linear extrapolation would be
+// misleading (e.g. negative POI fractions).
+func predictSaturated(m LogLinear, x float64) float64 {
+	y := m.Predict(x)
+	if m.YMax > m.YMin {
+		return math.Min(math.Max(y, m.YMin), m.YMax)
+	}
+	return y
+}

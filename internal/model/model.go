@@ -1,0 +1,154 @@
+// Package model implements the mathematical-modeling half of the framework
+// (paper §3, steps 2 and 3): it detects the non-saturated zone of a
+// metric-versus-parameter curve (the region between the vertical lines of
+// Figure 1), fits the invertible log-linear relationship of Equation 2
+//
+//	metric = a + b·ln(parameter)
+//
+// over that zone, and inverts the fitted models to compute the parameter
+// value meeting designer-specified privacy and utility objectives. It also
+// provides the PCA-based selection of impactful dataset properties used in
+// framework step 1.
+package model
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/stat"
+)
+
+// ActiveRegion is the index range [Lo, Hi] (inclusive) of a series where the
+// metric actually responds to the parameter — outside it the curve is
+// saturated and carries no configuration signal.
+type ActiveRegion struct {
+	Lo, Hi int
+}
+
+// Width returns the number of grid points inside the region.
+func (a ActiveRegion) Width() int { return a.Hi - a.Lo + 1 }
+
+// DetectActiveRegion finds the non-saturated zone of ys: the smallest index
+// range outside which the curve stays within tolFrac of its endpoint
+// plateaus. tolFrac is a fraction of the curve's total range (0.05 is a
+// good default). It errors when the curve is flat or the region has fewer
+// than three points to fit on.
+func DetectActiveRegion(ys []float64, tolFrac float64) (ActiveRegion, error) {
+	if len(ys) < 3 {
+		return ActiveRegion{}, fmt.Errorf("model: need >= 3 points, got %d", len(ys))
+	}
+	if tolFrac <= 0 || tolFrac >= 0.5 {
+		return ActiveRegion{}, fmt.Errorf("model: tolFrac must be in (0, 0.5), got %v", tolFrac)
+	}
+	lo0, hi0 := ys[0], ys[0]
+	for _, y := range ys[1:] {
+		lo0 = math.Min(lo0, y)
+		hi0 = math.Max(hi0, y)
+	}
+	span := hi0 - lo0
+	if span <= 0 {
+		return ActiveRegion{}, fmt.Errorf("model: flat curve, nothing to model")
+	}
+	tol := span * tolFrac
+
+	// Walk in from the left while the curve hugs the left plateau.
+	lo := 0
+	for lo < len(ys)-1 && math.Abs(ys[lo+1]-ys[0]) <= tol {
+		lo++
+	}
+	// Walk in from the right while the curve hugs the right plateau.
+	hi := len(ys) - 1
+	last := ys[len(ys)-1]
+	for hi > 0 && math.Abs(ys[hi-1]-last) <= tol {
+		hi--
+	}
+	// Include one plateau point on each side so the fit is anchored.
+	if lo > 0 {
+		lo--
+	}
+	if hi < len(ys)-1 {
+		hi++
+	}
+	if hi-lo+1 < 3 {
+		return ActiveRegion{}, fmt.Errorf("model: active region too narrow (%d points)", hi-lo+1)
+	}
+	return ActiveRegion{Lo: lo, Hi: hi}, nil
+}
+
+// LogLinear is the fitted invertible model of Equation 2 for one metric:
+// Metric(x) = A + B·ln(x), valid for x in [XMin, XMax] (the non-saturated
+// zone it was fitted on).
+type LogLinear struct {
+	// A is the intercept (paper's a or α).
+	A float64
+	// B is the slope per natural-log unit of the parameter (paper's b or
+	// β).
+	B float64
+	// R2 is the goodness of fit on the active region.
+	R2 float64
+	// XMin and XMax bound the validity range of the model.
+	XMin, XMax float64
+	// YMin and YMax are the metric values attained at the validity
+	// bounds (ordered by value, not by x).
+	YMin, YMax float64
+}
+
+// FitLogLinear detects the active region of the (xs, ys) series and fits
+// metric = A + B·ln(x) on it. xs must be positive and strictly increasing.
+func FitLogLinear(xs, ys []float64, tolFrac float64) (LogLinear, error) {
+	if len(xs) != len(ys) {
+		return LogLinear{}, fmt.Errorf("model: series length mismatch %d vs %d", len(xs), len(ys))
+	}
+	for i, x := range xs {
+		if x <= 0 {
+			return LogLinear{}, fmt.Errorf("model: non-positive x %v at %d", x, i)
+		}
+		if i > 0 && xs[i] <= xs[i-1] {
+			return LogLinear{}, fmt.Errorf("model: xs not strictly increasing at %d", i)
+		}
+	}
+	region, err := DetectActiveRegion(ys, tolFrac)
+	if err != nil {
+		return LogLinear{}, err
+	}
+	lx := make([]float64, 0, region.Width())
+	ly := make([]float64, 0, region.Width())
+	for i := region.Lo; i <= region.Hi; i++ {
+		lx = append(lx, math.Log(xs[i]))
+		ly = append(ly, ys[i])
+	}
+	fit, err := stat.FitLinear(lx, ly)
+	if err != nil {
+		return LogLinear{}, fmt.Errorf("model: fit: %w", err)
+	}
+	m := LogLinear{
+		A: fit.Intercept, B: fit.Slope, R2: fit.R2,
+		XMin: xs[region.Lo], XMax: xs[region.Hi],
+	}
+	y1, y2 := m.Predict(m.XMin), m.Predict(m.XMax)
+	m.YMin, m.YMax = math.Min(y1, y2), math.Max(y1, y2)
+	return m, nil
+}
+
+// Predict evaluates the model at parameter value x.
+func (m LogLinear) Predict(x float64) float64 { return m.A + m.B*math.Log(x) }
+
+// Invert returns the parameter value x at which the model predicts the
+// metric value y. It errors on a (near) zero slope.
+func (m LogLinear) Invert(y float64) (float64, error) {
+	if math.Abs(m.B) < 1e-15 {
+		return 0, fmt.Errorf("model: cannot invert zero-slope model")
+	}
+	return math.Exp((y - m.A) / m.B), nil
+}
+
+// ClampToValidity clamps x into the model's fitted validity range.
+func (m LogLinear) ClampToValidity(x float64) float64 {
+	return stat.Clamp(x, m.XMin, m.XMax)
+}
+
+// String implements fmt.Stringer in the notation of Equation 2.
+func (m LogLinear) String() string {
+	return fmt.Sprintf("y = %.3f + %.3f·ln(x)  (R²=%.3f, valid x∈[%.3g, %.3g])",
+		m.A, m.B, m.R2, m.XMin, m.XMax)
+}

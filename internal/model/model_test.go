@@ -1,0 +1,158 @@
+package model
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/stat"
+)
+
+// sigmoidSeries builds a saturated-sigmoid series over log-spaced xs,
+// mimicking a Figure-1 curve: plateau at lo for small x, plateau at hi for
+// large x, log-linear in between around center.
+func sigmoidSeries(lo, hi, center, widthNats float64, n int) (xs, ys []float64) {
+	xs = stat.LogSpace(1e-4, 1, n)
+	ys = make([]float64, n)
+	for i, x := range xs {
+		z := (math.Log(x) - math.Log(center)) / widthNats
+		ys[i] = lo + (hi-lo)/(1+math.Exp(-z))
+	}
+	return xs, ys
+}
+
+func TestDetectActiveRegion(t *testing.T) {
+	_, ys := sigmoidSeries(0, 1, 0.01, 0.5, 25)
+	region, err := DetectActiveRegion(ys, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if region.Width() < 3 {
+		t.Fatalf("region too narrow: %+v", region)
+	}
+	// The region must bracket the transition center (x=0.01 is index 12
+	// on a 25-point grid over [1e-4, 1]).
+	if region.Lo > 12 || region.Hi < 12 {
+		t.Errorf("region %+v does not bracket the transition at index 12", region)
+	}
+	// And must exclude the deep plateaus.
+	if region.Lo < 4 || region.Hi > 21 {
+		t.Errorf("region %+v includes deep plateaus", region)
+	}
+}
+
+func TestDetectActiveRegionErrors(t *testing.T) {
+	if _, err := DetectActiveRegion([]float64{1, 2}, 0.05); err == nil {
+		t.Error("too few points should error")
+	}
+	if _, err := DetectActiveRegion([]float64{1, 1, 1, 1}, 0.05); err == nil {
+		t.Error("flat curve should error")
+	}
+	if _, err := DetectActiveRegion([]float64{0, 0.5, 1}, 0); err == nil {
+		t.Error("zero tolFrac should error")
+	}
+	if _, err := DetectActiveRegion([]float64{0, 0.5, 1}, 0.5); err == nil {
+		t.Error("tolFrac 0.5 should error")
+	}
+}
+
+func TestDetectActiveRegionNoPlateau(t *testing.T) {
+	// A curve active everywhere: region must cover (almost) everything.
+	xs := stat.LogSpace(1e-4, 1, 20)
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 0.1 * math.Log(x)
+	}
+	region, err := DetectActiveRegion(ys, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if region.Lo > 1 || region.Hi < len(ys)-2 {
+		t.Errorf("fully-active curve region = %+v", region)
+	}
+}
+
+func TestFitLogLinearRecoversEquation2(t *testing.T) {
+	// Build a synthetic curve that follows the paper's Equation 2 exactly
+	// in its active zone: Pr = 0.84 + 0.17·ln(ε), clipped to [0, 0.45].
+	xs := stat.LogSpace(1e-4, 1, 41)
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = stat.Clamp(0.84+0.17*math.Log(x), 0, 0.45)
+	}
+	m, err := FitLogLinear(xs, ys, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.A-0.84) > 0.06 || math.Abs(m.B-0.17) > 0.02 {
+		t.Errorf("fit A=%v B=%v, want ~0.84, 0.17", m.A, m.B)
+	}
+	if m.R2 < 0.97 {
+		t.Errorf("R² = %v", m.R2)
+	}
+	// Inversion must recover the paper's headline: Pr=0.1 at ε≈0.0129.
+	eps, err := m.Invert(0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eps < 0.008 || eps > 0.018 {
+		t.Errorf("Invert(0.10) = %v, want ~0.013", eps)
+	}
+	if s := m.String(); s == "" {
+		t.Error("String must be non-empty")
+	}
+}
+
+func TestFitLogLinearErrors(t *testing.T) {
+	xs := stat.LogSpace(1e-2, 1, 10)
+	if _, err := FitLogLinear(xs, xs[:5], 0.05); err == nil {
+		t.Error("length mismatch should error")
+	}
+	bad := append([]float64{-1}, xs[:9]...)
+	ys := make([]float64, 10)
+	for i := range ys {
+		ys[i] = float64(i)
+	}
+	if _, err := FitLogLinear(bad, ys, 0.05); err == nil {
+		t.Error("non-positive x should error")
+	}
+	nonMono := append([]float64{}, xs...)
+	nonMono[3] = nonMono[2]
+	if _, err := FitLogLinear(nonMono, ys, 0.05); err == nil {
+		t.Error("non-increasing xs should error")
+	}
+	flat := make([]float64, 10)
+	if _, err := FitLogLinear(xs, flat, 0.05); err == nil {
+		t.Error("flat ys should error")
+	}
+}
+
+func TestLogLinearPredictInvertRoundTrip(t *testing.T) {
+	m := LogLinear{A: 1.21, B: 0.09, XMin: 1e-4, XMax: 1}
+	for _, x := range []float64{1e-4, 1e-3, 1e-2, 0.5} {
+		y := m.Predict(x)
+		back, err := m.Invert(y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(math.Log(back)-math.Log(x)) > 1e-9 {
+			t.Errorf("round trip %v -> %v", x, back)
+		}
+	}
+	zero := LogLinear{A: 1, B: 0}
+	if _, err := zero.Invert(1); err == nil {
+		t.Error("zero slope should not invert")
+	}
+}
+
+func TestClampToValidity(t *testing.T) {
+	m := LogLinear{XMin: 0.001, XMax: 0.1}
+	if got := m.ClampToValidity(0.01); got != 0.01 {
+		t.Errorf("inside value clamped: %v", got)
+	}
+	if got := m.ClampToValidity(1e-9); got != 0.001 {
+		t.Errorf("low clamp = %v", got)
+	}
+	if got := m.ClampToValidity(5); got != 0.1 {
+		t.Errorf("high clamp = %v", got)
+	}
+}

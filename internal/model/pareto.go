@@ -1,0 +1,113 @@
+package model
+
+import (
+	"fmt"
+	"sort"
+)
+
+// SweepPoint is one measured operating point of a sweep: the parameter
+// value with its observed privacy (lower = better) and utility (higher =
+// better) metric values.
+type SweepPoint struct {
+	// X is the parameter value.
+	X float64
+	// Privacy is the measured privacy-metric value.
+	Privacy float64
+	// Utility is the measured utility-metric value.
+	Utility float64
+}
+
+// ZipSweep pairs aligned series into sweep points.
+func ZipSweep(xs, privacy, utility []float64) ([]SweepPoint, error) {
+	if len(xs) != len(privacy) || len(xs) != len(utility) {
+		return nil, fmt.Errorf("model: sweep series lengths differ: %d, %d, %d", len(xs), len(privacy), len(utility))
+	}
+	pts := make([]SweepPoint, len(xs))
+	for i := range xs {
+		pts[i] = SweepPoint{X: xs[i], Privacy: privacy[i], Utility: utility[i]}
+	}
+	return pts, nil
+}
+
+// ParetoFront returns the non-dominated operating points: those for which
+// no other point has both strictly less privacy leakage and strictly more
+// utility, removing duplicates. The front is sorted by increasing privacy
+// (hence, along the front, increasing utility) and is what a designer
+// inspects when the objectives turn out infeasible — it shows the best
+// trade-offs the mechanism can actually reach.
+func ParetoFront(points []SweepPoint) []SweepPoint {
+	if len(points) == 0 {
+		return nil
+	}
+	front := make([]SweepPoint, 0, len(points))
+	for _, p := range points {
+		dominated := false
+		for _, q := range points {
+			// q dominates p when it is at least as good on both
+			// axes and strictly better on one.
+			if (q.Privacy < p.Privacy && q.Utility >= p.Utility) ||
+				(q.Privacy <= p.Privacy && q.Utility > p.Utility) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			front = append(front, p)
+		}
+	}
+	sort.Slice(front, func(i, j int) bool {
+		if front[i].Privacy != front[j].Privacy {
+			return front[i].Privacy < front[j].Privacy
+		}
+		return front[i].X < front[j].X
+	})
+	// Drop exact duplicates (identical privacy and utility).
+	out := front[:0]
+	for i, p := range front {
+		if i > 0 && p.Privacy == front[i-1].Privacy && p.Utility == front[i-1].Utility {
+			continue
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// EmpiricalWindow returns the range of parameter values whose *measured*
+// metrics satisfy both objectives — the model-free counterpart of
+// Configure, useful to validate a model-based recommendation against the
+// raw sweep. ok is false when no sampled point satisfies both.
+func EmpiricalWindow(points []SweepPoint, obj Objectives) (lo, hi float64, ok bool) {
+	for _, p := range points {
+		if p.Privacy <= obj.MaxPrivacy && p.Utility >= obj.MinUtility {
+			if !ok {
+				lo, hi, ok = p.X, p.X, true
+				continue
+			}
+			if p.X < lo {
+				lo = p.X
+			}
+			if p.X > hi {
+				hi = p.X
+			}
+		}
+	}
+	return lo, hi, ok
+}
+
+// KneePoint returns the front point maximizing (utility − privacy), a
+// scale-free "best balanced trade-off" summary of the front; ok is false
+// for an empty front. With both paper metrics being fractions of the same
+// [0, 1] scale, this is the point a designer without hard objectives would
+// pick.
+func KneePoint(front []SweepPoint) (SweepPoint, bool) {
+	if len(front) == 0 {
+		return SweepPoint{}, false
+	}
+	best := front[0]
+	for _, p := range front[1:] {
+		if p.Utility-p.Privacy > best.Utility-best.Privacy {
+			best = p
+		}
+	}
+	return best, true
+}

@@ -1,0 +1,136 @@
+package model
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestZipSweep(t *testing.T) {
+	pts, err := ZipSweep([]float64{1, 2}, []float64{0.1, 0.2}, []float64{0.9, 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 || pts[1] != (SweepPoint{X: 2, Privacy: 0.2, Utility: 0.8}) {
+		t.Errorf("ZipSweep = %+v", pts)
+	}
+	if _, err := ZipSweep([]float64{1}, []float64{1, 2}, []float64{1}); err == nil {
+		t.Error("mismatched lengths should fail")
+	}
+}
+
+func TestParetoFrontRemovesDominated(t *testing.T) {
+	pts := []SweepPoint{
+		{X: 1, Privacy: 0.1, Utility: 0.5},
+		{X: 2, Privacy: 0.2, Utility: 0.4}, // dominated by X=1
+		{X: 3, Privacy: 0.3, Utility: 0.9},
+		{X: 4, Privacy: 0.05, Utility: 0.3},
+	}
+	front := ParetoFront(pts)
+	if len(front) != 3 {
+		t.Fatalf("front = %+v, want 3 points", front)
+	}
+	for _, p := range front {
+		if p.X == 2 {
+			t.Error("dominated point survived")
+		}
+	}
+	// Sorted by privacy.
+	for i := 1; i < len(front); i++ {
+		if front[i].Privacy < front[i-1].Privacy {
+			t.Error("front not sorted by privacy")
+		}
+	}
+}
+
+func TestParetoFrontDropsDuplicates(t *testing.T) {
+	pts := []SweepPoint{
+		{X: 1, Privacy: 0.1, Utility: 0.5},
+		{X: 2, Privacy: 0.1, Utility: 0.5},
+	}
+	front := ParetoFront(pts)
+	if len(front) != 1 {
+		t.Errorf("duplicates should collapse, got %+v", front)
+	}
+	if ParetoFront(nil) != nil {
+		t.Error("empty input should return nil")
+	}
+}
+
+func TestParetoFrontProperty(t *testing.T) {
+	// Property: no front point is dominated by any input point, and every
+	// input point is dominated by or equal to some front point.
+	f := func(seed int64) bool {
+		r := rng.New(seed)
+		n := 3 + r.Intn(30)
+		pts := make([]SweepPoint, n)
+		for i := range pts {
+			pts[i] = SweepPoint{X: float64(i), Privacy: float64(r.Intn(10)) / 10, Utility: float64(r.Intn(10)) / 10}
+		}
+		front := ParetoFront(pts)
+		dominates := func(q, p SweepPoint) bool {
+			return (q.Privacy < p.Privacy && q.Utility >= p.Utility) ||
+				(q.Privacy <= p.Privacy && q.Utility > p.Utility)
+		}
+		for _, p := range front {
+			for _, q := range pts {
+				if dominates(q, p) {
+					return false
+				}
+			}
+		}
+		for _, p := range pts {
+			ok := false
+			for _, q := range front {
+				if q.Privacy == p.Privacy && q.Utility == p.Utility || dominates(q, p) {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEmpiricalWindow(t *testing.T) {
+	pts := []SweepPoint{
+		{X: 0.001, Privacy: 0.0, Utility: 0.3},
+		{X: 0.005, Privacy: 0.02, Utility: 0.7},
+		{X: 0.01, Privacy: 0.05, Utility: 0.85},
+		{X: 0.02, Privacy: 0.3, Utility: 0.95},
+		{X: 0.05, Privacy: 0.9, Utility: 1.0},
+	}
+	obj := Objectives{MaxPrivacy: 0.10, MinUtility: 0.80}
+	lo, hi, ok := EmpiricalWindow(pts, obj)
+	if !ok {
+		t.Fatal("expected a satisfying point")
+	}
+	if lo != 0.01 || hi != 0.01 {
+		t.Errorf("window = [%v, %v], want [0.01, 0.01]", lo, hi)
+	}
+	if _, _, ok := EmpiricalWindow(pts, Objectives{MaxPrivacy: 0.01, MinUtility: 0.99}); ok {
+		t.Error("impossible objectives should report no window")
+	}
+}
+
+func TestKneePoint(t *testing.T) {
+	front := []SweepPoint{
+		{X: 1, Privacy: 0.0, Utility: 0.2},
+		{X: 2, Privacy: 0.1, Utility: 0.8}, // balance 0.7: the knee
+		{X: 3, Privacy: 0.6, Utility: 1.0},
+	}
+	knee, ok := KneePoint(front)
+	if !ok || knee.X != 2 {
+		t.Errorf("knee = %+v, ok=%v; want X=2", knee, ok)
+	}
+	if _, ok := KneePoint(nil); ok {
+		t.Error("empty front should report no knee")
+	}
+}

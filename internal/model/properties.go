@@ -1,0 +1,93 @@
+package model
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/stat"
+)
+
+// PropertySelection is the outcome of framework step 1's dataset analysis:
+// which dataset properties d_i vary enough, and correlate enough with the
+// principal axes of the data, to deserve a place in the model f(p, d).
+// For the paper's GEO-I illustration the selection comes back empty — the
+// per-user metric variance is not explained by any property — matching the
+// paper's "no dataset properties is considered".
+type PropertySelection struct {
+	// Names are the candidate property names, aligned with the input.
+	Names []string
+	// PCA is the fitted analysis over the standardized properties.
+	PCA *stat.PCA
+	// Selected are indices into Names of properties retained for the
+	// model, ranked by importance.
+	Selected []int
+	// Importance[i] is the variance-weighted loading mass of property i
+	// across the principal components (in [0, 1] after normalization).
+	Importance []float64
+}
+
+// SelectProperties runs PCA on the per-user property matrix and retains
+// properties whose variance-weighted loading mass is at least threshold
+// (e.g. 0.2) AND whose correlation with the per-user metric outcome exceeds
+// corrThreshold (e.g. 0.3). rows[i] must align with metricValues[i].
+func SelectProperties(names []string, rows [][]float64, metricValues []float64, threshold, corrThreshold float64) (*PropertySelection, error) {
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("model: no property rows")
+	}
+	if len(rows[0]) != len(names) {
+		return nil, fmt.Errorf("model: %d names for %d-column rows", len(names), len(rows[0]))
+	}
+	if len(metricValues) != len(rows) {
+		return nil, fmt.Errorf("model: %d metric values for %d rows", len(metricValues), len(rows))
+	}
+	p, err := stat.FitPCA(rows)
+	if err != nil {
+		return nil, fmt.Errorf("model: property PCA: %w", err)
+	}
+
+	sel := &PropertySelection{Names: names, PCA: p, Importance: make([]float64, len(names))}
+
+	// Variance-weighted squared loadings: importance_j = Σ_k evr_k·w_kj².
+	for k := range p.Components {
+		evr := p.ExplainedVarianceRatio[k]
+		for j, w := range p.Components[k] {
+			sel.Importance[j] += evr * w * w
+		}
+	}
+
+	// A property earns selection by loading mass and by actually
+	// correlating with the metric outcome across users.
+	type cand struct {
+		idx   int
+		score float64
+	}
+	var cands []cand
+	for j := range names {
+		col := make([]float64, len(rows))
+		for i, r := range rows {
+			col[i] = r[j]
+		}
+		corr := stat.Correlation(col, metricValues)
+		if math.IsNaN(corr) {
+			continue
+		}
+		if sel.Importance[j] >= threshold && math.Abs(corr) >= corrThreshold {
+			cands = append(cands, cand{idx: j, score: sel.Importance[j] * math.Abs(corr)})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].score > cands[j].score })
+	for _, c := range cands {
+		sel.Selected = append(sel.Selected, c.idx)
+	}
+	return sel, nil
+}
+
+// SelectedNames resolves Selected indices to property names.
+func (s *PropertySelection) SelectedNames() []string {
+	out := make([]string, len(s.Selected))
+	for i, idx := range s.Selected {
+		out[i] = s.Names[idx]
+	}
+	return out
+}

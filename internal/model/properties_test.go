@@ -1,0 +1,89 @@
+package model
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestSelectPropertiesFindsDriver(t *testing.T) {
+	// Property 0 drives the metric; property 1 is uncorrelated noise.
+	r := rng.New(11)
+	names := []string{"driver", "noise"}
+	n := 200
+	rows := make([][]float64, n)
+	metric := make([]float64, n)
+	for i := range rows {
+		d := r.NormFloat64()
+		rows[i] = []float64{d, r.NormFloat64()}
+		metric[i] = 2*d + r.NormFloat64()*0.2
+	}
+	sel, err := SelectProperties(names, rows, metric, 0.2, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	selNames := sel.SelectedNames()
+	if len(selNames) != 1 || selNames[0] != "driver" {
+		t.Errorf("selected = %v, want [driver]", selNames)
+	}
+	if sel.Importance[0] <= 0 || sel.Importance[1] < 0 {
+		t.Errorf("importance = %v", sel.Importance)
+	}
+}
+
+func TestSelectPropertiesEmptyWhenNothingCorrelates(t *testing.T) {
+	// The paper's GEO-I case: no property explains the metric → empty
+	// selection.
+	r := rng.New(13)
+	names := []string{"p1", "p2", "p3"}
+	n := 200
+	rows := make([][]float64, n)
+	metric := make([]float64, n)
+	for i := range rows {
+		rows[i] = []float64{r.NormFloat64(), r.NormFloat64(), r.NormFloat64()}
+		metric[i] = r.NormFloat64()
+	}
+	sel, err := SelectProperties(names, rows, metric, 0.2, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel.Selected) != 0 {
+		t.Errorf("selected = %v, want empty", sel.SelectedNames())
+	}
+}
+
+func TestSelectPropertiesErrors(t *testing.T) {
+	if _, err := SelectProperties([]string{"a"}, nil, nil, 0.2, 0.5); err == nil {
+		t.Error("empty rows should error")
+	}
+	rows := [][]float64{{1, 2}, {3, 4}}
+	if _, err := SelectProperties([]string{"a"}, rows, []float64{1, 2}, 0.2, 0.5); err == nil {
+		t.Error("name/column mismatch should error")
+	}
+	if _, err := SelectProperties([]string{"a", "b"}, rows, []float64{1}, 0.2, 0.5); err == nil {
+		t.Error("metric length mismatch should error")
+	}
+}
+
+func TestSelectPropertiesConstantColumn(t *testing.T) {
+	// A constant property must not crash and must never be selected.
+	r := rng.New(17)
+	names := []string{"const", "varies"}
+	n := 100
+	rows := make([][]float64, n)
+	metric := make([]float64, n)
+	for i := range rows {
+		v := r.NormFloat64()
+		rows[i] = []float64{5, v}
+		metric[i] = v
+	}
+	sel, err := SelectProperties(names, rows, metric, 0.2, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range sel.SelectedNames() {
+		if name == "const" {
+			t.Error("constant property must not be selected")
+		}
+	}
+}

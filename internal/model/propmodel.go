@@ -1,0 +1,187 @@
+package model
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/linalg"
+	"repro/internal/stat"
+)
+
+// PropertyModel realizes the full Equation 1, (Pr) = f(p, d1..dm): the
+// per-user log-linear response Pr_u(x) = a_u + b_u·ln(x) whose coefficients
+// are themselves linear in the user's dataset properties,
+//
+//	a_u = c0 + Σ_j cj·d_uj,   b_u = e0 + Σ_j ej·d_uj.
+//
+// Fitted on one population's per-user sweep outcomes, it predicts the
+// response curve — hence the configuration — of a *new* user or dataset
+// from its properties alone, without re-running the sweep. This is the
+// paper's "dataset properties d_i enter the model" taken to its
+// operational conclusion.
+type PropertyModel struct {
+	// PropertyNames label the d_j dimensions.
+	PropertyNames []string
+	// InterceptCoef and SlopeCoef hold [c0, c1..cm] and [e0, e1..em].
+	InterceptCoef, SlopeCoef []float64
+	// InterceptR2 and SlopeR2 score the two property regressions across
+	// training users.
+	InterceptR2, SlopeR2 float64
+	// XMin and XMax bound the validity range inherited from training.
+	XMin, XMax float64
+	// Users is the number of training users.
+	Users int
+}
+
+// FitPropertyModel fits the property-aware model. xs is the swept grid;
+// perUser maps user → metric series over xs; props maps user → property
+// vector (all the same length as names). The active region is detected on
+// the population mean curve and shared by all users, so per-user fits are
+// comparable. At least 3 users and 3 active-region points are required.
+func FitPropertyModel(names []string, xs []float64, perUser map[string][]float64, props map[string][]float64, tolFrac float64) (*PropertyModel, error) {
+	if len(perUser) < 3 {
+		return nil, fmt.Errorf("model: property model needs ≥ 3 users, got %d", len(perUser))
+	}
+	users := make([]string, 0, len(perUser))
+	for u := range perUser {
+		if _, ok := props[u]; !ok {
+			return nil, fmt.Errorf("model: user %q has metric series but no properties", u)
+		}
+		users = append(users, u)
+	}
+	sort.Strings(users)
+
+	// Shared active region from the population mean curve.
+	mean := make([]float64, len(xs))
+	for _, u := range users {
+		series := perUser[u]
+		if len(series) != len(xs) {
+			return nil, fmt.Errorf("model: user %q series has %d points, want %d", u, len(series), len(xs))
+		}
+		for i, v := range series {
+			mean[i] += v
+		}
+	}
+	for i := range mean {
+		mean[i] /= float64(len(users))
+	}
+	region, err := DetectActiveRegion(mean, tolFrac)
+	if err != nil {
+		return nil, fmt.Errorf("model: property model active region: %w", err)
+	}
+
+	// Per-user log-linear coefficients over the shared region.
+	lx := make([]float64, 0, region.Width())
+	for i := region.Lo; i <= region.Hi; i++ {
+		if xs[i] <= 0 {
+			return nil, fmt.Errorf("model: non-positive x %v in active region", xs[i])
+		}
+		lx = append(lx, math.Log(xs[i]))
+	}
+	icepts := make([]float64, len(users))
+	slopes := make([]float64, len(users))
+	for ui, u := range users {
+		ly := perUser[u][region.Lo : region.Hi+1]
+		fit, err := stat.FitLinear(lx, ly)
+		if err != nil {
+			return nil, fmt.Errorf("model: user %q response fit: %w", u, err)
+		}
+		icepts[ui] = fit.Intercept
+		slopes[ui] = fit.Slope
+	}
+
+	// Property regressions a_u ~ d_u and b_u ~ d_u by QR.
+	m := len(names)
+	design := linalg.NewMatrix(len(users), m+1)
+	for ui, u := range users {
+		v := props[u]
+		if len(v) != m {
+			return nil, fmt.Errorf("model: user %q has %d properties, want %d", u, len(v), m)
+		}
+		design.Set(ui, 0, 1)
+		for j, pv := range v {
+			design.Set(ui, j+1, pv)
+		}
+	}
+	cI, err := linalg.SolveLeastSquares(design, icepts)
+	if err != nil {
+		return nil, fmt.Errorf("model: intercept property regression: %w", err)
+	}
+	cS, err := linalg.SolveLeastSquares(design, slopes)
+	if err != nil {
+		return nil, fmt.Errorf("model: slope property regression: %w", err)
+	}
+	pm := &PropertyModel{
+		PropertyNames: append([]string(nil), names...),
+		InterceptCoef: cI,
+		SlopeCoef:     cS,
+		XMin:          xs[region.Lo],
+		XMax:          xs[region.Hi],
+		Users:         len(users),
+	}
+	pm.InterceptR2 = regressionR2(design, cI, icepts)
+	pm.SlopeR2 = regressionR2(design, cS, slopes)
+	return pm, nil
+}
+
+// regressionR2 scores fitted coefficients against the observed responses.
+func regressionR2(design *linalg.Matrix, coef, obs []float64) float64 {
+	pred := design.MulVec(coef)
+	mean := stat.Mean(obs)
+	var ssRes, ssTot float64
+	for i := range obs {
+		d := obs[i] - pred[i]
+		ssRes += d * d
+		t := obs[i] - mean
+		ssTot += t * t
+	}
+	if ssTot == 0 {
+		return 1
+	}
+	return 1 - ssRes/ssTot
+}
+
+// CurveFor predicts the log-linear response of a user (or dataset, using
+// mean properties) with the given property vector.
+func (m *PropertyModel) CurveFor(props []float64) (LogLinear, error) {
+	if len(props) != len(m.PropertyNames) {
+		return LogLinear{}, fmt.Errorf("model: got %d properties, want %d", len(props), len(m.PropertyNames))
+	}
+	a := m.InterceptCoef[0]
+	b := m.SlopeCoef[0]
+	for j, v := range props {
+		a += m.InterceptCoef[j+1] * v
+		b += m.SlopeCoef[j+1] * v
+	}
+	ll := LogLinear{A: a, B: b, XMin: m.XMin, XMax: m.XMax}
+	y1, y2 := ll.Predict(ll.XMin), ll.Predict(ll.XMax)
+	ll.YMin, ll.YMax = math.Min(y1, y2), math.Max(y1, y2)
+	return ll, nil
+}
+
+// MeanProperties averages per-user property vectors into a dataset-level
+// vector for CurveFor.
+func MeanProperties(props map[string][]float64) ([]float64, error) {
+	if len(props) == 0 {
+		return nil, fmt.Errorf("model: no property vectors")
+	}
+	var out []float64
+	n := 0
+	for _, v := range props {
+		if out == nil {
+			out = make([]float64, len(v))
+		}
+		if len(v) != len(out) {
+			return nil, fmt.Errorf("model: ragged property vectors (%d vs %d)", len(v), len(out))
+		}
+		for j, pv := range v {
+			out[j] += pv
+		}
+		n++
+	}
+	for j := range out {
+		out[j] /= float64(n)
+	}
+	return out, nil
+}

@@ -1,0 +1,185 @@
+package model
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/stat"
+)
+
+// mkPropertyPopulation synthesizes a population whose per-user response
+// curves depend linearly on two properties: Pr_u(x) = (c0 + c1·d1 + c2·d2)
+// + (e0 + e1·d1)·ln(x), saturated into [0, 1].
+func mkPropertyPopulation(users int, noise float64, seed int64) (xs []float64, perUser, props map[string][]float64) {
+	r := rng.New(seed)
+	xs = stat.LogSpace(1e-4, 1, 21)
+	perUser = make(map[string][]float64, users)
+	props = make(map[string][]float64, users)
+	for i := 0; i < users; i++ {
+		u := fmt.Sprintf("u%02d", i)
+		d1 := r.Float64()       // e.g. normalized dwell fraction
+		d2 := r.Float64() * 0.5 // e.g. normalized sampling period
+		a := 2.2 + 0.8*d1 - 0.4*d2
+		b := 0.35 + 0.15*d1
+		series := make([]float64, len(xs))
+		for j, x := range xs {
+			series[j] = stat.Clamp(a+b*math.Log(x)+noise*r.NormFloat64(), 0, 1)
+		}
+		perUser[u] = series
+		props[u] = []float64{d1, d2}
+	}
+	return xs, perUser, props
+}
+
+func TestFitPropertyModelRecoversStructure(t *testing.T) {
+	xs, perUser, props := mkPropertyPopulation(30, 0.01, 1)
+	pm, err := FitPropertyModel([]string{"dwell", "period"}, xs, perUser, props, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pm.Users != 30 {
+		t.Errorf("Users = %d, want 30", pm.Users)
+	}
+	// Property 1 raises the intercept (positive coefficient), property 2
+	// lowers it.
+	if pm.InterceptCoef[1] <= 0 {
+		t.Errorf("dwell intercept coefficient = %v, want > 0", pm.InterceptCoef[1])
+	}
+	if pm.InterceptCoef[2] >= 0 {
+		t.Errorf("period intercept coefficient = %v, want < 0", pm.InterceptCoef[2])
+	}
+	if pm.InterceptR2 < 0.8 || pm.SlopeR2 < 0.5 {
+		t.Errorf("property regressions weak: intercept R²=%v slope R²=%v", pm.InterceptR2, pm.SlopeR2)
+	}
+}
+
+func TestPropertyModelPredictsHeldOutUser(t *testing.T) {
+	xs, perUser, props := mkPropertyPopulation(31, 0.01, 2)
+	// Hold out one user; train on the rest.
+	const holdOut = "u30"
+	heldSeries := perUser[holdOut]
+	heldProps := props[holdOut]
+	delete(perUser, holdOut)
+	delete(props, holdOut)
+
+	pm, err := FitPropertyModel([]string{"dwell", "period"}, xs, perUser, props, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	curve, err := pm.CurveFor(heldProps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compare prediction to the held-out user's own fit over the model's
+	// validity range.
+	// The observed series is clamped into [0, 1]; clamp the prediction
+	// the same way before comparing.
+	var sumAbs float64
+	n := 0
+	for i, x := range xs {
+		if x < pm.XMin || x > pm.XMax {
+			continue
+		}
+		pred := stat.Clamp(curve.Predict(x), 0, 1)
+		sumAbs += math.Abs(pred - heldSeries[i])
+		n++
+	}
+	if mae := sumAbs / float64(n); mae > 0.08 {
+		t.Errorf("held-out mean absolute error = %v, want ≤ 0.08", mae)
+	}
+}
+
+func TestPropertyModelConfigurationTransfers(t *testing.T) {
+	// The operational claim: inverting the predicted curve gives a valid
+	// configuration for a user never swept.
+	xs, perUser, props := mkPropertyPopulation(30, 0.005, 3)
+	pm, err := FitPropertyModel([]string{"dwell", "period"}, xs, perUser, props, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A high-dwell user needs a smaller ε for the same leakage bound
+	// than a low-dwell one (dwell raises the intercept).
+	hi, err := pm.CurveFor([]float64{0.9, 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, err := pm.CurveFor([]float64{0.1, 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	epsHi, err := hi.Invert(0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	epsLo, err := lo.Invert(0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epsHi >= epsLo {
+		t.Errorf("high-dwell user got ε=%v, low-dwell ε=%v; want high-dwell smaller", epsHi, epsLo)
+	}
+}
+
+func TestFitPropertyModelErrors(t *testing.T) {
+	xs, perUser, props := mkPropertyPopulation(5, 0.01, 4)
+	if _, err := FitPropertyModel([]string{"a", "b"}, xs, map[string][]float64{"u": perUser["u00"]}, props, 0.05); err == nil {
+		t.Error("too few users should fail")
+	}
+	// Missing properties for a user.
+	broken := map[string][]float64{}
+	for u, s := range perUser {
+		broken[u] = s
+	}
+	badProps := map[string][]float64{}
+	for u, v := range props {
+		if u != "u00" {
+			badProps[u] = v
+		}
+	}
+	if _, err := FitPropertyModel([]string{"a", "b"}, xs, broken, badProps, 0.05); err == nil {
+		t.Error("missing property vector should fail")
+	}
+	// Ragged series.
+	ragged := map[string][]float64{}
+	for u, s := range perUser {
+		ragged[u] = s
+	}
+	for u := range ragged {
+		ragged[u] = ragged[u][:3]
+		break
+	}
+	if _, err := FitPropertyModel([]string{"a", "b"}, xs, ragged, props, 0.05); err == nil {
+		t.Error("ragged series should fail")
+	}
+	// Wrong property dimension.
+	pm, err := FitPropertyModel([]string{"a", "b"}, xs, perUser, props, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pm.CurveFor([]float64{1}); err == nil {
+		t.Error("wrong property dimension should fail")
+	}
+}
+
+func TestMeanProperties(t *testing.T) {
+	props := map[string][]float64{
+		"a": {1, 4},
+		"b": {3, 0},
+	}
+	mean, err := MeanProperties(props)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mean[0] != 2 || mean[1] != 2 {
+		t.Errorf("mean = %v, want [2 2]", mean)
+	}
+	if _, err := MeanProperties(nil); err == nil {
+		t.Error("empty map should fail")
+	}
+	props["c"] = []float64{1}
+	if _, err := MeanProperties(props); err == nil {
+		t.Error("ragged vectors should fail")
+	}
+}

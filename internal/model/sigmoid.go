@@ -1,0 +1,145 @@
+package model
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/stat"
+)
+
+// Sigmoid is the four-parameter logistic alternative to Equation 2's
+// log-linear model: Metric(x) = Lo + (Hi−Lo)/(1+exp(−K·(ln x − X0))). Where
+// LogLinear is valid only inside the non-saturated zone, the sigmoid models
+// the entire curve of Figure 1 — both plateaus and the transition — at the
+// cost of no longer being the paper's closed form. The framework exposes
+// both so a designer can trade simplicity against validity range (an
+// ablation bench quantifies the difference).
+type Sigmoid struct {
+	// Fit is the underlying logistic fit over x' = ln(parameter).
+	Fit stat.SigmoidFit
+	// XMin and XMax bound the parameter range the model was fitted on.
+	XMin, XMax float64
+}
+
+// FitSigmoidModel fits the logistic model to a metric-versus-parameter
+// series. xs must be positive and strictly increasing.
+func FitSigmoidModel(xs, ys []float64) (Sigmoid, error) {
+	if len(xs) != len(ys) {
+		return Sigmoid{}, fmt.Errorf("model: series length mismatch %d vs %d", len(xs), len(ys))
+	}
+	lx := make([]float64, len(xs))
+	for i, x := range xs {
+		if x <= 0 {
+			return Sigmoid{}, fmt.Errorf("model: non-positive x %v at %d", x, i)
+		}
+		if i > 0 && xs[i] <= xs[i-1] {
+			return Sigmoid{}, fmt.Errorf("model: xs not strictly increasing at %d", i)
+		}
+		lx[i] = math.Log(x)
+	}
+	fit, err := stat.FitSigmoid(lx, ys)
+	if err != nil {
+		return Sigmoid{}, fmt.Errorf("model: sigmoid: %w", err)
+	}
+	return Sigmoid{Fit: fit, XMin: xs[0], XMax: xs[len(xs)-1]}, nil
+}
+
+// Predict evaluates the model at parameter value x.
+func (m Sigmoid) Predict(x float64) float64 { return m.Fit.Predict(math.Log(x)) }
+
+// Invert returns the parameter value at which the model predicts metric
+// value y. It errors when y lies on a plateau (not invertible there).
+func (m Sigmoid) Invert(y float64) (float64, error) {
+	lx, err := m.Fit.InvertY(y)
+	if err != nil {
+		return 0, err
+	}
+	return math.Exp(lx), nil
+}
+
+// R2 returns the goodness of fit over the whole series.
+func (m Sigmoid) R2() float64 { return m.Fit.R2 }
+
+// String implements fmt.Stringer.
+func (m Sigmoid) String() string {
+	return fmt.Sprintf("y = %.3f + %.3f·logistic(%.3f·(ln x − %.3f))  (R²=%.3f, x∈[%.3g, %.3g])",
+		m.Fit.Lo, m.Fit.Hi-m.Fit.Lo, m.Fit.K, m.Fit.X0, m.Fit.R2, m.XMin, m.XMax)
+}
+
+// sigmoidIntervalFor returns the parameter interval on which the sigmoid
+// satisfies "metric ≤ bound" (upper true) or "metric ≥ bound" (upper
+// false). Plateaus make the satisfied side unbounded.
+func sigmoidIntervalFor(m Sigmoid, bound float64, upper bool) (lo, hi float64, err error) {
+	const (
+		negInf = math.SmallestNonzeroFloat64
+		posInf = math.MaxFloat64
+	)
+	span := m.Fit.Hi - m.Fit.Lo
+	if span == 0 || m.Fit.K == 0 {
+		return 0, 0, fmt.Errorf("model: flat sigmoid cannot bound the metric")
+	}
+	increasing := m.Fit.K > 0
+
+	// Bound beyond the asymptotes: satisfied everywhere or nowhere.
+	if bound <= m.Fit.Lo {
+		if upper {
+			return 0, 0, fmt.Errorf("model: bound %v below the curve's reachable range [%v, %v]", bound, m.Fit.Lo, m.Fit.Hi)
+		}
+		return negInf, posInf, nil
+	}
+	if bound >= m.Fit.Hi {
+		if upper {
+			return negInf, posInf, nil
+		}
+		return 0, 0, fmt.Errorf("model: bound %v above the curve's reachable range [%v, %v]", bound, m.Fit.Lo, m.Fit.Hi)
+	}
+
+	x, err := m.Invert(bound)
+	if err != nil {
+		return 0, 0, err
+	}
+	// metric ≤ bound holds on the low-metric side of x.
+	lowMetricOnLowX := increasing
+	if upper == lowMetricOnLowX {
+		return negInf, x, nil
+	}
+	return x, posInf, nil
+}
+
+// ConfigureSigmoid inverts a pair of fitted sigmoid models under the
+// designer's objectives, the full-curve counterpart of Configure.
+func ConfigureSigmoid(privacy, utility Sigmoid, obj Objectives) (Configuration, error) {
+	if err := obj.Validate(); err != nil {
+		return Configuration{}, err
+	}
+	pLo, pHi, err := sigmoidIntervalFor(privacy, obj.MaxPrivacy, true)
+	if err != nil {
+		return Configuration{}, fmt.Errorf("model: privacy objective: %w", err)
+	}
+	uLo, uHi, err := sigmoidIntervalFor(utility, obj.MinUtility, false)
+	if err != nil {
+		return Configuration{}, fmt.Errorf("model: utility objective: %w", err)
+	}
+	lo := math.Max(pLo, uLo)
+	hi := math.Min(pHi, uHi)
+	cfg := Configuration{Min: lo, Max: hi}
+	if lo > hi {
+		mid := math.Sqrt(lo * hi)
+		cfg.Value = mid
+		cfg.PredictedPrivacy = privacy.Predict(mid)
+		cfg.PredictedUtility = utility.Predict(mid)
+		return cfg, nil
+	}
+	cfg.Feasible = true
+	// Keep the recommendation inside the jointly-sampled range; the
+	// asymptote sides are unbounded but unexplored.
+	vLo := math.Max(lo, math.Min(privacy.XMin, utility.XMin))
+	vHi := math.Min(hi, math.Max(privacy.XMax, utility.XMax))
+	if vLo > vHi {
+		vLo, vHi = lo, hi
+	}
+	cfg.Value = math.Sqrt(vLo * vHi)
+	cfg.PredictedPrivacy = privacy.Predict(cfg.Value)
+	cfg.PredictedUtility = utility.Predict(cfg.Value)
+	return cfg, nil
+}

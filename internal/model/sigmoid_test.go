@@ -1,0 +1,150 @@
+package model
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/stat"
+)
+
+// logisticSeries samples a logistic curve in parameter space: the metric
+// transitions around x = 0.01 over roughly one decade.
+func logisticSeries(lo, hi, k, x0 float64, n int) (xs, ys []float64) {
+	xs = stat.LogSpace(1e-4, 1, n)
+	ys = make([]float64, n)
+	for i, x := range xs {
+		ys[i] = lo + (hi-lo)/(1+math.Exp(-k*(math.Log(x)-math.Log(x0))))
+	}
+	return xs, ys
+}
+
+func TestFitSigmoidModelRecoversMidpoint(t *testing.T) {
+	xs, ys := logisticSeries(0, 1, 2, 0.01, 25)
+	m, err := FitSigmoidModel(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid, err := m.Invert(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mid < 0.007 || mid > 0.014 {
+		t.Errorf("midpoint inverted at %v, want ≈ 0.01", mid)
+	}
+	if m.R2() < 0.99 {
+		t.Errorf("R² = %v on noiseless sigmoid, want ≈ 1", m.R2())
+	}
+}
+
+func TestFitSigmoidModelInputValidation(t *testing.T) {
+	if _, err := FitSigmoidModel([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if _, err := FitSigmoidModel([]float64{-1, 1, 2, 3}, []float64{1, 2, 3, 4}); err == nil {
+		t.Error("non-positive x should fail")
+	}
+	if _, err := FitSigmoidModel([]float64{1, 1, 2, 3}, []float64{1, 2, 3, 4}); err == nil {
+		t.Error("non-increasing x should fail")
+	}
+}
+
+func TestSigmoidPredictInvertRoundTrip(t *testing.T) {
+	xs, ys := logisticSeries(0.1, 0.9, 1.5, 0.02, 31)
+	m, err := FitSigmoidModel(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{0.005, 0.02, 0.08} {
+		y := m.Predict(x)
+		back, err := m.Invert(y)
+		if err != nil {
+			t.Fatalf("Invert(%v): %v", y, err)
+		}
+		if math.Abs(math.Log(back)-math.Log(x)) > 1e-9 {
+			t.Errorf("round trip %v → %v → %v", x, y, back)
+		}
+	}
+	if _, err := m.Invert(0.05); err == nil {
+		t.Error("inverting below the lower plateau should fail")
+	}
+}
+
+func TestConfigureSigmoidMatchesPaperStructure(t *testing.T) {
+	// Privacy transitions fast around 0.02; utility slowly around 0.002:
+	// feasible window in between, like Figure 1.
+	xs, prs := logisticSeries(0, 1, 4, 0.02, 25)
+	_, uts := logisticSeries(0.1, 1, 1, 0.002, 25)
+	pm, err := FitSigmoidModel(xs, prs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	um, err := FitSigmoidModel(xs, uts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := ConfigureSigmoid(pm, um, Objectives{MaxPrivacy: 0.10, MinUtility: 0.80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cfg.Feasible {
+		t.Fatalf("expected a feasible window, got %+v", cfg)
+	}
+	if cfg.PredictedPrivacy > 0.10+1e-6 {
+		t.Errorf("predicted privacy %v violates the bound", cfg.PredictedPrivacy)
+	}
+	if cfg.PredictedUtility < 0.80-1e-6 {
+		t.Errorf("predicted utility %v violates the bound", cfg.PredictedUtility)
+	}
+	if cfg.Value < cfg.Min || cfg.Value > cfg.Max {
+		t.Errorf("recommendation %v outside feasible [%v, %v]", cfg.Value, cfg.Min, cfg.Max)
+	}
+}
+
+func TestConfigureSigmoidInfeasible(t *testing.T) {
+	// Both metrics transition at the same spot: wanting privacy ≤ 0.05
+	// and utility ≥ 0.95 from the same curve is impossible.
+	xs, prs := logisticSeries(0, 1, 4, 0.01, 25)
+	uts := make([]float64, len(prs))
+	copy(uts, prs)
+	pm, err := FitSigmoidModel(xs, prs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	um, err := FitSigmoidModel(xs, uts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := ConfigureSigmoid(pm, um, Objectives{MaxPrivacy: 0.05, MinUtility: 0.95})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Feasible {
+		t.Errorf("conflicting objectives reported feasible: %+v", cfg)
+	}
+}
+
+func TestConfigureSigmoidPlateauBounds(t *testing.T) {
+	xs, prs := logisticSeries(0, 0.4, 4, 0.02, 25)
+	_, uts := logisticSeries(0.1, 1, 1, 0.002, 25)
+	pm, err := FitSigmoidModel(xs, prs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	um, err := FitSigmoidModel(xs, uts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// MaxPrivacy above the privacy curve's upper plateau: any ε
+	// satisfies it; feasibility then rests on utility alone.
+	cfg, err := ConfigureSigmoid(pm, um, Objectives{MaxPrivacy: 0.9, MinUtility: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cfg.Feasible {
+		t.Error("trivially-satisfiable privacy bound should be feasible")
+	}
+	// MinUtility above the utility curve's upper plateau: unreachable.
+	if _, err := ConfigureSigmoid(pm, um, Objectives{MaxPrivacy: 0.9, MinUtility: 1.5}); err == nil {
+		t.Error("utility bound above the reachable range should error")
+	}
+}

@@ -1,0 +1,192 @@
+package model
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/linalg"
+)
+
+// Surface is the two-parameter response model generalizing Equation 2:
+//
+//	Metric(x, y) = A + Bx·tx(x) + By·ty(y)
+//
+// where tx/ty are ln(·) for log-scaled parameters and identity otherwise.
+// It is fitted over a factorial grid by QR least squares and supports the
+// partial inversions a designer needs: "given the sampling period, which ε
+// meets the objectives?" and the joint feasible-region map.
+type Surface struct {
+	// A is the intercept; Bx and By the per-axis slopes.
+	A, Bx, By float64
+	// R2 is the goodness of fit over the whole grid.
+	R2 float64
+	// XLog and YLog record the axis transforms used.
+	XLog, YLog bool
+	// XMin, XMax, YMin, YMax bound the fitted grid.
+	XMin, XMax, YMin, YMax float64
+}
+
+// FitSurface fits the bilinear model to a factorial grid: z[yi][xi] is the
+// metric mean at (xs[xi], ys[yi]). Log-scaled axes must be positive.
+func FitSurface(xs, ys []float64, z [][]float64, xlog, ylog bool) (Surface, error) {
+	if len(xs) < 2 || len(ys) < 2 {
+		return Surface{}, fmt.Errorf("model: surface needs a ≥ 2×2 grid, got %d×%d", len(xs), len(ys))
+	}
+	if len(z) != len(ys) {
+		return Surface{}, fmt.Errorf("model: surface has %d rows, want %d", len(z), len(ys))
+	}
+	tx, err := axisTransform(xs, xlog, "x")
+	if err != nil {
+		return Surface{}, err
+	}
+	ty, err := axisTransform(ys, ylog, "y")
+	if err != nil {
+		return Surface{}, err
+	}
+	n := len(xs) * len(ys)
+	a := linalg.NewMatrix(n, 3)
+	b := make([]float64, n)
+	i := 0
+	for yi := range ys {
+		if len(z[yi]) != len(xs) {
+			return Surface{}, fmt.Errorf("model: surface row %d has %d cells, want %d", yi, len(z[yi]), len(xs))
+		}
+		for xi := range xs {
+			a.Set(i, 0, 1)
+			a.Set(i, 1, tx[xi])
+			a.Set(i, 2, ty[yi])
+			b[i] = z[yi][xi]
+			i++
+		}
+	}
+	coef, err := linalg.SolveLeastSquares(a, b)
+	if err != nil {
+		return Surface{}, fmt.Errorf("model: surface fit: %w", err)
+	}
+	s := Surface{
+		A: coef[0], Bx: coef[1], By: coef[2],
+		XLog: xlog, YLog: ylog,
+		XMin: xs[0], XMax: xs[len(xs)-1],
+		YMin: ys[0], YMax: ys[len(ys)-1],
+	}
+	// R² over the grid.
+	var mean float64
+	for _, v := range b {
+		mean += v
+	}
+	mean /= float64(n)
+	var ssRes, ssTot float64
+	i = 0
+	for yi := range ys {
+		for xi := range xs {
+			d := z[yi][xi] - s.Predict(xs[xi], ys[yi])
+			ssRes += d * d
+			t := z[yi][xi] - mean
+			ssTot += t * t
+			i++
+		}
+	}
+	if ssTot > 0 {
+		s.R2 = 1 - ssRes/ssTot
+	} else {
+		s.R2 = 1
+	}
+	return s, nil
+}
+
+// axisTransform applies the axis transform and validates positivity for
+// log axes.
+func axisTransform(vs []float64, logScale bool, axis string) ([]float64, error) {
+	out := make([]float64, len(vs))
+	for i, v := range vs {
+		if i > 0 && vs[i] <= vs[i-1] {
+			return nil, fmt.Errorf("model: surface %s axis not strictly increasing at %d", axis, i)
+		}
+		if logScale {
+			if v <= 0 {
+				return nil, fmt.Errorf("model: surface log %s axis has non-positive value %v", axis, v)
+			}
+			out[i] = math.Log(v)
+		} else {
+			out[i] = v
+		}
+	}
+	return out, nil
+}
+
+// Predict evaluates the surface at (x, y).
+func (s Surface) Predict(x, y float64) float64 {
+	return s.A + s.Bx*s.txv(x) + s.By*s.tyv(y)
+}
+
+func (s Surface) txv(x float64) float64 {
+	if s.XLog {
+		return math.Log(x)
+	}
+	return x
+}
+
+func (s Surface) tyv(y float64) float64 {
+	if s.YLog {
+		return math.Log(y)
+	}
+	return y
+}
+
+// InvertX solves Metric(x, y) = z for x with y held fixed — the partial
+// inversion behind "given the other knob, configure this one".
+func (s Surface) InvertX(z, y float64) (float64, error) {
+	if math.Abs(s.Bx) < 1e-15 {
+		return 0, fmt.Errorf("model: surface has zero x-slope, cannot invert")
+	}
+	t := (z - s.A - s.By*s.tyv(y)) / s.Bx
+	if s.XLog {
+		return math.Exp(t), nil
+	}
+	return t, nil
+}
+
+// String implements fmt.Stringer.
+func (s Surface) String() string {
+	fx, fy := "x", "y"
+	if s.XLog {
+		fx = "ln x"
+	}
+	if s.YLog {
+		fy = "ln y"
+	}
+	return fmt.Sprintf("z = %.3f + %.3f·%s + %.3f·%s  (R²=%.3f)", s.A, s.Bx, fx, s.By, fy, s.R2)
+}
+
+// PairPoint is one grid cell of a two-parameter feasibility analysis.
+type PairPoint struct {
+	// X and Y are the parameter values.
+	X, Y float64
+	// Privacy and Utility are the measured means at the cell.
+	Privacy, Utility float64
+	// Feasible reports whether the cell satisfies the objectives.
+	Feasible bool
+}
+
+// FeasiblePairs evaluates the objectives over a measured factorial grid
+// (privacy[yi][xi], utility[yi][xi]) and returns every cell, flagged. best
+// is the feasible cell maximizing utility − privacy; ok is false when no
+// cell is feasible.
+func FeasiblePairs(xs, ys []float64, privacy, utility [][]float64, obj Objectives) (cells []PairPoint, best PairPoint, ok bool) {
+	for yi := range ys {
+		for xi := range xs {
+			p := PairPoint{
+				X:       xs[xi],
+				Y:       ys[yi],
+				Privacy: privacy[yi][xi],
+				Utility: utility[yi][xi],
+			}
+			p.Feasible = p.Privacy <= obj.MaxPrivacy && p.Utility >= obj.MinUtility
+			cells = append(cells, p)
+			if p.Feasible && (!ok || p.Utility-p.Privacy > best.Utility-best.Privacy) {
+				best, ok = p, true
+			}
+		}
+	}
+	return cells, best, ok
+}

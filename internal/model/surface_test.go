@@ -1,0 +1,148 @@
+package model
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/stat"
+)
+
+// mkSurfaceData samples z = a + bx·ln(x) + by·ln(y) (+ noise) on a grid.
+func mkSurfaceData(a, bx, by, noise float64, seed int64) (xs, ys []float64, z [][]float64) {
+	r := rng.New(seed)
+	xs = stat.LogSpace(1e-3, 1, 8)
+	ys = stat.LogSpace(60, 3600, 5)
+	z = make([][]float64, len(ys))
+	for yi, y := range ys {
+		z[yi] = make([]float64, len(xs))
+		for xi, x := range xs {
+			z[yi][xi] = a + bx*math.Log(x) + by*math.Log(y) + noise*r.NormFloat64()
+		}
+	}
+	return xs, ys, z
+}
+
+func TestFitSurfaceRecoversCoefficients(t *testing.T) {
+	xs, ys, z := mkSurfaceData(1.5, 0.2, -0.1, 0, 1)
+	s, err := FitSurface(xs, ys, z, true, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.A-1.5) > 1e-9 || math.Abs(s.Bx-0.2) > 1e-9 || math.Abs(s.By+0.1) > 1e-9 {
+		t.Errorf("coefficients = (%v, %v, %v), want (1.5, 0.2, -0.1)", s.A, s.Bx, s.By)
+	}
+	if s.R2 < 1-1e-12 {
+		t.Errorf("R² = %v on noiseless data, want 1", s.R2)
+	}
+}
+
+func TestFitSurfaceWithNoise(t *testing.T) {
+	xs, ys, z := mkSurfaceData(1.5, 0.2, -0.1, 0.02, 2)
+	s, err := FitSurface(xs, ys, z, true, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.Bx-0.2) > 0.03 || math.Abs(s.By+0.1) > 0.03 {
+		t.Errorf("slopes = (%v, %v), want ≈ (0.2, -0.1)", s.Bx, s.By)
+	}
+	if s.R2 < 0.95 {
+		t.Errorf("R² = %v under mild noise", s.R2)
+	}
+}
+
+func TestSurfacePredictInvertXRoundTrip(t *testing.T) {
+	xs, ys, z := mkSurfaceData(0.8, 0.15, -0.05, 0, 3)
+	s, err := FitSurface(xs, ys, z, true, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, y := range []float64{60, 600, 3600} {
+		for _, x := range []float64{1e-3, 1e-2, 1e-1} {
+			zv := s.Predict(x, y)
+			back, err := s.InvertX(zv, y)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(math.Log(back)-math.Log(x)) > 1e-9 {
+				t.Errorf("round trip (%v, %v): got %v", x, y, back)
+			}
+		}
+	}
+}
+
+func TestSurfaceLinearAxes(t *testing.T) {
+	// Linear y axis: z = 1 + 0.5·ln(x) + 0.01·y.
+	xs := stat.LogSpace(1e-2, 1, 5)
+	ys := []float64{0, 5, 10}
+	z := make([][]float64, len(ys))
+	for yi, y := range ys {
+		z[yi] = make([]float64, len(xs))
+		for xi, x := range xs {
+			z[yi][xi] = 1 + 0.5*math.Log(x) + 0.01*y
+		}
+	}
+	s, err := FitSurface(xs, ys, z, true, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.By-0.01) > 1e-9 {
+		t.Errorf("linear-axis slope = %v, want 0.01", s.By)
+	}
+}
+
+func TestFitSurfaceErrors(t *testing.T) {
+	xs := []float64{1, 2, 3}
+	ys := []float64{1, 2}
+	ok := [][]float64{{1, 2, 3}, {2, 3, 4}}
+	if _, err := FitSurface(xs[:1], ys, ok, false, false); err == nil {
+		t.Error("1-wide grid should fail")
+	}
+	if _, err := FitSurface(xs, ys, ok[:1], false, false); err == nil {
+		t.Error("row-count mismatch should fail")
+	}
+	if _, err := FitSurface(xs, ys, [][]float64{{1, 2}, {2, 3}}, false, false); err == nil {
+		t.Error("ragged row should fail")
+	}
+	if _, err := FitSurface([]float64{1, 1, 2}, ys, ok, false, false); err == nil {
+		t.Error("non-increasing axis should fail")
+	}
+	if _, err := FitSurface([]float64{-1, 1, 2}, ys, ok, true, false); err == nil {
+		t.Error("non-positive log axis should fail")
+	}
+	flat := Surface{A: 1}
+	if _, err := flat.InvertX(1, 1); err == nil {
+		t.Error("zero x-slope inversion should fail")
+	}
+}
+
+func TestFeasiblePairs(t *testing.T) {
+	xs := []float64{0.001, 0.01}
+	ys := []float64{60, 600}
+	privacy := [][]float64{{0.0, 0.2}, {0.0, 0.05}}
+	utility := [][]float64{{0.5, 0.9}, {0.6, 0.85}}
+	obj := Objectives{MaxPrivacy: 0.10, MinUtility: 0.80}
+	cells, best, ok := FeasiblePairs(xs, ys, privacy, utility, obj)
+	if len(cells) != 4 {
+		t.Fatalf("cells = %d, want 4", len(cells))
+	}
+	if !ok {
+		t.Fatal("expected a feasible pair")
+	}
+	// Only (x=0.01, y=600) is feasible: privacy 0.05 ≤ 0.1, utility 0.85 ≥ 0.8.
+	if best.X != 0.01 || best.Y != 600 {
+		t.Errorf("best = %+v, want (0.01, 600)", best)
+	}
+	var feasibleCount int
+	for _, c := range cells {
+		if c.Feasible {
+			feasibleCount++
+		}
+	}
+	if feasibleCount != 1 {
+		t.Errorf("feasible cells = %d, want 1", feasibleCount)
+	}
+	if _, _, ok := FeasiblePairs(xs, ys, privacy, utility, Objectives{MaxPrivacy: -1, MinUtility: 2}); ok {
+		t.Error("impossible objectives should report no feasible pair")
+	}
+}

@@ -1,0 +1,201 @@
+package poi
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/trace"
+)
+
+// Finder abstracts POI extraction so metrics and attacks can swap
+// algorithms: the sequential stay-point Extractor is the paper's, the
+// DensityExtractor is the adversarial upgrade that survives record
+// interleaving.
+type Finder interface {
+	// POIs extracts the meaningful places of a trace.
+	POIs(t *trace.Trace) []POI
+}
+
+var (
+	_ Finder = (*Extractor)(nil)
+	_ Finder = (*DensityExtractor)(nil)
+)
+
+// DensityExtractorConfig tunes DBSCAN-style density extraction.
+type DensityExtractorConfig struct {
+	// EpsMeters is the neighbourhood radius.
+	EpsMeters float64
+	// MinPoints is the minimum neighbourhood size for a core record.
+	MinPoints int
+	// MinDwell is the minimum total residence time a cluster must
+	// accumulate to count as a place (filters driving corridors that are
+	// merely crossed repeatedly).
+	MinDwell time.Duration
+	// DwellCap bounds the per-record residence credit: a record accrues
+	// min(gap to next record, DwellCap), so sparse sampling cannot
+	// inflate dwell. 0 uses 10 minutes.
+	DwellCap time.Duration
+}
+
+// DefaultDensityExtractorConfig returns the configuration matched to the
+// sequential extractor's defaults (200 m places, 15 min dwell).
+func DefaultDensityExtractorConfig() DensityExtractorConfig {
+	return DensityExtractorConfig{
+		EpsMeters: 100,
+		MinPoints: 5,
+		MinDwell:  15 * time.Minute,
+		DwellCap:  10 * time.Minute,
+	}
+}
+
+// Validate reports configuration errors.
+func (c DensityExtractorConfig) Validate() error {
+	if c.EpsMeters <= 0 {
+		return fmt.Errorf("poi: EpsMeters must be positive, got %v", c.EpsMeters)
+	}
+	if c.MinPoints < 2 {
+		return fmt.Errorf("poi: MinPoints must be ≥ 2, got %d", c.MinPoints)
+	}
+	if c.MinDwell <= 0 {
+		return fmt.Errorf("poi: MinDwell must be positive, got %v", c.MinDwell)
+	}
+	if c.DwellCap < 0 {
+		return fmt.Errorf("poi: DwellCap must be non-negative, got %v", c.DwellCap)
+	}
+	return nil
+}
+
+// DensityExtractor finds POIs by spatial density (grid-accelerated DBSCAN)
+// instead of temporal contiguity. Where the sequential Extractor needs
+// *consecutive* records to dwell — and is therefore blinded by interleaved
+// decoy records (the dummy-injection LPPM) or shuffled releases — the
+// density view only asks "did this user's records pile up here long
+// enough?", which is the question a realistic adversary asks. The X3/A6
+// experiments contrast the two.
+type DensityExtractor struct {
+	cfg DensityExtractorConfig
+}
+
+// NewDensityExtractor returns an extractor, validating the configuration.
+func NewDensityExtractor(cfg DensityExtractorConfig) (*DensityExtractor, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.DwellCap == 0 {
+		cfg.DwellCap = 10 * time.Minute
+	}
+	return &DensityExtractor{cfg: cfg}, nil
+}
+
+// Config returns the extractor's configuration.
+func (e *DensityExtractor) Config() DensityExtractorConfig { return e.cfg }
+
+// POIs implements Finder: DBSCAN clusters of the trace's records, reduced
+// to dwell-weighted centroids, filtered by MinDwell and ranked by dwell.
+func (e *DensityExtractor) POIs(t *trace.Trace) []POI {
+	recs := t.Records
+	n := len(recs)
+	if n == 0 {
+		return nil
+	}
+
+	// Grid buckets of EpsMeters so neighbourhood queries touch ≤ 9 cells.
+	origin := geo.Point{Lat: math.Floor(recs[0].Point.Lat) - 1, Lng: math.Floor(recs[0].Point.Lng) - 1}
+	grid := geo.NewGrid(origin, e.cfg.EpsMeters)
+	buckets := make(map[geo.Cell][]int, n/4)
+	for i, r := range recs {
+		c := grid.CellOf(r.Point)
+		buckets[c] = append(buckets[c], i)
+	}
+	neighbors := func(i int) []int {
+		var out []int
+		c := grid.CellOf(recs[i].Point)
+		for dc := -1; dc <= 1; dc++ {
+			for dr := -1; dr <= 1; dr++ {
+				for _, j := range buckets[geo.Cell{Col: c.Col + dc, Row: c.Row + dr}] {
+					if geo.Equirectangular(recs[i].Point, recs[j].Point) <= e.cfg.EpsMeters {
+						out = append(out, j)
+					}
+				}
+			}
+		}
+		return out
+	}
+
+	// DBSCAN labelling: 0 = unvisited, -1 = noise, ≥ 1 = cluster id.
+	labels := make([]int, n)
+	clusterID := 0
+	for i := 0; i < n; i++ {
+		if labels[i] != 0 {
+			continue
+		}
+		nbs := neighbors(i)
+		if len(nbs) < e.cfg.MinPoints {
+			labels[i] = -1
+			continue
+		}
+		clusterID++
+		labels[i] = clusterID
+		queue := append([]int(nil), nbs...)
+		for qi := 0; qi < len(queue); qi++ {
+			j := queue[qi]
+			if labels[j] == -1 {
+				labels[j] = clusterID // border point
+			}
+			if labels[j] != 0 {
+				continue
+			}
+			labels[j] = clusterID
+			if jn := neighbors(j); len(jn) >= e.cfg.MinPoints {
+				queue = append(queue, jn...)
+			}
+		}
+	}
+
+	// Reduce clusters to dwell-weighted POIs. Residence time is computed
+	// on each cluster's own timeline — consecutive in-cluster timestamps
+	// closer than DwellCap accrue their gap — so interleaved records from
+	// elsewhere (decoys, other visits) do not dilute a place's dwell.
+	members := make(map[int][]int, clusterID)
+	for i, lb := range labels {
+		if lb > 0 {
+			members[lb] = append(members[lb], i)
+		}
+	}
+	pois := make([]POI, 0, len(members))
+	for _, idxs := range members {
+		// Records are trace-ordered, hence time-ordered.
+		var dwell time.Duration
+		for k := 1; k < len(idxs); k++ {
+			dt := recs[idxs[k]].Time.Sub(recs[idxs[k-1]].Time)
+			if dt > e.cfg.DwellCap {
+				continue
+			}
+			dwell += dt
+		}
+		if dwell < e.cfg.MinDwell {
+			continue
+		}
+		var lat, lng float64
+		for _, i := range idxs {
+			lat += recs[i].Point.Lat
+			lng += recs[i].Point.Lng
+		}
+		w := float64(len(idxs))
+		pois = append(pois, POI{
+			Center:     geo.Point{Lat: lat / w, Lng: lng / w},
+			TotalDwell: dwell,
+			Visits:     len(idxs),
+		})
+	}
+	sort.Slice(pois, func(i, j int) bool {
+		if pois[i].TotalDwell != pois[j].TotalDwell {
+			return pois[i].TotalDwell > pois[j].TotalDwell
+		}
+		return pois[i].Center.Lat < pois[j].Center.Lat
+	})
+	return pois
+}

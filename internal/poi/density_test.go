@@ -1,0 +1,211 @@
+package poi
+
+import (
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/rng"
+	"repro/internal/trace"
+)
+
+var (
+	pt0   = time.Date(2008, 5, 17, 9, 0, 0, 0, time.UTC)
+	pHome = geo.Point{Lat: 37.7749, Lng: -122.4194}
+	pWork = geo.Point{Lat: 37.7949, Lng: -122.3994}
+)
+
+// stopAndGo dwells at home, drives to work, dwells at work.
+func stopAndGo(t *testing.T, homeMin, workMin int) *trace.Trace {
+	t.Helper()
+	var recs []trace.Record
+	at := pt0
+	emit := func(p geo.Point, minutes int) {
+		for i := 0; i < minutes; i++ {
+			recs = append(recs, trace.Record{User: "u1", Time: at, Point: p.Offset(float64(i%3)*10, 0)})
+			at = at.Add(time.Minute)
+		}
+	}
+	emit(pHome, homeMin)
+	// Drive: one record per minute, ~600 m apart — too sparse to be dense.
+	steps := 10
+	for i := 0; i <= steps; i++ {
+		frac := float64(i) / float64(steps)
+		recs = append(recs, trace.Record{User: "u1", Time: at, Point: pHome.Midpoint(pWork).Offset((frac-0.5)*3000, (frac-0.5)*2000)})
+		at = at.Add(time.Minute)
+	}
+	emit(pWork, workMin)
+	tr, err := trace.NewTrace("u1", recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestDensityExtractorFindsBothStops(t *testing.T) {
+	e, err := NewDensityExtractor(DefaultDensityExtractorConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := stopAndGo(t, 40, 30)
+	pois := e.POIs(tr)
+	if len(pois) != 2 {
+		t.Fatalf("found %d POIs, want 2 (home, work): %+v", len(pois), pois)
+	}
+	// Ranked by dwell: home (40 min) first.
+	if geo.Haversine(pois[0].Center, pHome) > 100 {
+		t.Errorf("top POI at %v, want near home", pois[0].Center)
+	}
+	if geo.Haversine(pois[1].Center, pWork) > 100 {
+		t.Errorf("second POI at %v, want near work", pois[1].Center)
+	}
+}
+
+func TestDensityExtractorIgnoresShortStops(t *testing.T) {
+	e, err := NewDensityExtractor(DefaultDensityExtractorConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := stopAndGo(t, 40, 5) // work stop below MinDwell
+	pois := e.POIs(tr)
+	if len(pois) != 1 {
+		t.Fatalf("found %d POIs, want 1 (only home)", len(pois))
+	}
+}
+
+func TestDensityExtractorOrderInvariance(t *testing.T) {
+	// The defining property versus the sequential extractor: shuffling
+	// record order (as dummy interleaving effectively does) must not
+	// change the extracted places.
+	e, err := NewDensityExtractor(DefaultDensityExtractorConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := stopAndGo(t, 45, 30)
+	basePOIs := e.POIs(tr)
+
+	// Rebuild the trace with the same records under a permuted record
+	// order but identical timestamps-to-positions assignment: swap the
+	// *positions* among timestamps randomly.
+	r := rng.New(9)
+	perm := r.Perm(tr.Len())
+	recs := make([]trace.Record, tr.Len())
+	for i, j := range perm {
+		recs[i] = trace.Record{User: "u1", Time: tr.Records[i].Time, Point: tr.Records[j].Point}
+	}
+	shuffled, err := trace.NewTrace("u1", recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shuffledPOIs := e.POIs(shuffled)
+
+	if len(shuffledPOIs) != len(basePOIs) {
+		t.Fatalf("shuffle changed POI count: %d vs %d", len(shuffledPOIs), len(basePOIs))
+	}
+	// Compare centers as sets (order may differ as dwell credit moves).
+	match := func(a, b []POI) bool {
+		if len(a) != len(b) {
+			return false
+		}
+		used := make([]bool, len(b))
+		for _, p := range a {
+			found := false
+			for j, q := range b {
+				if !used[j] && geo.Haversine(p.Center, q.Center) < 150 {
+					used[j] = true
+					found = true
+					break
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		return true
+	}
+	if !match(basePOIs, shuffledPOIs) {
+		t.Errorf("shuffled POIs %v do not match base %v", shuffledPOIs, basePOIs)
+	}
+
+	// Contrast: the sequential extractor collapses under the same
+	// shuffle (this is the vulnerability the density extractor fixes).
+	seq, err := NewExtractor(DefaultExtractorConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(seq.POIs(shuffled)); got >= len(seq.POIs(tr)) && got > 0 {
+		t.Log("sequential extractor survived the shuffle (unexpected but not a failure)")
+	}
+}
+
+func TestDensityExtractorSparseDrivingIsNoise(t *testing.T) {
+	// A pure drive with no stops: no POIs.
+	var recs []trace.Record
+	at := pt0
+	for i := 0; i < 120; i++ {
+		recs = append(recs, trace.Record{User: "u1", Time: at, Point: pHome.Offset(float64(i)*500, 0)})
+		at = at.Add(time.Minute)
+	}
+	tr, err := trace.NewTrace("u1", recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewDensityExtractor(DefaultDensityExtractorConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pois := e.POIs(tr); len(pois) != 0 {
+		t.Errorf("driving trace yielded %d POIs, want 0", len(pois))
+	}
+}
+
+func TestDensityExtractorEmptyTrace(t *testing.T) {
+	e, err := NewDensityExtractor(DefaultDensityExtractorConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pois := e.POIs(&trace.Trace{User: "u"}); pois != nil {
+		t.Errorf("empty trace yielded %v", pois)
+	}
+}
+
+func TestDensityExtractorConfigValidation(t *testing.T) {
+	bad := []DensityExtractorConfig{
+		{EpsMeters: 0, MinPoints: 5, MinDwell: time.Minute},
+		{EpsMeters: 100, MinPoints: 1, MinDwell: time.Minute},
+		{EpsMeters: 100, MinPoints: 5, MinDwell: 0},
+		{EpsMeters: 100, MinPoints: 5, MinDwell: time.Minute, DwellCap: -1},
+	}
+	for i, cfg := range bad {
+		if _, err := NewDensityExtractor(cfg); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestDensityMatchesSequentialOnCleanData(t *testing.T) {
+	// On clean stop-and-go data the two extractors must agree on the
+	// places (the density view is an upgrade, not a different answer).
+	tr := stopAndGo(t, 40, 30)
+	seq, err := NewExtractor(DefaultExtractorConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	den, err := NewDensityExtractor(DefaultDensityExtractorConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := seq.POIs(tr)
+	b := den.POIs(tr)
+	if len(a) != len(b) {
+		t.Fatalf("sequential found %d POIs, density %d", len(a), len(b))
+	}
+	sort.Slice(a, func(i, j int) bool { return a[i].Center.Lat < a[j].Center.Lat })
+	sort.Slice(b, func(i, j int) bool { return b[i].Center.Lat < b[j].Center.Lat })
+	for i := range a {
+		if d := geo.Haversine(a[i].Center, b[i].Center); d > 100 {
+			t.Errorf("POI %d centers disagree by %.0f m", i, d)
+		}
+	}
+}

@@ -1,0 +1,220 @@
+// Package poi extracts Points of Interest — "meaningful locations where a
+// user made a significant stop" (paper §2) — from mobility traces, and
+// matches POI sets against each other. The paper's privacy metric is the
+// proportion of a user's actual POIs still retrievable from the protected
+// trace; this package provides both halves of that computation.
+package poi
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/trace"
+)
+
+// StayPoint is one significant stop: a maximal run of consecutive records
+// that remain within a small diameter for at least a minimum duration.
+type StayPoint struct {
+	// Center is the centroid of the stop's records.
+	Center geo.Point
+	// Start and End bound the stop in time.
+	Start, End time.Time
+	// Count is the number of records in the stop.
+	Count int
+}
+
+// Duration returns the dwell time of the stop.
+func (s StayPoint) Duration() time.Duration { return s.End.Sub(s.Start) }
+
+// POI is a meaningful place: one or more stay points merged by spatial
+// proximity, ranked by total dwell time.
+type POI struct {
+	// Center is the dwell-weighted centroid of the merged stays.
+	Center geo.Point
+	// TotalDwell is the summed duration of all merged stays.
+	TotalDwell time.Duration
+	// Visits is the number of merged stay points.
+	Visits int
+}
+
+// ExtractorConfig tunes POI extraction. The defaults mirror the parameters
+// commonly used on cabspotting-scale data (stops of at least 15 minutes
+// within a 200 m diameter, merged at 100 m).
+type ExtractorConfig struct {
+	// MaxDiameterMeters is the spatial extent a stop may cover.
+	MaxDiameterMeters float64
+	// MinDuration is the minimum dwell time of a significant stop.
+	MinDuration time.Duration
+	// MergeRadiusMeters merges stay points into one POI when their
+	// centers are closer than this.
+	MergeRadiusMeters float64
+	// MinVisits drops POIs visited fewer than this many times (0 or 1
+	// keeps everything).
+	MinVisits int
+}
+
+// DefaultExtractorConfig returns the configuration used by the reproduction
+// experiments.
+func DefaultExtractorConfig() ExtractorConfig {
+	return ExtractorConfig{
+		MaxDiameterMeters: 200,
+		MinDuration:       15 * time.Minute,
+		MergeRadiusMeters: 100,
+		MinVisits:         1,
+	}
+}
+
+// Validate reports configuration errors.
+func (c ExtractorConfig) Validate() error {
+	if c.MaxDiameterMeters <= 0 {
+		return fmt.Errorf("poi: MaxDiameterMeters must be positive, got %v", c.MaxDiameterMeters)
+	}
+	if c.MinDuration <= 0 {
+		return fmt.Errorf("poi: MinDuration must be positive, got %v", c.MinDuration)
+	}
+	if c.MergeRadiusMeters < 0 {
+		return fmt.Errorf("poi: MergeRadiusMeters must be non-negative, got %v", c.MergeRadiusMeters)
+	}
+	if c.MinVisits < 0 {
+		return fmt.Errorf("poi: MinVisits must be non-negative, got %d", c.MinVisits)
+	}
+	return nil
+}
+
+// Extractor turns traces into stay points and POIs.
+type Extractor struct {
+	cfg ExtractorConfig
+}
+
+// NewExtractor returns an extractor, validating the configuration.
+func NewExtractor(cfg ExtractorConfig) (*Extractor, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Extractor{cfg: cfg}, nil
+}
+
+// Config returns the extractor's configuration.
+func (e *Extractor) Config() ExtractorConfig { return e.cfg }
+
+// StayPoints extracts significant stops from a trace using the classic
+// anchor-based algorithm (Li et al., GIS'08): starting from each anchor
+// record, grow a window while every record stays within MaxDiameterMeters of
+// the anchor; if the window spans at least MinDuration it becomes a stay
+// point and scanning resumes after it.
+func (e *Extractor) StayPoints(t *trace.Trace) []StayPoint {
+	recs := t.Records
+	var stays []StayPoint
+	i := 0
+	for i < len(recs) {
+		j := i + 1
+		for j < len(recs) && geo.Equirectangular(recs[i].Point, recs[j].Point) <= e.cfg.MaxDiameterMeters {
+			j++
+		}
+		// Window [i, j) stays within the diameter of anchor i.
+		if span := recs[j-1].Time.Sub(recs[i].Time); span >= e.cfg.MinDuration {
+			pts := make([]geo.Point, 0, j-i)
+			for _, r := range recs[i:j] {
+				pts = append(pts, r.Point)
+			}
+			stays = append(stays, StayPoint{
+				Center: geo.Centroid(pts),
+				Start:  recs[i].Time,
+				End:    recs[j-1].Time,
+				Count:  j - i,
+			})
+			i = j
+		} else {
+			i++
+		}
+	}
+	return stays
+}
+
+// POIs extracts stay points and agglomerates them into POIs: each stay joins
+// the first existing POI whose center is within MergeRadiusMeters (centers
+// updated as dwell-weighted means), or founds a new POI. POIs with fewer
+// than MinVisits visits are dropped.
+func (e *Extractor) POIs(t *trace.Trace) []POI {
+	stays := e.StayPoints(t)
+	var pois []POI
+	for _, s := range stays {
+		merged := false
+		for k := range pois {
+			if geo.Equirectangular(pois[k].Center, s.Center) <= e.cfg.MergeRadiusMeters {
+				w1 := pois[k].TotalDwell.Seconds()
+				w2 := s.Duration().Seconds()
+				if w1+w2 > 0 {
+					f := w2 / (w1 + w2)
+					pois[k].Center = geo.Point{
+						Lat: pois[k].Center.Lat*(1-f) + s.Center.Lat*f,
+						Lng: pois[k].Center.Lng*(1-f) + s.Center.Lng*f,
+					}
+				}
+				pois[k].TotalDwell += s.Duration()
+				pois[k].Visits++
+				merged = true
+				break
+			}
+		}
+		if !merged {
+			pois = append(pois, POI{Center: s.Center, TotalDwell: s.Duration(), Visits: 1})
+		}
+	}
+	if e.cfg.MinVisits > 1 {
+		kept := pois[:0]
+		for _, p := range pois {
+			if p.Visits >= e.cfg.MinVisits {
+				kept = append(kept, p)
+			}
+		}
+		pois = kept
+	}
+	return pois
+}
+
+// RetrievalRate returns the fraction of actual POIs that are "retrieved" by
+// the candidate set: an actual POI counts as retrieved when some candidate
+// POI lies within matchRadiusMeters of it. It returns 0 when there are no
+// actual POIs (nothing to leak) and an error for a non-positive radius.
+func RetrievalRate(actual, candidate []POI, matchRadiusMeters float64) (float64, error) {
+	if matchRadiusMeters <= 0 {
+		return 0, fmt.Errorf("poi: match radius must be positive, got %v", matchRadiusMeters)
+	}
+	if len(actual) == 0 {
+		return 0, nil
+	}
+	retrieved := 0
+	for _, a := range actual {
+		for _, c := range candidate {
+			if geo.Equirectangular(a.Center, c.Center) <= matchRadiusMeters {
+				retrieved++
+				break
+			}
+		}
+	}
+	return float64(retrieved) / float64(len(actual)), nil
+}
+
+// MatchPoints returns the fraction of reference points that have a candidate
+// POI within matchRadiusMeters — used to score POI retrieval against ground
+// truth anchor places rather than extracted POIs.
+func MatchPoints(reference []geo.Point, candidate []POI, matchRadiusMeters float64) (float64, error) {
+	if matchRadiusMeters <= 0 {
+		return 0, fmt.Errorf("poi: match radius must be positive, got %v", matchRadiusMeters)
+	}
+	if len(reference) == 0 {
+		return 0, nil
+	}
+	hit := 0
+	for _, ref := range reference {
+		for _, c := range candidate {
+			if geo.Equirectangular(ref, c.Center) <= matchRadiusMeters {
+				hit++
+				break
+			}
+		}
+	}
+	return float64(hit) / float64(len(reference)), nil
+}

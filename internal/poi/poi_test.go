@@ -1,0 +1,263 @@
+package poi
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/trace"
+)
+
+var (
+	t0     = time.Date(2008, 5, 17, 8, 0, 0, 0, time.UTC)
+	anchor = geo.Point{Lat: 37.7749, Lng: -122.4194}
+	away   = anchor.Offset(3000, 1500)
+)
+
+// buildTrace assembles a trace from (point, minutes) steps 1 minute apart.
+func buildTrace(t *testing.T, steps []geo.Point) *trace.Trace {
+	t.Helper()
+	recs := make([]trace.Record, len(steps))
+	for i, p := range steps {
+		recs[i] = trace.Record{User: "u", Time: t0.Add(time.Duration(i) * time.Minute), Point: p}
+	}
+	tr, err := trace.NewTrace("u", recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// stayAt emits n samples jittered a few meters around p.
+func stayAt(p geo.Point, n int) []geo.Point {
+	pts := make([]geo.Point, n)
+	for i := range pts {
+		pts[i] = p.Offset(float64(i%5)*3, float64(i%3)*3)
+	}
+	return pts
+}
+
+// travel emits points moving from a toward b in ~150 m steps.
+func travel(a, b geo.Point, n int) []geo.Point {
+	pts := make([]geo.Point, n)
+	pr := geo.NewProjection(a)
+	e, nn := pr.ToPlane(b)
+	for i := range pts {
+		f := float64(i+1) / float64(n+1)
+		pts[i] = pr.FromPlane(e*f, nn*f)
+	}
+	return pts
+}
+
+func defaultExtractor(t *testing.T) *Extractor {
+	t.Helper()
+	e, err := NewExtractor(DefaultExtractorConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestStayPointsDetectsSingleStop(t *testing.T) {
+	var steps []geo.Point
+	steps = append(steps, stayAt(anchor, 30)...)       // 30 min stop
+	steps = append(steps, travel(anchor, away, 25)...) // travel
+	tr := buildTrace(t, steps)
+
+	stays := defaultExtractor(t).StayPoints(tr)
+	if len(stays) != 1 {
+		t.Fatalf("stays = %d, want 1", len(stays))
+	}
+	s := stays[0]
+	if d := geo.Equirectangular(s.Center, anchor); d > 30 {
+		t.Errorf("stay center %v m from anchor", d)
+	}
+	if s.Duration() < 25*time.Minute {
+		t.Errorf("stay duration = %v", s.Duration())
+	}
+	if s.Count < 25 {
+		t.Errorf("stay count = %d", s.Count)
+	}
+}
+
+func TestStayPointsIgnoresShortStops(t *testing.T) {
+	var steps []geo.Point
+	steps = append(steps, stayAt(anchor, 5)...) // 5 min < 15 min threshold
+	steps = append(steps, travel(anchor, away, 30)...)
+	tr := buildTrace(t, steps)
+	if stays := defaultExtractor(t).StayPoints(tr); len(stays) != 0 {
+		t.Errorf("short stop detected as stay: %+v", stays)
+	}
+}
+
+func TestStayPointsIgnoresMovement(t *testing.T) {
+	tr := buildTrace(t, travel(anchor, away, 60))
+	if stays := defaultExtractor(t).StayPoints(tr); len(stays) != 0 {
+		t.Errorf("movement detected as stay: %+v", stays)
+	}
+}
+
+func TestStayPointsMultipleStops(t *testing.T) {
+	second := anchor.Offset(2000, 0)
+	var steps []geo.Point
+	steps = append(steps, stayAt(anchor, 20)...)
+	steps = append(steps, travel(anchor, second, 15)...)
+	steps = append(steps, stayAt(second, 25)...)
+	tr := buildTrace(t, steps)
+	stays := defaultExtractor(t).StayPoints(tr)
+	if len(stays) != 2 {
+		t.Fatalf("stays = %d, want 2", len(stays))
+	}
+	if d := geo.Equirectangular(stays[1].Center, second); d > 30 {
+		t.Errorf("second stay center off by %v m", d)
+	}
+}
+
+func TestPOIsMergeRepeatVisits(t *testing.T) {
+	// Two separate stops at the same anchor must merge into one POI.
+	var steps []geo.Point
+	steps = append(steps, stayAt(anchor, 20)...)
+	steps = append(steps, travel(anchor, away, 20)...)
+	steps = append(steps, stayAt(away, 20)...)
+	steps = append(steps, travel(away, anchor, 20)...)
+	steps = append(steps, stayAt(anchor, 20)...)
+	tr := buildTrace(t, steps)
+
+	pois := defaultExtractor(t).POIs(tr)
+	if len(pois) != 2 {
+		t.Fatalf("POIs = %d, want 2", len(pois))
+	}
+	// The anchor POI has two visits and roughly double dwell.
+	var anchorPOI *POI
+	for i := range pois {
+		if geo.Equirectangular(pois[i].Center, anchor) < 100 {
+			anchorPOI = &pois[i]
+		}
+	}
+	if anchorPOI == nil {
+		t.Fatal("anchor POI not found")
+	}
+	if anchorPOI.Visits != 2 {
+		t.Errorf("anchor visits = %d, want 2", anchorPOI.Visits)
+	}
+	if anchorPOI.TotalDwell < 35*time.Minute {
+		t.Errorf("anchor dwell = %v", anchorPOI.TotalDwell)
+	}
+}
+
+func TestPOIsMinVisitsFilter(t *testing.T) {
+	cfg := DefaultExtractorConfig()
+	cfg.MinVisits = 2
+	e, err := NewExtractor(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var steps []geo.Point
+	steps = append(steps, stayAt(anchor, 20)...)
+	steps = append(steps, travel(anchor, away, 20)...)
+	steps = append(steps, stayAt(away, 20)...) // visited once
+	steps = append(steps, travel(away, anchor, 20)...)
+	steps = append(steps, stayAt(anchor, 20)...) // anchor visited twice
+	tr := buildTrace(t, steps)
+	pois := e.POIs(tr)
+	if len(pois) != 1 {
+		t.Fatalf("POIs = %d, want 1 after MinVisits filter", len(pois))
+	}
+	if d := geo.Equirectangular(pois[0].Center, anchor); d > 100 {
+		t.Errorf("surviving POI is not the anchor (off %v m)", d)
+	}
+}
+
+func TestExtractorConfigValidate(t *testing.T) {
+	bad := []ExtractorConfig{
+		{MaxDiameterMeters: 0, MinDuration: time.Minute},
+		{MaxDiameterMeters: 100, MinDuration: 0},
+		{MaxDiameterMeters: 100, MinDuration: time.Minute, MergeRadiusMeters: -1},
+		{MaxDiameterMeters: 100, MinDuration: time.Minute, MinVisits: -1},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("config %d should be invalid", i)
+		}
+		if _, err := NewExtractor(cfg); err == nil {
+			t.Errorf("NewExtractor should reject config %d", i)
+		}
+	}
+	if err := DefaultExtractorConfig().Validate(); err != nil {
+		t.Errorf("default config invalid: %v", err)
+	}
+	e := defaultExtractor(t)
+	if e.Config().MaxDiameterMeters != 200 {
+		t.Errorf("Config() roundtrip failed: %+v", e.Config())
+	}
+}
+
+func TestRetrievalRate(t *testing.T) {
+	actual := []POI{
+		{Center: anchor},
+		{Center: away},
+	}
+	candidate := []POI{{Center: anchor.Offset(50, 0)}} // within 200 m of anchor only
+	rate, err := RetrievalRate(actual, candidate, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rate-0.5) > 1e-12 {
+		t.Errorf("rate = %v, want 0.5", rate)
+	}
+	// No actual POIs: nothing can leak.
+	rate, err = RetrievalRate(nil, candidate, 200)
+	if err != nil || rate != 0 {
+		t.Errorf("empty actual: rate %v err %v", rate, err)
+	}
+	// No candidates: nothing retrieved.
+	rate, err = RetrievalRate(actual, nil, 200)
+	if err != nil || rate != 0 {
+		t.Errorf("empty candidate: rate %v err %v", rate, err)
+	}
+	if _, err := RetrievalRate(actual, candidate, 0); err == nil {
+		t.Error("zero radius should error")
+	}
+}
+
+func TestRetrievalRateMonotoneInRadius(t *testing.T) {
+	actual := []POI{{Center: anchor}, {Center: away}, {Center: anchor.Offset(-500, 800)}}
+	candidate := []POI{{Center: anchor.Offset(120, 0)}, {Center: away.Offset(0, 350)}}
+	prev := -1.0
+	for _, radius := range []float64{50, 150, 300, 600, 1200} {
+		rate, err := RetrievalRate(actual, candidate, radius)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rate < prev {
+			t.Fatalf("retrieval not monotone in radius: %v then %v", prev, rate)
+		}
+		prev = rate
+	}
+}
+
+func TestMatchPoints(t *testing.T) {
+	refs := []geo.Point{anchor, away}
+	cand := []POI{{Center: anchor.Offset(30, 30)}}
+	frac, err := MatchPoints(refs, cand, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(frac-0.5) > 1e-12 {
+		t.Errorf("MatchPoints = %v, want 0.5", frac)
+	}
+	if frac, err := MatchPoints(nil, cand, 100); err != nil || frac != 0 {
+		t.Errorf("empty reference: %v, %v", frac, err)
+	}
+	if _, err := MatchPoints(refs, cand, -1); err == nil {
+		t.Error("negative radius should error")
+	}
+}
+
+func TestStayPointDuration(t *testing.T) {
+	s := StayPoint{Start: t0, End: t0.Add(20 * time.Minute)}
+	if s.Duration() != 20*time.Minute {
+		t.Errorf("Duration = %v", s.Duration())
+	}
+}

@@ -1,0 +1,92 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed must give identical streams")
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Float64() == b.Float64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("different seeds produced %d identical draws", same)
+	}
+}
+
+func TestSeedAccessor(t *testing.T) {
+	if got := New(123).Seed(); got != 123 {
+		t.Errorf("Seed() = %d, want 123", got)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	root := New(7)
+	c0, c1 := root.Split(0), root.Split(1)
+	if c0.Seed() == c1.Seed() {
+		t.Fatal("sibling splits must have distinct seeds")
+	}
+	// Splitting must be stable: same index gives same stream.
+	again := New(7).Split(0)
+	for i := 0; i < 10; i++ {
+		if c0.Float64() != again.Float64() {
+			t.Fatal("Split is not deterministic")
+		}
+	}
+}
+
+func TestNamedStreams(t *testing.T) {
+	root := New(7)
+	a := root.Named("mobility")
+	b := root.Named("noise")
+	if a.Seed() == b.Seed() {
+		t.Fatal("distinct labels must give distinct seeds")
+	}
+	a2 := New(7).Named("mobility")
+	if a.Seed() != a2.Seed() {
+		t.Fatal("Named must be deterministic")
+	}
+}
+
+func TestSplitChildrenUniformish(t *testing.T) {
+	// Weak statistical check: child streams should cover [0,1) roughly
+	// uniformly in aggregate.
+	root := New(99)
+	var sum float64
+	const n = 2000
+	for i := 0; i < n; i++ {
+		sum += root.Split(int64(i)).Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.05 {
+		t.Errorf("child-stream first draws mean %v, want ~0.5", mean)
+	}
+}
+
+func TestMixAvalanche(t *testing.T) {
+	// Adjacent indices must produce wildly different seeds.
+	s1, s2 := mix(1, 0), mix(1, 1)
+	diff := s1 ^ s2
+	bits := 0
+	for i := 0; i < 64; i++ {
+		if diff&(1<<i) != 0 {
+			bits++
+		}
+	}
+	if bits < 16 {
+		t.Errorf("mix avalanche too weak: only %d differing bits", bits)
+	}
+}

@@ -1,0 +1,114 @@
+package stat
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/rng"
+)
+
+// CI is a two-sided confidence interval around a point estimate.
+type CI struct {
+	// Point is the statistic computed on the original sample.
+	Point float64
+	// Lo and Hi are the percentile bounds of the bootstrap distribution.
+	Lo, Hi float64
+	// Level is the nominal coverage (e.g. 0.95).
+	Level float64
+}
+
+// Contains reports whether v lies within the interval.
+func (c CI) Contains(v float64) bool { return v >= c.Lo && v <= c.Hi }
+
+// Width returns the interval width.
+func (c CI) Width() float64 { return c.Hi - c.Lo }
+
+// String implements fmt.Stringer.
+func (c CI) String() string {
+	return fmt.Sprintf("%.4g [%.4g, %.4g] @%.0f%%", c.Point, c.Lo, c.Hi, c.Level*100)
+}
+
+// Resample draws len(xs) values from xs with replacement.
+func Resample(r *rng.Source, xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	for i := range out {
+		out[i] = xs[r.Intn(len(xs))]
+	}
+	return out
+}
+
+// Bootstrap estimates a percentile confidence interval for an arbitrary
+// statistic of xs by resampling with replacement iters times. level is the
+// nominal two-sided coverage in (0, 1).
+func Bootstrap(r *rng.Source, xs []float64, statistic func([]float64) float64, iters int, level float64) (CI, error) {
+	if len(xs) == 0 {
+		return CI{}, fmt.Errorf("stat: bootstrap needs a non-empty sample")
+	}
+	if iters < 2 {
+		return CI{}, fmt.Errorf("stat: bootstrap needs at least 2 iterations, got %d", iters)
+	}
+	if level <= 0 || level >= 1 {
+		return CI{}, fmt.Errorf("stat: bootstrap level must be in (0,1), got %v", level)
+	}
+	reps := make([]float64, iters)
+	for i := range reps {
+		reps[i] = statistic(Resample(r, xs))
+	}
+	sort.Float64s(reps)
+	alpha := (1 - level) / 2
+	return CI{
+		Point: statistic(xs),
+		Lo:    quantileSorted(reps, alpha),
+		Hi:    quantileSorted(reps, 1-alpha),
+		Level: level,
+	}, nil
+}
+
+// PairedBootstrapLinear estimates percentile confidence intervals for the
+// intercept and slope of a simple linear regression of ys on xs by
+// resampling (x, y) pairs with replacement. Degenerate resamples (all x
+// equal) are redrawn, which is unbiased for the non-degenerate population of
+// resamples and cannot loop forever when the original xs are non-degenerate.
+func PairedBootstrapLinear(r *rng.Source, xs, ys []float64, iters int, level float64) (intercept, slope CI, err error) {
+	if len(xs) != len(ys) {
+		return CI{}, CI{}, fmt.Errorf("stat: paired bootstrap needs equal lengths, got %d and %d", len(xs), len(ys))
+	}
+	fit, err := FitLinear(xs, ys)
+	if err != nil {
+		return CI{}, CI{}, fmt.Errorf("stat: paired bootstrap: %w", err)
+	}
+	if iters < 2 {
+		return CI{}, CI{}, fmt.Errorf("stat: paired bootstrap needs at least 2 iterations, got %d", iters)
+	}
+	if level <= 0 || level >= 1 {
+		return CI{}, CI{}, fmt.Errorf("stat: paired bootstrap level must be in (0,1), got %v", level)
+	}
+	n := len(xs)
+	icepts := make([]float64, 0, iters)
+	slopes := make([]float64, 0, iters)
+	bx := make([]float64, n)
+	by := make([]float64, n)
+	const maxRedraws = 1000
+	for redraws := 0; len(slopes) < iters; {
+		for i := 0; i < n; i++ {
+			j := r.Intn(n)
+			bx[i], by[i] = xs[j], ys[j]
+		}
+		bf, ferr := FitLinear(bx, by)
+		if ferr != nil {
+			redraws++
+			if redraws > maxRedraws {
+				return CI{}, CI{}, fmt.Errorf("stat: paired bootstrap: too many degenerate resamples: %w", ferr)
+			}
+			continue
+		}
+		icepts = append(icepts, bf.Intercept)
+		slopes = append(slopes, bf.Slope)
+	}
+	sort.Float64s(icepts)
+	sort.Float64s(slopes)
+	alpha := (1 - level) / 2
+	intercept = CI{Point: fit.Intercept, Lo: quantileSorted(icepts, alpha), Hi: quantileSorted(icepts, 1-alpha), Level: level}
+	slope = CI{Point: fit.Slope, Lo: quantileSorted(slopes, alpha), Hi: quantileSorted(slopes, 1-alpha), Level: level}
+	return intercept, slope, nil
+}

@@ -1,0 +1,83 @@
+package stat
+
+import (
+	"math"
+	"sort"
+)
+
+// Ranks returns the fractional ranks of xs (1-based; ties receive the mean
+// of the ranks they would occupy). Fractional ranking is what Spearman
+// correlation requires for tied observations.
+func Ranks(xs []float64) []float64 {
+	n := len(xs)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+	ranks := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && xs[idx[j+1]] == xs[idx[i]] {
+			j++
+		}
+		// Positions i..j hold equal values; their shared rank is the
+		// average of the 1-based positions.
+		mean := float64(i+j)/2 + 1
+		for k := i; k <= j; k++ {
+			ranks[idx[k]] = mean
+		}
+		i = j + 1
+	}
+	return ranks
+}
+
+// Spearman returns the Spearman rank-correlation coefficient of the paired
+// samples. It is Pearson correlation on fractional ranks, robust to
+// monotone-nonlinear relationships; NaN for degenerate inputs (mismatched or
+// short lengths, zero variance), mirroring Correlation.
+func Spearman(xs, ys []float64) float64 {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return math.NaN()
+	}
+	return Correlation(Ranks(xs), Ranks(ys))
+}
+
+// KendallTau returns the Kendall τ-b rank correlation of the paired samples,
+// which corrects for ties in either variable. It is NaN for degenerate
+// inputs. The implementation is the direct O(n²) pair count — fine for the
+// property-screening sample sizes this repository uses (tens of users).
+func KendallTau(xs, ys []float64) float64 {
+	n := len(xs)
+	if n != len(ys) || n < 2 {
+		return math.NaN()
+	}
+	var concordant, discordant, tiedXOnly, tiedYOnly int
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			dx := xs[i] - xs[j]
+			dy := ys[i] - ys[j]
+			switch {
+			case dx == 0 && dy == 0:
+				// Tied in both: excluded from both denominator
+				// factors.
+			case dx == 0:
+				tiedXOnly++
+			case dy == 0:
+				tiedYOnly++
+			case dx*dy > 0:
+				concordant++
+			default:
+				discordant++
+			}
+		}
+	}
+	// τ-b = (C−D) / √((n0−n1)(n0−n2)): each factor counts the pairs not
+	// tied in that variable.
+	notTiedX := float64(concordant + discordant + tiedYOnly)
+	notTiedY := float64(concordant + discordant + tiedXOnly)
+	if notTiedX == 0 || notTiedY == 0 {
+		return math.NaN()
+	}
+	return float64(concordant-discordant) / math.Sqrt(notTiedX*notTiedY)
+}

@@ -1,0 +1,137 @@
+package stat
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestRanksSimple(t *testing.T) {
+	got := Ranks([]float64{30, 10, 20})
+	want := []float64{3, 1, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Ranks = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRanksTies(t *testing.T) {
+	got := Ranks([]float64{5, 1, 5, 2})
+	// 1→1, 2→2, the two 5s share (3+4)/2 = 3.5.
+	want := []float64{3.5, 1, 3.5, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Ranks = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSpearmanPerfectMonotone(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{1, 8, 27, 64, 125} // nonlinear but monotone
+	if got := Spearman(xs, ys); math.Abs(got-1) > 1e-12 {
+		t.Errorf("Spearman of monotone data = %v, want 1", got)
+	}
+	rev := []float64{125, 64, 27, 8, 1}
+	if got := Spearman(xs, rev); math.Abs(got+1) > 1e-12 {
+		t.Errorf("Spearman of antitone data = %v, want -1", got)
+	}
+}
+
+func TestSpearmanBeatsPearsonOnMonotoneNonlinear(t *testing.T) {
+	xs := make([]float64, 30)
+	ys := make([]float64, 30)
+	for i := range xs {
+		xs[i] = float64(i + 1)
+		ys[i] = math.Exp(float64(i) / 4)
+	}
+	sp := Spearman(xs, ys)
+	pe := Correlation(xs, ys)
+	if sp <= pe {
+		t.Errorf("expected Spearman (%v) > Pearson (%v) on exponential data", sp, pe)
+	}
+	if math.Abs(sp-1) > 1e-12 {
+		t.Errorf("Spearman = %v, want exactly 1", sp)
+	}
+}
+
+func TestKendallTauKnownValue(t *testing.T) {
+	// Classic small example: one discordant pair among C(4,2)=6.
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{1, 2, 4, 3}
+	got := KendallTau(xs, ys)
+	want := (5.0 - 1.0) / 6.0
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("KendallTau = %v, want %v", got, want)
+	}
+}
+
+func TestKendallTauTies(t *testing.T) {
+	xs := []float64{1, 2, 2, 3}
+	ys := []float64{1, 2, 2, 3}
+	if got := KendallTau(xs, ys); math.Abs(got-1) > 1e-12 {
+		t.Errorf("KendallTau with aligned ties = %v, want 1", got)
+	}
+}
+
+func TestCorrelationDegenerateInputs(t *testing.T) {
+	for name, fn := range map[string]func([]float64, []float64) float64{
+		"spearman": Spearman,
+		"kendall":  KendallTau,
+	} {
+		if v := fn([]float64{1}, []float64{1}); !math.IsNaN(v) {
+			t.Errorf("%s of single point = %v, want NaN", name, v)
+		}
+		if v := fn([]float64{1, 2}, []float64{1, 2, 3}); !math.IsNaN(v) {
+			t.Errorf("%s of mismatched lengths = %v, want NaN", name, v)
+		}
+		if v := fn([]float64{2, 2, 2}, []float64{1, 2, 3}); !math.IsNaN(v) {
+			t.Errorf("%s of constant xs = %v, want NaN", name, v)
+		}
+	}
+}
+
+func TestRankCorrelationInvariantUnderMonotoneTransform(t *testing.T) {
+	// Property: Spearman(x, y) == Spearman(exp(x), y) because ranks are
+	// invariant under strictly increasing transforms.
+	f := func(seed int64) bool {
+		r := rng.New(seed)
+		n := 20
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		for i := range xs {
+			xs[i] = r.NormFloat64()
+			ys[i] = r.NormFloat64()
+		}
+		txs := make([]float64, n)
+		for i := range xs {
+			txs[i] = math.Exp(xs[i])
+		}
+		a, b := Spearman(xs, ys), Spearman(txs, ys)
+		return math.Abs(a-b) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKendallBoundedProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rng.New(seed)
+		n := 15
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		for i := range xs {
+			xs[i] = float64(r.Intn(5))
+			ys[i] = float64(r.Intn(5))
+		}
+		v := KendallTau(xs, ys)
+		return math.IsNaN(v) || (v >= -1-1e-12 && v <= 1+1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

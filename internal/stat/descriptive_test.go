@@ -1,0 +1,123 @@
+package stat
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMeanVarianceStd(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(xs); !almostEq(got, 5, 1e-12) {
+		t.Errorf("Mean = %v, want 5", got)
+	}
+	// Sample variance of this classic set is 32/7.
+	if got := Variance(xs); !almostEq(got, 32.0/7, 1e-12) {
+		t.Errorf("Variance = %v, want %v", got, 32.0/7)
+	}
+	if got := StdDev(xs); !almostEq(got, math.Sqrt(32.0/7), 1e-12) {
+		t.Errorf("StdDev = %v", got)
+	}
+}
+
+func TestEmptyInputsAreNaN(t *testing.T) {
+	for name, got := range map[string]float64{
+		"Mean":     Mean(nil),
+		"Variance": Variance([]float64{1}),
+		"Min":      Min(nil),
+		"Max":      Max(nil),
+		"Quantile": Quantile(nil, 0.5),
+	} {
+		if !math.IsNaN(got) {
+			t.Errorf("%s of degenerate input = %v, want NaN", name, got)
+		}
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 4, 1, 5, -9}
+	if got := Min(xs); got != -9 {
+		t.Errorf("Min = %v", got)
+	}
+	if got := Max(xs); got != 5 {
+		t.Errorf("Max = %v", got)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	tests := []struct{ q, want float64 }{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5}, {0.1, 1.4},
+		{-0.5, 1}, {1.5, 5}, // clamped
+	}
+	for _, tt := range tests {
+		if got := Quantile(xs, tt.q); !almostEq(got, tt.want, 1e-12) {
+			t.Errorf("Quantile(%v) = %v, want %v", tt.q, got, tt.want)
+		}
+	}
+	if got := Median([]float64{1, 3, 2}); got != 2 {
+		t.Errorf("Median = %v, want 2", got)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	if s.N != 10 || !almostEq(s.Mean, 5.5, 1e-12) || s.Min != 1 || s.Max != 10 {
+		t.Errorf("Summary = %+v", s)
+	}
+	if !almostEq(s.Median, 5.5, 1e-12) || !almostEq(s.P90, 9.1, 1e-12) {
+		t.Errorf("quantiles: median %v p90 %v", s.Median, s.P90)
+	}
+	empty := Summarize(nil)
+	if empty.N != 0 || !math.IsNaN(empty.Mean) {
+		t.Errorf("empty summary = %+v", empty)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	tests := []struct{ v, lo, hi, want float64 }{
+		{5, 0, 10, 5}, {-1, 0, 10, 0}, {11, 0, 10, 10},
+	}
+	for _, tt := range tests {
+		if got := Clamp(tt.v, tt.lo, tt.hi); got != tt.want {
+			t.Errorf("Clamp(%v) = %v, want %v", tt.v, got, tt.want)
+		}
+	}
+}
+
+func TestCorrelation(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if got := Correlation(xs, []float64{2, 4, 6, 8}); !almostEq(got, 1, 1e-12) {
+		t.Errorf("perfect correlation = %v", got)
+	}
+	if got := Correlation(xs, []float64{8, 6, 4, 2}); !almostEq(got, -1, 1e-12) {
+		t.Errorf("perfect anticorrelation = %v", got)
+	}
+	if got := Correlation(xs, []float64{5, 5, 5, 5}); !math.IsNaN(got) {
+		t.Errorf("zero-variance correlation = %v, want NaN", got)
+	}
+	if got := Correlation(xs, xs[:2]); !math.IsNaN(got) {
+		t.Errorf("length mismatch = %v, want NaN", got)
+	}
+}
+
+func TestMeanBoundsProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e12 {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		m := Mean(xs)
+		return m >= Min(xs)-1e-6 && m <= Max(xs)+1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

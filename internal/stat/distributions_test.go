@@ -1,0 +1,150 @@
+package stat
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestSampleLaplace1DMoments(t *testing.T) {
+	r := rng.New(11)
+	const n = 200000
+	const b = 3.0
+	var sum, sumAbs float64
+	for i := 0; i < n; i++ {
+		v := SampleLaplace1D(r, b)
+		sum += v
+		sumAbs += math.Abs(v)
+	}
+	if mean := sum / n; math.Abs(mean) > 0.05 {
+		t.Errorf("Laplace mean = %v, want ~0", mean)
+	}
+	// E|X| = b for Laplace(0, b).
+	if meanAbs := sumAbs / n; math.Abs(meanAbs-b) > 0.05 {
+		t.Errorf("Laplace E|X| = %v, want %v", meanAbs, b)
+	}
+}
+
+func TestSamplePlanarLaplaceRadiusDistribution(t *testing.T) {
+	r := rng.New(13)
+	const n = 100000
+	const epsilon = 0.01
+	var sumR float64
+	within := 0
+	// Radius such that CDF = 0.5.
+	r50, err := PlanarLaplaceRadiusQuantile(epsilon, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		e, nn := SamplePlanarLaplace(r, epsilon)
+		radius := math.Hypot(e, nn)
+		sumR += radius
+		if radius <= r50 {
+			within++
+		}
+	}
+	// E[r] = 2/ε = 200 m.
+	if mean := sumR / n; math.Abs(mean-200) > 3 {
+		t.Errorf("mean radius = %v, want ~200", mean)
+	}
+	if frac := float64(within) / n; math.Abs(frac-0.5) > 0.01 {
+		t.Errorf("fraction within median radius = %v, want ~0.5", frac)
+	}
+}
+
+func TestSamplePlanarLaplaceIsotropic(t *testing.T) {
+	r := rng.New(17)
+	const n = 50000
+	quadrants := make([]int, 4)
+	for i := 0; i < n; i++ {
+		e, nn := SamplePlanarLaplace(r, 0.05)
+		q := 0
+		if e < 0 {
+			q |= 1
+		}
+		if nn < 0 {
+			q |= 2
+		}
+		quadrants[q]++
+	}
+	for q, c := range quadrants {
+		frac := float64(c) / n
+		if math.Abs(frac-0.25) > 0.01 {
+			t.Errorf("quadrant %d fraction = %v, want ~0.25", q, frac)
+		}
+	}
+}
+
+func TestPlanarLaplaceMeanRadius(t *testing.T) {
+	if got := PlanarLaplaceMeanRadius(0.01); got != 200 {
+		t.Errorf("mean radius = %v, want 200", got)
+	}
+	if got := PlanarLaplaceMeanRadius(0.1); !almostEq(got, 20, 1e-12) {
+		t.Errorf("mean radius = %v, want 20", got)
+	}
+}
+
+func TestSampleGaussian2DMoments(t *testing.T) {
+	r := rng.New(19)
+	const n = 100000
+	const sigma = 50.0
+	var sumE, sumN, sumE2 float64
+	for i := 0; i < n; i++ {
+		e, nn := SampleGaussian2D(r, sigma)
+		sumE += e
+		sumN += nn
+		sumE2 += e * e
+	}
+	if m := sumE / n; math.Abs(m) > 1 {
+		t.Errorf("east mean = %v", m)
+	}
+	if m := sumN / n; math.Abs(m) > 1 {
+		t.Errorf("north mean = %v", m)
+	}
+	if sd := math.Sqrt(sumE2 / n); math.Abs(sd-sigma) > 1 {
+		t.Errorf("east std = %v, want %v", sd, sigma)
+	}
+}
+
+func TestSampleExponentialMean(t *testing.T) {
+	r := rng.New(23)
+	const n = 100000
+	var sum float64
+	for i := 0; i < n; i++ {
+		v := SampleExponential(r, 42)
+		if v < 0 {
+			t.Fatal("exponential sample must be non-negative")
+		}
+		sum += v
+	}
+	if mean := sum / n; math.Abs(mean-42) > 1 {
+		t.Errorf("exponential mean = %v, want ~42", mean)
+	}
+}
+
+func TestSampleUniformRange(t *testing.T) {
+	r := rng.New(29)
+	for i := 0; i < 1000; i++ {
+		v := SampleUniformRange(r, -3, 7)
+		if v < -3 || v > 7 {
+			t.Fatalf("uniform sample %v outside [-3, 7]", v)
+		}
+	}
+}
+
+func TestSampleTruncGaussian(t *testing.T) {
+	r := rng.New(31)
+	for i := 0; i < 1000; i++ {
+		v := SampleTruncGaussian(r, 10, 5, 8, 12)
+		if v < 8 || v > 12 {
+			t.Fatalf("truncated sample %v outside [8, 12]", v)
+		}
+	}
+	// Impossible bounds fall back to clamping the mean.
+	v := SampleTruncGaussian(r, 0, 0.001, 100, 200)
+	if v != 100 {
+		t.Errorf("degenerate truncation = %v, want clamp to 100", v)
+	}
+}

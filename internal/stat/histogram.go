@@ -1,0 +1,132 @@
+package stat
+
+import (
+	"fmt"
+	"math"
+)
+
+// Histogram is a fixed-bin histogram over [Lo, Hi). Values outside the range
+// are clamped into the first/last bin so that no observation is silently
+// dropped.
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+	total  int
+}
+
+// NewHistogram returns a histogram with the given bounds and bin count.
+func NewHistogram(lo, hi float64, bins int) (*Histogram, error) {
+	if bins <= 0 {
+		return nil, fmt.Errorf("stat: histogram needs >= 1 bin, got %d", bins)
+	}
+	if !(hi > lo) {
+		return nil, fmt.Errorf("stat: histogram bounds [%v, %v) are empty", lo, hi)
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, bins)}, nil
+}
+
+// Add records one observation.
+func (h *Histogram) Add(v float64) {
+	idx := int(float64(len(h.Counts)) * (v - h.Lo) / (h.Hi - h.Lo))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(h.Counts) {
+		idx = len(h.Counts) - 1
+	}
+	h.Counts[idx]++
+	h.total++
+}
+
+// Total returns the number of observations recorded.
+func (h *Histogram) Total() int { return h.total }
+
+// Fraction returns the fraction of observations in bin i.
+func (h *Histogram) Fraction(i int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.Counts[i]) / float64(h.total)
+}
+
+// Entropy returns the Shannon entropy (nats) of the empirical bin
+// distribution. A flat distribution maximizes it at ln(bins).
+func (h *Histogram) Entropy() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	var e float64
+	for _, c := range h.Counts {
+		if c == 0 {
+			continue
+		}
+		p := float64(c) / float64(h.total)
+		e -= p * math.Log(p)
+	}
+	return e
+}
+
+// NormalizedEntropy returns Entropy / ln(bins) in [0, 1]; it is 0 for a
+// single bin.
+func (h *Histogram) NormalizedEntropy() float64 {
+	if len(h.Counts) <= 1 {
+		return 0
+	}
+	return h.Entropy() / math.Log(float64(len(h.Counts)))
+}
+
+// EntropyOfCounts returns the Shannon entropy (nats) of an arbitrary count
+// multiset, e.g. visits per spatial cell.
+func EntropyOfCounts(counts []int) float64 {
+	var total int
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	var e float64
+	for _, c := range counts {
+		if c == 0 {
+			continue
+		}
+		p := float64(c) / float64(total)
+		e -= p * math.Log(p)
+	}
+	return e
+}
+
+// LogSpace returns n values logarithmically spaced from lo to hi inclusive.
+// It is the grid the paper sweeps ε over (10⁻⁴ … 10⁰). It panics if lo or
+// hi are not positive or n < 2.
+func LogSpace(lo, hi float64, n int) []float64 {
+	if lo <= 0 || hi <= 0 {
+		panic(fmt.Sprintf("stat: LogSpace needs positive bounds, got [%v, %v]", lo, hi))
+	}
+	if n < 2 {
+		panic(fmt.Sprintf("stat: LogSpace needs n >= 2, got %d", n))
+	}
+	out := make([]float64, n)
+	llo, lhi := math.Log10(lo), math.Log10(hi)
+	for i := 0; i < n; i++ {
+		f := float64(i) / float64(n-1)
+		out[i] = math.Pow(10, llo+f*(lhi-llo))
+	}
+	// Pin the endpoints exactly: rounding drift (e.g. 5000.000000000005)
+	// would otherwise fail strict parameter-range validation.
+	out[0], out[n-1] = lo, hi
+	return out
+}
+
+// LinSpace returns n values linearly spaced from lo to hi inclusive.
+func LinSpace(lo, hi float64, n int) []float64 {
+	if n < 2 {
+		panic(fmt.Sprintf("stat: LinSpace needs n >= 2, got %d", n))
+	}
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		f := float64(i) / float64(n-1)
+		out[i] = lo + f*(hi-lo)
+	}
+	return out
+}

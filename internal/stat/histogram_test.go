@@ -1,0 +1,131 @@
+package stat
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewHistogramErrors(t *testing.T) {
+	if _, err := NewHistogram(0, 1, 0); err == nil {
+		t.Error("zero bins should error")
+	}
+	if _, err := NewHistogram(1, 1, 4); err == nil {
+		t.Error("empty range should error")
+	}
+	if _, err := NewHistogram(2, 1, 4); err == nil {
+		t.Error("inverted range should error")
+	}
+}
+
+func TestHistogramBinning(t *testing.T) {
+	h, err := NewHistogram(0, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []float64{0, 1.9, 2, 5, 9.99, -5, 15} {
+		h.Add(v)
+	}
+	if h.Total() != 7 {
+		t.Errorf("Total = %d, want 7", h.Total())
+	}
+	// Bins: [0,2): {0, 1.9, clamped -5} = 3; [2,4): {2} = 1;
+	// [4,6): {5} = 1; [8,10): {9.99, clamped 15} = 2.
+	want := []int{3, 1, 1, 0, 2}
+	for i, w := range want {
+		if h.Counts[i] != w {
+			t.Errorf("bin %d = %d, want %d", i, h.Counts[i], w)
+		}
+	}
+	if got := h.Fraction(0); !almostEq(got, 3.0/7, 1e-12) {
+		t.Errorf("Fraction(0) = %v", got)
+	}
+}
+
+func TestHistogramEntropy(t *testing.T) {
+	h, _ := NewHistogram(0, 4, 4)
+	if h.Entropy() != 0 {
+		t.Error("empty histogram entropy should be 0")
+	}
+	// Uniform across 4 bins: entropy = ln 4, normalized = 1.
+	for _, v := range []float64{0.5, 1.5, 2.5, 3.5} {
+		h.Add(v)
+	}
+	if got := h.Entropy(); !almostEq(got, math.Log(4), 1e-12) {
+		t.Errorf("Entropy = %v, want ln4", got)
+	}
+	if got := h.NormalizedEntropy(); !almostEq(got, 1, 1e-12) {
+		t.Errorf("NormalizedEntropy = %v, want 1", got)
+	}
+
+	// All mass in one bin: entropy 0.
+	h2, _ := NewHistogram(0, 4, 4)
+	for i := 0; i < 10; i++ {
+		h2.Add(0.5)
+	}
+	if got := h2.Entropy(); got != 0 {
+		t.Errorf("single-bin entropy = %v", got)
+	}
+
+	single, _ := NewHistogram(0, 1, 1)
+	single.Add(0.5)
+	if got := single.NormalizedEntropy(); got != 0 {
+		t.Errorf("1-bin normalized entropy = %v, want 0", got)
+	}
+}
+
+func TestEntropyOfCounts(t *testing.T) {
+	if got := EntropyOfCounts(nil); got != 0 {
+		t.Errorf("empty = %v", got)
+	}
+	if got := EntropyOfCounts([]int{5, 0, 0}); got != 0 {
+		t.Errorf("concentrated = %v", got)
+	}
+	if got := EntropyOfCounts([]int{1, 1, 1, 1}); !almostEq(got, math.Log(4), 1e-12) {
+		t.Errorf("uniform = %v, want ln4", got)
+	}
+}
+
+func TestLogSpace(t *testing.T) {
+	got := LogSpace(1e-4, 1, 5)
+	want := []float64{1e-4, 1e-3, 1e-2, 1e-1, 1}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > want[i]*1e-12 {
+			t.Errorf("LogSpace[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLogSpacePanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"non-positive lo": func() { LogSpace(0, 1, 3) },
+		"non-positive hi": func() { LogSpace(1, -1, 3) },
+		"n too small":     func() { LogSpace(1, 10, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s should panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestLinSpace(t *testing.T) {
+	got := LinSpace(0, 1, 3)
+	want := []float64{0, 0.5, 1}
+	for i := range want {
+		if !almostEq(got[i], want[i], 1e-12) {
+			t.Errorf("LinSpace[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("LinSpace n=1 should panic")
+			}
+		}()
+		LinSpace(0, 1, 1)
+	}()
+}

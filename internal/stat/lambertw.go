@@ -1,0 +1,94 @@
+package stat
+
+import (
+	"fmt"
+	"math"
+)
+
+// LambertWm1 evaluates the W₋₁ branch of the Lambert W function (the inverse
+// of w·e^w on w ≤ −1) for x in [−1/e, 0). This is the exact inverse needed
+// to sample the radial component of the planar Laplace distribution used by
+// Geo-Indistinguishability: the CDF of the radius is
+//
+//	C_ε(r) = 1 − (1 + εr)·e^(−εr)
+//
+// whose inverse is r = −(1/ε)·(W₋₁((p−1)/e) + 1).
+//
+// The implementation seeds with the asymptotic series near the branch point
+// and for small |x|, then polishes with Halley iterations to ~1e-14 relative
+// accuracy.
+func LambertWm1(x float64) (float64, error) {
+	const negInvE = -1.0 / math.E
+	if x < negInvE-1e-15 || x >= 0 {
+		return 0, fmt.Errorf("stat: LambertWm1 domain is [-1/e, 0), got %v", x)
+	}
+	if x <= negInvE {
+		return -1, nil
+	}
+
+	// Initial guess.
+	var w float64
+	if x > -0.1 {
+		// Near zero: W₋₁(x) ≈ ln(−x) − ln(−ln(−x)).
+		l1 := math.Log(-x)
+		l2 := math.Log(-l1)
+		w = l1 - l2 + l2/l1
+	} else {
+		// Near the branch point −1/e: series in p = −sqrt(2(1+ex)).
+		p := -math.Sqrt(2 * (1 + math.E*x))
+		w = -1 + p - p*p/3 + 11*p*p*p/72
+	}
+
+	// Halley iteration: w ← w − f/(f'·(1 − f·f''/(2 f'²))) with
+	// f(w) = w·e^w − x.
+	for i := 0; i < 50; i++ {
+		ew := math.Exp(w)
+		f := w*ew - x
+		if f == 0 {
+			break
+		}
+		wp1 := w + 1
+		denom := ew*wp1 - (w+2)*f/(2*wp1)
+		if denom == 0 {
+			break
+		}
+		dw := f / denom
+		w -= dw
+		if math.Abs(dw) <= 1e-15*(1+math.Abs(w)) {
+			break
+		}
+	}
+	return w, nil
+}
+
+// PlanarLaplaceRadiusQuantile returns the radius r such that a planar
+// Laplace distribution with parameter epsilon (meters⁻¹) places probability
+// p inside the disc of radius r. In other words it is C_ε⁻¹(p), the inverse
+// CDF used both for exact noise sampling and for analytic accuracy bounds.
+func PlanarLaplaceRadiusQuantile(epsilon, p float64) (float64, error) {
+	if epsilon <= 0 {
+		return 0, fmt.Errorf("stat: epsilon must be positive, got %v", epsilon)
+	}
+	if p < 0 || p >= 1 {
+		return 0, fmt.Errorf("stat: probability must be in [0, 1), got %v", p)
+	}
+	if p == 0 {
+		return 0, nil
+	}
+	w, err := LambertWm1((p - 1) / math.E)
+	if err != nil {
+		return 0, fmt.Errorf("stat: radius quantile: %w", err)
+	}
+	return -(w + 1) / epsilon, nil
+}
+
+// PlanarLaplaceRadiusCDF returns C_ε(r) = 1 − (1+εr)·e^(−εr), the
+// probability that planar Laplace noise of parameter epsilon lands within
+// distance r of the true location.
+func PlanarLaplaceRadiusCDF(epsilon, r float64) float64 {
+	if r <= 0 {
+		return 0
+	}
+	er := epsilon * r
+	return 1 - (1+er)*math.Exp(-er)
+}

@@ -1,0 +1,151 @@
+package stat
+
+import (
+	"fmt"
+	"math"
+)
+
+// SigmoidFit is a fitted four-parameter logistic curve
+//
+//	y(x) = Lo + (Hi − Lo) / (1 + exp(−K·(x − X0)))
+//
+// The paper's Equation 2 linearizes only the non-saturated zone of the
+// metric-vs-log(ε) curves; the sigmoid models the whole S-shape including
+// both plateaus, which makes it the natural "more metrics and parameters"
+// extension (paper §4) and an ablation partner for the log-linear model.
+type SigmoidFit struct {
+	// Lo and Hi are the lower and upper asymptotes.
+	Lo, Hi float64
+	// K is the steepness (same sign as the y-vs-x trend).
+	K float64
+	// X0 is the midpoint abscissa where y = (Lo+Hi)/2.
+	X0 float64
+	// R2 is the coefficient of determination on the original scale.
+	R2 float64
+}
+
+// Predict evaluates the fitted curve at x.
+func (f SigmoidFit) Predict(x float64) float64 {
+	return f.Lo + (f.Hi-f.Lo)/(1+math.Exp(-f.K*(x-f.X0)))
+}
+
+// InvertY returns the x at which the curve attains y. It fails when y is
+// outside the open interval (Lo, Hi) — the plateaus are not invertible —
+// or when the curve is flat.
+func (f SigmoidFit) InvertY(y float64) (float64, error) {
+	span := f.Hi - f.Lo
+	if span == 0 || f.K == 0 {
+		return 0, fmt.Errorf("stat: sigmoid is flat, cannot invert")
+	}
+	u := (y - f.Lo) / span
+	if u <= 0 || u >= 1 {
+		return 0, fmt.Errorf("stat: y=%v outside invertible range (%v, %v)", y, f.Lo, f.Hi)
+	}
+	return f.X0 + math.Log(u/(1-u))/f.K, nil
+}
+
+// String implements fmt.Stringer.
+func (f SigmoidFit) String() string {
+	return fmt.Sprintf("y = %.4g + %.4g/(1+exp(-%.4g·(x-%.4g))), R²=%.3f", f.Lo, f.Hi-f.Lo, f.K, f.X0, f.R2)
+}
+
+// FitSigmoid fits the four-parameter logistic by asymptote anchoring plus
+// logit linearization:
+//
+//  1. anchor Lo and Hi slightly beyond the sample extremes (so every
+//     observation has a finite logit),
+//  2. transform interior points z = logit((y−Lo)/(Hi−Lo)) and fit the line
+//     z = K·(x − X0) by least squares,
+//  3. score R² on the original scale.
+//
+// The anchoring margin is a small fraction of the sample range; for the
+// saturated metric curves this repository fits (both plateaus well
+// represented), the estimator is accurate and, unlike Gauss–Newton, cannot
+// diverge. At least four points and a non-zero y-range are required.
+func FitSigmoid(xs, ys []float64) (SigmoidFit, error) {
+	if len(xs) != len(ys) {
+		return SigmoidFit{}, fmt.Errorf("stat: sigmoid fit needs equal lengths, got %d and %d", len(xs), len(ys))
+	}
+	if len(xs) < 4 {
+		return SigmoidFit{}, fmt.Errorf("stat: sigmoid fit needs at least 4 points, got %d", len(xs))
+	}
+	ymin, ymax := Min(ys), Max(ys)
+	span := ymax - ymin
+	if span <= 0 {
+		return SigmoidFit{}, fmt.Errorf("stat: sigmoid fit needs non-constant y values")
+	}
+	const marginFrac = 0.001
+	lo := ymin - marginFrac*span
+	hi := ymax + marginFrac*span
+
+	// Weight points by the binomial variance factor u(1−u) — the
+	// classical minimum-chi-square logit fit. Points sitting on the
+	// plateaus have logits dominated by the anchoring margin rather
+	// than the curve, so when the transition is well resolved (enough
+	// interior points) they are trimmed; when the transition is sharper
+	// than the sweep grid they are all the information there is and are
+	// kept, their tiny weights still locating the midpoint.
+	const uInterior = 0.02
+	interior := 0
+	for i := range ys {
+		if u := (ys[i] - lo) / (hi - lo); u > uInterior && u < 1-uInterior {
+			interior++
+		}
+	}
+	uTrim := 0.0
+	if interior >= 4 {
+		uTrim = uInterior
+	}
+	var sw, swx, swz, swxx, swxz float64
+	var kept int
+	for i := range xs {
+		u := (ys[i] - lo) / (hi - lo)
+		if u <= uTrim || u >= 1-uTrim {
+			continue
+		}
+		z := math.Log(u / (1 - u))
+		w := u * (1 - u)
+		sw += w
+		swx += w * xs[i]
+		swz += w * z
+		swxx += w * xs[i] * xs[i]
+		swxz += w * xs[i] * z
+		kept++
+	}
+	if kept < 2 {
+		return SigmoidFit{}, fmt.Errorf("stat: sigmoid fit kept %d non-plateau points, need ≥ 2", kept)
+	}
+	det := sw*swxx - swx*swx
+	if det == 0 {
+		return SigmoidFit{}, fmt.Errorf("stat: sigmoid fit is degenerate (identical x values)")
+	}
+	k := (sw*swxz - swx*swz) / det
+	icept := (swz - k*swx) / sw
+	if k == 0 {
+		return SigmoidFit{}, fmt.Errorf("stat: sigmoid fit found zero steepness")
+	}
+	fit := SigmoidFit{Lo: lo, Hi: hi, K: k, X0: -icept / k}
+	fit.R2 = rsquared(xs, ys, fit.Predict)
+	return fit, nil
+}
+
+// rsquared computes the coefficient of determination of predict over the
+// sample. By convention it returns 1 for a perfect fit of a constant series
+// and -inf-like negatives are clamped to 0 only by callers that need it.
+func rsquared(xs, ys []float64, predict func(float64) float64) float64 {
+	my := Mean(ys)
+	var ssRes, ssTot float64
+	for i := range xs {
+		d := ys[i] - predict(xs[i])
+		ssRes += d * d
+		t := ys[i] - my
+		ssTot += t * t
+	}
+	if ssTot == 0 {
+		if ssRes == 0 {
+			return 1
+		}
+		return 0
+	}
+	return 1 - ssRes/ssTot
+}

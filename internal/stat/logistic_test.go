@@ -1,0 +1,146 @@
+package stat
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+// sigmoidPoints samples a known logistic curve on a regular grid.
+func sigmoidPoints(lo, hi, k, x0 float64, n int) (xs, ys []float64) {
+	xs = make([]float64, n)
+	ys = make([]float64, n)
+	for i := range xs {
+		x := -10 + 20*float64(i)/float64(n-1)
+		xs[i] = x
+		ys[i] = lo + (hi-lo)/(1+math.Exp(-k*(x-x0)))
+	}
+	return xs, ys
+}
+
+func TestFitSigmoidRecoversMidpointAndSteepness(t *testing.T) {
+	xs, ys := sigmoidPoints(0, 1, 1.5, 0.7, 41)
+	fit, err := FitSigmoid(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.X0-0.7) > 0.05 {
+		t.Errorf("X0 = %v, want ≈ 0.7", fit.X0)
+	}
+	if math.Abs(fit.K-1.5) > 0.15 {
+		t.Errorf("K = %v, want ≈ 1.5", fit.K)
+	}
+	if fit.R2 < 0.999 {
+		t.Errorf("R² = %v, want ≈ 1 on noiseless data", fit.R2)
+	}
+}
+
+func TestFitSigmoidDecreasingCurve(t *testing.T) {
+	xs, ys := sigmoidPoints(0.2, 0.9, -2, -1, 41)
+	fit, err := FitSigmoid(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.K >= 0 {
+		t.Errorf("K = %v, want negative for a decreasing curve", fit.K)
+	}
+	if math.Abs(fit.X0+1) > 0.1 {
+		t.Errorf("X0 = %v, want ≈ -1", fit.X0)
+	}
+}
+
+func TestSigmoidPredictInvertRoundTrip(t *testing.T) {
+	xs, ys := sigmoidPoints(0, 1, 2, 0, 41)
+	fit, err := FitSigmoid(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{-2, -0.5, 0, 0.5, 2} {
+		y := fit.Predict(x)
+		back, err := fit.InvertY(y)
+		if err != nil {
+			t.Fatalf("InvertY(%v): %v", y, err)
+		}
+		if math.Abs(back-x) > 1e-9 {
+			t.Errorf("round trip x=%v → y=%v → %v", x, y, back)
+		}
+	}
+}
+
+func TestSigmoidInvertRejectsPlateauValues(t *testing.T) {
+	fit := SigmoidFit{Lo: 0, Hi: 1, K: 1, X0: 0}
+	for _, y := range []float64{-0.1, 0, 1, 1.1} {
+		if _, err := fit.InvertY(y); err == nil {
+			t.Errorf("InvertY(%v) should fail outside (Lo, Hi)", y)
+		}
+	}
+	flat := SigmoidFit{Lo: 0.5, Hi: 0.5, K: 1, X0: 0}
+	if _, err := flat.InvertY(0.5); err == nil {
+		t.Error("InvertY on a flat sigmoid should fail")
+	}
+}
+
+func TestFitSigmoidWithNoise(t *testing.T) {
+	r := rng.New(3)
+	xs, ys := sigmoidPoints(0, 1, 1, 0, 81)
+	for i := range ys {
+		ys[i] = Clamp(ys[i]+0.02*r.NormFloat64(), 0, 1)
+	}
+	fit, err := FitSigmoid(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.X0) > 0.3 {
+		t.Errorf("X0 = %v, want ≈ 0 under mild noise", fit.X0)
+	}
+	if fit.R2 < 0.97 {
+		t.Errorf("R² = %v, want > 0.97 under mild noise", fit.R2)
+	}
+}
+
+func TestFitSigmoidErrors(t *testing.T) {
+	if _, err := FitSigmoid([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("want error for mismatched lengths")
+	}
+	if _, err := FitSigmoid([]float64{1, 2, 3}, []float64{1, 2, 3}); err == nil {
+		t.Error("want error for too few points")
+	}
+	if _, err := FitSigmoid([]float64{1, 2, 3, 4}, []float64{2, 2, 2, 2}); err == nil {
+		t.Error("want error for constant y")
+	}
+}
+
+func TestFitSigmoidMonotonePredictionProperty(t *testing.T) {
+	// Property: the fitted curve is monotone in the direction of the
+	// generating curve, for random true parameters.
+	f := func(seed int64) bool {
+		r := rng.New(seed)
+		k := 0.5 + 3*r.Float64()
+		if r.Intn(2) == 0 {
+			k = -k
+		}
+		x0 := -2 + 4*r.Float64()
+		xs, ys := sigmoidPoints(0, 1, k, x0, 31)
+		fit, err := FitSigmoid(xs, ys)
+		if err != nil {
+			return false
+		}
+		prev := fit.Predict(-10)
+		for x := -9.0; x <= 10; x++ {
+			cur := fit.Predict(x)
+			if k > 0 && cur < prev-1e-12 {
+				return false
+			}
+			if k < 0 && cur > prev+1e-12 {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

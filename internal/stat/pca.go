@@ -1,0 +1,136 @@
+package stat
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/linalg"
+)
+
+// PCA is the result of a principal component analysis: the paper's framework
+// (step 1) uses it to soundly choose which dataset properties d_i matter for
+// the privacy/utility model.
+type PCA struct {
+	// Dim is the number of input variables.
+	Dim int
+	// Means and Stds hold the per-variable standardization parameters.
+	Means, Stds []float64
+	// Eigenvalues are the variances along each principal component, in
+	// descending order.
+	Eigenvalues []float64
+	// Components holds the unit loading vectors; Components[k][j] is the
+	// weight of input variable j in component k.
+	Components [][]float64
+	// ExplainedVarianceRatio[k] is Eigenvalues[k] / ΣEigenvalues.
+	ExplainedVarianceRatio []float64
+}
+
+// FitPCA runs PCA on standardized variables (correlation-matrix PCA). rows
+// are observations, columns are variables. Variables with zero variance are
+// kept but contribute zero loadings.
+func FitPCA(rows [][]float64) (*PCA, error) {
+	n := len(rows)
+	if n < 2 {
+		return nil, fmt.Errorf("stat: PCA needs >= 2 observations, got %d", n)
+	}
+	d := len(rows[0])
+
+	p := &PCA{Dim: d, Means: make([]float64, d), Stds: make([]float64, d)}
+	cols := make([][]float64, d)
+	for j := 0; j < d; j++ {
+		col := make([]float64, n)
+		for i, r := range rows {
+			if len(r) != d {
+				return nil, fmt.Errorf("stat: ragged PCA row %d", i)
+			}
+			col[i] = r[j]
+		}
+		cols[j] = col
+		p.Means[j] = Mean(col)
+		sd := StdDev(col)
+		if sd == 0 || math.IsNaN(sd) {
+			sd = 1 // constant column: standardized values become 0
+		}
+		p.Stds[j] = sd
+	}
+
+	std := linalg.NewMatrix(n, d)
+	for i := 0; i < n; i++ {
+		for j := 0; j < d; j++ {
+			std.Set(i, j, (cols[j][i]-p.Means[j])/p.Stds[j])
+		}
+	}
+	cov, err := linalg.Covariance(std)
+	if err != nil {
+		return nil, fmt.Errorf("stat: PCA covariance: %w", err)
+	}
+	vals, vecs, err := linalg.EigenSym(cov)
+	if err != nil {
+		return nil, fmt.Errorf("stat: PCA eigendecomposition: %w", err)
+	}
+
+	p.Eigenvalues = vals
+	p.Components = make([][]float64, d)
+	var total float64
+	for _, v := range vals {
+		if v > 0 {
+			total += v
+		}
+	}
+	p.ExplainedVarianceRatio = make([]float64, d)
+	for k := 0; k < d; k++ {
+		p.Components[k] = vecs.Col(k)
+		if total > 0 && vals[k] > 0 {
+			p.ExplainedVarianceRatio[k] = vals[k] / total
+		}
+	}
+	return p, nil
+}
+
+// Transform projects an observation onto the first k principal components.
+func (p *PCA) Transform(x []float64, k int) ([]float64, error) {
+	if len(x) != p.Dim {
+		return nil, fmt.Errorf("stat: PCA transform dim %d, want %d", len(x), p.Dim)
+	}
+	if k <= 0 || k > p.Dim {
+		return nil, fmt.Errorf("stat: invalid component count %d", k)
+	}
+	out := make([]float64, k)
+	for c := 0; c < k; c++ {
+		var s float64
+		for j := 0; j < p.Dim; j++ {
+			s += p.Components[c][j] * (x[j] - p.Means[j]) / p.Stds[j]
+		}
+		out[c] = s
+	}
+	return out, nil
+}
+
+// ComponentsFor returns how many leading components explain at least the
+// given fraction of total variance.
+func (p *PCA) ComponentsFor(varianceFraction float64) int {
+	var cum float64
+	for k, r := range p.ExplainedVarianceRatio {
+		cum += r
+		if cum >= varianceFraction {
+			return k + 1
+		}
+	}
+	return p.Dim
+}
+
+// TopLoadings returns the indices of the input variables whose absolute
+// loading on component k is at least thresh, i.e. the variables that
+// "impactfully characterize" the data along that axis (framework step 1).
+func (p *PCA) TopLoadings(k int, thresh float64) []int {
+	if k < 0 || k >= p.Dim {
+		return nil
+	}
+	var idx []int
+	for j, w := range p.Components[k] {
+		if math.Abs(w) >= thresh {
+			idx = append(idx, j)
+		}
+	}
+	return idx
+}

@@ -1,0 +1,114 @@
+package stat
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestFitPCADominantDirection(t *testing.T) {
+	// Points spread along the diagonal (x, x) with small orthogonal noise:
+	// PC1 must align with (1,1)/√2 and explain most of the variance.
+	r := rng.New(3)
+	rows := make([][]float64, 500)
+	for i := range rows {
+		a := r.NormFloat64() * 10
+		b := r.NormFloat64() * 0.5
+		rows[i] = []float64{a + b, a - b}
+	}
+	p, err := FitPCA(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Dim != 2 {
+		t.Fatalf("Dim = %d", p.Dim)
+	}
+	c := p.Components[0]
+	if math.Abs(math.Abs(c[0])-math.Sqrt2/2) > 0.02 || math.Abs(c[0]-c[1]) > 0.04 {
+		t.Errorf("PC1 = %v, want ~(0.707, 0.707)", c)
+	}
+	if p.ExplainedVarianceRatio[0] < 0.9 {
+		t.Errorf("PC1 explains %v, want > 0.9", p.ExplainedVarianceRatio[0])
+	}
+	if got := p.ComponentsFor(0.9); got != 1 {
+		t.Errorf("ComponentsFor(0.9) = %d, want 1", got)
+	}
+	if got := p.ComponentsFor(0.9999999); got != 2 {
+		t.Errorf("ComponentsFor(~1) = %d, want 2", got)
+	}
+}
+
+func TestFitPCAConstantColumn(t *testing.T) {
+	rows := [][]float64{{1, 5}, {2, 5}, {3, 5}, {4, 5}}
+	p, err := FitPCA(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The constant column must not blow up standardization.
+	for _, v := range p.Eigenvalues {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("eigenvalues contain non-finite: %v", p.Eigenvalues)
+		}
+	}
+}
+
+func TestFitPCAErrors(t *testing.T) {
+	if _, err := FitPCA(nil); err == nil {
+		t.Error("empty input should error")
+	}
+	if _, err := FitPCA([][]float64{{1, 2}}); err == nil {
+		t.Error("single observation should error")
+	}
+	if _, err := FitPCA([][]float64{{1, 2}, {1}}); err == nil {
+		t.Error("ragged rows should error")
+	}
+}
+
+func TestPCATransform(t *testing.T) {
+	rows := [][]float64{{0, 0}, {1, 1}, {2, 2}, {3, 3}, {4, 4.1}}
+	p, err := FitPCA(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := p.Transform([]float64{2, 2}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 {
+		t.Fatalf("Transform dims = %d", len(out))
+	}
+	if _, err := p.Transform([]float64{1}, 1); err == nil {
+		t.Error("wrong input dim should error")
+	}
+	if _, err := p.Transform([]float64{1, 2}, 3); err == nil {
+		t.Error("too many components should error")
+	}
+	if _, err := p.Transform([]float64{1, 2}, 0); err == nil {
+		t.Error("zero components should error")
+	}
+}
+
+func TestPCATopLoadings(t *testing.T) {
+	// Three variables: first two correlated, third independent noise.
+	r := rng.New(41)
+	rows := make([][]float64, 400)
+	for i := range rows {
+		a := r.NormFloat64()
+		rows[i] = []float64{a, a + r.NormFloat64()*0.05, r.NormFloat64()}
+	}
+	p, err := FitPCA(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := p.TopLoadings(0, 0.5)
+	if len(top) != 2 || top[0] != 0 || top[1] != 1 {
+		t.Errorf("TopLoadings(PC1) = %v, want [0 1]", top)
+	}
+	if got := p.TopLoadings(-1, 0.5); got != nil {
+		t.Errorf("out-of-range component should return nil, got %v", got)
+	}
+	if got := p.TopLoadings(99, 0.5); got != nil {
+		t.Errorf("out-of-range component should return nil, got %v", got)
+	}
+}

@@ -1,0 +1,142 @@
+package stat
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/linalg"
+)
+
+// LinearFit is the result of a simple least-squares regression
+// y = Intercept + Slope·x.
+type LinearFit struct {
+	Intercept float64
+	Slope     float64
+	// R2 is the coefficient of determination in [0, 1] (can be negative
+	// for pathological fits, which callers treat as "no fit").
+	R2 float64
+	// N is the number of points used.
+	N int
+}
+
+// Predict evaluates the fitted line at x.
+func (f LinearFit) Predict(x float64) float64 { return f.Intercept + f.Slope*x }
+
+// InvertY returns the x at which the fitted line reaches y. It returns an
+// error when the slope is (near) zero, i.e. the line cannot be inverted.
+func (f LinearFit) InvertY(y float64) (float64, error) {
+	if math.Abs(f.Slope) < 1e-15 {
+		return 0, fmt.Errorf("stat: cannot invert fit with zero slope")
+	}
+	return (y - f.Intercept) / f.Slope, nil
+}
+
+// FitLinear performs ordinary least squares of y on x. It requires at least
+// two points and non-zero x variance.
+func FitLinear(xs, ys []float64) (LinearFit, error) {
+	if len(xs) != len(ys) {
+		return LinearFit{}, fmt.Errorf("stat: x/y length mismatch %d vs %d", len(xs), len(ys))
+	}
+	if len(xs) < 2 {
+		return LinearFit{}, fmt.Errorf("stat: need >= 2 points, got %d", len(xs))
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxx, sxy float64
+	for i := range xs {
+		dx := xs[i] - mx
+		sxx += dx * dx
+		sxy += dx * (ys[i] - my)
+	}
+	if sxx == 0 {
+		return LinearFit{}, fmt.Errorf("stat: x has zero variance")
+	}
+	slope := sxy / sxx
+	intercept := my - slope*mx
+
+	// R² = 1 − SS_res / SS_tot.
+	var ssRes, ssTot float64
+	for i := range xs {
+		r := ys[i] - (intercept + slope*xs[i])
+		ssRes += r * r
+		d := ys[i] - my
+		ssTot += d * d
+	}
+	r2 := 1.0
+	if ssTot > 0 {
+		r2 = 1 - ssRes/ssTot
+	}
+	return LinearFit{Intercept: intercept, Slope: slope, R2: r2, N: len(xs)}, nil
+}
+
+// MultiLinearFit is the result of multiple least-squares regression
+// y = Coeffs[0] + Coeffs[1]·x1 + … + Coeffs[k]·xk.
+type MultiLinearFit struct {
+	// Coeffs[0] is the intercept; Coeffs[1:] align with feature columns.
+	Coeffs []float64
+	R2     float64
+	N      int
+}
+
+// Predict evaluates the fitted hyperplane at the feature vector x.
+func (f MultiLinearFit) Predict(x []float64) float64 {
+	y := f.Coeffs[0]
+	for i, v := range x {
+		y += f.Coeffs[i+1] * v
+	}
+	return y
+}
+
+// FitMultiLinear performs ordinary least squares of y on multiple feature
+// columns via the normal equations (XᵀX)β = Xᵀy solved with Cholesky. rows
+// of features are observations.
+func FitMultiLinear(features [][]float64, ys []float64) (MultiLinearFit, error) {
+	n := len(features)
+	if n != len(ys) {
+		return MultiLinearFit{}, fmt.Errorf("stat: features/y length mismatch %d vs %d", n, len(ys))
+	}
+	if n == 0 {
+		return MultiLinearFit{}, fmt.Errorf("stat: empty design")
+	}
+	k := len(features[0])
+	if n < k+1 {
+		return MultiLinearFit{}, fmt.Errorf("stat: %d observations cannot fit %d coefficients", n, k+1)
+	}
+
+	// Design matrix with leading 1s column.
+	x := linalg.NewMatrix(n, k+1)
+	for i, row := range features {
+		if len(row) != k {
+			return MultiLinearFit{}, fmt.Errorf("stat: ragged feature row %d", i)
+		}
+		x.Set(i, 0, 1)
+		for j, v := range row {
+			x.Set(i, j+1, v)
+		}
+	}
+	xt := x.T()
+	xtx := xt.Mul(x)
+	// Tiny ridge to keep Cholesky stable on nearly-collinear designs.
+	for i := 0; i < xtx.Rows(); i++ {
+		xtx.Set(i, i, xtx.At(i, i)+1e-12)
+	}
+	xty := xt.MulVec(ys)
+	beta, err := linalg.SolveSPD(xtx, xty)
+	if err != nil {
+		return MultiLinearFit{}, fmt.Errorf("stat: normal equations: %w", err)
+	}
+
+	fit := MultiLinearFit{Coeffs: beta, N: n}
+	my := Mean(ys)
+	var ssRes, ssTot float64
+	for i := range ys {
+		r := ys[i] - fit.Predict(features[i])
+		ssRes += r * r
+		d := ys[i] - my
+		ssTot += d * d
+	}
+	fit.R2 = 1.0
+	if ssTot > 0 {
+		fit.R2 = 1 - ssRes/ssTot
+	}
+	return fit, nil
+}

@@ -1,0 +1,138 @@
+package stat
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestFitLinearExact(t *testing.T) {
+	xs := []float64{-2, -1, 0, 1, 2}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 3 + 0.5*x
+	}
+	fit, err := FitLinear(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(fit.Intercept, 3, 1e-12) || !almostEq(fit.Slope, 0.5, 1e-12) {
+		t.Errorf("fit = %+v", fit)
+	}
+	if !almostEq(fit.R2, 1, 1e-12) {
+		t.Errorf("R² = %v, want 1", fit.R2)
+	}
+	if got := fit.Predict(10); !almostEq(got, 8, 1e-12) {
+		t.Errorf("Predict(10) = %v, want 8", got)
+	}
+	x, err := fit.InvertY(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(x, 2, 1e-12) {
+		t.Errorf("InvertY(4) = %v, want 2", x)
+	}
+}
+
+func TestFitLinearNoisy(t *testing.T) {
+	r := rng.New(5)
+	xs := make([]float64, 200)
+	ys := make([]float64, 200)
+	for i := range xs {
+		xs[i] = float64(i) / 10
+		ys[i] = -1 + 2*xs[i] + r.NormFloat64()*0.1
+	}
+	fit, err := FitLinear(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Slope-2) > 0.02 || math.Abs(fit.Intercept+1) > 0.1 {
+		t.Errorf("noisy fit = %+v", fit)
+	}
+	if fit.R2 < 0.99 {
+		t.Errorf("R² = %v, want > 0.99", fit.R2)
+	}
+}
+
+func TestFitLinearErrors(t *testing.T) {
+	if _, err := FitLinear([]float64{1}, []float64{1}); err == nil {
+		t.Error("single point should error")
+	}
+	if _, err := FitLinear([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, err := FitLinear([]float64{3, 3, 3}, []float64{1, 2, 3}); err == nil {
+		t.Error("zero x variance should error")
+	}
+	flat, err := FitLinear([]float64{1, 2, 3}, []float64{5, 5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := flat.InvertY(6); err == nil {
+		t.Error("inverting a flat fit should error")
+	}
+}
+
+func TestFitMultiLinearExact(t *testing.T) {
+	// y = 1 + 2·x1 − 3·x2.
+	features := [][]float64{
+		{0, 0}, {1, 0}, {0, 1}, {1, 1}, {2, 1}, {1, 2}, {3, -1},
+	}
+	ys := make([]float64, len(features))
+	for i, f := range features {
+		ys[i] = 1 + 2*f[0] - 3*f[1]
+	}
+	fit, err := FitMultiLinear(features, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 2, -3}
+	for i, w := range want {
+		if !almostEq(fit.Coeffs[i], w, 1e-6) {
+			t.Errorf("coeff %d = %v, want %v", i, fit.Coeffs[i], w)
+		}
+	}
+	if !almostEq(fit.R2, 1, 1e-9) {
+		t.Errorf("R² = %v", fit.R2)
+	}
+	if got := fit.Predict([]float64{10, 10}); !almostEq(got, 1+20-30, 1e-6) {
+		t.Errorf("Predict = %v", got)
+	}
+}
+
+func TestFitMultiLinearErrors(t *testing.T) {
+	if _, err := FitMultiLinear(nil, nil); err == nil {
+		t.Error("empty design should error")
+	}
+	if _, err := FitMultiLinear([][]float64{{1, 2}}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, err := FitMultiLinear([][]float64{{1, 2}, {2, 3}}, []float64{1, 2}); err == nil {
+		t.Error("underdetermined should error")
+	}
+	if _, err := FitMultiLinear([][]float64{{1, 2}, {2}, {3, 4}}, []float64{1, 2, 3}); err == nil {
+		t.Error("ragged rows should error")
+	}
+}
+
+func TestFitMultiLinearMatchesSimple(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{2.1, 3.9, 6.2, 8.1, 9.8}
+	simple, err := FitLinear(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	features := make([][]float64, len(xs))
+	for i, x := range xs {
+		features[i] = []float64{x}
+	}
+	multi, err := FitMultiLinear(features, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(simple.Intercept, multi.Coeffs[0], 1e-6) ||
+		!almostEq(simple.Slope, multi.Coeffs[1], 1e-6) {
+		t.Errorf("simple %+v vs multi %+v", simple, multi)
+	}
+}

@@ -1,0 +1,256 @@
+package synth
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/rng"
+	"repro/internal/trace"
+)
+
+// CommuterConfig parameterizes the commuter-population generator, the
+// second dataset archetype (the paper's future work §4 includes "other
+// datasets"). Where taxis roam all day and stop briefly, commuters pendulum
+// between a home and a workplace with long dwells — different sampling
+// density, different POI structure, different area coverage — which is what
+// makes dataset properties d_i matter to the fitted model.
+type CommuterConfig struct {
+	// Seed drives all randomness.
+	Seed int64
+	// NumUsers is the population size.
+	NumUsers int
+	// Days is the number of simulated working days per user.
+	Days int
+	// SamplePeriod is the phone's location-reporting period (sparser
+	// than a cab's GPS).
+	SamplePeriod time.Duration
+	// Start is the simulation start instant (midnight of day one).
+	Start time.Time
+	// LunchOutProb is the daily probability of a lunch trip to the
+	// user's favourite spot.
+	LunchOutProb float64
+	// ErrandProb is the daily probability of an evening errand stop.
+	ErrandProb float64
+	// SpeedKmh bounds the commuting speed.
+	SpeedKmhMin, SpeedKmhMax float64
+	// GPSJitterMeters is the standard deviation of per-sample noise.
+	GPSJitterMeters float64
+	// StopJitterMeters is the spatial wander while dwelling.
+	StopJitterMeters float64
+	// Heterogeneity in [0, 1] spreads per-user sampling periods and
+	// dwell behaviour, like the taxi generator's knob.
+	Heterogeneity float64
+}
+
+// DefaultCommuterConfig returns the experiment configuration: 40 commuters
+// over 3 working days, sampled every 3 minutes.
+func DefaultCommuterConfig() CommuterConfig {
+	return CommuterConfig{
+		Seed:             1,
+		NumUsers:         40,
+		Days:             3,
+		SamplePeriod:     3 * time.Minute,
+		Start:            time.Date(2008, 5, 19, 0, 0, 0, 0, time.UTC),
+		LunchOutProb:     0.6,
+		ErrandProb:       0.4,
+		SpeedKmhMin:      20,
+		SpeedKmhMax:      50,
+		GPSJitterMeters:  6,
+		StopJitterMeters: 15,
+		Heterogeneity:    0.6,
+	}
+}
+
+// Validate reports configuration errors.
+func (c CommuterConfig) Validate() error {
+	switch {
+	case c.NumUsers <= 0:
+		return fmt.Errorf("synth: NumUsers must be positive, got %d", c.NumUsers)
+	case c.Days <= 0:
+		return fmt.Errorf("synth: Days must be positive, got %d", c.Days)
+	case c.SamplePeriod <= 0:
+		return fmt.Errorf("synth: SamplePeriod must be positive, got %v", c.SamplePeriod)
+	case c.LunchOutProb < 0 || c.LunchOutProb > 1:
+		return fmt.Errorf("synth: LunchOutProb must be in [0, 1], got %v", c.LunchOutProb)
+	case c.ErrandProb < 0 || c.ErrandProb > 1:
+		return fmt.Errorf("synth: ErrandProb must be in [0, 1], got %v", c.ErrandProb)
+	case c.SpeedKmhMin <= 0 || c.SpeedKmhMax < c.SpeedKmhMin:
+		return fmt.Errorf("synth: invalid speed bounds [%v, %v]", c.SpeedKmhMin, c.SpeedKmhMax)
+	case c.GPSJitterMeters < 0 || c.StopJitterMeters < 0:
+		return fmt.Errorf("synth: jitter must be non-negative")
+	case c.Heterogeneity < 0 || c.Heterogeneity > 1:
+		return fmt.Errorf("synth: Heterogeneity must be in [0, 1], got %v", c.Heterogeneity)
+	}
+	return nil
+}
+
+// GenerateCommuters builds the commuter dataset described by cfg over the
+// given city (NewSanFrancisco() when city is nil). Ground-truth anchors per
+// user are home, work, and — when the user's schedule includes them — the
+// lunch and errand spots.
+func GenerateCommuters(cfg CommuterConfig, city *City) (*Fleet, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if city == nil {
+		city = NewSanFrancisco()
+	}
+	if err := city.Validate(); err != nil {
+		return nil, err
+	}
+	root := rng.New(cfg.Seed)
+	fleet := &Fleet{
+		Dataset: trace.NewDataset(),
+		Anchors: make(map[string][]geo.Point, cfg.NumUsers),
+	}
+	for i := 0; i < cfg.NumUsers; i++ {
+		user := fmt.Sprintf("commuter-%03d", i)
+		r := root.Split(int64(i))
+		c := newCommuter(user, cfg, city, r)
+		tr, err := c.simulate()
+		if err != nil {
+			return nil, fmt.Errorf("synth: commuter %s: %w", user, err)
+		}
+		fleet.Dataset.Add(tr)
+		fleet.Anchors[user] = c.anchors
+	}
+	return fleet, nil
+}
+
+// commuter simulates one phone user with a pendulum schedule.
+type commuter struct {
+	user    string
+	cfg     CommuterConfig
+	city    *City
+	r       *rng.Source
+	anchors []geo.Point
+
+	home, work, lunch, errand geo.Point
+
+	records []trace.Record
+	now     time.Time
+	nextFix time.Time
+	pos     geo.Point
+}
+
+func newCommuter(user string, cfg CommuterConfig, city *City, r *rng.Source) *commuter {
+	places := r.Named("places")
+	home := city.SamplePoint(places, 0.2) // homes scatter widely
+	work := city.SamplePoint(places, 0.9) // work concentrates downtown
+	lunch := work.Offset(placeOffset(places), placeOffset(places))
+	errand := home.Offset(placeOffset(places), placeOffset(places))
+	if h := cfg.Heterogeneity; h > 0 {
+		traits := r.Named("traits")
+		span := math.Log(1 + 3*h)
+		periodFactor := math.Exp((traits.Float64()*2 - 1) * span)
+		jitterFactor := math.Exp((traits.Float64()*2 - 1) * span)
+		cfg.SamplePeriod = time.Duration(float64(cfg.SamplePeriod) * periodFactor)
+		cfg.StopJitterMeters *= jitterFactor
+	}
+	return &commuter{
+		user: user, cfg: cfg, city: city, r: r,
+		home: home, work: work,
+		lunch:   city.Box.Clamp(lunch),
+		errand:  city.Box.Clamp(errand),
+		anchors: []geo.Point{home, work},
+	}
+}
+
+// placeOffset draws a displacement (±300–1200 m) placing a secondary spot
+// near, but not inside, a primary anchor's block.
+func placeOffset(r *rng.Source) float64 {
+	d := 300 + 900*r.Float64()
+	if r.Float64() < 0.5 {
+		return -d
+	}
+	return d
+}
+
+// simulate plays the daily schedule: home overnight, morning commute, work,
+// optional lunch out, work, optional errand, home.
+func (c *commuter) simulate() (*trace.Trace, error) {
+	c.now = c.cfg.Start
+	c.nextFix = c.cfg.Start
+	c.pos = c.home
+	day := c.r.Named("days")
+	lunchUsed, errandUsed := false, false
+	for d := 0; d < c.cfg.Days; d++ {
+		dayEnd := c.cfg.Start.Add(time.Duration(d+1) * 24 * time.Hour)
+		// Overnight at home until a personal departure time.
+		depart := c.cfg.Start.Add(time.Duration(d)*24*time.Hour +
+			7*time.Hour + time.Duration(day.Float64()*float64(2*time.Hour)))
+		c.dwellUntil(depart, c.home)
+		c.travel(c.work, day)
+
+		// Morning block, optional lunch, afternoon block.
+		lunchAt := c.now.Add(3*time.Hour + time.Duration(day.Float64()*float64(time.Hour)))
+		c.dwellUntil(lunchAt, c.work)
+		if day.Float64() < c.cfg.LunchOutProb {
+			lunchUsed = true
+			c.travel(c.lunch, day)
+			c.dwellUntil(c.now.Add(40*time.Minute), c.lunch)
+			c.travel(c.work, day)
+		}
+		leaveAt := c.now.Add(4*time.Hour + time.Duration(day.Float64()*float64(90*time.Minute)))
+		c.dwellUntil(leaveAt, c.work)
+
+		// Optional errand, then home for the night.
+		if day.Float64() < c.cfg.ErrandProb {
+			errandUsed = true
+			c.travel(c.errand, day)
+			c.dwellUntil(c.now.Add(30*time.Minute), c.errand)
+		}
+		c.travel(c.home, day)
+		c.dwellUntil(dayEnd, c.home)
+	}
+	if lunchUsed {
+		c.anchors = append(c.anchors, c.lunch)
+	}
+	if errandUsed {
+		c.anchors = append(c.anchors, c.errand)
+	}
+	return trace.NewTrace(c.user, c.records)
+}
+
+// dwellUntil keeps the commuter (noisily) at place until the given instant.
+func (c *commuter) dwellUntil(until time.Time, place geo.Point) {
+	if until.Before(c.now) {
+		return
+	}
+	c.pos = place
+	for !c.nextFix.After(until) {
+		jitter := c.cfg.StopJitterMeters
+		p := place.Offset(c.r.NormFloat64()*jitter, c.r.NormFloat64()*jitter)
+		c.records = append(c.records, trace.Record{User: c.user, Time: c.nextFix, Point: c.city.Box.Clamp(p)})
+		c.nextFix = c.nextFix.Add(c.cfg.SamplePeriod)
+	}
+	c.now = until
+}
+
+// travel drives straight from the current position to dest at a random
+// commuting speed, emitting fixes on schedule.
+func (c *commuter) travel(dest geo.Point, mob *rng.Source) {
+	speedMS := (c.cfg.SpeedKmhMin + mob.Float64()*(c.cfg.SpeedKmhMax-c.cfg.SpeedKmhMin)) / 3.6
+	dist := geo.Haversine(c.pos, dest)
+	if dist == 0 {
+		return
+	}
+	dur := time.Duration(dist / speedMS * float64(time.Second))
+	arrive := c.now.Add(dur)
+	proj := geo.NewProjection(c.pos)
+	ex, ny := proj.ToPlane(dest)
+	for !c.nextFix.After(arrive) {
+		frac := float64(c.nextFix.Sub(c.now)) / float64(dur)
+		if frac > 1 {
+			frac = 1
+		}
+		p := proj.FromPlane(ex*frac, ny*frac).
+			Offset(c.r.NormFloat64()*c.cfg.GPSJitterMeters, c.r.NormFloat64()*c.cfg.GPSJitterMeters)
+		c.records = append(c.records, trace.Record{User: c.user, Time: c.nextFix, Point: c.city.Box.Clamp(p)})
+		c.nextFix = c.nextFix.Add(c.cfg.SamplePeriod)
+	}
+	c.now = arrive
+	c.pos = dest
+}

@@ -1,0 +1,162 @@
+package synth
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/poi"
+)
+
+func smallCommuterConfig() CommuterConfig {
+	cfg := DefaultCommuterConfig()
+	cfg.NumUsers = 6
+	cfg.Days = 2
+	return cfg
+}
+
+func TestGenerateCommutersBasics(t *testing.T) {
+	fleet, err := GenerateCommuters(smallCommuterConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fleet.Dataset.NumUsers() != 6 {
+		t.Fatalf("NumUsers = %d, want 6", fleet.Dataset.NumUsers())
+	}
+	city := NewSanFrancisco()
+	for _, tr := range fleet.Dataset.Traces() {
+		if tr.Len() < 100 {
+			t.Errorf("%s has only %d records over 2 days", tr.User, tr.Len())
+		}
+		if !tr.Sorted() {
+			t.Errorf("%s records not sorted", tr.User)
+		}
+		for _, rec := range tr.Records {
+			if !city.Box.Contains(rec.Point) {
+				t.Fatalf("%s record at %v outside the city", tr.User, rec.Point)
+			}
+		}
+		anchors := fleet.Anchors[tr.User]
+		if len(anchors) < 2 {
+			t.Errorf("%s has %d anchors, want ≥ 2 (home, work)", tr.User, len(anchors))
+		}
+	}
+}
+
+func TestGenerateCommutersDeterministic(t *testing.T) {
+	a, err := GenerateCommuters(smallCommuterConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateCommuters(smallCommuterConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, user := range a.Dataset.Users() {
+		ta, tb := a.Dataset.Trace(user), b.Dataset.Trace(user)
+		if ta.Len() != tb.Len() {
+			t.Fatalf("%s lengths differ across runs", user)
+		}
+		for i := range ta.Records {
+			if ta.Records[i] != tb.Records[i] {
+				t.Fatalf("%s record %d differs across runs", user, i)
+			}
+		}
+	}
+}
+
+func TestCommutersExposeHomeAndWorkPOIs(t *testing.T) {
+	fleet, err := GenerateCommuters(smallCommuterConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ext, err := poi.NewExtractor(poi.DefaultExtractorConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range fleet.Dataset.Traces() {
+		pois := ext.POIs(tr)
+		if len(pois) < 2 {
+			t.Fatalf("%s: extracted %d POIs, want ≥ 2 (home, work dwell daily)", tr.User, len(pois))
+		}
+		// Home and work anchors must both be recoverable within 250 m.
+		for i, anchor := range fleet.Anchors[tr.User][:2] {
+			found := false
+			for _, p := range pois {
+				if geo.Haversine(p.Center, anchor) < 250 {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Errorf("%s: anchor %d not recovered from raw trace", tr.User, i)
+			}
+		}
+	}
+}
+
+func TestCommutersDifferFromTaxisInProperties(t *testing.T) {
+	// The archetypes must be statistically distinguishable, otherwise the
+	// "other datasets" experiments are vacuous: commuters dwell most of
+	// the day (long stays) while taxis keep moving.
+	taxiCfg := DefaultConfig()
+	taxiCfg.NumDrivers = 6
+	taxis, err := Generate(taxiCfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	commuters, err := GenerateCommuters(smallCommuterConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var taxiRate, commRate float64
+	for _, tr := range taxis.Dataset.Traces() {
+		taxiRate += geo.PathLength(tr.Points()) / tr.Duration().Hours()
+	}
+	taxiRate /= float64(taxis.Dataset.NumUsers())
+	for _, tr := range commuters.Dataset.Traces() {
+		commRate += geo.PathLength(tr.Points()) / tr.Duration().Hours()
+	}
+	commRate /= float64(commuters.Dataset.NumUsers())
+	if taxiRate < 2*commRate {
+		t.Errorf("taxis should travel ≥ 2× more per hour: taxi %.0f m/h vs commuter %.0f m/h", taxiRate, commRate)
+	}
+}
+
+func TestCommuterConfigValidation(t *testing.T) {
+	bad := []func(*CommuterConfig){
+		func(c *CommuterConfig) { c.NumUsers = 0 },
+		func(c *CommuterConfig) { c.Days = 0 },
+		func(c *CommuterConfig) { c.SamplePeriod = 0 },
+		func(c *CommuterConfig) { c.LunchOutProb = 2 },
+		func(c *CommuterConfig) { c.ErrandProb = -1 },
+		func(c *CommuterConfig) { c.SpeedKmhMin = 0 },
+		func(c *CommuterConfig) { c.SpeedKmhMax = 1 },
+		func(c *CommuterConfig) { c.GPSJitterMeters = -1 },
+		func(c *CommuterConfig) { c.Heterogeneity = 3 },
+	}
+	for i, mutate := range bad {
+		cfg := DefaultCommuterConfig()
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+	if err := DefaultCommuterConfig().Validate(); err != nil {
+		t.Errorf("default config rejected: %v", err)
+	}
+}
+
+func TestCommutersSpanConfiguredDays(t *testing.T) {
+	cfg := smallCommuterConfig()
+	fleet, err := GenerateCommuters(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSpan := time.Duration(cfg.Days) * 24 * time.Hour
+	for _, tr := range fleet.Dataset.Traces() {
+		if got := tr.Duration(); got < wantSpan-2*time.Hour || got > wantSpan {
+			t.Errorf("%s spans %v, want ≈ %v", tr.User, got, wantSpan)
+		}
+	}
+}

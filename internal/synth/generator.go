@@ -1,0 +1,295 @@
+package synth
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/rng"
+	"repro/internal/trace"
+)
+
+// Config parameterizes the taxi-fleet generator. The zero value is not
+// usable; start from DefaultConfig.
+type Config struct {
+	// Seed drives all randomness; identical configs generate identical
+	// datasets.
+	Seed int64
+	// NumDrivers is the fleet size.
+	NumDrivers int
+	// Duration is the simulated wall-clock span per driver.
+	Duration time.Duration
+	// SamplePeriod is the GPS reporting period (cabspotting ≈ 60 s).
+	SamplePeriod time.Duration
+	// Start is the simulation start instant.
+	Start time.Time
+
+	// AnchorsPerDriver is how many personal anchor places (depot, food,
+	// home) each driver has; these become the driver's ground-truth POIs.
+	AnchorsPerDriver int
+	// AnchorStay bounds the dwell time at an anchor stop.
+	AnchorStayMin, AnchorStayMax time.Duration
+	// TripsBetweenStops bounds how many passenger trips a driver serves
+	// between two anchor stops.
+	TripsBetweenStopsMin, TripsBetweenStopsMax int
+	// SpeedKmh bounds the per-trip cruising speed.
+	SpeedKmhMin, SpeedKmhMax float64
+	// GPSJitterMeters is the standard deviation of per-sample GPS noise.
+	GPSJitterMeters float64
+	// StopJitterMeters is the spatial wander while dwelling at an anchor.
+	StopJitterMeters float64
+	// HotspotBias is the probability a trip endpoint is hotspot-driven.
+	HotspotBias float64
+	// Heterogeneity in [0, 1] controls per-driver diversity: each driver
+	// draws its own GPS period and stop jitter within a factor of
+	// (1 + 3·Heterogeneity) of the configured base values. Real fleets
+	// (cabspotting) mix devices and behaviours; this is what widens the
+	// privacy-metric transition zone across a decade of ε as in Figure 1a.
+	Heterogeneity float64
+}
+
+// DefaultConfig returns the configuration used by the paper-reproduction
+// experiments: a day of 40 cabs sampled every minute.
+func DefaultConfig() Config {
+	return Config{
+		Seed:                 1,
+		NumDrivers:           40,
+		Duration:             24 * time.Hour,
+		SamplePeriod:         time.Minute,
+		Start:                time.Date(2008, 5, 17, 0, 0, 0, 0, time.UTC),
+		AnchorsPerDriver:     4,
+		AnchorStayMin:        20 * time.Minute,
+		AnchorStayMax:        50 * time.Minute,
+		TripsBetweenStopsMin: 2,
+		TripsBetweenStopsMax: 5,
+		SpeedKmhMin:          18,
+		SpeedKmhMax:          45,
+		GPSJitterMeters:      4,
+		StopJitterMeters:     12,
+		HotspotBias:          0.7,
+		Heterogeneity:        0.6,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.NumDrivers <= 0:
+		return fmt.Errorf("synth: NumDrivers must be positive, got %d", c.NumDrivers)
+	case c.Duration <= 0:
+		return fmt.Errorf("synth: Duration must be positive, got %v", c.Duration)
+	case c.SamplePeriod <= 0:
+		return fmt.Errorf("synth: SamplePeriod must be positive, got %v", c.SamplePeriod)
+	case c.AnchorsPerDriver < 1:
+		return fmt.Errorf("synth: AnchorsPerDriver must be >= 1, got %d", c.AnchorsPerDriver)
+	case c.AnchorStayMin <= 0 || c.AnchorStayMax < c.AnchorStayMin:
+		return fmt.Errorf("synth: invalid anchor stay bounds [%v, %v]", c.AnchorStayMin, c.AnchorStayMax)
+	case c.TripsBetweenStopsMin < 0 || c.TripsBetweenStopsMax < c.TripsBetweenStopsMin:
+		return fmt.Errorf("synth: invalid trips bounds [%d, %d]", c.TripsBetweenStopsMin, c.TripsBetweenStopsMax)
+	case c.SpeedKmhMin <= 0 || c.SpeedKmhMax < c.SpeedKmhMin:
+		return fmt.Errorf("synth: invalid speed bounds [%v, %v]", c.SpeedKmhMin, c.SpeedKmhMax)
+	case c.GPSJitterMeters < 0 || c.StopJitterMeters < 0:
+		return fmt.Errorf("synth: jitter must be non-negative")
+	case c.HotspotBias < 0 || c.HotspotBias > 1:
+		return fmt.Errorf("synth: HotspotBias must be in [0, 1], got %v", c.HotspotBias)
+	case c.Heterogeneity < 0 || c.Heterogeneity > 1:
+		return fmt.Errorf("synth: Heterogeneity must be in [0, 1], got %v", c.Heterogeneity)
+	}
+	return nil
+}
+
+// Fleet is a generated dataset together with its ground truth: each driver's
+// anchor places, i.e. the actual POIs a privacy metric should try to
+// retrieve.
+type Fleet struct {
+	Dataset *trace.Dataset
+	// Anchors maps user id to the driver's anchor places.
+	Anchors map[string][]geo.Point
+}
+
+// Generate builds the synthetic fleet described by cfg over the given city
+// (NewSanFrancisco() when city is nil).
+func Generate(cfg Config, city *City) (*Fleet, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if city == nil {
+		city = NewSanFrancisco()
+	}
+	if err := city.Validate(); err != nil {
+		return nil, err
+	}
+
+	root := rng.New(cfg.Seed)
+	fleet := &Fleet{
+		Dataset: trace.NewDataset(),
+		Anchors: make(map[string][]geo.Point, cfg.NumDrivers),
+	}
+	for i := 0; i < cfg.NumDrivers; i++ {
+		user := fmt.Sprintf("cab-%03d", i)
+		r := root.Split(int64(i))
+		d := newDriver(user, cfg, city, r)
+		tr, err := d.simulate()
+		if err != nil {
+			return nil, fmt.Errorf("synth: driver %s: %w", user, err)
+		}
+		fleet.Dataset.Add(tr)
+		fleet.Anchors[user] = d.anchors
+	}
+	return fleet, nil
+}
+
+// driver simulates one cab.
+type driver struct {
+	user    string
+	cfg     Config
+	city    *City
+	r       *rng.Source
+	anchors []geo.Point
+
+	records []trace.Record
+	now     time.Time
+	nextFix time.Time
+	pos     geo.Point
+}
+
+func newDriver(user string, cfg Config, city *City, r *rng.Source) *driver {
+	anchors := make([]geo.Point, cfg.AnchorsPerDriver)
+	anchorRng := r.Named("anchors")
+	for i := range anchors {
+		anchors[i] = city.SamplePoint(anchorRng, cfg.HotspotBias)
+	}
+	// Per-driver heterogeneity: scale the GPS period and the stop jitter
+	// by log-uniform factors in [1/(1+3h), 1+3h].
+	if h := cfg.Heterogeneity; h > 0 {
+		traits := r.Named("traits")
+		span := math.Log(1 + 3*h)
+		periodFactor := math.Exp((traits.Float64()*2 - 1) * span)
+		jitterFactor := math.Exp((traits.Float64()*2 - 1) * span)
+		cfg.SamplePeriod = time.Duration(float64(cfg.SamplePeriod) * periodFactor)
+		cfg.StopJitterMeters *= jitterFactor
+	}
+	return &driver{user: user, cfg: cfg, city: city, r: r, anchors: anchors}
+}
+
+// simulate alternates anchor stops and passenger-trip batches until the
+// configured duration is exhausted, then builds the trace.
+func (d *driver) simulate() (*trace.Trace, error) {
+	d.now = d.cfg.Start
+	d.nextFix = d.cfg.Start
+	end := d.cfg.Start.Add(d.cfg.Duration)
+	mob := d.r.Named("mobility")
+
+	// Start dwelling at a random anchor.
+	d.pos = d.anchors[mob.Intn(len(d.anchors))]
+
+	for d.now.Before(end) {
+		// Significant stop at an anchor.
+		stay := randDuration(mob, d.cfg.AnchorStayMin, d.cfg.AnchorStayMax)
+		d.dwell(stay, end)
+		if !d.now.Before(end) {
+			break
+		}
+
+		// A batch of passenger trips.
+		trips := d.cfg.TripsBetweenStopsMin
+		if span := d.cfg.TripsBetweenStopsMax - d.cfg.TripsBetweenStopsMin; span > 0 {
+			trips += mob.Intn(span + 1)
+		}
+		for t := 0; t < trips && d.now.Before(end); t++ {
+			dest := d.city.SamplePoint(mob, d.cfg.HotspotBias)
+			d.drive(dest, end, mob)
+			// Brief pickup/dropoff idle (not long enough to be a POI).
+			d.dwell(randDuration(mob, 30*time.Second, 2*time.Minute), end)
+		}
+
+		// Return to one of the personal anchors for the next stop.
+		next := d.anchors[mob.Intn(len(d.anchors))]
+		d.drive(next, end, mob)
+	}
+	return trace.NewTrace(d.user, d.records)
+}
+
+// dwell keeps the driver (noisily) in place for the given duration, emitting
+// GPS fixes on schedule.
+func (d *driver) dwell(for_ time.Duration, end time.Time) {
+	until := d.now.Add(for_)
+	if until.After(end) {
+		until = end
+	}
+	for !d.nextFix.After(until) {
+		jitter := d.cfg.StopJitterMeters
+		p := d.pos.Offset(d.r.NormFloat64()*jitter, d.r.NormFloat64()*jitter)
+		d.emit(p)
+	}
+	d.now = until
+}
+
+// drive moves the driver to dest along a two-leg Manhattan-style route (east
+// leg then north leg, order randomized) at a per-trip speed, emitting fixes.
+func (d *driver) drive(dest geo.Point, end time.Time, mob *rng.Source) {
+	speedMS := randFloat(mob, d.cfg.SpeedKmhMin, d.cfg.SpeedKmhMax) / 3.6
+	proj := geo.NewProjection(d.pos)
+	ex, ny := proj.ToPlane(dest)
+
+	type leg struct{ dx, dy float64 }
+	legs := []leg{{ex, 0}, {0, ny}}
+	if mob.Float64() < 0.5 {
+		legs = []leg{{0, ny}, {ex, 0}}
+	}
+
+	var cx, cy float64
+	for _, l := range legs {
+		legLen := math.Hypot(l.dx, l.dy)
+		if legLen == 0 {
+			continue
+		}
+		legDur := time.Duration(legLen / speedMS * float64(time.Second))
+		legEnd := d.now.Add(legDur)
+		startX, startY := cx, cy
+		startT := d.now
+		for !d.nextFix.After(legEnd) && !d.nextFix.After(end) {
+			frac := float64(d.nextFix.Sub(startT)) / float64(legDur)
+			if frac > 1 {
+				frac = 1
+			}
+			px := startX + l.dx*frac
+			py := startY + l.dy*frac
+			p := proj.FromPlane(px, py).
+				Offset(d.r.NormFloat64()*d.cfg.GPSJitterMeters, d.r.NormFloat64()*d.cfg.GPSJitterMeters)
+			d.emitAt(p, d.nextFix)
+			d.nextFix = d.nextFix.Add(d.cfg.SamplePeriod)
+		}
+		cx += l.dx
+		cy += l.dy
+		d.now = legEnd
+		if !d.now.Before(end) {
+			break
+		}
+	}
+	d.pos = dest
+}
+
+// emit records a fix at the next scheduled time and advances the schedule.
+func (d *driver) emit(p geo.Point) {
+	d.emitAt(p, d.nextFix)
+	d.nextFix = d.nextFix.Add(d.cfg.SamplePeriod)
+}
+
+func (d *driver) emitAt(p geo.Point, at time.Time) {
+	d.records = append(d.records, trace.Record{
+		User: d.user, Time: at, Point: d.city.Box.Clamp(p),
+	})
+}
+
+func randDuration(r *rng.Source, lo, hi time.Duration) time.Duration {
+	if hi <= lo {
+		return lo
+	}
+	return lo + time.Duration(r.Int63n(int64(hi-lo)))
+}
+
+func randFloat(r *rng.Source, lo, hi float64) float64 {
+	return lo + r.Float64()*(hi-lo)
+}

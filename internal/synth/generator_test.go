@@ -1,0 +1,241 @@
+package synth
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/rng"
+)
+
+// smallConfig keeps unit tests fast.
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.NumDrivers = 4
+	cfg.Duration = 6 * time.Hour
+	return cfg
+}
+
+func TestGenerateBasicShape(t *testing.T) {
+	fleet, err := Generate(smallConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fleet.Dataset.NumUsers() != 4 {
+		t.Fatalf("users = %d, want 4", fleet.Dataset.NumUsers())
+	}
+	for _, tr := range fleet.Dataset.Traces() {
+		if tr.Len() < 100 {
+			t.Errorf("user %s has only %d records for 6 h at 1/min", tr.User, tr.Len())
+		}
+		if !tr.Sorted() {
+			t.Errorf("user %s trace not time-sorted", tr.User)
+		}
+		anchors := fleet.Anchors[tr.User]
+		if len(anchors) != 4 {
+			t.Errorf("user %s has %d anchors, want 4", tr.User, len(anchors))
+		}
+	}
+}
+
+func TestGenerateInsideCityBox(t *testing.T) {
+	fleet, err := Generate(smallConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	box := SanFranciscoBBox
+	for _, tr := range fleet.Dataset.Traces() {
+		for _, r := range tr.Records {
+			if !box.Contains(r.Point) {
+				t.Fatalf("record %v outside the city box", r)
+			}
+		}
+	}
+	for _, anchors := range fleet.Anchors {
+		for _, a := range anchors {
+			if !box.Contains(a) {
+				t.Fatalf("anchor %v outside the city box", a)
+			}
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(smallConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(smallConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range a.Dataset.Users() {
+		ta, tb := a.Dataset.Trace(u), b.Dataset.Trace(u)
+		if ta.Len() != tb.Len() {
+			t.Fatalf("user %s: lengths differ %d vs %d", u, ta.Len(), tb.Len())
+		}
+		for i := range ta.Records {
+			if ta.Records[i] != tb.Records[i] {
+				t.Fatalf("user %s record %d differs", u, i)
+			}
+		}
+	}
+}
+
+func TestGenerateSeedsDiffer(t *testing.T) {
+	cfgA := smallConfig()
+	cfgB := smallConfig()
+	cfgB.Seed = 999
+	a, err := Generate(cfgA, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfgB, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := a.Dataset.Users()[0]
+	ta, tb := a.Dataset.Trace(u), b.Dataset.Trace(u)
+	n := ta.Len()
+	if tb.Len() < n {
+		n = tb.Len()
+	}
+	same := 0
+	for i := 0; i < n; i++ {
+		if ta.Records[i].Point == tb.Records[i].Point {
+			same++
+		}
+	}
+	if same > n/10 {
+		t.Errorf("different seeds share %d/%d identical points", same, n)
+	}
+}
+
+func TestGenerateDwellsAtAnchors(t *testing.T) {
+	// Each driver must have a meaningful fraction of fixes within 100 m
+	// of some anchor — the ground truth POI structure the privacy metric
+	// relies on.
+	fleet, err := Generate(smallConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range fleet.Dataset.Traces() {
+		anchors := fleet.Anchors[tr.User]
+		near := 0
+		for _, r := range tr.Records {
+			for _, a := range anchors {
+				if geo.Equirectangular(r.Point, a) < 100 {
+					near++
+					break
+				}
+			}
+		}
+		frac := float64(near) / float64(tr.Len())
+		if frac < 0.15 {
+			t.Errorf("user %s: only %.1f%% of fixes near anchors", tr.User, frac*100)
+		}
+		if frac > 0.95 {
+			t.Errorf("user %s: %.1f%% of fixes near anchors — no trips generated?", tr.User, frac*100)
+		}
+	}
+}
+
+func TestGenerateCoverageSpreads(t *testing.T) {
+	fleet, err := Generate(smallConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid := geo.NewGrid(SanFranciscoBBox.Center(), 150)
+	for _, tr := range fleet.Dataset.Traces() {
+		cov := grid.Coverage(tr.Points())
+		if len(cov) < 20 {
+			t.Errorf("user %s covers only %d city blocks", tr.User, len(cov))
+		}
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	mutations := map[string]func(*Config){
+		"drivers":  func(c *Config) { c.NumDrivers = 0 },
+		"duration": func(c *Config) { c.Duration = 0 },
+		"period":   func(c *Config) { c.SamplePeriod = 0 },
+		"anchors":  func(c *Config) { c.AnchorsPerDriver = 0 },
+		"stay":     func(c *Config) { c.AnchorStayMax = c.AnchorStayMin - 1 },
+		"trips":    func(c *Config) { c.TripsBetweenStopsMax = -1; c.TripsBetweenStopsMin = 0 },
+		"speed":    func(c *Config) { c.SpeedKmhMin = 0 },
+		"jitter":   func(c *Config) { c.GPSJitterMeters = -1 },
+		"bias":     func(c *Config) { c.HotspotBias = 1.5 },
+	}
+	for name, mutate := range mutations {
+		t.Run(name, func(t *testing.T) {
+			cfg := DefaultConfig()
+			mutate(&cfg)
+			if err := cfg.Validate(); err == nil {
+				t.Errorf("mutation %q should invalidate config", name)
+			}
+			if _, err := Generate(cfg, nil); err == nil {
+				t.Errorf("Generate should reject invalid config %q", name)
+			}
+		})
+	}
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Errorf("default config invalid: %v", err)
+	}
+}
+
+func TestCityValidate(t *testing.T) {
+	if err := NewSanFrancisco().Validate(); err != nil {
+		t.Errorf("default city invalid: %v", err)
+	}
+	bad := &City{Box: geo.BBox{MinLat: 1, MaxLat: 0}}
+	if err := bad.Validate(); err == nil {
+		t.Error("degenerate box should be invalid")
+	}
+	noSpots := &City{Box: SanFranciscoBBox}
+	if err := noSpots.Validate(); err == nil {
+		t.Error("city without hotspots should be invalid")
+	}
+	outside := NewSanFrancisco()
+	outside.Hotspots[0].Center = geo.Point{Lat: 0, Lng: 0}
+	if err := outside.Validate(); err == nil {
+		t.Error("hotspot outside the box should be invalid")
+	}
+	zeroW := NewSanFrancisco()
+	zeroW.Hotspots[0].Weight = 0
+	if err := zeroW.Validate(); err == nil {
+		t.Error("zero-weight hotspot should be invalid")
+	}
+}
+
+func TestCitySamplePoint(t *testing.T) {
+	city := NewSanFrancisco()
+	r := rng.New(3)
+	for i := 0; i < 2000; i++ {
+		p := city.SamplePoint(r, 0.7)
+		if !city.Box.Contains(p) {
+			t.Fatalf("sampled point %v outside box", p)
+		}
+	}
+	// With full hotspot bias, points should concentrate near hotspots.
+	nearAny := 0
+	const trials = 2000
+	for i := 0; i < trials; i++ {
+		p := city.SamplePoint(r, 1.0)
+		for _, h := range city.Hotspots {
+			if geo.Equirectangular(p, h.Center) < 3*h.SigmaMeters {
+				nearAny++
+				break
+			}
+		}
+	}
+	if frac := float64(nearAny) / trials; frac < 0.9 {
+		t.Errorf("only %.2f of fully-biased samples near hotspots", frac)
+	}
+}
+
+func TestGenerateCustomCityRejected(t *testing.T) {
+	bad := &City{Box: geo.BBox{MinLat: 1, MaxLat: 0}}
+	if _, err := Generate(smallConfig(), bad); err == nil {
+		t.Error("invalid city should be rejected")
+	}
+}

@@ -1,0 +1,106 @@
+package trace
+
+import (
+	"fmt"
+	"time"
+)
+
+// SplitByDay partitions the trace into per-calendar-day traces (UTC days),
+// in chronological order. Days without records are absent. Multi-day
+// datasets are analyzed per day when the experiment's unit is "a day of
+// mobility" (as the paper's taxi dataset is).
+func (t *Trace) SplitByDay() []*Trace {
+	if len(t.Records) == 0 {
+		return nil
+	}
+	var out []*Trace
+	var cur *Trace
+	var curDay time.Time
+	for _, rec := range t.Records {
+		day := rec.Time.UTC().Truncate(24 * time.Hour)
+		if cur == nil || !day.Equal(curDay) {
+			cur = &Trace{User: t.User}
+			curDay = day
+			out = append(out, cur)
+		}
+		cur.Records = append(cur.Records, rec)
+	}
+	return out
+}
+
+// GapStats summarizes the sampling discontinuities of a trace: gaps are
+// consecutive-record intervals exceeding the threshold. Real GPS data
+// (tunnels, parking garages, powered-off devices) is full of them, and
+// they matter to POI extraction — a "stay" spanning a gap may be an
+// artifact.
+type GapStats struct {
+	// Gaps is the number of intervals exceeding the threshold.
+	Gaps int
+	// Longest is the largest interval observed (0 for traces with < 2
+	// records).
+	Longest time.Duration
+	// Total is the summed duration of all gaps.
+	Total time.Duration
+	// CoverageFraction is 1 − Total/Duration: the share of the trace's
+	// span that is actually sampled at or below the threshold cadence.
+	CoverageFraction float64
+}
+
+// Gaps scans the trace for sampling gaps longer than threshold, which must
+// be positive.
+func (t *Trace) Gaps(threshold time.Duration) (GapStats, error) {
+	if threshold <= 0 {
+		return GapStats{}, fmt.Errorf("trace: gap threshold must be positive, got %v", threshold)
+	}
+	stats := GapStats{CoverageFraction: 1}
+	if len(t.Records) < 2 {
+		return stats, nil
+	}
+	for i := 1; i < len(t.Records); i++ {
+		dt := t.Records[i].Time.Sub(t.Records[i-1].Time)
+		if dt > stats.Longest {
+			stats.Longest = dt
+		}
+		if dt > threshold {
+			stats.Gaps++
+			stats.Total += dt
+		}
+	}
+	if span := t.Duration(); span > 0 {
+		stats.CoverageFraction = 1 - float64(stats.Total)/float64(span)
+	}
+	return stats, nil
+}
+
+// InjectGaps returns a copy of the trace with records removed inside n
+// randomly-placed windows of the given length — the synthetic counterpart
+// of real-world signal loss, used by robustness tests and failure-injection
+// benches. The pick function supplies randomness as a fraction in [0, 1)
+// (pass r.Float64 from an rng.Source); windows may overlap.
+func (t *Trace) InjectGaps(n int, length time.Duration, pick func() float64) *Trace {
+	if n <= 0 || length <= 0 || len(t.Records) == 0 {
+		return t.Clone()
+	}
+	span := t.Duration()
+	start := t.Records[0].Time
+	type window struct{ from, to time.Time }
+	windows := make([]window, n)
+	for i := range windows {
+		off := time.Duration(pick() * float64(span))
+		windows[i] = window{from: start.Add(off), to: start.Add(off).Add(length)}
+	}
+	out := &Trace{User: t.User}
+	for _, rec := range t.Records {
+		drop := false
+		for _, w := range windows {
+			if !rec.Time.Before(w.from) && rec.Time.Before(w.to) {
+				drop = true
+				break
+			}
+		}
+		if !drop {
+			out.Records = append(out.Records, rec)
+		}
+	}
+	return out
+}

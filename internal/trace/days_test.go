@@ -1,0 +1,157 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/rng"
+)
+
+func multiDayTrace(t *testing.T) *Trace {
+	t.Helper()
+	base := time.Date(2008, 5, 17, 22, 0, 0, 0, time.UTC)
+	pt := geo.Point{Lat: 37.77, Lng: -122.42}
+	var recs []Record
+	// 4 hours of records spanning midnight: 2 h on day 1, 2 h on day 2,
+	// then a burst on day 4 (day 3 empty).
+	for i := 0; i < 24; i++ {
+		recs = append(recs, Record{User: "u1", Time: base.Add(time.Duration(i) * 10 * time.Minute), Point: pt.Offset(float64(i)*50, 0)})
+	}
+	day4 := base.Add(50 * time.Hour)
+	for i := 0; i < 5; i++ {
+		recs = append(recs, Record{User: "u1", Time: day4.Add(time.Duration(i) * time.Minute), Point: pt})
+	}
+	tr, err := NewTrace("u1", recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestSplitByDay(t *testing.T) {
+	tr := multiDayTrace(t)
+	days := tr.SplitByDay()
+	if len(days) != 3 {
+		t.Fatalf("split into %d days, want 3", len(days))
+	}
+	var total int
+	for i, d := range days {
+		if d.User != "u1" {
+			t.Errorf("day %d has user %q", i, d.User)
+		}
+		if !d.Sorted() || d.Len() == 0 {
+			t.Errorf("day %d malformed", i)
+		}
+		total += d.Len()
+		// All records of a piece share one UTC day.
+		day0 := d.Records[0].Time.UTC().Truncate(24 * time.Hour)
+		for _, rec := range d.Records {
+			if !rec.Time.UTC().Truncate(24 * time.Hour).Equal(day0) {
+				t.Errorf("day %d mixes calendar days", i)
+			}
+		}
+	}
+	if total != tr.Len() {
+		t.Errorf("split lost records: %d vs %d", total, tr.Len())
+	}
+	if got := (&Trace{User: "u"}).SplitByDay(); got != nil {
+		t.Error("empty trace should split to nil")
+	}
+}
+
+func TestGaps(t *testing.T) {
+	tr := multiDayTrace(t)
+	stats, err := tr.Gaps(30 * time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One gap: the ~46 h jump to day 4.
+	if stats.Gaps != 1 {
+		t.Errorf("gaps = %d, want 1", stats.Gaps)
+	}
+	if stats.Longest < 45*time.Hour {
+		t.Errorf("longest gap = %v, want > 45 h", stats.Longest)
+	}
+	if stats.CoverageFraction > 0.15 {
+		t.Errorf("coverage = %v; the trace is mostly one long gap", stats.CoverageFraction)
+	}
+	if _, err := tr.Gaps(0); err == nil {
+		t.Error("non-positive threshold should fail")
+	}
+	single := &Trace{User: "u", Records: tr.Records[:1]}
+	s, err := single.Gaps(time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Gaps != 0 || s.CoverageFraction != 1 {
+		t.Errorf("single-record stats = %+v", s)
+	}
+}
+
+func TestInjectGaps(t *testing.T) {
+	tr := multiDayTrace(t)
+	// A window anchored at the trace start removes the first hour of
+	// records (6 fixes at 10-minute cadence).
+	out := tr.InjectGaps(1, time.Hour, func() float64 { return 0 })
+	if got, want := out.Len(), tr.Len()-6; got != want {
+		t.Errorf("gap injection kept %d records, want %d", got, want)
+	}
+	if !out.Sorted() {
+		t.Error("injected trace must stay sorted")
+	}
+	// Random placement still yields a subset.
+	r := rng.New(3)
+	rnd := tr.InjectGaps(5, 2*time.Hour, r.Float64)
+	if rnd.Len() > tr.Len() {
+		t.Error("gap injection must never add records")
+	}
+	// No-ops.
+	if got := tr.InjectGaps(0, time.Hour, r.Float64); got.Len() != tr.Len() {
+		t.Error("n=0 must be a no-op clone")
+	}
+	if got := tr.InjectGaps(2, 0, r.Float64); got.Len() != tr.Len() {
+		t.Error("zero length must be a no-op clone")
+	}
+}
+
+func TestWriteGeoJSON(t *testing.T) {
+	tr := multiDayTrace(t)
+	single, err := NewTrace("u2", []Record{{User: "u2", Time: tr.Records[0].Time, Point: geo.Point{Lat: 37.7, Lng: -122.4}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := FromTraces([]*Trace{tr, single})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteGeoJSON(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if doc["type"] != "FeatureCollection" {
+		t.Errorf("type = %v", doc["type"])
+	}
+	features, ok := doc["features"].([]any)
+	if !ok || len(features) != 2 {
+		t.Fatalf("features = %v", doc["features"])
+	}
+	out := buf.String()
+	if !strings.Contains(out, "LineString") || !strings.Contains(out, `"Point"`) {
+		t.Error("expected one LineString and one Point feature")
+	}
+	// Coordinate order is [lng, lat].
+	if !strings.Contains(out, "[-122.4,37.7]") {
+		t.Errorf("expected [lng, lat] coordinates, got %s", out[:200])
+	}
+	if err := WriteGeoJSON(&buf, nil); err == nil {
+		t.Error("nil dataset should fail")
+	}
+}

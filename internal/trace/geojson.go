@@ -1,0 +1,66 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// geoJSON document structure (RFC 7946), kept minimal: one LineString
+// feature per user plus optional Point features. Coordinates are
+// [longitude, latitude], per the spec.
+type geoJSONFeatureCollection struct {
+	Type     string           `json:"type"`
+	Features []geoJSONFeature `json:"features"`
+}
+
+type geoJSONFeature struct {
+	Type       string          `json:"type"`
+	Properties map[string]any  `json:"properties"`
+	Geometry   geoJSONGeometry `json:"geometry"`
+}
+
+type geoJSONGeometry struct {
+	Type        string `json:"type"`
+	Coordinates any    `json:"coordinates"`
+}
+
+// WriteGeoJSON renders the dataset as an RFC 7946 FeatureCollection with
+// one LineString per user (ordered by user id), for inspection in any map
+// tool. Traces with a single record render as a Point; empty traces are
+// skipped.
+func WriteGeoJSON(w io.Writer, d *Dataset) error {
+	if d == nil {
+		return fmt.Errorf("trace: nil dataset")
+	}
+	fc := geoJSONFeatureCollection{Type: "FeatureCollection"}
+	for _, t := range d.Traces() {
+		if t.Len() == 0 {
+			continue
+		}
+		props := map[string]any{
+			"user":    t.User,
+			"records": t.Len(),
+			"start":   t.Records[0].Time.UTC(),
+			"end":     t.Records[len(t.Records)-1].Time.UTC(),
+		}
+		var geom geoJSONGeometry
+		if t.Len() == 1 {
+			p := t.Records[0].Point
+			geom = geoJSONGeometry{Type: "Point", Coordinates: []float64{p.Lng, p.Lat}}
+		} else {
+			coords := make([][]float64, t.Len())
+			for i, rec := range t.Records {
+				coords[i] = []float64{rec.Point.Lng, rec.Point.Lat}
+			}
+			geom = geoJSONGeometry{Type: "LineString", Coordinates: coords}
+		}
+		fc.Features = append(fc.Features, geoJSONFeature{
+			Type:       "Feature",
+			Properties: props,
+			Geometry:   geom,
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(fc)
+}

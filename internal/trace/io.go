@@ -1,0 +1,168 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+
+	"repro/internal/geo"
+)
+
+// csvHeader is the canonical column layout: user, unix seconds, lat, lng —
+// the same shape as the cabspotting dumps the paper's evaluation consumed.
+var csvHeader = []string{"user", "timestamp", "lat", "lng"}
+
+// WriteCSV writes the dataset in canonical CSV form, users in deterministic
+// order, each user's records in time order.
+func WriteCSV(w io.Writer, d *Dataset) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return fmt.Errorf("trace: write header: %w", err)
+	}
+	for _, t := range d.Traces() {
+		for _, r := range t.Records {
+			row := []string{
+				r.User,
+				strconv.FormatInt(r.Time.Unix(), 10),
+				strconv.FormatFloat(r.Point.Lat, 'f', 6, 64),
+				strconv.FormatFloat(r.Point.Lng, 'f', 6, 64),
+			}
+			if err := cw.Write(row); err != nil {
+				return fmt.Errorf("trace: write record: %w", err)
+			}
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("trace: flush csv: %w", err)
+	}
+	return nil
+}
+
+// ReadCSV parses a dataset from canonical CSV form. The header row is
+// required; records may appear in any order.
+func ReadCSV(r io.Reader) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(csvHeader)
+
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("trace: read header: %w", err)
+	}
+	for i, want := range csvHeader {
+		if header[i] != want {
+			return nil, fmt.Errorf("trace: header column %d is %q, want %q", i, header[i], want)
+		}
+	}
+
+	perUser := make(map[string][]Record)
+	for line := 2; ; line++ {
+		row, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("trace: read line %d: %w", line, err)
+		}
+		rec, err := parseCSVRow(row)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		perUser[rec.User] = append(perUser[rec.User], rec)
+	}
+
+	d := NewDataset()
+	for user, recs := range perUser {
+		t, err := NewTrace(user, recs)
+		if err != nil {
+			return nil, err
+		}
+		d.Add(t)
+	}
+	return d, nil
+}
+
+func parseCSVRow(row []string) (Record, error) {
+	if row[0] == "" {
+		return Record{}, fmt.Errorf("empty user id")
+	}
+	ts, err := strconv.ParseInt(row[1], 10, 64)
+	if err != nil {
+		return Record{}, fmt.Errorf("bad timestamp %q: %w", row[1], err)
+	}
+	lat, err := strconv.ParseFloat(row[2], 64)
+	if err != nil {
+		return Record{}, fmt.Errorf("bad latitude %q: %w", row[2], err)
+	}
+	lng, err := strconv.ParseFloat(row[3], 64)
+	if err != nil {
+		return Record{}, fmt.Errorf("bad longitude %q: %w", row[3], err)
+	}
+	p := geo.Point{Lat: lat, Lng: lng}
+	if !p.Valid() {
+		return Record{}, fmt.Errorf("invalid coordinates %v", p)
+	}
+	return Record{User: row[0], Time: time.Unix(ts, 0).UTC(), Point: p}, nil
+}
+
+// jsonRecord is the JSON-lines wire form of a Record.
+type jsonRecord struct {
+	User string  `json:"user"`
+	Unix int64   `json:"ts"`
+	Lat  float64 `json:"lat"`
+	Lng  float64 `json:"lng"`
+}
+
+// WriteJSONL writes the dataset as one JSON object per line.
+func WriteJSONL(w io.Writer, d *Dataset) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, t := range d.Traces() {
+		for _, r := range t.Records {
+			jr := jsonRecord{User: r.User, Unix: r.Time.Unix(), Lat: r.Point.Lat, Lng: r.Point.Lng}
+			if err := enc.Encode(jr); err != nil {
+				return fmt.Errorf("trace: encode jsonl: %w", err)
+			}
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("trace: flush jsonl: %w", err)
+	}
+	return nil
+}
+
+// ReadJSONL parses a dataset from JSON-lines form.
+func ReadJSONL(r io.Reader) (*Dataset, error) {
+	dec := json.NewDecoder(r)
+	perUser := make(map[string][]Record)
+	for line := 1; ; line++ {
+		var jr jsonRecord
+		if err := dec.Decode(&jr); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("trace: jsonl line %d: %w", line, err)
+		}
+		if jr.User == "" {
+			return nil, fmt.Errorf("trace: jsonl line %d: empty user", line)
+		}
+		p := geo.Point{Lat: jr.Lat, Lng: jr.Lng}
+		if !p.Valid() {
+			return nil, fmt.Errorf("trace: jsonl line %d: invalid coordinates %v", line, p)
+		}
+		perUser[jr.User] = append(perUser[jr.User],
+			Record{User: jr.User, Time: time.Unix(jr.Unix, 0).UTC(), Point: p})
+	}
+	d := NewDataset()
+	for user, recs := range perUser {
+		t, err := NewTrace(user, recs)
+		if err != nil {
+			return nil, err
+		}
+		d.Add(t)
+	}
+	return d, nil
+}

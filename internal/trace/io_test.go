@@ -1,0 +1,138 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func roundTripDataset(t *testing.T) *Dataset {
+	t.Helper()
+	d := NewDataset()
+	d.Add(mkTrace(t, "cab-001", 5))
+	d.Add(mkTrace(t, "cab-002", 3))
+	return d
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	d := roundTripDataset(t)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertDatasetsEqual(t, d, back)
+}
+
+func TestCSVDeterministicOutput(t *testing.T) {
+	d := roundTripDataset(t)
+	var a, b bytes.Buffer
+	if err := WriteCSV(&a, d); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteCSV(&b, d); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("CSV output must be deterministic")
+	}
+	if !strings.HasPrefix(a.String(), "user,timestamp,lat,lng\n") {
+		t.Errorf("unexpected header: %q", a.String()[:40])
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		in   string
+	}{
+		{"empty", ""},
+		{"bad header", "a,b,c,d\n"},
+		{"bad timestamp", "user,timestamp,lat,lng\nu,xx,1,2\n"},
+		{"bad lat", "user,timestamp,lat,lng\nu,0,xx,2\n"},
+		{"bad lng", "user,timestamp,lat,lng\nu,0,1,xx\n"},
+		{"out of range", "user,timestamp,lat,lng\nu,0,91,2\n"},
+		{"empty user", "user,timestamp,lat,lng\n,0,1,2\n"},
+		{"wrong arity", "user,timestamp,lat,lng\nu,0,1\n"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := ReadCSV(strings.NewReader(tt.in)); err == nil {
+				t.Errorf("ReadCSV(%q) should error", tt.in)
+			}
+		})
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	d := roundTripDataset(t)
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertDatasetsEqual(t, d, back)
+}
+
+func TestReadJSONLErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		in   string
+	}{
+		{"garbage", "{not json}\n"},
+		{"empty user", `{"user":"","ts":0,"lat":1,"lng":2}` + "\n"},
+		{"bad coords", `{"user":"u","ts":0,"lat":123,"lng":2}` + "\n"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := ReadJSONL(strings.NewReader(tt.in)); err == nil {
+				t.Errorf("ReadJSONL(%q) should error", tt.in)
+			}
+		})
+	}
+}
+
+func TestReadJSONLEmptyIsEmptyDataset(t *testing.T) {
+	d, err := ReadJSONL(strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumUsers() != 0 {
+		t.Errorf("NumUsers = %d", d.NumUsers())
+	}
+}
+
+func assertDatasetsEqual(t *testing.T, want, got *Dataset) {
+	t.Helper()
+	if got.NumUsers() != want.NumUsers() {
+		t.Fatalf("users = %d, want %d", got.NumUsers(), want.NumUsers())
+	}
+	for _, u := range want.Users() {
+		wt, gt := want.Trace(u), got.Trace(u)
+		if gt == nil {
+			t.Fatalf("user %s missing", u)
+		}
+		if gt.Len() != wt.Len() {
+			t.Fatalf("user %s: len %d, want %d", u, gt.Len(), wt.Len())
+		}
+		for i := range wt.Records {
+			wr, gr := wt.Records[i], gt.Records[i]
+			if !wr.Time.Equal(gr.Time) {
+				t.Fatalf("user %s record %d: time %v, want %v", u, i, gr.Time, wr.Time)
+			}
+			// Coordinates survive with 6-decimal precision (~0.1 m).
+			if dLat := wr.Point.Lat - gr.Point.Lat; dLat > 1e-6 || dLat < -1e-6 {
+				t.Fatalf("user %s record %d: lat %v, want %v", u, i, gr.Point.Lat, wr.Point.Lat)
+			}
+			if dLng := wr.Point.Lng - gr.Point.Lng; dLng > 1e-6 || dLng < -1e-6 {
+				t.Fatalf("user %s record %d: lng %v, want %v", u, i, gr.Point.Lng, wr.Point.Lng)
+			}
+		}
+	}
+}

@@ -1,0 +1,131 @@
+package trace
+
+import (
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/stat"
+)
+
+// UserProperties are per-user dataset properties d_i that may influence the
+// privacy/utility model (framework step 1). The framework feeds these to the
+// PCA-based property selection.
+type UserProperties struct {
+	User string
+	// NumRecords is the trace length.
+	NumRecords float64
+	// DurationHours is the trace time span in hours.
+	DurationHours float64
+	// PathKm is the cumulative travelled distance in kilometers.
+	PathKm float64
+	// AreaKm2 approximates the covered area (bbox) in square kilometers.
+	AreaKm2 float64
+	// MeanSpeedKmh is PathKm over DurationHours (0 for degenerate traces).
+	MeanSpeedKmh float64
+	// SamplingPeriodSec is the median time between consecutive records.
+	SamplingPeriodSec float64
+	// CellEntropy is the normalized Shannon entropy of visits over grid
+	// cells: a "uniqueness"-style property reflecting how concentrated
+	// the user's activity is.
+	CellEntropy float64
+}
+
+// PropertyNames lists the numeric property names in the order
+// PropertyVector emits them.
+func PropertyNames() []string {
+	return []string{
+		"num_records", "duration_hours", "path_km", "area_km2",
+		"mean_speed_kmh", "sampling_period_sec", "cell_entropy",
+	}
+}
+
+// PropertyVector returns the numeric properties in PropertyNames order.
+func (p UserProperties) PropertyVector() []float64 {
+	return []float64{
+		p.NumRecords, p.DurationHours, p.PathKm, p.AreaKm2,
+		p.MeanSpeedKmh, p.SamplingPeriodSec, p.CellEntropy,
+	}
+}
+
+// ComputeProperties derives UserProperties from a trace, using cellSizeMeters
+// to discretize space for the entropy property.
+func ComputeProperties(t *Trace, cellSizeMeters float64) UserProperties {
+	p := UserProperties{User: t.User, NumRecords: float64(t.Len())}
+	if t.Len() == 0 {
+		return p
+	}
+	pts := t.Points()
+	p.DurationHours = t.Duration().Hours()
+	p.PathKm = geo.PathLength(pts) / 1000
+
+	if box, ok := geo.NewBBox(pts); ok {
+		p.AreaKm2 = box.WidthMeters() * box.HeightMeters() / 1e6
+	}
+	if p.DurationHours > 0 {
+		p.MeanSpeedKmh = p.PathKm / p.DurationHours
+	}
+
+	if t.Len() >= 2 {
+		gaps := make([]float64, 0, t.Len()-1)
+		for i := 1; i < t.Len(); i++ {
+			gaps = append(gaps, t.Records[i].Time.Sub(t.Records[i-1].Time).Seconds())
+		}
+		p.SamplingPeriodSec = stat.Median(gaps)
+	}
+
+	grid := geo.NewGrid(pts[0], cellSizeMeters)
+	counts := make(map[geo.Cell]int)
+	for _, pt := range pts {
+		counts[grid.CellOf(pt)]++
+	}
+	cs := make([]int, 0, len(counts))
+	for _, c := range counts {
+		cs = append(cs, c)
+	}
+	if len(cs) > 1 {
+		maxEntropy := stat.EntropyOfCounts(uniformCounts(len(cs)))
+		if maxEntropy > 0 {
+			p.CellEntropy = stat.EntropyOfCounts(cs) / maxEntropy
+		}
+	}
+	return p
+}
+
+// uniformCounts returns n ones, the maximum-entropy reference distribution.
+func uniformCounts(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = 1
+	}
+	return out
+}
+
+// DatasetProperties computes properties for every user in the dataset, in
+// deterministic user order.
+func DatasetProperties(d *Dataset, cellSizeMeters float64) []UserProperties {
+	users := d.Users()
+	out := make([]UserProperties, len(users))
+	for i, u := range users {
+		out[i] = ComputeProperties(d.Trace(u), cellSizeMeters)
+	}
+	return out
+}
+
+// MedianSamplingPeriod returns the median sampling period across all users
+// with at least two records; zero when no user qualifies.
+func MedianSamplingPeriod(d *Dataset) time.Duration {
+	var periods []float64
+	for _, t := range d.Traces() {
+		if t.Len() < 2 {
+			continue
+		}
+		p := ComputeProperties(t, 500).SamplingPeriodSec
+		if p > 0 {
+			periods = append(periods, p)
+		}
+	}
+	if len(periods) == 0 {
+		return 0
+	}
+	return time.Duration(stat.Median(periods) * float64(time.Second))
+}

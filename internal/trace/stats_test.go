@@ -1,0 +1,150 @@
+package trace
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/geo"
+)
+
+func TestComputePropertiesBasic(t *testing.T) {
+	tr := mkTrace(t, "u", 61) // 60 minutes, 50 m/min east
+	p := ComputeProperties(tr, 500)
+	if p.User != "u" || p.NumRecords != 61 {
+		t.Errorf("identity fields: %+v", p)
+	}
+	if math.Abs(p.DurationHours-1) > 1e-9 {
+		t.Errorf("DurationHours = %v, want 1", p.DurationHours)
+	}
+	if math.Abs(p.PathKm-3.0) > 0.01 { // 60 × 50 m = 3 km
+		t.Errorf("PathKm = %v, want ~3", p.PathKm)
+	}
+	if math.Abs(p.MeanSpeedKmh-3.0) > 0.05 {
+		t.Errorf("MeanSpeedKmh = %v, want ~3", p.MeanSpeedKmh)
+	}
+	if math.Abs(p.SamplingPeriodSec-60) > 1e-9 {
+		t.Errorf("SamplingPeriodSec = %v, want 60", p.SamplingPeriodSec)
+	}
+	if p.AreaKm2 != 0 { // purely east-west trace has zero bbox area
+		t.Errorf("AreaKm2 = %v, want 0 for a 1-D trace", p.AreaKm2)
+	}
+
+	// A 2-D trace must report a positive area: 1 km × 1 km square.
+	square := []Record{
+		{User: "q", Time: t0, Point: basePt},
+		{User: "q", Time: t0.Add(time.Minute), Point: basePt.Offset(1000, 0)},
+		{User: "q", Time: t0.Add(2 * time.Minute), Point: basePt.Offset(1000, 1000)},
+	}
+	qt, err := NewTrace("q", square)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pq := ComputeProperties(qt, 500)
+	if math.Abs(pq.AreaKm2-1) > 0.02 {
+		t.Errorf("square AreaKm2 = %v, want ~1", pq.AreaKm2)
+	}
+}
+
+func TestComputePropertiesDegenerate(t *testing.T) {
+	empty := &Trace{User: "e"}
+	p := ComputeProperties(empty, 500)
+	if p.NumRecords != 0 || p.PathKm != 0 || p.CellEntropy != 0 {
+		t.Errorf("empty props = %+v", p)
+	}
+
+	single, err := NewTrace("s", []Record{{User: "s", Time: t0, Point: basePt}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p = ComputeProperties(single, 500)
+	if p.NumRecords != 1 || p.SamplingPeriodSec != 0 || p.MeanSpeedKmh != 0 {
+		t.Errorf("single props = %+v", p)
+	}
+}
+
+func TestCellEntropyDiscriminates(t *testing.T) {
+	// Stationary user: zero entropy. Wanderer across many cells: high.
+	stay := make([]Record, 20)
+	for i := range stay {
+		stay[i] = Record{User: "s", Time: t0.Add(time.Duration(i) * time.Minute), Point: basePt}
+	}
+	st, err := NewTrace("s", stay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	move := make([]Record, 20)
+	for i := range move {
+		move[i] = Record{
+			User: "m", Time: t0.Add(time.Duration(i) * time.Minute),
+			Point: basePt.Offset(float64(i)*600, 0),
+		}
+	}
+	mv, err := NewTrace("m", move)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := ComputeProperties(st, 500)
+	pm := ComputeProperties(mv, 500)
+	if ps.CellEntropy != 0 {
+		t.Errorf("stationary entropy = %v, want 0", ps.CellEntropy)
+	}
+	if pm.CellEntropy < 0.9 {
+		t.Errorf("wanderer entropy = %v, want near 1", pm.CellEntropy)
+	}
+}
+
+func TestPropertyVectorMatchesNames(t *testing.T) {
+	p := UserProperties{
+		NumRecords: 1, DurationHours: 2, PathKm: 3, AreaKm2: 4,
+		MeanSpeedKmh: 5, SamplingPeriodSec: 6, CellEntropy: 7,
+	}
+	v := p.PropertyVector()
+	names := PropertyNames()
+	if len(v) != len(names) {
+		t.Fatalf("vector len %d != names len %d", len(v), len(names))
+	}
+	for i, want := range []float64{1, 2, 3, 4, 5, 6, 7} {
+		if v[i] != want {
+			t.Errorf("vector[%d] = %v, want %v", i, v[i], want)
+		}
+	}
+}
+
+func TestDatasetProperties(t *testing.T) {
+	d := NewDataset()
+	d.Add(mkTrace(t, "b", 10))
+	d.Add(mkTrace(t, "a", 5))
+	props := DatasetProperties(d, 500)
+	if len(props) != 2 || props[0].User != "a" || props[1].User != "b" {
+		t.Errorf("props order wrong: %+v", props)
+	}
+}
+
+func TestMedianSamplingPeriod(t *testing.T) {
+	d := NewDataset()
+	if got := MedianSamplingPeriod(d); got != 0 {
+		t.Errorf("empty dataset period = %v", got)
+	}
+	d.Add(mkTrace(t, "u", 10))
+	if got := MedianSamplingPeriod(d); got != time.Minute {
+		t.Errorf("period = %v, want 1m", got)
+	}
+	single, err := NewTrace("s", []Record{{User: "s", Time: t0, Point: basePt}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Add(single) // must be ignored, not crash
+	if got := MedianSamplingPeriod(d); got != time.Minute {
+		t.Errorf("period with degenerate user = %v", got)
+	}
+}
+
+func TestGeoPathSanity(t *testing.T) {
+	// Guard against regressions in the offset cadence used by mkTrace.
+	tr := mkTrace(t, "u", 2)
+	d := geo.Haversine(tr.Records[0].Point, tr.Records[1].Point)
+	if math.Abs(d-50) > 0.5 {
+		t.Errorf("consecutive record distance = %v, want ~50", d)
+	}
+}

@@ -1,0 +1,232 @@
+// Package trace models mobility data: timestamped location records, per-user
+// traces and multi-user datasets, together with CSV/JSON-lines persistence,
+// filtering and descriptive statistics. It is the substrate every LPPM and
+// metric in this repository consumes.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/geo"
+)
+
+// Record is one timestamped location observation of one user.
+type Record struct {
+	// User identifies the device/driver the record belongs to.
+	User string
+	// Time is the observation instant.
+	Time time.Time
+	// Point is the observed WGS-84 location.
+	Point geo.Point
+}
+
+// String implements fmt.Stringer.
+func (r Record) String() string {
+	return fmt.Sprintf("%s@%s%s", r.User, r.Time.Format(time.RFC3339), r.Point)
+}
+
+// Trace is the chronologically ordered mobility trace of a single user.
+type Trace struct {
+	// User identifies whose trace this is.
+	User string
+	// Records are the observations in non-decreasing time order.
+	Records []Record
+}
+
+// NewTrace builds a trace for the given user from records, sorting them by
+// time. Records belonging to other users are rejected.
+func NewTrace(user string, records []Record) (*Trace, error) {
+	rs := make([]Record, len(records))
+	copy(rs, records)
+	for i, r := range rs {
+		if r.User != user {
+			return nil, fmt.Errorf("trace: record %d belongs to %q, not %q", i, r.User, user)
+		}
+	}
+	sort.SliceStable(rs, func(i, j int) bool { return rs[i].Time.Before(rs[j].Time) })
+	return &Trace{User: user, Records: rs}, nil
+}
+
+// Len returns the number of records.
+func (t *Trace) Len() int { return len(t.Records) }
+
+// Points returns the locations of all records in order.
+func (t *Trace) Points() []geo.Point {
+	pts := make([]geo.Point, len(t.Records))
+	for i, r := range t.Records {
+		pts[i] = r.Point
+	}
+	return pts
+}
+
+// Duration returns the time span covered by the trace.
+func (t *Trace) Duration() time.Duration {
+	if len(t.Records) < 2 {
+		return 0
+	}
+	return t.Records[len(t.Records)-1].Time.Sub(t.Records[0].Time)
+}
+
+// Sorted reports whether records are in non-decreasing time order. NewTrace
+// and the dataset loaders guarantee it; mutating Records directly can break
+// it, and the invariant-checking tests use this.
+func (t *Trace) Sorted() bool {
+	for i := 1; i < len(t.Records); i++ {
+		if t.Records[i].Time.Before(t.Records[i-1].Time) {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a deep copy of the trace.
+func (t *Trace) Clone() *Trace {
+	rs := make([]Record, len(t.Records))
+	copy(rs, t.Records)
+	return &Trace{User: t.User, Records: rs}
+}
+
+// TimeWindow returns a new trace restricted to records with from ≤ t < to.
+func (t *Trace) TimeWindow(from, to time.Time) *Trace {
+	var rs []Record
+	for _, r := range t.Records {
+		if !r.Time.Before(from) && r.Time.Before(to) {
+			rs = append(rs, r)
+		}
+	}
+	return &Trace{User: t.User, Records: rs}
+}
+
+// Resample returns a new trace keeping at most one record per period,
+// always retaining the first record of each period bucket. It is both a
+// dataset-reduction utility and the primitive behind the sampling LPPM.
+func (t *Trace) Resample(period time.Duration) *Trace {
+	if period <= 0 || len(t.Records) == 0 {
+		return t.Clone()
+	}
+	var rs []Record
+	var lastKept time.Time
+	for i, r := range t.Records {
+		if i == 0 || r.Time.Sub(lastKept) >= period {
+			rs = append(rs, r)
+			lastKept = r.Time
+		}
+	}
+	return &Trace{User: t.User, Records: rs}
+}
+
+// Dataset is a collection of user traces, the unit LPPMs protect and
+// metrics evaluate. Users returns deterministic ordering so that parallel
+// evaluation reduces reproducibly.
+type Dataset struct {
+	traces map[string]*Trace
+}
+
+// NewDataset returns an empty dataset.
+func NewDataset() *Dataset {
+	return &Dataset{traces: make(map[string]*Trace)}
+}
+
+// FromTraces builds a dataset from traces; duplicate users are rejected.
+func FromTraces(traces []*Trace) (*Dataset, error) {
+	d := NewDataset()
+	for _, t := range traces {
+		if _, dup := d.traces[t.User]; dup {
+			return nil, fmt.Errorf("trace: duplicate user %q", t.User)
+		}
+		d.traces[t.User] = t
+	}
+	return d, nil
+}
+
+// Add inserts or replaces the trace of a user.
+func (d *Dataset) Add(t *Trace) { d.traces[t.User] = t }
+
+// Trace returns the trace of the given user, or nil if absent.
+func (d *Dataset) Trace(user string) *Trace { return d.traces[user] }
+
+// NumUsers returns the number of users present.
+func (d *Dataset) NumUsers() int { return len(d.traces) }
+
+// NumRecords returns the total number of records across all users.
+func (d *Dataset) NumRecords() int {
+	var n int
+	for _, t := range d.traces {
+		n += t.Len()
+	}
+	return n
+}
+
+// Users returns the user identifiers in lexicographic order.
+func (d *Dataset) Users() []string {
+	users := make([]string, 0, len(d.traces))
+	for u := range d.traces {
+		users = append(users, u)
+	}
+	sort.Strings(users)
+	return users
+}
+
+// Traces returns the traces ordered by user identifier.
+func (d *Dataset) Traces() []*Trace {
+	users := d.Users()
+	ts := make([]*Trace, len(users))
+	for i, u := range users {
+		ts[i] = d.traces[u]
+	}
+	return ts
+}
+
+// Clone returns a deep copy of the dataset.
+func (d *Dataset) Clone() *Dataset {
+	c := NewDataset()
+	for _, t := range d.traces {
+		c.Add(t.Clone())
+	}
+	return c
+}
+
+// BBox returns the bounding box of every record in the dataset; ok is false
+// when the dataset is empty.
+func (d *Dataset) BBox() (geo.BBox, bool) {
+	var box geo.BBox
+	found := false
+	for _, t := range d.traces {
+		for _, r := range t.Records {
+			if !found {
+				box = geo.BBox{MinLat: r.Point.Lat, MinLng: r.Point.Lng, MaxLat: r.Point.Lat, MaxLng: r.Point.Lng}
+				found = true
+			} else {
+				box = box.Extend(r.Point)
+			}
+		}
+	}
+	return box, found
+}
+
+// Filter returns a new dataset keeping only traces for which keep returns
+// true.
+func (d *Dataset) Filter(keep func(*Trace) bool) *Dataset {
+	out := NewDataset()
+	for _, t := range d.traces {
+		if keep(t) {
+			out.Add(t)
+		}
+	}
+	return out
+}
+
+// Map returns a new dataset where each trace has been transformed by fn.
+// A nil result from fn drops the user. This is how LPPMs are applied
+// dataset-wide.
+func (d *Dataset) Map(fn func(*Trace) *Trace) *Dataset {
+	out := NewDataset()
+	for _, u := range d.Users() {
+		if nt := fn(d.traces[u]); nt != nil {
+			out.Add(nt)
+		}
+	}
+	return out
+}

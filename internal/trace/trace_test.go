@@ -1,0 +1,206 @@
+package trace
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/geo"
+)
+
+var (
+	t0     = time.Date(2008, 5, 17, 12, 0, 0, 0, time.UTC)
+	basePt = geo.Point{Lat: 37.7749, Lng: -122.4194}
+)
+
+// mkTrace builds a test trace with records every minute at increasing east
+// offsets.
+func mkTrace(t *testing.T, user string, n int) *Trace {
+	t.Helper()
+	recs := make([]Record, n)
+	for i := range recs {
+		recs[i] = Record{
+			User:  user,
+			Time:  t0.Add(time.Duration(i) * time.Minute),
+			Point: basePt.Offset(float64(i)*50, 0),
+		}
+	}
+	tr, err := NewTrace(user, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestNewTraceSortsRecords(t *testing.T) {
+	recs := []Record{
+		{User: "u", Time: t0.Add(2 * time.Minute), Point: basePt},
+		{User: "u", Time: t0, Point: basePt},
+		{User: "u", Time: t0.Add(time.Minute), Point: basePt},
+	}
+	tr, err := NewTrace("u", recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Sorted() {
+		t.Error("records should be sorted")
+	}
+	if !tr.Records[0].Time.Equal(t0) {
+		t.Errorf("first record time = %v", tr.Records[0].Time)
+	}
+	// Input slice must not be mutated.
+	if !recs[0].Time.Equal(t0.Add(2 * time.Minute)) {
+		t.Error("NewTrace mutated its input")
+	}
+}
+
+func TestNewTraceRejectsForeignRecords(t *testing.T) {
+	recs := []Record{{User: "alice", Time: t0, Point: basePt}}
+	if _, err := NewTrace("bob", recs); err == nil {
+		t.Error("foreign record should be rejected")
+	}
+}
+
+func TestTraceAccessors(t *testing.T) {
+	tr := mkTrace(t, "u", 5)
+	if tr.Len() != 5 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+	if got := tr.Duration(); got != 4*time.Minute {
+		t.Errorf("Duration = %v", got)
+	}
+	if pts := tr.Points(); len(pts) != 5 || pts[0] != basePt {
+		t.Errorf("Points = %v", pts)
+	}
+	empty := &Trace{User: "e"}
+	if empty.Duration() != 0 {
+		t.Error("empty trace duration should be 0")
+	}
+}
+
+func TestTraceClone(t *testing.T) {
+	tr := mkTrace(t, "u", 3)
+	cl := tr.Clone()
+	cl.Records[0].Point = geo.Point{Lat: 1, Lng: 1}
+	if tr.Records[0].Point == cl.Records[0].Point {
+		t.Error("Clone must be deep")
+	}
+}
+
+func TestTraceTimeWindow(t *testing.T) {
+	tr := mkTrace(t, "u", 10)
+	w := tr.TimeWindow(t0.Add(2*time.Minute), t0.Add(5*time.Minute))
+	if w.Len() != 3 {
+		t.Errorf("window len = %d, want 3", w.Len())
+	}
+	if !w.Records[0].Time.Equal(t0.Add(2 * time.Minute)) {
+		t.Error("window start should be inclusive")
+	}
+}
+
+func TestTraceResample(t *testing.T) {
+	tr := mkTrace(t, "u", 10) // 1-minute cadence
+	rs := tr.Resample(3 * time.Minute)
+	if rs.Len() != 4 { // minutes 0, 3, 6, 9
+		t.Errorf("resampled len = %d, want 4", rs.Len())
+	}
+	if got := tr.Resample(0); got.Len() != tr.Len() {
+		t.Error("non-positive period should be a clone")
+	}
+	if got := tr.Resample(time.Second); got.Len() != tr.Len() {
+		t.Error("period below cadence should keep everything")
+	}
+}
+
+func TestDatasetBasics(t *testing.T) {
+	d := NewDataset()
+	if d.NumUsers() != 0 || d.NumRecords() != 0 {
+		t.Error("new dataset should be empty")
+	}
+	d.Add(mkTrace(t, "bob", 3))
+	d.Add(mkTrace(t, "alice", 2))
+	if d.NumUsers() != 2 || d.NumRecords() != 5 {
+		t.Errorf("users=%d records=%d", d.NumUsers(), d.NumRecords())
+	}
+	users := d.Users()
+	if users[0] != "alice" || users[1] != "bob" {
+		t.Errorf("Users() = %v, want sorted", users)
+	}
+	if tr := d.Trace("bob"); tr == nil || tr.Len() != 3 {
+		t.Error("Trace(bob) wrong")
+	}
+	if d.Trace("nobody") != nil {
+		t.Error("missing user should be nil")
+	}
+	ts := d.Traces()
+	if len(ts) != 2 || ts[0].User != "alice" {
+		t.Errorf("Traces() order wrong")
+	}
+}
+
+func TestFromTraces(t *testing.T) {
+	a := mkTrace(t, "a", 1)
+	if _, err := FromTraces([]*Trace{a, a}); err == nil {
+		t.Error("duplicate users should error")
+	}
+	d, err := FromTraces([]*Trace{a, mkTrace(t, "b", 2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumUsers() != 2 {
+		t.Errorf("NumUsers = %d", d.NumUsers())
+	}
+}
+
+func TestDatasetCloneIndependent(t *testing.T) {
+	d := NewDataset()
+	d.Add(mkTrace(t, "u", 2))
+	c := d.Clone()
+	c.Trace("u").Records[0].Point = geo.Point{Lat: 1, Lng: 1}
+	if d.Trace("u").Records[0].Point == c.Trace("u").Records[0].Point {
+		t.Error("Clone must deep-copy traces")
+	}
+}
+
+func TestDatasetBBox(t *testing.T) {
+	d := NewDataset()
+	if _, ok := d.BBox(); ok {
+		t.Error("empty dataset should have no bbox")
+	}
+	d.Add(mkTrace(t, "u", 5)) // 0..200 m east offsets
+	box, ok := d.BBox()
+	if !ok {
+		t.Fatal("bbox should exist")
+	}
+	if w := box.WidthMeters(); w < 190 || w > 210 {
+		t.Errorf("bbox width = %v, want ~200", w)
+	}
+}
+
+func TestDatasetFilterMap(t *testing.T) {
+	d := NewDataset()
+	d.Add(mkTrace(t, "short", 2))
+	d.Add(mkTrace(t, "long", 20))
+	f := d.Filter(func(tr *Trace) bool { return tr.Len() >= 10 })
+	if f.NumUsers() != 1 || f.Trace("long") == nil {
+		t.Error("Filter wrong")
+	}
+	m := d.Map(func(tr *Trace) *Trace {
+		if tr.User == "short" {
+			return nil
+		}
+		return tr.Resample(5 * time.Minute)
+	})
+	if m.NumUsers() != 1 {
+		t.Error("Map should drop nil results")
+	}
+	if m.Trace("long").Len() != 4 {
+		t.Errorf("mapped trace len = %d", m.Trace("long").Len())
+	}
+}
+
+func TestRecordString(t *testing.T) {
+	r := Record{User: "u", Time: t0, Point: basePt}
+	if r.String() == "" {
+		t.Error("String should be non-empty")
+	}
+}
