@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: all check vet build test bench-smoke bench clean
+
+all: check
+
+check: vet build test
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Quick single-pass gateway benchmark, as a CI smoke that the serving
+# path still runs end-to-end.
+bench-smoke:
+	$(GO) test -run '^$$' -bench=Gateway -benchtime=1x .
+
+bench:
+	$(GO) test -run '^$$' -bench=. -benchmem .
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,175 @@
+// Command lppm-serve runs the online protection gateway over a record
+// stream: it reads location records (JSONL or CSV) from stdin or a file,
+// routes them through N shards applying the configured mechanism, and
+// streams the protected records out — the serving counterpart of the batch
+// lppm-apply.
+//
+// Usage:
+//
+//	lppm-tracegen -drivers 50 -out day.csv
+//	lppm-serve -in day.csv -format csv -mech geoi -set epsilon=0.01 -shards 8 -out protected.csv -stats
+//	cat stream.jsonl | lppm-serve -mech rounding > protected.jsonl
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+
+	"repro/internal/core"
+	"repro/internal/lppm"
+	"repro/internal/service"
+	"repro/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("lppm-serve: ")
+
+	var (
+		mechName   = flag.String("mech", "geoi", "mechanism to apply (see -list)")
+		list       = flag.Bool("list", false, "list available mechanisms and exit")
+		inPath     = flag.String("in", "-", "input path, - for stdin")
+		outPath    = flag.String("out", "-", "output path, - for stdout")
+		formatName = flag.String("format", "jsonl", "record format: jsonl or csv")
+		shards     = flag.Int("shards", 0, "worker shards, 0 for GOMAXPROCS")
+		queue      = flag.Int("queue", 0, "per-shard queue size, 0 for default")
+		flushEvery = flag.Int("flush", 0, "per-user window size, 0 for default")
+		seed       = flag.Int64("seed", 42, "master random seed")
+		stats      = flag.Bool("stats", false, "print gateway stats to stderr on exit")
+	)
+	params := lppm.Params{}
+	flag.Func("set", "parameter override as name=value (repeatable)", func(s string) error {
+		name, val, ok := strings.Cut(s, "=")
+		if !ok {
+			return fmt.Errorf("want name=value, got %q", s)
+		}
+		v, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return fmt.Errorf("bad value in %q: %v", s, err)
+		}
+		params[name] = v
+		return nil
+	})
+	flag.Parse()
+
+	reg := lppm.NewRegistry()
+	if *list {
+		fmt.Println(strings.Join(reg.Names(), "\n"))
+		return
+	}
+	if err := run(reg, *mechName, params, *inPath, *outPath, *formatName,
+		*shards, *queue, *flushEvery, *seed, *stats); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(reg *lppm.Registry, mechName string, params lppm.Params, inPath, outPath, formatName string,
+	shards, queue, flushEvery int, seed int64, stats bool) error {
+	format, err := trace.ParseFormat(formatName)
+	if err != nil {
+		return err
+	}
+	mech, err := reg.Get(mechName)
+	if err != nil {
+		return err
+	}
+	// Defaults plus -set overrides, validated once up front.
+	dep, err := core.NewDeployment(mech, params)
+	if err != nil {
+		return err
+	}
+
+	in := io.Reader(os.Stdin)
+	if inPath != "-" {
+		f, err := os.Open(inPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	out := io.Writer(os.Stdout)
+	var outFile *os.File
+	if outPath != "-" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			return err
+		}
+		outFile = f
+		out = f
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	// A dead output also cancels ingestion — no point protecting a
+	// multi-gigabyte stream whose writer failed on the first window.
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	cfg := service.ConfigFromDeployment(dep, seed)
+	cfg.Shards = shards
+	cfg.QueueSize = queue
+	cfg.FlushEvery = flushEvery
+	g, err := service.New(ctx, cfg)
+	if err != nil {
+		return err
+	}
+
+	rw, err := trace.NewRecordWriter(out, format)
+	if err != nil {
+		return err
+	}
+	writeDone := make(chan error, 1)
+	go func() {
+		for batch := range g.Output() {
+			for _, rec := range batch {
+				if err := rw.Write(rec); err != nil {
+					writeDone <- err
+					cancel()
+					// Keep draining so the gateway can finish.
+					for range g.Output() {
+					}
+					return
+				}
+			}
+		}
+		writeDone <- rw.Flush()
+	}()
+
+	scanErr := trace.ScanRecords(in, format, g.Ingest)
+	if closeErr := g.Close(); scanErr == nil {
+		scanErr = closeErr
+	}
+	// A writer failure outranks the scan error it induced (the cancel
+	// above surfaces to Ingest as context.Canceled).
+	if writeErr := <-writeDone; writeErr != nil {
+		scanErr = writeErr
+	}
+	// Close explicitly: a delayed write-back failure surfaces here, and
+	// exiting 0 with a truncated output would hide it.
+	if outFile != nil {
+		if cerr := outFile.Close(); scanErr == nil {
+			scanErr = cerr
+		}
+	}
+	if stats {
+		st := g.Stats()
+		fmt.Fprintf(os.Stderr, "ingested=%d emitted=%d dropped=%d users=%d flushes=%d shards=%d\n",
+			st.Ingested, st.Emitted, st.Dropped, st.Users, st.Flushes, len(st.PerShard))
+		for i, ss := range st.PerShard {
+			fmt.Fprintf(os.Stderr, "  shard %d: ingested=%d emitted=%d users=%d\n",
+				i, ss.Ingested, ss.Emitted, ss.Users)
+		}
+	}
+	// A canceled scan (SIGINT) still drained above; report it only if
+	// nothing else failed.
+	return scanErr
+}

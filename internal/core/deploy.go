@@ -1,0 +1,74 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/lppm"
+	"repro/internal/model"
+	"repro/internal/rng"
+	"repro/internal/trace"
+)
+
+// Deployment is a configured mechanism ready to serve: the framework's
+// step-3 output turned into the complete parameter assignment an online
+// gateway or batch job applies. It closes the loop the paper leaves open —
+// Configure recommends a value, Deployment is that value made operational.
+type Deployment struct {
+	// Mechanism is the LPPM to run.
+	Mechanism lppm.Mechanism
+	// Params is the full parameter assignment: mechanism defaults with
+	// the configured parameter overridden.
+	Params lppm.Params
+	// Param names the parameter the configuration chose (empty when the
+	// deployment was built from explicit values rather than an analysis).
+	Param string
+	// Configuration is the step-3 evidence behind Params[Param]; zero
+	// for explicitly-built deployments.
+	Configuration model.Configuration
+}
+
+// Deploy inverts the fitted models under the objectives (Configure) and
+// wraps the result into a ready-to-serve Deployment. Infeasible objectives
+// are an error: there is no parameter value worth shipping.
+func (a *Analysis) Deploy(obj model.Objectives) (*Deployment, error) {
+	cfg, err := a.Configure(obj)
+	if err != nil {
+		return nil, err
+	}
+	if !cfg.Feasible {
+		return nil, fmt.Errorf("core: objectives infeasible for %q (feasible privacy needs ≤ %v, utility needs ≥ %v)",
+			a.Definition.Mechanism.Name(), obj.MaxPrivacy, obj.MinUtility)
+	}
+	p := lppm.Defaults(a.Definition.Mechanism)
+	p[a.Definition.Param] = cfg.Value
+	return &Deployment{
+		Mechanism:     a.Definition.Mechanism,
+		Params:        p,
+		Param:         a.Definition.Param,
+		Configuration: cfg,
+	}, nil
+}
+
+// NewDeployment builds a deployment from explicit parameter values — the
+// escape hatch when no analysis ran (hand-picked ε on a CLI, replaying a
+// stored configuration). Missing parameters fall back to mechanism
+// defaults; present ones are validated.
+func NewDeployment(m lppm.Mechanism, p lppm.Params) (*Deployment, error) {
+	if m == nil {
+		return nil, fmt.Errorf("core: nil mechanism")
+	}
+	full := lppm.Defaults(m)
+	for k, v := range p {
+		full[k] = v
+	}
+	if err := lppm.ValidateParams(m, full); err != nil {
+		return nil, err
+	}
+	return &Deployment{Mechanism: m, Params: full}, nil
+}
+
+// Protect applies the deployment to a whole dataset — the batch path, for
+// comparison with (and validation of) the streaming gateway.
+func (d *Deployment) Protect(ds *trace.Dataset, root *rng.Source) (*trace.Dataset, error) {
+	return lppm.ProtectDataset(ds, d.Mechanism, d.Params, root)
+}

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/lppm"
+	"repro/internal/model"
+	"repro/internal/rng"
+)
+
+// TestDeployFromAnalysis runs the full pipeline — analyze, configure,
+// deploy — and checks the deployment carries the configured value inside
+// the mechanism's full parameter assignment.
+func TestDeployFromAnalysis(t *testing.T) {
+	a, err := Analyze(context.Background(), testDefinition(), smallFleet(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj := model.Objectives{MaxPrivacy: 0.10, MinUtility: 0.80}
+	d, err := a.Deploy(obj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Param != lppm.EpsilonParam {
+		t.Errorf("deployed param %q, want %q", d.Param, lppm.EpsilonParam)
+	}
+	if d.Params[d.Param] != d.Configuration.Value {
+		t.Errorf("Params[%s] = %v, want configured %v", d.Param, d.Params[d.Param], d.Configuration.Value)
+	}
+	if !d.Configuration.Feasible {
+		t.Error("deployment built from infeasible configuration")
+	}
+	// Impossible objectives must refuse to deploy.
+	if _, err := a.Deploy(model.Objectives{MaxPrivacy: -1, MinUtility: 2}); err == nil {
+		t.Error("infeasible objectives must fail Deploy")
+	}
+}
+
+func TestNewDeploymentFillsDefaultsAndValidates(t *testing.T) {
+	m := lppm.NewGeoIndistinguishability()
+	d, err := NewDeployment(m, lppm.Params{"epsilon": 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Params["epsilon"]; got != 0.05 {
+		t.Errorf("epsilon = %v, want 0.05", got)
+	}
+	if _, err := NewDeployment(m, lppm.Params{"epsilon": -3}); err == nil {
+		t.Error("out-of-range value must fail")
+	}
+	if _, err := NewDeployment(nil, nil); err == nil {
+		t.Error("nil mechanism must fail")
+	}
+	d, err = NewDeployment(m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := d.Params["epsilon"], lppm.Defaults(m)["epsilon"]; got != want {
+		t.Errorf("default epsilon = %v, want %v", got, want)
+	}
+}
+
+func TestDeploymentProtectMatchesProtectDataset(t *testing.T) {
+	m := lppm.NewGeoIndistinguishability()
+	d, err := NewDeployment(m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := smallFleet(t)
+	got, err := d.Protect(ds, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := lppm.ProtectDataset(ds, m, d.Params, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range ds.Users() {
+		gr, wr := got.Trace(u).Records, want.Trace(u).Records
+		if len(gr) != len(wr) {
+			t.Fatalf("user %s: %d records, want %d", u, len(gr), len(wr))
+		}
+		for i := range gr {
+			if gr[i] != wr[i] {
+				t.Fatalf("user %s record %d differs", u, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,90 @@
+package lppm
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+	"repro/internal/trace"
+)
+
+// UserStream adapts a trace-at-a-time Mechanism to online, record-at-a-time
+// operation for a single user. Records are buffered and protected in windows:
+// Push appends, Flush protects the pending window as a mini-trace and
+// returns the protected records.
+//
+// The stream owns one persistent random source. Mechanisms that consume
+// randomness strictly per record in order (GEO-I, Gaussian perturbation)
+// therefore produce bit-identical output whether a trace is protected in one
+// batch or streamed through any window split; deterministic mechanisms
+// (rounding, cloaking, identity) are trivially window-invariant. Windowed
+// mechanisms (Promesse, sampling) remain usable online but see each window
+// independently.
+//
+// A UserStream is not safe for concurrent use; the gateway gives each user
+// to exactly one shard.
+type UserStream struct {
+	mech    Mechanism
+	params  Params
+	r       *rng.Source
+	user    string
+	pending []trace.Record
+}
+
+// NewUserStream validates the parameters and returns a stream for the given
+// user, drawing all randomness from r.
+func NewUserStream(m Mechanism, p Params, user string, r *rng.Source) (*UserStream, error) {
+	if user == "" {
+		return nil, fmt.Errorf("lppm: stream for empty user id")
+	}
+	if r == nil {
+		return nil, fmt.Errorf("lppm: stream for %q needs a random source", user)
+	}
+	if err := ValidateParams(m, p); err != nil {
+		return nil, err
+	}
+	return &UserStream{mech: m, params: p.Clone(), r: r, user: user}, nil
+}
+
+// User returns the stream's user identifier.
+func (s *UserStream) User() string { return s.user }
+
+// Pending returns the number of buffered, not-yet-protected records.
+func (s *UserStream) Pending() int { return len(s.pending) }
+
+// Push buffers one record. Records of other users are rejected.
+func (s *UserStream) Push(rec trace.Record) error {
+	if rec.User != s.user {
+		return fmt.Errorf("lppm: record of %q pushed to stream of %q", rec.User, s.user)
+	}
+	s.pending = append(s.pending, rec)
+	return nil
+}
+
+// Flush protects the pending window and returns the protected records in
+// time order, clearing the buffer. An empty buffer flushes to nil. On error
+// the buffer is retained, so a caller may retry (though a randomized
+// mechanism may already have consumed draws).
+func (s *UserStream) Flush() ([]trace.Record, error) {
+	if len(s.pending) == 0 {
+		return nil, nil
+	}
+	t, err := trace.NewTrace(s.user, s.pending)
+	if err != nil {
+		return nil, err
+	}
+	pt, err := s.mech.Protect(t, s.params, s.r)
+	if err != nil {
+		return nil, fmt.Errorf("lppm: stream flush for %s: %w", s.user, err)
+	}
+	s.pending = s.pending[:0]
+	return pt.Records, nil
+}
+
+// Discard drops the pending window, returning how many records were
+// discarded. Callers that will not retry a failed Flush use it so the same
+// records are not counted again by the next window.
+func (s *UserStream) Discard() int {
+	n := len(s.pending)
+	s.pending = s.pending[:0]
+	return n
+}

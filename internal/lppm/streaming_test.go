@@ -1,0 +1,142 @@
+package lppm
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/rng"
+	"repro/internal/trace"
+)
+
+func streamRecords(n int) []trace.Record {
+	t0 := time.Date(2008, 5, 17, 12, 0, 0, 0, time.UTC)
+	base := geo.Point{Lat: 37.7749, Lng: -122.4194}
+	recs := make([]trace.Record, n)
+	for i := range recs {
+		recs[i] = trace.Record{
+			User:  "u1",
+			Time:  t0.Add(time.Duration(i) * time.Minute),
+			Point: base.Offset(float64(i)*75, float64(i%5)*20),
+		}
+	}
+	return recs
+}
+
+func TestUserStreamValidation(t *testing.T) {
+	m := NewGeoIndistinguishability()
+	if _, err := NewUserStream(m, Defaults(m), "", rng.New(1)); err == nil {
+		t.Error("empty user must fail")
+	}
+	if _, err := NewUserStream(m, Defaults(m), "u1", nil); err == nil {
+		t.Error("nil rng must fail")
+	}
+	if _, err := NewUserStream(m, Params{"epsilon": -1}, "u1", rng.New(1)); err == nil {
+		t.Error("invalid params must fail")
+	}
+	s, err := NewUserStream(m, Defaults(m), "u1", rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Push(trace.Record{User: "u2"}); err == nil {
+		t.Error("wrong-user record must be rejected")
+	}
+	if recs, err := s.Flush(); err != nil || recs != nil {
+		t.Errorf("empty flush = (%v, %v), want (nil, nil)", recs, err)
+	}
+}
+
+// TestUserStreamMatchesBatch verifies the window-invariance contract: for a
+// per-record-randomness mechanism (GEO-I), streaming through any window
+// split is bit-identical to one batch Protect with the same source.
+func TestUserStreamMatchesBatch(t *testing.T) {
+	m := NewGeoIndistinguishability()
+	p := Defaults(m)
+	recs := streamRecords(50)
+	tr, err := trace.NewTrace("u1", recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := m.Protect(tr, p, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, window := range []int{1, 7, 50} {
+		s, err := NewUserStream(m, p, "u1", rng.New(7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got []trace.Record
+		for i, rec := range recs {
+			if err := s.Push(rec); err != nil {
+				t.Fatal(err)
+			}
+			if s.Pending() >= window || i == len(recs)-1 {
+				out, err := s.Flush()
+				if err != nil {
+					t.Fatal(err)
+				}
+				got = append(got, out...)
+			}
+		}
+		if len(got) != len(want.Records) {
+			t.Fatalf("window %d: %d records, want %d", window, len(got), len(want.Records))
+		}
+		for i := range got {
+			if got[i] != want.Records[i] {
+				t.Fatalf("window %d record %d: got %v, want %v", window, i, got[i], want.Records[i])
+			}
+		}
+	}
+}
+
+func TestUserStreamDiscard(t *testing.T) {
+	m := Identity{}
+	s, err := NewUserStream(m, Defaults(m), "u1", rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range streamRecords(3) {
+		if err := s.Push(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := s.Discard(); n != 3 {
+		t.Errorf("Discard = %d, want 3", n)
+	}
+	if s.Pending() != 0 {
+		t.Errorf("pending = %d after Discard, want 0", s.Pending())
+	}
+	if n := s.Discard(); n != 0 {
+		t.Errorf("second Discard = %d, want 0", n)
+	}
+}
+
+func TestUserStreamPendingAndClear(t *testing.T) {
+	m := Identity{}
+	s, err := NewUserStream(m, Defaults(m), "u1", rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := streamRecords(5)
+	for _, r := range recs {
+		if err := s.Push(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Pending() != 5 {
+		t.Errorf("pending = %d, want 5", s.Pending())
+	}
+	out, err := s.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 5 || s.Pending() != 0 {
+		t.Errorf("flush returned %d records, pending now %d; want 5 and 0", len(out), s.Pending())
+	}
+	for i := range out {
+		if out[i] != recs[i] {
+			t.Errorf("identity stream changed record %d: %v != %v", i, out[i], recs[i])
+		}
+	}
+}

@@ -101,10 +101,20 @@ func (m *TrajectorySimilarity) Evaluate(actual, protected *trace.Trace) (float64
 	return 1 / (1 + mean/m.cfg.ScaleMeters), nil
 }
 
-// DTWMeanDistance returns the mean per-step displacement of the optimal
-// dynamic-time-warping alignment of the two point sequences, constrained to
-// a Sakoe–Chiba band of half-width bandFrac·max(len). Both sequences must be
-// non-empty.
+// DTWMeanDistance returns the minimum mean per-step displacement over all
+// monotone dynamic-time-warping alignments of the two point sequences,
+// constrained to a Sakoe–Chiba band of half-width bandFrac·max(len). Both
+// sequences must be non-empty.
+//
+// Minimizing the mean (rather than reporting total-cost/length of the
+// total-cost-minimizing alignment) is what makes the metric well behaved:
+// the alignment with the least cumulative cost can be short, and its mean
+// can then exceed the Fréchet minimax bound, whereas the minimum mean never
+// does — the Fréchet-optimal alignment is itself a monotone alignment whose
+// mean step is at most its maximum step. The minimization is a linear
+// fractional program over alignment paths, solved by Dinkelbach iteration:
+// each round runs one banded DP with step costs d − λ and tightens λ to the
+// mean of the minimizing path, converging monotonically from above.
 func DTWMeanDistance(a, b []geo.Point, bandFrac float64) (float64, error) {
 	n, m := len(a), len(b)
 	if n == 0 || m == 0 {
@@ -119,47 +129,84 @@ func DTWMeanDistance(a, b []geo.Point, bandFrac float64) (float64, error) {
 	if band < 1 {
 		band = 1
 	}
-	const inf = math.MaxFloat64
-	// Rolling two-row DP over cumulative cost and alignment length.
+	// The banded pairwise distances are reused by every Dinkelbach round;
+	// compute them once, stored band-compactly: row i holds columns
+	// [max(1, i-band), min(m, i+band)] at offset j-lo, so the array is
+	// n·min(m, 2·band+1) instead of n·m.
+	width := minInt(m, 2*band+1)
+	dist := make([]float64, n*width)
+	for i := 1; i <= n; i++ {
+		lo := maxInt(1, i-band)
+		for j := lo; j <= minInt(m, i+band); j++ {
+			dist[(i-1)*width+j-lo] = geo.Equirectangular(a[i-1], b[j-1])
+		}
+	}
+	inf := math.Inf(1)
+	// Rolling two-row DP over cumulative (λ-shifted) cost and alignment
+	// length, shared across rounds.
 	prevCost := make([]float64, m+1)
 	curCost := make([]float64, m+1)
 	prevLen := make([]int, m+1)
 	curLen := make([]int, m+1)
-	for j := 0; j <= m; j++ {
-		prevCost[j] = inf
-	}
-	prevCost[0] = 0
-	for i := 1; i <= n; i++ {
+	// solve minimizes Σ(d − λ) over banded monotone alignments and
+	// returns the minimizing alignment's true mean step distance.
+	solve := func(lambda float64) (float64, bool) {
 		for j := 0; j <= m; j++ {
-			curCost[j] = inf
-			curLen[j] = 0
+			prevCost[j] = inf
+			prevLen[j] = 0
 		}
-		lo := maxInt(1, i-band)
-		hi := minInt(m, i+band)
-		for j := lo; j <= hi; j++ {
-			d := geo.Equirectangular(a[i-1], b[j-1])
-			// Choose the cheapest predecessor among match,
-			// insertion and deletion.
-			bestCost, bestLen := prevCost[j-1], prevLen[j-1]
-			if prevCost[j] < bestCost {
-				bestCost, bestLen = prevCost[j], prevLen[j]
+		prevCost[0] = 0
+		for i := 1; i <= n; i++ {
+			lo := maxInt(1, i-band)
+			hi := minInt(m, i+band)
+			// Clear only what this row writes plus the cells the next
+			// row's band (shifted at most one column) will read.
+			for j := lo - 1; j <= minInt(m, hi+1); j++ {
+				curCost[j] = inf
+				curLen[j] = 0
 			}
-			if curCost[j-1] < bestCost {
-				bestCost, bestLen = curCost[j-1], curLen[j-1]
+			for j := lo; j <= hi; j++ {
+				// Choose the cheapest predecessor among match,
+				// insertion and deletion; break cost ties
+				// toward the longer alignment.
+				bestCost, bestLen := prevCost[j-1], prevLen[j-1]
+				if prevCost[j] < bestCost || (prevCost[j] == bestCost && prevLen[j] > bestLen) {
+					bestCost, bestLen = prevCost[j], prevLen[j]
+				}
+				if curCost[j-1] < bestCost || (curCost[j-1] == bestCost && curLen[j-1] > bestLen) {
+					bestCost, bestLen = curCost[j-1], curLen[j-1]
+				}
+				if math.IsInf(bestCost, 1) {
+					continue
+				}
+				curCost[j] = bestCost + dist[(i-1)*width+j-lo] - lambda
+				curLen[j] = bestLen + 1
 			}
-			if bestCost == inf {
-				continue
-			}
-			curCost[j] = bestCost + d
-			curLen[j] = bestLen + 1
+			prevCost, curCost = curCost, prevCost
+			prevLen, curLen = curLen, prevLen
 		}
-		prevCost, curCost = curCost, prevCost
-		prevLen, curLen = curLen, prevLen
+		if math.IsInf(prevCost[m], 1) {
+			return 0, false
+		}
+		// Recover the real (unshifted) mean of the minimizing path.
+		return (prevCost[m] + lambda*float64(prevLen[m])) / float64(prevLen[m]), true
 	}
-	if prevCost[m] == inf {
+	lambda, ok := solve(0)
+	if !ok {
 		return 0, fmt.Errorf("metrics: DTW band %d too narrow for lengths %d and %d", band, n, m)
 	}
-	return prevCost[m] / float64(prevLen[m]), nil
+	const tol = 1e-9
+	// Dinkelbach: λ decreases monotonically to the minimum mean; each
+	// fixed point is optimal, and path-set finiteness bounds the rounds
+	// (a handful in practice — the cap is a safety net).
+	for iter := 0; iter < 64; iter++ {
+		next, _ := solve(lambda)
+		if next >= lambda-tol {
+			return next, nil
+		}
+		lambda = next
+	}
+	return lambda, nil
 }
 
 // FrechetDistance returns the discrete Fréchet distance ("dog-leash
@@ -199,6 +246,11 @@ func FrechetDistance(a, b []geo.Point) (float64, error) {
 func decimate(pts []geo.Point, maxN int) []geo.Point {
 	if maxN <= 0 || len(pts) <= maxN {
 		return pts
+	}
+	if maxN == 1 {
+		// No room for both endpoints; the middle point is the least
+		// bad single representative.
+		return []geo.Point{pts[len(pts)/2]}
 	}
 	out := make([]geo.Point, maxN)
 	for i := range out {

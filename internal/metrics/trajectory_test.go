@@ -143,8 +143,14 @@ func TestFrechetDominatesDTWMeanProperty(t *testing.T) {
 		}
 		return fd >= dm-1e-9
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
 		t.Error(err)
+	}
+	// Regression: this seed produced a min-total-cost alignment whose
+	// mean (885.5 m) exceeded the Fréchet bound (876.7 m) before
+	// DTWMeanDistance minimized the mean itself.
+	if !f(8065863801368140506) {
+		t.Error("Fréchet < DTW mean for regression seed 8065863801368140506")
 	}
 }
 
@@ -162,6 +168,24 @@ func TestDecimateKeepsEndpoints(t *testing.T) {
 	}
 	if got := decimate(pts, 0); len(got) != len(pts) {
 		t.Error("maxN=0 must disable decimation")
+	}
+}
+
+func TestDecimateToSinglePoint(t *testing.T) {
+	// Regression: maxN=1 used to divide by zero in the index formula.
+	pts := make([]geo.Point, 7)
+	for i := range pts {
+		pts[i] = mBase.Offset(float64(i)*100, 0)
+	}
+	out := decimate(pts, 1)
+	if len(out) != 1 {
+		t.Fatalf("decimate kept %d points, want 1", len(out))
+	}
+	if out[0] != pts[3] {
+		t.Errorf("decimate(pts, 1) = %v, want middle point %v", out[0], pts[3])
+	}
+	if got := decimate(pts[:1], 1); len(got) != 1 || got[0] != pts[0] {
+		t.Errorf("decimate of single point must be identity, got %v", got)
 	}
 }
 

@@ -1,0 +1,531 @@
+// Package service turns the repository's batch-only configurator into an
+// online middleware: a sharded, concurrent protection gateway that ingests
+// per-user location streams, routes each user to a shard by identity hash,
+// keeps per-user LPPM state, and applies a configured mechanism record-at-
+// a-time with bounded queues and batch flushing. It is the serving half the
+// paper's framework implies — Analyze/Configure pick the parameter value
+// offline, the gateway applies it to live traffic.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/lppm"
+	"repro/internal/rng"
+	"repro/internal/trace"
+)
+
+// ErrClosed is returned by Ingest after Close or context cancellation.
+var ErrClosed = errors.New("service: gateway closed")
+
+// drainGrace is how long a canceled gateway waits for the Output consumer
+// before dropping a flushed window.
+const drainGrace = time.Second
+
+// Config parameterizes a Gateway.
+type Config struct {
+	// Mechanism is the LPPM every record passes through.
+	Mechanism lppm.Mechanism
+	// Params is the mechanism's full parameter assignment (typically a
+	// core.Deployment's Params).
+	Params lppm.Params
+	// Shards is the number of independent worker shards; 0 uses
+	// GOMAXPROCS.
+	Shards int
+	// QueueSize bounds each shard's input queue in records (rounded down
+	// to a whole number of stages); 0 uses 1024. A full queue applies
+	// backpressure to Ingest.
+	QueueSize int
+	// FlushEvery is the per-user window size: a user's pending records
+	// are protected and emitted once this many have accumulated; 0 uses
+	// 32. Drain flushes any remainder.
+	FlushEvery int
+	// StageSize is the ingest batch size: records stage per shard and
+	// travel the queue StageSize at a time, amortizing channel and
+	// scheduling costs across the batch; 0 uses 32, 1 disables staging.
+	// A partial stage is swept to its shard every StageInterval, so on a
+	// non-saturated shard a record waits at most about one sweep before
+	// entering the queue.
+	StageSize int
+	// StageInterval is the partial-stage sweep period; 0 uses 100 ms.
+	StageInterval time.Duration
+	// Seed drives all randomness. Per-user streams are derived by name,
+	// so output is invariant under the shard count.
+	Seed int64
+}
+
+// ConfigFromDeployment wires a step-3 deployment into a gateway
+// configuration, leaving the serving knobs at their defaults.
+func ConfigFromDeployment(d *core.Deployment, seed int64) Config {
+	return Config{Mechanism: d.Mechanism, Params: d.Params, Seed: seed}
+}
+
+// normalize fills defaults and validates.
+func (c *Config) normalize() error {
+	if c.Mechanism == nil {
+		return fmt.Errorf("service: nil mechanism")
+	}
+	if c.Params == nil {
+		c.Params = lppm.Defaults(c.Mechanism)
+	}
+	if err := lppm.ValidateParams(c.Mechanism, c.Params); err != nil {
+		return err
+	}
+	if c.Shards == 0 {
+		c.Shards = runtime.GOMAXPROCS(0)
+	}
+	if c.Shards < 1 {
+		return fmt.Errorf("service: Shards must be >= 1, got %d", c.Shards)
+	}
+	if c.QueueSize == 0 {
+		c.QueueSize = 1024
+	}
+	if c.QueueSize < 1 {
+		return fmt.Errorf("service: QueueSize must be >= 1, got %d", c.QueueSize)
+	}
+	if c.FlushEvery == 0 {
+		c.FlushEvery = 32
+	}
+	if c.FlushEvery < 1 {
+		return fmt.Errorf("service: FlushEvery must be >= 1, got %d", c.FlushEvery)
+	}
+	if c.StageSize == 0 {
+		c.StageSize = 32
+	}
+	if c.StageSize < 1 {
+		return fmt.Errorf("service: StageSize must be >= 1, got %d", c.StageSize)
+	}
+	// A stage never exceeds the queue bound, so QueueSize keeps its
+	// records semantics: at most ⌊QueueSize/StageSize⌋·StageSize records
+	// queue per shard (plus one stage in flight).
+	if c.StageSize > c.QueueSize {
+		c.StageSize = c.QueueSize
+	}
+	if c.StageInterval == 0 {
+		c.StageInterval = 100 * time.Millisecond
+	}
+	if c.StageInterval < 0 {
+		return fmt.Errorf("service: StageInterval must be positive, got %v", c.StageInterval)
+	}
+	return nil
+}
+
+// ShardStats is one shard's counters at snapshot time.
+type ShardStats struct {
+	// Ingested counts records accepted into the shard's stage.
+	Ingested uint64
+	// Emitted counts protected records delivered to Output.
+	Emitted uint64
+	// Flushes counts protection calls (windows flushed).
+	Flushes uint64
+	// Dropped counts records lost because cancellation outran delivery.
+	Dropped uint64
+	// Users is the number of per-user streams the shard holds.
+	Users int
+	// QueueLen is the instantaneous input-queue occupancy, in batches of
+	// up to StageSize records.
+	QueueLen int
+}
+
+// Stats is a point-in-time snapshot of the whole gateway.
+type Stats struct {
+	// Ingested, Emitted, Flushes, Dropped and Users aggregate the
+	// per-shard counters.
+	Ingested, Emitted, Flushes, Dropped uint64
+	Users                               int
+	// PerShard holds one entry per shard, in shard order.
+	PerShard []ShardStats
+}
+
+// shard is one worker: an ingest stage, a bounded queue of record batches,
+// a per-user stream table and counters. Only the shard's goroutine touches
+// users; the stage is shared with producers under its own lock.
+type shard struct {
+	in    chan []trace.Record
+	users map[string]*lppm.UserStream
+
+	stageMu sync.Mutex
+	stage   []trace.Record
+	dead    bool // no further sends on in; set before in closes
+
+	ingested atomic.Uint64
+	emitted  atomic.Uint64
+	flushes  atomic.Uint64
+	dropped  atomic.Uint64
+	userN    atomic.Int64
+}
+
+// Gateway is the online protection middleware. Create with New, feed with
+// Ingest (any number of goroutines), consume Output until it closes, stop
+// with Close. See package comment for the data flow.
+type Gateway struct {
+	cfg    Config
+	ctx    context.Context
+	root   *rng.Source
+	shards []*shard
+	out    chan []trace.Record
+	done   chan struct{} // closed once every shard has exited
+
+	wg        sync.WaitGroup
+	closeOnce sync.Once
+
+	graceOnce  sync.Once
+	graceUntil time.Time
+
+	errMu sync.Mutex
+	err   error
+}
+
+// New validates the configuration and starts the shard workers. The context
+// bounds the gateway's lifetime: cancellation stops intake, drains the
+// bounded queues, flushes every per-user window and closes Output.
+func New(ctx context.Context, cfg Config) (*Gateway, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	g := &Gateway{
+		cfg:    cfg,
+		ctx:    ctx,
+		root:   rng.New(cfg.Seed),
+		shards: make([]*shard, cfg.Shards),
+		out:    make(chan []trace.Record, cfg.Shards),
+		done:   make(chan struct{}),
+	}
+	batches := cfg.QueueSize / cfg.StageSize
+	if batches < 1 {
+		batches = 1
+	}
+	for i := range g.shards {
+		s := &shard{
+			in:    make(chan []trace.Record, batches),
+			users: make(map[string]*lppm.UserStream),
+		}
+		g.shards[i] = s
+		g.wg.Add(1)
+		go g.run(s)
+	}
+	go g.watch()
+	go g.sweep()
+	return g, nil
+}
+
+// watch finalizes the gateway once every worker has exited: leftover staged
+// or still-queued records (possible only on cancellation — a normal Close
+// drain consumes the queue before the worker exits) are accounted as
+// dropped, and the output closes so consumers unblock.
+func (g *Gateway) watch() {
+	g.wg.Wait()
+	for _, s := range g.shards {
+		s.stageMu.Lock()
+		s.dead = true
+		if n := len(s.stage); n > 0 {
+			s.dropped.Add(uint64(n))
+			s.stage = nil
+		}
+		// Sends happen only under stageMu with dead unset, so after
+		// this point the queue can no longer grow; whatever the dead
+		// worker left behind is lost and must be counted.
+	drainQueue:
+		for {
+			select {
+			case batch, ok := <-s.in:
+				if !ok {
+					break drainQueue
+				}
+				s.dropped.Add(uint64(len(batch)))
+			default:
+				break drainQueue
+			}
+		}
+		s.stageMu.Unlock()
+	}
+	close(g.out)
+	close(g.done)
+}
+
+// sweep periodically pushes partial stages into their shard queues so a
+// quiet stream still sees records within about one StageInterval.
+func (g *Gateway) sweep() {
+	t := time.NewTicker(g.cfg.StageInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-g.ctx.Done():
+			return
+		case <-g.done:
+			return
+		case <-t.C:
+			for _, s := range g.shards {
+				// TryLock: a producer blocked on this shard's full
+				// queue holds its stageMu, and waiting on it would
+				// stall sweeping for every other shard.
+				if !s.stageMu.TryLock() {
+					continue
+				}
+				if !s.dead && len(s.stage) > 0 {
+					select {
+					case s.in <- s.stage:
+						s.stage = nil
+					default:
+						// Queue full: the worker is busy; the
+						// stage goes out on the next sweep or
+						// when it fills.
+					}
+				}
+				s.stageMu.Unlock()
+			}
+		}
+	}
+}
+
+// shardOf routes a user to a shard: FNV-1a over the identity, mod N. Stable
+// across processes and shard-local for every record of one user.
+func shardOf(user string, n int) int {
+	h := fnv.New32a()
+	h.Write([]byte(user)) // fnv never errors
+	return int(h.Sum32() % uint32(n))
+}
+
+// Ingest routes one record to its user's shard, blocking when the shard
+// queue is full (backpressure). Safe for concurrent use. Returns ErrClosed
+// after Close, or the context error after cancellation.
+func (g *Gateway) Ingest(rec trace.Record) error {
+	if rec.User == "" {
+		return fmt.Errorf("service: record with empty user id")
+	}
+	s := g.shards[shardOf(rec.User, len(g.shards))]
+	s.stageMu.Lock()
+	defer s.stageMu.Unlock()
+	if s.dead {
+		return ErrClosed
+	}
+	// Refuse intake as soon as the context is canceled — staging the
+	// record would only have the drain count it dropped.
+	if err := g.ctx.Err(); err != nil {
+		return err
+	}
+	if s.stage == nil {
+		s.stage = make([]trace.Record, 0, g.cfg.StageSize)
+	}
+	s.stage = append(s.stage, rec)
+	s.ingested.Add(1)
+	if len(s.stage) < g.cfg.StageSize {
+		return nil
+	}
+	// Full stage: hand the batch to the worker, blocking for
+	// backpressure. The stage lock stays held — competing producers
+	// would only block on the same full queue anyway, and holding it
+	// keeps every send ordered before any close(s.in).
+	batch := s.stage
+	s.stage = nil
+	select {
+	case s.in <- batch:
+		return nil
+	case <-g.ctx.Done():
+		s.dropped.Add(uint64(len(batch)))
+		return g.ctx.Err()
+	}
+}
+
+// IngestAll feeds a slice of records in order, stopping at the first error.
+func (g *Gateway) IngestAll(recs []trace.Record) error {
+	for _, rec := range recs {
+		if err := g.Ingest(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Output returns the protected stream. Each element is one flushed window:
+// protected records of a single user in time order. Windows of one user
+// arrive in stream order; windows of different users interleave freely. The
+// channel closes once every shard has drained (after Close or
+// cancellation); consumers must read until then.
+func (g *Gateway) Output() <-chan []trace.Record { return g.out }
+
+// Close stops intake, drains the shards (staged and queued records are
+// still protected and emitted), closes Output once the drain finishes, and
+// returns the first mechanism error encountered, if any. Callers must stop
+// Ingest-ing before Close and keep consuming Output until it closes.
+// Idempotent.
+func (g *Gateway) Close() error {
+	g.closeOnce.Do(func() {
+		for _, s := range g.shards {
+			s.stageMu.Lock()
+			if !s.dead {
+				if len(s.stage) > 0 {
+					select {
+					case s.in <- s.stage:
+						s.stage = nil
+					case <-g.ctx.Done():
+						s.dropped.Add(uint64(len(s.stage)))
+						s.stage = nil
+					}
+				}
+				s.dead = true
+				close(s.in)
+			}
+			s.stageMu.Unlock()
+		}
+	})
+	// Wait for watch(), not just the workers: the leftover-record
+	// accounting runs there, and returning earlier would let a
+	// Close-then-Stats caller observe Ingested > Emitted+Dropped.
+	<-g.done
+	g.errMu.Lock()
+	defer g.errMu.Unlock()
+	return g.err
+}
+
+// Stats snapshots the gateway's counters.
+func (g *Gateway) Stats() Stats {
+	st := Stats{PerShard: make([]ShardStats, len(g.shards))}
+	for i, s := range g.shards {
+		ss := ShardStats{
+			Ingested: s.ingested.Load(),
+			Emitted:  s.emitted.Load(),
+			Flushes:  s.flushes.Load(),
+			Dropped:  s.dropped.Load(),
+			Users:    int(s.userN.Load()),
+			QueueLen: len(s.in),
+		}
+		st.PerShard[i] = ss
+		st.Ingested += ss.Ingested
+		st.Emitted += ss.Emitted
+		st.Flushes += ss.Flushes
+		st.Dropped += ss.Dropped
+		st.Users += ss.Users
+	}
+	return st
+}
+
+// setErr records the first error.
+func (g *Gateway) setErr(err error) {
+	g.errMu.Lock()
+	if g.err == nil {
+		g.err = err
+	}
+	g.errMu.Unlock()
+}
+
+// run is the shard worker loop: consume queued batches, window per user,
+// flush full windows. On cancellation it drains whatever is already queued
+// (bounded by QueueSize) and flushes every user's remainder; on channel
+// close (Close) it does the same after the queue empties.
+func (g *Gateway) run(s *shard) {
+	defer g.wg.Done()
+	for {
+		select {
+		case batch, ok := <-s.in:
+			if !ok {
+				g.drain(s)
+				return
+			}
+			g.handleBatch(s, batch)
+		case <-g.ctx.Done():
+			for {
+				select {
+				case batch, ok := <-s.in:
+					if !ok {
+						g.drain(s)
+						return
+					}
+					g.handleBatch(s, batch)
+				default:
+					g.drain(s)
+					return
+				}
+			}
+		}
+	}
+}
+
+// handleBatch windows each record of a queued batch.
+func (g *Gateway) handleBatch(s *shard, batch []trace.Record) {
+	for _, rec := range batch {
+		g.handle(s, rec)
+	}
+}
+
+// handle buffers one record on its user's stream and flushes a full window.
+func (g *Gateway) handle(s *shard, rec trace.Record) {
+	us := s.users[rec.User]
+	if us == nil {
+		var err error
+		// Per-user randomness is derived by name from the root seed,
+		// matching lppm.ProtectDataset: a user's protected stream is
+		// identical whatever the shard count — and, for mechanisms
+		// that draw randomness strictly per record, identical to the
+		// batch result.
+		us, err = lppm.NewUserStream(g.cfg.Mechanism, g.cfg.Params, rec.User, g.root.Named(rec.User))
+		if err != nil {
+			g.setErr(err)
+			s.dropped.Add(1)
+			return
+		}
+		s.users[rec.User] = us
+		s.userN.Add(1)
+	}
+	if err := us.Push(rec); err != nil {
+		g.setErr(err)
+		s.dropped.Add(1)
+		return
+	}
+	if us.Pending() >= g.cfg.FlushEvery {
+		g.flush(s, us)
+	}
+}
+
+// flush protects one user's window and emits it.
+func (g *Gateway) flush(s *shard, us *lppm.UserStream) {
+	n := us.Pending()
+	if n == 0 {
+		return
+	}
+	recs, err := us.Flush()
+	if err != nil {
+		g.setErr(err)
+		// Flush retains its buffer on error; discard so the window is
+		// counted dropped exactly once rather than again per retry.
+		s.dropped.Add(uint64(us.Discard()))
+		return
+	}
+	s.flushes.Add(1)
+	select {
+	case g.out <- recs:
+		s.emitted.Add(uint64(len(recs)))
+		return
+	case <-g.ctx.Done():
+	}
+	// Canceled: the consumer may be gone, and losing the window beats
+	// deadlocking the drain — but give a live consumer a grace period so
+	// cancellation with a draining reader loses nothing. The deadline is
+	// gateway-wide, not per window, so an absent consumer costs the
+	// whole drain one grace period rather than one per user.
+	g.graceOnce.Do(func() { g.graceUntil = time.Now().Add(drainGrace) })
+	timer := time.NewTimer(time.Until(g.graceUntil))
+	defer timer.Stop()
+	select {
+	case g.out <- recs:
+		s.emitted.Add(uint64(len(recs)))
+	case <-timer.C:
+		s.dropped.Add(uint64(len(recs)))
+	}
+}
+
+// drain flushes every user's remaining window. Users flush in map order;
+// per-user record order is still preserved.
+func (g *Gateway) drain(s *shard) {
+	for _, us := range s.users {
+		g.flush(s, us)
+	}
+}

@@ -1,9 +1,6 @@
 package trace
 
 import (
-	"bufio"
-	"encoding/csv"
-	"encoding/json"
 	"fmt"
 	"io"
 	"strconv"
@@ -19,62 +16,42 @@ var csvHeader = []string{"user", "timestamp", "lat", "lng"}
 // WriteCSV writes the dataset in canonical CSV form, users in deterministic
 // order, each user's records in time order.
 func WriteCSV(w io.Writer, d *Dataset) error {
-	cw := csv.NewWriter(w)
-	if err := cw.Write(csvHeader); err != nil {
-		return fmt.Errorf("trace: write header: %w", err)
+	return writeRecords(w, d, FormatCSV)
+}
+
+// writeRecords streams a dataset through a RecordWriter — the batch writers
+// are the streaming writer plus deterministic iteration.
+func writeRecords(w io.Writer, d *Dataset, format Format) error {
+	rw, err := NewRecordWriter(w, format)
+	if err != nil {
+		return err
 	}
 	for _, t := range d.Traces() {
 		for _, r := range t.Records {
-			row := []string{
-				r.User,
-				strconv.FormatInt(r.Time.Unix(), 10),
-				strconv.FormatFloat(r.Point.Lat, 'f', 6, 64),
-				strconv.FormatFloat(r.Point.Lng, 'f', 6, 64),
-			}
-			if err := cw.Write(row); err != nil {
-				return fmt.Errorf("trace: write record: %w", err)
+			if err := rw.Write(r); err != nil {
+				return err
 			}
 		}
 	}
-	cw.Flush()
-	if err := cw.Error(); err != nil {
-		return fmt.Errorf("trace: flush csv: %w", err)
-	}
-	return nil
+	return rw.Flush()
 }
 
 // ReadCSV parses a dataset from canonical CSV form. The header row is
 // required; records may appear in any order.
 func ReadCSV(r io.Reader) (*Dataset, error) {
-	cr := csv.NewReader(r)
-	cr.FieldsPerRecord = len(csvHeader)
+	return readRecords(r, FormatCSV)
+}
 
-	header, err := cr.Read()
-	if err != nil {
-		return nil, fmt.Errorf("trace: read header: %w", err)
-	}
-	for i, want := range csvHeader {
-		if header[i] != want {
-			return nil, fmt.Errorf("trace: header column %d is %q, want %q", i, header[i], want)
-		}
-	}
-
+// readRecords accumulates a streaming scan into a dataset — the batch
+// readers are the scanner plus a per-user grouping.
+func readRecords(r io.Reader, format Format) (*Dataset, error) {
 	perUser := make(map[string][]Record)
-	for line := 2; ; line++ {
-		row, err := cr.Read()
-		if err == io.EOF {
-			break
-		}
-		if err != nil {
-			return nil, fmt.Errorf("trace: read line %d: %w", line, err)
-		}
-		rec, err := parseCSVRow(row)
-		if err != nil {
-			return nil, fmt.Errorf("trace: line %d: %w", line, err)
-		}
+	if err := ScanRecords(r, format, func(rec Record) error {
 		perUser[rec.User] = append(perUser[rec.User], rec)
+		return nil
+	}); err != nil {
+		return nil, err
 	}
-
 	d := NewDataset()
 	for user, recs := range perUser {
 		t, err := NewTrace(user, recs)
@@ -117,52 +94,24 @@ type jsonRecord struct {
 	Lng  float64 `json:"lng"`
 }
 
+// record converts the wire form into a Record, validating it.
+func (jr jsonRecord) record() (Record, error) {
+	if jr.User == "" {
+		return Record{}, fmt.Errorf("empty user")
+	}
+	p := geo.Point{Lat: jr.Lat, Lng: jr.Lng}
+	if !p.Valid() {
+		return Record{}, fmt.Errorf("invalid coordinates %v", p)
+	}
+	return Record{User: jr.User, Time: time.Unix(jr.Unix, 0).UTC(), Point: p}, nil
+}
+
 // WriteJSONL writes the dataset as one JSON object per line.
 func WriteJSONL(w io.Writer, d *Dataset) error {
-	bw := bufio.NewWriter(w)
-	enc := json.NewEncoder(bw)
-	for _, t := range d.Traces() {
-		for _, r := range t.Records {
-			jr := jsonRecord{User: r.User, Unix: r.Time.Unix(), Lat: r.Point.Lat, Lng: r.Point.Lng}
-			if err := enc.Encode(jr); err != nil {
-				return fmt.Errorf("trace: encode jsonl: %w", err)
-			}
-		}
-	}
-	if err := bw.Flush(); err != nil {
-		return fmt.Errorf("trace: flush jsonl: %w", err)
-	}
-	return nil
+	return writeRecords(w, d, FormatJSONL)
 }
 
 // ReadJSONL parses a dataset from JSON-lines form.
 func ReadJSONL(r io.Reader) (*Dataset, error) {
-	dec := json.NewDecoder(r)
-	perUser := make(map[string][]Record)
-	for line := 1; ; line++ {
-		var jr jsonRecord
-		if err := dec.Decode(&jr); err == io.EOF {
-			break
-		} else if err != nil {
-			return nil, fmt.Errorf("trace: jsonl line %d: %w", line, err)
-		}
-		if jr.User == "" {
-			return nil, fmt.Errorf("trace: jsonl line %d: empty user", line)
-		}
-		p := geo.Point{Lat: jr.Lat, Lng: jr.Lng}
-		if !p.Valid() {
-			return nil, fmt.Errorf("trace: jsonl line %d: invalid coordinates %v", line, p)
-		}
-		perUser[jr.User] = append(perUser[jr.User],
-			Record{User: jr.User, Time: time.Unix(jr.Unix, 0).UTC(), Point: p})
-	}
-	d := NewDataset()
-	for user, recs := range perUser {
-		t, err := NewTrace(user, recs)
-		if err != nil {
-			return nil, err
-		}
-		d.Add(t)
-	}
-	return d, nil
+	return readRecords(r, FormatJSONL)
 }

@@ -1,0 +1,175 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Format names a record wire format understood by the streaming scanner and
+// writer.
+type Format string
+
+// The supported wire formats: the canonical CSV layout (user, unix seconds,
+// lat, lng — header required) and one JSON object per line.
+const (
+	FormatCSV   Format = "csv"
+	FormatJSONL Format = "jsonl"
+)
+
+// ParseFormat maps a user-supplied name to a Format.
+func ParseFormat(s string) (Format, error) {
+	switch Format(s) {
+	case FormatCSV:
+		return FormatCSV, nil
+	case FormatJSONL:
+		return FormatJSONL, nil
+	}
+	return "", fmt.Errorf("trace: unknown format %q (want %q or %q)", s, FormatCSV, FormatJSONL)
+}
+
+// ScanRecords parses records from r one at a time, invoking fn for each in
+// input order without materializing a Dataset — the streaming complement of
+// ReadCSV/ReadJSONL for inputs too large (or too live) to batch. An error
+// from fn aborts the scan and is returned unchanged.
+func ScanRecords(r io.Reader, format Format, fn func(Record) error) error {
+	switch format {
+	case FormatCSV:
+		return scanCSV(r, fn)
+	case FormatJSONL:
+		return scanJSONL(r, fn)
+	}
+	return fmt.Errorf("trace: unknown format %q", format)
+}
+
+func scanCSV(r io.Reader, fn func(Record) error) error {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(csvHeader)
+	header, err := cr.Read()
+	if err != nil {
+		return fmt.Errorf("trace: read header: %w", err)
+	}
+	for i, want := range csvHeader {
+		if header[i] != want {
+			return fmt.Errorf("trace: header column %d is %q, want %q", i, header[i], want)
+		}
+	}
+	for line := 2; ; line++ {
+		row, err := cr.Read()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("trace: read line %d: %w", line, err)
+		}
+		rec, err := parseCSVRow(row)
+		if err != nil {
+			return fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		if err := fn(rec); err != nil {
+			return err
+		}
+	}
+}
+
+func scanJSONL(r io.Reader, fn func(Record) error) error {
+	dec := json.NewDecoder(r)
+	for line := 1; ; line++ {
+		var jr jsonRecord
+		if err := dec.Decode(&jr); err == io.EOF {
+			return nil
+		} else if err != nil {
+			return fmt.Errorf("trace: jsonl line %d: %w", line, err)
+		}
+		rec, err := jr.record()
+		if err != nil {
+			return fmt.Errorf("trace: jsonl line %d: %w", line, err)
+		}
+		if err := fn(rec); err != nil {
+			return err
+		}
+	}
+}
+
+// RecordWriter emits records one at a time in a wire format — the streaming
+// complement of WriteCSV/WriteJSONL. Call Flush when done.
+type RecordWriter struct {
+	format Format
+	bw     *bufio.Writer
+	cw     *csv.Writer
+	enc    *json.Encoder
+	wrote  bool
+}
+
+// NewRecordWriter wraps w for the given format.
+func NewRecordWriter(w io.Writer, format Format) (*RecordWriter, error) {
+	rw := &RecordWriter{format: format}
+	switch format {
+	case FormatCSV:
+		rw.cw = csv.NewWriter(w)
+	case FormatJSONL:
+		rw.bw = bufio.NewWriter(w)
+		rw.enc = json.NewEncoder(rw.bw)
+	default:
+		return nil, fmt.Errorf("trace: unknown format %q", format)
+	}
+	return rw, nil
+}
+
+// Write emits one record (preceded by the header for CSV).
+func (rw *RecordWriter) Write(rec Record) error {
+	switch rw.format {
+	case FormatCSV:
+		if !rw.wrote {
+			if err := rw.cw.Write(csvHeader); err != nil {
+				return fmt.Errorf("trace: write header: %w", err)
+			}
+		}
+		rw.wrote = true
+		row := []string{
+			rec.User,
+			strconv.FormatInt(rec.Time.Unix(), 10),
+			strconv.FormatFloat(rec.Point.Lat, 'f', 6, 64),
+			strconv.FormatFloat(rec.Point.Lng, 'f', 6, 64),
+		}
+		if err := rw.cw.Write(row); err != nil {
+			return fmt.Errorf("trace: write record: %w", err)
+		}
+		return nil
+	default: // jsonl; constructor rejected anything else
+		rw.wrote = true
+		jr := jsonRecord{User: rec.User, Unix: rec.Time.Unix(), Lat: rec.Point.Lat, Lng: rec.Point.Lng}
+		if err := rw.enc.Encode(jr); err != nil {
+			return fmt.Errorf("trace: encode jsonl: %w", err)
+		}
+		return nil
+	}
+}
+
+// Flush drains buffered output to the underlying writer. A CSV stream that
+// saw no records still gets its header, so the output round-trips through
+// ReadCSV as an empty dataset just like WriteCSV's.
+func (rw *RecordWriter) Flush() error {
+	switch rw.format {
+	case FormatCSV:
+		if !rw.wrote {
+			rw.wrote = true
+			if err := rw.cw.Write(csvHeader); err != nil {
+				return fmt.Errorf("trace: write header: %w", err)
+			}
+		}
+		rw.cw.Flush()
+		if err := rw.cw.Error(); err != nil {
+			return fmt.Errorf("trace: flush csv: %w", err)
+		}
+		return nil
+	default:
+		if err := rw.bw.Flush(); err != nil {
+			return fmt.Errorf("trace: flush jsonl: %w", err)
+		}
+		return nil
+	}
+}

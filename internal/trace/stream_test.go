@@ -1,0 +1,145 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/geo"
+)
+
+func streamTestDataset(t *testing.T) *Dataset {
+	t.Helper()
+	t0 := time.Date(2008, 5, 17, 12, 0, 0, 0, time.UTC)
+	base := geo.Point{Lat: 37.7749, Lng: -122.4194}
+	d := NewDataset()
+	for _, u := range []string{"a", "b"} {
+		recs := make([]Record, 4)
+		for i := range recs {
+			recs[i] = Record{User: u, Time: t0.Add(time.Duration(i) * time.Minute), Point: base.Offset(float64(i)*100, 0)}
+		}
+		tr, err := NewTrace(u, recs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d.Add(tr)
+	}
+	return d
+}
+
+// TestScanRoundTrip checks ScanRecords against both batch writers: every
+// record written comes back, in order, for both formats.
+func TestScanRoundTrip(t *testing.T) {
+	d := streamTestDataset(t)
+	for _, format := range []Format{FormatCSV, FormatJSONL} {
+		var buf bytes.Buffer
+		var err error
+		if format == FormatCSV {
+			err = WriteCSV(&buf, d)
+		} else {
+			err = WriteJSONL(&buf, d)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got []Record
+		if err := ScanRecords(&buf, format, func(r Record) error {
+			got = append(got, r)
+			return nil
+		}); err != nil {
+			t.Fatalf("%s: %v", format, err)
+		}
+		if len(got) != d.NumRecords() {
+			t.Fatalf("%s: scanned %d records, want %d", format, len(got), d.NumRecords())
+		}
+		i := 0
+		for _, tr := range d.Traces() {
+			for _, want := range tr.Records {
+				if got[i].User != want.User || !got[i].Time.Equal(want.Time) {
+					t.Fatalf("%s record %d: got %v, want %v", format, i, got[i], want)
+				}
+				i++
+			}
+		}
+	}
+}
+
+// TestRecordWriterRoundTrip checks the streaming writer against the batch
+// readers.
+func TestRecordWriterRoundTrip(t *testing.T) {
+	d := streamTestDataset(t)
+	for _, format := range []Format{FormatCSV, FormatJSONL} {
+		var buf bytes.Buffer
+		rw, err := NewRecordWriter(&buf, format)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tr := range d.Traces() {
+			for _, rec := range tr.Records {
+				if err := rw.Write(rec); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if err := rw.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		var back *Dataset
+		if format == FormatCSV {
+			back, err = ReadCSV(&buf)
+		} else {
+			back, err = ReadJSONL(&buf)
+		}
+		if err != nil {
+			t.Fatalf("%s: %v", format, err)
+		}
+		if back.NumRecords() != d.NumRecords() || back.NumUsers() != d.NumUsers() {
+			t.Errorf("%s: round trip %d records / %d users, want %d / %d",
+				format, back.NumRecords(), back.NumUsers(), d.NumRecords(), d.NumUsers())
+		}
+	}
+}
+
+// TestRecordWriterEmptyCSVHasHeader checks a record-less CSV stream still
+// round-trips: Flush emits the header, matching WriteCSV on an empty
+// dataset.
+func TestRecordWriterEmptyCSVHasHeader(t *testing.T) {
+	var buf bytes.Buffer
+	rw, err := NewRecordWriter(&buf, FormatCSV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	d, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatalf("empty stream output does not round-trip: %v", err)
+	}
+	if d.NumRecords() != 0 {
+		t.Errorf("round-tripped %d records, want 0", d.NumRecords())
+	}
+}
+
+func TestScanErrorsPropagate(t *testing.T) {
+	sentinel := errors.New("stop")
+	input := "{\"user\":\"a\",\"ts\":0,\"lat\":1,\"lng\":2}\n"
+	err := ScanRecords(strings.NewReader(input), FormatJSONL, func(Record) error { return sentinel })
+	if !errors.Is(err, sentinel) {
+		t.Errorf("fn error not propagated: %v", err)
+	}
+	if err := ScanRecords(strings.NewReader("not json\n"), FormatJSONL, nil); err == nil {
+		t.Error("malformed jsonl must error")
+	}
+	if err := ScanRecords(strings.NewReader("wrong,header,row,x\n"), FormatCSV, nil); err == nil {
+		t.Error("bad csv header must error")
+	}
+	if _, err := ParseFormat("xml"); err == nil {
+		t.Error("unknown format must error")
+	}
+	if _, err := NewRecordWriter(&bytes.Buffer{}, Format("xml")); err == nil {
+		t.Error("unknown writer format must error")
+	}
+}
