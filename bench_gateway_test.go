@@ -6,8 +6,11 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/geo"
 	"repro/internal/lppm"
+	"repro/internal/metrics"
+	"repro/internal/model"
 	"repro/internal/service"
 	"repro/internal/trace"
 )
@@ -40,11 +43,15 @@ func gatewayWorkload(users, perUser, producers int) [][]trace.Record {
 }
 
 // runGatewayPass streams every producer slice through a fresh gateway and
-// verifies all records come back protected.
-func runGatewayPass(b *testing.B, shards int, slices [][]trace.Record, total int, seed int64) {
+// verifies all records come back protected. With sampled set, a
+// reconfiguration controller taps the flushed windows at its default 5%
+// sampling rate (the loop's steady-state hot-path cost; evaluations are
+// off-path and not measured here).
+func runGatewayPass(b *testing.B, shards int, slices [][]trace.Record, total int, seed int64, sampled bool) {
 	b.Helper()
+	mech := lppm.NewGeoIndistinguishability()
 	cfg := service.Config{
-		Mechanism:  lppm.NewGeoIndistinguishability(),
+		Mechanism:  mech,
 		Shards:     shards,
 		QueueSize:  512,
 		FlushEvery: 8,
@@ -53,6 +60,23 @@ func runGatewayPass(b *testing.B, shards int, slices [][]trace.Record, total int
 	g, err := service.New(context.Background(), cfg)
 	if err != nil {
 		b.Fatal(err)
+	}
+	if sampled {
+		dep, err := core.NewDeployment(mech, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := service.NewController(g, dep, service.ControllerConfig{
+			Definition: core.Definition{
+				Mechanism: mech,
+				Privacy:   metrics.MustPOIRetrieval(metrics.DefaultPOIRetrievalConfig()),
+				Utility:   metrics.MustAreaCoverage(metrics.DefaultAreaCoverageConfig()),
+			},
+			Objectives: model.Objectives{MaxPrivacy: 0.95, MinUtility: 0.05},
+			Seed:       seed,
+		}); err != nil {
+			b.Fatal(err)
+		}
 	}
 	consumed := make(chan int)
 	go func() {
@@ -102,13 +126,13 @@ func BenchmarkGatewayThroughput(b *testing.B) {
 	elapsed := make([]time.Duration, len(gatewayShardCounts))
 	// One untimed pass per configuration warms the heap and page tables.
 	for _, shards := range gatewayShardCounts {
-		runGatewayPass(b, shards, slices, total, 0)
+		runGatewayPass(b, shards, slices, total, 0, false)
 	}
 	b.ResetTimer()
 	for iter := 0; iter < b.N; iter++ {
 		for ci, shards := range gatewayShardCounts {
 			start := time.Now()
-			runGatewayPass(b, shards, slices, total, int64(iter+1))
+			runGatewayPass(b, shards, slices, total, int64(iter+1), false)
 			elapsed[ci] += time.Since(start)
 		}
 	}
@@ -116,4 +140,44 @@ func BenchmarkGatewayThroughput(b *testing.B) {
 		b.ReportMetric(float64(total*b.N)/elapsed[ci].Seconds(),
 			fmt.Sprintf("points/sec:%dshard", shards))
 	}
+}
+
+// BenchmarkGatewayControllerOverhead measures what attaching the
+// reconfiguration controller costs the serving hot path: the same workload
+// with the tap off and with 5% window sampling on, interleaved within every
+// iteration (same single-CPU discipline as above) so shared-host load drift
+// cannot masquerade as controller overhead. The budget is < 5% regression;
+// the steady-state cost is one atomic load per flush plus a Bernoulli draw
+// and, on the sampled 5%, copying one window into the sliding aggregates.
+func BenchmarkGatewayControllerOverhead(b *testing.B) {
+	const (
+		users     = 192
+		perUser   = 250
+		producers = 4
+		shards    = 4
+	)
+	slices := gatewayWorkload(users, perUser, producers)
+	total := users * perUser
+	modes := []bool{false, true}
+	elapsed := make([]time.Duration, len(modes))
+	for _, sampled := range modes {
+		runGatewayPass(b, shards, slices, total, 0, sampled)
+	}
+	b.ResetTimer()
+	for iter := 0; iter < b.N; iter++ {
+		// Alternate which mode goes first: with only two configs, a fixed
+		// order would let slow host-load oscillations masquerade as a
+		// systematic mode difference.
+		for k := range modes {
+			mi := (iter + k) % len(modes)
+			start := time.Now()
+			runGatewayPass(b, shards, slices, total, int64(iter+1), modes[mi])
+			elapsed[mi] += time.Since(start)
+		}
+	}
+	off := float64(total*b.N) / elapsed[0].Seconds()
+	on := float64(total*b.N) / elapsed[1].Seconds()
+	b.ReportMetric(off, "points/sec:off")
+	b.ReportMetric(on, "points/sec:sampled")
+	b.ReportMetric((off-on)/off*100, "overhead:%")
 }

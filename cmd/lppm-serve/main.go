@@ -2,17 +2,22 @@
 // stream: it reads location records (JSONL or CSV) from stdin or a file,
 // routes them through N shards applying the configured mechanism, and
 // streams the protected records out — the serving counterpart of the batch
-// lppm-apply.
+// lppm-apply. With -reconfigure-every it also closes the loop: a
+// reconfiguration controller samples the served stream, estimates the live
+// privacy/utility, and hot-swaps a re-configured deployment when the
+// observed values drift outside the -objectives.
 //
 // Usage:
 //
 //	lppm-tracegen -drivers 50 -out day.csv
 //	lppm-serve -in day.csv -format csv -mech geoi -set epsilon=0.01 -shards 8 -out protected.csv -stats
 //	cat stream.jsonl | lppm-serve -mech rounding > protected.jsonl
+//	lppm-serve -in day.csv -format csv -mech geoi -reconfigure-every 30s -objectives privacy=0.1,utility=0.8
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -22,9 +27,12 @@ import (
 	"strconv"
 	"strings"
 	"syscall"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/lppm"
+	"repro/internal/metrics"
+	"repro/internal/model"
 	"repro/internal/service"
 	"repro/internal/trace"
 )
@@ -44,6 +52,15 @@ func main() {
 		flushEvery = flag.Int("flush", 0, "per-user window size, 0 for default")
 		seed       = flag.Int64("seed", 42, "master random seed")
 		stats      = flag.Bool("stats", false, "print gateway stats to stderr on exit")
+
+		reconfEvery = flag.Duration("reconfigure-every", 0,
+			"run the reconfiguration controller at this interval (0 disables the loop)")
+		objectives = flag.String("objectives", "privacy=0.10,utility=0.80",
+			"drift targets as privacy=MAX,utility=MIN (used with -reconfigure-every)")
+		sampleFrac = flag.Float64("sample", 0.05,
+			"fraction of flushed windows the controller observes, in (0, 1] (0 also means the 5% default; drop -reconfigure-every to disable the loop)")
+		paramName = flag.String("param", "",
+			"parameter the controller re-models; empty = the mechanism's sole parameter")
 	)
 	params := lppm.Params{}
 	flag.Func("set", "parameter override as name=value (repeatable)", func(s string) error {
@@ -65,31 +82,89 @@ func main() {
 		fmt.Println(strings.Join(reg.Names(), "\n"))
 		return
 	}
-	if err := run(reg, *mechName, params, *inPath, *outPath, *formatName,
-		*shards, *queue, *flushEvery, *seed, *stats); err != nil {
+	obj, err := parseObjectives(*objectives)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := serveOpts{
+		mechName: *mechName, params: params,
+		inPath: *inPath, outPath: *outPath, formatName: *formatName,
+		shards: *shards, queue: *queue, flushEvery: *flushEvery,
+		seed: *seed, stats: *stats,
+		reconfEvery: *reconfEvery, objectives: obj,
+		sampleFrac: *sampleFrac, paramName: *paramName,
+	}
+	if err := run(reg, opts); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(reg *lppm.Registry, mechName string, params lppm.Params, inPath, outPath, formatName string,
-	shards, queue, flushEvery int, seed int64, stats bool) error {
-	format, err := trace.ParseFormat(formatName)
+// parseObjectives reads "privacy=0.1,utility=0.8" into model.Objectives.
+// Both bounds are required: a missing one would silently default to zero
+// and turn the drift check into a perpetually-failing reconfiguration.
+func parseObjectives(s string) (model.Objectives, error) {
+	var obj model.Objectives
+	var havePriv, haveUtil bool
+	for _, part := range strings.Split(s, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return obj, fmt.Errorf("bad -objectives part %q, want name=value", part)
+		}
+		v, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return obj, fmt.Errorf("bad -objectives value in %q: %v", part, err)
+		}
+		switch name {
+		case "privacy":
+			obj.MaxPrivacy, havePriv = v, true
+		case "utility":
+			obj.MinUtility, haveUtil = v, true
+		default:
+			return obj, fmt.Errorf("unknown -objectives name %q (want privacy or utility)", name)
+		}
+	}
+	if !havePriv || !haveUtil {
+		return obj, fmt.Errorf("-objectives must set both privacy and utility, got %q", s)
+	}
+	return obj, obj.Validate()
+}
+
+type serveOpts struct {
+	mechName   string
+	params     lppm.Params
+	inPath     string
+	outPath    string
+	formatName string
+	shards     int
+	queue      int
+	flushEvery int
+	seed       int64
+	stats      bool
+
+	reconfEvery time.Duration
+	objectives  model.Objectives
+	sampleFrac  float64
+	paramName   string
+}
+
+func run(reg *lppm.Registry, o serveOpts) error {
+	format, err := trace.ParseFormat(o.formatName)
 	if err != nil {
 		return err
 	}
-	mech, err := reg.Get(mechName)
+	mech, err := reg.Get(o.mechName)
 	if err != nil {
 		return err
 	}
 	// Defaults plus -set overrides, validated once up front.
-	dep, err := core.NewDeployment(mech, params)
+	dep, err := core.NewDeployment(mech, o.params)
 	if err != nil {
 		return err
 	}
 
 	in := io.Reader(os.Stdin)
-	if inPath != "-" {
-		f, err := os.Open(inPath)
+	if o.inPath != "-" {
+		f, err := os.Open(o.inPath)
 		if err != nil {
 			return err
 		}
@@ -98,8 +173,8 @@ func run(reg *lppm.Registry, mechName string, params lppm.Params, inPath, outPat
 	}
 	out := io.Writer(os.Stdout)
 	var outFile *os.File
-	if outPath != "-" {
-		f, err := os.Create(outPath)
+	if o.outPath != "-" {
+		f, err := os.Create(o.outPath)
 		if err != nil {
 			return err
 		}
@@ -114,13 +189,36 @@ func run(reg *lppm.Registry, mechName string, params lppm.Params, inPath, outPat
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
-	cfg := service.ConfigFromDeployment(dep, seed)
-	cfg.Shards = shards
-	cfg.QueueSize = queue
-	cfg.FlushEvery = flushEvery
+	cfg := service.ConfigFromDeployment(dep, o.seed)
+	cfg.Shards = o.shards
+	cfg.QueueSize = o.queue
+	cfg.FlushEvery = o.flushEvery
 	g, err := service.New(ctx, cfg)
 	if err != nil {
 		return err
+	}
+
+	var ctrl *service.Controller
+	if o.reconfEvery > 0 {
+		ctrl, err = service.NewController(g, dep, service.ControllerConfig{
+			Definition: core.Definition{
+				Mechanism: mech,
+				Param:     o.paramName,
+				Privacy:   metrics.MustPOIRetrieval(metrics.DefaultPOIRetrievalConfig()),
+				Utility:   metrics.MustAreaCoverage(metrics.DefaultAreaCoverageConfig()),
+				// Online re-analysis trades grid resolution for
+				// latency: it runs against live traffic.
+				GridPoints: 9,
+				Repeats:    1,
+			},
+			Objectives: o.objectives,
+			SampleFrac: o.sampleFrac,
+			Seed:       o.seed,
+		})
+		if err != nil {
+			return err
+		}
+		go ctrl.Run(ctx, o.reconfEvery)
 	}
 
 	rw, err := trace.NewRecordWriter(out, format)
@@ -141,35 +239,46 @@ func run(reg *lppm.Registry, mechName string, params lppm.Params, inPath, outPat
 				}
 			}
 		}
+		// The buffered writer's flush is a success-path concern: a
+		// failure here means the tail of the output never hit the sink.
 		writeDone <- rw.Flush()
 	}()
 
+	// Every failure below must reach the exit code — a gateway error, a
+	// writer flush/close error or an output-file close error each mean
+	// the -out file may be truncated, and exiting zero would hide it.
 	scanErr := trace.ScanRecords(in, format, g.Ingest)
-	if closeErr := g.Close(); scanErr == nil {
-		scanErr = closeErr
+	gwErr := g.Close()
+	writeErr := <-writeDone
+	if writeErr != nil && errors.Is(scanErr, context.Canceled) {
+		// The writer failure induced the cancellation; reporting the
+		// scan's context error too would only obscure the cause.
+		scanErr = nil
 	}
-	// A writer failure outranks the scan error it induced (the cancel
-	// above surfaces to Ingest as context.Canceled).
-	if writeErr := <-writeDone; writeErr != nil {
-		scanErr = writeErr
-	}
-	// Close explicitly: a delayed write-back failure surfaces here, and
-	// exiting 0 with a truncated output would hide it.
+	var outCloseErr error
 	if outFile != nil {
-		if cerr := outFile.Close(); scanErr == nil {
-			scanErr = cerr
-		}
+		// Close explicitly: a delayed write-back failure surfaces here.
+		outCloseErr = outFile.Close()
 	}
-	if stats {
+	if o.stats {
 		st := g.Stats()
-		fmt.Fprintf(os.Stderr, "ingested=%d emitted=%d dropped=%d users=%d flushes=%d shards=%d\n",
-			st.Ingested, st.Emitted, st.Dropped, st.Users, st.Flushes, len(st.PerShard))
+		fmt.Fprintf(os.Stderr, "ingested=%d emitted=%d dropped=%d users=%d flushes=%d shards=%d generation=%d swaps=%d\n",
+			st.Ingested, st.Emitted, st.Dropped, st.Users, st.Flushes, len(st.PerShard), st.Generation, st.Swaps)
 		for i, ss := range st.PerShard {
 			fmt.Fprintf(os.Stderr, "  shard %d: ingested=%d emitted=%d users=%d\n",
 				i, ss.Ingested, ss.Emitted, ss.Users)
 		}
+		if ctrl != nil {
+			cs := ctrl.Stats()
+			fmt.Fprintf(os.Stderr, "controller: windows=%d records=%d users=%d evals=%d swaps=%d privacy=%.3f utility=%.3f\n",
+				cs.WindowsObserved, cs.RecordsObserved, cs.UsersTracked,
+				cs.Evaluations, cs.Swaps, cs.LastPrivacy, cs.LastUtility)
+			if cs.LastErr != nil {
+				fmt.Fprintf(os.Stderr, "controller: last error: %v\n", cs.LastErr)
+			}
+		}
 	}
-	// A canceled scan (SIGINT) still drained above; report it only if
-	// nothing else failed.
-	return scanErr
+	// A canceled scan (SIGINT) still drained above and is worth
+	// reporting; Join drops the nils and keeps every real failure.
+	return errors.Join(writeErr, scanErr, gwErr, outCloseErr)
 }

@@ -1,0 +1,140 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/lppm"
+	"repro/internal/model"
+	"repro/internal/trace"
+)
+
+// writeInput produces a small CSV stream of nUsers × perUser records.
+func writeInput(t *testing.T, path string, nUsers, perUser int) int {
+	t.Helper()
+	var b strings.Builder
+	b.WriteString("user,timestamp,lat,lng\n")
+	n := 0
+	for i := 0; i < perUser; i++ {
+		for u := 0; u < nUsers; u++ {
+			fmt.Fprintf(&b, "u%02d,%d,%.6f,%.6f\n", u, 1211025600+60*i,
+				37.7749+float64(i)*0.0004, -122.4194+float64(u)*0.0003)
+			n++
+		}
+	}
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func baseOpts(in, out string) serveOpts {
+	return serveOpts{
+		mechName: "geoi", params: lppm.Params{},
+		inPath: in, outPath: out, formatName: "csv",
+		shards: 2, flushEvery: 4, seed: 7,
+	}
+}
+
+func TestRunRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "in.csv")
+	out := filepath.Join(dir, "out.csv")
+	n := writeInput(t, in, 5, 12)
+	if err := run(lppm.NewRegistry(), baseOpts(in, out)); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	got := 0
+	if err := trace.ScanRecords(f, trace.FormatCSV, func(trace.Record) error {
+		got++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got != n {
+		t.Errorf("output carries %d records, want %d", got, n)
+	}
+}
+
+// TestRunPropagatesWriteFailure is the exit-path audit's regression test:
+// an output sink that fails mid-stream must surface as a non-nil error (a
+// truncated -out file may never exit zero).
+func TestRunPropagatesWriteFailure(t *testing.T) {
+	if _, err := os.Stat("/dev/full"); err != nil {
+		t.Skip("/dev/full not available")
+	}
+	dir := t.TempDir()
+	in := filepath.Join(dir, "in.csv")
+	writeInput(t, in, 8, 40)
+	if err := run(lppm.NewRegistry(), baseOpts(in, "/dev/full")); err == nil {
+		t.Fatal("write failure to /dev/full exited clean")
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "in.csv")
+	if err := os.WriteFile(in, []byte("not,a,valid,header\nx,y,z,w\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(lppm.NewRegistry(), baseOpts(in, filepath.Join(dir, "out.csv"))); err == nil {
+		t.Fatal("malformed input exited clean")
+	}
+}
+
+func TestParseObjectives(t *testing.T) {
+	obj, err := parseObjectives("privacy=0.25,utility=0.6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obj.MaxPrivacy != 0.25 || obj.MinUtility != 0.6 {
+		t.Errorf("parsed %+v", obj)
+	}
+	for _, bad := range []string{"privacy=x", "leakage=0.1", "privacy",
+		"privacy=0.1", "utility=0.8"} { // partial specs would zero the other bound
+		if _, err := parseObjectives(bad); err == nil {
+			t.Errorf("parseObjectives(%q) accepted", bad)
+		}
+	}
+}
+
+// TestRunWithController smoke-tests the reconfiguration path end to end:
+// the loop is wired, samples the stream, and the process still exits clean
+// with every record protected.
+func TestRunWithController(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "in.csv")
+	out := filepath.Join(dir, "out.csv")
+	n := writeInput(t, in, 6, 24)
+	o := baseOpts(in, out)
+	o.reconfEvery = 10 * time.Millisecond
+	o.objectives = model.Objectives{MaxPrivacy: 0.10, MinUtility: 0.80}
+	o.sampleFrac = 1
+	if err := run(lppm.NewRegistry(), o); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	got := 0
+	if err := trace.ScanRecords(f, trace.FormatCSV, func(trace.Record) error {
+		got++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got != n {
+		t.Errorf("controller run emitted %d records, want %d", got, n)
+	}
+}

@@ -1,8 +1,11 @@
-// Streaming: the full paper pipeline wired to live traffic. Steps 1–3
-// (Analyze → Deploy) pick the GEO-I ε offline exactly as in the quickstart;
-// the resulting deployment then serves an online location stream through the
-// sharded protection gateway — per-user routing, bounded queues, windowed
-// flushing — instead of a one-shot batch job.
+// Streaming: the full paper pipeline wired to live traffic — and kept
+// closed over it. Steps 1–3 (Analyze → Deploy) pick the GEO-I ε offline
+// exactly as in the quickstart; the resulting deployment then serves an
+// online location stream through the sharded protection gateway. A
+// reconfiguration controller taps the served stream, estimates the live
+// privacy/utility, and when the designer tightens the objectives
+// mid-stream it re-runs the analysis on the observed data and hot-swaps
+// the re-configured ε into the gateway — no restart, no record lost.
 package main
 
 import (
@@ -24,7 +27,9 @@ import (
 func main() {
 	log.SetFlags(0)
 
-	// Offline: a day of synthetic cabs, analyzed and configured.
+	// Offline: a day of synthetic cabs, analyzed and configured — here
+	// under deliberately loose objectives, the kind of first guess a
+	// designer later revisits.
 	gen := synth.DefaultConfig()
 	gen.NumDrivers = 30
 	gen.Duration = 12 * time.Hour
@@ -43,11 +48,13 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	dep, err := analysis.Deploy(model.Objectives{MaxPrivacy: 0.10, MinUtility: 0.80})
+	loose := model.Objectives{MaxPrivacy: 0.95, MinUtility: 0.10}
+	dep, err := analysis.Deploy(loose)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("deploying %s with %s = %.4g\n", dep.Mechanism.Name(), dep.Param, dep.Params[dep.Param])
+	fmt.Printf("deploying %s with %s = %.4g (objectives: privacy ≤ %.2f, utility ≥ %.2f)\n",
+		dep.Mechanism.Name(), dep.Param, dep.Params[dep.Param], loose.MaxPrivacy, loose.MinUtility)
 
 	// Online: flatten the dataset into one global time-ordered stream —
 	// the shape of live traffic, records of all users interleaved.
@@ -60,7 +67,25 @@ func main() {
 	cfg := service.ConfigFromDeployment(dep, 42)
 	cfg.Shards = 4
 	cfg.FlushEvery = 16
+	cfg.StageSize = 1 // no ingest staging: phase-1 windows flush promptly
 	gw, err := service.New(context.Background(), cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The controller closes the loop over the served stream: it observes
+	// a quarter of the flushed windows and re-runs Define→Model→Configure
+	// on the observed data whenever the estimates drift outside the
+	// objectives.
+	reDef := def
+	reDef.GridPoints = 9 // online re-analysis trades resolution for latency
+	reDef.Repeats = 1
+	ctrl, err := service.NewController(gw, dep, service.ControllerConfig{
+		Definition: reDef,
+		Objectives: loose,
+		SampleFrac: 0.25,
+		Tolerance:  0.05,
+		Seed:       7,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -72,8 +97,49 @@ func main() {
 		}
 		protected <- n
 	}()
+
 	start := time.Now()
-	if err := gw.IngestAll(stream); err != nil {
+	half := len(stream) / 2
+	if err := gw.IngestAll(stream[:half]); err != nil {
+		log.Fatal(err)
+	}
+	// IngestAll returns once records are queued, not flushed: wait until
+	// the controller has actually observed enough phase-1 windows, or
+	// Evaluate would no-op on an empty aggregate and the narrative below
+	// would be wrong.
+	for deadline := time.Now().Add(10 * time.Second); ctrl.Stats().WindowsObserved < 40; {
+		if time.Now().After(deadline) {
+			log.Fatalf("phase-1 windows never observed: %+v", ctrl.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Mid-stream the designer tightens the contract on both sides. The
+	// loose ε over-protects — observed utility sits far below the new
+	// floor — so the controller re-configures from the observed traffic
+	// and hot-swaps the result into the running gateway.
+	tight := model.Objectives{MaxPrivacy: 0.30, MinUtility: 0.65}
+	if err := ctrl.SetObjectives(tight); err != nil {
+		log.Fatal(err)
+	}
+	// Counters snapshot before Evaluate: a swap resets the aggregates, so
+	// reading them after would misreport the data the decision used.
+	pre := ctrl.Stats()
+	swapped, err := ctrl.Evaluate(context.Background())
+	cs := ctrl.Stats()
+	fmt.Printf("mid-stream: objectives tightened to privacy ≤ %.2f, utility ≥ %.2f\n",
+		tight.MaxPrivacy, tight.MinUtility)
+	fmt.Printf("controller: observed %d windows of %d users, estimates privacy=%.3f utility=%.3f\n",
+		pre.WindowsObserved, pre.UsersTracked, cs.LastPrivacy, cs.LastUtility)
+	switch {
+	case err != nil:
+		fmt.Printf("controller: reconfiguration failed, keeping old ε: %v\n", err)
+	case swapped:
+		fmt.Printf("controller: drift detected, hot-swapped %s = %.4g (generation %d)\n",
+			dep.Param, ctrl.Deployed().Params[dep.Param], gw.Generation())
+	default:
+		fmt.Println("controller: observed stream still meets the objectives, nothing to do")
+	}
+	if err := gw.IngestAll(stream[half:]); err != nil {
 		log.Fatal(err)
 	}
 	if err := gw.Close(); err != nil {
@@ -86,11 +152,12 @@ func main() {
 	fmt.Printf("streamed %d records of %d users through %d shards in %s (%.0f points/sec)\n",
 		st.Ingested, st.Users, len(st.PerShard), elapsed.Round(time.Millisecond),
 		float64(n)/elapsed.Seconds())
+	fmt.Printf("swaps=%d stream-reconfigs=%d dropped=%d\n", st.Swaps, st.Reconfigs, st.Dropped)
 	for i, ss := range st.PerShard {
 		fmt.Printf("  shard %d: %d users, %d records, %d flushes\n", i, ss.Users, ss.Ingested, ss.Flushes)
 	}
 	if n != len(stream) {
 		log.Fatalf("protected %d records, ingested %d", n, len(stream))
 	}
-	fmt.Println("every ingested record came back protected")
+	fmt.Println("every ingested record came back protected — across the swap")
 }

@@ -94,6 +94,20 @@ func (d *Definition) normalize() error {
 	return nil
 }
 
+// Validate checks the definition is runnable without running it: the
+// normalize pass plus parameter-spec resolution, filling defaults in place
+// (Param for single-parameter mechanisms, grid sizes, tolerances). Long-
+// lived callers that hold a definition to re-run later — the service
+// controller — use it to fail at construction instead of at every
+// evaluation.
+func (d *Definition) Validate() error {
+	if err := d.normalize(); err != nil {
+		return err
+	}
+	_, err := d.paramSpec()
+	return err
+}
+
 // paramSpec returns the spec of the modeled parameter.
 func (d *Definition) paramSpec() (lppm.ParamSpec, error) {
 	for _, s := range d.Mechanism.Params() {

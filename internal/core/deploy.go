@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/lppm"
@@ -25,6 +26,12 @@ type Deployment struct {
 	// Configuration is the step-3 evidence behind Params[Param]; zero
 	// for explicitly-built deployments.
 	Configuration model.Configuration
+	// Overrides maps user ids to complete per-user parameter assignments
+	// that replace Params for that user's records — the reconfiguration
+	// controller's lever for users whose observed privacy diverges from
+	// the population the shared model was fitted on. Entries are always
+	// full, validated assignments; use Override to add them.
+	Overrides map[string]lppm.Params
 }
 
 // Deploy inverts the fitted models under the objectives (Configure) and
@@ -61,14 +68,89 @@ func NewDeployment(m lppm.Mechanism, p lppm.Params) (*Deployment, error) {
 	for k, v := range p {
 		full[k] = v
 	}
-	if err := lppm.ValidateParams(m, full); err != nil {
+	// ValidateAssignment also rejects names the mechanism does not
+	// declare: a misspelled -set or map key would otherwise be carried
+	// along and silently ignored.
+	if err := lppm.ValidateAssignment(m, full); err != nil {
 		return nil, err
 	}
 	return &Deployment{Mechanism: m, Params: full}, nil
 }
 
+// Redeploy re-runs the whole Define → Model → Configure loop on freshly
+// observed data and wraps the result for serving: the reconfiguration
+// controller's drift response. It is Analyze + Deploy in one call, with the
+// definition's dataset replaced by what the live stream actually carried.
+// The Analysis is returned alongside so callers can keep refining the
+// deployment from the fitted models (per-user overrides); it is non-nil
+// whenever the analysis itself succeeded, even if the objectives then
+// proved infeasible.
+func Redeploy(ctx context.Context, def Definition, observed *trace.Dataset, obj model.Objectives) (*Deployment, *Analysis, error) {
+	a, err := Analyze(ctx, def, observed)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: redeploy analysis: %w", err)
+	}
+	dep, err := a.Deploy(obj)
+	if err != nil {
+		return nil, a, err
+	}
+	return dep, a, nil
+}
+
+// Override installs a per-user parameter override. The given values are
+// merged over the deployment's base Params, validated, and stored as a
+// complete assignment, so serving code can hand ParamsFor's result to the
+// mechanism directly.
+func (d *Deployment) Override(user string, p lppm.Params) error {
+	if user == "" {
+		return fmt.Errorf("core: override for empty user id")
+	}
+	// Assignment-strict: an override naming an undeclared parameter (a
+	// typo) must fail loudly, not personalize nothing.
+	full, err := lppm.MergeAssignment(d.Mechanism, d.Params, p)
+	if err != nil {
+		return fmt.Errorf("core: override for %q: %w", user, err)
+	}
+	if d.Overrides == nil {
+		d.Overrides = make(map[string]lppm.Params)
+	}
+	d.Overrides[user] = full
+	return nil
+}
+
+// ParamsFor returns the parameter assignment serving the given user: the
+// user's override if one is installed, the deployment's base Params
+// otherwise. The returned map must not be mutated.
+func (d *Deployment) ParamsFor(user string) lppm.Params {
+	if p, ok := d.Overrides[user]; ok {
+		return p
+	}
+	return d.Params
+}
+
+// Clone returns a deep copy of the deployment (params and override table),
+// so a controller can derive a successor without racing the copy a gateway
+// is serving from.
+func (d *Deployment) Clone() *Deployment {
+	c := *d
+	c.Params = d.Params.Clone()
+	if d.Overrides != nil {
+		c.Overrides = make(map[string]lppm.Params, len(d.Overrides))
+		for u, p := range d.Overrides {
+			c.Overrides[u] = p.Clone()
+		}
+	}
+	return &c
+}
+
 // Protect applies the deployment to a whole dataset — the batch path, for
-// comparison with (and validation of) the streaming gateway.
+// comparison with (and validation of) the streaming gateway. Per-user
+// overrides are honored via lppm.ProtectDatasetWith, whose by-name random
+// derivation makes batch and streamed output agree per user whatever the
+// override table says about the others.
 func (d *Deployment) Protect(ds *trace.Dataset, root *rng.Source) (*trace.Dataset, error) {
-	return lppm.ProtectDataset(ds, d.Mechanism, d.Params, root)
+	if err := lppm.ValidateParams(d.Mechanism, d.Params); err != nil {
+		return nil, err
+	}
+	return lppm.ProtectDatasetWith(ds, d.Mechanism, d.ParamsFor, root)
 }

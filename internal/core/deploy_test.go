@@ -37,6 +37,32 @@ func TestDeployFromAnalysis(t *testing.T) {
 	}
 }
 
+// TestRedeploy checks the controller's drift response primitive: one call
+// re-runs the analysis on observed data and both deploys and hands back the
+// fitted models; infeasible objectives return the analysis without a
+// deployment.
+func TestRedeploy(t *testing.T) {
+	ds := smallFleet(t)
+	obj := model.Objectives{MaxPrivacy: 0.10, MinUtility: 0.80}
+	dep, analysis, err := Redeploy(context.Background(), testDefinition(), ds, obj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if analysis == nil {
+		t.Fatal("Redeploy must return the analysis behind the deployment")
+	}
+	if dep.Params[dep.Param] != dep.Configuration.Value {
+		t.Errorf("Params[%s] = %v, want configured %v", dep.Param, dep.Params[dep.Param], dep.Configuration.Value)
+	}
+	dep2, analysis2, err := Redeploy(context.Background(), testDefinition(), ds, model.Objectives{MaxPrivacy: -1, MinUtility: 2})
+	if err == nil || dep2 != nil {
+		t.Error("infeasible objectives must fail Redeploy without a deployment")
+	}
+	if analysis2 == nil {
+		t.Error("a successful analysis must be returned even when deploy fails")
+	}
+}
+
 func TestNewDeploymentFillsDefaultsAndValidates(t *testing.T) {
 	m := lppm.NewGeoIndistinguishability()
 	d, err := NewDeployment(m, lppm.Params{"epsilon": 0.05})
@@ -49,6 +75,9 @@ func TestNewDeploymentFillsDefaultsAndValidates(t *testing.T) {
 	if _, err := NewDeployment(m, lppm.Params{"epsilon": -3}); err == nil {
 		t.Error("out-of-range value must fail")
 	}
+	if _, err := NewDeployment(m, lppm.Params{"epsilonn": 0.05}); err == nil {
+		t.Error("undeclared parameter name must fail")
+	}
 	if _, err := NewDeployment(nil, nil); err == nil {
 		t.Error("nil mechanism must fail")
 	}
@@ -58,6 +87,100 @@ func TestNewDeploymentFillsDefaultsAndValidates(t *testing.T) {
 	}
 	if got, want := d.Params["epsilon"], lppm.Defaults(m)["epsilon"]; got != want {
 		t.Errorf("default epsilon = %v, want %v", got, want)
+	}
+}
+
+func TestDeploymentOverrides(t *testing.T) {
+	m := lppm.NewGeoIndistinguishability()
+	d, err := NewDeployment(m, lppm.Params{"epsilon": 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Override("", lppm.Params{"epsilon": 0.01}); err == nil {
+		t.Error("empty user override must fail")
+	}
+	if err := d.Override("u1", lppm.Params{"epsilon": -1}); err == nil {
+		t.Error("invalid override must fail")
+	}
+	if err := d.Override("u1", lppm.Params{"epsilonn": 0.01}); err == nil {
+		t.Error("misspelled parameter name must fail, not be silently ignored")
+	}
+	if d.Overrides != nil {
+		t.Error("failed overrides must not install entries")
+	}
+	if err := d.Override("u1", lppm.Params{"epsilon": 0.01}); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.ParamsFor("u1")["epsilon"]; got != 0.01 {
+		t.Errorf("ParamsFor(u1)[epsilon] = %v, want 0.01", got)
+	}
+	if got := d.ParamsFor("u2")["epsilon"]; got != 0.05 {
+		t.Errorf("ParamsFor(u2)[epsilon] = %v, want base 0.05", got)
+	}
+	// Overrides are stored as complete assignments.
+	if err := lppm.ValidateParams(m, d.ParamsFor("u1")); err != nil {
+		t.Errorf("override assignment incomplete: %v", err)
+	}
+
+	c := d.Clone()
+	if err := c.Override("u2", lppm.Params{"epsilon": 0.02}); err != nil {
+		t.Fatal(err)
+	}
+	c.Params["epsilon"] = 0.5
+	c.Overrides["u1"]["epsilon"] = 0.5
+	if _, ok := d.Overrides["u2"]; ok {
+		t.Error("Clone shares the override table")
+	}
+	if d.Params["epsilon"] != 0.05 || d.Overrides["u1"]["epsilon"] != 0.01 {
+		t.Error("Clone shares parameter maps")
+	}
+}
+
+// TestDeploymentProtectHonorsOverrides checks the batch path applies the
+// override to exactly the overridden user and leaves every other user
+// bit-identical to the no-override run (same per-user named sources).
+func TestDeploymentProtectHonorsOverrides(t *testing.T) {
+	m := lppm.NewGeoIndistinguishability()
+	ds := smallFleet(t)
+	users := ds.Users()
+	if len(users) < 2 {
+		t.Fatal("need at least two users")
+	}
+	base, err := NewDeployment(m, lppm.Params{"epsilon": 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := base.Protect(ds, rng.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	over := base.Clone()
+	if err := over.Override(users[0], lppm.Params{"epsilon": 0.001}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := over.Protect(ds, rng.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := func(u string) bool {
+		gr, pr := got.Trace(u).Records, plain.Trace(u).Records
+		if len(gr) != len(pr) {
+			return false
+		}
+		for i := range gr {
+			if gr[i] != pr[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if same(users[0]) {
+		t.Errorf("overridden user %s unchanged by a 50x epsilon change", users[0])
+	}
+	for _, u := range users[1:] {
+		if !same(u) {
+			t.Errorf("non-overridden user %s affected by another user's override", u)
+		}
 	}
 }
 

@@ -90,6 +90,43 @@ func ValidateParams(m Mechanism, p Params) error {
 	return nil
 }
 
+// ValidateAssignment checks p as a complete assignment for m: every declared
+// parameter present and in range (ValidateParams), and no undeclared names —
+// a misspelled parameter would otherwise be stored and silently ignored,
+// leaving the caller convinced a value is applied when it is not.
+func ValidateAssignment(m Mechanism, p Params) error {
+	if err := ValidateParams(m, p); err != nil {
+		return err
+	}
+	specs := m.Params()
+	declared := make(map[string]bool, len(specs))
+	for _, s := range specs {
+		declared[s.Name] = true
+	}
+	for name := range p {
+		if !declared[name] {
+			return fmt.Errorf("lppm: mechanism %q has no parameter %q", m.Name(), name)
+		}
+	}
+	return nil
+}
+
+// MergeAssignment completes a partial parameter override over a base
+// assignment and validates the result as a full, assignment-strict map —
+// the one rule behind both a deployment's per-user override table and the
+// gateway's override merging, kept here so the batch and serving paths
+// cannot drift apart.
+func MergeAssignment(m Mechanism, base, partial Params) (Params, error) {
+	full := base.Clone()
+	for k, v := range partial {
+		full[k] = v
+	}
+	if err := ValidateAssignment(m, full); err != nil {
+		return nil, err
+	}
+	return full, nil
+}
+
 // Defaults returns the mechanism's default parameter assignment.
 func Defaults(m Mechanism) Params {
 	p := make(Params)
@@ -106,8 +143,21 @@ func ProtectDataset(d *trace.Dataset, m Mechanism, p Params, root *rng.Source) (
 	if err := ValidateParams(m, p); err != nil {
 		return nil, err
 	}
+	return ProtectDatasetWith(d, m, func(string) Params { return p }, root)
+}
+
+// ProtectDatasetWith is ProtectDataset with a per-user parameter lookup —
+// the batch counterpart of a deployment's override table. Each user's
+// assignment is validated before use; random streams derive from root by
+// user name exactly as in ProtectDataset, so two runs differing only in
+// another user's parameters still agree bit-for-bit on everyone else.
+func ProtectDatasetWith(d *trace.Dataset, m Mechanism, paramsFor func(user string) Params, root *rng.Source) (*trace.Dataset, error) {
 	out := trace.NewDataset()
 	for _, t := range d.Traces() {
+		p := paramsFor(t.User)
+		if err := ValidateParams(m, p); err != nil {
+			return nil, fmt.Errorf("lppm: params for %s: %w", t.User, err)
+		}
 		r := root.Named(t.User)
 		pt, err := m.Protect(t, p, r)
 		if err != nil {

@@ -20,6 +20,10 @@ import (
 // mechanisms (Promesse, sampling) remain usable online but see each window
 // independently.
 //
+// Failures are deterministic: a Flush whose mechanism errors rewinds the
+// random source to its pre-flush position (see Flush), so an error consumes
+// no randomness and cannot silently break the stream ≡ batch bit-identity.
+//
 // A UserStream is not safe for concurrent use; the gateway gives each user
 // to exactly one shard.
 type UserStream struct {
@@ -51,6 +55,32 @@ func (s *UserStream) User() string { return s.user }
 // Pending returns the number of buffered, not-yet-protected records.
 func (s *UserStream) Pending() int { return len(s.pending) }
 
+// PendingRecords returns the buffered, not-yet-protected records. The slice
+// aliases the stream's buffer and is valid only until the next Push, Flush
+// or Discard; callers that keep it (the gateway's sampling tap) must copy.
+func (s *UserStream) PendingRecords() []trace.Record { return s.pending }
+
+// Reconfigure swaps the stream's mechanism and parameter assignment, keeping
+// the pending buffer and the random source: no record is lost and the
+// stream's draw sequence continues uninterrupted. A nil mechanism keeps the
+// current one. The new assignment takes effect at the next Flush, so a
+// caller that reconfigures only between flushes — as the gateway does at
+// window boundaries — preserves the invariant that every emitted window was
+// protected under exactly one parameter set.
+func (s *UserStream) Reconfigure(m Mechanism, p Params) error {
+	if m == nil {
+		m = s.mech
+	}
+	// Assignment-strict, like every other reconfiguration entry point: a
+	// misspelled parameter name must fail, not ride along ignored.
+	if err := ValidateAssignment(m, p); err != nil {
+		return err
+	}
+	s.mech = m
+	s.params = p.Clone()
+	return nil
+}
+
 // Push buffers one record. Records of other users are rejected.
 func (s *UserStream) Push(rec trace.Record) error {
 	if rec.User != s.user {
@@ -61,9 +91,17 @@ func (s *UserStream) Push(rec trace.Record) error {
 }
 
 // Flush protects the pending window and returns the protected records in
-// time order, clearing the buffer. An empty buffer flushes to nil. On error
-// the buffer is retained, so a caller may retry (though a randomized
-// mechanism may already have consumed draws).
+// time order, clearing the buffer. An empty buffer flushes to nil.
+//
+// Failure is deterministic: on error the buffer is retained and the random
+// source is rewound to its pre-flush position, so a failed flush consumes
+// no randomness. A retry therefore replays exactly the draws the first
+// attempt saw, and the documented stream ≡ batch bit-identity survives
+// transient mechanism failures; a caller that will not retry should Discard
+// instead. The rewind replays the source from its seed (rng.SeekTo), so
+// its cost grows with the stream's age — a deliberate trade: mechanism
+// errors are a cold path (parameters are validated up front), and the
+// no-randomness-consumed invariant is what keeps failure reproducible.
 func (s *UserStream) Flush() ([]trace.Record, error) {
 	if len(s.pending) == 0 {
 		return nil, nil
@@ -72,8 +110,10 @@ func (s *UserStream) Flush() ([]trace.Record, error) {
 	if err != nil {
 		return nil, err
 	}
+	pos := s.r.Pos()
 	pt, err := s.mech.Protect(t, s.params, s.r)
 	if err != nil {
+		s.r.SeekTo(pos)
 		return nil, fmt.Errorf("lppm: stream flush for %s: %w", s.user, err)
 	}
 	s.pending = s.pending[:0]

@@ -13,20 +13,69 @@ import (
 // splittable-seed discipline: child streams derived via Split or Named are
 // independent of the parent's subsequent draws.
 //
+// A Source also tracks its position — the count of base generator steps
+// consumed so far — so callers wrapping fallible randomized operations can
+// snapshot the position with Pos and roll a failed attempt back with
+// SeekTo, keeping retries bit-identical (the streaming layer's Flush error
+// semantics rely on this).
+//
 // A Source is NOT safe for concurrent use; give each goroutine its own via
 // Split.
 type Source struct {
 	*rand.Rand
+	cs   *countingSource
 	seed int64
+}
+
+// countingSource counts the base generator steps flowing through a
+// rand.Source64. Int63 and Uint64 both advance math/rand's generator by
+// exactly one step, so a single counter captures the position regardless of
+// which entry point rand.Rand uses.
+type countingSource struct {
+	src rand.Source64
+	n   uint64
+}
+
+func (c *countingSource) Int63() int64 { c.n++; return c.src.Int63() }
+
+func (c *countingSource) Uint64() uint64 { c.n++; return c.src.Uint64() }
+
+func (c *countingSource) Seed(seed int64) {
+	c.src.Seed(seed)
+	c.n = 0
 }
 
 // New returns a Source seeded with the given seed.
 func New(seed int64) *Source {
-	return &Source{Rand: rand.New(rand.NewSource(seed)), seed: seed}
+	cs := &countingSource{src: rand.NewSource(seed).(rand.Source64)}
+	return &Source{Rand: rand.New(cs), cs: cs, seed: seed}
 }
 
 // Seed returns the seed this source was created with.
 func (s *Source) Seed() int64 { return s.seed }
+
+// Pos returns the source's position: how many base generator steps have been
+// consumed since creation (or the last SeekTo rewind past this point). Equal
+// positions on equal-seeded sources imply identical future draws.
+func (s *Source) Pos() uint64 { return s.cs.n }
+
+// SeekTo moves the source to an earlier or later position, as previously
+// observed via Pos. Rewinding replays the generator from the seed, so its
+// cost is proportional to the target position; it is meant for cold error
+// paths (undoing the draws of a failed operation), not hot loops. The
+// embedded Rand is rebuilt so no buffered state from the abandoned draws
+// survives.
+func (s *Source) SeekTo(pos uint64) {
+	if pos < s.cs.n {
+		s.cs.src = rand.NewSource(s.seed).(rand.Source64)
+		s.cs.n = 0
+	}
+	for s.cs.n < pos {
+		s.cs.src.Int63()
+		s.cs.n++
+	}
+	s.Rand = rand.New(s.cs)
+}
 
 // Split returns the i-th child stream of this source. Children with distinct
 // indices, and children of sources with distinct seeds, are independent.
@@ -37,9 +86,24 @@ func (s *Source) Split(i int64) *Source {
 // Named returns a child stream keyed by a string label, useful to decorrelate
 // subsystems ("mobility", "noise", ...) without coordinating integer indexes.
 func (s *Source) Named(label string) *Source {
+	return New(ChildSeed(s.seed, label))
+}
+
+// ChildSeed returns the seed Named(label) would build its child from,
+// without allocating the source — for callers that keep many per-key seeds
+// (the controller's per-user samplers) and draw from them via MixUnit.
+func ChildSeed(seed int64, label string) int64 {
 	h := fnv.New64a()
 	h.Write([]byte(label)) // fnv never errors
-	return New(mix(s.seed, int64(h.Sum64())))
+	return mix(seed, int64(h.Sum64()))
+}
+
+// MixUnit maps (seed, i) to a uniform value in [0, 1) through the SplitMix64
+// finalizer: a stateless, allocation-free draw whose value depends only on
+// its arguments, so concurrent callers indexing their own counters get
+// sequences independent of interleaving.
+func MixUnit(seed, i int64) float64 {
+	return float64(uint64(mix(seed, i))>>11) / (1 << 53)
 }
 
 // mix combines a seed and a stream index into a well-dispersed child seed

@@ -76,6 +76,99 @@ func TestSplitChildrenUniformish(t *testing.T) {
 	}
 }
 
+func TestPosCountsDraws(t *testing.T) {
+	s := New(5)
+	if s.Pos() != 0 {
+		t.Fatalf("fresh source Pos = %d, want 0", s.Pos())
+	}
+	s.Float64()
+	s.Int63()
+	s.Uint64()
+	if s.Pos() == 0 {
+		t.Fatal("Pos did not advance with draws")
+	}
+}
+
+func TestSeekToRewindReplaysIdentically(t *testing.T) {
+	s := New(42)
+	for i := 0; i < 17; i++ {
+		s.Float64()
+	}
+	pos := s.Pos()
+	want := make([]float64, 25)
+	for i := range want {
+		want[i] = s.Float64()
+	}
+	// Consume more, including a normal draw, then rewind.
+	s.NormFloat64()
+	s.Intn(1000)
+	s.SeekTo(pos)
+	if s.Pos() != pos {
+		t.Fatalf("after SeekTo Pos = %d, want %d", s.Pos(), pos)
+	}
+	for i, w := range want {
+		if got := s.Float64(); got != w {
+			t.Fatalf("replayed draw %d = %v, want %v", i, got, w)
+		}
+	}
+}
+
+func TestSeekToForward(t *testing.T) {
+	a, b := New(9), New(9)
+	for i := 0; i < 13; i++ {
+		a.Float64()
+	}
+	b.SeekTo(a.Pos())
+	for i := 0; i < 10; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("forward SeekTo must align the streams")
+		}
+	}
+}
+
+func TestSeekToDoesNotChangeSequence(t *testing.T) {
+	// The counting wrapper must not alter the underlying stream: a source
+	// that seeks to its own position draws exactly what an untouched
+	// source draws.
+	a, b := New(1234), New(1234)
+	for i := 0; i < 50; i++ {
+		if i%7 == 0 {
+			a.SeekTo(a.Pos())
+		}
+		if a.Float64() != b.Float64() {
+			t.Fatalf("draw %d diverged after no-op SeekTo", i)
+		}
+	}
+}
+
+func TestChildSeedMatchesNamed(t *testing.T) {
+	root := New(31)
+	if got, want := ChildSeed(31, "controller-sample"), root.Named("controller-sample").Seed(); got != want {
+		t.Errorf("ChildSeed = %d, Named seed = %d", got, want)
+	}
+}
+
+func TestMixUnit(t *testing.T) {
+	var sum float64
+	const n = 4000
+	for i := int64(0); i < n; i++ {
+		v := MixUnit(123, i)
+		if v < 0 || v >= 1 {
+			t.Fatalf("MixUnit(123, %d) = %v outside [0, 1)", i, v)
+		}
+		sum += v
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.05 {
+		t.Errorf("MixUnit mean %v, want ~0.5", mean)
+	}
+	if MixUnit(1, 7) != MixUnit(1, 7) {
+		t.Error("MixUnit must be a pure function")
+	}
+	if MixUnit(1, 7) == MixUnit(2, 7) {
+		t.Error("distinct seeds should give distinct values")
+	}
+}
+
 func TestMixAvalanche(t *testing.T) {
 	// Adjacent indices must produce wildly different seeds.
 	s1, s2 := mix(1, 0), mix(1, 1)

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -60,12 +61,17 @@ type Config struct {
 	// Seed drives all randomness. Per-user streams are derived by name,
 	// so output is invariant under the shard count.
 	Seed int64
+	// Overrides maps user ids to parameter overrides applied on top of
+	// Params for that user's records (a core.Deployment's override
+	// table). Entries may be partial; they are merged over Params and
+	// validated at New.
+	Overrides map[string]lppm.Params
 }
 
 // ConfigFromDeployment wires a step-3 deployment into a gateway
 // configuration, leaving the serving knobs at their defaults.
 func ConfigFromDeployment(d *core.Deployment, seed int64) Config {
-	return Config{Mechanism: d.Mechanism, Params: d.Params, Seed: seed}
+	return Config{Mechanism: d.Mechanism, Params: d.Params, Overrides: d.Overrides, Seed: seed}
 }
 
 // normalize fills defaults and validates.
@@ -76,7 +82,9 @@ func (c *Config) normalize() error {
 	if c.Params == nil {
 		c.Params = lppm.Defaults(c.Mechanism)
 	}
-	if err := lppm.ValidateParams(c.Mechanism, c.Params); err != nil {
+	// Assignment-strict, like the override table: an extra, misspelled
+	// key in the base params would serve defaults while looking applied.
+	if err := lppm.ValidateAssignment(c.Mechanism, c.Params); err != nil {
 		return err
 	}
 	if c.Shards == 0 {
@@ -115,7 +123,33 @@ func (c *Config) normalize() error {
 	if c.StageInterval < 0 {
 		return fmt.Errorf("service: StageInterval must be positive, got %v", c.StageInterval)
 	}
+	if len(c.Overrides) > 0 {
+		merged, err := mergeOverrides(c.Mechanism, c.Params, c.Overrides)
+		if err != nil {
+			return err
+		}
+		c.Overrides = merged
+	}
 	return nil
+}
+
+// mergeOverrides completes each (possibly partial) per-user override over
+// the base assignment and validates it as a full assignment — undeclared
+// names are rejected, not silently ignored — so serving code can hand the
+// result to the mechanism directly.
+func mergeOverrides(m lppm.Mechanism, base lppm.Params, overrides map[string]lppm.Params) (map[string]lppm.Params, error) {
+	merged := make(map[string]lppm.Params, len(overrides))
+	for u, p := range overrides {
+		if u == "" {
+			return nil, fmt.Errorf("service: override for empty user id")
+		}
+		full, err := lppm.MergeAssignment(m, base, p)
+		if err != nil {
+			return nil, fmt.Errorf("service: override for %q: %w", u, err)
+		}
+		merged[u] = full
+	}
+	return merged, nil
 }
 
 // ShardStats is one shard's counters at snapshot time.
@@ -128,6 +162,9 @@ type ShardStats struct {
 	Flushes uint64
 	// Dropped counts records lost because cancellation outran delivery.
 	Dropped uint64
+	// Reconfigs counts per-user streams refreshed to a newer deployment
+	// at a window boundary after a Swap.
+	Reconfigs uint64
 	// Users is the number of per-user streams the shard holds.
 	Users int
 	// QueueLen is the instantaneous input-queue occupancy, in batches of
@@ -141,8 +178,24 @@ type Stats struct {
 	// per-shard counters.
 	Ingested, Emitted, Flushes, Dropped uint64
 	Users                               int
+	// Reconfigs aggregates per-shard stream refreshes; Swaps counts
+	// successful deployment hot-swaps since New.
+	Reconfigs, Swaps uint64
+	// Generation identifies the serving deployment (0 = the one New
+	// installed; each Swap increments it).
+	Generation uint64
 	// PerShard holds one entry per shard, in shard order.
 	PerShard []ShardStats
+}
+
+// userState is one user's stream plus the deployment generation its
+// parameters came from (flush refreshes it lazily after a Swap) and the
+// cached per-user tap handle (re-resolved when SetTap installs a new tap).
+type userState struct {
+	us     *lppm.UserStream
+	gen    uint64
+	tapSrc *tapHolder
+	tap    TapUser
 }
 
 // shard is one worker: an ingest stage, a bounded queue of record batches,
@@ -150,17 +203,62 @@ type Stats struct {
 // users; the stage is shared with producers under its own lock.
 type shard struct {
 	in    chan []trace.Record
-	users map[string]*lppm.UserStream
+	users map[string]*userState
 
 	stageMu sync.Mutex
 	stage   []trace.Record
 	dead    bool // no further sends on in; set before in closes
 
-	ingested atomic.Uint64
-	emitted  atomic.Uint64
-	flushes  atomic.Uint64
-	dropped  atomic.Uint64
-	userN    atomic.Int64
+	ingested  atomic.Uint64
+	emitted   atomic.Uint64
+	flushes   atomic.Uint64
+	dropped   atomic.Uint64
+	reconfigs atomic.Uint64
+	userN     atomic.Int64
+}
+
+// deployState is the immutable serving deployment a gateway applies:
+// installed at New, replaced atomically by Swap. Shard workers load it at
+// stream creation and at every window boundary, so a swap becomes visible
+// to each user exactly between two windows and never inside one.
+type deployState struct {
+	gen       uint64
+	mech      lppm.Mechanism
+	params    lppm.Params
+	overrides map[string]lppm.Params
+}
+
+// paramsFor returns the assignment serving one user.
+func (d *deployState) paramsFor(user string) lppm.Params {
+	if p, ok := d.overrides[user]; ok {
+		return p
+	}
+	return d.params
+}
+
+// Tap observes a sampled fraction of flushed windows — the reconfiguration
+// controller's feed. The gateway asks the tap for one TapUser per user
+// stream and caches it on the stream, so the per-flush sampling decision
+// runs without any shared lookup; User is called once per (user, SetTap)
+// from shard goroutines and must be safe for concurrent use.
+type Tap interface {
+	User(user string) TapUser
+}
+
+// TapUser is a tap's per-user-stream state. The gateway calls it from
+// exactly one shard goroutine at a time (a user lives on one shard), on
+// the flush hot path: Sample must be cheap and Observe must never block on
+// the gateway's own Output. Observe receives the window's pre-protection
+// records (a copy the tap owns) and its protected records (shared with the
+// Output consumer — read-only; copy to retain).
+type TapUser interface {
+	// Sample decides, before protection, whether this n-record window is
+	// observed.
+	Sample(n int) bool
+	// Observe delivers a sampled window after a successful flush, tagged
+	// with the deployment generation it was protected under so observers
+	// spanning a Swap can tell old-deployment output from new.
+	Observe(gen uint64, actual, protected []trace.Record)
 }
 
 // Gateway is the online protection middleware. Create with New, feed with
@@ -174,6 +272,10 @@ type Gateway struct {
 	out    chan []trace.Record
 	done   chan struct{} // closed once every shard has exited
 
+	deploy atomic.Pointer[deployState]
+	swaps  atomic.Uint64
+	tap    atomic.Pointer[tapHolder]
+
 	wg        sync.WaitGroup
 	closeOnce sync.Once
 
@@ -183,6 +285,9 @@ type Gateway struct {
 	errMu sync.Mutex
 	err   error
 }
+
+// tapHolder boxes a Tap so the interface can live in an atomic.Pointer.
+type tapHolder struct{ t Tap }
 
 // New validates the configuration and starts the shard workers. The context
 // bounds the gateway's lifetime: cancellation stops intake, drains the
@@ -199,6 +304,11 @@ func New(ctx context.Context, cfg Config) (*Gateway, error) {
 		out:    make(chan []trace.Record, cfg.Shards),
 		done:   make(chan struct{}),
 	}
+	g.deploy.Store(&deployState{
+		mech:      cfg.Mechanism,
+		params:    cfg.Params.Clone(),
+		overrides: cfg.Overrides,
+	})
 	batches := cfg.QueueSize / cfg.StageSize
 	if batches < 1 {
 		batches = 1
@@ -206,7 +316,7 @@ func New(ctx context.Context, cfg Config) (*Gateway, error) {
 	for i := range g.shards {
 		s := &shard{
 			in:    make(chan []trace.Record, batches),
-			users: make(map[string]*lppm.UserStream),
+			users: make(map[string]*userState),
 		}
 		g.shards[i] = s
 		g.wg.Add(1)
@@ -352,6 +462,65 @@ func (g *Gateway) IngestAll(recs []trace.Record) error {
 // cancellation); consumers must read until then.
 func (g *Gateway) Output() <-chan []trace.Record { return g.out }
 
+// Swap hot-swaps the serving deployment — mechanism, parameters and
+// per-user override table — without restart or record loss. The swap is
+// atomic for the gateway and becomes visible to each user's stream lazily
+// at its next window boundary: every emitted window is protected under
+// exactly one deployment, windows already flushed are untouched, and
+// pending records simply flush under the new parameters when their window
+// completes. Per-user random sources continue uninterrupted, so output
+// emitted before the swap is bit-identical to a never-swapped run. Safe to
+// call concurrently with Ingest and from any goroutine. Partial overrides
+// are merged over the deployment's Params and validated; an invalid
+// deployment is rejected with the old one left serving.
+func (g *Gateway) Swap(d *core.Deployment) error {
+	if d == nil || d.Mechanism == nil {
+		return fmt.Errorf("service: swap with nil deployment or mechanism")
+	}
+	params := d.Params.Clone()
+	if len(params) == 0 {
+		params = lppm.Defaults(d.Mechanism)
+	}
+	if err := lppm.ValidateAssignment(d.Mechanism, params); err != nil {
+		return err
+	}
+	var overrides map[string]lppm.Params
+	if len(d.Overrides) > 0 {
+		var err error
+		if overrides, err = mergeOverrides(d.Mechanism, params, d.Overrides); err != nil {
+			return err
+		}
+	}
+	for {
+		cur := g.deploy.Load()
+		next := &deployState{
+			gen:       cur.gen + 1,
+			mech:      d.Mechanism,
+			params:    params,
+			overrides: overrides,
+		}
+		if g.deploy.CompareAndSwap(cur, next) {
+			break
+		}
+	}
+	g.swaps.Add(1)
+	return nil
+}
+
+// Generation returns the serving deployment's generation: 0 until the
+// first Swap, then incremented by each successful one.
+func (g *Gateway) Generation() uint64 { return g.deploy.Load().gen }
+
+// SetTap installs (or, with nil, removes) the window-sampling tap. Safe to
+// call at any time; windows flushed after the call see the new tap.
+func (g *Gateway) SetTap(t Tap) {
+	if t == nil {
+		g.tap.Store(nil)
+		return
+	}
+	g.tap.Store(&tapHolder{t: t})
+}
+
 // Close stops intake, drains the shards (staged and queued records are
 // still protected and emitted), closes Output once the drain finishes, and
 // returns the first mechanism error encountered, if any. Callers must stop
@@ -388,21 +557,27 @@ func (g *Gateway) Close() error {
 
 // Stats snapshots the gateway's counters.
 func (g *Gateway) Stats() Stats {
-	st := Stats{PerShard: make([]ShardStats, len(g.shards))}
+	st := Stats{
+		Swaps:      g.swaps.Load(),
+		Generation: g.deploy.Load().gen,
+		PerShard:   make([]ShardStats, len(g.shards)),
+	}
 	for i, s := range g.shards {
 		ss := ShardStats{
-			Ingested: s.ingested.Load(),
-			Emitted:  s.emitted.Load(),
-			Flushes:  s.flushes.Load(),
-			Dropped:  s.dropped.Load(),
-			Users:    int(s.userN.Load()),
-			QueueLen: len(s.in),
+			Ingested:  s.ingested.Load(),
+			Emitted:   s.emitted.Load(),
+			Flushes:   s.flushes.Load(),
+			Dropped:   s.dropped.Load(),
+			Reconfigs: s.reconfigs.Load(),
+			Users:     int(s.userN.Load()),
+			QueueLen:  len(s.in),
 		}
 		st.PerShard[i] = ss
 		st.Ingested += ss.Ingested
 		st.Emitted += ss.Emitted
 		st.Flushes += ss.Flushes
 		st.Dropped += ss.Dropped
+		st.Reconfigs += ss.Reconfigs
 		st.Users += ss.Users
 	}
 	return st
@@ -458,48 +633,84 @@ func (g *Gateway) handleBatch(s *shard, batch []trace.Record) {
 
 // handle buffers one record on its user's stream and flushes a full window.
 func (g *Gateway) handle(s *shard, rec trace.Record) {
-	us := s.users[rec.User]
-	if us == nil {
-		var err error
+	u := s.users[rec.User]
+	if u == nil {
 		// Per-user randomness is derived by name from the root seed,
 		// matching lppm.ProtectDataset: a user's protected stream is
 		// identical whatever the shard count — and, for mechanisms
 		// that draw randomness strictly per record, identical to the
-		// batch result.
-		us, err = lppm.NewUserStream(g.cfg.Mechanism, g.cfg.Params, rec.User, g.root.Named(rec.User))
+		// batch result. Parameters come from the serving deployment,
+		// override table included.
+		dep := g.deploy.Load()
+		us, err := lppm.NewUserStream(dep.mech, dep.paramsFor(rec.User), rec.User, g.root.Named(rec.User))
 		if err != nil {
 			g.setErr(err)
 			s.dropped.Add(1)
 			return
 		}
-		s.users[rec.User] = us
+		u = &userState{us: us, gen: dep.gen}
+		s.users[rec.User] = u
 		s.userN.Add(1)
 	}
-	if err := us.Push(rec); err != nil {
+	if err := u.us.Push(rec); err != nil {
 		g.setErr(err)
 		s.dropped.Add(1)
 		return
 	}
-	if us.Pending() >= g.cfg.FlushEvery {
-		g.flush(s, us)
+	if u.us.Pending() >= g.cfg.FlushEvery {
+		g.flush(s, u)
 	}
 }
 
-// flush protects one user's window and emits it.
-func (g *Gateway) flush(s *shard, us *lppm.UserStream) {
+// flush protects one user's window and emits it. The window boundary is
+// where a hot-swapped deployment becomes visible: the stream refreshes to
+// the current deployment before protecting, so the whole window — and every
+// later one until the next swap — is protected under exactly one parameter
+// set, and no record is ever dropped or re-protected by a swap.
+func (g *Gateway) flush(s *shard, u *userState) {
+	us := u.us
 	n := us.Pending()
 	if n == 0 {
 		return
 	}
+	if dep := g.deploy.Load(); dep.gen != u.gen {
+		if err := us.Reconfigure(dep.mech, dep.paramsFor(us.User())); err != nil {
+			// Reject the refresh but keep serving the old, valid
+			// parameters; Swap validates, so this is defensive.
+			g.setErr(err)
+		} else {
+			u.gen = dep.gen
+			s.reconfigs.Add(1)
+		}
+	}
+	// The tap samples before protection so it can copy the actual window
+	// (Flush reuses the buffer) and pair it with the protected output.
+	// The per-user handle is cached on the stream, so the steady-state
+	// cost is one atomic load and a pointer compare.
+	var tp TapUser
+	var actual []trace.Record
+	if h := g.tap.Load(); h != nil {
+		if u.tapSrc != h {
+			u.tapSrc, u.tap = h, h.t.User(us.User())
+		}
+		if u.tap != nil && u.tap.Sample(n) {
+			tp = u.tap
+			actual = append(make([]trace.Record, 0, n), us.PendingRecords()...)
+		}
+	}
 	recs, err := us.Flush()
 	if err != nil {
 		g.setErr(err)
-		// Flush retains its buffer on error; discard so the window is
-		// counted dropped exactly once rather than again per retry.
+		// Flush retains its buffer (and rewinds the stream's source) on
+		// error; discard so the window is counted dropped exactly once
+		// rather than again per retry.
 		s.dropped.Add(uint64(us.Discard()))
 		return
 	}
 	s.flushes.Add(1)
+	if tp != nil {
+		tp.Observe(u.gen, actual, recs)
+	}
 	select {
 	case g.out <- recs:
 		s.emitted.Add(uint64(len(recs)))
@@ -522,10 +733,17 @@ func (g *Gateway) flush(s *shard, us *lppm.UserStream) {
 	}
 }
 
-// drain flushes every user's remaining window. Users flush in map order;
-// per-user record order is still preserved.
+// drain flushes every user's remaining window, in sorted user order so the
+// shutdown flush sequence is deterministic across runs (§3: identical seeds
+// must give identical output, and Go map iteration order would not).
+// Per-user record order is preserved as always.
 func (g *Gateway) drain(s *shard) {
-	for _, us := range s.users {
-		g.flush(s, us)
+	users := make([]string, 0, len(s.users))
+	for u := range s.users {
+		users = append(users, u)
+	}
+	sort.Strings(users)
+	for _, u := range users {
+		g.flush(s, s.users[u])
 	}
 }

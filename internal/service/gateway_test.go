@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/geo"
 	"repro/internal/lppm"
 	"repro/internal/rng"
@@ -215,6 +216,288 @@ func TestGatewayCancellationDrains(t *testing.T) {
 	}
 }
 
+// TestGatewayDrainOrderDeterministic is the regression test for the
+// nondeterministic shutdown flush: drain used to walk the user table in Go
+// map iteration order, so two runs with identical seeds emitted the final
+// windows in different orders. Drain must flush users in sorted order.
+func TestGatewayDrainOrderDeterministic(t *testing.T) {
+	recs := makeRecords(17, 5)
+	cfg := Config{
+		Mechanism:  lppm.NewGeoIndistinguishability(),
+		Shards:     1,
+		FlushEvery: 100, // never reached: every window comes from the drain
+		Seed:       3,
+	}
+	order := func() []string {
+		g, err := New(context.Background(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		done := make(chan []string)
+		go func() {
+			var users []string
+			for batch := range g.Output() {
+				users = append(users, batch[0].User)
+			}
+			done <- users
+		}()
+		if err := g.IngestAll(recs); err != nil {
+			t.Fatal(err)
+		}
+		if err := g.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return <-done
+	}
+	first := order()
+	if len(first) != 17 {
+		t.Fatalf("drained %d windows, want 17", len(first))
+	}
+	if !sort.StringsAreSorted(first) {
+		t.Errorf("drain order not sorted: %v", first)
+	}
+	second := order()
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("drain order unstable across identical runs: %v vs %v", first, second)
+		}
+	}
+}
+
+// TestGatewayCancelGraceDropsOnce covers the cancellation grace path: a
+// consumer that reads one window and then disappears must cost the drain at
+// most one gateway-wide grace period, every undeliverable window must be
+// counted Dropped exactly once, and nothing may be double-counted.
+func TestGatewayCancelGraceDropsOnce(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cfg := Config{
+		Mechanism:  lppm.NewGeoIndistinguishability(),
+		Shards:     2,
+		FlushEvery: 100, // all windows come from the drain
+		StageSize:  1,
+		Seed:       5,
+	}
+	g, err := New(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := makeRecords(8, 6) // 48 records, one drain window per user
+	gotOne := make(chan int)
+	go func() {
+		// Slow, then absent: consume a single window and walk away.
+		batch := <-g.Output()
+		gotOne <- len(batch)
+	}()
+	if err := g.IngestAll(recs); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	start := time.Now()
+	g.Close()
+	elapsed := time.Since(start)
+	if elapsed > drainGrace+2*time.Second {
+		t.Errorf("Close took %v; the grace deadline is gateway-wide, want < %v",
+			elapsed, drainGrace+2*time.Second)
+	}
+	st := g.Stats()
+	if st.Dropped == 0 {
+		t.Error("an absent consumer must cost dropped windows")
+	}
+	if st.Ingested != uint64(len(recs)) {
+		t.Errorf("ingested %d, want %d", st.Ingested, len(recs))
+	}
+	if st.Emitted+st.Dropped != st.Ingested {
+		t.Errorf("emitted %d + dropped %d != ingested %d (windows double- or un-counted)",
+			st.Emitted, st.Dropped, st.Ingested)
+	}
+	if n := <-gotOne; n == 0 {
+		t.Error("slow consumer read an empty window")
+	}
+}
+
+// TestGatewaySwapVisibleOnlyAtWindowBoundary hot-swaps ε mid-stream and
+// checks the swap invariant: zero dropped records, output before the swap
+// bit-identical to a never-swapped run, and every window after it protected
+// wholly under the new parameters.
+func TestGatewaySwapVisibleOnlyAtWindowBoundary(t *testing.T) {
+	const (
+		nUsers     = 8
+		perUser    = 24
+		flushEvery = 8
+	)
+	mech := lppm.NewGeoIndistinguishability()
+	recs := makeRecords(nUsers, perUser)
+	cfg := Config{
+		Mechanism:  mech,
+		Shards:     2,
+		FlushEvery: flushEvery,
+		StageSize:  1, // no staging: records reach shards as ingested
+		Seed:       42,
+	}
+	baseline, _ := runGateway(t, cfg, recs)
+
+	g, err := New(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan map[string][]trace.Record)
+	go func() {
+		got := make(map[string][]trace.Record)
+		for batch := range g.Output() {
+			got[batch[0].User] = append(got[batch[0].User], batch...)
+		}
+		done <- got
+	}()
+	// First window per user, then wait until all of it is emitted so the
+	// swap lands exactly on a window boundary.
+	boundary := nUsers * flushEvery
+	if err := g.IngestAll(recs[:boundary]); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for g.Stats().Emitted != uint64(boundary) {
+		if time.Now().After(deadline) {
+			t.Fatalf("first windows never emitted: %+v", g.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	tight := lppm.Defaults(mech)
+	tight[lppm.EpsilonParam] /= 10
+	dep, err := core.NewDeployment(mech, tight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Swap(dep); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.IngestAll(recs[boundary:]); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got := <-done
+
+	st := g.Stats()
+	if st.Dropped != 0 {
+		t.Errorf("swap dropped %d records, want 0", st.Dropped)
+	}
+	if st.Emitted != uint64(len(recs)) {
+		t.Errorf("emitted %d, want %d", st.Emitted, len(recs))
+	}
+	if st.Swaps != 1 || st.Generation != 1 {
+		t.Errorf("swaps=%d generation=%d, want 1 and 1", st.Swaps, st.Generation)
+	}
+	if st.Reconfigs != nUsers {
+		t.Errorf("reconfigs=%d, want one per user (%d)", st.Reconfigs, nUsers)
+	}
+	for u, want := range baseline {
+		gotRecs := got[u]
+		if len(gotRecs) != len(want) {
+			t.Fatalf("user %s: %d records, want %d", u, len(gotRecs), len(want))
+		}
+		for i := 0; i < flushEvery; i++ {
+			if gotRecs[i] != want[i] {
+				t.Errorf("user %s pre-swap record %d diverged from never-swapped run", u, i)
+			}
+		}
+		for i := flushEvery; i < perUser; i++ {
+			if gotRecs[i] == want[i] {
+				t.Errorf("user %s post-swap record %d identical to old ε output", u, i)
+			}
+			if gotRecs[i].Time != want[i].Time || gotRecs[i].User != u {
+				t.Errorf("user %s post-swap record %d lost identity/order", u, i)
+			}
+		}
+	}
+}
+
+// TestGatewaySwapPerUserOverride swaps in a deployment whose base params
+// are unchanged but which overrides one user: only that user's subsequent
+// windows may change, every other stream must remain bit-identical to the
+// never-swapped run — the refresh itself is invisible.
+func TestGatewaySwapPerUserOverride(t *testing.T) {
+	const (
+		nUsers     = 6
+		perUser    = 16
+		flushEvery = 8
+	)
+	mech := lppm.NewGeoIndistinguishability()
+	recs := makeRecords(nUsers, perUser)
+	cfg := Config{
+		Mechanism:  mech,
+		Shards:     3,
+		FlushEvery: flushEvery,
+		StageSize:  1,
+		Seed:       7,
+	}
+	baseline, _ := runGateway(t, cfg, recs)
+
+	g, err := New(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan map[string][]trace.Record)
+	go func() {
+		got := make(map[string][]trace.Record)
+		for batch := range g.Output() {
+			got[batch[0].User] = append(got[batch[0].User], batch...)
+		}
+		done <- got
+	}()
+	boundary := nUsers * flushEvery
+	if err := g.IngestAll(recs[:boundary]); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for g.Stats().Emitted != uint64(boundary) {
+		if time.Now().After(deadline) {
+			t.Fatalf("first windows never emitted: %+v", g.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	const overridden = "u00"
+	dep, err := core.NewDeployment(mech, nil) // same base params as cfg
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dep.Override(overridden, lppm.Params{lppm.EpsilonParam: lppm.Defaults(mech)[lppm.EpsilonParam] / 20}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Swap(dep); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.IngestAll(recs[boundary:]); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got := <-done
+	if st := g.Stats(); st.Dropped != 0 {
+		t.Errorf("override swap dropped %d records", st.Dropped)
+	}
+	for u, want := range baseline {
+		gotRecs := got[u]
+		if len(gotRecs) != len(want) {
+			t.Fatalf("user %s: %d records, want %d", u, len(gotRecs), len(want))
+		}
+		for i := range want {
+			same := gotRecs[i] == want[i]
+			switch {
+			case u == overridden && i >= flushEvery:
+				if same {
+					t.Errorf("overridden user record %d unchanged by 20x tighter ε", i)
+				}
+			default:
+				if !same {
+					t.Errorf("user %s record %d changed by another user's override", u, i)
+				}
+			}
+		}
+	}
+}
+
 func TestGatewayConfigValidation(t *testing.T) {
 	ctx := context.Background()
 	if _, err := New(ctx, Config{}); err == nil {
@@ -229,12 +512,27 @@ func TestGatewayConfigValidation(t *testing.T) {
 	}); err == nil {
 		t.Error("out-of-range params must fail")
 	}
+	if _, err := New(ctx, Config{
+		Mechanism: lppm.NewGeoIndistinguishability(),
+		Params:    lppm.Params{"epsilon": 0.01, "epsilonn": 0.001},
+	}); err == nil {
+		t.Error("undeclared base param must fail, not ride along ignored")
+	}
 	g, err := New(ctx, Config{Mechanism: lppm.NewGeoIndistinguishability()})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if err := g.Ingest(trace.Record{Time: gwT0, Point: gwBase}); err == nil {
 		t.Error("empty user must be rejected")
+	}
+	if err := g.Swap(&core.Deployment{Mechanism: lppm.NewGeoIndistinguishability()}); err != nil {
+		t.Errorf("nil-params deployment must swap to mechanism defaults: %v", err)
+	}
+	if err := g.Swap(&core.Deployment{
+		Mechanism: lppm.NewGeoIndistinguishability(),
+		Params:    lppm.Params{"epsilon": 0.01, "epsilonn": 0.001},
+	}); err == nil {
+		t.Error("swap with an undeclared base param must fail")
 	}
 	if err := g.Close(); err != nil {
 		t.Fatal(err)
