@@ -15,10 +15,11 @@ build:
 test:
 	$(GO) test ./...
 
-# Quick single-pass gateway benchmark, as a CI smoke that the serving
-# path still runs end-to-end.
+# Quick single-pass benchmarks, as a CI smoke that the serving path and
+# the evaluation hot path still run end-to-end. The eval benchmark also
+# records its metrics to BENCH_eval.json so the perf trajectory is kept.
 bench-smoke:
-	$(GO) test -run '^$$' -bench=Gateway -benchtime=1x .
+	BENCH_EVAL_JSON=BENCH_eval.json $(GO) test -run '^$$' -bench='Gateway|AnalyzeHotPath' -benchtime=1x -benchmem .
 
 bench:
 	$(GO) test -run '^$$' -bench=. -benchmem .

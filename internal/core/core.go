@@ -133,10 +133,92 @@ type Analysis struct {
 	Properties *model.PropertySelection
 }
 
+// Cache carries dataset-derived evaluation state that repeated analyses
+// sharing one definition's metrics can reuse: the prepared-metric
+// evaluators of the sweep engine (keyed per user by actual-trace identity,
+// so entries survive exactly as long as the underlying traces do) and the
+// dataset-property vectors of the screening step (memoized while the
+// dataset is unchanged). The reconfiguration controller owns one for its
+// lifetime; CLI or example code analyzing the same dataset under several
+// definitions that share metrics can too.
+//
+// A Cache is not safe for concurrent use, and cached entries assume the
+// traces and dataset they were derived from are not mutated.
+type Cache struct {
+	metrics *eval.MetricCache
+	// propsKey records the trace identity of every user the memoized
+	// property vectors were computed from. Keying on trace identities —
+	// not the dataset pointer — lets callers that rebuild a Dataset
+	// around unchanged traces each round (the controller snapshots into
+	// a fresh Dataset per evaluation) still hit the memo.
+	propsKey  map[string]*trace.Trace
+	propsCell float64
+	props     []trace.UserProperties
+}
+
+// NewCache builds a cache for analyses using the definition's metric pair
+// (privacy first, utility second — the sweep order AnalyzeCached uses).
+func NewCache(def Definition) *Cache {
+	return &Cache{metrics: eval.NewMetricCache([]metrics.Metric{def.Privacy, def.Utility})}
+}
+
+// MetricCache exposes the prepared-evaluator cache, for callers (the
+// controller's online estimation) that score single protected traces with
+// the same metrics outside a full sweep.
+func (c *Cache) MetricCache() *eval.MetricCache { return c.metrics }
+
+// Reset drops every memoized entry — prepared evaluators and property
+// vectors alike — releasing the traces they pin. Callers invalidate when
+// the data the cache was built over is gone for good (the controller after
+// a swap).
+func (c *Cache) Reset() {
+	c.metrics.Reset()
+	c.props = nil
+	c.propsKey = nil
+}
+
+// properties returns trace.DatasetProperties(ds, cellMeters), reusing the
+// previous computation while the dataset still holds the same traces (by
+// identity, per user) at the same cell size. The identity walk is O(users);
+// the computation it skips is O(records).
+func (c *Cache) properties(ds *trace.Dataset, cellMeters float64) []trace.UserProperties {
+	if c.props != nil && c.propsCell == cellMeters && c.sameTraces(ds) {
+		return c.props
+	}
+	c.props = trace.DatasetProperties(ds, cellMeters)
+	c.propsCell = cellMeters
+	c.propsKey = make(map[string]*trace.Trace, ds.NumUsers())
+	for _, t := range ds.Traces() {
+		c.propsKey[t.User] = t
+	}
+	return c.props
+}
+
+// sameTraces reports whether ds holds exactly the traces the memo was
+// computed from.
+func (c *Cache) sameTraces(ds *trace.Dataset) bool {
+	if ds.NumUsers() != len(c.propsKey) {
+		return false
+	}
+	for _, t := range ds.Traces() {
+		if c.propsKey[t.User] != t {
+			return false
+		}
+	}
+	return true
+}
+
 // Analyze runs framework steps 1 and 2 on the dataset: sweep the parameter
 // across its declared range, measure both metrics, screen dataset
 // properties, and fit the invertible models.
 func Analyze(ctx context.Context, def Definition, actual *trace.Dataset) (*Analysis, error) {
+	return AnalyzeCached(ctx, def, actual, nil)
+}
+
+// AnalyzeCached is Analyze drawing prepared evaluators and memoized dataset
+// properties from a caller-owned Cache — the repeated-analysis path. A nil
+// cache recomputes everything, which is Analyze's behavior.
+func AnalyzeCached(ctx context.Context, def Definition, actual *trace.Dataset, cache *Cache) (*Analysis, error) {
 	if err := def.normalize(); err != nil {
 		return nil, err
 	}
@@ -165,7 +247,11 @@ func Analyze(ctx context.Context, def Definition, actual *trace.Dataset) (*Analy
 		Seed:    def.Seed,
 		Workers: def.Workers,
 	}
-	result, err := eval.Run(ctx, sweep, actual)
+	var mcache *eval.MetricCache
+	if cache != nil {
+		mcache = cache.metrics
+	}
+	result, err := eval.RunCached(ctx, sweep, actual, mcache)
 	if err != nil {
 		return nil, err
 	}
@@ -189,7 +275,7 @@ func Analyze(ctx context.Context, def Definition, actual *trace.Dataset) (*Analy
 		return nil, fmt.Errorf("core: utility model: %w", err)
 	}
 
-	a.Properties, err = screenProperties(def, actual, result)
+	a.Properties, err = screenProperties(def, actual, result, cache)
 	if err != nil {
 		return nil, err
 	}
@@ -198,9 +284,16 @@ func Analyze(ctx context.Context, def Definition, actual *trace.Dataset) (*Analy
 
 // screenProperties correlates per-user dataset properties with per-user
 // privacy outcomes at the middle of the sweep, the framework's PCA-based
-// step-1 analysis.
-func screenProperties(def Definition, actual *trace.Dataset, result *eval.Result) (*model.PropertySelection, error) {
-	props := trace.DatasetProperties(actual, def.PropertyCellMeters)
+// step-1 analysis. The property vectors are the one dataset-wide pass of
+// the analysis; with a cache they are hoisted out of repeated analyses of
+// an unchanged dataset.
+func screenProperties(def Definition, actual *trace.Dataset, result *eval.Result, cache *Cache) (*model.PropertySelection, error) {
+	var props []trace.UserProperties
+	if cache != nil {
+		props = cache.properties(actual, def.PropertyCellMeters)
+	} else {
+		props = trace.DatasetProperties(actual, def.PropertyCellMeters)
+	}
 	rows := make([][]float64, len(props))
 	for i, p := range props {
 		rows[i] = p.PropertyVector()

@@ -216,3 +216,75 @@ func mean(xs []float64) float64 {
 	}
 	return s / float64(len(xs))
 }
+
+// TestCachePropertiesMemo pins the memo's keying: the property vectors are
+// reused when a *different* Dataset object holds the same traces (the
+// controller rebuilds a Dataset per evaluation around memoized traces), and
+// recomputed when a trace or the cell size changes.
+func TestCachePropertiesMemo(t *testing.T) {
+	d := smallFleet(t)
+	c := NewCache(testDefinition())
+
+	p1 := c.properties(d, 500)
+	if len(p1) != d.NumUsers() {
+		t.Fatalf("got %d property rows for %d users", len(p1), d.NumUsers())
+	}
+
+	// Same traces wrapped in a fresh Dataset: must hit (same slice back).
+	wrapped := trace.NewDataset()
+	for _, tr := range d.Traces() {
+		wrapped.Add(tr)
+	}
+	if p2 := c.properties(wrapped, 500); &p2[0] != &p1[0] {
+		t.Fatal("identical trace set in a new Dataset should hit the memo")
+	}
+
+	// Different cell size: recompute.
+	if p3 := c.properties(d, 200); &p3[0] == &p1[0] {
+		t.Fatal("changed cell size should recompute")
+	}
+
+	// One replaced trace: recompute.
+	p4 := c.properties(d, 500)
+	changed := trace.NewDataset()
+	for _, tr := range d.Traces() {
+		changed.Add(tr)
+	}
+	u := d.Users()[0]
+	changed.Add(d.Trace(u).Clone())
+	if p5 := c.properties(changed, 500); &p5[0] == &p4[0] {
+		t.Fatal("replaced trace should recompute")
+	}
+}
+
+// TestAnalyzeCachedMatchesAnalyze runs the same definition twice through
+// one cache and once without, requiring identical sweeps and models.
+func TestAnalyzeCachedMatchesAnalyze(t *testing.T) {
+	d := smallFleet(t)
+	def := testDefinition()
+	def.GridPoints = 5
+	def.Repeats = 1
+	def.Workers = 1
+
+	plain, err := Analyze(context.Background(), def, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := NewCache(def)
+	for round := 0; round < 2; round++ {
+		cached, err := AnalyzeCached(context.Background(), def, d, cache)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cached.PrivacyModel != plain.PrivacyModel || cached.UtilityModel != plain.UtilityModel {
+			t.Fatalf("round %d: cached models diverge: %+v vs %+v", round, cached.PrivacyModel, plain.PrivacyModel)
+		}
+		for i, p := range plain.Sweep.Points {
+			for name, v := range p.Mean {
+				if cv := cached.Sweep.Points[i].Mean[name]; cv != v {
+					t.Fatalf("round %d: point %d %s: %v vs %v", round, i, name, cv, v)
+				}
+			}
+		}
+	}
+}

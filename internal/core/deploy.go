@@ -86,7 +86,14 @@ func NewDeployment(m lppm.Mechanism, p lppm.Params) (*Deployment, error) {
 // whenever the analysis itself succeeded, even if the objectives then
 // proved infeasible.
 func Redeploy(ctx context.Context, def Definition, observed *trace.Dataset, obj model.Objectives) (*Deployment, *Analysis, error) {
-	a, err := Analyze(ctx, def, observed)
+	return RedeployCached(ctx, def, observed, obj, nil)
+}
+
+// RedeployCached is Redeploy drawing on a caller-owned Cache: a controller
+// that redeploys periodically reuses prepared actual-side metric state for
+// every observed trace that is unchanged since the cache last saw it.
+func RedeployCached(ctx context.Context, def Definition, observed *trace.Dataset, obj model.Objectives, cache *Cache) (*Deployment, *Analysis, error) {
+	a, err := AnalyzeCached(ctx, def, observed, cache)
 	if err != nil {
 		return nil, nil, fmt.Errorf("core: redeploy analysis: %w", err)
 	}

@@ -1,0 +1,233 @@
+package eval
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/lppm"
+	"repro/internal/metrics"
+	"repro/internal/rng"
+	"repro/internal/trace"
+)
+
+// legacyRun re-implements the pre-cache evaluation path exactly as the
+// engine ran it before prepared metrics existed: materialize a full
+// protected dataset per (value, repeat) with lppm.ProtectDataset, then
+// score every user through the stateless Metric.Evaluate — no preparation,
+// no scratch reuse, metric-major order. It feeds the same reduce, so any
+// divergence in the comparison below is the evaluation path's.
+func legacyRun(t *testing.T, s *Sweep, actual *trace.Dataset) *Result {
+	t.Helper()
+	users := actual.Users()
+	root := rng.New(s.Seed)
+	var outcomes []workOutcome
+	for vi := range s.Values {
+		for rep := 0; rep < s.Repeats; rep++ {
+			out := workOutcome{
+				workItem:      workItem{valueIdx: vi, repeatIdx: rep},
+				perMetricUser: make(map[string][]float64, len(s.Metrics)),
+			}
+			params := s.Fixed.Clone()
+			if params == nil {
+				params = make(lppm.Params, 1)
+			}
+			params[s.Param] = s.Values[vi]
+			r := root.Split(int64(vi)*1_000_003 + int64(rep))
+			protected, err := lppm.ProtectDataset(actual, s.Mechanism, params, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, m := range s.Metrics {
+				vals := make([]float64, len(users))
+				for ui, u := range users {
+					v, err := m.Evaluate(actual.Trace(u), protected.Trace(u))
+					if err != nil {
+						t.Fatal(err)
+					}
+					vals[ui] = v
+				}
+				out.perMetricUser[m.Name()] = vals
+			}
+			outcomes = append(outcomes, out)
+		}
+	}
+	return reduce(s, users, outcomes)
+}
+
+// requireIdenticalResults fails unless the two results agree bit for bit on
+// every field the sweep's consumers read.
+func requireIdenticalResults(t *testing.T, label string, want, got *Result) {
+	t.Helper()
+	if got.MechanismName != want.MechanismName || got.Param != want.Param {
+		t.Fatalf("%s: identity fields differ: %+v vs %+v", label, got, want)
+	}
+	if len(got.Users) != len(want.Users) {
+		t.Fatalf("%s: users %v vs %v", label, got.Users, want.Users)
+	}
+	for i := range want.Users {
+		if got.Users[i] != want.Users[i] {
+			t.Fatalf("%s: users %v vs %v", label, got.Users, want.Users)
+		}
+	}
+	if len(got.Points) != len(want.Points) {
+		t.Fatalf("%s: %d points vs %d", label, len(got.Points), len(want.Points))
+	}
+	for i := range want.Points {
+		wp, gp := want.Points[i], got.Points[i]
+		if gp.Value != wp.Value {
+			t.Fatalf("%s: point %d value %v vs %v", label, i, gp.Value, wp.Value)
+		}
+		for name, wv := range wp.Mean {
+			if gv := gp.Mean[name]; gv != wv {
+				t.Fatalf("%s: point %d mean[%s] = %v, want %v", label, i, name, gv, wv)
+			}
+		}
+		for name, wv := range wp.Std {
+			if gv := gp.Std[name]; gv != wv {
+				t.Fatalf("%s: point %d std[%s] = %v, want %v", label, i, name, gv, wv)
+			}
+		}
+		for name, byUser := range wp.PerUser {
+			for u, wv := range byUser {
+				if gv := gp.PerUser[name][u]; gv != wv {
+					t.Fatalf("%s: point %d perUser[%s][%s] = %v, want %v", label, i, name, u, gv, wv)
+				}
+			}
+		}
+	}
+}
+
+// TestSweepEquivalencePreparedVsLegacy is the determinism contract of the
+// prepared-metric engine: for the same seed, the cached/prepared path —
+// sequential, parallel, or reusing one long-lived cache across runs — must
+// produce an eval.Result bit-identical to the legacy unprepared path, for
+// every built-in metric at once.
+func TestSweepEquivalencePreparedVsLegacy(t *testing.T) {
+	d := testDataset(t, 4)
+	s := testSweep()
+	// Every built-in metric rides along, so preparation bugs in any of
+	// them (stale scratch, drifting accumulation order) break the test.
+	s.Metrics = []metrics.Metric{
+		metrics.MustPOIRetrieval(metrics.DefaultPOIRetrievalConfig()),
+		metrics.MustAreaCoverage(metrics.DefaultAreaCoverageConfig()),
+		metrics.MeanDisplacement{},
+		metrics.CoverageEntropyGain{CellSizeMeters: 200},
+		metrics.MustTrajectorySimilarity(metrics.DefaultTrajectorySimilarityConfig()),
+		metrics.MustRangeQueryAccuracy(metrics.DefaultRangeQueryConfig()),
+		metrics.MustHeatmapSimilarity(metrics.DefaultHeatmapSimilarityConfig()),
+	}
+	// Three repeats: with fewer, an accumulation-order regression in
+	// reduce could never surface (two-term float addition commutes).
+	s.Repeats = 3
+
+	want := legacyRun(t, s, d)
+
+	for _, workers := range []int{1, 8} {
+		s.Workers = workers
+		got, err := Run(context.Background(), s, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireIdenticalResults(t, "prepared", want, got)
+	}
+
+	// A caller-owned cache reused across two runs must not drift either:
+	// the second run scores through scratch the first run already warmed.
+	cache := NewMetricCache(s.Metrics)
+	s.Workers = 1
+	for run := 0; run < 2; run++ {
+		got, err := RunCached(context.Background(), s, d, cache)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireIdenticalResults(t, "cached run", want, got)
+	}
+}
+
+// TestRunCachedRejectsForeignCache guards the positional prepared-slot
+// contract: a cache built for different metrics is an error, not a silent
+// misscore — including a same-named metric with a different configuration,
+// which a name-based check would wave through and then score with the
+// stale config.
+func TestRunCachedRejectsForeignCache(t *testing.T) {
+	d := testDataset(t, 2)
+	s := testSweep()
+	cache := NewMetricCache([]metrics.Metric{metrics.MeanDisplacement{}})
+	if _, err := RunCached(context.Background(), s, d, cache); err == nil {
+		t.Fatal("foreign cache should be rejected")
+	}
+
+	s.Metrics = []metrics.Metric{metrics.MustHeatmapSimilarity(metrics.HeatmapSimilarityConfig{CellSizeMeters: 500})}
+	sameName := NewMetricCache([]metrics.Metric{metrics.MustHeatmapSimilarity(metrics.HeatmapSimilarityConfig{CellSizeMeters: 100})})
+	if _, err := RunCached(context.Background(), s, d, sameName); err == nil {
+		t.Fatal("same-named metric with different config should be rejected")
+	}
+
+	// The same instances (and equal comparable values) remain accepted.
+	s = testSweep()
+	ok := NewMetricCache(s.Metrics)
+	if _, err := RunCached(context.Background(), s, d, ok); err != nil {
+		t.Fatalf("identical metric instances rejected: %v", err)
+	}
+	s.Metrics = []metrics.Metric{metrics.MeanDisplacement{}}
+	byValue := NewMetricCache([]metrics.Metric{metrics.MeanDisplacement{}})
+	if _, err := RunCached(context.Background(), s, d, byValue); err != nil {
+		t.Fatalf("equal comparable metric values rejected: %v", err)
+	}
+}
+
+// sliceMetric has a non-comparable dynamic type: metric identity between a
+// cache and a sweep cannot be proven for it.
+type sliceMetric struct{ weights []float64 }
+
+func (sliceMetric) Name() string       { return "slicey" }
+func (sliceMetric) Kind() metrics.Kind { return metrics.Utility }
+func (sliceMetric) Evaluate(actual, protected *trace.Trace) (float64, error) {
+	return float64(protected.Len()) / float64(actual.Len()+1), nil
+}
+
+// TestRunCachedBypassesUnprovableCache: a metric of non-comparable type
+// must neither be trusted (its config can't be checked) nor fail the run —
+// a controller's drift path would otherwise error forever. The cache is
+// bypassed and the sweep still completes.
+func TestRunCachedBypassesUnprovableCache(t *testing.T) {
+	d := testDataset(t, 2)
+	s := testSweep()
+	s.Metrics = []metrics.Metric{sliceMetric{weights: []float64{1}}}
+	cache := NewMetricCache([]metrics.Metric{sliceMetric{weights: []float64{1}}})
+	res, err := RunCached(context.Background(), s, d, cache)
+	if err != nil {
+		t.Fatalf("unprovable cache must be bypassed, not refused: %v", err)
+	}
+	if len(res.Points) != len(s.Values) {
+		t.Fatalf("sweep incomplete: %d points", len(res.Points))
+	}
+}
+
+// TestMetricCacheRebuildsOnTraceChange pins the identity-keyed rebuild: a
+// new trace under the same user must not be scored with stale prepared
+// state.
+func TestMetricCacheRebuildsOnTraceChange(t *testing.T) {
+	d := testDataset(t, 2)
+	m := metrics.MustPOIRetrieval(metrics.DefaultPOIRetrievalConfig())
+	cache := NewMetricCache([]metrics.Metric{m})
+	u := d.Users()[0]
+	t1 := d.Trace(u)
+	t2 := d.Trace(d.Users()[1]).Clone()
+	t2.User = t1.User
+
+	p1 := cache.For(u, t1)[0]
+	if again := cache.For(u, t1)[0]; again != p1 {
+		t.Fatal("same trace should hit the cache")
+	}
+	p2 := cache.For(u, t2)[0]
+	if p2 == p1 {
+		t.Fatal("changed trace should rebuild the prepared evaluator")
+	}
+	// The rebuilt evaluator must match a fresh unprepared evaluation.
+	want, err1 := m.Evaluate(t2, t1)
+	got, err2 := p2.Evaluate(t1)
+	if err1 != nil || err2 != nil || want != got {
+		t.Fatalf("rebuilt evaluator: got (%v, %v), want (%v, %v)", got, err2, want, err1)
+	}
+}

@@ -13,7 +13,9 @@ package eval
 import (
 	"context"
 	"fmt"
+	"reflect"
 	"runtime"
+	"sort"
 	"sync"
 
 	"repro/internal/lppm"
@@ -129,14 +131,132 @@ type workOutcome struct {
 	err           error
 }
 
+// MetricCache memoizes prepared metric evaluators — the sweep metrics
+// specialized to each user's actual trace (metrics.Prepare) — so the
+// actual-side work (POI extraction, decimation, heat maps) is paid once per
+// user per sweep instead of once per (grid value × repeat × user). Entries
+// are keyed by user and validated against the trace's identity: passing a
+// different *trace.Trace for a known user rebuilds that user's evaluators,
+// which is what lets a long-lived cache (the reconfiguration controller's)
+// survive dataset churn.
+//
+// A MetricCache is NOT safe for concurrent use: prepared evaluators own
+// scratch buffers. Run hands a caller-provided cache to exactly one worker
+// and gives the remaining workers their own.
+type MetricCache struct {
+	metrics []metrics.Metric
+	users   map[string]*cacheEntry
+}
+
+// cacheEntry is one user's prepared evaluators, pinned to the trace they
+// were prepared on.
+type cacheEntry struct {
+	trace    *trace.Trace
+	prepared []metrics.PreparedMetric
+}
+
+// NewMetricCache returns an empty cache for the given metric list. The
+// slice is captured; the per-user evaluators are built lazily by For.
+func NewMetricCache(ms []metrics.Metric) *MetricCache {
+	return &MetricCache{metrics: ms, users: make(map[string]*cacheEntry)}
+}
+
+// cacheMatch is the outcome of checking a cache against a sweep's metrics.
+type cacheMatch int
+
+const (
+	// cacheMatches: the cache was provably built for these metric
+	// instances (or equal comparable values) — safe to use.
+	cacheMatches cacheMatch = iota
+	// cacheMismatch: a metric provably differs (name, type, or value) —
+	// using the cache would silently score with the wrong configuration.
+	cacheMismatch
+	// cacheUnprovable: same names and types, but a non-comparable dynamic
+	// type makes identity unprovable — the cache must be bypassed
+	// (correct, just uncached), not trusted and not refused loudly.
+	cacheUnprovable
+)
+
+// match classifies the cache against a metric list. The check is by
+// instance (same value for comparable metrics, in order), not by name: For
+// prepares from the cache's own metric instances, so a cache built from a
+// same-named metric with a different configuration would silently score
+// every sweep with the stale config.
+func (c *MetricCache) match(ms []metrics.Metric) cacheMatch {
+	if len(c.metrics) != len(ms) {
+		return cacheMismatch
+	}
+	out := cacheMatches
+	for i, m := range ms {
+		cm := c.metrics[i]
+		t := reflect.TypeOf(m)
+		if t != reflect.TypeOf(cm) || cm.Name() != m.Name() {
+			return cacheMismatch
+		}
+		if !t.Comparable() {
+			out = cacheUnprovable
+			continue
+		}
+		if cm != m {
+			return cacheMismatch
+		}
+	}
+	return out
+}
+
+// For returns the user's prepared evaluators (one per cache metric, in
+// order), building them on first use and rebuilding when the user's actual
+// trace is not the one the entry was prepared on.
+func (c *MetricCache) For(user string, actual *trace.Trace) []metrics.PreparedMetric {
+	e := c.users[user]
+	if e == nil || e.trace != actual {
+		e = &cacheEntry{trace: actual, prepared: make([]metrics.PreparedMetric, len(c.metrics))}
+		for i, m := range c.metrics {
+			e.prepared[i] = metrics.Prepare(m, actual)
+		}
+		c.users[user] = e
+	}
+	return e.prepared
+}
+
+// Forget drops one user's prepared state (e.g. after the controller evicts
+// an idle user).
+func (c *MetricCache) Forget(user string) { delete(c.users, user) }
+
+// Reset drops every user's prepared state, keeping the metric list.
+func (c *MetricCache) Reset() { clear(c.users) }
+
 // Run executes the sweep over the dataset. It honours ctx cancellation and
 // returns the first error encountered.
 func Run(ctx context.Context, s *Sweep, actual *trace.Dataset) (*Result, error) {
+	return RunCached(ctx, s, actual, nil)
+}
+
+// RunCached is Run reusing a caller-owned MetricCache across sweeps over
+// the same dataset — the reconfiguration controller's periodic re-analysis
+// path. The cache must have been built for s.Metrics (an incompatible one
+// is an error) and must not be used concurrently by the caller while the
+// sweep runs; Run hands it to a single worker, so with Workers == 1 (or on
+// a single-CPU host) every work item hits it. A nil cache makes every
+// worker build its own, which is Run's behavior.
+func RunCached(ctx context.Context, s *Sweep, actual *trace.Dataset, cache *MetricCache) (*Result, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
 	if actual == nil || actual.NumUsers() == 0 {
 		return nil, fmt.Errorf("eval: empty dataset")
+	}
+	if cache != nil {
+		switch cache.match(s.Metrics) {
+		case cacheMismatch:
+			return nil, fmt.Errorf("eval: metric cache built for different metrics")
+		case cacheUnprovable:
+			// A custom metric of non-comparable type: identity can't be
+			// proven, so run correct-but-uncached rather than trusting a
+			// possibly-stale config or failing a long-lived caller (the
+			// controller's drift path) forever.
+			cache = nil
+		}
 	}
 
 	users := actual.Users()
@@ -161,11 +281,19 @@ func Run(ctx context.Context, s *Sweep, actual *trace.Dataset) (*Result, error) 
 
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
+		// The prepared-metric cache is per worker: prepared evaluators
+		// own scratch and must not be shared across goroutines. Worker 0
+		// inherits the caller's cache (cross-sweep reuse); the others
+		// build their own, amortized across the items they process.
+		wcache := cache
+		if wcache == nil || w > 0 {
+			wcache = NewMetricCache(s.Metrics)
+		}
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for it := range itemCh {
-				outCh <- runItem(s, actual, users, root, it)
+				outCh <- runItem(s, actual, users, wcache, root, it)
 			}
 		}()
 	}
@@ -199,36 +327,53 @@ feed:
 	return reduce(s, users, outcomes), nil
 }
 
-// runItem protects the dataset at one grid value and evaluates all metrics.
-func runItem(s *Sweep, actual *trace.Dataset, users []string, root *rng.Source, it workItem) workOutcome {
+// runItem protects and evaluates one grid value × repeat, streaming user by
+// user: each user's trace is protected, scored by every metric through the
+// worker's prepared-evaluator cache, and released before the next user's is
+// built. Peak memory is one protected trace per worker — not a full
+// protected dataset — and the per-user random streams derive from the item
+// stream by user name exactly as lppm.ProtectDataset derives them, so the
+// output is bit-identical to protecting the whole dataset first.
+func runItem(s *Sweep, actual *trace.Dataset, users []string, cache *MetricCache, root *rng.Source, it workItem) workOutcome {
 	out := workOutcome{workItem: it, perMetricUser: make(map[string][]float64, len(s.Metrics))}
+	fail := func(err error) workOutcome {
+		out.err = err
+		return out
+	}
 
 	params := s.Fixed.Clone()
 	if params == nil {
 		params = make(lppm.Params, 1)
 	}
 	params[s.Param] = s.Values[it.valueIdx]
-
-	// A deterministic stream per (value, repeat); ProtectDataset further
-	// splits per user.
-	r := root.Split(int64(it.valueIdx)*1_000_003 + int64(it.repeatIdx))
-	protected, err := lppm.ProtectDataset(actual, s.Mechanism, params, r)
-	if err != nil {
-		out.err = fmt.Errorf("eval: value %v repeat %d: %w", s.Values[it.valueIdx], it.repeatIdx, err)
-		return out
+	if err := lppm.ValidateParams(s.Mechanism, params); err != nil {
+		return fail(fmt.Errorf("eval: value %v repeat %d: %w", s.Values[it.valueIdx], it.repeatIdx, err))
 	}
 
-	for _, m := range s.Metrics {
-		vals := make([]float64, len(users))
-		for ui, u := range users {
-			v, err := m.Evaluate(actual.Trace(u), protected.Trace(u))
-			if err != nil {
-				out.err = fmt.Errorf("eval: metric %s user %s: %w", m.Name(), u, err)
-				return out
-			}
-			vals[ui] = v
+	vals := make([][]float64, len(s.Metrics))
+	for mi := range s.Metrics {
+		vals[mi] = make([]float64, len(users))
+	}
+
+	// A deterministic stream per (value, repeat), split per user by name.
+	r := root.Split(int64(it.valueIdx)*1_000_003 + int64(it.repeatIdx))
+	for ui, u := range users {
+		at := actual.Trace(u)
+		protected, err := s.Mechanism.Protect(at, params, r.Named(u))
+		if err != nil {
+			return fail(fmt.Errorf("eval: value %v repeat %d: protect %s: %w", s.Values[it.valueIdx], it.repeatIdx, u, err))
 		}
-		out.perMetricUser[m.Name()] = vals
+		prep := cache.For(u, at)
+		for mi, m := range s.Metrics {
+			v, err := prep[mi].Evaluate(protected)
+			if err != nil {
+				return fail(fmt.Errorf("eval: metric %s user %s: %w", m.Name(), u, err))
+			}
+			vals[mi][ui] = v
+		}
+	}
+	for mi, m := range s.Metrics {
+		out.perMetricUser[m.Name()] = vals[mi]
 	}
 	return out
 }
@@ -241,6 +386,16 @@ func reduce(s *Sweep, users []string, outcomes []workOutcome) *Result {
 		Points:        make([]Point, len(s.Values)),
 		Users:         users,
 	}
+	// Outcomes arrive in completion order; sum repeats in repeat order so
+	// the floating-point accumulation — and therefore the Result — is
+	// bit-identical whatever the worker scheduling (with three or more
+	// repeats, summing in arrival order would let the last bits drift).
+	sort.Slice(outcomes, func(i, j int) bool {
+		if outcomes[i].valueIdx != outcomes[j].valueIdx {
+			return outcomes[i].valueIdx < outcomes[j].valueIdx
+		}
+		return outcomes[i].repeatIdx < outcomes[j].repeatIdx
+	})
 	// accum[valueIdx][metric][userIdx] = sum over repeats.
 	type cell map[string][]float64
 	accum := make([]cell, len(s.Values))

@@ -127,6 +127,10 @@ func RunGrid(ctx context.Context, s *Sweep2D, actual *trace.Dataset) (*Result2D,
 		ValuesY:       append([]float64(nil), s.ValuesY...),
 		Rows:          make([]*Result, len(s.ValuesY)),
 	}
+	// One prepared-metric cache spans every row: the actual side never
+	// changes across the grid, so re-preparing it per row would redo the
+	// whole dataset's POI extraction and decimation |ValuesY| times.
+	cache := NewMetricCache(s.Metrics)
 	for yi, y := range s.ValuesY {
 		fixed := s.Fixed.Clone()
 		if fixed == nil {
@@ -143,7 +147,7 @@ func RunGrid(ctx context.Context, s *Sweep2D, actual *trace.Dataset) (*Result2D,
 			Seed:      root.Split(int64(yi)).Seed(),
 			Workers:   s.Workers,
 		}
-		out, err := Run(ctx, row, actual)
+		out, err := RunCached(ctx, row, actual, cache)
 		if err != nil {
 			return nil, fmt.Errorf("eval: grid row %s=%v: %w", s.ParamY, y, err)
 		}

@@ -1,0 +1,97 @@
+package metrics
+
+import (
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/rng"
+)
+
+// Allocation regressions: the hot evaluation loop must stay near-zero-alloc
+// in steady state — these tests pin the contract so a refactor that
+// reintroduces per-call buffers fails loudly rather than silently slowing
+// every sweep.
+
+// allocSequences builds two jittered trajectories of the DTW benchmark
+// scale.
+func allocSequences(n, m int) (a, b []geo.Point) {
+	r := rng.New(7)
+	base := geo.Point{Lat: 37.7749, Lng: -122.4194}
+	a = make([]geo.Point, n)
+	for i := range a {
+		a[i] = base.Offset(float64(i)*12, r.NormFloat64()*30)
+	}
+	b = make([]geo.Point, m)
+	for i := range b {
+		b[i] = base.Offset(float64(i)*12+r.NormFloat64()*50, r.NormFloat64()*50)
+	}
+	return a, b
+}
+
+func TestDTWMeanDistanceScratchAllocs(t *testing.T) {
+	a, b := allocSequences(400, 380)
+	var s PairwiseScratch
+	if _, err := s.DTWMeanDistance(a, b, 0.1); err != nil { // warm up buffers
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, err := s.DTWMeanDistance(a, b, 0.1); err != nil {
+			t.Error(err)
+		}
+	})
+	if allocs > 2 {
+		t.Errorf("scratch DTWMeanDistance allocates %v per run, want <= 2", allocs)
+	}
+}
+
+func TestFrechetDistanceScratchAllocs(t *testing.T) {
+	a, b := allocSequences(400, 380)
+	var s PairwiseScratch
+	if _, err := s.FrechetDistance(a, b); err != nil { // warm up buffers
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, err := s.FrechetDistance(a, b); err != nil {
+			t.Error(err)
+		}
+	})
+	if allocs > 2 {
+		t.Errorf("scratch FrechetDistance allocates %v per run, want <= 2", allocs)
+	}
+}
+
+func TestPreparedPOIRetrievalAllocs(t *testing.T) {
+	actual := prepTestTrace(t, "u1", 300, 11)
+	protected := jitter(t, actual, 60, 1, 12)
+	m := MustPOIRetrieval(DefaultPOIRetrievalConfig())
+	prep := m.Prepare(actual)
+	if _, err := prep.Evaluate(protected); err != nil { // warm up scratch
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, err := prep.Evaluate(protected); err != nil {
+			t.Error(err)
+		}
+	})
+	if allocs > 2 {
+		t.Errorf("prepared POIRetrieval.Evaluate allocates %v per run, want <= 2", allocs)
+	}
+}
+
+func TestPreparedTrajectorySimilarityAllocs(t *testing.T) {
+	actual := prepTestTrace(t, "u1", 500, 13)
+	protected := jitter(t, actual, 60, 1, 14)
+	m := MustTrajectorySimilarity(DefaultTrajectorySimilarityConfig())
+	prep := m.Prepare(actual)
+	if _, err := prep.Evaluate(protected); err != nil { // warm up scratch
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, err := prep.Evaluate(protected); err != nil {
+			t.Error(err)
+		}
+	})
+	if allocs > 2 {
+		t.Errorf("prepared TrajectorySimilarity.Evaluate allocates %v per run, want <= 2", allocs)
+	}
+}

@@ -43,9 +43,31 @@ func (*FinderRetrieval) Kind() Kind { return Privacy }
 
 // Evaluate implements Metric.
 func (m *FinderRetrieval) Evaluate(actual, protected *trace.Trace) (float64, error) {
-	actualPOIs := m.finder.POIs(actual)
-	candidatePOIs := m.finder.POIs(protected)
-	return poi.RetrievalRate(actualPOIs, candidatePOIs, m.matchRadiusMeters)
+	return m.Prepare(actual).Evaluate(protected)
 }
 
-var _ Metric = (*FinderRetrieval)(nil)
+// Prepare implements Preparable: the actual trace's POIs are extracted
+// once. The protected-side extraction still goes through the generic Finder
+// interface (finders supply their own working memory, if any).
+func (m *FinderRetrieval) Prepare(actual *trace.Trace) PreparedMetric {
+	return &preparedFinderRetrieval{
+		radius:     m.matchRadiusMeters,
+		finder:     m.finder,
+		actualPOIs: m.finder.POIs(actual),
+	}
+}
+
+// preparedFinderRetrieval is FinderRetrieval with the actual extraction
+// hoisted.
+type preparedFinderRetrieval struct {
+	radius     float64
+	finder     poi.Finder
+	actualPOIs []poi.POI
+}
+
+// Evaluate implements PreparedMetric.
+func (p *preparedFinderRetrieval) Evaluate(protected *trace.Trace) (float64, error) {
+	return poi.RetrievalRate(p.actualPOIs, p.finder.POIs(protected), p.radius)
+}
+
+var _ Preparable = (*FinderRetrieval)(nil)

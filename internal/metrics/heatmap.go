@@ -1,8 +1,10 @@
 package metrics
 
 import (
+	"cmp"
 	"fmt"
 	"math"
+	"slices"
 
 	"repro/internal/geo"
 	"repro/internal/trace"
@@ -66,57 +68,138 @@ func (*HeatmapSimilarity) Kind() Kind { return Utility }
 // actual trace, so identical releases score exactly 1; an empty protected
 // trace scores 0.
 func (m *HeatmapSimilarity) Evaluate(actual, protected *trace.Trace) (float64, error) {
+	return m.Prepare(actual).Evaluate(protected)
+}
+
+// Prepare implements Preparable: the grid and the actual trace's heat map
+// are rendered once, the protected heat map is rebuilt in a reused map, and
+// the divergence is accumulated in sorted cell order — a deterministic
+// summation order, where iterating the maps directly would make the
+// floating-point sum depend on Go's randomized map order.
+func (m *HeatmapSimilarity) Prepare(actual *trace.Trace) PreparedMetric {
+	p := &preparedHeatmapSimilarity{}
 	if actual.Len() == 0 {
+		p.emptyActual = true
+		return p
+	}
+	first := actual.Records[0].Point
+	origin := geo.Point{Lat: math.Floor(first.Lat), Lng: math.Floor(first.Lng)}
+	p.grid = geo.NewGrid(origin, m.cfg.CellSizeMeters)
+	p.p = cellFrequencies(p.grid, actual)
+	p.pCells = make([]geo.Cell, 0, len(p.p))
+	for c := range p.p {
+		p.pCells = append(p.pCells, c)
+	}
+	sortCells(p.pCells)
+	return p
+}
+
+// preparedHeatmapSimilarity is HeatmapSimilarity with the actual heat map
+// hoisted and the protected-side buffers reused.
+type preparedHeatmapSimilarity struct {
+	emptyActual bool
+	grid        *geo.Grid
+	p           map[geo.Cell]float64
+	pCells      []geo.Cell           // actual cells, sorted
+	q           map[geo.Cell]float64 // scratch, cleared per call
+	qOnly       []geo.Cell           // scratch: protected-only cells
+}
+
+// Evaluate implements PreparedMetric.
+func (p *preparedHeatmapSimilarity) Evaluate(protected *trace.Trace) (float64, error) {
+	if p.emptyActual {
 		return 0, fmt.Errorf("metrics: heat map of empty actual trace")
 	}
 	if protected.Len() == 0 {
 		return 0, nil
 	}
-	first := actual.Records[0].Point
-	origin := geo.Point{Lat: math.Floor(first.Lat), Lng: math.Floor(first.Lng)}
-	grid := geo.NewGrid(origin, m.cfg.CellSizeMeters)
-	p := cellFrequencies(grid, actual)
-	q := cellFrequencies(grid, protected)
-	return 1 - JensenShannon(p, q), nil
+	p.q = cellFrequenciesInto(p.q, p.grid, protected)
+	var js float64
+	js, p.qOnly = jensenShannonCells(p.p, p.pCells, p.q, p.qOnly)
+	return 1 - js, nil
+}
+
+// sortCells orders cells by column, then row. slices.SortFunc rather than
+// the reflective sort.Slice: this runs on the prepared hot path, where the
+// latter's closure and swapper would allocate per call.
+func sortCells(cells []geo.Cell) {
+	slices.SortFunc(cells, func(a, b geo.Cell) int {
+		if c := cmp.Compare(a.Col, b.Col); c != 0 {
+			return c
+		}
+		return cmp.Compare(a.Row, b.Row)
+	})
 }
 
 // cellFrequencies returns the normalized visit histogram of the trace on
 // the grid.
 func cellFrequencies(grid *geo.Grid, t *trace.Trace) map[geo.Cell]float64 {
-	freq := make(map[geo.Cell]float64)
+	return cellFrequenciesInto(nil, grid, t)
+}
+
+// cellFrequenciesInto is cellFrequencies writing into dst (allocated when
+// nil, cleared otherwise) — one implementation serves both sides of the
+// divergence, so the two histograms can never drift in normalization.
+func cellFrequenciesInto(dst map[geo.Cell]float64, grid *geo.Grid, t *trace.Trace) map[geo.Cell]float64 {
+	if dst == nil {
+		dst = make(map[geo.Cell]float64)
+	} else {
+		clear(dst)
+	}
 	for _, rec := range t.Records {
-		freq[grid.CellOf(rec.Point)]++
+		dst[grid.CellOf(rec.Point)]++
 	}
 	n := float64(t.Len())
-	for c := range freq {
-		freq[c] /= n
+	for c := range dst {
+		dst[c] /= n
 	}
-	return freq
+	return dst
 }
 
 // JensenShannon returns the Jensen–Shannon divergence between two discrete
 // distributions given as sparse maps, normalized to [0, 1] (base-2). Keys
-// absent from a map have probability zero; the function is symmetric and
-// returns 0 iff the distributions are identical.
+// absent from a map have probability zero; the function is symmetric (up
+// to float rounding) and returns 0 iff the distributions are identical.
 func JensenShannon(p, q map[geo.Cell]float64) float64 {
+	pCells := make([]geo.Cell, 0, len(p))
+	for c := range p {
+		pCells = append(pCells, c)
+	}
+	sortCells(pCells)
+	js, _ := jensenShannonCells(p, pCells, q, nil)
+	return js
+}
+
+// jensenShannonCells is the one JSD implementation behind JensenShannon and
+// the prepared heat-map metric: terms accumulate over pCells (p's cells,
+// pre-sorted by the caller) and then over q-only cells — collected into
+// qOnlyBuf and sorted — so the floating-point sum never depends on Go's
+// randomized map order. Returns the divergence and the (reusable) q-only
+// buffer.
+func jensenShannonCells(p map[geo.Cell]float64, pCells []geo.Cell, q map[geo.Cell]float64, qOnlyBuf []geo.Cell) (float64, []geo.Cell) {
 	var js float64
-	seen := make(map[geo.Cell]struct{}, len(p)+len(q))
-	for _, dist := range []map[geo.Cell]float64{p, q} {
-		for c := range dist {
-			if _, done := seen[c]; done {
-				continue
-			}
-			seen[c] = struct{}{}
-			pi, qi := p[c], q[c]
-			mi := (pi + qi) / 2
-			if pi > 0 {
-				js += pi * math.Log2(pi/mi) / 2
-			}
-			if qi > 0 {
-				js += qi * math.Log2(qi/mi) / 2
-			}
+	for _, c := range pCells {
+		pi, qi := p[c], q[c]
+		mi := (pi + qi) / 2
+		if pi > 0 {
+			js += pi * math.Log2(pi/mi) / 2
+		}
+		if qi > 0 {
+			js += qi * math.Log2(qi/mi) / 2
 		}
 	}
+	qOnly := qOnlyBuf[:0]
+	for c := range q {
+		if _, shared := p[c]; !shared {
+			qOnly = append(qOnly, c)
+		}
+	}
+	sortCells(qOnly)
+	for _, c := range qOnly {
+		qi := q[c]
+		mi := qi / 2
+		js += qi * math.Log2(qi/mi) / 2
+	}
 	// Clamp rounding excursions outside [0, 1].
-	return math.Max(0, math.Min(1, js))
+	return math.Max(0, math.Min(1, js)), qOnly
 }

@@ -50,6 +50,71 @@ type Metric interface {
 	Evaluate(actual, protected *trace.Trace) (float64, error)
 }
 
+// PreparedMetric is a metric specialized to one user's fixed actual trace.
+// It holds every actual-side intermediate (extracted POIs, decimated
+// points, heat maps, query workloads) plus reusable scratch buffers, so the
+// sweep engine's inner loop — many protected releases scored against the
+// same actual trace — pays the actual-side cost once and evaluates with
+// near-zero allocation afterwards.
+//
+// A PreparedMetric owns mutable scratch: it is NOT safe for concurrent use.
+// Give each goroutine its own (eval.Run builds one cache per worker). The
+// actual trace captured at Prepare time must not be mutated while the
+// prepared evaluator is alive.
+type PreparedMetric interface {
+	// Evaluate scores one protected release against the prepared actual
+	// trace. It must return exactly what the parent metric's
+	// Evaluate(actual, protected) would — preparation is a caching
+	// contract, never a semantic one.
+	Evaluate(protected *trace.Trace) (float64, error)
+}
+
+// Preparable is an optional Metric extension for metrics that can hoist
+// actual-side work out of the evaluation loop. All built-in metrics
+// implement it; third-party metrics that don't are handled by the Prepare
+// helper's generic fallback.
+type Preparable interface {
+	Metric
+	// Prepare returns a per-user evaluator specialized to actual. Data
+	// errors (e.g. an empty actual trace) are reported by the prepared
+	// Evaluate, not here, so error surfaces match the unprepared path.
+	Prepare(actual *trace.Trace) PreparedMetric
+}
+
+// Prepare specializes m to one user's actual trace: the metric's own
+// prepared form when it implements Preparable, and otherwise a generic
+// wrapper that simply closes over the actual trace (correct for any metric,
+// no speedup).
+func Prepare(m Metric, actual *trace.Trace) PreparedMetric {
+	if p, ok := m.(Preparable); ok {
+		return p.Prepare(actual)
+	}
+	return &genericPrepared{m: m, actual: actual}
+}
+
+// genericPrepared is the fallback PreparedMetric for non-Preparable
+// metrics.
+type genericPrepared struct {
+	m      Metric
+	actual *trace.Trace
+}
+
+// Evaluate implements PreparedMetric.
+func (g *genericPrepared) Evaluate(protected *trace.Trace) (float64, error) {
+	return g.m.Evaluate(g.actual, protected)
+}
+
+// Every built-in metric prepares.
+var (
+	_ Preparable = (*POIRetrieval)(nil)
+	_ Preparable = (*AreaCoverage)(nil)
+	_ Preparable = MeanDisplacement{}
+	_ Preparable = CoverageEntropyGain{}
+	_ Preparable = (*TrajectorySimilarity)(nil)
+	_ Preparable = (*RangeQueryAccuracy)(nil)
+	_ Preparable = (*HeatmapSimilarity)(nil)
+)
+
 // Registry maps metric names to implementations.
 type Registry struct {
 	metrics map[string]Metric

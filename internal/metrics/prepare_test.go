@@ -1,0 +1,178 @@
+package metrics
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/rng"
+	"repro/internal/trace"
+)
+
+// prepTestTrace builds a trace with two long stops and a noisy excursion —
+// enough structure for every metric (POIs, coverage, heat map, alignment).
+func prepTestTrace(t *testing.T, user string, n int, seed int64) *trace.Trace {
+	t.Helper()
+	r := rng.New(seed)
+	base := geo.Point{Lat: 37.7749, Lng: -122.4194}
+	t0 := time.Date(2008, 5, 17, 8, 0, 0, 0, time.UTC)
+	recs := make([]trace.Record, 0, n)
+	for i := 0; i < n; i++ {
+		var p geo.Point
+		switch {
+		case i < n/3: // stop one
+			p = base.Offset(r.Float64()*30, r.Float64()*30)
+		case i < 2*n/3: // excursion
+			p = base.Offset(float64(i)*80, r.NormFloat64()*60)
+		default: // stop two
+			p = base.Offset(float64(n)*55, r.Float64()*30)
+		}
+		recs = append(recs, trace.Record{User: user, Time: t0.Add(time.Duration(i) * time.Minute), Point: p})
+	}
+	tr, err := trace.NewTrace(user, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// jitter returns a protected variant of tr: every point displaced
+// deterministically, optionally keeping only every keepEvery-th record.
+func jitter(t *testing.T, tr *trace.Trace, meters float64, keepEvery int, seed int64) *trace.Trace {
+	t.Helper()
+	r := rng.New(seed)
+	var recs []trace.Record
+	for i, rec := range tr.Records {
+		if keepEvery > 1 && i%keepEvery != 0 {
+			continue
+		}
+		rec.Point = rec.Point.Offset(r.NormFloat64()*meters, r.NormFloat64()*meters)
+		recs = append(recs, rec)
+	}
+	out, err := trace.NewTrace(tr.User, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestPreparedMatchesUnprepared scores a sequence of protected releases —
+// deliberately of varying sizes, ending smaller than it started, so stale
+// scratch would surface — through ONE prepared evaluator per metric and
+// checks every (value, error) pair against a fresh unprepared evaluation.
+func TestPreparedMatchesUnprepared(t *testing.T) {
+	actual := prepTestTrace(t, "u1", 120, 1)
+	empty := &trace.Trace{User: "u1"}
+	protecteds := []*trace.Trace{
+		jitter(t, actual, 40, 1, 2),
+		jitter(t, actual, 400, 1, 3),
+		jitter(t, actual, 40, 3, 4), // shorter: exercises buffer shrink
+		actual,                      // identical release
+		empty,
+	}
+	reg := NewRegistry()
+	for _, name := range reg.Names() {
+		m, err := reg.Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Run(name, func(t *testing.T) {
+			if _, ok := m.(Preparable); !ok {
+				t.Fatalf("built-in metric %s should be Preparable", name)
+			}
+			prep := Prepare(m, actual)
+			for i, p := range protecteds {
+				want, wantErr := m.Evaluate(actual, p)
+				got, gotErr := prep.Evaluate(p)
+				if (wantErr == nil) != (gotErr == nil) {
+					t.Fatalf("release %d: error mismatch: unprepared %v, prepared %v", i, wantErr, gotErr)
+				}
+				if wantErr != nil && wantErr.Error() != gotErr.Error() {
+					t.Fatalf("release %d: error text: %q vs %q", i, wantErr, gotErr)
+				}
+				if got != want {
+					t.Fatalf("release %d: prepared %v != unprepared %v", i, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestPreparedEmptyActual checks the prepared path reproduces the
+// unprepared path's empty-actual semantics (value or error) exactly.
+func TestPreparedEmptyActual(t *testing.T) {
+	emptyActual := &trace.Trace{User: "u1"}
+	protected := prepTestTrace(t, "u1", 30, 9)
+	reg := NewRegistry()
+	for _, name := range reg.Names() {
+		m, _ := reg.Get(name)
+		t.Run(name, func(t *testing.T) {
+			for _, p := range []*trace.Trace{protected, &trace.Trace{User: "u1"}} {
+				want, wantErr := m.Evaluate(emptyActual, p)
+				got, gotErr := Prepare(m, emptyActual).Evaluate(p)
+				if (wantErr == nil) != (gotErr == nil) || got != want {
+					t.Fatalf("empty actual: (%v, %v) vs (%v, %v)", want, wantErr, got, gotErr)
+				}
+			}
+		})
+	}
+}
+
+// plainMetric is a deliberately non-Preparable metric for the fallback
+// path.
+type plainMetric struct{}
+
+func (plainMetric) Name() string { return "plain" }
+func (plainMetric) Kind() Kind   { return Utility }
+func (plainMetric) Evaluate(actual, protected *trace.Trace) (float64, error) {
+	if actual.Len() == 0 {
+		return 0, fmt.Errorf("empty")
+	}
+	return float64(protected.Len()) / float64(actual.Len()), nil
+}
+
+// TestPrepareGenericFallback routes a non-Preparable metric through the
+// generic wrapper.
+func TestPrepareGenericFallback(t *testing.T) {
+	actual := prepTestTrace(t, "u1", 20, 5)
+	protected := jitter(t, actual, 10, 2, 6)
+	prep := Prepare(plainMetric{}, actual)
+	if _, ok := prep.(*genericPrepared); !ok {
+		t.Fatalf("expected generic fallback, got %T", prep)
+	}
+	got, err := prep.Evaluate(protected)
+	want, _ := plainMetric{}.Evaluate(actual, protected)
+	if err != nil || got != want {
+		t.Fatalf("fallback: got (%v, %v), want (%v, nil)", got, err, want)
+	}
+}
+
+// TestPairwiseScratchMatchesOneShot runs DTW and Fréchet through one reused
+// scratch over pairs of varying (including shrinking) sizes and compares
+// with the allocating entry points.
+func TestPairwiseScratchMatchesOneShot(t *testing.T) {
+	var s PairwiseScratch
+	r := rng.New(42)
+	base := geo.Point{Lat: 37.7749, Lng: -122.4194}
+	seq := func(n int) []geo.Point {
+		pts := make([]geo.Point, n)
+		for i := range pts {
+			pts[i] = base.Offset(float64(i)*15+r.NormFloat64()*40, r.NormFloat64()*40)
+		}
+		return pts
+	}
+	for _, sizes := range [][2]int{{50, 60}, {200, 180}, {30, 10}, {7, 7}, {1, 5}} {
+		a, b := seq(sizes[0]), seq(sizes[1])
+		wantD, err1 := DTWMeanDistance(a, b, 0.1)
+		gotD, err2 := s.DTWMeanDistance(a, b, 0.1)
+		if err1 != nil || err2 != nil || wantD != gotD {
+			t.Fatalf("DTW %v: scratch %v (%v) vs one-shot %v (%v)", sizes, gotD, err2, wantD, err1)
+		}
+		wantF, err1 := FrechetDistance(a, b)
+		gotF, err2 := s.FrechetDistance(a, b)
+		if err1 != nil || err2 != nil || wantF != gotF {
+			t.Fatalf("Fréchet %v: scratch %v (%v) vs one-shot %v (%v)", sizes, gotF, err2, wantF, err1)
+		}
+	}
+}

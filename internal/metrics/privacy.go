@@ -64,11 +64,37 @@ func (*POIRetrieval) Name() string { return "poi_retrieval" }
 // Kind implements Metric.
 func (*POIRetrieval) Kind() Kind { return Privacy }
 
-// Evaluate implements Metric.
+// Evaluate implements Metric. It is the prepared path run once: Prepare
+// then Evaluate, so the two paths cannot diverge.
 func (m *POIRetrieval) Evaluate(actual, protected *trace.Trace) (float64, error) {
-	actualPOIs := m.extractor.POIs(actual)
-	protectedPOIs := m.extractor.POIs(protected)
-	return poi.RetrievalRate(actualPOIs, protectedPOIs, m.cfg.MatchRadiusMeters)
+	return m.Prepare(actual).Evaluate(protected)
+}
+
+// Prepare implements Preparable: the actual trace's POIs are extracted once
+// and the protected-side extraction reuses scratch buffers, making the
+// steady-state Evaluate allocation-free.
+func (m *POIRetrieval) Prepare(actual *trace.Trace) PreparedMetric {
+	return &preparedPOIRetrieval{
+		radius:     m.cfg.MatchRadiusMeters,
+		extractor:  m.extractor,
+		actualPOIs: m.extractor.POIs(actual),
+	}
+}
+
+// preparedPOIRetrieval is POIRetrieval with the actual-side extraction
+// hoisted and the protected-side extraction running through reusable
+// scratch.
+type preparedPOIRetrieval struct {
+	radius     float64
+	extractor  *poi.Extractor
+	actualPOIs []poi.POI
+	scratch    poi.Scratch
+}
+
+// Evaluate implements PreparedMetric.
+func (p *preparedPOIRetrieval) Evaluate(protected *trace.Trace) (float64, error) {
+	candidate := p.extractor.POIsScratch(&p.scratch, protected)
+	return poi.RetrievalRate(p.actualPOIs, candidate, p.radius)
 }
 
 // ActualPOIs exposes the extraction half of the metric, used by reports and

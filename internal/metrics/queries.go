@@ -76,16 +76,23 @@ func (*RangeQueryAccuracy) Kind() Kind { return Utility }
 // (per-user seed) from the buffered bounding box of the actual trace, so
 // the workload covers both visited and near-miss areas.
 func (m *RangeQueryAccuracy) Evaluate(actual, protected *trace.Trace) (float64, error) {
+	return m.Prepare(actual).Evaluate(protected)
+}
+
+// Prepare implements Preparable. The whole query workload — centers and
+// actual-side counts, with zero-hit queries already skipped — is a pure
+// function of the actual trace, so it is materialized once; Evaluate only
+// counts protected records per retained query.
+func (m *RangeQueryAccuracy) Prepare(actual *trace.Trace) PreparedMetric {
+	p := &preparedRangeQuery{radius: m.cfg.RadiusMeters}
 	if actual.Len() == 0 {
-		return 0, fmt.Errorf("metrics: range queries on empty actual trace")
+		p.emptyActual = true
+		return p
 	}
 	box, _ := geo.NewBBox(actual.Points())
 	area := box.Buffer(m.cfg.RadiusMeters)
 	r := rng.New(m.cfg.Seed).Named(actual.User)
 	actPts := actual.Points()
-	proPts := protected.Points()
-	var errSum float64
-	n := 0
 	for q := 0; q < m.cfg.Queries; q++ {
 		center := geo.Point{
 			Lat: area.MinLat + r.Float64()*(area.MaxLat-area.MinLat),
@@ -97,17 +104,42 @@ func (m *RangeQueryAccuracy) Evaluate(actual, protected *trace.Trace) (float64, 
 			// skip keeps the workload deterministic.
 			continue
 		}
-		proCount := countWithin(proPts, center, m.cfg.RadiusMeters)
-		relErr := math.Abs(float64(proCount)-float64(actCount)) / float64(actCount)
-		errSum += math.Min(relErr, 1)
-		n++
+		p.queries = append(p.queries, rangeQuery{center: center, actCount: actCount})
 	}
-	if n == 0 {
+	return p
+}
+
+// rangeQuery is one retained query of the prepared workload.
+type rangeQuery struct {
+	center   geo.Point
+	actCount int
+}
+
+// preparedRangeQuery is RangeQueryAccuracy with the query workload and
+// actual-side counts hoisted.
+type preparedRangeQuery struct {
+	radius      float64
+	emptyActual bool
+	queries     []rangeQuery
+}
+
+// Evaluate implements PreparedMetric.
+func (p *preparedRangeQuery) Evaluate(protected *trace.Trace) (float64, error) {
+	if p.emptyActual {
+		return 0, fmt.Errorf("metrics: range queries on empty actual trace")
+	}
+	if len(p.queries) == 0 {
 		// No query hit the data (tiny traces): treat the release as
 		// uninformative rather than erroring the sweep.
 		return 0, nil
 	}
-	return 1 - errSum/float64(n), nil
+	var errSum float64
+	for _, q := range p.queries {
+		proCount := countWithinRecords(protected.Records, q.center, p.radius)
+		relErr := math.Abs(float64(proCount)-float64(q.actCount)) / float64(q.actCount)
+		errSum += math.Min(relErr, 1)
+	}
+	return 1 - errSum/float64(len(p.queries)), nil
 }
 
 // countWithin counts the points within radius of center.
@@ -115,6 +147,18 @@ func countWithin(pts []geo.Point, center geo.Point, radius float64) int {
 	n := 0
 	for _, p := range pts {
 		if geo.Equirectangular(p, center) <= radius {
+			n++
+		}
+	}
+	return n
+}
+
+// countWithinRecords is countWithin over a record slice, avoiding the
+// point-slice materialization on the hot path.
+func countWithinRecords(recs []trace.Record, center geo.Point, radius float64) int {
+	n := 0
+	for _, r := range recs {
+		if geo.Equirectangular(r.Point, center) <= radius {
 			n++
 		}
 	}

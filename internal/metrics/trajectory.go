@@ -86,25 +86,80 @@ func (*TrajectorySimilarity) Kind() Kind { return Utility }
 // Evaluate implements Metric. An empty protected trace has similarity 0; an
 // identical one has similarity 1.
 func (m *TrajectorySimilarity) Evaluate(actual, protected *trace.Trace) (float64, error) {
-	a := decimate(actual.Points(), m.cfg.MaxPoints)
-	p := decimate(protected.Points(), m.cfg.MaxPoints)
-	if len(a) == 0 {
+	return m.Prepare(actual).Evaluate(protected)
+}
+
+// Prepare implements Preparable: the actual trajectory is decimated once,
+// and the DTW cost matrix, DP rows and the protected-side decimation buffer
+// are owned by the prepared evaluator and reused across calls.
+func (m *TrajectorySimilarity) Prepare(actual *trace.Trace) PreparedMetric {
+	return &preparedTrajectorySimilarity{
+		cfg:    m.cfg,
+		actual: decimate(actual.Points(), m.cfg.MaxPoints),
+	}
+}
+
+// preparedTrajectorySimilarity is TrajectorySimilarity with the actual-side
+// decimation hoisted and all DP buffers reused.
+type preparedTrajectorySimilarity struct {
+	cfg     TrajectorySimilarityConfig
+	actual  []geo.Point
+	pbuf    []geo.Point // protected decimation buffer
+	scratch PairwiseScratch
+}
+
+// Evaluate implements PreparedMetric.
+func (p *preparedTrajectorySimilarity) Evaluate(protected *trace.Trace) (float64, error) {
+	if len(p.actual) == 0 {
 		return 0, fmt.Errorf("metrics: trajectory similarity of empty actual trace")
 	}
-	if len(p) == 0 {
+	p.pbuf = appendDecimated(p.pbuf[:0], protected, p.cfg.MaxPoints)
+	if len(p.pbuf) == 0 {
 		return 0, nil
 	}
-	mean, err := DTWMeanDistance(a, p, m.cfg.BandFrac)
+	mean, err := p.scratch.DTWMeanDistance(p.actual, p.pbuf, p.cfg.BandFrac)
 	if err != nil {
 		return 0, err
 	}
-	return 1 / (1 + mean/m.cfg.ScaleMeters), nil
+	return 1 / (1 + mean/p.cfg.ScaleMeters), nil
+}
+
+// PairwiseScratch holds the reusable working memory of the trajectory
+// comparisons: the banded pairwise-distance matrix and the DP rows of
+// DTWMeanDistance, and the rolling rows of FrechetDistance. The zero value
+// is ready to use; buffers grow to the largest problem seen and are reused
+// across calls, so steady-state comparisons through the same scratch are
+// allocation-free. A PairwiseScratch is not safe for concurrent use.
+type PairwiseScratch struct {
+	dist               []float64
+	prevCost, curCost  []float64
+	prevLen, curLen    []int
+	frechetA, frechetB []float64
+}
+
+// growFloats returns buf resliced to length n, reallocating only when the
+// capacity is insufficient. Contents are unspecified; callers must write
+// before reading (the DP recurrences below never read an unwritten cell).
+func growFloats(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
+// growInts is growFloats for int buffers.
+func growInts(buf []int, n int) []int {
+	if cap(buf) < n {
+		return make([]int, n)
+	}
+	return buf[:n]
 }
 
 // DTWMeanDistance returns the minimum mean per-step displacement over all
 // monotone dynamic-time-warping alignments of the two point sequences,
 // constrained to a Sakoe–Chiba band of half-width bandFrac·max(len). Both
-// sequences must be non-empty.
+// sequences must be non-empty. The convenience wrapper DTWMeanDistance
+// allocates fresh buffers; this method reuses the scratch's.
 //
 // Minimizing the mean (rather than reporting total-cost/length of the
 // total-cost-minimizing alignment) is what makes the metric well behaved:
@@ -115,39 +170,39 @@ func (m *TrajectorySimilarity) Evaluate(actual, protected *trace.Trace) (float64
 // fractional program over alignment paths, solved by Dinkelbach iteration:
 // each round runs one banded DP with step costs d − λ and tightens λ to the
 // mean of the minimizing path, converging monotonically from above.
-func DTWMeanDistance(a, b []geo.Point, bandFrac float64) (float64, error) {
+func (s *PairwiseScratch) DTWMeanDistance(a, b []geo.Point, bandFrac float64) (float64, error) {
 	n, m := len(a), len(b)
 	if n == 0 || m == 0 {
 		return 0, fmt.Errorf("metrics: DTW of empty sequence (%d, %d points)", n, m)
 	}
-	band := int(bandFrac * float64(maxInt(n, m)))
+	band := int(bandFrac * float64(max(n, m)))
 	// The band must at least cover the length difference, or no
 	// monotone alignment exists inside it.
-	if d := absInt(n - m); band < d {
-		band = d
-	}
-	if band < 1 {
-		band = 1
-	}
+	band = max(band, max(n-m, m-n), 1)
 	// The banded pairwise distances are reused by every Dinkelbach round;
 	// compute them once, stored band-compactly: row i holds columns
 	// [max(1, i-band), min(m, i+band)] at offset j-lo, so the array is
 	// n·min(m, 2·band+1) instead of n·m.
-	width := minInt(m, 2*band+1)
-	dist := make([]float64, n*width)
+	width := min(m, 2*band+1)
+	s.dist = growFloats(s.dist, n*width)
+	dist := s.dist
 	for i := 1; i <= n; i++ {
-		lo := maxInt(1, i-band)
-		for j := lo; j <= minInt(m, i+band); j++ {
+		lo := max(1, i-band)
+		for j := lo; j <= min(m, i+band); j++ {
 			dist[(i-1)*width+j-lo] = geo.Equirectangular(a[i-1], b[j-1])
 		}
 	}
 	inf := math.Inf(1)
 	// Rolling two-row DP over cumulative (λ-shifted) cost and alignment
-	// length, shared across rounds.
-	prevCost := make([]float64, m+1)
-	curCost := make([]float64, m+1)
-	prevLen := make([]int, m+1)
-	curLen := make([]int, m+1)
+	// length, shared across rounds. Stale cells from a previous (larger)
+	// problem are never read: each row writes its band window — plus the
+	// sentinel cells the next row's shifted band reads — before use.
+	s.prevCost = growFloats(s.prevCost, m+1)
+	s.curCost = growFloats(s.curCost, m+1)
+	s.prevLen = growInts(s.prevLen, m+1)
+	s.curLen = growInts(s.curLen, m+1)
+	prevCost, curCost := s.prevCost, s.curCost
+	prevLen, curLen := s.prevLen, s.curLen
 	// solve minimizes Σ(d − λ) over banded monotone alignments and
 	// returns the minimizing alignment's true mean step distance.
 	solve := func(lambda float64) (float64, bool) {
@@ -157,11 +212,11 @@ func DTWMeanDistance(a, b []geo.Point, bandFrac float64) (float64, error) {
 		}
 		prevCost[0] = 0
 		for i := 1; i <= n; i++ {
-			lo := maxInt(1, i-band)
-			hi := minInt(m, i+band)
+			lo := max(1, i-band)
+			hi := min(m, i+band)
 			// Clear only what this row writes plus the cells the next
 			// row's band (shifted at most one column) will read.
-			for j := lo - 1; j <= minInt(m, hi+1); j++ {
+			for j := lo - 1; j <= min(m, hi+1); j++ {
 				curCost[j] = inf
 				curLen[j] = 0
 			}
@@ -209,18 +264,28 @@ func DTWMeanDistance(a, b []geo.Point, bandFrac float64) (float64, error) {
 	return lambda, nil
 }
 
+// DTWMeanDistance is PairwiseScratch.DTWMeanDistance with freshly allocated
+// buffers — the one-shot entry point. Hot loops (the sweep engine's
+// prepared metrics) hold a scratch and call the method instead.
+func DTWMeanDistance(a, b []geo.Point, bandFrac float64) (float64, error) {
+	var s PairwiseScratch
+	return s.DTWMeanDistance(a, b, bandFrac)
+}
+
 // FrechetDistance returns the discrete Fréchet distance ("dog-leash
 // distance") between the two point sequences in meters: the minimax
 // displacement over monotone alignments. It is the classical companion of
 // DTW for trajectory comparison — DTW averages displacement, Fréchet bounds
-// its worst step. Quadratic; decimate long inputs first.
-func FrechetDistance(a, b []geo.Point) (float64, error) {
+// its worst step. Quadratic; decimate long inputs first. The buffers come
+// from the scratch; the package-level FrechetDistance allocates fresh ones.
+func (s *PairwiseScratch) FrechetDistance(a, b []geo.Point) (float64, error) {
 	n, m := len(a), len(b)
 	if n == 0 || m == 0 {
 		return 0, fmt.Errorf("metrics: Fréchet of empty sequence (%d, %d points)", n, m)
 	}
-	prev := make([]float64, m)
-	cur := make([]float64, m)
+	s.frechetA = growFloats(s.frechetA, m)
+	s.frechetB = growFloats(s.frechetB, m)
+	prev, cur := s.frechetA, s.frechetB
 	for i := 0; i < n; i++ {
 		for j := 0; j < m; j++ {
 			d := geo.Equirectangular(a[i], b[j])
@@ -240,6 +305,13 @@ func FrechetDistance(a, b []geo.Point) (float64, error) {
 	return prev[m-1], nil
 }
 
+// FrechetDistance is PairwiseScratch.FrechetDistance with freshly allocated
+// buffers — the one-shot entry point.
+func FrechetDistance(a, b []geo.Point) (float64, error) {
+	var s PairwiseScratch
+	return s.FrechetDistance(a, b)
+}
+
 // decimate returns at most maxN points sampled uniformly (by index) from
 // pts, always keeping the first and last point. maxN ≤ 0 disables
 // decimation.
@@ -247,36 +319,47 @@ func decimate(pts []geo.Point, maxN int) []geo.Point {
 	if maxN <= 0 || len(pts) <= maxN {
 		return pts
 	}
+	out := make([]geo.Point, 0, min(maxN, len(pts)))
+	return appendDecimatedPoints(out, pts, maxN)
+}
+
+// decimationIndex returns the source index of output point i when
+// decimating n points down to maxN < n: uniform by index, always keeping
+// the first and last point. maxN == 1 has no room for both endpoints; the
+// middle point is the least bad single representative. Both decimation
+// paths (record-based and point-slice-based) draw their indices here, so
+// they pick identical points by construction.
+func decimationIndex(i, n, maxN int) int {
 	if maxN == 1 {
-		// No room for both endpoints; the middle point is the least
-		// bad single representative.
-		return []geo.Point{pts[len(pts)/2]}
+		return n / 2
 	}
-	out := make([]geo.Point, maxN)
-	for i := range out {
-		idx := i * (len(pts) - 1) / (maxN - 1)
-		out[i] = pts[idx]
-	}
-	return out
+	return i * (n - 1) / (maxN - 1)
 }
 
-func maxInt(a, b int) int {
-	if a > b {
-		return a
+// appendDecimated appends the trace's decimated point sequence to dst
+// without materializing the full point slice first — the zero-alloc
+// counterpart of decimate(t.Points(), maxN) for reused buffers.
+func appendDecimated(dst []geo.Point, t *trace.Trace, maxN int) []geo.Point {
+	if maxN <= 0 || t.Len() <= maxN {
+		for _, r := range t.Records {
+			dst = append(dst, r.Point)
+		}
+		return dst
 	}
-	return b
+	for i := 0; i < maxN; i++ {
+		dst = append(dst, t.Records[decimationIndex(i, t.Len(), maxN)].Point)
+	}
+	return dst
 }
 
-func minInt(a, b int) int {
-	if a < b {
-		return a
+// appendDecimatedPoints is appendDecimated over an already-materialized
+// point slice.
+func appendDecimatedPoints(dst, pts []geo.Point, maxN int) []geo.Point {
+	if maxN <= 0 || len(pts) <= maxN {
+		return append(dst, pts...)
 	}
-	return b
-}
-
-func absInt(a int) int {
-	if a < 0 {
-		return -a
+	for i := 0; i < maxN; i++ {
+		dst = append(dst, pts[decimationIndex(i, len(pts), maxN)])
 	}
-	return a
+	return dst
 }

@@ -3,6 +3,7 @@ package metrics
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"repro/internal/geo"
 	"repro/internal/stat"
@@ -63,28 +64,71 @@ func (*AreaCoverage) Name() string { return "area_coverage" }
 // Kind implements Metric.
 func (*AreaCoverage) Kind() Kind { return Utility }
 
-// Evaluate implements Metric.
+// Evaluate implements Metric. It is the prepared path run once: Prepare
+// then Evaluate, so the two paths cannot diverge.
 func (m *AreaCoverage) Evaluate(actual, protected *trace.Trace) (float64, error) {
-	if actual.Len() == 0 && protected.Len() == 0 {
-		return 1, nil
-	}
-	if actual.Len() == 0 || protected.Len() == 0 {
-		return 0, nil
+	return m.Prepare(actual).Evaluate(protected)
+}
+
+// Prepare implements Preparable: the shared tessellation and the actual
+// coverage set are built once; the protected coverage set is rebuilt per
+// Evaluate in a reused map.
+func (m *AreaCoverage) Prepare(actual *trace.Trace) PreparedMetric {
+	p := &preparedAreaCoverage{tol: m.cfg.ToleranceCells}
+	if actual.Len() == 0 {
+		p.emptyActual = true
+		return p
 	}
 	// One shared tessellation anchored at a data-independent corner.
 	first := actual.Records[0].Point
 	origin := geo.Point{Lat: math.Floor(first.Lat), Lng: math.Floor(first.Lng)}
-	grid := geo.NewGrid(origin, m.cfg.CellSizeMeters)
+	p.grid = geo.NewGrid(origin, m.cfg.CellSizeMeters)
+	p.actualCov = coverageInto(nil, p.grid, actual)
+	return p
+}
 
-	actualCov := grid.Coverage(actual.Points())
-	protectedCov := grid.Coverage(protected.Points())
-
-	tol := m.cfg.ToleranceCells
-	if tol == 0 {
-		return geo.CellSetF1(actualCov, protectedCov), nil
+// coverageInto is geo.Grid.Coverage over a trace's records, writing into
+// dst (allocated when nil, cleared otherwise) — one implementation serves
+// both coverage sets.
+func coverageInto(dst map[geo.Cell]struct{}, grid *geo.Grid, t *trace.Trace) map[geo.Cell]struct{} {
+	if dst == nil {
+		dst = make(map[geo.Cell]struct{}, t.Len()/4+1)
+	} else {
+		clear(dst)
 	}
-	precision := coveredFraction(protectedCov, actualCov, tol)
-	recall := coveredFraction(actualCov, protectedCov, tol)
+	for _, r := range t.Records {
+		dst[grid.CellOf(r.Point)] = struct{}{}
+	}
+	return dst
+}
+
+// preparedAreaCoverage is AreaCoverage with the grid and actual coverage
+// hoisted and the protected coverage map reused across calls.
+type preparedAreaCoverage struct {
+	tol          int
+	emptyActual  bool
+	grid         *geo.Grid
+	actualCov    map[geo.Cell]struct{}
+	protectedCov map[geo.Cell]struct{} // scratch, cleared per call
+}
+
+// Evaluate implements PreparedMetric.
+func (p *preparedAreaCoverage) Evaluate(protected *trace.Trace) (float64, error) {
+	if p.emptyActual {
+		if protected.Len() == 0 {
+			return 1, nil
+		}
+		return 0, nil
+	}
+	if protected.Len() == 0 {
+		return 0, nil
+	}
+	p.protectedCov = coverageInto(p.protectedCov, p.grid, protected)
+	if p.tol == 0 {
+		return geo.CellSetF1(p.actualCov, p.protectedCov), nil
+	}
+	precision := coveredFraction(p.protectedCov, p.actualCov, p.tol)
+	recall := coveredFraction(p.actualCov, p.protectedCov, p.tol)
 	if precision+recall == 0 {
 		return 0, nil
 	}
@@ -132,19 +176,43 @@ func (MeanDisplacement) Kind() Kind { return Utility }
 // Evaluate implements Metric. Records are paired by identical timestamps;
 // traces with no common timestamps (e.g. after temporal sampling removed
 // everything) yield an error.
-func (MeanDisplacement) Evaluate(actual, protected *trace.Trace) (float64, error) {
-	if actual.Len() == 0 {
+func (m MeanDisplacement) Evaluate(actual, protected *trace.Trace) (float64, error) {
+	return m.Prepare(actual).Evaluate(protected)
+}
+
+// Prepare implements Preparable. The pairing index is keyed by the
+// protected side (last record wins on duplicate timestamps, as in the
+// unprepared path), so preparation only pins the actual trace and reuses
+// the index map across calls.
+func (MeanDisplacement) Prepare(actual *trace.Trace) PreparedMetric {
+	return &preparedMeanDisplacement{actual: actual}
+}
+
+// preparedMeanDisplacement is MeanDisplacement with the timestamp index map
+// reused across calls.
+type preparedMeanDisplacement struct {
+	actual *trace.Trace
+	byTime map[int64]geo.Point // scratch, cleared per call
+}
+
+// Evaluate implements PreparedMetric.
+func (p *preparedMeanDisplacement) Evaluate(protected *trace.Trace) (float64, error) {
+	if p.actual.Len() == 0 {
 		return 0, nil
 	}
-	byTime := make(map[int64]geo.Point, protected.Len())
+	if p.byTime == nil {
+		p.byTime = make(map[int64]geo.Point, protected.Len())
+	} else {
+		clear(p.byTime)
+	}
 	for _, r := range protected.Records {
-		byTime[r.Time.UnixNano()] = r.Point
+		p.byTime[r.Time.UnixNano()] = r.Point
 	}
 	var sum float64
 	var n int
-	for _, r := range actual.Records {
-		if p, ok := byTime[r.Time.UnixNano()]; ok {
-			sum += geo.Equirectangular(r.Point, p)
+	for _, r := range p.actual.Records {
+		if q, ok := p.byTime[r.Time.UnixNano()]; ok {
+			sum += geo.Equirectangular(r.Point, q)
 			n++
 		}
 	}
@@ -172,33 +240,76 @@ func (CoverageEntropyGain) Kind() Kind { return Privacy }
 
 // Evaluate implements Metric.
 func (m CoverageEntropyGain) Evaluate(actual, protected *trace.Trace) (float64, error) {
+	return m.Prepare(actual).Evaluate(protected)
+}
+
+// Prepare implements Preparable: the actual side's entropy is computed once
+// and the protected side's cell-count buffers are reused across calls.
+func (m CoverageEntropyGain) Prepare(actual *trace.Trace) PreparedMetric {
 	size := m.CellSizeMeters
 	if size == 0 {
 		size = 200
 	}
+	p := &preparedCoverageEntropyGain{size: size}
 	if size < 0 {
-		return 0, fmt.Errorf("metrics: negative cell size %v", size)
+		p.err = fmt.Errorf("metrics: negative cell size %v", size)
+		return p
 	}
-	return normalizedCellEntropy(protected, size) - normalizedCellEntropy(actual, size), nil
+	p.actualEntropy = p.scratch.normalizedCellEntropy(actual, size)
+	return p
 }
 
-func normalizedCellEntropy(t *trace.Trace, cellSize float64) float64 {
+// preparedCoverageEntropyGain is CoverageEntropyGain with the actual
+// entropy hoisted.
+type preparedCoverageEntropyGain struct {
+	size          float64
+	err           error
+	actualEntropy float64
+	scratch       entropyScratch
+}
+
+// Evaluate implements PreparedMetric.
+func (p *preparedCoverageEntropyGain) Evaluate(protected *trace.Trace) (float64, error) {
+	if p.err != nil {
+		return 0, p.err
+	}
+	return p.scratch.normalizedCellEntropy(protected, p.size) - p.actualEntropy, nil
+}
+
+// entropyScratch reuses the cell-count map and slice across entropy
+// computations. The zero value is ready to use.
+type entropyScratch struct {
+	counts map[geo.Cell]int
+	cs     []int
+}
+
+// normalizedCellEntropy returns the trace's Shannon entropy over grid
+// cells, normalized by the maximum for the observed cell count. Counts are
+// sorted before summation so the floating-point accumulation order — and
+// therefore the result — does not depend on map iteration order.
+func (s *entropyScratch) normalizedCellEntropy(t *trace.Trace, cellSize float64) float64 {
 	if t.Len() == 0 {
 		return 0
 	}
 	first := t.Records[0].Point
 	origin := geo.Point{Lat: math.Floor(first.Lat), Lng: math.Floor(first.Lng)}
 	grid := geo.NewGrid(origin, cellSize)
-	counts := make(map[geo.Cell]int)
-	for _, r := range t.Records {
-		counts[grid.CellOf(r.Point)]++
+	if s.counts == nil {
+		s.counts = make(map[geo.Cell]int)
+	} else {
+		clear(s.counts)
 	}
-	if len(counts) <= 1 {
+	for _, r := range t.Records {
+		s.counts[grid.CellOf(r.Point)]++
+	}
+	if len(s.counts) <= 1 {
 		return 0
 	}
-	cs := make([]int, 0, len(counts))
-	for _, c := range counts {
+	cs := s.cs[:0]
+	for _, c := range s.counts {
 		cs = append(cs, c)
 	}
+	sort.Ints(cs)
+	s.cs = cs
 	return stat.EntropyOfCounts(cs) / math.Log(float64(len(cs)))
 }

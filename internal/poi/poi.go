@@ -98,14 +98,33 @@ func NewExtractor(cfg ExtractorConfig) (*Extractor, error) {
 // Config returns the extractor's configuration.
 func (e *Extractor) Config() ExtractorConfig { return e.cfg }
 
+// Scratch holds reusable extraction buffers for the evaluation hot loop:
+// repeated extraction through the same scratch reuses the stay, POI and
+// centroid slices instead of reallocating them per call. The zero value is
+// ready to use. A Scratch is not safe for concurrent use, and slices
+// returned by the *Scratch methods are only valid until the next call with
+// the same scratch.
+type Scratch struct {
+	stays []StayPoint
+	pois  []POI
+	pts   []geo.Point
+}
+
 // StayPoints extracts significant stops from a trace using the classic
 // anchor-based algorithm (Li et al., GIS'08): starting from each anchor
 // record, grow a window while every record stays within MaxDiameterMeters of
 // the anchor; if the window spans at least MinDuration it becomes a stay
-// point and scanning resumes after it.
+// point and scanning resumes after it. The returned slice is owned by the
+// caller.
 func (e *Extractor) StayPoints(t *trace.Trace) []StayPoint {
+	return e.StayPointsScratch(new(Scratch), t)
+}
+
+// StayPointsScratch is StayPoints drawing its working memory from s; the
+// returned slice aliases the scratch and is valid until the next call.
+func (e *Extractor) StayPointsScratch(s *Scratch, t *trace.Trace) []StayPoint {
 	recs := t.Records
-	var stays []StayPoint
+	stays := s.stays[:0]
 	i := 0
 	for i < len(recs) {
 		j := i + 1
@@ -114,10 +133,11 @@ func (e *Extractor) StayPoints(t *trace.Trace) []StayPoint {
 		}
 		// Window [i, j) stays within the diameter of anchor i.
 		if span := recs[j-1].Time.Sub(recs[i].Time); span >= e.cfg.MinDuration {
-			pts := make([]geo.Point, 0, j-i)
+			pts := s.pts[:0]
 			for _, r := range recs[i:j] {
 				pts = append(pts, r.Point)
 			}
+			s.pts = pts
 			stays = append(stays, StayPoint{
 				Center: geo.Centroid(pts),
 				Start:  recs[i].Time,
@@ -129,16 +149,24 @@ func (e *Extractor) StayPoints(t *trace.Trace) []StayPoint {
 			i++
 		}
 	}
+	s.stays = stays
 	return stays
 }
 
 // POIs extracts stay points and agglomerates them into POIs: each stay joins
 // the first existing POI whose center is within MergeRadiusMeters (centers
 // updated as dwell-weighted means), or founds a new POI. POIs with fewer
-// than MinVisits visits are dropped.
+// than MinVisits visits are dropped. The returned slice is owned by the
+// caller.
 func (e *Extractor) POIs(t *trace.Trace) []POI {
-	stays := e.StayPoints(t)
-	var pois []POI
+	return e.POIsScratch(new(Scratch), t)
+}
+
+// POIsScratch is POIs drawing its working memory from s; the returned slice
+// aliases the scratch and is valid until the next call.
+func (e *Extractor) POIsScratch(s *Scratch, t *trace.Trace) []POI {
+	stays := e.StayPointsScratch(s, t)
+	pois := s.pois[:0]
 	for _, s := range stays {
 		merged := false
 		for k := range pois {
@@ -171,6 +199,7 @@ func (e *Extractor) POIs(t *trace.Trace) []POI {
 		}
 		pois = kept
 	}
+	s.pois = pois
 	return pois
 }
 

@@ -41,8 +41,11 @@ func (c *countingSource) Int63() int64 { c.n++; return c.src.Int63() }
 func (c *countingSource) Uint64() uint64 { c.n++; return c.src.Uint64() }
 
 func (c *countingSource) Seed(seed int64) {
-	c.src.Seed(seed)
-	c.n = 0
+	// Reseeding in place would leave Source.seed stale, so a later
+	// SeekTo would replay the original stream instead of the reseeded
+	// one — silently breaking the bit-identical-retry contract. No
+	// caller needs it; fail loudly instead of corrupting determinism.
+	panic("rng: reseeding a Source is not supported; create a new Source with rng.New")
 }
 
 // New returns a Source seeded with the given seed.

@@ -34,6 +34,15 @@ type Controller struct {
 
 	sampleSeed int64
 
+	// cache holds prepared actual-side metric state (and memoized dataset
+	// properties) across evaluations and reconfigurations. It is touched
+	// only from Evaluate's goroutine — never from shard goroutines — and
+	// its entries are keyed by the memoized per-user traces snapshot
+	// hands out, so a user whose aggregate is unchanged between
+	// evaluations re-uses both the flattened trace and the prepared
+	// evaluators built on it.
+	cache *core.Cache
+
 	mu      sync.Mutex
 	users   map[string]*observed
 	windows uint64
@@ -71,6 +80,13 @@ type observed struct {
 	wins      []obsWindow
 	actualLen int
 	seen      uint64
+	// flatA/flatP memoize the flattened (actual, protected) traces built
+	// by the last snapshot, valid while flatSeen == seen (no window
+	// observed since). They keep repeated evaluations of a quiet user
+	// from re-flattening — and, because the traces are pointer-stable,
+	// let the metric cache keep that user's prepared evaluators too.
+	flatA, flatP *trace.Trace
+	flatSeen     uint64
 }
 
 // obsWindow is one sampled window: the records the gateway saw and the
@@ -232,6 +248,7 @@ func NewController(g *Gateway, dep *core.Deployment, cfg ControllerConfig) (*Con
 		gw:         g,
 		cfg:        cfg,
 		sampleSeed: rng.ChildSeed(cfg.Seed, "controller-sample"),
+		cache:      core.NewCache(cfg.Definition),
 		users:      make(map[string]*observed),
 		obj:        cfg.Objectives,
 		deployed:   dep.Clone(),
@@ -338,11 +355,18 @@ type estimate struct {
 // captured length or reallocates, and trimming reallocates); flattening
 // and trace construction — which copy and sort every record — run after
 // release, so shard flushes blocked on Observe never wait behind them.
-// fresh is the windows-since-last-swap count gating the evaluation.
+// Flattened traces are memoized on the aggregate: a user with no new
+// window since the last snapshot hands back the same *trace.Trace, so
+// repeated evaluations skip the flatten AND keep the prepared metric state
+// the cache built on that trace. fresh is the windows-since-last-swap
+// count gating the evaluation.
 func (c *Controller) snapshot() (actuals, protecteds map[string]*trace.Trace, users []string, obj model.Objectives, fresh uint64) {
 	type raw struct {
-		user string
-		wins []obsWindow
+		user         string
+		o            *observed
+		wins         []obsWindow
+		seen         uint64
+		flatA, flatP *trace.Trace
 	}
 	c.mu.Lock()
 	raws := make([]raw, 0, len(c.users))
@@ -350,7 +374,11 @@ func (c *Controller) snapshot() (actuals, protecteds map[string]*trace.Trace, us
 		if o.actualLen < c.cfg.MinUserRecords {
 			continue
 		}
-		raws = append(raws, raw{user: u, wins: o.wins})
+		rw := raw{user: u, o: o, wins: o.wins, seen: o.seen}
+		if o.flatA != nil && o.flatSeen == o.seen {
+			rw.flatA, rw.flatP = o.flatA, o.flatP
+		}
+		raws = append(raws, rw)
 	}
 	obj = c.obj
 	fresh = c.fresh
@@ -358,24 +386,41 @@ func (c *Controller) snapshot() (actuals, protecteds map[string]*trace.Trace, us
 
 	actuals = make(map[string]*trace.Trace, len(raws))
 	protecteds = make(map[string]*trace.Trace, len(raws))
+	built := raws[:0]
 	for _, r := range raws {
-		var actual, protected []trace.Record
-		for _, w := range r.wins {
-			actual = append(actual, w.actual...)
-			protected = append(protected, w.protected...)
+		if r.flatA == nil {
+			var actual, protected []trace.Record
+			for _, w := range r.wins {
+				actual = append(actual, w.actual...)
+				protected = append(protected, w.protected...)
+			}
+			at, err := trace.NewTrace(r.user, actual)
+			if err != nil {
+				continue
+			}
+			pt, err := trace.NewTrace(r.user, protected)
+			if err != nil {
+				continue
+			}
+			r.flatA, r.flatP = at, pt
+			built = append(built, r)
 		}
-		at, err := trace.NewTrace(r.user, actual)
-		if err != nil {
-			continue
-		}
-		pt, err := trace.NewTrace(r.user, protected)
-		if err != nil {
-			continue
-		}
-		actuals[r.user], protecteds[r.user] = at, pt
+		actuals[r.user], protecteds[r.user] = r.flatA, r.flatP
 		users = append(users, r.user)
 	}
 	sort.Strings(users)
+	if len(built) > 0 {
+		// Publish the freshly flattened traces, unless the user observed
+		// another window (or was replaced) while we flattened — a stale
+		// memo would then serve outdated aggregates to the next snapshot.
+		c.mu.Lock()
+		for _, r := range built {
+			if c.users[r.user] == r.o && r.o.seen == r.seen {
+				r.o.flatA, r.o.flatP, r.o.flatSeen = r.flatA, r.flatP, r.seen
+			}
+		}
+		c.mu.Unlock()
+	}
 	return actuals, protecteds, users, obj, fresh
 }
 
@@ -415,24 +460,42 @@ func (c *Controller) Evaluate(ctx context.Context) (swapped bool, err error) {
 	// Evict users with no sampled window since the previous evaluation:
 	// a long-running controller must track the users on the stream, not
 	// accumulate aggregates for everyone ever sampled. Evicted users that
-	// return simply rebuild their window.
+	// return simply rebuild their window — and their prepared metric
+	// state, which is dropped with them.
 	c.mu.Lock()
+	var evicted []string
 	for u, o := range c.users {
 		if o.seen <= c.prevEvalWindows {
 			delete(c.users, u)
+			evicted = append(evicted, u)
 		}
 	}
 	c.prevEvalWindows = c.windows
 	c.mu.Unlock()
+	// Drop evicted users' prepared state on the way out, not here: the
+	// snapshot above still carries them, so both the estimate loop and a
+	// drift re-analysis would recreate the entries a Forget-now dropped —
+	// leaking them forever, since an evicted user is never For()'d again.
+	defer func() {
+		for _, u := range evicted {
+			c.cache.MetricCache().Forget(u)
+		}
+	}()
 
 	ests := make([]estimate, 0, len(users))
 	var privSum, utilSum float64
 	for _, u := range users {
-		pv, perr := c.cfg.Definition.Privacy.Evaluate(actuals[u], protecteds[u])
+		// Prepared evaluators, indexed as core.NewCache orders them:
+		// privacy then utility. Users whose aggregate is unchanged since
+		// the last evaluation hit the cache (snapshot memoizes their
+		// traces, so the identity check passes) and skip the actual-side
+		// metric work entirely.
+		prep := c.cache.MetricCache().For(u, actuals[u])
+		pv, perr := prep[0].Evaluate(protecteds[u])
 		if perr != nil {
 			continue
 		}
-		uv, uerr := c.cfg.Definition.Utility.Evaluate(actuals[u], protecteds[u])
+		uv, uerr := prep[1].Evaluate(protecteds[u])
 		if uerr != nil {
 			continue
 		}
@@ -468,7 +531,10 @@ func (c *Controller) Evaluate(ctx context.Context) (swapped bool, err error) {
 	// Deterministic but fresh per evaluation: re-analysis draws must not
 	// correlate across evaluations or with the serving streams.
 	def.Seed = rng.New(c.cfg.Seed).Named("controller-eval").Split(int64(evalIdx)).Seed()
-	dep, analysis, rerr := core.Redeploy(ctx, def, ds, obj)
+	// The re-analysis sweeps the very traces the estimates above were
+	// computed on (ds aliases the snapshot), so the cached prepared
+	// evaluators carry straight into the sweep's inner loop.
+	dep, analysis, rerr := core.RedeployCached(ctx, def, ds, obj, c.cache)
 	if rerr != nil {
 		// Analysis failure or objectives infeasible on observed data:
 		// keep serving the old configuration rather than shipping
@@ -498,6 +564,10 @@ func (c *Controller) Evaluate(ctx context.Context) (swapped bool, err error) {
 	c.prevEvalWindows = c.windows
 	c.minGen = c.gw.Generation()
 	c.mu.Unlock()
+	// The aggregates were reset; the prepared state and the property memo
+	// are keyed to traces that will never be handed out again, so drop
+	// them too rather than pin the whole pre-swap snapshot.
+	c.cache.Reset()
 	return true, nil
 }
 
