@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check vet build test bench-smoke bench clean
+.PHONY: all check vet build test bench-smoke bench bench-serve clean
 
 all: check
 
@@ -23,6 +23,15 @@ bench-smoke:
 
 bench:
 	$(GO) test -run '^$$' -bench=. -benchmem .
+
+# Loopback serving smoke: the load generator drives a synthetic fleet
+# through the HTTP front-end and records throughput + latency percentiles
+# to BENCH_serve.json. Compared shard layouts run in interleaved rounds
+# inside one process — the bench container is single-CPU, so numbers from
+# separate runs confound with machine state and are never comparable.
+bench-serve:
+	$(GO) run ./cmd/lppm-load -self-serve -users 8 -points 192 -flush 32 \
+		-conns 2 -compare-shards 1,4 -rounds 2 -out BENCH_serve.json
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,499 @@
+// Command lppm-load is the load generator for the protection server: it
+// drives a synthetic fleet (internal/synth) through POST /v1/stream at a
+// configurable user count and send rate, and reports throughput
+// (points/sec) and per-record latency percentiles (p50/p99). Latency is
+// end-to-end: from the moment a record is sent to the moment its protected
+// counterpart is received, window buffering included — the figure an LBS
+// client would actually observe behind the middleware.
+//
+// With -self-serve the generator starts the server in-process on a
+// loopback listener, which is also how -compare-shards benchmarks
+// alternative gateway layouts: configurations run in interleaved rounds
+// inside one process, so numbers stay comparable on a shared (or
+// single-CPU) host. With -out the report is written as JSON
+// (BENCH_serve.json in CI).
+//
+// Usage:
+//
+//	lppm-load -self-serve -users 16 -points 256 -compare-shards 1,4 -out BENCH_serve.json
+//	lppm-serve -listen :8080 & lppm-load -addr http://127.0.0.1:8080 -users 50 -rate 2000
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/lppm"
+	"repro/internal/server"
+	"repro/internal/server/client"
+	"repro/internal/service"
+	"repro/internal/synth"
+	"repro/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("lppm-load: ")
+
+	var o loadOpts
+	flag.StringVar(&o.addr, "addr", "", "base URL of a running server (e.g. http://127.0.0.1:8080); empty requires -self-serve")
+	flag.BoolVar(&o.selfServe, "self-serve", false, "start the server in-process on a loopback listener")
+	flag.StringVar(&o.mechName, "mech", "geoi", "mechanism for -self-serve")
+	flag.IntVar(&o.shards, "shards", 0, "gateway shards for -self-serve, 0 for GOMAXPROCS")
+	flag.IntVar(&o.flushEvery, "flush", 32, "per-user window size for -self-serve")
+	flag.IntVar(&o.users, "users", 8, "fleet size (one stream user per driver)")
+	flag.IntVar(&o.points, "points", 256, "records per user")
+	flag.IntVar(&o.conns, "conns", 2, "concurrent stream connections the users spread over")
+	flag.Float64Var(&o.rate, "rate", 0, "total send rate in records/sec across all connections, 0 = unthrottled")
+	flag.Int64Var(&o.seed, "seed", 42, "master seed (fleet generation and server randomness)")
+	flag.IntVar(&o.rounds, "rounds", 0, "measurement rounds per configuration, 0 = 2 when comparing, 1 otherwise")
+	flag.StringVar(&o.compareShards, "compare-shards", "", "comma-separated shard counts to compare in interleaved rounds (-self-serve only), e.g. 1,4")
+	flag.StringVar(&o.outPath, "out", "", "write the report as JSON to this path")
+	params := lppm.Params{}
+	flag.Func("set", "mechanism parameter as name=value for -self-serve (repeatable)", func(s string) error {
+		name, val, ok := strings.Cut(s, "=")
+		if !ok {
+			return fmt.Errorf("want name=value, got %q", s)
+		}
+		v, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return fmt.Errorf("bad value in %q: %v", s, err)
+		}
+		params[name] = v
+		return nil
+	})
+	flag.Parse()
+	o.params = params
+
+	report, err := run(o)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, c := range report.Configs {
+		fmt.Printf("%-12s  %10.0f points/sec   p50 %7.2f ms   p99 %7.2f ms   (%d records, %d rounds)\n",
+			c.Name, c.PointsPerSec, c.P50Millis, c.P99Millis, c.Records, c.Rounds)
+	}
+	if o.outPath != "" {
+		if err := report.write(o.outPath); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+type loadOpts struct {
+	addr          string
+	selfServe     bool
+	mechName      string
+	params        lppm.Params
+	shards        int
+	flushEvery    int
+	users         int
+	points        int
+	conns         int
+	rate          float64
+	seed          int64
+	rounds        int
+	compareShards string
+	outPath       string
+}
+
+// validate fails fast with a single-line error before any work starts.
+func (o *loadOpts) validate() error {
+	switch {
+	case o.addr == "" && !o.selfServe:
+		return fmt.Errorf("need -addr or -self-serve")
+	case o.addr != "" && o.selfServe:
+		return fmt.Errorf("-addr and -self-serve are mutually exclusive")
+	case o.users < 1:
+		return fmt.Errorf("-users must be >= 1, got %d", o.users)
+	case o.points < 1:
+		return fmt.Errorf("-points must be >= 1, got %d", o.points)
+	case o.conns < 1:
+		return fmt.Errorf("-conns must be >= 1, got %d", o.conns)
+	case o.rate < 0:
+		return fmt.Errorf("-rate must be non-negative, got %v", o.rate)
+	case o.rounds < 0:
+		return fmt.Errorf("-rounds must be non-negative, got %d", o.rounds)
+	case o.flushEvery < 1:
+		return fmt.Errorf("-flush must be >= 1, got %d", o.flushEvery)
+	case o.compareShards != "" && !o.selfServe:
+		return fmt.Errorf("-compare-shards needs -self-serve (it builds one server per configuration)")
+	}
+	if o.conns > o.users {
+		o.conns = o.users
+	}
+	return nil
+}
+
+// benchConfig is one measured configuration's aggregate result.
+type benchConfig struct {
+	Name         string  `json:"name"`
+	Shards       int     `json:"shards,omitempty"`
+	Rounds       int     `json:"rounds"`
+	Records      int     `json:"records"`
+	PointsPerSec float64 `json:"points_per_sec"`
+	P50Millis    float64 `json:"p50_ms"`
+	P99Millis    float64 `json:"p99_ms"`
+}
+
+// benchReport is the JSON written to -out.
+type benchReport struct {
+	Benchmark     string        `json:"benchmark"`
+	Users         int           `json:"users"`
+	PointsPerUser int           `json:"points_per_user"`
+	Conns         int           `json:"conns"`
+	FlushEvery    int           `json:"flush_every"`
+	RatePerSec    float64       `json:"rate_per_sec"`
+	Go            string        `json:"go"`
+	Configs       []benchConfig `json:"configs"`
+}
+
+func (r *benchReport) write(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func run(o loadOpts) (*benchReport, error) {
+	if err := o.validate(); err != nil {
+		return nil, err
+	}
+	perUser, err := generateFleet(o)
+	if err != nil {
+		return nil, err
+	}
+	report := &benchReport{
+		Benchmark:     "lppm-load loopback stream",
+		Users:         o.users,
+		PointsPerUser: o.points,
+		Conns:         o.conns,
+		FlushEvery:    o.flushEvery,
+		RatePerSec:    o.rate,
+		Go:            runtime.Version(),
+	}
+
+	type cfg struct {
+		name   string
+		shards int
+	}
+	var cfgs []cfg
+	if o.compareShards != "" {
+		for _, part := range strings.Split(o.compareShards, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || n < 1 {
+				return nil, fmt.Errorf("bad -compare-shards entry %q", part)
+			}
+			cfgs = append(cfgs, cfg{name: fmt.Sprintf("shards=%d", n), shards: n})
+		}
+	} else if o.selfServe {
+		cfgs = []cfg{{name: "self-serve", shards: o.shards}}
+	} else {
+		cfgs = []cfg{{name: "remote"}}
+	}
+	rounds := o.rounds
+	if rounds == 0 {
+		rounds = 1
+		if len(cfgs) > 1 {
+			rounds = 2
+		}
+	}
+
+	// Interleave configurations across rounds (A, B, A, B …) so shared-
+	// host load drift cannot favor whichever runs in a quiet moment.
+	type agg struct {
+		records   int
+		seconds   float64
+		latencies []time.Duration
+	}
+	aggs := make([]agg, len(cfgs))
+	for round := 0; round < rounds; round++ {
+		for i, c := range cfgs {
+			res, err := runTrial(o, c.shards, perUser)
+			if err != nil {
+				return nil, fmt.Errorf("%s round %d: %w", c.name, round+1, err)
+			}
+			aggs[i].records += res.records
+			aggs[i].seconds += res.seconds
+			aggs[i].latencies = append(aggs[i].latencies, res.latencies...)
+		}
+	}
+	for i, c := range cfgs {
+		a := aggs[i]
+		bc := benchConfig{
+			Name:    c.name,
+			Shards:  c.shards,
+			Rounds:  rounds,
+			Records: a.records,
+		}
+		if a.seconds > 0 {
+			bc.PointsPerSec = float64(a.records) / a.seconds
+		}
+		bc.P50Millis = percentileMillis(a.latencies, 0.50)
+		bc.P99Millis = percentileMillis(a.latencies, 0.99)
+		report.Configs = append(report.Configs, bc)
+	}
+	return report, nil
+}
+
+// generateFleet builds each user's record sequence: a synthetic fleet
+// truncated to exactly -points records per driver. Heterogeneity is
+// disabled so every driver reports at the base period and yields enough
+// records within the simulated span.
+func generateFleet(o loadOpts) (map[string][]trace.Record, error) {
+	cfg := synth.DefaultConfig()
+	cfg.Seed = o.seed
+	cfg.NumDrivers = o.users
+	cfg.Heterogeneity = 0
+	cfg.SamplePeriod = time.Minute
+	cfg.Duration = time.Duration(o.points+2) * cfg.SamplePeriod
+	fleet, err := synth.Generate(cfg, nil)
+	if err != nil {
+		return nil, err
+	}
+	perUser := make(map[string][]trace.Record, o.users)
+	for _, tr := range fleet.Dataset.Traces() {
+		if tr.Len() < o.points {
+			return nil, fmt.Errorf("driver %s generated %d records, need %d", tr.User, tr.Len(), o.points)
+		}
+		perUser[tr.User] = tr.Records[:o.points]
+	}
+	return perUser, nil
+}
+
+// trialResult is one measurement run.
+type trialResult struct {
+	records   int
+	seconds   float64
+	latencies []time.Duration
+}
+
+// runTrial measures one configuration once: spin up the server (self-serve)
+// or reuse the remote one, stream every user's records over -conns
+// connections, and collect throughput and per-record latency.
+func runTrial(o loadOpts, shards int, perUser map[string][]trace.Record) (res trialResult, err error) {
+	base := o.addr
+	var teardown func() error
+	if o.selfServe {
+		base, teardown, err = startSelfServe(o, shards)
+		if err != nil {
+			return res, err
+		}
+		defer func() {
+			if terr := teardown(); err == nil {
+				err = terr
+			}
+		}()
+	}
+
+	// Users spread round-robin over connections; each connection merges
+	// its users' records into one time-ordered sequence.
+	users := make([]string, 0, len(perUser))
+	for u := range perUser {
+		users = append(users, u)
+	}
+	sort.Strings(users)
+	connRecs := make([][]trace.Record, o.conns)
+	for i, u := range users {
+		connRecs[i%o.conns] = append(connRecs[i%o.conns], perUser[u]...)
+	}
+	for i := range connRecs {
+		recs := connRecs[i]
+		sort.SliceStable(recs, func(a, b int) bool { return recs[a].Time.Before(recs[b].Time) })
+	}
+
+	cl := client.New(base)
+	ratePerConn := o.rate / float64(o.conns)
+	type connResult struct {
+		received  int
+		latencies []time.Duration
+		err       error
+	}
+	results := make(chan connResult, o.conns)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for ci := 0; ci < o.conns; ci++ {
+		wg.Add(1)
+		go func(recs []trace.Record) {
+			defer wg.Done()
+			results <- driveConn(cl, recs, ratePerConn)
+		}(connRecs[ci])
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(results)
+	for r := range results {
+		if r.err != nil && err == nil {
+			err = r.err
+		}
+		res.records += r.received
+		res.latencies = append(res.latencies, r.latencies...)
+	}
+	res.seconds = elapsed.Seconds()
+	if err != nil {
+		return res, err
+	}
+	want := 0
+	for _, recs := range perUser {
+		want += len(recs)
+	}
+	if res.records != want {
+		return res, fmt.Errorf("received %d protected records, want %d", res.records, want)
+	}
+	return res, nil
+}
+
+// driveConn streams one connection's records and matches each received
+// record to its send time by (user, arrival index) — exact for mechanisms
+// that preserve count and order per user (the default GEO-I does); for
+// mechanisms that inject or drop records only the matched prefix
+// contributes latencies, while throughput counts everything.
+func driveConn(cl *client.Client, recs []trace.Record, rate float64) (out struct {
+	received  int
+	latencies []time.Duration
+	err       error
+}) {
+	ctx := context.Background()
+	st, err := cl.Stream(ctx)
+	if err != nil {
+		out.err = err
+		return
+	}
+	sendTimes := make(map[string][]time.Time)
+	var mu sync.Mutex
+	recvDone := make(chan error, 1)
+	go func() {
+		recvIdx := make(map[string]int)
+		for {
+			rec, rerr := st.Recv()
+			if rerr == io.EOF {
+				recvDone <- nil
+				return
+			}
+			if rerr != nil {
+				recvDone <- rerr
+				return
+			}
+			now := time.Now()
+			out.received++
+			i := recvIdx[rec.User]
+			recvIdx[rec.User] = i + 1
+			mu.Lock()
+			sent := sendTimes[rec.User]
+			mu.Unlock()
+			if i < len(sent) {
+				out.latencies = append(out.latencies, now.Sub(sent[i]))
+			}
+		}
+	}()
+	interval := time.Duration(0)
+	if rate > 0 {
+		interval = time.Duration(float64(time.Second) / rate)
+	}
+	next := time.Now()
+	for _, rec := range recs {
+		if interval > 0 {
+			if d := time.Until(next); d > 0 {
+				time.Sleep(d)
+			}
+			next = next.Add(interval)
+		}
+		mu.Lock()
+		sendTimes[rec.User] = append(sendTimes[rec.User], time.Now())
+		mu.Unlock()
+		if err := st.Send(rec); err != nil {
+			out.err = err
+			st.Close()
+			<-recvDone
+			return
+		}
+	}
+	if err := st.CloseSend(); err != nil {
+		out.err = err
+		st.Close()
+		<-recvDone // the receiver owns out's slices until it signals
+		return
+	}
+	out.err = <-recvDone
+	return
+}
+
+// startSelfServe builds deployment → gateway → server on a loopback
+// listener and returns the base URL plus a teardown that drains it.
+func startSelfServe(o loadOpts, shards int) (string, func() error, error) {
+	reg := lppm.NewRegistry()
+	mech, err := reg.Get(o.mechName)
+	if err != nil {
+		return "", nil, err
+	}
+	dep, err := core.NewDeployment(mech, o.params)
+	if err != nil {
+		return "", nil, err
+	}
+	gwCfg := service.ConfigFromDeployment(dep, o.seed)
+	gwCfg.Shards = shards
+	gwCfg.FlushEvery = o.flushEvery
+	gw, err := service.New(context.Background(), gwCfg)
+	if err != nil {
+		return "", nil, err
+	}
+	srv, err := server.New(server.Config{Gateway: gw, Seed: o.seed})
+	if err != nil {
+		gw.Close()
+		return "", nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		gw.Close()
+		return "", nil, err
+	}
+	hs := &http.Server{Handler: srv}
+	go hs.Serve(ln)
+	teardown := func() error {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		derr := srv.Drain(ctx)
+		// Shutdown waits for in-flight responses (tail windows still
+		// being written); Close would sever them.
+		cerr := hs.Shutdown(ctx)
+		if derr != nil {
+			return derr
+		}
+		return cerr
+	}
+	return "http://" + ln.Addr().String(), teardown, nil
+}
+
+// percentileMillis returns the q-quantile of the latencies in
+// milliseconds, 0 when none were matched.
+func percentileMillis(lat []time.Duration, q float64) float64 {
+	if len(lat) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), lat...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return float64(sorted[idx]) / float64(time.Millisecond)
+}

@@ -1,0 +1,110 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/lppm"
+)
+
+func baseLoadOpts() loadOpts {
+	return loadOpts{
+		selfServe:  true,
+		mechName:   "geoi",
+		params:     lppm.Params{},
+		flushEvery: 8,
+		users:      4,
+		points:     24,
+		conns:      2,
+		seed:       7,
+	}
+}
+
+// TestRunSelfServeLoopback drives a small fleet through an in-process
+// server and checks the report accounts for every record.
+func TestRunSelfServeLoopback(t *testing.T) {
+	o := baseLoadOpts()
+	report, err := run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Configs) != 1 {
+		t.Fatalf("report has %d configs, want 1", len(report.Configs))
+	}
+	c := report.Configs[0]
+	if c.Records != o.users*o.points {
+		t.Errorf("report counts %d records, want %d", c.Records, o.users*o.points)
+	}
+	if c.PointsPerSec <= 0 {
+		t.Errorf("points/sec = %v, want > 0", c.PointsPerSec)
+	}
+	if c.P50Millis < 0 || c.P99Millis < c.P50Millis {
+		t.Errorf("latency percentiles implausible: p50=%v p99=%v", c.P50Millis, c.P99Millis)
+	}
+}
+
+// TestRunCompareShardsInterleaved compares two shard layouts in one
+// process and writes the JSON report.
+func TestRunCompareShardsInterleaved(t *testing.T) {
+	o := baseLoadOpts()
+	o.compareShards = "1,2"
+	o.rounds = 1
+	o.outPath = filepath.Join(t.TempDir(), "BENCH_serve.json")
+	report, err := run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Configs) != 2 {
+		t.Fatalf("report has %d configs, want 2", len(report.Configs))
+	}
+	for _, c := range report.Configs {
+		if c.Records != o.users*o.points {
+			t.Errorf("%s counts %d records, want %d", c.Name, c.Records, o.users*o.points)
+		}
+	}
+	if err := report.write(o.outPath); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(o.outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parsed benchReport
+	if err := json.Unmarshal(data, &parsed); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if parsed.Users != o.users || len(parsed.Configs) != 2 {
+		t.Errorf("round-tripped report %+v", parsed)
+	}
+}
+
+// TestLoadOptsValidate fails fast on nonsense flags with one-line errors.
+func TestLoadOptsValidate(t *testing.T) {
+	cases := []func(*loadOpts){
+		func(o *loadOpts) { o.selfServe = false },        // no addr either
+		func(o *loadOpts) { o.addr = "http://x"; _ = o }, // addr + self-serve
+		func(o *loadOpts) { o.users = 0 },
+		func(o *loadOpts) { o.points = -1 },
+		func(o *loadOpts) { o.conns = 0 },
+		func(o *loadOpts) { o.rate = -1 },
+		func(o *loadOpts) { o.flushEvery = 0 },
+		func(o *loadOpts) { o.selfServe = false; o.addr = "http://x"; o.compareShards = "1,2" },
+	}
+	for i, mutate := range cases {
+		o := baseLoadOpts()
+		mutate(&o)
+		if err := o.validate(); err == nil {
+			t.Errorf("case %d: invalid options accepted: %+v", i, o)
+		}
+	}
+	o := baseLoadOpts()
+	o.conns = 99 // more conns than users collapses to users
+	if err := o.validate(); err != nil {
+		t.Fatal(err)
+	}
+	if o.conns != o.users {
+		t.Errorf("conns = %d after validate, want %d", o.conns, o.users)
+	}
+}

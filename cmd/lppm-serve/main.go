@@ -7,12 +7,17 @@
 // privacy/utility, and hot-swaps a re-configured deployment when the
 // observed values drift outside the -objectives.
 //
+// With -listen the same binary runs as a network daemon instead: the
+// gateway is exposed over HTTP (POST /v1/stream and friends — see
+// internal/server) until SIGINT/SIGTERM triggers a graceful drain.
+//
 // Usage:
 //
 //	lppm-tracegen -drivers 50 -out day.csv
 //	lppm-serve -in day.csv -format csv -mech geoi -set epsilon=0.01 -shards 8 -out protected.csv -stats
 //	cat stream.jsonl | lppm-serve -mech rounding > protected.jsonl
 //	lppm-serve -in day.csv -format csv -mech geoi -reconfigure-every 30s -objectives privacy=0.1,utility=0.8
+//	lppm-serve -listen :8080 -mech geoi -set epsilon=0.01 -shards 8 -stats
 package main
 
 import (
@@ -22,6 +27,8 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strconv"
@@ -33,6 +40,7 @@ import (
 	"repro/internal/lppm"
 	"repro/internal/metrics"
 	"repro/internal/model"
+	"repro/internal/server"
 	"repro/internal/service"
 	"repro/internal/trace"
 )
@@ -52,6 +60,11 @@ func main() {
 		flushEvery = flag.Int("flush", 0, "per-user window size, 0 for default")
 		seed       = flag.Int64("seed", 42, "master random seed")
 		stats      = flag.Bool("stats", false, "print gateway stats to stderr on exit")
+
+		listen     = flag.String("listen", "", "serve the gateway over HTTP on this address (e.g. :8080) instead of -in/-out")
+		maxStreams = flag.Int("max-streams", 0, "max concurrent /v1/stream connections (0 default, negative unlimited; with -listen)")
+		rateLimit  = flag.Float64("rate-limit", 0, "per-tenant request rate limit in req/s, 0 disables (with -listen)")
+		burst      = flag.Int("burst", 0, "per-tenant rate-limit burst, 0 for default (with -listen)")
 
 		reconfEvery = flag.Duration("reconfigure-every", 0,
 			"run the reconfiguration controller at this interval (0 disables the loop)")
@@ -93,6 +106,16 @@ func main() {
 		seed: *seed, stats: *stats,
 		reconfEvery: *reconfEvery, objectives: obj,
 		sampleFrac: *sampleFrac, paramName: *paramName,
+		listen: *listen, maxStreams: *maxStreams,
+		rateLimit: *rateLimit, burst: *burst,
+	}
+	if opts.listen != "" {
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		if err := runListen(ctx, reg, opts); err != nil {
+			log.Fatal(err)
+		}
+		return
 	}
 	if err := run(reg, opts); err != nil {
 		log.Fatal(err)
@@ -145,19 +168,158 @@ type serveOpts struct {
 	objectives  model.Objectives
 	sampleFrac  float64
 	paramName   string
+
+	listen     string
+	maxStreams int
+	rateLimit  float64
+	burst      int
 }
 
-func run(reg *lppm.Registry, o serveOpts) error {
-	format, err := trace.ParseFormat(o.formatName)
-	if err != nil {
-		return err
+// validate fails fast on flag nonsense with a single-line error, before
+// any file is opened or goroutine started — a bad -queue must not surface
+// as a failure deep in the pipeline.
+func (o *serveOpts) validate() error {
+	switch {
+	case o.queue < 0:
+		return fmt.Errorf("-queue must be non-negative, got %d", o.queue)
+	case o.flushEvery < 0:
+		return fmt.Errorf("-flush must be non-negative, got %d", o.flushEvery)
+	case o.shards < 0:
+		return fmt.Errorf("-shards must be non-negative, got %d", o.shards)
+	case o.sampleFrac < 0 || o.sampleFrac > 1:
+		return fmt.Errorf("-sample must be in [0, 1], got %v", o.sampleFrac)
+	case o.reconfEvery < 0:
+		return fmt.Errorf("-reconfigure-every must be non-negative, got %v", o.reconfEvery)
+	case o.rateLimit < 0:
+		return fmt.Errorf("-rate-limit must be non-negative, got %v", o.rateLimit)
+	case o.burst < 0:
+		return fmt.Errorf("-burst must be non-negative, got %d", o.burst)
 	}
+	if _, err := trace.ParseFormat(o.formatName); err != nil {
+		return fmt.Errorf("-format: %v", err)
+	}
+	return nil
+}
+
+// buildServing turns the flags into the serving stack shared by the file
+// and network modes: deployment → gateway → optional controller.
+func buildServing(ctx context.Context, reg *lppm.Registry, o serveOpts) (*service.Gateway, *service.Controller, error) {
 	mech, err := reg.Get(o.mechName)
 	if err != nil {
-		return err
+		return nil, nil, err
 	}
 	// Defaults plus -set overrides, validated once up front.
 	dep, err := core.NewDeployment(mech, o.params)
+	if err != nil {
+		return nil, nil, err
+	}
+	cfg := service.ConfigFromDeployment(dep, o.seed)
+	cfg.Shards = o.shards
+	cfg.QueueSize = o.queue
+	cfg.FlushEvery = o.flushEvery
+	g, err := service.New(ctx, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	var ctrl *service.Controller
+	if o.reconfEvery > 0 {
+		ctrl, err = service.NewController(g, dep, service.ControllerConfig{
+			Definition: core.Definition{
+				Mechanism: mech,
+				Param:     o.paramName,
+				Privacy:   metrics.MustPOIRetrieval(metrics.DefaultPOIRetrievalConfig()),
+				Utility:   metrics.MustAreaCoverage(metrics.DefaultAreaCoverageConfig()),
+				// Online re-analysis trades grid resolution for
+				// latency: it runs against live traffic.
+				GridPoints: 9,
+				Repeats:    1,
+			},
+			Objectives: o.objectives,
+			SampleFrac: o.sampleFrac,
+			Seed:       o.seed,
+		})
+		if err != nil {
+			g.Close()
+			return nil, nil, err
+		}
+		go ctrl.Run(ctx, o.reconfEvery)
+	}
+	return g, ctrl, nil
+}
+
+// runListen is the network daemon: the serving stack behind an HTTP
+// front-end until the context (SIGINT/SIGTERM) ends it, then a graceful
+// drain that flushes every user stream exactly once.
+func runListen(ctx context.Context, reg *lppm.Registry, o serveOpts) error {
+	if err := o.validate(); err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", o.listen)
+	if err != nil {
+		return err
+	}
+	return serveListener(ctx, reg, o, ln)
+}
+
+// serveListener runs the daemon on an existing listener (split from
+// runListen so tests can bind :0 and learn the port).
+func serveListener(ctx context.Context, reg *lppm.Registry, o serveOpts, ln net.Listener) error {
+	gctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	g, ctrl, err := buildServing(gctx, reg, o)
+	if err != nil {
+		ln.Close()
+		return err
+	}
+	srv, err := server.New(server.Config{
+		Gateway:    g,
+		Controller: ctrl,
+		MaxStreams: o.maxStreams,
+		RatePerSec: o.rateLimit,
+		Burst:      o.burst,
+		Seed:       o.seed,
+	})
+	if err != nil {
+		ln.Close()
+		g.Close()
+		return err
+	}
+	hs := &http.Server{Handler: srv}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+	log.Printf("listening on %s", ln.Addr())
+
+	var runErr error
+	select {
+	case <-ctx.Done():
+	case runErr = <-serveErr:
+		// The listener died under us; still drain what is in flight.
+	}
+	dctx, dcancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer dcancel()
+	drainErr := srv.Drain(dctx)
+	// Shutdown, not Close: Drain returns once every tail window has been
+	// routed into its connection's buffer, but handlers may still be
+	// writing those buffers onto the wire — severing the TCP connections
+	// here would lose the very tails the drain just flushed.
+	closeErr := hs.Shutdown(dctx)
+	if errors.Is(closeErr, context.DeadlineExceeded) {
+		closeErr = errors.Join(closeErr, hs.Close())
+	}
+	if o.stats {
+		printStats(g, ctrl)
+	}
+	if errors.Is(runErr, http.ErrServerClosed) {
+		runErr = nil
+	}
+	return errors.Join(runErr, drainErr, closeErr)
+}
+
+func run(reg *lppm.Registry, o serveOpts) error {
+	if err := o.validate(); err != nil {
+		return err
+	}
+	format, err := trace.ParseFormat(o.formatName)
 	if err != nil {
 		return err
 	}
@@ -189,36 +351,9 @@ func run(reg *lppm.Registry, o serveOpts) error {
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
-	cfg := service.ConfigFromDeployment(dep, o.seed)
-	cfg.Shards = o.shards
-	cfg.QueueSize = o.queue
-	cfg.FlushEvery = o.flushEvery
-	g, err := service.New(ctx, cfg)
+	g, ctrl, err := buildServing(ctx, reg, o)
 	if err != nil {
 		return err
-	}
-
-	var ctrl *service.Controller
-	if o.reconfEvery > 0 {
-		ctrl, err = service.NewController(g, dep, service.ControllerConfig{
-			Definition: core.Definition{
-				Mechanism: mech,
-				Param:     o.paramName,
-				Privacy:   metrics.MustPOIRetrieval(metrics.DefaultPOIRetrievalConfig()),
-				Utility:   metrics.MustAreaCoverage(metrics.DefaultAreaCoverageConfig()),
-				// Online re-analysis trades grid resolution for
-				// latency: it runs against live traffic.
-				GridPoints: 9,
-				Repeats:    1,
-			},
-			Objectives: o.objectives,
-			SampleFrac: o.sampleFrac,
-			Seed:       o.seed,
-		})
-		if err != nil {
-			return err
-		}
-		go ctrl.Run(ctx, o.reconfEvery)
 	}
 
 	rw, err := trace.NewRecordWriter(out, format)
@@ -261,24 +396,29 @@ func run(reg *lppm.Registry, o serveOpts) error {
 		outCloseErr = outFile.Close()
 	}
 	if o.stats {
-		st := g.Stats()
-		fmt.Fprintf(os.Stderr, "ingested=%d emitted=%d dropped=%d users=%d flushes=%d shards=%d generation=%d swaps=%d\n",
-			st.Ingested, st.Emitted, st.Dropped, st.Users, st.Flushes, len(st.PerShard), st.Generation, st.Swaps)
-		for i, ss := range st.PerShard {
-			fmt.Fprintf(os.Stderr, "  shard %d: ingested=%d emitted=%d users=%d\n",
-				i, ss.Ingested, ss.Emitted, ss.Users)
-		}
-		if ctrl != nil {
-			cs := ctrl.Stats()
-			fmt.Fprintf(os.Stderr, "controller: windows=%d records=%d users=%d evals=%d swaps=%d privacy=%.3f utility=%.3f\n",
-				cs.WindowsObserved, cs.RecordsObserved, cs.UsersTracked,
-				cs.Evaluations, cs.Swaps, cs.LastPrivacy, cs.LastUtility)
-			if cs.LastErr != nil {
-				fmt.Fprintf(os.Stderr, "controller: last error: %v\n", cs.LastErr)
-			}
-		}
+		printStats(g, ctrl)
 	}
 	// A canceled scan (SIGINT) still drained above and is worth
 	// reporting; Join drops the nils and keeps every real failure.
 	return errors.Join(writeErr, scanErr, gwErr, outCloseErr)
+}
+
+// printStats reports the gateway (and controller) counters on stderr.
+func printStats(g *service.Gateway, ctrl *service.Controller) {
+	st := g.Stats()
+	fmt.Fprintf(os.Stderr, "ingested=%d emitted=%d dropped=%d users=%d flushes=%d shards=%d generation=%d swaps=%d\n",
+		st.Ingested, st.Emitted, st.Dropped, st.Users, st.Flushes, len(st.PerShard), st.Generation, st.Swaps)
+	for i, ss := range st.PerShard {
+		fmt.Fprintf(os.Stderr, "  shard %d: ingested=%d emitted=%d users=%d\n",
+			i, ss.Ingested, ss.Emitted, ss.Users)
+	}
+	if ctrl != nil {
+		cs := ctrl.Stats()
+		fmt.Fprintf(os.Stderr, "controller: windows=%d records=%d users=%d evals=%d swaps=%d privacy=%.3f utility=%.3f\n",
+			cs.WindowsObserved, cs.RecordsObserved, cs.UsersTracked,
+			cs.Evaluations, cs.Swaps, cs.LastPrivacy, cs.LastUtility)
+		if cs.LastErr != nil {
+			fmt.Fprintf(os.Stderr, "controller: last error: %v\n", cs.LastErr)
+		}
+	}
 }

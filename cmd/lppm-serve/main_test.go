@@ -1,15 +1,20 @@
 package main
 
 import (
+	"context"
 	"fmt"
+	"io"
+	"net"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 	"time"
 
+	"repro/internal/geo"
 	"repro/internal/lppm"
 	"repro/internal/model"
+	"repro/internal/server/client"
 	"repro/internal/trace"
 )
 
@@ -136,5 +141,121 @@ func TestRunWithController(t *testing.T) {
 	}
 	if got != n {
 		t.Errorf("controller run emitted %d records, want %d", got, n)
+	}
+}
+
+// TestRunRejectsBadFlags is the fail-fast audit: flag nonsense must
+// surface as one validation error before any file or goroutine work.
+func TestRunRejectsBadFlags(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "in.csv")
+	writeInput(t, in, 2, 4)
+	out := filepath.Join(dir, "out.csv")
+	cases := []struct {
+		name   string
+		mutate func(*serveOpts)
+		want   string
+	}{
+		{"negative queue", func(o *serveOpts) { o.queue = -1 }, "-queue"},
+		{"negative flush", func(o *serveOpts) { o.flushEvery = -4 }, "-flush"},
+		{"negative shards", func(o *serveOpts) { o.shards = -2 }, "-shards"},
+		{"sample above one", func(o *serveOpts) { o.sampleFrac = 1.5 }, "-sample"},
+		{"negative sample", func(o *serveOpts) { o.sampleFrac = -0.1 }, "-sample"},
+		{"unknown format", func(o *serveOpts) { o.formatName = "xml" }, "-format"},
+		{"negative reconfigure", func(o *serveOpts) { o.reconfEvery = -time.Second }, "-reconfigure-every"},
+		{"negative rate limit", func(o *serveOpts) { o.rateLimit = -1 }, "-rate-limit"},
+		{"negative burst", func(o *serveOpts) { o.burst = -1 }, "-burst"},
+	}
+	for _, tc := range cases {
+		o := baseOpts(in, out)
+		tc.mutate(&o)
+		err := run(lppm.NewRegistry(), o)
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not name %s", tc.name, err, tc.want)
+		}
+		if strings.Contains(err.Error(), "\n") {
+			t.Errorf("%s: error is not a single line: %q", tc.name, err)
+		}
+	}
+}
+
+// TestServeListenRoundTrip runs the daemon mode end to end on a loopback
+// listener: stream records over HTTP, read stats and deployment, then shut
+// down via context cancellation and verify the drain exits clean.
+func TestServeListenRoundTrip(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := baseOpts("-", "-")
+	o.listen = ln.Addr().String()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- serveListener(ctx, lppm.NewRegistry(), o, ln) }()
+
+	cl := client.New("http://" + ln.Addr().String())
+	wctx, wcancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer wcancel()
+	if err := cl.WaitHealthy(wctx); err != nil {
+		t.Fatal(err)
+	}
+	st, err := cl.Stream(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 10
+	for i := 0; i < n; i++ {
+		rec := trace.Record{
+			User:  "net-user",
+			Time:  time.Unix(1211025600+int64(i)*60, 0).UTC(),
+			Point: geo.Point{Lat: 37.7749 + float64(i)*0.0004, Lng: -122.4194},
+		}
+		if err := st.Send(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.CloseSend(); err != nil {
+		t.Fatal(err)
+	}
+	got := 0
+	for {
+		_, err := st.Recv()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		got++
+	}
+	if got != n {
+		t.Errorf("daemon returned %d records, want %d", got, n)
+	}
+	dep, err := cl.Deployment(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dep.Mechanism != "geoi" {
+		t.Errorf("daemon serves %q, want geoi", dep.Mechanism)
+	}
+	stats, err := cl.Stats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Gateway.Emitted != n || stats.Gateway.Dropped != 0 {
+		t.Errorf("daemon stats %+v", stats.Gateway)
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("daemon exit: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon never exited after cancellation")
 	}
 }

@@ -1,0 +1,45 @@
+package server
+
+import (
+	"testing"
+	"time"
+)
+
+// TestLimiterRefillAndIsolation: buckets start full, drain per request,
+// refill at the configured rate, and tenants are independent.
+func TestLimiterRefillAndIsolation(t *testing.T) {
+	now := time.Unix(0, 0)
+	l := newLimiter(1, 2, func() time.Time { return now })
+	for i := 0; i < 2; i++ {
+		if !l.allow("a") {
+			t.Fatalf("request %d within burst refused", i)
+		}
+	}
+	if l.allow("a") {
+		t.Fatal("past-burst request admitted")
+	}
+	if !l.allow("b") {
+		t.Fatal("tenant b throttled by tenant a's bucket")
+	}
+	now = now.Add(1500 * time.Millisecond) // refills 1.5 tokens
+	if !l.allow("a") {
+		t.Fatal("refilled token refused")
+	}
+	if l.allow("a") {
+		t.Fatal("half a token admitted a request")
+	}
+}
+
+// TestLimiterBoundsTenantTable: rotating client-controlled tenant names
+// cannot grow the bucket table past its cap.
+func TestLimiterBoundsTenantTable(t *testing.T) {
+	now := time.Unix(0, 0)
+	l := newLimiter(1, 1, func() time.Time { return now })
+	for i := 0; i < 3*maxTenantBuckets; i++ {
+		l.allow(string(rune('a'+i%26)) + string(rune('0'+i%10)) + time.Duration(i).String())
+		now = now.Add(time.Microsecond)
+	}
+	if len(l.buckets) > maxTenantBuckets {
+		t.Fatalf("tenant table grew to %d, cap is %d", len(l.buckets), maxTenantBuckets)
+	}
+}

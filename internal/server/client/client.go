@@ -1,0 +1,328 @@
+// Package client is the typed Go client for the protection server
+// (internal/server): a duplex record stream over POST /v1/stream, unary
+// batch protection, and the control-plane endpoints. It speaks the same
+// trace-package JSONL codec as the server and the file path, so a client
+// round trip adds no serialization of its own.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/service"
+	"repro/internal/trace"
+)
+
+// APIError is a non-2xx answer from the server, carrying its JSON error
+// body when one was sent.
+type APIError struct {
+	Status int
+	Msg    string
+}
+
+func (e *APIError) Error() string {
+	if e.Msg == "" {
+		return fmt.Sprintf("server answered %d", e.Status)
+	}
+	return fmt.Sprintf("server answered %d: %s", e.Status, e.Msg)
+}
+
+// Client talks to one protection server. Safe for concurrent use; each
+// Stream is its own connection.
+type Client struct {
+	base   string
+	hc     *http.Client
+	tenant string
+}
+
+// Option customizes a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying http.Client (timeouts,
+// transports). The default client has no timeout: streams are long-lived.
+func WithHTTPClient(hc *http.Client) Option { return func(c *Client) { c.hc = hc } }
+
+// WithTenant sets the X-Tenant header on every request — the identity the
+// server's token buckets meter.
+func WithTenant(tenant string) Option { return func(c *Client) { c.tenant = tenant } }
+
+// New returns a client for the server at base (e.g. "http://127.0.0.1:8080").
+func New(base string, opts ...Option) *Client {
+	c := &Client{base: strings.TrimRight(base, "/"), hc: &http.Client{}}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// apiError reads a failed response's JSON body into an APIError.
+func apiError(resp *http.Response) error {
+	defer resp.Body.Close()
+	var body struct {
+		Error string `json:"error"`
+	}
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	if json.Unmarshal(raw, &body) != nil || body.Error == "" {
+		body.Error = strings.TrimSpace(string(raw))
+	}
+	return &APIError{Status: resp.StatusCode, Msg: body.Error}
+}
+
+func (c *Client) newRequest(ctx context.Context, method, path string, body io.Reader) (*http.Request, error) {
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return nil, err
+	}
+	if c.tenant != "" {
+		req.Header.Set("X-Tenant", c.tenant)
+	}
+	return req, nil
+}
+
+// getJSON performs a GET and decodes the JSON answer.
+func (c *Client) getJSON(ctx context.Context, path string, v any) error {
+	req, err := c.newRequest(ctx, http.MethodGet, path, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return apiError(resp)
+	}
+	defer resp.Body.Close()
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// Health checks GET /healthz, returning nil while the server serves and an
+// *APIError once it drains.
+func (c *Client) Health(ctx context.Context) error {
+	var h struct {
+		Status string `json:"status"`
+	}
+	return c.getJSON(ctx, "/healthz", &h)
+}
+
+// Stats fetches GET /v1/stats.
+func (c *Client) Stats(ctx context.Context) (server.StatsResponse, error) {
+	var st server.StatsResponse
+	err := c.getJSON(ctx, "/v1/stats", &st)
+	return st, err
+}
+
+// Deployment fetches GET /v1/deployment: the serving generation and
+// parameter assignment, in the gateway's own wire type.
+func (c *Client) Deployment(ctx context.Context) (service.DeploymentInfo, error) {
+	var d service.DeploymentInfo
+	err := c.getJSON(ctx, "/v1/deployment", &d)
+	return d, err
+}
+
+// Reconfigure triggers POST /v1/reconfigure: a manual hot-swap to the
+// given parameter values (merged over mechanism defaults), with optional
+// per-user overrides. Returns the new serving generation.
+func (c *Client) Reconfigure(ctx context.Context, params map[string]float64, overrides map[string]map[string]float64) (uint64, error) {
+	body, err := json.Marshal(struct {
+		Params    map[string]float64            `json:"params"`
+		Overrides map[string]map[string]float64 `json:"overrides,omitempty"`
+	}{params, overrides})
+	if err != nil {
+		return 0, err
+	}
+	req, err := c.newRequest(ctx, http.MethodPost, "/v1/reconfigure", bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return 0, apiError(resp)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Generation uint64 `json:"generation"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return 0, err
+	}
+	return out.Generation, nil
+}
+
+// Protect runs a unary batch through POST /v1/protect and returns the
+// protected records (grouped per user, each user's records in time order —
+// the dataset iteration order of the batch path).
+func (c *Client) Protect(ctx context.Context, recs []trace.Record) ([]trace.Record, error) {
+	var buf bytes.Buffer
+	rw, err := trace.NewRecordWriter(&buf, trace.FormatJSONL)
+	if err != nil {
+		return nil, err
+	}
+	for _, rec := range recs {
+		if err := rw.Write(rec); err != nil {
+			return nil, err
+		}
+	}
+	if err := rw.Flush(); err != nil {
+		return nil, err
+	}
+	req, err := c.newRequest(ctx, http.MethodPost, "/v1/protect", &buf)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/x-ndjson")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, apiError(resp)
+	}
+	defer resp.Body.Close()
+	var out []trace.Record
+	if err := trace.ScanRecords(resp.Body, trace.FormatJSONL, func(rec trace.Record) error {
+		out = append(out, rec)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Stream is one duplex record stream: Send pushes records to the gateway,
+// Recv pulls protected records as their windows flush. Send and Recv may
+// run on different goroutines (and must, for flows larger than the
+// transport buffers — the server applies backpressure). Finish with
+// CloseSend then drain Recv until io.EOF.
+type Stream struct {
+	pw   *io.PipeWriter
+	rw   *trace.RecordWriter
+	resp *http.Response
+
+	recs    chan trace.Record
+	readErr error // set before recs closes
+}
+
+// Stream opens POST /v1/stream. It returns once the server has admitted
+// the stream (headers received); admission refusals (429, 503) surface as
+// *APIError.
+func (c *Client) Stream(ctx context.Context) (*Stream, error) {
+	pr, pw := io.Pipe()
+	req, err := c.newRequest(ctx, http.MethodPost, "/v1/stream", pr)
+	if err != nil {
+		pw.Close()
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/x-ndjson")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		pw.Close()
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		pw.Close()
+		return nil, apiError(resp)
+	}
+	rw, err := trace.NewRecordWriter(pw, trace.FormatJSONL)
+	if err != nil {
+		pw.Close()
+		resp.Body.Close()
+		return nil, err
+	}
+	st := &Stream{pw: pw, rw: rw, resp: resp, recs: make(chan trace.Record, 64)}
+	go st.decodeLoop()
+	return st, nil
+}
+
+// decodeLoop scans the response into the Recv channel, then records the
+// terminal state: a scan error, or the server's X-Stream-Error trailer
+// (readable only after the body hits EOF).
+func (st *Stream) decodeLoop() {
+	err := trace.ScanRecords(st.resp.Body, trace.FormatJSONL, func(rec trace.Record) error {
+		st.recs <- rec
+		return nil
+	})
+	if err == nil {
+		if msg := st.resp.Trailer.Get("X-Stream-Error"); msg != "" {
+			err = fmt.Errorf("server: stream ended: %s", msg)
+		}
+	}
+	st.readErr = err
+	close(st.recs)
+}
+
+// Send pushes one record into the stream. It blocks while the server
+// exerts backpressure. Interleave with Recv (or run Recv on its own
+// goroutine): the response windows must keep draining for sends to make
+// progress on a saturated gateway.
+func (st *Stream) Send(rec trace.Record) error {
+	if err := st.rw.Write(rec); err != nil {
+		return err
+	}
+	// Flush per record: the pipe has no liveness of its own, and a
+	// buffered tail would stall a quiet stream's windows indefinitely.
+	return st.rw.Flush()
+}
+
+// CloseSend ends the request body: the server flushes this connection's
+// pending windows and closes the response after delivering them. Recv
+// drains the remainder and then reports io.EOF.
+func (st *Stream) CloseSend() error {
+	if err := st.rw.Flush(); err != nil {
+		return err
+	}
+	return st.pw.Close()
+}
+
+// Recv returns the next protected record, or io.EOF once the server has
+// delivered everything after CloseSend. A server-side stream error (from
+// the response trailer) is returned in place of io.EOF.
+func (st *Stream) Recv() (trace.Record, error) {
+	rec, ok := <-st.recs
+	if !ok {
+		if st.readErr != nil {
+			return trace.Record{}, st.readErr
+		}
+		return trace.Record{}, io.EOF
+	}
+	return rec, nil
+}
+
+// Close aborts the stream immediately, without the CloseSend handshake.
+// Safe after CloseSend; then it only releases the response.
+func (st *Stream) Close() error {
+	st.pw.CloseWithError(context.Canceled)
+	// Unblock decodeLoop if it is mid-send, then release the connection.
+	go func() {
+		for range st.recs {
+		}
+	}()
+	return st.resp.Body.Close()
+}
+
+// WaitHealthy polls /healthz until it answers ok or the context expires —
+// a convenience for tests and the load generator racing a freshly spawned
+// server.
+func (c *Client) WaitHealthy(ctx context.Context) error {
+	for {
+		if err := c.Health(ctx); err == nil {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+}

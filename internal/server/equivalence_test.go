@@ -1,0 +1,130 @@
+package server_test
+
+import (
+	"bytes"
+	"context"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/service"
+	"repro/internal/synth"
+	"repro/internal/trace"
+)
+
+// fleetRecords generates a synthetic fleet and returns its records merged
+// in global time order — the arrival order both paths ingest.
+func fleetRecords(t *testing.T, drivers int, duration time.Duration) []trace.Record {
+	t.Helper()
+	cfg := synth.DefaultConfig()
+	cfg.NumDrivers = drivers
+	cfg.Duration = duration
+	fleet, err := synth.Generate(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recs []trace.Record
+	for _, tr := range fleet.Dataset.Traces() {
+		recs = append(recs, tr.Records...)
+	}
+	sort.SliceStable(recs, func(i, j int) bool { return recs[i].Time.Before(recs[j].Time) })
+	return recs
+}
+
+// encodePerUser canonicalizes per-user output as the exact wire bytes.
+func encodePerUser(t *testing.T, recs []trace.Record) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	rw, err := trace.NewRecordWriter(&buf, trace.FormatJSONL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range recs {
+		if err := rw.Write(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := rw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestFileVsLoopbackEquivalence is the subsystem's acceptance bar: for a
+// fixed seed and trace, the protected output through POST /v1/stream must
+// be bit-identical to the existing file path (a gateway fed by
+// trace.ScanRecords, drained by Close). Determinism rests on three legs:
+// per-user randomness is derived by name from the root seed (arrival
+// interleaving and shard count are irrelevant), per-user windowing depends
+// only on that user's record sequence (both paths deliver the same
+// sequence), and the tail flush protects the same pending records whether
+// FlushUser (socket) or the drain (file) forces it. The comparison is on
+// encoded wire bytes per user — the same JSONL codec both boundaries use.
+func TestFileVsLoopbackEquivalence(t *testing.T) {
+	recs := fleetRecords(t, 6, 2*time.Hour)
+	if len(recs) < 300 {
+		t.Fatalf("fleet too small: %d records", len(recs))
+	}
+	mkCfg := func() service.Config {
+		cfg := baseGatewayConfig(42)
+		cfg.FlushEvery = 16 // tail windows stay partial for most users
+		return cfg
+	}
+
+	// File path: the gateway exactly as cmd/lppm-serve drives it — ingest
+	// in input order, drain on Close.
+	fileGW, err := service.New(context.Background(), mkCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fileDone := make(chan map[string][]trace.Record)
+	go func() {
+		got := make(map[string][]trace.Record)
+		for batch := range fileGW.Output() {
+			for _, rec := range batch {
+				got[rec.User] = append(got[rec.User], rec)
+			}
+		}
+		fileDone <- got
+	}()
+	if err := fileGW.IngestAll(recs); err != nil {
+		t.Fatal(err)
+	}
+	if err := fileGW.Close(); err != nil {
+		t.Fatal(err)
+	}
+	fileOut := <-fileDone
+
+	// Loopback path: same seed and serving configuration, records over a
+	// real HTTP connection.
+	env := newEnv(t, mkCfg(), nil)
+	loopOut := streamAll(t, env.cl, recs)
+
+	if len(fileOut) != len(loopOut) {
+		t.Fatalf("file path served %d users, loopback %d", len(fileOut), len(loopOut))
+	}
+	for u, want := range fileOut {
+		got, ok := loopOut[u]
+		if !ok {
+			t.Fatalf("user %s missing from loopback output", u)
+		}
+		wb := encodePerUser(t, want)
+		gb := encodePerUser(t, got)
+		if !bytes.Equal(wb, gb) {
+			i := 0
+			for i < len(want) && i < len(got) && want[i] == got[i] {
+				i++
+			}
+			t.Fatalf("user %s: protected output diverges between file and loopback at record %d (of %d vs %d)",
+				u, i, len(want), len(got))
+		}
+	}
+
+	st, err := env.cl.Stats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Gateway.Dropped != 0 || st.Gateway.Ingested != uint64(len(recs)) {
+		t.Errorf("loopback gateway stats %+v", st.Gateway)
+	}
+}

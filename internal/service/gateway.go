@@ -198,11 +198,26 @@ type userState struct {
 	tap    TapUser
 }
 
+// shardMsg is one element of a shard's input queue: a batch of staged
+// records, or a control command. Commands ride the same queue as records so
+// they observe every record staged before them — a FlushUser issued after
+// the last Ingest of a user is guaranteed to see that record in the user's
+// pending window.
+type shardMsg struct {
+	batch []trace.Record
+	// flushUser, when non-empty, asks the worker to flush that user's
+	// pending window immediately (an end-of-stream flush for a network
+	// connection that will send no more records). done, if non-nil, is
+	// closed once the command has been processed.
+	flushUser string
+	done      chan struct{}
+}
+
 // shard is one worker: an ingest stage, a bounded queue of record batches,
 // a per-user stream table and counters. Only the shard's goroutine touches
 // users; the stage is shared with producers under its own lock.
 type shard struct {
-	in    chan []trace.Record
+	in    chan shardMsg
 	users map[string]*userState
 
 	stageMu sync.Mutex
@@ -315,7 +330,7 @@ func New(ctx context.Context, cfg Config) (*Gateway, error) {
 	}
 	for i := range g.shards {
 		s := &shard{
-			in:    make(chan []trace.Record, batches),
+			in:    make(chan shardMsg, batches),
 			users: make(map[string]*userState),
 		}
 		g.shards[i] = s
@@ -346,11 +361,16 @@ func (g *Gateway) watch() {
 	drainQueue:
 		for {
 			select {
-			case batch, ok := <-s.in:
+			case msg, ok := <-s.in:
 				if !ok {
 					break drainQueue
 				}
-				s.dropped.Add(uint64(len(batch)))
+				s.dropped.Add(uint64(len(msg.batch)))
+				if msg.done != nil {
+					// Unblock a FlushUser waiter whose command the
+					// dead worker never reached.
+					close(msg.done)
+				}
 			default:
 				break drainQueue
 			}
@@ -382,7 +402,7 @@ func (g *Gateway) sweep() {
 				}
 				if !s.dead && len(s.stage) > 0 {
 					select {
-					case s.in <- s.stage:
+					case s.in <- shardMsg{batch: s.stage}:
 						s.stage = nil
 					default:
 						// Queue full: the worker is busy; the
@@ -437,12 +457,64 @@ func (g *Gateway) Ingest(rec trace.Record) error {
 	batch := s.stage
 	s.stage = nil
 	select {
-	case s.in <- batch:
+	case s.in <- shardMsg{batch: batch}:
 		return nil
 	case <-g.ctx.Done():
 		s.dropped.Add(uint64(len(batch)))
 		return g.ctx.Err()
 	}
+}
+
+// FlushUser forces the user's pending window through protection now rather
+// than at the next FlushEvery boundary or drain — the hook a network
+// front-end uses when a connection finishes sending so the client receives
+// its tail records before the gateway shuts down. The command travels the
+// user's shard queue behind every record already ingested, so it flushes
+// exactly the records the caller has pushed; it returns once the flush has
+// been processed and the window (if any) handed to Output. An empty pending
+// window is a no-op. Forcing a flush mid-stream changes the user's window
+// split, so callers relying on the stream ≡ batch bit-identity must flush
+// only at points the comparison run also flushes (end of stream).
+func (g *Gateway) FlushUser(user string) error {
+	if user == "" {
+		return fmt.Errorf("service: flush for empty user id")
+	}
+	s := g.shards[shardOf(user, len(g.shards))]
+	done := make(chan struct{})
+	s.stageMu.Lock()
+	if s.dead {
+		s.stageMu.Unlock()
+		return ErrClosed
+	}
+	if err := g.ctx.Err(); err != nil {
+		s.stageMu.Unlock()
+		return err
+	}
+	// Push the stage first so the command cannot overtake records still
+	// waiting there; both sends stay under stageMu to keep them ordered
+	// before any close(s.in).
+	if len(s.stage) > 0 {
+		batch := s.stage
+		s.stage = nil
+		select {
+		case s.in <- shardMsg{batch: batch}:
+		case <-g.ctx.Done():
+			s.dropped.Add(uint64(len(batch)))
+			s.stageMu.Unlock()
+			return g.ctx.Err()
+		}
+	}
+	select {
+	case s.in <- shardMsg{flushUser: user, done: done}:
+	case <-g.ctx.Done():
+		s.stageMu.Unlock()
+		return g.ctx.Err()
+	}
+	s.stageMu.Unlock()
+	// The worker closes done after flushing; on cancellation the
+	// queue-drain accounting in watch closes it instead.
+	<-done
+	return nil
 }
 
 // IngestAll feeds a slice of records in order, stopping at the first error.
@@ -511,6 +583,54 @@ func (g *Gateway) Swap(d *core.Deployment) error {
 // first Swap, then incremented by each successful one.
 func (g *Gateway) Generation() uint64 { return g.deploy.Load().gen }
 
+// DeploymentInfo is a wire-friendly snapshot of the serving deployment —
+// what GET /v1/deployment reports.
+type DeploymentInfo struct {
+	// Generation identifies the deployment (0 = the one New installed).
+	Generation uint64 `json:"generation"`
+	// Mechanism is the serving mechanism's registered name.
+	Mechanism string `json:"mechanism"`
+	// Params is the full base parameter assignment.
+	Params lppm.Params `json:"params"`
+	// Overrides is the per-user override table, complete assignments per
+	// user; omitted when empty.
+	Overrides map[string]lppm.Params `json:"overrides,omitempty"`
+}
+
+// Deployment snapshots the serving deployment's identity and assignment.
+// The returned maps are clones; mutating them does not affect serving.
+func (g *Gateway) Deployment() DeploymentInfo {
+	d := g.deploy.Load()
+	info := DeploymentInfo{
+		Generation: d.gen,
+		Mechanism:  d.mech.Name(),
+		Params:     d.params.Clone(),
+	}
+	if len(d.overrides) > 0 {
+		info.Overrides = make(map[string]lppm.Params, len(d.overrides))
+		for u, p := range d.overrides {
+			info.Overrides[u] = p.Clone()
+		}
+	}
+	return info
+}
+
+// ServingDeployment rebuilds the serving deployment as a core.Deployment —
+// the handle a unary batch endpoint protects with, and the base a manual
+// reconfiguration merges new values over. Params and overrides are cloned;
+// the mechanism is shared (mechanisms are stateless).
+func (g *Gateway) ServingDeployment() *core.Deployment {
+	d := g.deploy.Load()
+	dep := &core.Deployment{Mechanism: d.mech, Params: d.params.Clone()}
+	if len(d.overrides) > 0 {
+		dep.Overrides = make(map[string]lppm.Params, len(d.overrides))
+		for u, p := range d.overrides {
+			dep.Overrides[u] = p.Clone()
+		}
+	}
+	return dep
+}
+
 // SetTap installs (or, with nil, removes) the window-sampling tap. Safe to
 // call at any time; windows flushed after the call see the new tap.
 func (g *Gateway) SetTap(t Tap) {
@@ -533,7 +653,7 @@ func (g *Gateway) Close() error {
 			if !s.dead {
 				if len(s.stage) > 0 {
 					select {
-					case s.in <- s.stage:
+					case s.in <- shardMsg{batch: s.stage}:
 						s.stage = nil
 					case <-g.ctx.Done():
 						s.dropped.Add(uint64(len(s.stage)))
@@ -600,21 +720,21 @@ func (g *Gateway) run(s *shard) {
 	defer g.wg.Done()
 	for {
 		select {
-		case batch, ok := <-s.in:
+		case msg, ok := <-s.in:
 			if !ok {
 				g.drain(s)
 				return
 			}
-			g.handleBatch(s, batch)
+			g.handleMsg(s, msg)
 		case <-g.ctx.Done():
 			for {
 				select {
-				case batch, ok := <-s.in:
+				case msg, ok := <-s.in:
 					if !ok {
 						g.drain(s)
 						return
 					}
-					g.handleBatch(s, batch)
+					g.handleMsg(s, msg)
 				default:
 					g.drain(s)
 					return
@@ -624,10 +744,19 @@ func (g *Gateway) run(s *shard) {
 	}
 }
 
-// handleBatch windows each record of a queued batch.
-func (g *Gateway) handleBatch(s *shard, batch []trace.Record) {
-	for _, rec := range batch {
+// handleMsg windows each record of a queued batch and executes any control
+// command, acknowledging it.
+func (g *Gateway) handleMsg(s *shard, msg shardMsg) {
+	for _, rec := range msg.batch {
 		g.handle(s, rec)
+	}
+	if msg.flushUser != "" {
+		if u := s.users[msg.flushUser]; u != nil {
+			g.flush(s, u)
+		}
+	}
+	if msg.done != nil {
+		close(msg.done)
 	}
 }
 

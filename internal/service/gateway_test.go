@@ -541,3 +541,169 @@ func TestGatewayConfigValidation(t *testing.T) {
 		t.Error("Close must be idempotent:", err)
 	}
 }
+
+// TestGatewayFlushUserEmitsStagedTail is the network front-end's contract:
+// a FlushUser issued after the last Ingest of a user must flush exactly the
+// records pushed so far — including ones still sitting in the shard's stage
+// buffer — and return only once the window has been handed to Output.
+func TestGatewayFlushUserEmitsStagedTail(t *testing.T) {
+	g, err := New(context.Background(), Config{
+		Mechanism:  lppm.NewGeoIndistinguishability(),
+		Shards:     2,
+		FlushEvery: 64, // never reached: only FlushUser emits
+		// Default StageSize (32) > the record count, so everything is
+		// still staged when the flush command is issued.
+		Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	windows := make(chan []trace.Record, 8)
+	go func() {
+		for w := range g.Output() {
+			windows <- w
+		}
+		close(windows)
+	}()
+	recs := makeRecords(2, 3) // u00, u01 × 3 records
+	if err := g.IngestAll(recs); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.FlushUser("u00"); err != nil {
+		t.Fatal(err)
+	}
+	// FlushUser returns only after the emit, so the window is already
+	// buffered (or consumed) on Output.
+	w := <-windows
+	if len(w) != 3 || w[0].User != "u00" {
+		t.Fatalf("flushed window = %d records of %q, want 3 of u00", len(w), w[0].User)
+	}
+	// Flushing a user with nothing pending — or one never seen — is a
+	// no-op that still acknowledges.
+	if err := g.FlushUser("u00"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.FlushUser("never-seen"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.FlushUser(""); err == nil {
+		t.Error("FlushUser with empty user id must fail")
+	}
+	if err := g.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var rest int
+	for w := range windows {
+		if w[0].User != "u01" {
+			t.Errorf("post-flush window for %q, want only u01's drain", w[0].User)
+		}
+		rest += len(w)
+	}
+	if rest != 3 {
+		t.Errorf("drain emitted %d records, want u01's 3", rest)
+	}
+	if err := g.FlushUser("u00"); err != ErrClosed {
+		t.Errorf("FlushUser after Close = %v, want ErrClosed", err)
+	}
+	if st := g.Stats(); st.Emitted != 6 || st.Dropped != 0 {
+		t.Errorf("emitted %d dropped %d, want 6 and 0", st.Emitted, st.Dropped)
+	}
+}
+
+// TestGatewayFlushUserKeepsPerUserOutput: per-user protected output with an
+// end-of-stream FlushUser is bit-identical to letting Close drain the tail,
+// for a per-record-randomness mechanism — the file-vs-socket determinism
+// argument reduced to the service layer.
+func TestGatewayFlushUserKeepsPerUserOutput(t *testing.T) {
+	recs := makeRecords(6, 21) // partial final window at FlushEvery=8
+	mkCfg := func() Config {
+		return Config{
+			Mechanism:  lppm.NewGeoIndistinguishability(),
+			Shards:     3,
+			FlushEvery: 8,
+			StageSize:  1,
+			Seed:       1234,
+		}
+	}
+	baseline, _ := runGateway(t, mkCfg(), recs)
+
+	g, err := New(context.Background(), mkCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan map[string][]trace.Record)
+	go func() {
+		got := make(map[string][]trace.Record)
+		for batch := range g.Output() {
+			for _, r := range batch {
+				got[r.User] = append(got[r.User], r)
+			}
+		}
+		done <- got
+	}()
+	if err := g.IngestAll(recs); err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < 6; u++ {
+		if err := g.FlushUser(fmt.Sprintf("u%02d", u)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := g.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got := <-done
+	for u, want := range baseline {
+		if len(got[u]) != len(want) {
+			t.Fatalf("user %s: %d records, want %d", u, len(got[u]), len(want))
+		}
+		for i := range want {
+			if got[u][i] != want[i] {
+				t.Fatalf("user %s record %d diverged between FlushUser and drain tails", u, i)
+			}
+		}
+	}
+}
+
+// TestGatewayDeploymentSnapshot checks the wire-facing deployment
+// accessors: generation, assignment and override cloning.
+func TestGatewayDeploymentSnapshot(t *testing.T) {
+	mech := lppm.NewGeoIndistinguishability()
+	g, err := New(context.Background(), Config{
+		Mechanism: mech,
+		Params:    lppm.Params{"epsilon": 0.02},
+		Seed:      5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	info := g.Deployment()
+	if info.Generation != 0 || info.Mechanism != mech.Name() || info.Params["epsilon"] != 0.02 {
+		t.Errorf("deployment snapshot %+v", info)
+	}
+	// Mutating the snapshot must not leak into serving state.
+	info.Params["epsilon"] = 99
+	if g.Deployment().Params["epsilon"] != 0.02 {
+		t.Error("Deployment() handed out the serving params map")
+	}
+	dep := &core.Deployment{Mechanism: mech, Params: lppm.Params{"epsilon": 0.5}}
+	if err := dep.Override("vip", lppm.Params{"epsilon": 0.9}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Swap(dep); err != nil {
+		t.Fatal(err)
+	}
+	info = g.Deployment()
+	if info.Generation != 1 || info.Params["epsilon"] != 0.5 || info.Overrides["vip"]["epsilon"] != 0.9 {
+		t.Errorf("post-swap snapshot %+v", info)
+	}
+	sd := g.ServingDeployment()
+	if sd.Mechanism != mech || sd.Params["epsilon"] != 0.5 || sd.ParamsFor("vip")["epsilon"] != 0.9 {
+		t.Errorf("serving deployment %+v", sd)
+	}
+	sd.Params["epsilon"] = 77
+	if g.ServingDeployment().Params["epsilon"] != 0.5 {
+		t.Error("ServingDeployment() handed out the serving params map")
+	}
+}

@@ -1,0 +1,68 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// The streaming scanner is the trust boundary once records arrive over
+// sockets (internal/server feeds request bodies straight into it):
+// malformed input must return an error, never panic, and every record it
+// does deliver must satisfy the package invariants (non-empty user, valid
+// coordinates). The committed corpus under testdata/fuzz seeds both
+// targets with well-formed records and the malformed shapes that have
+// tripped codecs elsewhere: truncated lines, wrong field counts, non-UTF8,
+// huge numbers, NaN/Inf spellings, and nested/concatenated JSON.
+
+// checkRecord asserts the scanner's per-record invariants.
+func checkRecord(t *testing.T, rec Record) {
+	t.Helper()
+	if rec.User == "" {
+		t.Fatal("scanner delivered a record with an empty user id")
+	}
+	if !rec.Point.Valid() {
+		t.Fatalf("scanner delivered an invalid point: %v", rec.Point)
+	}
+}
+
+func FuzzScanRecordsJSONL(f *testing.F) {
+	f.Add([]byte("{\"user\":\"u1\",\"ts\":1211025600,\"lat\":37.7749,\"lng\":-122.4194}\n"))
+	f.Add([]byte("{\"user\":\"u1\",\"ts\":1,\"lat\":1,\"lng\":2}\n{\"user\":\"u2\",\"ts\":2,\"lat\":3,\"lng\":4}\n"))
+	f.Add([]byte("{\"user\":\"\",\"ts\":1,\"lat\":1,\"lng\":2}\n"))
+	f.Add([]byte("{\"user\":\"u\",\"ts\":1,\"lat\":91,\"lng\":2}\n"))
+	f.Add([]byte("{\"user\":\"u\",\"ts\":1,\"lat\":1e309,\"lng\":2}\n"))
+	f.Add([]byte("not json at all\n"))
+	f.Add([]byte("{\"user\":\"u\",\"ts\":1,\"lat\":1,\"lng\":2"))
+	f.Add([]byte("{}{}{}"))
+	f.Add([]byte("[1,2,3]\n"))
+	f.Add([]byte("{\"user\":\"\xff\xfe\",\"ts\":1,\"lat\":1,\"lng\":2}\n"))
+	f.Add([]byte(""))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_ = ScanRecords(bytes.NewReader(data), FormatJSONL, func(rec Record) error {
+			checkRecord(t, rec)
+			return nil
+		})
+	})
+}
+
+func FuzzScanRecordsCSV(f *testing.F) {
+	f.Add([]byte("user,timestamp,lat,lng\nu1,1211025600,37.774900,-122.419400\n"))
+	f.Add([]byte("user,timestamp,lat,lng\n"))
+	f.Add([]byte("user,timestamp,lat,lng\nu1,notatime,1,2\n"))
+	f.Add([]byte("user,timestamp,lat,lng\nu1,1,91,2\n"))
+	f.Add([]byte("user,timestamp,lat,lng\nu1,1,NaN,2\n"))
+	f.Add([]byte("user,timestamp,lat,lng\n,1,1,2\n"))
+	f.Add([]byte("user,timestamp,lat,lng\nu1,1,1\n"))
+	f.Add([]byte("user,timestamp,lat,lng\nu1,1,1,2,3\n"))
+	f.Add([]byte("wrong,header,entirely,here\nu1,1,1,2\n"))
+	f.Add([]byte("user,timestamp\n"))
+	f.Add([]byte("\"unclosed,quote\nu1,1,1,2\n"))
+	f.Add([]byte("user,timestamp,lat,lng\nu1,9223372036854775808,1,2\n"))
+	f.Add([]byte(""))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_ = ScanRecords(bytes.NewReader(data), FormatCSV, func(rec Record) error {
+			checkRecord(t, rec)
+			return nil
+		})
+	})
+}
