@@ -1,13 +1,20 @@
 GO ?= go
 
-.PHONY: all check vet build test bench-smoke bench bench-serve clean
+.PHONY: all check vet lint build test bench-smoke bench bench-serve clean
 
 all: check
 
-check: vet build test
+check: vet lint build test
 
 vet:
 	$(GO) vet ./...
+
+# The project-invariant analyzer suite (internal/analysis): determinism,
+# error, lock, and float-comparison discipline. -list additionally fails
+# if any analyzer lacks a golden test.
+lint:
+	$(GO) run ./cmd/lppm-lint -list
+	$(GO) run ./cmd/lppm-lint
 
 build:
 	$(GO) build ./...

@@ -50,7 +50,9 @@ func run() error {
 		return err
 	}
 	actual, err := trace.ReadCSV(f)
-	f.Close()
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
 	if err != nil {
 		return err
 	}

@@ -22,6 +22,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -419,14 +420,14 @@ func driveConn(cl *client.Client, recs []trace.Record, rate float64) (out struct
 		mu.Unlock()
 		if err := st.Send(rec); err != nil {
 			out.err = err
-			st.Close()
+			st.Close() //lppm:allow droppederr -- best-effort abort: the send failure already carries the stream's error
 			<-recvDone
 			return
 		}
 	}
 	if err := st.CloseSend(); err != nil {
 		out.err = err
-		st.Close()
+		st.Close() //lppm:allow droppederr -- best-effort abort: the close-send failure already carries the stream's error
 		<-recvDone // the receiver owns out's slices until it signals
 		return
 	}
@@ -455,13 +456,11 @@ func startSelfServe(o loadOpts, shards int) (string, func() error, error) {
 	}
 	srv, err := server.New(server.Config{Gateway: gw, Seed: o.seed})
 	if err != nil {
-		gw.Close()
-		return "", nil, err
+		return "", nil, errors.Join(err, gw.Close())
 	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
-		gw.Close()
-		return "", nil, err
+		return "", nil, errors.Join(err, gw.Close())
 	}
 	hs := &http.Server{Handler: srv}
 	go hs.Serve(ln)

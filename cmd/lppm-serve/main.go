@@ -239,8 +239,7 @@ func buildServing(ctx context.Context, reg *lppm.Registry, o serveOpts) (*servic
 			Seed:       o.seed,
 		})
 		if err != nil {
-			g.Close()
-			return nil, nil, err
+			return nil, nil, errors.Join(err, g.Close())
 		}
 		go ctrl.Run(ctx, o.reconfEvery)
 	}
@@ -268,8 +267,7 @@ func serveListener(ctx context.Context, reg *lppm.Registry, o serveOpts, ln net.
 	defer cancel()
 	g, ctrl, err := buildServing(gctx, reg, o)
 	if err != nil {
-		ln.Close()
-		return err
+		return errors.Join(err, ln.Close())
 	}
 	srv, err := server.New(server.Config{
 		Gateway:    g,
@@ -280,9 +278,7 @@ func serveListener(ctx context.Context, reg *lppm.Registry, o serveOpts, ln net.
 		Seed:       o.seed,
 	})
 	if err != nil {
-		ln.Close()
-		g.Close()
-		return err
+		return errors.Join(err, ln.Close(), g.Close())
 	}
 	hs := &http.Server{Handler: srv}
 	serveErr := make(chan error, 1)

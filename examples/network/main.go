@@ -14,6 +14,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"os"
 	"sort"
 	"time"
 
@@ -75,7 +76,10 @@ func run() error {
 	defer func() {
 		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
-		_ = hs.Shutdown(sctx) // waits for in-flight responses, unlike Close
+		// Shutdown waits for in-flight responses, unlike Close.
+		if err := hs.Shutdown(sctx); err != nil {
+			fmt.Fprintf(os.Stderr, "example: shutdown: %v\n", err)
+		}
 	}()
 	base := "http://" + ln.Addr().String()
 	fmt.Printf("serving on %s\n", base)

@@ -185,7 +185,7 @@ func Run(ctx context.Context, cfg *Config, actual *trace.Dataset) (*Result, erro
 
 		improved := false
 		for _, cand := range []float64{down, up} {
-			if cand == value || res.Evaluations >= cfg.MaxEvaluations {
+			if cand == value || res.Evaluations >= cfg.MaxEvaluations { //lppm:allow floatcmp -- Clamp returns the current value bit-exactly when the step hits a bound; only that exact fixed point should skip re-evaluation
 				continue
 			}
 			p, err := evaluate(cand)
@@ -202,7 +202,7 @@ func Run(ctx context.Context, cfg *Config, actual *trace.Dataset) (*Result, erro
 		switch {
 		case improved:
 			stepFactor = cfg.InitialStepFactor
-		case up == spec.Max && down == spec.Min:
+		case up == spec.Max && down == spec.Min: //lppm:allow floatcmp -- Clamp returns the bound itself bit-exactly; this detects full-range bracketing, not approximate closeness
 			// The whole range has been bracketed without progress.
 			res.Satisfied = res.Best.Score == 0
 			return res, nil

@@ -1,0 +1,100 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// DeterministicPackages lists the layers whose output must be a pure
+// function of the master seed: the mechanisms, metrics, evaluation
+// engine, and everything below them. The serving layers (service,
+// server, cmd) legitimately read the wall clock, and internal/rng is
+// the one sanctioned math/rand wrapper.
+var DeterministicPackages = []string{
+	"repro/internal/alp",
+	"repro/internal/attack",
+	"repro/internal/core",
+	"repro/internal/eval",
+	"repro/internal/geo",
+	"repro/internal/linalg",
+	"repro/internal/lppm",
+	"repro/internal/metrics",
+	"repro/internal/poi",
+	"repro/internal/stat",
+	"repro/internal/synth",
+	"repro/internal/trace",
+}
+
+// wallClockFuncs are the time package entry points that read the wall
+// clock. Durations, formatting, and arithmetic on timestamps already in
+// the data are fine; fresh readings are not reproducible from a seed.
+var wallClockFuncs = map[string]bool{
+	"Now":   true,
+	"Since": true,
+	"Until": true,
+}
+
+// DetRand enforces the repository's first invariant: in deterministic
+// packages all randomness routes through internal/rng and nothing reads
+// the wall clock. Both bug classes shipped once — results that change
+// across runs are unfalsifiable, and the bit-identical-replay contract
+// (rng.Source Pos/SeekTo, stream ≡ batch) silently breaks the moment a
+// mechanism draws from a global generator.
+var DetRand = &Analyzer{
+	Name: "detrand",
+	Doc: "forbid math/rand and wall-clock reads in deterministic packages; " +
+		"all randomness must route through repro/internal/rng",
+	Run: runDetRand,
+}
+
+// isDeterministicPackage reports whether path falls under the
+// deterministic layer list (a listed package or any subpackage of one).
+func isDeterministicPackage(path string) bool {
+	for _, p := range DeterministicPackages {
+		if path == p || strings.HasPrefix(path, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+func runDetRand(pass *Pass) {
+	if !isDeterministicPackage(pass.Path) {
+		return
+	}
+	for _, f := range pass.Files {
+		for _, spec := range f.Imports {
+			ip, err := strconv.Unquote(spec.Path.Value)
+			if err != nil {
+				continue
+			}
+			if ip == "math/rand" || ip == "math/rand/v2" {
+				pass.Reportf(spec.Pos(),
+					"deterministic package %s imports %s; draw from repro/internal/rng instead",
+					pass.Path, ip)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := pass.Info.Uses[id].(*types.PkgName)
+			if !ok || pn.Imported().Path() != "time" {
+				return true
+			}
+			if wallClockFuncs[sel.Sel.Name] {
+				pass.Reportf(sel.Pos(),
+					"deterministic package %s reads the wall clock via time.%s; results must be a pure function of the seed",
+					pass.Path, sel.Sel.Name)
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,244 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DroppedErr is the errcheck-style analyzer: an error (or a comma-ok
+// bool) produced by a call must not be discarded with `_` and a call
+// returning an error must not stand as a bare statement. The repository
+// joins errors on every exit path by convention — this check makes the
+// convention load-bearing (the seed shipped a silently ignored
+// Evaluate result and unchecked Override/NewBBox returns).
+//
+// Scope decisions, pinned by the golden tests:
+//   - defer/go statements are exempt: deferred cleanup runs after the
+//     function's outcome is decided, and the exit-path discipline
+//     joins the Close errors that matter explicitly.
+//   - fmt.Print/Printf/Println, and fmt.Fprint* writing to os.Stdout,
+//     os.Stderr, a *strings.Builder, a *bytes.Buffer, or a
+//     *tabwriter.Writer, are exempt: terminal diagnostics are
+//     best-effort, in-memory writers are documented never to fail, and
+//     a tabwriter only performs IO at Flush — whose error this
+//     analyzer still demands be checked.
+//   - write methods called directly on strings.Builder and
+//     bytes.Buffer are exempt for the same reason; so are
+//     io.PipeWriter/io.PipeReader Close and CloseWithError, which are
+//     documented to always return nil.
+var DroppedErr = &Analyzer{
+	Name: "droppederr",
+	Doc: "forbid _-discarded or wholly ignored error (and comma-ok bool) " +
+		"returns from calls outside tests",
+	Run: runDroppedErr,
+}
+
+func runDroppedErr(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.DeferStmt, *ast.GoStmt:
+				// Exempt the call itself, but keep inspecting its
+				// arguments and any function-literal body.
+				var call *ast.CallExpr
+				if d, ok := st.(*ast.DeferStmt); ok {
+					call = d.Call
+				} else {
+					call = st.(*ast.GoStmt).Call
+				}
+				for _, arg := range call.Args {
+					ast.Inspect(arg, func(m ast.Node) bool { return inspectDropped(pass, m) })
+				}
+				ast.Inspect(call.Fun, func(m ast.Node) bool { return inspectDropped(pass, m) })
+				return false
+			}
+			return inspectDropped(pass, n)
+		})
+	}
+}
+
+// inspectDropped handles one node of the walk; split out so the
+// defer/go exemption can re-enter the walk below the exempted call.
+func inspectDropped(pass *Pass, n ast.Node) bool {
+	switch st := n.(type) {
+	case *ast.ExprStmt:
+		call, ok := st.X.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if exemptCall(pass, call) {
+			return true
+		}
+		if idx := errorResultIndex(pass, call); idx >= 0 {
+			pass.Reportf(st.Pos(), "result of %s returns an error that is ignored", calleeName(pass, call))
+		}
+	case *ast.AssignStmt:
+		checkAssignDiscards(pass, st)
+	}
+	return true
+}
+
+// checkAssignDiscards flags `_`-bound error or comma-ok bool results on
+// the statement's blank identifiers.
+func checkAssignDiscards(pass *Pass, st *ast.AssignStmt) {
+	// Tuple form: x, _ := f().
+	if len(st.Rhs) == 1 && len(st.Lhs) > 1 {
+		call, ok := st.Rhs[0].(*ast.CallExpr)
+		if !ok || exemptCall(pass, call) {
+			return
+		}
+		tup, ok := pass.Info.TypeOf(call).(*types.Tuple)
+		if !ok || tup.Len() != len(st.Lhs) {
+			return
+		}
+		for i, lhs := range st.Lhs {
+			if !isBlank(lhs) {
+				continue
+			}
+			rt := tup.At(i).Type()
+			switch {
+			case isErrorType(rt):
+				pass.Reportf(lhs.Pos(), "error result of %s discarded with _", calleeName(pass, call))
+			case i == tup.Len()-1 && isBoolType(rt):
+				pass.Reportf(lhs.Pos(), "comma-ok result of %s discarded with _; handle the failure case", calleeName(pass, call))
+			}
+		}
+		return
+	}
+	// Parallel form: _, _ = f(), g().
+	if len(st.Rhs) != len(st.Lhs) {
+		return
+	}
+	for i, lhs := range st.Lhs {
+		if !isBlank(lhs) {
+			continue
+		}
+		call, ok := st.Rhs[i].(*ast.CallExpr)
+		if !ok || exemptCall(pass, call) {
+			continue
+		}
+		if isErrorType(pass.Info.TypeOf(call)) {
+			pass.Reportf(lhs.Pos(), "error result of %s discarded with _", calleeName(pass, call))
+		}
+	}
+}
+
+// errorResultIndex returns the index of the first error in the call's
+// result tuple, or -1.
+func errorResultIndex(pass *Pass, call *ast.CallExpr) int {
+	switch t := pass.Info.TypeOf(call).(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isErrorType(t.At(i).Type()) {
+				return i
+			}
+		}
+	default:
+		if t != nil && isErrorType(t) {
+			return 0
+		}
+	}
+	return -1
+}
+
+// infallibleMethods maps a named type to the methods whose error (or
+// nil) result carries no failure signal: in-memory writers documented
+// never to fail, and pipe closes documented to always return nil.
+var infallibleMethods = map[string]map[string]bool{
+	"strings.Builder":       {"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true},
+	"bytes.Buffer":          {"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true},
+	"io.PipeWriter":         {"Close": true, "CloseWithError": true},
+	"io.PipeReader":         {"Close": true},
+	"text/tabwriter.Writer": {"Write": true},
+}
+
+// exemptCall applies the documented allowances: best-effort terminal
+// printing, infallible in-memory writers, and always-nil pipe closes.
+func exemptCall(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	// Package-level fmt printers.
+	if id, ok := sel.X.(*ast.Ident); ok {
+		if pn, ok := pass.Info.Uses[id].(*types.PkgName); ok && pn.Imported().Path() == "fmt" {
+			switch sel.Sel.Name {
+			case "Print", "Printf", "Println":
+				return true
+			case "Fprint", "Fprintf", "Fprintln":
+				return len(call.Args) > 0 && exemptWriter(pass, call.Args[0])
+			}
+			return false
+		}
+	}
+	// Infallible methods, looked up by receiver type.
+	if selInfo, ok := pass.Info.Selections[sel]; ok {
+		if methods := infallibleMethods[namedTypeKey(selInfo.Recv())]; methods != nil {
+			return methods[sel.Sel.Name]
+		}
+	}
+	return false
+}
+
+// exemptWriter reports whether the fmt.Fprint* destination is exempt:
+// os.Stdout/os.Stderr (best-effort terminal), or a writer that cannot
+// fail on Write (strings.Builder, bytes.Buffer, tabwriter.Writer —
+// whose IO errors surface at the Flush this analyzer checks).
+func exemptWriter(pass *Pass, e ast.Expr) bool {
+	if sel, ok := e.(*ast.SelectorExpr); ok {
+		if id, ok := sel.X.(*ast.Ident); ok {
+			if pn, ok := pass.Info.Uses[id].(*types.PkgName); ok && pn.Imported().Path() == "os" {
+				if sel.Sel.Name == "Stdout" || sel.Sel.Name == "Stderr" {
+					return true
+				}
+			}
+		}
+	}
+	switch namedTypeKey(pass.Info.TypeOf(e)) {
+	case "strings.Builder", "bytes.Buffer", "text/tabwriter.Writer":
+		return true
+	}
+	return false
+}
+
+// namedTypeKey renders a (possibly pointer-wrapped) named type as
+// "pkgpath.Name", or "" when the type is not named.
+func namedTypeKey(t types.Type) string {
+	if t == nil {
+		return ""
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return ""
+	}
+	return obj.Pkg().Path() + "." + obj.Name()
+}
+
+// calleeName renders the called function for the message.
+func calleeName(pass *Pass, call *ast.CallExpr) string {
+	return types.ExprString(call.Fun)
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+func isErrorType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+func isBoolType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Bool
+}

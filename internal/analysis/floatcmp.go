@@ -1,0 +1,68 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatCmp forbids `==` and `!=` between two computed floating-point
+// expressions in shipped code. After rounding, two mathematically equal
+// float expressions rarely compare equal — equality tests belong in
+// _test.go files, where bit-identity is exactly the property the
+// equivalence suites assert (stream ≡ batch, prepared ≡ legacy, file ≡
+// socket). Comparison against a compile-time constant is exempt: a
+// sentinel or guard check (`if frac == 0`, `cfg.Tolerance == 0`) tests
+// whether the variable still holds an exactly-representable value it
+// was assigned, not whether two rounded computations coincide. Where
+// shipped code genuinely needs bit-equality between computed values
+// (deterministic tie-breaks, convergence fixed points, cache keys), the
+// site carries a pragma explaining why exactness is intended.
+var FloatCmp = &Analyzer{
+	Name: "floatcmp",
+	Doc: "forbid ==/!= between computed floating-point expressions " +
+		"outside tests (constant sentinel checks are exempt)",
+	Run: runFloatCmp,
+}
+
+func runFloatCmp(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if !isFloatType(pass.Info.TypeOf(be.X)) && !isFloatType(pass.Info.TypeOf(be.Y)) {
+				return true
+			}
+			if isConstExpr(pass, be.X) || isConstExpr(pass, be.Y) {
+				return true
+			}
+			pass.Reportf(be.OpPos,
+				"floating-point %s comparison between computed values; use a tolerance, or pragma the site if bit-equality is intended",
+				be.Op)
+			return true
+		})
+	}
+}
+
+// isConstExpr reports whether the expression has a compile-time value.
+func isConstExpr(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	return ok && tv.Value != nil
+}
+
+func isFloatType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	switch b.Kind() {
+	case types.Float32, types.Float64, types.UntypedFloat:
+		return true
+	}
+	return false
+}

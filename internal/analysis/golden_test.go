@@ -1,0 +1,192 @@
+package analysis
+
+// The golden harness: each analyzer's behavior — findings, exemptions,
+// and pragma interaction — is pinned by files under testdata/<name>/.
+// Expectations are `want "regex"` comments: every diagnostic must land
+// on a line holding a matching expectation, and every expectation must
+// be consumed by a diagnostic. Patterns match against
+// "<analyzer>: <message>", so a single line can distinguish an analyzer
+// finding from a pragma-grammar finding. `lppm-lint -list` separately
+// enforces that every analyzer in All() has such a directory.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// runGolden type-checks the files under dir as one package with import
+// path asPath (so path-scoped analyzers like detrand can be pointed at a
+// deterministic package), runs the analyzer through the same
+// runPackage/pragma pipeline lppm-lint uses, and diffs the surviving
+// diagnostics against the want expectations.
+func runGolden(t *testing.T, a *Analyzer, dir, asPath string) {
+	t.Helper()
+	pkg, err := loadGolden(dir, asPath)
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	diags := runPackage(pkg, []*Analyzer{a})
+	sortDiagnostics(diags)
+	wants := collectWants(t, pkg)
+	for _, d := range diags {
+		if !claimWant(wants, d) {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	reportUnmatched(t, wants)
+}
+
+// runGoldenExpectNone asserts the analyzer stays silent over the
+// directory when loaded under asPath, ignoring want comments — the
+// negative half of path-scoped analyzers.
+func runGoldenExpectNone(t *testing.T, a *Analyzer, dir, asPath string) {
+	t.Helper()
+	pkg, err := loadGolden(dir, asPath)
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	var diags []Diagnostic
+	pass := &Pass{
+		Analyzer: a,
+		Fset:     pkg.Fset,
+		Path:     pkg.Path,
+		Files:    pkg.Files,
+		Pkg:      pkg.Pkg,
+		Info:     pkg.Info,
+		report:   func(d Diagnostic) { diags = append(diags, d) },
+	}
+	a.Run(pass)
+	for _, d := range diags {
+		t.Errorf("unexpected diagnostic under %s: %s", asPath, d)
+	}
+}
+
+// loadGolden parses and type-checks one testdata directory. Golden files
+// import only the standard library, so the shared source importer
+// resolves everything.
+func loadGolden(dir, asPath string) (*Package, error) {
+	fset := token.NewFileSet()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no .go files in %s", dir)
+	}
+	info := newInfo()
+	conf := types.Config{Importer: stdImporter()}
+	tpkg, err := conf.Check(asPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", dir, err)
+	}
+	return &Package{Path: asPath, Dir: dir, Fset: fset, Files: files, Pkg: tpkg, Info: info}, nil
+}
+
+// wantExp is one expectation: a pattern anchored to a file line.
+type wantExp struct {
+	pos     token.Position
+	re      *regexp.Regexp
+	pattern string
+	matched bool
+}
+
+type lineKey struct {
+	file string
+	line int
+}
+
+// collectWants parses `want "p1" "p2" ...` directives out of every
+// comment. Patterns may not contain a double quote; they match against
+// "<analyzer>: <message>", and a pragma comment may itself carry a want
+// (the directive is scanned from the raw comment text).
+func collectWants(t *testing.T, pkg *Package) map[lineKey][]*wantExp {
+	t.Helper()
+	wants := make(map[lineKey][]*wantExp)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				idx := strings.Index(c.Text, `want "`)
+				if idx < 0 {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				rest := c.Text[idx+len("want "):]
+				for {
+					rest = strings.TrimLeft(rest, " \t")
+					if !strings.HasPrefix(rest, `"`) {
+						break
+					}
+					end := strings.Index(rest[1:], `"`)
+					if end < 0 {
+						t.Fatalf("%s: unterminated want pattern in %q", pos, c.Text)
+					}
+					pat := rest[1 : 1+end]
+					rest = rest[end+2:]
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", pos, pat, err)
+					}
+					key := lineKey{pos.Filename, pos.Line}
+					wants[key] = append(wants[key], &wantExp{pos: pos, re: re, pattern: pat})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// claimWant consumes the first unmatched expectation on the diagnostic's
+// line whose pattern matches it.
+func claimWant(wants map[lineKey][]*wantExp, d Diagnostic) bool {
+	for _, w := range wants[lineKey{d.Pos.Filename, d.Pos.Line}] {
+		if !w.matched && w.re.MatchString(d.Analyzer+": "+d.Message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// reportUnmatched fails the test for every expectation no diagnostic
+// consumed, in deterministic position order.
+func reportUnmatched(t *testing.T, wants map[lineKey][]*wantExp) {
+	t.Helper()
+	var missed []*wantExp
+	for _, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				missed = append(missed, w)
+			}
+		}
+	}
+	sort.Slice(missed, func(i, j int) bool {
+		a, b := missed[i].pos, missed[j].pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		return a.Line < b.Line
+	})
+	for _, w := range missed {
+		t.Errorf("%s: expected diagnostic matching %q, got none", w.pos, w.pattern)
+	}
+}

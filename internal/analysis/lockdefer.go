@@ -1,0 +1,232 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LockDefer guards the lock discipline on multi-exit functions: a
+// mutex Lock must be released by an immediate defer, or by a matching
+// Unlock reachable on a straight line — no return, branch, or
+// conditional between acquisition and release. Anything else (an early
+// return added later between Lock and Unlock) leaks the lock on one
+// path and deadlocks the next caller; the repository has 50+ mutex
+// sites across the gateway, controller, and server and had zero checks
+// on any of them. Deliberate cross-block locking carries a pragma with
+// its justification.
+var LockDefer = &Analyzer{
+	Name: "lockdefer",
+	Doc: "a Lock in a multi-exit function must pair with an immediate " +
+		"defer Unlock or a straight-line Unlock in the same block",
+	Run: runLockDefer,
+}
+
+func runLockDefer(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					checkFuncLocks(pass, fn.Body)
+				}
+			case *ast.FuncLit:
+				checkFuncLocks(pass, fn.Body)
+			}
+			return true
+		})
+	}
+}
+
+// checkFuncLocks analyzes one function body (excluding nested function
+// literals, which are their own scopes with their own return paths).
+func checkFuncLocks(pass *Pass, body *ast.BlockStmt) {
+	if !isMultiExit(body) {
+		return
+	}
+	forEachStmtList(body, func(list []ast.Stmt) {
+		for i, st := range list {
+			recv, kind, ok := lockStmt(pass, st)
+			if !ok {
+				continue
+			}
+			if !straightLineRelease(pass, list[i+1:], recv, kind) {
+				pass.Reportf(st.Pos(),
+					"%s.%s() in a function with multiple return paths has no immediate defer %s.%s() and no straight-line release; "+
+						"defer the unlock or pragma the site with a justification",
+					recv, kind, recv, unlockName(kind))
+			}
+		}
+	})
+}
+
+// isMultiExit reports whether the function body has more than one exit
+// path: two or more explicit returns, or an explicit return plus
+// falling off the end.
+func isMultiExit(body *ast.BlockStmt) bool {
+	returns := 0
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if _, ok := n.(*ast.ReturnStmt); ok {
+			returns++
+		}
+		return true
+	})
+	if returns >= 2 {
+		return true
+	}
+	if returns == 1 {
+		if len(body.List) == 0 {
+			return true
+		}
+		_, endsInReturn := body.List[len(body.List)-1].(*ast.ReturnStmt)
+		return !endsInReturn
+	}
+	return false
+}
+
+// forEachStmtList visits every statement list in the body — block
+// bodies, case clauses, comm clauses — skipping nested function
+// literals.
+func forEachStmtList(body *ast.BlockStmt, visit func([]ast.Stmt)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch b := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.BlockStmt:
+			visit(b.List)
+		case *ast.CaseClause:
+			visit(b.Body)
+		case *ast.CommClause:
+			visit(b.Body)
+		}
+		return true
+	})
+}
+
+// lockStmt matches an ExprStmt of the form recv.Lock() or recv.RLock()
+// on a sync mutex (including one reached through an embedded field or a
+// sync.Locker), returning the receiver's printed form and the method
+// name.
+func lockStmt(pass *Pass, st ast.Stmt) (recv, kind string, ok bool) {
+	es, isExpr := st.(*ast.ExprStmt)
+	if !isExpr {
+		return "", "", false
+	}
+	call, isCall := es.X.(*ast.CallExpr)
+	if !isCall {
+		return "", "", false
+	}
+	sel, name, isSync := syncMethod(pass, call)
+	if !isSync || (name != "Lock" && name != "RLock") {
+		return "", "", false
+	}
+	return types.ExprString(sel.X), name, true
+}
+
+// syncMethod reports whether the call is a method of package sync,
+// returning the selector and method name.
+func syncMethod(pass *Pass, call *ast.CallExpr) (*ast.SelectorExpr, string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil, "", false
+	}
+	selInfo, ok := pass.Info.Selections[sel]
+	if !ok {
+		return nil, "", false
+	}
+	obj := selInfo.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return nil, "", false
+	}
+	return sel, obj.Name(), true
+}
+
+// straightLineRelease scans the statements after the lock for a
+// matching release before anything that could divert control flow. A
+// `defer recv.Unlock()` anywhere on the straight line is a release (the
+// idiomatic form is the very next statement); so is a plain
+// `recv.Unlock()`. A return, branch, loop, conditional, or the end of
+// the block without a release means a path can escape with the lock
+// held — or come to depend on one doing so the next time the function
+// is edited.
+func straightLineRelease(pass *Pass, rest []ast.Stmt, recv, kind string) bool {
+	want := unlockName(kind)
+	for _, st := range rest {
+		switch s := st.(type) {
+		case *ast.DeferStmt:
+			if matchesRelease(pass, s.Call, recv, want) {
+				return true
+			}
+		case *ast.ExprStmt:
+			if call, ok := s.X.(*ast.CallExpr); ok && matchesRelease(pass, call, recv, want) {
+				return true
+			}
+		case *ast.AssignStmt, *ast.DeclStmt, *ast.IncDecStmt, *ast.SendStmt, *ast.GoStmt, *ast.EmptyStmt:
+			// Straight-line statements: keep scanning.
+		default:
+			// A compound statement (if/for/range/switch/select) keeps
+			// the line straight only if control provably comes out the
+			// other side with the lock state unchanged: no return, no
+			// goto or labeled branch, and no conditional release
+			// hiding inside a branch.
+			if divertsControl(pass, st, recv, want) {
+				return false
+			}
+		}
+	}
+	return false
+}
+
+// divertsControl reports whether the statement could exit the function,
+// jump away, or release the lock on only some paths — any of which
+// breaks the straight-line argument and demands a deferred unlock (or a
+// pragma) instead.
+func divertsControl(pass *Pass, st ast.Stmt, recv, want string) bool {
+	diverts := false
+	ast.Inspect(st, func(n ast.Node) bool {
+		if diverts {
+			return false
+		}
+		switch m := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt, *ast.LabeledStmt:
+			diverts = true
+			return false
+		case *ast.BranchStmt:
+			// break/continue stay inside the compound statement unless
+			// labeled; goto can land anywhere.
+			if m.Tok == token.GOTO || m.Label != nil {
+				diverts = true
+				return false
+			}
+		case *ast.CallExpr:
+			if matchesRelease(pass, m, recv, want) {
+				diverts = true // conditional release: not straight-line
+				return false
+			}
+		}
+		return true
+	})
+	return diverts
+}
+
+// matchesRelease reports whether the call is recv.<want>() on a sync
+// method with the same printed receiver.
+func matchesRelease(pass *Pass, call *ast.CallExpr, recv, want string) bool {
+	sel, name, ok := syncMethod(pass, call)
+	if !ok || name != want {
+		return false
+	}
+	return types.ExprString(sel.X) == recv
+}
+
+func unlockName(kind string) string {
+	if kind == "RLock" {
+		return "RUnlock"
+	}
+	return "Unlock"
+}

@@ -1,0 +1,213 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// MapOrder is the PR-3 regression class, generalized: Go randomizes map
+// iteration order, so a `range` over a map whose body accumulates
+// floating-point values into an outer variable, or collects keys that
+// are never subsequently sorted, produces run-to-run drift — exactly
+// how the heat-map JSD and cell-entropy metrics came to differ across
+// replays until PR 3 rewrote them to sum in sorted cell order. The
+// sanctioned idiom passes: collect the keys, sort them, range over the
+// sorted slice (which is no longer a map range).
+//
+// Keyed element-wise writes (`m[k] /= n` inside `range m`) are
+// order-independent and exempt; so is a collected slice that a later
+// statement in the same function visibly sorts (a call into sort/
+// slices, or any callee whose name contains "sort", receiving the
+// slice).
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc: "forbid float accumulation or unsorted key collection in map " +
+		"iteration order",
+	Run: runMapOrder,
+}
+
+func runMapOrder(pass *Pass) {
+	for _, f := range pass.Files {
+		// Map each range statement to its enclosing function body so
+		// the sorted-later exemption can scan the statements after it.
+		var funcStack []*ast.BlockStmt
+		var walk func(n ast.Node) bool
+		walk = func(n ast.Node) bool {
+			switch nn := n.(type) {
+			case *ast.FuncDecl:
+				if nn.Body == nil {
+					return false
+				}
+				funcStack = append(funcStack, nn.Body)
+				ast.Inspect(nn.Body, walk)
+				funcStack = funcStack[:len(funcStack)-1]
+				return false
+			case *ast.FuncLit:
+				funcStack = append(funcStack, nn.Body)
+				ast.Inspect(nn.Body, walk)
+				funcStack = funcStack[:len(funcStack)-1]
+				return false
+			case *ast.RangeStmt:
+				var encl *ast.BlockStmt
+				if len(funcStack) > 0 {
+					encl = funcStack[len(funcStack)-1]
+				}
+				checkMapRange(pass, nn, encl)
+			}
+			return true
+		}
+		ast.Inspect(f, walk)
+	}
+}
+
+// checkMapRange analyzes one range statement, if it ranges over a map.
+func checkMapRange(pass *Pass, rs *ast.RangeStmt, encl *ast.BlockStmt) {
+	t := pass.Info.TypeOf(rs.X)
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Map); !ok {
+		return
+	}
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		switch as.Tok {
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+			if len(as.Lhs) == 1 && isOrderSensitiveAccumulator(pass, as.Lhs[0], rs) {
+				pass.Reportf(as.Pos(),
+					"floating-point accumulation into %s in map iteration order; collect and sort the keys first",
+					types.ExprString(as.Lhs[0]))
+			}
+		case token.ASSIGN:
+			for i, lhs := range as.Lhs {
+				if i < len(as.Rhs) && isAppendTo(pass, lhs, as.Rhs[i]) {
+					if !sortedLater(pass, lhs, rs, encl) {
+						pass.Reportf(as.Pos(),
+							"%s collects map keys in iteration order and is never sorted afterwards; sort it before use",
+							types.ExprString(lhs))
+					}
+					continue
+				}
+				if i < len(as.Rhs) && isOrderSensitiveAccumulator(pass, lhs, rs) && mentions(as.Rhs[i], lhs) {
+					pass.Reportf(as.Pos(),
+						"floating-point accumulation into %s in map iteration order; collect and sort the keys first",
+						types.ExprString(lhs))
+				}
+			}
+		}
+		return true
+	})
+}
+
+// isOrderSensitiveAccumulator reports whether lhs is a float-typed
+// accumulator declared outside the range statement. Indexed writes are
+// exempt: `m[k] op= v` touches each key once, in any order.
+func isOrderSensitiveAccumulator(pass *Pass, lhs ast.Expr, rs *ast.RangeStmt) bool {
+	if !isFloatType(pass.Info.TypeOf(lhs)) {
+		return false
+	}
+	switch l := lhs.(type) {
+	case *ast.Ident:
+		obj := pass.Info.ObjectOf(l)
+		if obj == nil {
+			return false
+		}
+		return obj.Pos() < rs.Pos() || obj.Pos() > rs.End()
+	case *ast.SelectorExpr:
+		// A field of an outer struct is an outer accumulator.
+		return true
+	}
+	return false
+}
+
+// isAppendTo reports whether the assignment is `lhs = append(lhs, ...)`.
+func isAppendTo(pass *Pass, lhs, rhs ast.Expr) bool {
+	call, ok := rhs.(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	if b, ok := pass.Info.ObjectOf(id).(*types.Builtin); !ok || b.Name() != "append" {
+		return false
+	}
+	return types.ExprString(call.Args[0]) == types.ExprString(lhs)
+}
+
+// sortedLater reports whether a statement after the range, in the same
+// enclosing function, passes the collected slice to a sorting call — a
+// call into package sort or slices, or any callee whose name contains
+// "sort" (covering local helpers like sortCells).
+func sortedLater(pass *Pass, slice ast.Expr, rs *ast.RangeStmt, encl *ast.BlockStmt) bool {
+	if encl == nil {
+		return false
+	}
+	want := types.ExprString(slice)
+	sorted := false
+	ast.Inspect(encl, func(n ast.Node) bool {
+		if sorted {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() {
+			return true
+		}
+		if !isSortCall(pass, call) {
+			return true
+		}
+		for _, arg := range call.Args {
+			s := types.ExprString(arg)
+			if s == want || s == "&"+want {
+				sorted = true
+				return false
+			}
+		}
+		return true
+	})
+	return sorted
+}
+
+// isSortCall recognizes sorting callees by package (sort, slices) or by
+// name (anything containing "sort", case-insensitive).
+func isSortCall(pass *Pass, call *ast.CallExpr) bool {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return strings.Contains(strings.ToLower(fun.Name), "sort")
+	case *ast.SelectorExpr:
+		if id, ok := fun.X.(*ast.Ident); ok {
+			if pn, ok := pass.Info.Uses[id].(*types.PkgName); ok {
+				p := pn.Imported().Path()
+				if p == "sort" || p == "slices" {
+					return true
+				}
+			}
+		}
+		return strings.Contains(strings.ToLower(fun.Sel.Name), "sort")
+	}
+	return false
+}
+
+// mentions reports whether expr syntactically contains target (by
+// printed form) — `sum = sum + v` style accumulation.
+func mentions(expr, target ast.Expr) bool {
+	want := types.ExprString(target)
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if e, ok := n.(ast.Expr); ok && types.ExprString(e) == want {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

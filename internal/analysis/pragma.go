@@ -1,0 +1,174 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// pragmaPrefix introduces an inline suppression comment:
+//
+//	//lppm:allow <analyzer>[,<analyzer>...] -- <reason>
+//
+// The reason is mandatory — the separator exists so every exception in
+// the tree carries its justification at the site, greppable and
+// reviewable. A pragma trailing a code line suppresses that line; a
+// pragma standing alone on a line suppresses the line below it.
+const pragmaPrefix = "lppm:allow"
+
+// pragmaAnalyzer attributes pragma-grammar findings. It is not a real
+// analyzer (it has no Run); its findings are produced by the runner and
+// are deliberately not suppressible — a broken exception must not be
+// able to excuse itself.
+const pragmaAnalyzer = "pragma"
+
+// pragma is one parsed, well-formed //lppm:allow comment.
+type pragma struct {
+	pos       token.Position
+	analyzers map[string]bool
+	// lines this pragma covers (its own, plus the next when standalone).
+	lines map[int]bool
+	used  bool
+}
+
+// pragmaSet indexes a package's pragmas by file and line.
+type pragmaSet struct {
+	byFile map[string][]*pragma
+}
+
+// suppress reports whether d is covered by a pragma, marking the pragma
+// used. Pragma-grammar findings are never suppressible.
+func (s *pragmaSet) suppress(d Diagnostic) bool {
+	if d.Analyzer == pragmaAnalyzer {
+		return false
+	}
+	for _, pr := range s.byFile[d.Pos.Filename] {
+		if pr.lines[d.Pos.Line] && pr.analyzers[d.Analyzer] {
+			pr.used = true
+			return true
+		}
+	}
+	return false
+}
+
+// collectPragmas parses every //lppm:allow comment in the package,
+// validating the grammar against the known analyzer set. Malformed
+// pragmas produce diagnostics and suppress nothing. The returned set
+// must be consulted via suppress before unusedPragmaDiags is meaningful;
+// runPackage sequences this.
+func collectPragmas(pkg *Package, known map[string]*Analyzer) (*pragmaSet, []Diagnostic) {
+	set := &pragmaSet{byFile: make(map[string][]*pragma)}
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//"+pragmaPrefix)
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				if text != "" && !strings.HasPrefix(text, " ") && !strings.HasPrefix(text, "\t") {
+					// e.g. //lppm:allowx — some other marker, not ours.
+					continue
+				}
+				names, reason, found := strings.Cut(text, " -- ")
+				if !found || strings.TrimSpace(reason) == "" {
+					diags = append(diags, Diagnostic{
+						Pos:      pos,
+						Analyzer: pragmaAnalyzer,
+						Message:  "malformed //lppm:allow pragma: a reason is required (`//lppm:allow <analyzer> -- <reason>`)",
+					})
+					continue
+				}
+				pr := &pragma{pos: pos, analyzers: make(map[string]bool), lines: make(map[int]bool)}
+				valid := true
+				for _, name := range strings.Split(names, ",") {
+					name = strings.TrimSpace(name)
+					if name == "" {
+						continue
+					}
+					if known[name] == nil {
+						diags = append(diags, Diagnostic{
+							Pos:      pos,
+							Analyzer: pragmaAnalyzer,
+							Message:  "unknown analyzer " + quoted(name) + " in //lppm:allow pragma",
+						})
+						valid = false
+						continue
+					}
+					pr.analyzers[name] = true
+				}
+				if !valid || len(pr.analyzers) == 0 {
+					if len(pr.analyzers) == 0 && valid {
+						diags = append(diags, Diagnostic{
+							Pos:      pos,
+							Analyzer: pragmaAnalyzer,
+							Message:  "//lppm:allow pragma names no analyzer",
+						})
+					}
+					continue
+				}
+				pr.lines[pos.Line] = true
+				if pos.Column == 1 || standsAlone(pkg.Fset, f, c.Pos()) {
+					pr.lines[pos.Line+1] = true
+				}
+				set.byFile[pos.Filename] = append(set.byFile[pos.Filename], pr)
+			}
+		}
+	}
+	return set, diags
+}
+
+// unusedPragmaDiags reports pragmas that suppressed nothing — stale
+// exceptions that would otherwise silently outlive the violation they
+// documented. Files are visited in sorted order: the caller re-sorts
+// diagnostics anyway, but an analyzer package of all places must not
+// itself accumulate output in map iteration order.
+func (s *pragmaSet) unusedPragmaDiags() []Diagnostic {
+	files := make([]string, 0, len(s.byFile))
+	for f := range s.byFile {
+		files = append(files, f)
+	}
+	sort.Strings(files)
+	var diags []Diagnostic
+	for _, f := range files {
+		for _, pr := range s.byFile[f] {
+			if !pr.used {
+				diags = append(diags, Diagnostic{
+					Pos:      pr.pos,
+					Analyzer: pragmaAnalyzer,
+					Message:  "unused //lppm:allow pragma: no diagnostic here to suppress",
+				})
+			}
+		}
+	}
+	return diags
+}
+
+// standsAlone reports whether the comment at pos is the first thing on
+// its line (ignoring leading whitespace), i.e. not trailing code.
+func standsAlone(fset *token.FileSet, f *ast.File, pos token.Pos) bool {
+	p := fset.Position(pos)
+	// Walk the file's tokens is overkill; approximate via the line
+	// offset: a trailing comment always follows a node that ends on the
+	// same line. Scan the file's declarations for any node ending on
+	// p.Line before p.Column.
+	alone := true
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil || !alone {
+			return false
+		}
+		if n.End() <= pos {
+			end := fset.Position(n.End())
+			if end.Line == p.Line {
+				alone = false
+			}
+			return false
+		}
+		return true
+	})
+	return alone
+}
+
+func quoted(s string) string { return "\"" + s + "\"" }

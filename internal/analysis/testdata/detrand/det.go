@@ -1,0 +1,33 @@
+// Package det exercises the detrand analyzer. The golden test loads it
+// as a deterministic package (repro/internal/synth), where math/rand
+// imports and wall-clock reads are findings; a second load as
+// repro/internal/server asserts the serving layer stays exempt.
+package det
+
+import (
+	mrand "math/rand"    // want "detrand: deterministic package repro/internal/synth imports math/rand; draw from repro/internal/rng instead"
+	rand2 "math/rand/v2" // want "detrand: deterministic package repro/internal/synth imports math/rand/v2"
+	"time"
+)
+
+// Draw uses the global generator: unreproducible from a seed.
+func Draw() float64 { return mrand.Float64() }
+
+// Draw2 is the v2 flavor of the same violation.
+func Draw2() float64 { return rand2.Float64() }
+
+// Stamp reads the wall clock directly.
+func Stamp() time.Time {
+	return time.Now() // want "detrand: deterministic package repro/internal/synth reads the wall clock via time.Now"
+}
+
+// Age reads the wall clock through the Since convenience.
+func Age(t time.Time) time.Duration {
+	return time.Since(t) // want "detrand: .*reads the wall clock via time.Since"
+}
+
+// Later does arithmetic on a timestamp already in the data: fine.
+func Later(t time.Time, d time.Duration) time.Time { return t.Add(d) }
+
+// Elapsed compares two provided timestamps: fine.
+func Elapsed(a, b time.Time) time.Duration { return b.Sub(a) }

@@ -1,0 +1,92 @@
+// Package dropped exercises the droppederr analyzer: ignored and
+// _-discarded error returns, comma-ok discards, the documented
+// exemptions (defer/go, terminal printing, in-memory writers), and the
+// pragma grammar — including that a pragma with no reason both fails to
+// suppress and is itself a finding.
+package dropped
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func mayFail() error { return errors.New("boom") }
+
+func value() (int, error) { return 0, errors.New("boom") }
+
+func lookup(k string) (int, bool) { return len(k), false }
+
+// A call whose error vanishes as a bare statement.
+func bare() {
+	mayFail() // want "droppederr: result of mayFail returns an error that is ignored"
+}
+
+// A call whose error is discarded with the blank identifier.
+func discarded() {
+	_ = mayFail() // want "droppederr: error result of mayFail discarded with _"
+}
+
+// Tuple form: the value is kept, the error is not.
+func tupleDiscard() int {
+	v, _ := value() // want "droppederr: error result of value discarded with _"
+	return v
+}
+
+// Comma-ok form: the failure case silently becomes the zero value.
+func okDiscard() int {
+	n, _ := lookup("k") // want "droppederr: comma-ok result of lookup discarded with _"
+	return n
+}
+
+// Checked handling passes.
+func handled() error {
+	if err := mayFail(); err != nil {
+		return err
+	}
+	n, ok := lookup("k")
+	if !ok {
+		return errors.New("missing")
+	}
+	_ = n
+	return nil
+}
+
+// Documented exemptions: terminal printing, in-memory writers, and
+// deferred cleanup after the function's outcome is decided.
+func exempt(sb *strings.Builder) {
+	fmt.Println("best-effort terminal output")
+	fmt.Fprintf(os.Stderr, "diagnostics\n")
+	fmt.Fprintf(sb, "in-memory: %d\n", 1)
+	sb.WriteString("never fails")
+	defer mayFail()
+}
+
+// A well-formed pragma with a reason suppresses the finding.
+func pragmaSuppressed() {
+	mayFail() //lppm:allow droppederr -- golden: deliberately ignored to pin the suppression path
+}
+
+// A standalone pragma covers the next line.
+func pragmaStandalone() {
+	//lppm:allow droppederr -- golden: standalone pragma covers the line below
+	mayFail()
+}
+
+// A pragma with no reason suppresses nothing — the original finding
+// survives AND the pragma itself is a finding.
+func pragmaMissingReason() {
+	mayFail() //lppm:allow droppederr want "droppederr: result of mayFail returns an error that is ignored" "pragma: malformed //lppm:allow pragma: a reason is required"
+}
+
+// A pragma naming an unknown analyzer is a finding and suppresses
+// nothing.
+func pragmaUnknown() {
+	mayFail() //lppm:allow nosuchcheck -- bogus want "droppederr: result of mayFail returns an error that is ignored" "pragma: unknown analyzer .nosuchcheck."
+}
+
+// A pragma with nothing to suppress is stale and flagged.
+func pragmaUnused() error {
+	return mayFail() //lppm:allow droppederr -- golden: stale exception; want "pragma: unused //lppm:allow pragma"
+}

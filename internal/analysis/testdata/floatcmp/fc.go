@@ -1,0 +1,43 @@
+// Package fc exercises the floatcmp analyzer: exact comparison between
+// computed float expressions is a finding; comparison against a
+// compile-time constant (sentinel checks) and non-float comparisons are
+// not.
+package fc
+
+// Two computed values compared exactly: after rounding they rarely
+// coincide even when mathematically equal.
+func computed(a, b float64) bool {
+	return a == b // want "floatcmp: floating-point == comparison between computed values"
+}
+
+// Inequality between computed expressions is the same trap.
+func notEqual(a, b float64) bool {
+	return a+1 != b*2 // want "floatcmp: floating-point != comparison between computed values"
+}
+
+// Sentinel check against a literal: tests whether the variable still
+// holds the exactly-representable value it was assigned. Exempt.
+func sentinel(x float64) bool { return x == 0 }
+
+const threshold = 0.5
+
+// Comparison against a named constant is the same sentinel pattern.
+func constSentinel(x float64) bool { return x != threshold }
+
+// Non-float equality is out of scope.
+func ints(a, b int) bool { return a == b }
+
+// The sanctioned alternative: a tolerance.
+func tolerant(a, b float64) bool { return abs(a-b) < 1e-9 }
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Deliberate bit-equality carries its justification at the site.
+func tieBreak(score, best float64) bool {
+	return score == best //lppm:allow floatcmp -- golden: deterministic tie-break on bit-equal scores
+}

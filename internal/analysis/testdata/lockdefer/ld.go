@@ -1,0 +1,92 @@
+// Package ld exercises the lockdefer analyzer: in a function with
+// multiple return paths, a mutex Lock must pair with an immediate defer
+// Unlock or a straight-line release; a conditional release or an early
+// return between Lock and Unlock is a finding.
+package ld
+
+import "sync"
+
+type box struct {
+	mu sync.Mutex
+	n  int
+}
+
+type rbox struct {
+	mu sync.RWMutex
+	n  int
+}
+
+// An early return between Lock and Unlock: one path leaks the lock.
+func bad(b *box, flag bool) int {
+	b.mu.Lock() // want "lockdefer: b.mu.Lock.. in a function with multiple return paths"
+	if flag {
+		return 1
+	}
+	b.mu.Unlock()
+	return b.n
+}
+
+// The read-lock flavor of the same leak.
+func badRead(b *rbox, flag bool) int {
+	b.mu.RLock() // want "lockdefer: b.mu.RLock"
+	if flag {
+		return 1
+	}
+	b.mu.RUnlock()
+	return b.n
+}
+
+// The idiom: an immediate deferred unlock covers every path.
+func deferred(b *box, flag bool) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if flag {
+		return 1
+	}
+	return b.n
+}
+
+// A straight-line release before any branch is also safe.
+func straightLine(b *box, flag bool) int {
+	b.mu.Lock()
+	n := b.n
+	b.mu.Unlock()
+	if flag {
+		return 1
+	}
+	return n
+}
+
+// A loop between Lock and Unlock keeps the line straight as long as it
+// cannot return, jump away, or release conditionally.
+func loopInside(b *box, xs []int, flag bool) int {
+	b.mu.Lock()
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	b.mu.Unlock()
+	if flag {
+		return 1
+	}
+	return total
+}
+
+// Single-exit functions are exempt: there is only one path to leak on,
+// and the straight-through Lock/Unlock pair is the common idiom.
+func singleExit(b *box) {
+	b.mu.Lock()
+	b.n++
+	b.mu.Unlock()
+}
+
+// Deliberate per-path release carries its justification at the site.
+func perPath(b *box, flag bool) int {
+	b.mu.Lock() //lppm:allow lockdefer -- golden: deliberate per-path release to pin the pragma path
+	if flag {
+		b.mu.Unlock()
+		return 1
+	}
+	b.mu.Unlock()
+	return 0
+}

@@ -1,0 +1,92 @@
+// Package mo exercises the maporder analyzer with the PR-3 regression
+// class: floating-point sums taken in Go's randomized map iteration
+// order drift across runs — exactly how the heat-map JSD and
+// cell-entropy metrics differed between replays before PR 3 rewrote
+// them to sum in sorted cell order.
+package mo
+
+import "sort"
+
+type cell struct{ col, row int }
+
+// jsdDrift is the shipped heat-map bug in miniature: divergence terms
+// accumulate directly in map order, so the last bits of the result
+// depend on iteration order.
+func jsdDrift(p, q map[cell]float64) float64 {
+	var js float64
+	for c, pi := range p {
+		qi := q[c]
+		js += pi - qi // want "maporder: floating-point accumulation into js in map iteration order"
+	}
+	return js
+}
+
+// jsdSorted is the PR-3 fix shape: collect the keys, sort, accumulate
+// over the sorted slice. The append inside the map range passes because
+// a later statement visibly sorts the slice.
+func jsdSorted(p, q map[cell]float64) float64 {
+	cells := make([]cell, 0, len(p))
+	for c := range p {
+		cells = append(cells, c)
+	}
+	sortCells(cells)
+	var js float64
+	for _, c := range cells {
+		js += p[c] - q[c]
+	}
+	return js
+}
+
+func sortCells(cells []cell) {
+	sort.Slice(cells, func(i, j int) bool {
+		if cells[i].col != cells[j].col {
+			return cells[i].col < cells[j].col
+		}
+		return cells[i].row < cells[j].row
+	})
+}
+
+// Keys collected in map order and handed to the caller unsorted.
+func keysUnsorted(m map[string]int) []string {
+	var ks []string
+	for k := range m {
+		ks = append(ks, k) // want "maporder: ks collects map keys in iteration order and is never sorted"
+	}
+	return ks
+}
+
+// The sanctioned collect-and-sort idiom.
+func keysSorted(m map[string]int) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+// Keyed element-wise writes touch each key exactly once: order cannot
+// matter, so normalization in place is exempt.
+func normalize(m map[string]float64, n float64) {
+	for k := range m {
+		m[k] /= n
+	}
+}
+
+// Plain-form accumulation (`x = x + v`) is the same drift.
+func sumAssign(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m {
+		total = total + v // want "maporder: floating-point accumulation into total"
+	}
+	return total
+}
+
+// A deliberately order-tolerant sum carries its justification.
+func sumPragma(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m {
+		total += v //lppm:allow maporder -- golden: order-insensitive aggregate kept to pin the pragma path
+	}
+	return total
+}

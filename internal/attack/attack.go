@@ -112,7 +112,7 @@ func linkFingerprint(observed []poi.POI, background map[string][]poi.POI, users 
 	bestDist := math.MaxFloat64
 	for _, u := range users {
 		score, dist := fingerprintSimilarity(observed, background[u], radius)
-		if score > bestScore || (score == bestScore && score > 0 && dist < bestDist) {
+		if score > bestScore || (score == bestScore && score > 0 && dist < bestDist) { //lppm:allow floatcmp -- deterministic tie-break on bit-equal scores; a tolerance would make the attack's verdict depend on candidate order
 			bestUser, bestScore, bestDist = u, score, dist
 		}
 	}
@@ -197,7 +197,7 @@ func topPOI(pois []poi.POI) (poi.POI, bool) {
 			return pois[i].TotalDwell > pois[j].TotalDwell
 		}
 		// Deterministic tie-break by location.
-		if pois[i].Center.Lat != pois[j].Center.Lat {
+		if pois[i].Center.Lat != pois[j].Center.Lat { //lppm:allow floatcmp -- sort comparator: strict-weak ordering needs exact equality; a tolerance here is not transitive
 			return pois[i].Center.Lat < pois[j].Center.Lat
 		}
 		return pois[i].Center.Lng < pois[j].Center.Lng

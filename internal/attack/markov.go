@@ -113,7 +113,7 @@ func (m *MobilityMarkov) PredictNext(a geo.Cell) (geo.Cell, bool) {
 	var best geo.Cell
 	bestCount := -1.0
 	for c, n := range row {
-		if n > bestCount || (n == bestCount && less(c, best)) {
+		if n > bestCount || (n == bestCount && less(c, best)) { //lppm:allow floatcmp -- deterministic tie-break on bit-equal transition counts; argmax over a map must not depend on iteration order
 			best, bestCount = c, n
 		}
 	}

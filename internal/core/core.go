@@ -182,7 +182,7 @@ func (c *Cache) Reset() {
 // identity, per user) at the same cell size. The identity walk is O(users);
 // the computation it skips is O(records).
 func (c *Cache) properties(ds *trace.Dataset, cellMeters float64) []trace.UserProperties {
-	if c.props != nil && c.propsCell == cellMeters && c.sameTraces(ds) {
+	if c.props != nil && c.propsCell == cellMeters && c.sameTraces(ds) { //lppm:allow floatcmp -- memo key: the cached result is valid only for a bit-identical cell size; approximate matches must recompute
 		return c.props
 	}
 	c.props = trace.DatasetProperties(ds, cellMeters)

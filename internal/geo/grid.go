@@ -69,7 +69,7 @@ func (g *Grid) Coverage(pts []Point) map[Cell]struct{} {
 func floorDiv(v, size float64) int {
 	q := v / size
 	iq := int(q)
-	if q < 0 && float64(iq) != q {
+	if q < 0 && float64(iq) != q { //lppm:allow floatcmp -- exactness test by construction: truncation changed the value iff q had a fractional part, which is what floor correction needs
 		iq--
 	}
 	return iq

@@ -188,7 +188,7 @@ func (ix *Index) Range(p geo.Point, radius float64) []Venue {
 // sortHits orders by distance then ID.
 func sortHits(hits []hit) {
 	sort.Slice(hits, func(i, j int) bool {
-		if hits[i].dist != hits[j].dist {
+		if hits[i].dist != hits[j].dist { //lppm:allow floatcmp -- sort comparator: strict-weak ordering needs exact equality; a tolerance here is not transitive
 			return hits[i].dist < hits[j].dist
 		}
 		return hits[i].venue.ID < hits[j].venue.ID

@@ -58,7 +58,11 @@ func (m *DummyInjection) Protect(t *trace.Trace, p Params, r *rng.Source) (*trac
 	if len(t.Records) < 2 {
 		return out, nil
 	}
-	box, _ := geo.NewBBox(t.Points())
+	box, ok := geo.NewBBox(t.Points())
+	if !ok {
+		// Unreachable behind the len check above; fail safe as a no-op.
+		return out, nil
+	}
 	// Give walkers room around the real trace so decoys do not trivially
 	// outline it.
 	area := box.Buffer(1000)

@@ -114,9 +114,7 @@ func (p *preparedHeatmapSimilarity) Evaluate(protected *trace.Trace) (float64, e
 		return 0, nil
 	}
 	p.q = cellFrequenciesInto(p.q, p.grid, protected)
-	var js float64
-	js, p.qOnly = jensenShannonCells(p.p, p.pCells, p.q, p.qOnly)
-	return 1 - js, nil
+	return 1 - jensenShannonCells(p.p, p.pCells, p.q, &p.qOnly), nil
 }
 
 // sortCells orders cells by column, then row. slices.SortFunc rather than
@@ -166,17 +164,18 @@ func JensenShannon(p, q map[geo.Cell]float64) float64 {
 		pCells = append(pCells, c)
 	}
 	sortCells(pCells)
-	js, _ := jensenShannonCells(p, pCells, q, nil)
-	return js
+	var qOnly []geo.Cell
+	return jensenShannonCells(p, pCells, q, &qOnly)
 }
 
 // jensenShannonCells is the one JSD implementation behind JensenShannon and
 // the prepared heat-map metric: terms accumulate over pCells (p's cells,
 // pre-sorted by the caller) and then over q-only cells — collected into
-// qOnlyBuf and sorted — so the floating-point sum never depends on Go's
-// randomized map order. Returns the divergence and the (reusable) q-only
-// buffer.
-func jensenShannonCells(p map[geo.Cell]float64, pCells []geo.Cell, q map[geo.Cell]float64, qOnlyBuf []geo.Cell) (float64, []geo.Cell) {
+// *qOnlyBuf and sorted — so the floating-point sum never depends on Go's
+// randomized map order. The q-only scratch is grown in place through the
+// pointer (nothing for the caller to discard; the prepared metric reuses
+// it across calls).
+func jensenShannonCells(p map[geo.Cell]float64, pCells []geo.Cell, q map[geo.Cell]float64, qOnlyBuf *[]geo.Cell) float64 {
 	var js float64
 	for _, c := range pCells {
 		pi, qi := p[c], q[c]
@@ -188,7 +187,7 @@ func jensenShannonCells(p map[geo.Cell]float64, pCells []geo.Cell, q map[geo.Cel
 			js += qi * math.Log2(qi/mi) / 2
 		}
 	}
-	qOnly := qOnlyBuf[:0]
+	qOnly := (*qOnlyBuf)[:0]
 	for c := range q {
 		if _, shared := p[c]; !shared {
 			qOnly = append(qOnly, c)
@@ -200,6 +199,7 @@ func jensenShannonCells(p map[geo.Cell]float64, pCells []geo.Cell, q map[geo.Cel
 		mi := qi / 2
 		js += qi * math.Log2(qi/mi) / 2
 	}
+	*qOnlyBuf = qOnly
 	// Clamp rounding excursions outside [0, 1].
-	return math.Max(0, math.Min(1, js)), qOnly
+	return math.Max(0, math.Min(1, js))
 }

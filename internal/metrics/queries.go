@@ -89,7 +89,12 @@ func (m *RangeQueryAccuracy) Prepare(actual *trace.Trace) PreparedMetric {
 		p.emptyActual = true
 		return p
 	}
-	box, _ := geo.NewBBox(actual.Points())
+	box, ok := geo.NewBBox(actual.Points())
+	if !ok {
+		// Unreachable behind the Len check above; fail safe as "empty".
+		p.emptyActual = true
+		return p
+	}
 	area := box.Buffer(m.cfg.RadiusMeters)
 	r := rng.New(m.cfg.Seed).Named(actual.User)
 	actPts := actual.Points()

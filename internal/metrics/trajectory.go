@@ -225,10 +225,10 @@ func (s *PairwiseScratch) DTWMeanDistance(a, b []geo.Point, bandFrac float64) (f
 				// insertion and deletion; break cost ties
 				// toward the longer alignment.
 				bestCost, bestLen := prevCost[j-1], prevLen[j-1]
-				if prevCost[j] < bestCost || (prevCost[j] == bestCost && prevLen[j] > bestLen) {
+				if prevCost[j] < bestCost || (prevCost[j] == bestCost && prevLen[j] > bestLen) { //lppm:allow floatcmp -- deterministic tie-break on bit-equal path costs; a tolerance would make "tie" depend on scale
 					bestCost, bestLen = prevCost[j], prevLen[j]
 				}
-				if curCost[j-1] < bestCost || (curCost[j-1] == bestCost && curLen[j-1] > bestLen) {
+				if curCost[j-1] < bestCost || (curCost[j-1] == bestCost && curLen[j-1] > bestLen) { //lppm:allow floatcmp -- deterministic tie-break on bit-equal path costs; a tolerance would make "tie" depend on scale
 					bestCost, bestLen = curCost[j-1], curLen[j-1]
 				}
 				if math.IsInf(bestCost, 1) {
@@ -255,7 +255,13 @@ func (s *PairwiseScratch) DTWMeanDistance(a, b []geo.Point, bandFrac float64) (f
 	// fixed point is optimal, and path-set finiteness bounds the rounds
 	// (a handful in practice — the cap is a safety net).
 	for iter := 0; iter < 64; iter++ {
-		next, _ := solve(lambda)
+		next, feasible := solve(lambda)
+		if !feasible {
+			// Cannot happen: feasibility of the banded alignment depends
+			// only on the band geometry, which solve(0) above validated,
+			// not on λ. Treat it as convergence rather than panic.
+			return lambda, nil
+		}
 		if next >= lambda-tol {
 			return next, nil
 		}

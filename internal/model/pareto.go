@@ -56,7 +56,7 @@ func ParetoFront(points []SweepPoint) []SweepPoint {
 		}
 	}
 	sort.Slice(front, func(i, j int) bool {
-		if front[i].Privacy != front[j].Privacy {
+		if front[i].Privacy != front[j].Privacy { //lppm:allow floatcmp -- sort comparator: strict-weak ordering needs exact equality; a tolerance here is not transitive
 			return front[i].Privacy < front[j].Privacy
 		}
 		return front[i].X < front[j].X
@@ -64,7 +64,7 @@ func ParetoFront(points []SweepPoint) []SweepPoint {
 	// Drop exact duplicates (identical privacy and utility).
 	out := front[:0]
 	for i, p := range front {
-		if i > 0 && p.Privacy == front[i-1].Privacy && p.Utility == front[i-1].Utility {
+		if i > 0 && p.Privacy == front[i-1].Privacy && p.Utility == front[i-1].Utility { //lppm:allow floatcmp -- dedup of exact duplicates only (repeated sweep points); near-duplicates are distinct front members by design
 			continue
 		}
 		out = append(out, p)

@@ -97,7 +97,7 @@ func (s *Source) Named(label string) *Source {
 // (the controller's per-user samplers) and draw from them via MixUnit.
 func ChildSeed(seed int64, label string) int64 {
 	h := fnv.New64a()
-	h.Write([]byte(label)) // fnv never errors
+	h.Write([]byte(label)) //lppm:allow droppederr -- hash.Hash documents that Write never returns an error
 	return mix(seed, int64(h.Sum64()))
 }
 

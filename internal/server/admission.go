@@ -152,23 +152,42 @@ func (s *Server) admitStream(w http.ResponseWriter, r *http.Request) bool {
 	if !s.allowTenant(w, r) {
 		return false
 	}
-	s.mu.Lock()
-	if s.draining {
-		s.mu.Unlock()
+	switch s.tryAdmitStream() {
+	case admitOK:
+		s.streamsTotal.Add(1)
+		return true
+	case admitDraining:
 		httpError(w, http.StatusServiceUnavailable, "server: draining")
 		return false
-	}
-	if s.cfg.MaxStreams > 0 && s.activeStreams >= s.cfg.MaxStreams {
-		s.mu.Unlock()
+	default: // admitFull
 		s.streamsRejected.Add(1)
 		httpError(w, http.StatusServiceUnavailable,
 			fmt.Sprintf("server: %d concurrent streams already active", s.cfg.MaxStreams))
 		return false
 	}
+}
+
+type admitResult int
+
+const (
+	admitOK admitResult = iota
+	admitDraining
+	admitFull
+)
+
+// tryAdmitStream checks drain state and the stream cap and claims a slot,
+// all under one lock hold; the HTTP responses happen after release.
+func (s *Server) tryAdmitStream() admitResult {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return admitDraining
+	}
+	if s.cfg.MaxStreams > 0 && s.activeStreams >= s.cfg.MaxStreams {
+		return admitFull
+	}
 	s.activeStreams++
-	s.mu.Unlock()
-	s.streamsTotal.Add(1)
-	return true
+	return admitOK
 }
 
 // errorResponse is the JSON body of every non-200 answer.
@@ -310,7 +329,7 @@ func httpError(w http.ResponseWriter, status int, msg string) {
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
+	_ = json.NewEncoder(w).Encode(v) //lppm:allow droppederr -- the response body is best-effort by design: a client gone mid-write has nowhere to report the failure to
 	if f, ok := w.(http.Flusher); ok {
 		f.Flush()
 	}

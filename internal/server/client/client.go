@@ -68,7 +68,7 @@ func apiError(resp *http.Response) error {
 	var body struct {
 		Error string `json:"error"`
 	}
-	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16)) //lppm:allow droppederr -- the response is already a failure; a truncated body only degrades the message, and the status code survives regardless
 	if json.Unmarshal(raw, &body) != nil || body.Error == "" {
 		body.Error = strings.TrimSpace(string(raw))
 	}
@@ -237,7 +237,7 @@ func (c *Client) Stream(ctx context.Context) (*Stream, error) {
 	rw, err := trace.NewRecordWriter(pw, trace.FormatJSONL)
 	if err != nil {
 		pw.Close()
-		resp.Body.Close()
+		resp.Body.Close() //lppm:allow droppederr -- best-effort abort of a stream that never started; err already carries the cause
 		return nil, err
 	}
 	st := &Stream{pw: pw, rw: rw, resp: resp, recs: make(chan trace.Record, 64)}

@@ -318,7 +318,7 @@ func (s *Server) finish() {
 	s.mu.Lock()
 	conns := make([]*streamConn, 0, len(s.conns))
 	for c := range s.conns {
-		conns = append(conns, c)
+		conns = append(conns, c) //lppm:allow maporder -- close order across connections is observable only as shutdown interleaving, which is already concurrent; nothing numeric accumulates
 	}
 	s.owners = make(map[string]*streamConn)
 	s.conns = make(map[*streamConn]struct{})
@@ -405,7 +405,7 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	// first response flush on a non-duplex HTTP/1.1 connection consumes
 	// the unread request body, and a rejected streaming client holding
 	// its body open would deadlock the refusal handshake.
-	_ = rc.EnableFullDuplex()
+	_ = rc.EnableFullDuplex() //lppm:allow droppederr -- errors exactly on HTTP/2, which is duplex natively (see comment above)
 	// One stream, one connection: a stream body is not guaranteed to be
 	// consumed to EOF (admission refusal, drain, abort), and net/http's
 	// keep-alive machinery must not try to serve a second request behind
@@ -428,7 +428,7 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", ndjsonContentType)
 	w.Header().Set("Trailer", streamErrTrailer)
 	w.WriteHeader(http.StatusOK)
-	_ = rc.Flush() // release headers so the client unblocks before the first window
+	_ = rc.Flush() //lppm:allow droppederr -- release headers so the client unblocks before the first window; a dead sink surfaces on the first window write
 
 	readDone := make(chan error, 1)
 	go func() { readDone <- s.readStream(r, c) }()
@@ -452,7 +452,7 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		select {
 		case readErr = <-readDone:
 		case <-s.drainCh:
-			_ = rc.SetReadDeadline(time.Now())
+			_ = rc.SetReadDeadline(time.Now()) //lppm:allow droppederr -- best-effort kick of a blocked reader; unsupported deadlines only mean the reader exits via request teardown instead
 			readErr = <-readDone
 		}
 	}
@@ -523,7 +523,7 @@ func (s *Server) writeStream(w http.ResponseWriter, rc *http.ResponseController,
 		// it; one that stopped reading errors this write, the handler
 		// abandons the connection, and route() stops blocking on it —
 		// one stalled peer cannot wedge the shared dispatcher for good.
-		_ = rc.SetWriteDeadline(time.Now().Add(s.cfg.WriteStallTimeout))
+		_ = rc.SetWriteDeadline(time.Now().Add(s.cfg.WriteStallTimeout)) //lppm:allow droppederr -- best-effort stall guard; without deadline support a stalled peer is still caught by request teardown
 		for _, rec := range wnd {
 			if err := rw.Write(rec); err != nil {
 				return err
@@ -537,7 +537,7 @@ func (s *Server) writeStream(w http.ResponseWriter, rc *http.ResponseController,
 		}
 	}
 	// Clear the deadline for the trailer write.
-	_ = rc.SetWriteDeadline(time.Time{})
+	_ = rc.SetWriteDeadline(time.Time{}) //lppm:allow droppederr -- best-effort clear; pairs with the best-effort set above
 	return nil
 }
 
@@ -599,7 +599,7 @@ func (s *Server) handleProtect(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	}
-	_ = rw.Flush()
+	_ = rw.Flush() //lppm:allow droppederr -- unary response tail: the client observes the truncation; the handler has no channel left to report it on
 }
 
 // handleReconfigure serves POST /v1/reconfigure: a manual hot-swap. The

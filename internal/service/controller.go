@@ -62,6 +62,7 @@ type Controller struct {
 	deployed        *core.Deployment
 	evals           uint64
 	swaps           uint64
+	overrideSkips   uint64
 	lastPriv        float64
 	lastUtil        float64
 	lastErr         error
@@ -220,6 +221,11 @@ type ControllerStats struct {
 	// Evaluations counts drift checks; Swaps counts reconfigurations
 	// that actually re-deployed into the gateway.
 	Evaluations, Swaps uint64
+	// OverrideSkips counts per-user overrides the mechanism rejected
+	// during reconfiguration; those users keep the shared value. A
+	// steadily growing count means the inverted per-user targets keep
+	// landing outside the mechanism's validity — worth an operator look.
+	OverrideSkips uint64
 	// LastPrivacy and LastUtility are the most recent online estimates
 	// (NaN-free only after the first evaluation with enough data).
 	LastPrivacy, LastUtility float64
@@ -336,6 +342,7 @@ func (c *Controller) Stats() ControllerStats {
 		UsersTracked:    len(c.users),
 		Evaluations:     c.evals,
 		Swaps:           c.swaps,
+		OverrideSkips:   c.overrideSkips,
 		LastPrivacy:     c.lastPriv,
 		LastUtility:     c.lastUtil,
 		LastErr:         c.lastErr,
@@ -383,6 +390,10 @@ func (c *Controller) snapshot() (actuals, protecteds map[string]*trace.Trace, us
 	obj = c.obj
 	fresh = c.fresh
 	c.mu.Unlock()
+	// raws was collected in map order; sort before anything downstream
+	// consumes it, so the flatten loop, the users slice, and every later
+	// float accumulation over the estimates see one deterministic order.
+	sort.Slice(raws, func(i, j int) bool { return raws[i].user < raws[j].user })
 
 	actuals = make(map[string]*trace.Trace, len(raws))
 	protecteds = make(map[string]*trace.Trace, len(raws))
@@ -472,6 +483,7 @@ func (c *Controller) Evaluate(ctx context.Context) (swapped bool, err error) {
 	}
 	c.prevEvalWindows = c.windows
 	c.mu.Unlock()
+	sort.Strings(evicted) // collected in map order; drop prepared state deterministically
 	// Drop evicted users' prepared state on the way out, not here: the
 	// snapshot above still carries them, so both the estimate loop and a
 	// drift re-analysis would recreate the entries a Forget-now dropped —
@@ -591,6 +603,7 @@ func (c *Controller) deriveOverrides(dep *core.Deployment, analysis *core.Analys
 	if !found {
 		return
 	}
+	var skips uint64
 	for _, e := range ests {
 		offset := e.priv - meanPriv
 		target := obj.MaxPrivacy - offset
@@ -608,12 +621,21 @@ func (c *Controller) deriveOverrides(dep *core.Deployment, analysis *core.Analys
 		if v > spec.Max {
 			v = spec.Max
 		}
-		if v == dep.Configuration.Value {
+		if v == dep.Configuration.Value { //lppm:allow floatcmp -- the clamped inversion either lands bit-exactly on the shared value (nothing to override) or differs; approximate equality would suppress real overrides
 			continue
 		}
 		// Override validates against the mechanism; a failure only means
-		// this user keeps the shared value.
-		_ = dep.Override(e.user, lppm.Params{analysis.Definition.Param: v})
+		// this user keeps the shared value — but it is counted, so a
+		// systematically infeasible per-user target shows up in Stats
+		// instead of vanishing.
+		if err := dep.Override(e.user, lppm.Params{analysis.Definition.Param: v}); err != nil {
+			skips++
+		}
+	}
+	if skips > 0 {
+		c.mu.Lock()
+		c.overrideSkips += skips
+		c.mu.Unlock()
 	}
 }
 
@@ -634,8 +656,11 @@ func (c *Controller) Run(ctx context.Context, every time.Duration) {
 		case <-c.gw.done:
 			return
 		case <-t.C:
-			// Errors land in Stats().LastErr via Evaluate's defer.
-			_, _ = c.Evaluate(ctx)
+			// Errors land in Stats().LastErr via Evaluate's defer; the
+			// loop only stops when the error is the context's own.
+			if _, err := c.Evaluate(ctx); err != nil && ctx.Err() != nil {
+				return
+			}
 		}
 	}
 }

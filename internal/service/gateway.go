@@ -420,7 +420,7 @@ func (g *Gateway) sweep() {
 // across processes and shard-local for every record of one user.
 func shardOf(user string, n int) int {
 	h := fnv.New32a()
-	h.Write([]byte(user)) // fnv never errors
+	h.Write([]byte(user)) //lppm:allow droppederr -- hash.Hash documents that Write never returns an error
 	return int(h.Sum32() % uint32(n))
 }
 
@@ -481,36 +481,41 @@ func (g *Gateway) FlushUser(user string) error {
 	}
 	s := g.shards[shardOf(user, len(g.shards))]
 	done := make(chan struct{})
-	s.stageMu.Lock()
-	if s.dead {
-		s.stageMu.Unlock()
-		return ErrClosed
-	}
-	if err := g.ctx.Err(); err != nil {
-		s.stageMu.Unlock()
-		return err
-	}
-	// Push the stage first so the command cannot overtake records still
-	// waiting there; both sends stay under stageMu to keep them ordered
-	// before any close(s.in).
-	if len(s.stage) > 0 {
-		batch := s.stage
-		s.stage = nil
+	// The staged section runs under stageMu with a deferred unlock; the
+	// wait on done must happen after release (the worker needs producers
+	// to make progress), so it lives outside the closure.
+	err := func() error {
+		s.stageMu.Lock()
+		defer s.stageMu.Unlock()
+		if s.dead {
+			return ErrClosed
+		}
+		if err := g.ctx.Err(); err != nil {
+			return err
+		}
+		// Push the stage first so the command cannot overtake records
+		// still waiting there; both sends stay under stageMu to keep them
+		// ordered before any close(s.in).
+		if len(s.stage) > 0 {
+			batch := s.stage
+			s.stage = nil
+			select {
+			case s.in <- shardMsg{batch: batch}:
+			case <-g.ctx.Done():
+				s.dropped.Add(uint64(len(batch)))
+				return g.ctx.Err()
+			}
+		}
 		select {
-		case s.in <- shardMsg{batch: batch}:
+		case s.in <- shardMsg{flushUser: user, done: done}:
+			return nil
 		case <-g.ctx.Done():
-			s.dropped.Add(uint64(len(batch)))
-			s.stageMu.Unlock()
 			return g.ctx.Err()
 		}
+	}()
+	if err != nil {
+		return err
 	}
-	select {
-	case s.in <- shardMsg{flushUser: user, done: done}:
-	case <-g.ctx.Done():
-		s.stageMu.Unlock()
-		return g.ctx.Err()
-	}
-	s.stageMu.Unlock()
 	// The worker closes done after flushing; on cancellation the
 	// queue-drain accounting in watch closes it instead.
 	<-done

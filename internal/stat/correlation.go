@@ -18,7 +18,7 @@ func Ranks(xs []float64) []float64 {
 	ranks := make([]float64, n)
 	for i := 0; i < n; {
 		j := i
-		for j+1 < n && xs[idx[j+1]] == xs[idx[i]] {
+		for j+1 < n && xs[idx[j+1]] == xs[idx[i]] { //lppm:allow floatcmp -- Spearman rank ties are defined by exact value equality; a tolerance would merge genuinely distinct ranks
 			j++
 		}
 		// Positions i..j hold equal values; their shared rank is the

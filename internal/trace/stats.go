@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"sort"
 	"time"
 
 	"repro/internal/geo"
@@ -82,6 +83,12 @@ func ComputeProperties(t *Trace, cellSizeMeters float64) UserProperties {
 	for _, c := range counts {
 		cs = append(cs, c)
 	}
+	// EntropyOfCounts sums float terms in slice order; collected from a
+	// map, that order is randomized per run, so the last bits of
+	// CellEntropy would drift across replays without this sort (found by
+	// lppm-lint's maporder analyzer — the same class as the PR-3
+	// heat-map JSD fix).
+	sort.Ints(cs)
 	if len(cs) > 1 {
 		maxEntropy := stat.EntropyOfCounts(uniformCounts(len(cs)))
 		if maxEntropy > 0 {
