@@ -10,11 +10,14 @@ vet:
 	$(GO) vet ./...
 
 # The project-invariant analyzer suite (internal/analysis): determinism,
-# error, lock, and float-comparison discipline. -list additionally fails
-# if any analyzer lacks a golden test.
+# error, lock, float-comparison, and concurrency discipline. -list
+# additionally fails if any analyzer lacks a golden test. LINT_JOBS caps
+# the parallel type-check/analysis workers (0 = GOMAXPROCS); output is
+# identical at every value.
+LINT_JOBS ?= 0
 lint:
 	$(GO) run ./cmd/lppm-lint -list
-	$(GO) run ./cmd/lppm-lint
+	$(GO) run ./cmd/lppm-lint -j $(LINT_JOBS)
 
 build:
 	$(GO) build ./...

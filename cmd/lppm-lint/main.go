@@ -7,17 +7,22 @@
 //
 // Usage:
 //
-//	lppm-lint [-C dir] [-list]
+//	lppm-lint [-C dir] [-j n] [-json] [-list]
 //
 // Without flags it lints the module containing dir (default ".") and
-// prints findings as file:line:col: analyzer: message. With -list it
-// prints the analyzer roster and self-checks that each analyzer has a
-// golden-file test under internal/analysis/testdata/<name> containing
-// at least one `// want` expectation — an analyzer nobody tests is an
-// invariant nobody checks.
+// prints findings as file:line:col: analyzer: message. -j sets the
+// number of parallel type-check/analysis workers (0, the default, means
+// GOMAXPROCS; -j 1 restores the serial order of operations, with
+// byte-identical output either way). -json emits one JSON object per
+// finding per line instead of the plain format — the contract CI
+// tooling consumes. With -list it prints the analyzer roster and
+// self-checks that each analyzer has a golden-file test under
+// internal/analysis/testdata/<name> containing at least one `// want`
+// expectation — an analyzer nobody tests is an invariant nobody checks.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -50,6 +55,8 @@ func (n errFindings) Error() string {
 func run(args []string, out *strings.Builder) error {
 	fs := flag.NewFlagSet("lppm-lint", flag.ContinueOnError)
 	dir := fs.String("C", ".", "lint the module containing this directory")
+	jobs := fs.Int("j", 0, "parallel type-check/analysis workers (0 = GOMAXPROCS)")
+	jsonOut := fs.Bool("json", false, "emit findings as JSON objects, one per line")
 	list := fs.Bool("list", false, "list analyzers and self-check golden-test coverage")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -60,15 +67,28 @@ func run(args []string, out *strings.Builder) error {
 	if *list {
 		return selfCheck(*dir, out)
 	}
-	return lint(*dir, out)
+	return lint(*dir, *jobs, *jsonOut, out)
 }
 
-func lint(dir string, out *strings.Builder) error {
-	pkgs, err := analysis.LoadModule(dir)
+// jsonFinding is the -json wire format: one object per line, stable
+// field set. Suppressible is false only for the "pragma" pseudo-analyzer
+// findings, which no pragma can silence — CI can use it to distinguish
+// "add a justified pragma or fix the code" from "fix the pragma itself".
+type jsonFinding struct {
+	Analyzer     string `json:"analyzer"`
+	File         string `json:"file"`
+	Line         int    `json:"line"`
+	Col          int    `json:"col"`
+	Message      string `json:"message"`
+	Suppressible bool   `json:"suppressible"`
+}
+
+func lint(dir string, jobs int, jsonOut bool, out *strings.Builder) error {
+	pkgs, err := analysis.LoadModule(dir, jobs)
 	if err != nil {
 		return err
 	}
-	diags := analysis.Run(pkgs, analysis.All())
+	diags := analysis.Run(pkgs, analysis.All(), jobs)
 	if len(diags) == 0 {
 		return nil
 	}
@@ -81,6 +101,22 @@ func lint(dir string, out *strings.Builder) error {
 			if rel, err := filepath.Rel(root, name); err == nil && !strings.HasPrefix(rel, "..") {
 				name = rel
 			}
+		}
+		if jsonOut {
+			b, err := json.Marshal(jsonFinding{
+				Analyzer:     d.Analyzer,
+				File:         name,
+				Line:         d.Pos.Line,
+				Col:          d.Pos.Column,
+				Message:      d.Message,
+				Suppressible: d.Analyzer != "pragma",
+			})
+			if err != nil {
+				return err
+			}
+			out.WriteString(string(b))
+			out.WriteString("\n")
+			continue
 		}
 		fmt.Fprintf(out, "%s:%d:%d: %s: %s\n", name, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
 	}

@@ -1,0 +1,11 @@
+// A deliberately dirty one-package module: the CLI tests pin the plain
+// and -json output formats against it.
+package badmod
+
+import "time"
+
+func poll(ready func() bool) {
+	for !ready() {
+		<-time.After(time.Millisecond)
+	}
+}

@@ -89,7 +89,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	protected := make(chan int)
+	protected := make(chan int, 1)
 	go func() {
 		n := 0
 		for batch := range gw.Output() {

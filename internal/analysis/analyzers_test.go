@@ -30,3 +30,31 @@ func TestLockDeferGolden(t *testing.T) {
 func TestMapOrderGolden(t *testing.T) {
 	runGolden(t, MapOrder, "testdata/maporder", "repro/internal/maptest")
 }
+
+// Concurrency pass (PR 7). ctxflow's package-main exemption is pinned
+// by loading a main package from the mainpkg subdirectory and
+// expecting silence.
+
+func TestGoroLeakGolden(t *testing.T) {
+	runGolden(t, GoroLeak, "testdata/goroleak", "repro/internal/goroleaktest")
+}
+
+func TestCtxFlowGolden(t *testing.T) {
+	runGolden(t, CtxFlow, "testdata/ctxflow", "repro/internal/ctxflowtest")
+}
+
+func TestCtxFlowExemptsMain(t *testing.T) {
+	runGoldenExpectNone(t, CtxFlow, "testdata/ctxflow/mainpkg", "repro/cmd/ctxflowmain")
+}
+
+func TestSendLockGolden(t *testing.T) {
+	runGolden(t, SendLock, "testdata/sendlock", "repro/internal/sendlocktest")
+}
+
+func TestWgDisciplineGolden(t *testing.T) {
+	runGolden(t, WgDiscipline, "testdata/wgdiscipline", "repro/internal/wgtest")
+}
+
+func TestTimeLeakGolden(t *testing.T) {
+	runGolden(t, TimeLeak, "testdata/timeleak", "repro/internal/timeleaktest")
+}

@@ -1,0 +1,107 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxFlow guards context plumbing, the thread every lifetime in the
+// serving stack hangs from. Three rules:
+//
+//   - A context.Context parameter comes first (after the receiver) —
+//     the position is the convention that makes cancellation plumbing
+//     reviewable at a glance, and a ctx buried mid-signature is the
+//     first step toward one that stops being passed at all.
+//   - No context.Context struct fields. A stored context outlives the
+//     call that supplied it and silently decouples the holder's
+//     lifetime from its caller's; the rare deliberate case (the
+//     gateway, whose context *is* its lifetime and is documented as
+//     such) carries a pragma with its reason.
+//   - context.Background() and context.TODO() belong to package main —
+//     the composition root that owns process lifetime. A library
+//     package minting its own root context detaches itself from
+//     whatever cancellation its caller meant to impose. (Tests are
+//     exempt by construction: the suite analyzes shipped sources only.)
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc: "context.Context must be the first parameter and never a struct " +
+		"field; Background/TODO are confined to package main",
+	Run: runCtxFlow,
+}
+
+func runCtxFlow(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.FuncType:
+				checkCtxParams(pass, st)
+			case *ast.StructType:
+				checkCtxFields(pass, st)
+			case *ast.CallExpr:
+				checkCtxRoot(pass, st)
+			}
+			return true
+		})
+	}
+}
+
+// checkCtxParams flags context.Context parameters that are not the
+// function's first parameter. Variadic and grouped parameters count by
+// their declared position.
+func checkCtxParams(pass *Pass, ft *ast.FuncType) {
+	if ft.Params == nil {
+		return
+	}
+	pos := 0
+	for _, field := range ft.Params.List {
+		n := len(field.Names)
+		if n == 0 {
+			n = 1 // unnamed parameter still occupies a position
+		}
+		if isContextType(pass, field.Type) && pos > 0 {
+			pass.Reportf(field.Type.Pos(),
+				"context.Context must be the first parameter, not parameter %d", pos+1)
+		}
+		pos += n
+	}
+}
+
+// checkCtxFields flags struct fields of type context.Context.
+func checkCtxFields(pass *Pass, st *ast.StructType) {
+	for _, field := range st.Fields.List {
+		if isContextType(pass, field.Type) {
+			pass.Reportf(field.Type.Pos(),
+				"context.Context stored in a struct field outlives its caller's cancellation scope; pass it per call, or pragma the field with the lifetime argument")
+		}
+	}
+}
+
+// checkCtxRoot flags context.Background()/TODO() outside package main.
+func checkCtxRoot(pass *Pass, call *ast.CallExpr) {
+	if pass.Pkg.Name() == "main" {
+		return
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return
+	}
+	pn, ok := pass.Info.Uses[id].(*types.PkgName)
+	if !ok || pn.Imported().Path() != "context" {
+		return
+	}
+	if sel.Sel.Name == "Background" || sel.Sel.Name == "TODO" {
+		pass.Reportf(call.Pos(),
+			"context.%s() mints a root context outside package main; accept a ctx from the caller instead",
+			sel.Sel.Name)
+	}
+}
+
+// isContextType reports whether the type expression denotes
+// context.Context.
+func isContextType(pass *Pass, e ast.Expr) bool {
+	return namedTypeKey(pass.Info.TypeOf(e)) == "context.Context"
+}

@@ -1,0 +1,310 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoroLeak guards goroutine termination: every `go` statement in shipped
+// code must carry visible evidence that the spawned goroutine can end.
+// The serving stack (gateway shards, dispatcher, controller loop, stream
+// owners) is built from long-lived goroutines, and the bug class it is
+// about to grow into — multi-node tiers, checkpoint replay — is a worker
+// that outlives its owner because nothing ever tells it to stop.
+//
+// Accepted termination evidence, checked over the spawned body (nested
+// function literals included, nested `go` statements excluded — they are
+// their own spawn sites):
+//
+//   - a `select` with at least one receive case (the ctx.Done()/quit
+//     channel pattern; a timer or output channel works the same way),
+//   - a `defer wg.Done()` on a sync.WaitGroup — the body is tracked and
+//     someone owns its completion,
+//   - otherwise, a body whose loops are all bounded (a condition or a
+//     range clause, including range-over-channel, which ends at close)
+//     and whose channel sends cannot block forever.
+//
+// Without such evidence, two shapes are findings: an unbounded `for {}`
+// with no return or break (the goroutine can never end), and an
+// unconditional blocking send outside a select (the goroutine strands the
+// moment its receiver is gone — the naked `go func() { ch <- f() }`
+// shape). A send on a channel visibly created with a capacity in the
+// same package (`make(chan T, n)`) is exempt: the result-channel idiom
+// sizes the buffer to the send count precisely so the sender can exit
+// unreceived.
+var GoroLeak = &Analyzer{
+	Name: "goroleak",
+	Doc: "every go statement needs a visible termination path: a select " +
+		"on a quit/ctx channel, a WaitGroup-tracked body, or bounded loops " +
+		"with non-stranding sends",
+	Run: runGoroLeak,
+}
+
+func runGoroLeak(pass *Pass) {
+	decls := indexFuncDecls(pass)
+	buffered := indexBufferedChans(pass)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			body := spawnedBody(pass, g, decls)
+			if body == nil {
+				// An out-of-package callee (http.Server.Serve, …): its
+				// body is not ours to prove; its own package carries the
+				// contract.
+				return true
+			}
+			checkGoroutine(pass, g, body, buffered)
+			return true
+		})
+	}
+}
+
+// spawnedBody resolves the function body a go statement runs: a literal's
+// body directly, a same-package function or method through its
+// declaration, nil when the callee is declared elsewhere.
+func spawnedBody(pass *Pass, g *ast.GoStmt, decls map[*types.Func]*ast.FuncDecl) *ast.BlockStmt {
+	if lit, ok := g.Call.Fun.(*ast.FuncLit); ok {
+		return lit.Body
+	}
+	var obj types.Object
+	switch fun := g.Call.Fun.(type) {
+	case *ast.Ident:
+		obj = pass.Info.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = pass.Info.Uses[fun.Sel]
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return nil
+	}
+	if d := decls[fn]; d != nil {
+		return d.Body
+	}
+	return nil
+}
+
+// indexFuncDecls maps the package's function objects to their
+// declarations so `go g.run(s)` resolves to run's body.
+func indexFuncDecls(pass *Pass) map[*types.Func]*ast.FuncDecl {
+	decls := make(map[*types.Func]*ast.FuncDecl)
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := pass.Info.Defs[fd.Name].(*types.Func); ok {
+				decls[fn] = fd
+			}
+		}
+	}
+	return decls
+}
+
+// indexBufferedChans collects variable objects initialized from
+// `make(chan T, n)` anywhere in the package — the visible-buffer evidence
+// the send check consults. Only idents initialized directly from a make
+// with a capacity argument qualify; a rebound or field-stored channel
+// stays unproven.
+func indexBufferedChans(pass *Pass) map[types.Object]bool {
+	buffered := make(map[types.Object]bool)
+	record := func(name *ast.Ident, rhs ast.Expr) {
+		call, ok := rhs.(*ast.CallExpr)
+		if !ok || len(call.Args) != 2 {
+			return
+		}
+		if id, ok := call.Fun.(*ast.Ident); !ok || id.Name != "make" || pass.Info.Uses[id] != types.Universe.Lookup("make") {
+			return
+		}
+		if _, ok := pass.Info.TypeOf(call).Underlying().(*types.Chan); !ok {
+			return
+		}
+		if obj := pass.Info.Defs[name]; obj != nil {
+			buffered[obj] = true
+		}
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.AssignStmt:
+				if len(st.Lhs) != len(st.Rhs) {
+					return true
+				}
+				for i, lhs := range st.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok {
+						record(id, st.Rhs[i])
+					}
+				}
+			case *ast.ValueSpec:
+				if len(st.Names) != len(st.Values) {
+					return true
+				}
+				for i, name := range st.Names {
+					record(name, st.Values[i])
+				}
+			}
+			return true
+		})
+	}
+	return buffered
+}
+
+// checkGoroutine decides one spawn site: gather termination evidence
+// first, and only without any, hunt for the stranding shapes.
+func checkGoroutine(pass *Pass, g *ast.GoStmt, body *ast.BlockStmt, buffered map[types.Object]bool) {
+	hasSelectRecv, wgTracked := false, false
+	walkSpawned(body, func(n ast.Node) {
+		switch st := n.(type) {
+		case *ast.SelectStmt:
+			if selectHasReceive(st) {
+				hasSelectRecv = true
+			}
+		case *ast.DeferStmt:
+			if isWaitGroupCall(pass, st.Call, "Done") {
+				wgTracked = true
+			}
+		}
+	})
+	if hasSelectRecv || wgTracked {
+		return
+	}
+	walkSpawned(body, func(n ast.Node) {
+		switch st := n.(type) {
+		case *ast.ForStmt:
+			if st.Cond == nil && !loopHasExit(st.Body) {
+				pass.Reportf(g.Pos(),
+					"goroutine runs an unbounded for loop with no return or break and no select on a quit/ctx channel; give it a termination path or pragma the spawn with a justification")
+			}
+		case *ast.SendStmt:
+			if id, ok := st.Chan.(*ast.Ident); ok {
+				obj := pass.Info.Uses[id]
+				if obj == nil {
+					obj = pass.Info.Defs[id]
+				}
+				if buffered[obj] {
+					return
+				}
+			}
+			pass.Reportf(g.Pos(),
+				"goroutine performs an unconditional blocking send on %s with no visible buffer or termination path; it strands forever once the receiver is gone",
+				types.ExprString(st.Chan))
+		}
+	})
+}
+
+// walkSpawned visits the spawned body, descending into nested function
+// literals (they run on this goroutine unless spawned again) but not into
+// nested go statements. Select comm clauses' own send/receive statements
+// are skipped: they are guarded by the select's other cases and must not
+// be judged as bare operations.
+func walkSpawned(body *ast.BlockStmt, visit func(ast.Node)) {
+	guarded := make(map[ast.Node]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectStmt); ok {
+			for _, c := range sel.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok && cc.Comm != nil {
+					guarded[cc.Comm] = true
+				}
+			}
+		}
+		return true
+	})
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.GoStmt); ok {
+			return false
+		}
+		if n == nil || guarded[n] {
+			return true
+		}
+		visit(n)
+		return true
+	})
+}
+
+// selectHasReceive reports whether any comm clause receives — the shape
+// of a ctx.Done()/quit-channel exit (default-only or send-only selects
+// prove nothing about termination).
+func selectHasReceive(sel *ast.SelectStmt) bool {
+	for _, c := range sel.Body.List {
+		cc := c.(*ast.CommClause)
+		switch comm := cc.Comm.(type) {
+		case *ast.ExprStmt:
+			if isReceiveExpr(comm.X) {
+				return true
+			}
+		case *ast.AssignStmt:
+			if len(comm.Rhs) == 1 && isReceiveExpr(comm.Rhs[0]) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func isReceiveExpr(e ast.Expr) bool {
+	u, ok := e.(*ast.UnaryExpr)
+	return ok && u.Op == token.ARROW
+}
+
+// loopHasExit reports whether an unbounded loop body can leave the loop:
+// a return or goto anywhere (they exit regardless of nesting), a labeled
+// break (it names its target), or an unlabeled break not captured first
+// by an inner loop, switch, or select. Nested function literals don't
+// count — their control flow is their own.
+func loopHasExit(body *ast.BlockStmt) bool {
+	exit := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if exit {
+			return false
+		}
+		switch st := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt:
+			exit = true
+			return false
+		case *ast.BranchStmt:
+			if st.Tok == token.GOTO || (st.Tok == token.BREAK && st.Label != nil) {
+				exit = true
+				return false
+			}
+		}
+		return true
+	})
+	if exit {
+		return true
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if exit {
+			return false
+		}
+		switch st := n.(type) {
+		case *ast.FuncLit, *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+			// An unlabeled break inside these targets them, not our loop.
+			return false
+		case *ast.BranchStmt:
+			if st.Tok == token.BREAK {
+				exit = true
+				return false
+			}
+		}
+		return true
+	})
+	return exit
+}
+
+// isWaitGroupCall reports whether the call is sync.WaitGroup.<name>.
+func isWaitGroupCall(pass *Pass, call *ast.CallExpr, name string) bool {
+	sel, method, ok := syncMethod(pass, call)
+	if !ok || method != name {
+		return false
+	}
+	if selInfo, ok := pass.Info.Selections[sel]; ok {
+		return namedTypeKey(selInfo.Recv()) == "sync.WaitGroup"
+	}
+	return false
+}

@@ -10,6 +10,7 @@ import (
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -32,16 +33,34 @@ type Package struct {
 // GOROOT packages from source, so the tool needs no pre-built export
 // data; cgo is disabled first so packages like net resolve to their pure
 // Go variants instead of requiring a C toolchain.
-var stdImporter = sync.OnceValue(func() types.ImporterFrom {
-	build.Default.CgoEnabled = false
-	return importer.ForCompiler(token.NewFileSet(), "source", nil).(types.ImporterFrom)
-})
+//
+// The source importer is NOT safe for concurrent use (it mutates an
+// internal package cache), so every call goes through stdImporterMu.
+// Module packages type-checked in parallel therefore serialize only on
+// their first std-lib imports; repeats are cache hits.
+var (
+	stdImporterMu sync.Mutex
+	stdImporter   = sync.OnceValue(func() types.ImporterFrom {
+		build.Default.CgoEnabled = false
+		return importer.ForCompiler(token.NewFileSet(), "source", nil).(types.ImporterFrom)
+	})
+)
 
 // LoadModule parses and type-checks every non-test package under the
 // module rooted at (or above) dir. _test.go files are excluded: the
 // suite audits shipped code, and test-only idioms (bit-exact float
 // comparison, wall-clock timeouts) are legitimate there.
-func LoadModule(dir string) ([]*Package, error) {
+//
+// Type-checking runs with up to jobs workers (jobs <= 0 means
+// GOMAXPROCS): the import graph is cut into topological levels, and
+// every package within a level — by construction mutually independent —
+// checks concurrently. token.FileSet is documented concurrency-safe,
+// each worker owns its types.Info, and the shared importer guards its
+// two mutable structures (the done map, the std importer) itself.
+func LoadModule(dir string, jobs int) ([]*Package, error) {
+	if jobs <= 0 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
 	root, modPath, err := findModule(dir)
 	if err != nil {
 		return nil, err
@@ -51,28 +70,52 @@ func LoadModule(dir string) ([]*Package, error) {
 	if err != nil {
 		return nil, err
 	}
-	order, err := topoSort(parsed)
+	levels, err := topoLevels(parsed)
 	if err != nil {
 		return nil, err
 	}
 	imp := &moduleImporter{module: modPath, done: make(map[string]*types.Package)}
 	var pkgs []*Package
-	for _, pp := range order {
-		info := newInfo()
-		conf := types.Config{Importer: imp}
-		tpkg, err := conf.Check(pp.path, fset, pp.files, info)
-		if err != nil {
-			return nil, fmt.Errorf("type-checking %s: %w", pp.path, err)
+	for _, level := range levels {
+		results := make([]*Package, len(level))
+		errs := make([]error, len(level))
+		sem := make(chan struct{}, jobs)
+		var wg sync.WaitGroup
+		for i, pp := range level {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				info := newInfo()
+				conf := types.Config{Importer: imp}
+				tpkg, err := conf.Check(pp.path, fset, pp.files, info)
+				if err != nil {
+					errs[i] = fmt.Errorf("type-checking %s: %w", pp.path, err)
+					return
+				}
+				results[i] = &Package{
+					Path:  pp.path,
+					Dir:   pp.dir,
+					Fset:  fset,
+					Files: pp.files,
+					Pkg:   tpkg,
+					Info:  info,
+				}
+			}()
 		}
-		imp.done[pp.path] = tpkg
-		pkgs = append(pkgs, &Package{
-			Path:  pp.path,
-			Dir:   pp.dir,
-			Fset:  fset,
-			Files: pp.files,
-			Pkg:   tpkg,
-			Info:  info,
-		})
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+		// Publish the level's results only after the barrier, keeping
+		// the done map free of half-checked packages.
+		for _, r := range results {
+			imp.add(r.Path, r.Pkg)
+			pkgs = append(pkgs, r)
+		}
 	}
 	return pkgs, nil
 }
@@ -89,10 +132,19 @@ func newInfo() *types.Info {
 }
 
 // moduleImporter serves already-checked module packages and delegates
-// everything else to the shared source importer.
+// everything else to the shared source importer. Safe for use from
+// concurrent type-check workers: done is RWMutex-guarded, and std-lib
+// delegation serializes on stdImporterMu.
 type moduleImporter struct {
 	module string
+	mu     sync.RWMutex
 	done   map[string]*types.Package
+}
+
+func (m *moduleImporter) add(path string, pkg *types.Package) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.done[path] = pkg
 }
 
 func (m *moduleImporter) Import(path string) (*types.Package, error) {
@@ -100,12 +152,17 @@ func (m *moduleImporter) Import(path string) (*types.Package, error) {
 }
 
 func (m *moduleImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
-	if p, ok := m.done[path]; ok {
+	m.mu.RLock()
+	p, ok := m.done[path]
+	m.mu.RUnlock()
+	if ok {
 		return p, nil
 	}
 	if path == m.module || strings.HasPrefix(path, m.module+"/") {
 		return nil, fmt.Errorf("module package %s imported before it was checked (import cycle?)", path)
 	}
+	stdImporterMu.Lock()
+	defer stdImporterMu.Unlock()
 	return stdImporter().ImportFrom(path, dir, mode)
 }
 
@@ -213,23 +270,27 @@ func parseModule(fset *token.FileSet, root, modPath string) (map[string]*parsedP
 	return pkgs, nil
 }
 
-// topoSort orders packages so every module-internal import precedes its
-// importer; ties break by path for a deterministic check order.
-func topoSort(pkgs map[string]*parsedPkg) ([]*parsedPkg, error) {
+// topoLevels stratifies packages by import depth: level 0 holds
+// packages with no module-internal imports, level n+1 holds packages
+// whose deepest module dependency sits at level n. Every package within
+// a level is independent of its level-mates, so a level is exactly the
+// unit of safe type-check parallelism. Packages are path-sorted within
+// each level for a deterministic overall order.
+func topoLevels(pkgs map[string]*parsedPkg) ([][]*parsedPkg, error) {
 	paths := make([]string, 0, len(pkgs))
 	for p := range pkgs {
 		paths = append(paths, p)
 	}
 	sort.Strings(paths)
-	var order []*parsedPkg
+	depth := make(map[string]int)
 	state := make(map[string]int) // 0 unvisited, 1 visiting, 2 done
-	var visit func(p string) error
-	visit = func(p string) error {
+	var visit func(p string) (int, error)
+	visit = func(p string) (int, error) {
 		switch state[p] {
 		case 1:
-			return fmt.Errorf("import cycle through %s", p)
+			return 0, fmt.Errorf("import cycle through %s", p)
 		case 2:
-			return nil
+			return depth[p], nil
 		}
 		state[p] = 1
 		pp := pkgs[p]
@@ -238,22 +299,36 @@ func topoSort(pkgs map[string]*parsedPkg) ([]*parsedPkg, error) {
 			deps = append(deps, d)
 		}
 		sort.Strings(deps)
+		level := 0
 		for _, d := range deps {
 			if pkgs[d] == nil {
-				return fmt.Errorf("%s imports %s, which has no Go files in this module", p, d)
+				return 0, fmt.Errorf("%s imports %s, which has no Go files in this module", p, d)
 			}
-			if err := visit(d); err != nil {
-				return err
+			dl, err := visit(d)
+			if err != nil {
+				return 0, err
+			}
+			if dl+1 > level {
+				level = dl + 1
 			}
 		}
 		state[p] = 2
-		order = append(order, pp)
-		return nil
+		depth[p] = level
+		return level, nil
 	}
+	maxLevel := -1
 	for _, p := range paths {
-		if err := visit(p); err != nil {
+		l, err := visit(p)
+		if err != nil {
 			return nil, err
 		}
+		if l > maxLevel {
+			maxLevel = l
+		}
 	}
-	return order, nil
+	levels := make([][]*parsedPkg, maxLevel+1)
+	for _, p := range paths {
+		levels[depth[p]] = append(levels[depth[p]], pkgs[p])
+	}
+	return levels, nil
 }

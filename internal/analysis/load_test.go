@@ -1,0 +1,40 @@
+package analysis
+
+import "testing"
+
+// TestParallelLoadParity pins the -j contract: the stratified parallel
+// loader and analyzer runner produce byte-identical results at every
+// worker count. Package order is the topological-level order with paths
+// sorted inside each level — a function of the import graph alone, not
+// of goroutine scheduling — and diagnostics come out position-sorted.
+func TestParallelLoadParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module twice")
+	}
+	serial, err := LoadModule(".", 1)
+	if err != nil {
+		t.Fatalf("serial load: %v", err)
+	}
+	parallel, err := LoadModule(".", 8)
+	if err != nil {
+		t.Fatalf("parallel load: %v", err)
+	}
+	if len(serial) != len(parallel) {
+		t.Fatalf("package counts differ: %d serial, %d parallel", len(serial), len(parallel))
+	}
+	for i := range serial {
+		if serial[i].Path != parallel[i].Path {
+			t.Errorf("package %d: serial %s, parallel %s", i, serial[i].Path, parallel[i].Path)
+		}
+	}
+	sd := Run(serial, All(), 1)
+	pd := Run(parallel, All(), 8)
+	if len(sd) != len(pd) {
+		t.Fatalf("diagnostic counts differ: %d serial, %d parallel", len(sd), len(pd))
+	}
+	for i := range sd {
+		if sd[i].String() != pd[i].String() {
+			t.Errorf("diagnostic %d differs:\n  serial:   %s\n  parallel: %s", i, sd[i], pd[i])
+		}
+	}
+}

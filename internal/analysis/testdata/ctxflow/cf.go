@@ -1,0 +1,42 @@
+// Golden corpus for ctxflow: parameter position, struct storage and its
+// exemption grammar, root-context minting. Loaded as a library package
+// (repro/internal/ctxflowtest); the package-main exemption is pinned by
+// the mainpkg sibling directory.
+package ctxflowtest
+
+import "context"
+
+// ctx must come first.
+func lateCtx(name string, ctx context.Context) error { // want "ctxflow: context.Context must be the first parameter, not parameter 2"
+	_ = name
+	return ctx.Err()
+}
+
+// Interface methods obey the same convention.
+type Runner interface {
+	Run(name string, ctx context.Context) error // want "ctxflow: context.Context must be the first parameter, not parameter 2"
+}
+
+// A stored context decouples the holder's lifetime from its caller's.
+type holder struct {
+	ctx context.Context // want "ctxflow: context.Context stored in a struct field"
+}
+
+// The exemption grammar: a pragma carrying the lifetime argument.
+type gatewayLike struct {
+	ctx context.Context //lppm:allow ctxflow -- the context is the holder's documented lifetime; every goroutine it starts selects on it
+}
+
+// Library packages must not mint root contexts.
+func mintsRoot() context.Context {
+	return context.Background() // want "ctxflow: context.Background\(\) mints a root context outside package main"
+}
+
+func firstIsFine(ctx context.Context, name string) error {
+	_ = name
+	return ctx.Err()
+}
+
+func use(h holder, g gatewayLike) (context.Context, context.Context) {
+	return h.ctx, g.ctx
+}

@@ -1,0 +1,12 @@
+// The composition root owns process lifetime: minting the root context
+// in package main is the sanctioned place, so ctxflow must stay silent
+// over this whole file.
+package main
+
+import "context"
+
+func main() {
+	ctx := context.Background()
+	todo := context.TODO()
+	_, _ = ctx, todo
+}

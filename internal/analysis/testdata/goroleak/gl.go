@@ -1,0 +1,91 @@
+// Golden corpus for goroleak: spawn sites with and without visible
+// termination paths. Loaded as repro/internal/goroleaktest.
+package goroleaktest
+
+import (
+	"context"
+	"sync"
+)
+
+// Naked spawn with an unconditional blocking send: the stranding shape.
+func strandedSend(ch chan int) {
+	go func() { // want "goroleak: .*unconditional blocking send on ch"
+		ch <- 42
+	}()
+}
+
+// Unbounded loop with no way out.
+func spinner() {
+	go func() { // want "goroleak: .*unbounded for loop with no return or break"
+		for {
+			work()
+		}
+	}()
+}
+
+// A visible buffer exempts the result-channel idiom.
+func bufferedResult() chan error {
+	done := make(chan error, 1)
+	go func() {
+		done <- work2()
+	}()
+	return done
+}
+
+// A select with a receive case is a termination path.
+func ctxAware(ctx context.Context, ch chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case ch <- 1:
+			}
+		}
+	}()
+}
+
+// A WaitGroup-tracked body is owned by its Wait-er.
+func tracked(wg *sync.WaitGroup, ch chan int) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		ch <- 9
+	}()
+}
+
+// Range over a channel ends at close.
+func drainer(ch chan int) {
+	go func() {
+		for range ch {
+		}
+	}()
+}
+
+// Named same-package functions resolve to their bodies.
+func spawnNamed(ch chan int) {
+	go forward(ch) // want "goroleak: .*unconditional blocking send on ch"
+}
+
+func forward(ch chan int) {
+	ch <- 1
+}
+
+// An unbounded loop with a break has an exit.
+func bounded(step func() bool) {
+	go func() {
+		for {
+			if !step() {
+				break
+			}
+		}
+	}()
+}
+
+// A justified exception survives with its reason on record.
+func pragmaed(ch chan int) {
+	go func() { ch <- 3 }() //lppm:allow goroleak -- the contract requires the receiver to outlive this send; documented here for the golden grammar
+}
+
+func work()        {}
+func work2() error { return nil }

@@ -1,0 +1,53 @@
+// Golden corpus for timeleak: timer allocation inside loops. Loaded as
+// repro/internal/timeleaktest.
+package timeleaktest
+
+import (
+	"context"
+	"time"
+)
+
+// One timer per iteration, none ever stopped — the retry-loop shape
+// that shipped in the client's health poll.
+func pollLeaky(ctx context.Context, ready func() bool) error {
+	for !ready() {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(10 * time.Millisecond): // want "timeleak: time.After inside a loop leaks one timer per iteration"
+		}
+	}
+	return nil
+}
+
+// time.Tick's timer can never be stopped at all.
+func tickLeaky(work func(), done func() bool) {
+	for !done() {
+		<-time.Tick(time.Second) // want "timeleak: time.Tick inside a loop leaks one timer per iteration"
+		work()
+	}
+}
+
+// The sanctioned shape: one ticker hoisted out, deferred Stop.
+func pollClean(ctx context.Context, ready func() bool) error {
+	t := time.NewTicker(10 * time.Millisecond)
+	defer t.Stop()
+	for !ready() {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-t.C:
+		}
+	}
+	return nil
+}
+
+// A single After outside any loop is one timer, bounded.
+func once(ch chan int) int {
+	select {
+	case v := <-ch:
+		return v
+	case <-time.After(time.Second):
+		return 0
+	}
+}

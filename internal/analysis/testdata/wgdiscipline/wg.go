@@ -1,0 +1,52 @@
+// Golden corpus for wgdiscipline: Add/Done ordering around go
+// statements. Loaded as repro/internal/wgtest.
+package wgtest
+
+import "sync"
+
+// Add inside the spawned body races Wait: Wait can return before the
+// goroutine is scheduled, then Add panics or the work goes unwaited.
+func addInside(wg *sync.WaitGroup) {
+	go func() {
+		wg.Add(1) // want "wgdiscipline: WaitGroup.Add inside the spawned goroutine races Wait"
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+// A bare trailing Done is skipped by any panic or early return added
+// later, stranding Wait forever.
+func bareDone(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		work()
+		wg.Done() // want "wgdiscipline: WaitGroup.Done as a plain call"
+	}()
+	wg.Wait()
+}
+
+// The discipline: Add before the spawn, Done deferred.
+func clean(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+// A nested spawn is its own site: the outer literal's Add-before-go is
+// judged against the inner go statement's own rules, not the outer's.
+func nested(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		inner := make(chan struct{}, 1)
+		go func() { inner <- struct{}{} }()
+		<-inner
+	}()
+	wg.Wait()
+}
+
+func work() {}

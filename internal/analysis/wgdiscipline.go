@@ -1,0 +1,66 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// WgDiscipline pins the sync.WaitGroup idiom the runtime race detector
+// only catches when the race actually fires: Add happens-before the `go`
+// statement, Done runs via defer. The failure modes are classic —
+// `wg.Add(1)` as the first line *inside* the goroutine races Wait (Wait
+// can return before the goroutine is scheduled, then Add panics or the
+// work is silently unwaited), and a bare trailing `wg.Done()` is skipped
+// by any panic or early return added later, stranding Wait forever.
+//
+// Two shapes are findings:
+//
+//   - a WaitGroup Add lexically inside a function literal spawned by a
+//     `go` statement,
+//   - a WaitGroup Done called as a plain statement rather than deferred.
+var WgDiscipline = &Analyzer{
+	Name: "wgdiscipline",
+	Doc: "WaitGroup.Add must precede the go statement (never run inside " +
+		"the spawned body) and Done must be deferred",
+	Run: runWgDiscipline,
+}
+
+func runWgDiscipline(pass *Pass) {
+	for _, f := range pass.Files {
+		// Pass 1: Adds inside spawned literals.
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			lit, ok := g.Call.Fun.(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			ast.Inspect(lit.Body, func(m ast.Node) bool {
+				if _, ok := m.(*ast.GoStmt); ok {
+					return false // a nested spawn is its own site
+				}
+				call, ok := m.(*ast.CallExpr)
+				if ok && isWaitGroupCall(pass, call, "Add") {
+					pass.Reportf(call.Pos(),
+						"WaitGroup.Add inside the spawned goroutine races Wait; Add before the go statement")
+				}
+				return true
+			})
+			return true
+		})
+		// Pass 2: bare Done calls.
+		ast.Inspect(f, func(n ast.Node) bool {
+			es, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := es.X.(*ast.CallExpr)
+			if ok && isWaitGroupCall(pass, call, "Done") {
+				pass.Reportf(call.Pos(),
+					"WaitGroup.Done as a plain call is skipped by a panic or an early return added later; defer it at the top of the goroutine")
+			}
+			return true
+		})
+	}
+}

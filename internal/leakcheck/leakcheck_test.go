@@ -1,0 +1,44 @@
+package leakcheck_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/leakcheck"
+)
+
+// leakForever blocks in module code until released — the shape Check
+// must catch. The frame is in package leakcheck_test, which the
+// self-exclusion prefix (trailing dot) deliberately does not cover.
+func leakForever(release chan struct{}) {
+	<-release
+}
+
+func TestCheckCatchesLeakThenClears(t *testing.T) {
+	release := make(chan struct{})
+	go leakForever(release)
+	leaks := leakcheck.Check(100 * time.Millisecond)
+	if len(leaks) == 0 {
+		t.Fatal("Check missed a goroutine parked in module code")
+	}
+	found := false
+	for _, l := range leaks {
+		if strings.Contains(l, "leakForever") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("leak report does not name the parked function:\n%s", leaks)
+	}
+	close(release)
+	if leaks := leakcheck.Check(5 * time.Second); len(leaks) != 0 {
+		t.Errorf("Check still reports leaks after release:\n%v", leaks)
+	}
+}
+
+func TestCheckCleanByDefault(t *testing.T) {
+	if leaks := leakcheck.Check(time.Second); len(leaks) != 0 {
+		t.Errorf("clean process reported as leaking:\n%v", leaks)
+	}
+}

@@ -1,0 +1,11 @@
+package lppm
+
+import (
+	"testing"
+
+	"repro/internal/leakcheck"
+)
+
+// The evaluation engine fans analysis out to worker goroutines;
+// leakcheck fails this binary if any outlives the tests (DESIGN.md §11).
+func TestMain(m *testing.M) { leakcheck.Main(m) }

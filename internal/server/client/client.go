@@ -241,7 +241,7 @@ func (c *Client) Stream(ctx context.Context) (*Stream, error) {
 		return nil, err
 	}
 	st := &Stream{pw: pw, rw: rw, resp: resp, recs: make(chan trace.Record, 64)}
-	go st.decodeLoop()
+	go st.decodeLoop() //lppm:allow goroleak -- sends on st.recs until EOF; the Stream contract (Recv-until-nil or Close, whose drainer empties recs) guarantees a receiver
 	return st, nil
 }
 
@@ -315,6 +315,8 @@ func (st *Stream) Close() error {
 // a convenience for tests and the load generator racing a freshly spawned
 // server.
 func (c *Client) WaitHealthy(ctx context.Context) error {
+	tick := time.NewTicker(10 * time.Millisecond)
+	defer tick.Stop()
 	for {
 		if err := c.Health(ctx); err == nil {
 			return nil
@@ -322,7 +324,7 @@ func (c *Client) WaitHealthy(ctx context.Context) error {
 		select {
 		case <-ctx.Done():
 			return ctx.Err()
-		case <-time.After(10 * time.Millisecond):
+		case <-tick.C:
 		}
 	}
 }

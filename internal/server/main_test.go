@@ -1,0 +1,11 @@
+package server
+
+import (
+	"testing"
+
+	"repro/internal/leakcheck"
+)
+
+// The server spawns per-connection and dispatcher goroutines; leakcheck
+// fails this binary if any of them outlives the tests (DESIGN.md §11).
+func TestMain(m *testing.M) { leakcheck.Main(m) }

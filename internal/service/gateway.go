@@ -281,7 +281,7 @@ type TapUser interface {
 // with Close. See package comment for the data flow.
 type Gateway struct {
 	cfg    Config
-	ctx    context.Context
+	ctx    context.Context //lppm:allow ctxflow -- the context IS the gateway's lifetime (fixed at New, honored by every shard loop's select); callers cancel it to stop the pipeline
 	root   *rng.Source
 	shards []*shard
 	out    chan []trace.Record

@@ -1,0 +1,11 @@
+package service
+
+import (
+	"testing"
+
+	"repro/internal/leakcheck"
+)
+
+// The gateway runs shard, watcher, and sweeper goroutines per instance;
+// leakcheck fails this binary if any survives the tests (DESIGN.md §11).
+func TestMain(m *testing.M) { leakcheck.Main(m) }
