@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check vet lint build test bench-smoke bench bench-serve clean
+.PHONY: all check vet lint build test bench-smoke bench bench-serve bench-obs clean
 
 all: check
 
@@ -33,6 +33,15 @@ bench-smoke:
 
 bench:
 	$(GO) test -run '^$$' -bench=. -benchmem .
+
+# Observability overhead: the same gateway workload with a collecting
+# registry and with obs.Nop(), interleaved per iteration. The benchmark
+# asserts bit-identical protected output in both modes always, and the
+# < 2% throughput budget once the sample is long enough to mean something;
+# the measurement lands in BENCH_obs.json (CI applies a looser 5% red line
+# to it, see ci.yml).
+bench-obs:
+	BENCH_OBS_JSON=BENCH_obs.json $(GO) test -run '^$$' -bench='ObsOverhead' -benchtime=20x .
 
 # Loopback serving smoke: the load generator drives a synthetic fleet
 # through the HTTP front-end and records throughput + latency percentiles

@@ -1,0 +1,196 @@
+package repro_test
+
+import (
+	"context"
+	"encoding/json"
+	"math"
+	"os"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/lppm"
+	"repro/internal/obs"
+	"repro/internal/service"
+	"repro/internal/trace"
+)
+
+// FNV-1a constants for the output digest below.
+const (
+	fnvOffset uint64 = 14695981039346656037
+	fnvPrime  uint64 = 1099511628211
+)
+
+func fnvMix64(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= fnvPrime
+		v >>= 8
+	}
+	return h
+}
+
+func fnvMixString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime
+	}
+	return h
+}
+
+// runObsPass streams every producer slice through a fresh gateway wired to
+// reg and digests the protected output: each user's records hash in arrival
+// order (per-user order is deterministic), then the per-user hashes fold in
+// sorted-user order into one value that is independent of how the shards'
+// batches interleaved. Identical protected output ⇒ identical digest.
+func runObsPass(b *testing.B, shards int, slices [][]trace.Record, total int, seed int64, reg *obs.Registry) uint64 {
+	b.Helper()
+	cfg := service.Config{
+		Mechanism:  lppm.NewGeoIndistinguishability(),
+		Shards:     shards,
+		QueueSize:  512,
+		FlushEvery: 8,
+		Seed:       seed,
+		Obs:        reg,
+	}
+	g, err := service.New(context.Background(), cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	type drainResult struct {
+		n      int
+		digest uint64
+	}
+	consumed := make(chan drainResult)
+	go func() {
+		per := make(map[string]uint64, 256)
+		n := 0
+		for batch := range g.Output() {
+			for i := range batch {
+				rec := &batch[i]
+				h, ok := per[rec.User]
+				if !ok {
+					h = fnvMixString(fnvOffset, rec.User)
+				}
+				h = fnvMix64(h, uint64(rec.Time.UnixNano()))
+				h = fnvMix64(h, math.Float64bits(rec.Point.Lat))
+				h = fnvMix64(h, math.Float64bits(rec.Point.Lng))
+				per[rec.User] = h
+			}
+			n += len(batch)
+		}
+		users := make([]string, 0, len(per))
+		for u := range per {
+			users = append(users, u)
+		}
+		sort.Strings(users)
+		digest := fnvOffset
+		for _, u := range users {
+			digest = fnvMixString(digest, u)
+			digest = fnvMix64(digest, per[u])
+		}
+		consumed <- drainResult{n: n, digest: digest}
+	}()
+	errs := make(chan error, len(slices))
+	for _, recs := range slices {
+		go func(recs []trace.Record) {
+			errs <- g.IngestAll(recs)
+		}(recs)
+	}
+	for range slices {
+		if err := <-errs; err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := g.Close(); err != nil {
+		b.Fatal(err)
+	}
+	res := <-consumed
+	if res.n != total {
+		b.Fatalf("protected %d of %d records", res.n, total)
+	}
+	return res.digest
+}
+
+// BenchmarkObsOverhead prices the observability subsystem on the serving
+// hot path: the same workload with a collecting registry (counters, gauges,
+// stage histograms, wall-clock stamps) and with obs.Nop() (every stamp and
+// update skipped), interleaved within each iteration with alternating order
+// — the same single-CPU discipline as BenchmarkGatewayControllerOverhead.
+// Two contracts are enforced, not just printed: the protected output must
+// be bit-identical between the modes (instrumentation reads clocks and
+// bumps atomics but feeds nothing back into protection), and on a sample
+// long enough to outweigh scheduler noise the collecting run must cost
+// < 2% throughput (CI applies a looser 5% red line to the emitted JSON).
+//
+// With BENCH_OBS_JSON=<path> (make bench-obs sets it) the metrics are also
+// written as JSON, so CI records the overhead trajectory over time.
+func BenchmarkObsOverhead(b *testing.B) {
+	const (
+		users     = 192
+		perUser   = 250
+		producers = 4
+		shards    = 4
+	)
+	slices := gatewayWorkload(users, perUser, producers)
+	total := users * perUser
+	newReg := []func() *obs.Registry{
+		func() *obs.Registry { return obs.Nop() },
+		obs.NewRegistry,
+	}
+	var elapsed [2]time.Duration
+	var digests [2]uint64
+	for _, mk := range newReg {
+		runObsPass(b, shards, slices, total, 0, mk())
+	}
+	b.ResetTimer()
+	for iter := 0; iter < b.N; iter++ {
+		// Alternate which mode goes first: with only two configs, a fixed
+		// order would let slow host-load oscillations masquerade as a
+		// systematic mode difference.
+		for k := range newReg {
+			mi := (iter + k) % len(newReg)
+			start := time.Now()
+			digests[mi] = runObsPass(b, shards, slices, total, int64(iter+1), newReg[mi]())
+			elapsed[mi] += time.Since(start)
+		}
+		if digests[0] != digests[1] {
+			b.Fatalf("instrumentation perturbed the output: digest off=%016x on=%016x",
+				digests[0], digests[1])
+		}
+	}
+	off := float64(total*b.N) / elapsed[0].Seconds()
+	on := float64(total*b.N) / elapsed[1].Seconds()
+	overheadPct := (elapsed[1] - elapsed[0]).Seconds() / elapsed[0].Seconds() * 100
+	b.ReportMetric(off, "points/sec:off")
+	b.ReportMetric(on, "points/sec:on")
+	b.ReportMetric(overheadPct, "overhead:%")
+
+	// Wall-clock out of a single -benchtime=1x smoke pass is dominated by
+	// scheduling noise; the budget is asserted once the sample is long
+	// enough for a 2% difference to be signal.
+	if elapsed[0]+elapsed[1] >= 2*time.Second && overheadPct > 2 {
+		b.Fatalf("observability costs %.2f%% throughput, budget is 2%%", overheadPct)
+	}
+
+	if path := os.Getenv("BENCH_OBS_JSON"); path != "" {
+		payload := struct {
+			Benchmark string             `json:"benchmark"`
+			Users     int                `json:"users"`
+			Records   int                `json:"records"`
+			Iters     int                `json:"iterations"`
+			Metrics   map[string]float64 `json:"metrics"`
+		}{"BenchmarkObsOverhead", users, total, b.N, map[string]float64{
+			"points/sec:off": off,
+			"points/sec:on":  on,
+			"overhead_pct":   overheadPct,
+		}}
+		data, err := json.MarshalIndent(payload, "", "  ")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -4,7 +4,10 @@
 // (points/sec) and per-record latency percentiles (p50/p99). Latency is
 // end-to-end: from the moment a record is sent to the moment its protected
 // counterpart is received, window buffering included — the figure an LBS
-// client would actually observe behind the middleware.
+// client would actually observe behind the middleware. Percentiles come
+// from the same fixed-bucket histogram the server's stage clock uses
+// (internal/obs), so memory stays constant however long the run and the
+// two sides quote comparable numbers.
 //
 // With -self-serve the generator starts the server in-process on a
 // loopback listener, which is also how -compare-shards benchmarks
@@ -27,7 +30,6 @@ import (
 	"fmt"
 	"io"
 	"log"
-	"math"
 	"net"
 	"net/http"
 	"os"
@@ -40,6 +42,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/lppm"
+	"repro/internal/obs"
 	"repro/internal/server"
 	"repro/internal/server/client"
 	"repro/internal/service"
@@ -217,22 +220,26 @@ func run(o loadOpts) (*benchReport, error) {
 	}
 
 	// Interleave configurations across rounds (A, B, A, B …) so shared-
-	// host load drift cannot favor whichever runs in a quiet moment.
+	// host load drift cannot favor whichever runs in a quiet moment. Each
+	// configuration accumulates latencies into one histogram across its
+	// rounds — O(1) memory however many records flow.
 	type agg struct {
-		records   int
-		seconds   float64
-		latencies []time.Duration
+		records int
+		seconds float64
+		lat     *obs.Histogram
 	}
 	aggs := make([]agg, len(cfgs))
+	for i := range aggs {
+		aggs[i].lat = new(obs.Histogram)
+	}
 	for round := 0; round < rounds; round++ {
 		for i, c := range cfgs {
-			res, err := runTrial(o, c.shards, perUser)
+			res, err := runTrial(o, c.shards, perUser, aggs[i].lat)
 			if err != nil {
 				return nil, fmt.Errorf("%s round %d: %w", c.name, round+1, err)
 			}
 			aggs[i].records += res.records
 			aggs[i].seconds += res.seconds
-			aggs[i].latencies = append(aggs[i].latencies, res.latencies...)
 		}
 	}
 	for i, c := range cfgs {
@@ -246,8 +253,8 @@ func run(o loadOpts) (*benchReport, error) {
 		if a.seconds > 0 {
 			bc.PointsPerSec = float64(a.records) / a.seconds
 		}
-		bc.P50Millis = percentileMillis(a.latencies, 0.50)
-		bc.P99Millis = percentileMillis(a.latencies, 0.99)
+		bc.P50Millis = quantileMillis(a.lat, 0.50)
+		bc.P99Millis = quantileMillis(a.lat, 0.99)
 		report.Configs = append(report.Configs, bc)
 	}
 	return report, nil
@@ -280,15 +287,15 @@ func generateFleet(o loadOpts) (map[string][]trace.Record, error) {
 
 // trialResult is one measurement run.
 type trialResult struct {
-	records   int
-	seconds   float64
-	latencies []time.Duration
+	records int
+	seconds float64
 }
 
 // runTrial measures one configuration once: spin up the server (self-serve)
 // or reuse the remote one, stream every user's records over -conns
-// connections, and collect throughput and per-record latency.
-func runTrial(o loadOpts, shards int, perUser map[string][]trace.Record) (res trialResult, err error) {
+// connections, and collect throughput into the result and per-record
+// latency into lat (shared by all connections; Observe is wait-free).
+func runTrial(o loadOpts, shards int, perUser map[string][]trace.Record, lat *obs.Histogram) (res trialResult, err error) {
 	base := o.addr
 	var teardown func() error
 	if o.selfServe {
@@ -322,9 +329,8 @@ func runTrial(o loadOpts, shards int, perUser map[string][]trace.Record) (res tr
 	cl := client.New(base)
 	ratePerConn := o.rate / float64(o.conns)
 	type connResult struct {
-		received  int
-		latencies []time.Duration
-		err       error
+		received int
+		err      error
 	}
 	results := make(chan connResult, o.conns)
 	start := time.Now()
@@ -333,7 +339,7 @@ func runTrial(o loadOpts, shards int, perUser map[string][]trace.Record) (res tr
 		wg.Add(1)
 		go func(recs []trace.Record) {
 			defer wg.Done()
-			results <- driveConn(cl, recs, ratePerConn)
+			results <- driveConn(cl, recs, ratePerConn, lat)
 		}(connRecs[ci])
 	}
 	wg.Wait()
@@ -344,7 +350,6 @@ func runTrial(o loadOpts, shards int, perUser map[string][]trace.Record) (res tr
 			err = r.err
 		}
 		res.records += r.received
-		res.latencies = append(res.latencies, r.latencies...)
 	}
 	res.seconds = elapsed.Seconds()
 	if err != nil {
@@ -364,11 +369,11 @@ func runTrial(o loadOpts, shards int, perUser map[string][]trace.Record) (res tr
 // record to its send time by (user, arrival index) — exact for mechanisms
 // that preserve count and order per user (the default GEO-I does); for
 // mechanisms that inject or drop records only the matched prefix
-// contributes latencies, while throughput counts everything.
-func driveConn(cl *client.Client, recs []trace.Record, rate float64) (out struct {
-	received  int
-	latencies []time.Duration
-	err       error
+// contributes latencies, while throughput counts everything. Matched
+// latencies are observed straight into lat in nanoseconds.
+func driveConn(cl *client.Client, recs []trace.Record, rate float64, lat *obs.Histogram) (out struct {
+	received int
+	err      error
 }) {
 	ctx := context.Background()
 	st, err := cl.Stream(ctx)
@@ -399,7 +404,7 @@ func driveConn(cl *client.Client, recs []trace.Record, rate float64) (out struct
 			sent := sendTimes[rec.User]
 			mu.Unlock()
 			if i < len(sent) {
-				out.latencies = append(out.latencies, now.Sub(sent[i]))
+				lat.Observe(int64(now.Sub(sent[i])))
 			}
 		}
 	}()
@@ -428,7 +433,7 @@ func driveConn(cl *client.Client, recs []trace.Record, rate float64) (out struct
 	if err := st.CloseSend(); err != nil {
 		out.err = err
 		st.Close() //lppm:allow droppederr -- best-effort abort: the close-send failure already carries the stream's error
-		<-recvDone // the receiver owns out's slices until it signals
+		<-recvDone // the receiver owns out.received until it signals
 		return
 	}
 	out.err = <-recvDone
@@ -479,20 +484,15 @@ func startSelfServe(o loadOpts, shards int) (string, func() error, error) {
 	return "http://" + ln.Addr().String(), teardown, nil
 }
 
-// percentileMillis returns the q-quantile of the latencies in
-// milliseconds, 0 when none were matched.
-func percentileMillis(lat []time.Duration, q float64) float64 {
-	if len(lat) == 0 {
+// quantileMillis converts the histogram's q-quantile estimate from
+// nanoseconds to milliseconds, 0 when nothing was matched. The estimate
+// sits within one power-of-two bucket width of the exact order statistic
+// (see obs.HistogramSnapshot.Quantile) — the old sort-based computation
+// was exact but held every sample in memory and re-sorted per quantile.
+func quantileMillis(h *obs.Histogram, q float64) float64 {
+	s := h.Snapshot()
+	if s.Count == 0 {
 		return 0
 	}
-	sorted := append([]time.Duration(nil), lat...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
-	if idx < 0 {
-		idx = 0
-	}
-	if idx >= len(sorted) {
-		idx = len(sorted) - 1
-	}
-	return float64(sorted[idx]) / float64(time.Millisecond)
+	return float64(s.Quantile(q)) / float64(time.Millisecond)
 }

@@ -2,11 +2,16 @@ package main
 
 import (
 	"encoding/json"
+	"math"
+	"math/rand"
 	"os"
 	"path/filepath"
+	"sort"
 	"testing"
+	"time"
 
 	"repro/internal/lppm"
+	"repro/internal/obs"
 )
 
 func baseLoadOpts() loadOpts {
@@ -77,6 +82,57 @@ func TestRunCompareShardsInterleaved(t *testing.T) {
 	}
 	if parsed.Users != o.users || len(parsed.Configs) != 2 {
 		t.Errorf("round-tripped report %+v", parsed)
+	}
+}
+
+// sortPercentileNS is the exact order-statistic computation the histogram
+// replaced: sort every sample and index rank ⌈q·n⌉. Kept here as the
+// reference the bounded-memory estimate is checked against.
+func sortPercentileNS(lat []time.Duration, q float64) int64 {
+	sorted := append([]time.Duration(nil), lat...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return int64(sorted[idx])
+}
+
+// TestQuantileAgreesWithSortedPercentiles pins the rework's accuracy
+// contract: for random latency populations the histogram's p50/p99 must sit
+// within one bucket width of the exact sorted percentile — the resolution
+// obs.BucketWidthAt quotes for the bucket covering the true value.
+func TestQuantileAgreesWithSortedPercentiles(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 20; trial++ {
+		h := new(obs.Histogram)
+		n := 200 + rng.Intn(1800)
+		lat := make([]time.Duration, n)
+		for i := range lat {
+			// 1µs .. ~80ms, the realistic loopback-latency range.
+			lat[i] = time.Microsecond + time.Duration(rng.Int63n(int64(80*time.Millisecond)))
+			h.Observe(int64(lat[i]))
+		}
+		for _, q := range []float64{0.50, 0.99} {
+			exact := sortPercentileNS(lat, q)
+			got := h.Quantile(q)
+			width := obs.BucketWidthAt(exact)
+			if diff := got - exact; diff > width || diff < -width {
+				t.Errorf("trial %d q=%.2f: histogram %dns vs sorted %dns, |diff| %d > bucket width %d",
+					trial, q, got, exact, diff, width)
+			}
+		}
+	}
+}
+
+// TestQuantileMillisEmpty keeps the no-data convention of the old
+// sort-based helper: zero, not NaN.
+func TestQuantileMillisEmpty(t *testing.T) {
+	if got := quantileMillis(new(obs.Histogram), 0.99); got != 0 {
+		t.Errorf("empty histogram p99 = %v, want 0", got)
 	}
 }
 

@@ -11,6 +11,11 @@
 // gateway is exposed over HTTP (POST /v1/stream and friends — see
 // internal/server) until SIGINT/SIGTERM triggers a graceful drain.
 //
+// With -admin (either mode) an observability side-car serves GET /metrics
+// (Prometheus text format), GET /metrics.json and /debug/pprof on its own
+// listener, so scraping and profiling never contend with — and pprof is
+// never reachable from — the serving address.
+//
 // Usage:
 //
 //	lppm-tracegen -drivers 50 -out day.csv
@@ -18,6 +23,7 @@
 //	cat stream.jsonl | lppm-serve -mech rounding > protected.jsonl
 //	lppm-serve -in day.csv -format csv -mech geoi -reconfigure-every 30s -objectives privacy=0.1,utility=0.8
 //	lppm-serve -listen :8080 -mech geoi -set epsilon=0.01 -shards 8 -stats
+//	lppm-serve -listen :8080 -admin 127.0.0.1:6060 -mech geoi
 package main
 
 import (
@@ -40,6 +46,7 @@ import (
 	"repro/internal/lppm"
 	"repro/internal/metrics"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/server"
 	"repro/internal/service"
 	"repro/internal/trace"
@@ -60,6 +67,7 @@ func main() {
 		flushEvery = flag.Int("flush", 0, "per-user window size, 0 for default")
 		seed       = flag.Int64("seed", 42, "master random seed")
 		stats      = flag.Bool("stats", false, "print gateway stats to stderr on exit")
+		admin      = flag.String("admin", "", "serve /metrics, /metrics.json and /debug/pprof on this address (e.g. 127.0.0.1:6060); empty disables")
 
 		listen     = flag.String("listen", "", "serve the gateway over HTTP on this address (e.g. :8080) instead of -in/-out")
 		maxStreams = flag.Int("max-streams", 0, "max concurrent /v1/stream connections (0 default, negative unlimited; with -listen)")
@@ -103,7 +111,7 @@ func main() {
 		mechName: *mechName, params: params,
 		inPath: *inPath, outPath: *outPath, formatName: *formatName,
 		shards: *shards, queue: *queue, flushEvery: *flushEvery,
-		seed: *seed, stats: *stats,
+		seed: *seed, stats: *stats, admin: *admin,
 		reconfEvery: *reconfEvery, objectives: obj,
 		sampleFrac: *sampleFrac, paramName: *paramName,
 		listen: *listen, maxStreams: *maxStreams,
@@ -163,6 +171,7 @@ type serveOpts struct {
 	flushEvery int
 	seed       int64
 	stats      bool
+	admin      string
 
 	reconfEvery time.Duration
 	objectives  model.Objectives
@@ -246,6 +255,39 @@ func buildServing(ctx context.Context, reg *lppm.Registry, o serveOpts) (*servic
 	return g, ctrl, nil
 }
 
+// adminServer is the observability side-car: /metrics, /metrics.json and
+// net/http/pprof on their own listener — never the serving one, so a
+// scraper or a profile download cannot contend with stream admission and
+// the serving surface never exposes pprof.
+type adminServer struct {
+	hs *http.Server
+	ln net.Listener
+}
+
+// startAdmin binds addr and serves the admin mux over reg in the
+// background. Callers own the returned server and must Close it on exit.
+func startAdmin(addr string, reg *obs.Registry) (*adminServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("admin listener: %w", err)
+	}
+	hs := &http.Server{Handler: obs.AdminMux(reg)}
+	go hs.Serve(ln)
+	log.Printf("admin plane on http://%s/metrics", ln.Addr())
+	return &adminServer{hs: hs, ln: ln}, nil
+}
+
+// Addr reports the bound address (useful with -admin 127.0.0.1:0).
+func (a *adminServer) Addr() string { return a.ln.Addr().String() }
+
+// Close shuts the admin plane down, giving in-flight scrapes a short
+// grace before the listener goes away.
+func (a *adminServer) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	return a.hs.Shutdown(ctx)
+}
+
 // runListen is the network daemon: the serving stack behind an HTTP
 // front-end until the context (SIGINT/SIGTERM) ends it, then a graceful
 // drain that flushes every user stream exactly once.
@@ -269,6 +311,13 @@ func serveListener(ctx context.Context, reg *lppm.Registry, o serveOpts, ln net.
 	if err != nil {
 		return errors.Join(err, ln.Close())
 	}
+	var admin *adminServer
+	if o.admin != "" {
+		admin, err = startAdmin(o.admin, g.Obs())
+		if err != nil {
+			return errors.Join(err, ln.Close(), g.Close())
+		}
+	}
 	srv, err := server.New(server.Config{
 		Gateway:    g,
 		Controller: ctrl,
@@ -278,6 +327,9 @@ func serveListener(ctx context.Context, reg *lppm.Registry, o serveOpts, ln net.
 		Seed:       o.seed,
 	})
 	if err != nil {
+		if admin != nil {
+			err = errors.Join(err, admin.Close())
+		}
 		return errors.Join(err, ln.Close(), g.Close())
 	}
 	hs := &http.Server{Handler: srv}
@@ -302,13 +354,19 @@ func serveListener(ctx context.Context, reg *lppm.Registry, o serveOpts, ln net.
 	if errors.Is(closeErr, context.DeadlineExceeded) {
 		closeErr = errors.Join(closeErr, hs.Close())
 	}
+	// The admin plane outlives the drain so the final counters stay
+	// scrapeable until the very end of the shutdown.
+	var adminErr error
+	if admin != nil {
+		adminErr = admin.Close()
+	}
 	if o.stats {
 		printStats(g, ctrl)
 	}
 	if errors.Is(runErr, http.ErrServerClosed) {
 		runErr = nil
 	}
-	return errors.Join(runErr, drainErr, closeErr)
+	return errors.Join(runErr, drainErr, closeErr, adminErr)
 }
 
 func run(reg *lppm.Registry, o serveOpts) error {
@@ -351,6 +409,13 @@ func run(reg *lppm.Registry, o serveOpts) error {
 	if err != nil {
 		return err
 	}
+	var admin *adminServer
+	if o.admin != "" {
+		admin, err = startAdmin(o.admin, g.Obs())
+		if err != nil {
+			return errors.Join(err, g.Close())
+		}
+	}
 
 	rw, err := trace.NewRecordWriter(out, format)
 	if err != nil {
@@ -391,12 +456,16 @@ func run(reg *lppm.Registry, o serveOpts) error {
 		// Close explicitly: a delayed write-back failure surfaces here.
 		outCloseErr = outFile.Close()
 	}
+	var adminErr error
+	if admin != nil {
+		adminErr = admin.Close()
+	}
 	if o.stats {
 		printStats(g, ctrl)
 	}
 	// A canceled scan (SIGINT) still drained above and is worth
 	// reporting; Join drops the nils and keeps every real failure.
-	return errors.Join(writeErr, scanErr, gwErr, outCloseErr)
+	return errors.Join(writeErr, scanErr, gwErr, outCloseErr, adminErr)
 }
 
 // printStats reports the gateway (and controller) counters on stderr.

@@ -1,12 +1,16 @@
 package main
 
 import (
+	"bufio"
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"net"
+	"net/http"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -183,6 +187,156 @@ func TestRunRejectsBadFlags(t *testing.T) {
 	}
 }
 
+// promSeriesSum parses a Prometheus text page with a scraper's eye — every
+// non-comment line must split into series and float — and sums the series
+// of the named metric, failing if none exist.
+func promSeriesSum(t *testing.T, page, name string) float64 {
+	t.Helper()
+	var sum float64
+	found := false
+	sc := bufio.NewScanner(strings.NewReader(page))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("unparseable sample line %q", line)
+		}
+		series, valStr := line[:sp], line[sp+1:]
+		base := series
+		if i := strings.IndexByte(series, '{'); i >= 0 {
+			base = series[:i]
+			if !strings.HasSuffix(series, "}") {
+				t.Fatalf("unbalanced label braces in %q", line)
+			}
+		}
+		if base != name {
+			continue
+		}
+		v, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			t.Fatalf("bad value in %q: %v", line, err)
+		}
+		found = true
+		sum += v
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if !found {
+		t.Fatalf("metric %s absent from page", name)
+	}
+	return sum
+}
+
+// TestAdminPlane exercises the -admin side-car against a real gateway:
+// /metrics parses and quotes the gateway's counters, /metrics.json decodes,
+// pprof answers, and writes are refused.
+func TestAdminPlane(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	o := baseOpts("-", "-")
+	g, _, err := buildServing(ctx, lppm.NewRegistry(), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		for range g.Output() {
+		}
+	}()
+	const n = 16
+	for i := 0; i < n; i++ {
+		rec := trace.Record{
+			User:  "admin-user",
+			Time:  time.Unix(1211025600+int64(i)*60, 0).UTC(),
+			Point: geo.Point{Lat: 37.7749, Lng: -122.4194 + float64(i)*0.0003},
+		}
+		if err := g.Ingest(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Close first so every counter is final before the scrape — the
+	// registry outlives the gateway it instruments.
+	if err := g.Close(); err != nil {
+		t.Fatal(err)
+	}
+	<-drained
+
+	admin, err := startAdmin("127.0.0.1:0", g.Obs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + admin.Addr()
+
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	page, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("/metrics content type %q", ct)
+	}
+	if got := promSeriesSum(t, string(page), "lppm_shard_ingested_total"); got != n {
+		t.Errorf("scraped ingested sum = %v, want %d", got, n)
+	}
+
+	resp, err = http.Get(base + "/metrics.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var series []struct {
+		Name string `json:"name"`
+		Kind string `json:"kind"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&series)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("/metrics.json does not decode: %v", err)
+	}
+	found := false
+	for _, s := range series {
+		if s.Name == "lppm_shard_ingested_total" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("/metrics.json misses lppm_shard_ingested_total")
+	}
+
+	resp, err = http.Get(base + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("GET /debug/pprof/ = %d", resp.StatusCode)
+	}
+
+	resp, err = http.Post(base+"/metrics", "text/plain", strings.NewReader("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST /metrics = %d, want 405", resp.StatusCode)
+	}
+
+	if err := admin.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestServeListenRoundTrip runs the daemon mode end to end on a loopback
 // listener: stream records over HTTP, read stats and deployment, then shut
 // down via context cancellation and verify the drain exits clean.
@@ -193,6 +347,7 @@ func TestServeListenRoundTrip(t *testing.T) {
 	}
 	o := baseOpts("-", "-")
 	o.listen = ln.Addr().String()
+	o.admin = "127.0.0.1:0" // exercise the side-car's daemon wiring and shutdown
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan error, 1)
 	go func() { done <- serveListener(ctx, lppm.NewRegistry(), o, ln) }()

@@ -1,0 +1,27 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// AdminMux builds the admin-plane handler: /metrics (Prometheus text),
+// /metrics.json, and the net/http/pprof endpoints. It is a private mux —
+// the pprof handlers are attached explicitly rather than through the
+// package's DefaultServeMux side effects, so importing obs never leaks
+// profiling endpoints onto a serving listener. The caller binds this to
+// its own admin listener, deliberately separate from the data plane: the
+// serving listener's admission control (stream caps, token buckets) must
+// never gate diagnostics, least of all while the process is overloaded,
+// which is exactly when you need them.
+func AdminMux(r *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", MetricsHandler(r))
+	mux.Handle("/metrics.json", MetricsJSONHandler(r))
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

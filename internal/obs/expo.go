@@ -1,0 +1,215 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders a Gather result in the Prometheus text exposition
+// format (version 0.0.4): one HELP/TYPE pair per metric name, then a sample
+// line per series, with histograms expanded to cumulative _bucket series
+// plus _sum and _count. The whole page is rendered into a buffer first so a
+// mid-write failure cannot leave a half-line on the wire.
+func WritePrometheus(w io.Writer, samples []Sample) error {
+	var b bytes.Buffer
+	seen := make(map[string]bool, len(samples))
+	for i := range samples {
+		s := &samples[i]
+		if !seen[s.Name] {
+			seen[s.Name] = true
+			if s.Help != "" {
+				fmt.Fprintf(&b, "# HELP %s %s\n", s.Name, strings.ReplaceAll(s.Help, "\n", " "))
+			}
+			fmt.Fprintf(&b, "# TYPE %s %s\n", s.Name, s.Kind)
+		}
+		if s.Hist != nil {
+			writePromHistogram(&b, s)
+			continue
+		}
+		fmt.Fprintf(&b, "%s%s %s\n", s.Name, promLabels(s.Labels, "", ""), promFloat(s.Value))
+	}
+	if _, err := w.Write(b.Bytes()); err != nil {
+		return err
+	}
+	return nil
+}
+
+func writePromHistogram(b *bytes.Buffer, s *Sample) {
+	var cum uint64
+	for i := 0; i < NumBuckets; i++ {
+		cum += s.Hist.Counts[i]
+		upper := "+Inf"
+		if i < NumBuckets-1 {
+			upper = strconv.FormatInt(BucketUpper(i), 10)
+		}
+		fmt.Fprintf(b, "%s_bucket%s %d\n", s.Name, promLabelsLe(s.Labels, upper), cum)
+	}
+	fmt.Fprintf(b, "%s_sum%s %d\n", s.Name, promLabels(s.Labels, "", ""), s.Hist.Sum)
+	fmt.Fprintf(b, "%s_count%s %d\n", s.Name, promLabels(s.Labels, "", ""), s.Hist.Count)
+}
+
+// promLabels renders a label set as {k="v",...} with keys sorted, or the
+// empty string when there are none. extraK/extraV splice one more pair
+// into the sorted order (the histogram "le" bound).
+func promLabels(labels Labels, extraK, extraV string) string {
+	if len(labels) == 0 && extraK == "" {
+		return ""
+	}
+	keys := make([]string, 0, len(labels)+1)
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	if extraK != "" {
+		keys = append(keys, extraK)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		v := labels[k]
+		if k == extraK {
+			v = extraV
+		}
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(v))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func promLabelsLe(labels Labels, upper string) string {
+	return promLabels(labels, "le", upper)
+}
+
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+// promFloat renders a value the way Prometheus expects: integral values
+// without a fractional part, NaN/Inf spelled out.
+func promFloat(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "NaN"
+	case math.IsInf(v, +1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	// Integral (fractional part exactly zero) and safely inside int64.
+	if _, frac := math.Modf(v); frac == 0 && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// jsonMetric is one series in the JSON exposition.
+type jsonMetric struct {
+	Name   string            `json:"name"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Kind   string            `json:"kind"`
+	Value  float64           `json:"value,omitempty"`
+	Hist   *jsonHistogram    `json:"histogram,omitempty"`
+}
+
+type jsonHistogram struct {
+	Count uint64  `json:"count"`
+	Sum   int64   `json:"sum"`
+	Mean  float64 `json:"mean"`
+	P50   int64   `json:"p50"`
+	P90   int64   `json:"p90"`
+	P99   int64   `json:"p99"`
+	// Buckets holds the non-empty buckets as {upper-bound: count};
+	// the overflow bucket's key is "+Inf".
+	Buckets map[string]uint64 `json:"buckets,omitempty"`
+}
+
+// WriteJSON renders a Gather result as a JSON array of series. JSON has no
+// NaN or Inf, so non-finite gauge values are squashed to 0 (the stats
+// surface applies the same rule, so the two JSON views agree).
+func WriteJSON(w io.Writer, samples []Sample) error {
+	out := make([]jsonMetric, 0, len(samples))
+	for i := range samples {
+		s := &samples[i]
+		m := jsonMetric{Name: s.Name, Labels: s.Labels, Kind: s.Kind.String()}
+		if s.Hist != nil {
+			h := &jsonHistogram{
+				Count: s.Hist.Count,
+				Sum:   s.Hist.Sum,
+				Mean:  jsonFinite(s.Hist.Mean()),
+				P50:   s.Hist.Quantile(0.50),
+				P90:   s.Hist.Quantile(0.90),
+				P99:   s.Hist.Quantile(0.99),
+			}
+			for b := 0; b < NumBuckets; b++ {
+				if c := s.Hist.Counts[b]; c > 0 {
+					if h.Buckets == nil {
+						h.Buckets = make(map[string]uint64)
+					}
+					key := "+Inf"
+					if b < NumBuckets-1 {
+						key = strconv.FormatInt(BucketUpper(b), 10)
+					}
+					h.Buckets[key] = c
+				}
+			}
+			m.Hist = h
+		} else {
+			m.Value = jsonFinite(s.Value)
+		}
+		out = append(out, m)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// jsonFinite squashes NaN/Inf to 0 — JSON cannot carry them.
+func jsonFinite(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return v
+}
+
+// MetricsHandler serves the registry in Prometheus text format.
+func MetricsHandler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := WritePrometheus(w, r.Gather()); err != nil {
+			return // client went away mid-response; nothing to do
+		}
+	})
+}
+
+// MetricsJSONHandler serves the registry as JSON.
+func MetricsJSONHandler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := WriteJSON(w, r.Gather()); err != nil {
+			return // client went away mid-response; nothing to do
+		}
+	})
+}

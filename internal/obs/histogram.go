@@ -1,0 +1,174 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+)
+
+// NumBuckets is the histogram's fixed bucket count. Bucket 0 holds exact
+// zeros (and clamped negatives); bucket k in [1, NumBuckets-2] holds
+// values v with 2^(k-1) <= v < 2^k; the last bucket is the overflow for
+// everything at or above 2^(NumBuckets-2). In nanoseconds that overflow
+// boundary is 2^38 ns ≈ 4.6 minutes — far beyond any latency the serving
+// path should ever see, and a visible smoking gun if it does.
+const NumBuckets = 40
+
+// Histogram is a lock-free fixed-bucket distribution with power-of-two
+// bucket boundaries — the one latency type shared by the server's stage
+// clock and the load generator's client-side report, so the two sides
+// quote comparable quantiles. Observe is a single atomic add on the
+// bucket plus one on the sum: allocation-free, wait-free, safe from any
+// number of goroutines. Quantiles are estimated from the bucket counts
+// (midpoint of the covering bucket), so the error is bounded by one
+// bucket width — a factor-of-two resolution that is exactly what a
+// latency percentile needs and what an unbounded sorted-sample slice
+// wastes memory to exceed.
+//
+// Values are unit-agnostic int64s; the serving stack records nanoseconds.
+type Histogram struct {
+	buckets [NumBuckets]atomic.Uint64
+	sum     atomic.Int64
+}
+
+// bucketOf maps a value to its bucket index.
+func bucketOf(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	k := bits.Len64(uint64(v))
+	if k > NumBuckets-1 {
+		return NumBuckets - 1
+	}
+	return k
+}
+
+// BucketUpper returns bucket i's exclusive upper bound, with the overflow
+// bucket unbounded (reported as +Inf by the Prometheus exposition).
+// BucketLower is 0 for buckets 0 and 1, 2^(i-1) otherwise.
+func BucketUpper(i int) int64 {
+	if i >= NumBuckets-1 {
+		return int64(1) << 62 // sentinel; exposition renders +Inf
+	}
+	return int64(1) << uint(i)
+}
+
+// bucketBounds returns [lo, hi) for bucket i, hi exclusive; the overflow
+// bucket reports hi == lo (unknown width).
+func bucketBounds(i int) (lo, hi int64) {
+	switch {
+	case i == 0:
+		return 0, 0
+	case i >= NumBuckets-1:
+		lo = int64(1) << uint(NumBuckets-2)
+		return lo, lo
+	default:
+		return int64(1) << uint(i-1), int64(1) << uint(i)
+	}
+}
+
+// Observe records one value. Negative values clamp to zero.
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[bucketOf(v)].Add(1)
+	h.sum.Add(v)
+}
+
+// Snapshot captures the bucket counts and sum. Under concurrent writers
+// the counts are each individually exact but may straddle in-flight
+// observations relative to one another; quantiles computed from a
+// snapshot are internally consistent because they derive the total from
+// the captured buckets, never from a separately read counter.
+func (h *Histogram) Snapshot() *HistogramSnapshot {
+	s := &HistogramSnapshot{Sum: h.sum.Load()}
+	var total uint64
+	for i := range h.buckets {
+		c := h.buckets[i].Load()
+		s.Counts[i] = c
+		total += c
+	}
+	s.Count = total
+	return s
+}
+
+// Quantile estimates the q-quantile; see HistogramSnapshot.Quantile.
+func (h *Histogram) Quantile(q float64) int64 { return h.Snapshot().Quantile(q) }
+
+// Count returns the number of observations so far.
+func (h *Histogram) Count() uint64 {
+	var total uint64
+	for i := range h.buckets {
+		total += h.buckets[i].Load()
+	}
+	return total
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram.
+type HistogramSnapshot struct {
+	// Counts holds per-bucket (non-cumulative) observation counts.
+	Counts [NumBuckets]uint64
+	// Count is the total number of observations in Counts.
+	Count uint64
+	// Sum is the sum of all observed values.
+	Sum int64
+}
+
+// Quantile estimates the q-quantile (q clamped to [0, 1]) from the bucket
+// counts: the returned value is the midpoint of the bucket containing the
+// rank-⌈q·n⌉ observation, so it differs from the exact order statistic by
+// less than one bucket width. Zero observations yield 0; the overflow
+// bucket yields its lower bound (its width is unknown). Monotone in q by
+// construction — the cumulative walk can only move right.
+func (s *HistogramSnapshot) Quantile(q float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(math.Ceil(q * float64(s.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > s.Count {
+		rank = s.Count
+	}
+	var cum uint64
+	for i := range s.Counts {
+		cum += s.Counts[i]
+		if cum >= rank {
+			lo, hi := bucketBounds(i)
+			if hi <= lo {
+				return lo // zero bucket or overflow: no interior to split
+			}
+			return lo + (hi-lo)/2
+		}
+	}
+	lo, _ := bucketBounds(NumBuckets - 1)
+	return lo
+}
+
+// Mean returns the exact average of the observed values (the sum is
+// tracked exactly, not reconstructed from buckets), 0 with no data.
+func (s *HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// BucketWidthAt returns the width of the bucket that covers v — the
+// resolution bound a quantile estimate near v carries. The zero and
+// overflow buckets report 0 (exact and unbounded respectively).
+func BucketWidthAt(v int64) int64 {
+	lo, hi := bucketBounds(bucketOf(v))
+	if hi <= lo {
+		return 0
+	}
+	return hi - lo
+}

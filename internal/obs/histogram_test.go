@@ -1,0 +1,199 @@
+package obs
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+)
+
+func TestHistogramZeroObservations(t *testing.T) {
+	var h Histogram
+	if got := h.Count(); got != 0 {
+		t.Fatalf("Count = %d, want 0", got)
+	}
+	s := h.Snapshot()
+	if s.Count != 0 || s.Sum != 0 {
+		t.Fatalf("empty snapshot = {Count:%d Sum:%d}, want zeros", s.Count, s.Sum)
+	}
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := s.Quantile(q); got != 0 {
+			t.Errorf("Quantile(%v) on empty = %d, want 0", q, got)
+		}
+	}
+	if got := s.Mean(); got != 0 {
+		t.Errorf("Mean on empty = %v, want 0", got)
+	}
+}
+
+func TestHistogramSingleBucket(t *testing.T) {
+	var h Histogram
+	// 100 values all inside bucket [64, 128).
+	for i := 0; i < 100; i++ {
+		h.Observe(64 + int64(i%64))
+	}
+	s := h.Snapshot()
+	if s.Count != 100 {
+		t.Fatalf("Count = %d, want 100", s.Count)
+	}
+	nonEmpty := 0
+	for i, c := range s.Counts {
+		if c > 0 {
+			nonEmpty++
+			if lo, hi := bucketBounds(i); lo != 64 || hi != 128 {
+				t.Errorf("values landed in bucket [%d, %d), want [64, 128)", lo, hi)
+			}
+		}
+	}
+	if nonEmpty != 1 {
+		t.Fatalf("non-empty buckets = %d, want 1", nonEmpty)
+	}
+	// Every quantile must quote the one occupied bucket's midpoint.
+	want := int64(64 + (128-64)/2)
+	for _, q := range []float64{0, 0.25, 0.5, 0.99, 1} {
+		if got := s.Quantile(q); got != want {
+			t.Errorf("Quantile(%v) = %d, want %d", q, got, want)
+		}
+	}
+}
+
+func TestHistogramZerosAndNegatives(t *testing.T) {
+	var h Histogram
+	h.Observe(0)
+	h.Observe(-5)
+	s := h.Snapshot()
+	if s.Counts[0] != 2 {
+		t.Fatalf("zero bucket count = %d, want 2", s.Counts[0])
+	}
+	if s.Sum != 0 {
+		t.Fatalf("Sum = %d, want 0 (negatives clamp)", s.Sum)
+	}
+	if got := s.Quantile(0.5); got != 0 {
+		t.Fatalf("Quantile(0.5) = %d, want 0", got)
+	}
+}
+
+func TestHistogramOverflowBucket(t *testing.T) {
+	var h Histogram
+	huge := int64(1) << 50 // far beyond the 2^38 overflow boundary
+	h.Observe(huge)
+	h.Observe(int64(1) << 62)
+	s := h.Snapshot()
+	if got := s.Counts[NumBuckets-1]; got != 2 {
+		t.Fatalf("overflow bucket count = %d, want 2", got)
+	}
+	// The overflow bucket has no interior: quantiles quote its lower bound.
+	wantLo := int64(1) << (NumBuckets - 2)
+	if got := s.Quantile(0.99); got != wantLo {
+		t.Fatalf("Quantile(0.99) = %d, want overflow lower bound %d", got, wantLo)
+	}
+	if s.Sum != huge+int64(1)<<62 {
+		t.Fatalf("Sum = %d, want exact sum despite bucketing", s.Sum)
+	}
+}
+
+func TestHistogramQuantileMonotone(t *testing.T) {
+	rnd := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		var h Histogram
+		n := 1 + rnd.Intn(2000)
+		for i := 0; i < n; i++ {
+			// Mix scales so many buckets are hit, including overflow.
+			v := rnd.Int63n(int64(1) << uint(1+rnd.Intn(45)))
+			h.Observe(v)
+		}
+		s := h.Snapshot()
+		prev := int64(-1)
+		for q := 0.0; q <= 1.0; q += 0.01 {
+			got := s.Quantile(q)
+			if got < prev {
+				t.Fatalf("trial %d: Quantile(%v) = %d < Quantile(prev) = %d", trial, q, got, prev)
+			}
+			prev = got
+		}
+	}
+}
+
+func TestHistogramQuantileWithinBucketWidth(t *testing.T) {
+	rnd := rand.New(rand.NewSource(7))
+	var h Histogram
+	vals := make([]int64, 5000)
+	for i := range vals {
+		vals[i] = rnd.Int63n(1 << 30)
+		h.Observe(vals[i])
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	s := h.Snapshot()
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		rank := int(q * float64(len(vals)))
+		if rank >= len(vals) {
+			rank = len(vals) - 1
+		}
+		exact := vals[rank]
+		got := s.Quantile(q)
+		width := BucketWidthAt(exact)
+		diff := got - exact
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > width {
+			t.Errorf("Quantile(%v) = %d vs exact %d: off by %d > bucket width %d", q, got, exact, diff, width)
+		}
+	}
+}
+
+func TestHistogramConcurrentWriters(t *testing.T) {
+	var h Histogram
+	const (
+		writers = 8
+		perW    = 10000
+	)
+	var wg sync.WaitGroup
+	wg.Add(writers)
+	for w := 0; w < writers; w++ {
+		go func(seed int64) {
+			defer wg.Done()
+			rnd := rand.New(rand.NewSource(seed))
+			for i := 0; i < perW; i++ {
+				h.Observe(rnd.Int63n(1 << 20))
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != writers*perW {
+		t.Fatalf("Count = %d, want %d (lost updates)", s.Count, writers*perW)
+	}
+	var fromBuckets uint64
+	for _, c := range s.Counts {
+		fromBuckets += c
+	}
+	if fromBuckets != s.Count {
+		t.Fatalf("bucket total %d != Count %d", fromBuckets, s.Count)
+	}
+}
+
+func TestBucketOf(t *testing.T) {
+	cases := []struct {
+		v    int64
+		want int
+	}{
+		{-1, 0}, {0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {127, 7}, {128, 8},
+		{int64(1) << 37, NumBuckets - 2},
+		{int64(1) << 38, NumBuckets - 1},
+		{int64(1)<<38 - 1, NumBuckets - 2},
+		{int64(1) << 60, NumBuckets - 1},
+	}
+	for _, c := range cases {
+		if got := bucketOf(c.v); got != c.want {
+			t.Errorf("bucketOf(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+	// Invariant: every bucketed value lies within its bucket's bounds.
+	for _, v := range []int64{1, 5, 100, 1 << 20, 1<<38 - 1} {
+		lo, hi := bucketBounds(bucketOf(v))
+		if v < lo || (hi > lo && v >= hi) {
+			t.Errorf("value %d outside its bucket [%d, %d)", v, lo, hi)
+		}
+	}
+}

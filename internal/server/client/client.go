@@ -15,6 +15,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/server"
 	"repro/internal/service"
 	"repro/internal/trace"
@@ -40,6 +41,9 @@ type Client struct {
 	base   string
 	hc     *http.Client
 	tenant string
+	met    map[string]*opMetrics
+	sent   *obs.Counter
+	recv   *obs.Counter
 }
 
 // Option customizes a Client.
@@ -52,6 +56,52 @@ func WithHTTPClient(hc *http.Client) Option { return func(c *Client) { c.hc = hc
 // WithTenant sets the X-Tenant header on every request — the identity the
 // server's token buckets meter.
 func WithTenant(tenant string) Option { return func(c *Client) { c.tenant = tenant } }
+
+// WithObs registers client-side metrics on reg: per-operation request and
+// error counts, request latency as the same power-of-two histogram type the
+// server's stage clock uses (so client reports and server self-reports
+// quote comparable quantiles), and stream record counters.
+func WithObs(reg *obs.Registry) Option {
+	return func(c *Client) {
+		if reg == nil || reg.Disabled() {
+			return
+		}
+		c.met = make(map[string]*opMetrics)
+		for _, op := range []string{"health", "stats", "deployment", "reconfigure", "protect", "stream"} {
+			l := obs.Labels{"op": op}
+			c.met[op] = &opMetrics{
+				reqs: reg.Counter("lppm_client_requests_total", "client requests issued", l),
+				errs: reg.Counter("lppm_client_errors_total", "client requests that failed", l),
+				lat:  reg.Histogram("lppm_client_request_ns", "client-observed request latency in nanoseconds", l),
+			}
+		}
+		c.sent = reg.Counter("lppm_client_stream_sent_total", "records pushed into streams", nil)
+		c.recv = reg.Counter("lppm_client_stream_received_total", "protected records received from streams", nil)
+	}
+}
+
+// opMetrics is one operation's pre-registered client instruments.
+type opMetrics struct {
+	reqs, errs *obs.Counter
+	lat        *obs.Histogram
+}
+
+// track starts one operation's measurement; call the result with the
+// operation's outcome. A client without WithObs records nothing.
+func (c *Client) track(op string) func(error) {
+	m := c.met[op]
+	if m == nil {
+		return func(error) {}
+	}
+	start := obs.Stamp()
+	return func(err error) {
+		m.reqs.Inc()
+		if err != nil {
+			m.errs.Inc()
+		}
+		m.lat.Observe(obs.Stamp() - start)
+	}
+}
 
 // New returns a client for the server at base (e.g. "http://127.0.0.1:8080").
 func New(base string, opts ...Option) *Client {
@@ -106,31 +156,40 @@ func (c *Client) getJSON(ctx context.Context, path string, v any) error {
 // Health checks GET /healthz, returning nil while the server serves and an
 // *APIError once it drains.
 func (c *Client) Health(ctx context.Context) error {
+	done := c.track("health")
 	var h struct {
 		Status string `json:"status"`
 	}
-	return c.getJSON(ctx, "/healthz", &h)
+	err := c.getJSON(ctx, "/healthz", &h)
+	done(err)
+	return err
 }
 
 // Stats fetches GET /v1/stats.
 func (c *Client) Stats(ctx context.Context) (server.StatsResponse, error) {
+	done := c.track("stats")
 	var st server.StatsResponse
 	err := c.getJSON(ctx, "/v1/stats", &st)
+	done(err)
 	return st, err
 }
 
 // Deployment fetches GET /v1/deployment: the serving generation and
 // parameter assignment, in the gateway's own wire type.
 func (c *Client) Deployment(ctx context.Context) (service.DeploymentInfo, error) {
+	done := c.track("deployment")
 	var d service.DeploymentInfo
 	err := c.getJSON(ctx, "/v1/deployment", &d)
+	done(err)
 	return d, err
 }
 
 // Reconfigure triggers POST /v1/reconfigure: a manual hot-swap to the
 // given parameter values (merged over mechanism defaults), with optional
 // per-user overrides. Returns the new serving generation.
-func (c *Client) Reconfigure(ctx context.Context, params map[string]float64, overrides map[string]map[string]float64) (uint64, error) {
+func (c *Client) Reconfigure(ctx context.Context, params map[string]float64, overrides map[string]map[string]float64) (gen uint64, err error) {
+	done := c.track("reconfigure")
+	defer func() { done(err) }()
 	body, err := json.Marshal(struct {
 		Params    map[string]float64            `json:"params"`
 		Overrides map[string]map[string]float64 `json:"overrides,omitempty"`
@@ -163,7 +222,9 @@ func (c *Client) Reconfigure(ctx context.Context, params map[string]float64, ove
 // Protect runs a unary batch through POST /v1/protect and returns the
 // protected records (grouped per user, each user's records in time order —
 // the dataset iteration order of the batch path).
-func (c *Client) Protect(ctx context.Context, recs []trace.Record) ([]trace.Record, error) {
+func (c *Client) Protect(ctx context.Context, recs []trace.Record) (protected []trace.Record, err error) {
+	done := c.track("protect")
+	defer func() { done(err) }()
 	var buf bytes.Buffer
 	rw, err := trace.NewRecordWriter(&buf, trace.FormatJSONL)
 	if err != nil {
@@ -212,12 +273,17 @@ type Stream struct {
 
 	recs    chan trace.Record
 	readErr error // set before recs closes
+
+	sent *obs.Counter // nil without WithObs
+	recv *obs.Counter
 }
 
 // Stream opens POST /v1/stream. It returns once the server has admitted
 // the stream (headers received); admission refusals (429, 503) surface as
 // *APIError.
-func (c *Client) Stream(ctx context.Context) (*Stream, error) {
+func (c *Client) Stream(ctx context.Context) (st *Stream, err error) {
+	done := c.track("stream") // measures the admission handshake
+	defer func() { done(err) }()
 	pr, pw := io.Pipe()
 	req, err := c.newRequest(ctx, http.MethodPost, "/v1/stream", pr)
 	if err != nil {
@@ -240,7 +306,7 @@ func (c *Client) Stream(ctx context.Context) (*Stream, error) {
 		resp.Body.Close() //lppm:allow droppederr -- best-effort abort of a stream that never started; err already carries the cause
 		return nil, err
 	}
-	st := &Stream{pw: pw, rw: rw, resp: resp, recs: make(chan trace.Record, 64)}
+	st = &Stream{pw: pw, rw: rw, resp: resp, recs: make(chan trace.Record, 64), sent: c.sent, recv: c.recv}
 	go st.decodeLoop() //lppm:allow goroleak -- sends on st.recs until EOF; the Stream contract (Recv-until-nil or Close, whose drainer empties recs) guarantees a receiver
 	return st, nil
 }
@@ -250,6 +316,9 @@ func (c *Client) Stream(ctx context.Context) (*Stream, error) {
 // (readable only after the body hits EOF).
 func (st *Stream) decodeLoop() {
 	err := trace.ScanRecords(st.resp.Body, trace.FormatJSONL, func(rec trace.Record) error {
+		if st.recv != nil {
+			st.recv.Inc()
+		}
 		st.recs <- rec
 		return nil
 	})
@@ -269,6 +338,9 @@ func (st *Stream) decodeLoop() {
 func (st *Stream) Send(rec trace.Record) error {
 	if err := st.rw.Write(rec); err != nil {
 		return err
+	}
+	if st.sent != nil {
+		st.sent.Inc()
 	}
 	// Flush per record: the pipe has no liveness of its own, and a
 	// buffered tail would stall a quiet stream's windows indefinitely.

@@ -45,6 +45,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/lppm"
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/service"
 	"repro/internal/trace"
@@ -146,11 +147,20 @@ func (c *Config) normalize() error {
 	return nil
 }
 
+// timedWindow is one flushed window in a connection's outbound queue,
+// carrying the obs.Stamp at which the dispatcher received it (0 when the
+// stage clock is off) so the writer can attribute queue residency to the
+// dispatch stage and the wire time to the write stage.
+type timedWindow struct {
+	recs []trace.Record
+	ns   int64
+}
+
 // streamConn is one /v1/stream connection's server-side state: the window
 // queue the dispatcher fills and the writer drains, plus the set of users
 // the connection owns (guarded by the server mutex).
 type streamConn struct {
-	windows chan []trace.Record
+	windows chan timedWindow
 	gone    chan struct{} // closed when the response sink is abandoned
 	users   map[string]struct{}
 
@@ -160,7 +170,7 @@ type streamConn struct {
 
 func newStreamConn(buffer int) *streamConn {
 	return &streamConn{
-		windows: make(chan []trace.Record, buffer),
+		windows: make(chan timedWindow, buffer),
 		gone:    make(chan struct{}),
 		users:   make(map[string]struct{}),
 	}
@@ -198,6 +208,10 @@ type Server struct {
 	rateLimited     atomic.Uint64
 	orphanWindows   atomic.Uint64
 	droppedWindows  atomic.Uint64
+	stallAbandons   atomic.Uint64
+
+	reg   *obs.Registry
+	clock *obs.StageClock // nil when the gateway's registry is disabled
 }
 
 // New validates the configuration and starts the dispatcher that routes
@@ -216,15 +230,132 @@ func New(cfg Config) (*Server, error) {
 		drainCh:      make(chan struct{}),
 		barrierCh:    make(chan chan struct{}),
 		dispatchDone: make(chan struct{}),
+		reg:          cfg.Gateway.Obs(),
 	}
-	s.mux.HandleFunc("POST /v1/stream", s.handleStream)
-	s.mux.HandleFunc("POST /v1/protect", s.handleProtect)
-	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
-	s.mux.HandleFunc("GET /v1/deployment", s.handleDeployment)
-	s.mux.HandleFunc("POST /v1/reconfigure", s.handleReconfigure)
-	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.clock = obs.NewStageClock(s.reg)
+	s.registerMetrics()
+	s.mux.Handle("POST /v1/stream", s.instrument("stream", s.handleStream))
+	s.mux.Handle("POST /v1/protect", s.instrument("protect", s.handleProtect))
+	s.mux.Handle("GET /v1/stats", s.instrument("stats", s.handleStats))
+	s.mux.Handle("GET /v1/deployment", s.instrument("deployment", s.handleDeployment))
+	s.mux.Handle("POST /v1/reconfigure", s.instrument("reconfigure", s.handleReconfigure))
+	s.mux.Handle("GET /healthz", s.instrument("healthz", s.handleHealthz))
 	go s.dispatch()
 	return s, nil
+}
+
+// registerMetrics exposes the front-end's counters on the gateway's
+// registry — Func-backed reads of the atomics the server already keeps.
+func (s *Server) registerMetrics() {
+	s.reg.CounterFunc("lppm_server_streams_total",
+		"stream connections admitted", nil, s.streamsTotal.Load)
+	s.reg.CounterFunc("lppm_server_streams_rejected_total",
+		"stream connections refused by the concurrency cap (503)", nil, s.streamsRejected.Load)
+	s.reg.CounterFunc("lppm_server_rate_limited_total",
+		"requests refused by the per-tenant token bucket (429)", nil, s.rateLimited.Load)
+	s.reg.CounterFunc("lppm_server_orphan_windows_total",
+		"flushed windows with no owning connection", nil, s.orphanWindows.Load)
+	s.reg.CounterFunc("lppm_server_dropped_windows_total",
+		"windows dropped on abandoned connections", nil, s.droppedWindows.Load)
+	s.reg.CounterFunc("lppm_server_stall_abandons_total",
+		"streams abandoned on a dead or stalled response sink (write-stall deadline included)",
+		nil, s.stallAbandons.Load)
+	s.reg.GaugeFunc("lppm_server_active_streams",
+		"concurrent /v1/stream connections", nil, func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return float64(s.activeStreams)
+		})
+	s.reg.GaugeFunc("lppm_server_draining",
+		"1 while the server drains, 0 while serving", nil, func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			if s.draining {
+				return 1
+			}
+			return 0
+		})
+}
+
+// epMetrics is one endpoint's pre-registered instruments: request counts by
+// status class plus an in-flight gauge. Pre-registration keeps the request
+// path to plain atomic updates.
+type epMetrics struct {
+	inflight *obs.Gauge
+	// classes is indexed by status/100; unreachable classes fall back to
+	// index 0 ("other").
+	classes [6]*obs.Counter
+}
+
+func (m *epMetrics) done(code int) {
+	i := code / 100
+	if i < 0 || i > 5 || m.classes[i] == nil {
+		i = 0
+	}
+	m.classes[i].Inc()
+}
+
+// instrument wraps a handler with the endpoint's request metrics. The
+// wrapper's writer preserves ResponseController access (Unwrap) and
+// flushing, so the stream handler's full-duplex machinery is unaffected.
+func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.Handler {
+	m := &epMetrics{
+		inflight: s.reg.Gauge("lppm_http_inflight",
+			"requests currently being served", obs.Labels{"endpoint": endpoint}),
+	}
+	for _, c := range []struct {
+		idx   int
+		class string
+	}{{0, "other"}, {2, "2xx"}, {4, "4xx"}, {5, "5xx"}} {
+		m.classes[c.idx] = s.reg.Counter("lppm_http_requests_total",
+			"requests served, by status class", obs.Labels{"endpoint": endpoint, "class": c.class})
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		m.inflight.Add(1)
+		defer m.inflight.Add(-1)
+		sw := &statusWriter{ResponseWriter: w}
+		h(sw, r)
+		m.done(sw.statusCode())
+	})
+}
+
+// statusWriter records the response status for the endpoint metrics while
+// staying transparent to everything the handlers need from the underlying
+// writer: Unwrap hands http.ResponseController the real writer (full
+// duplex, deadlines), Flush keeps refusal answers and window-granular
+// streaming working.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.code == 0 {
+		w.code = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
+func (w *statusWriter) statusCode() int {
+	if w.code == 0 {
+		return http.StatusOK
+	}
+	return w.code
 }
 
 // ServeHTTP implements http.Handler.
@@ -304,8 +435,12 @@ func (s *Server) route(wnd []trace.Record) {
 		s.orphanWindows.Add(1)
 		return
 	}
+	tw := timedWindow{recs: wnd}
+	if s.clock != nil {
+		tw.ns = obs.Stamp()
+	}
 	select {
-	case c.windows <- wnd:
+	case c.windows <- tw:
 	case <-c.gone:
 		s.droppedWindows.Add(1)
 	}
@@ -440,6 +575,7 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		// drops instead of blocking, then collect the reader if it has
 		// already finished — if not, it cleans up on its own once the
 		// handler return tears the request down.
+		s.stallAbandons.Add(1)
 		c.abandon()
 		select {
 		case readErr = <-readDone:
@@ -518,13 +654,18 @@ func (s *Server) writeStream(w http.ResponseWriter, rc *http.ResponseController,
 	if err != nil {
 		return err
 	}
-	for wnd := range c.windows {
+	for tw := range c.windows {
+		var pickup int64
+		if s.clock != nil {
+			pickup = obs.Stamp()
+			s.clock.Observe(obs.StageDispatch, tw.ns, pickup)
+		}
 		// Rolling stall deadline: a client that keeps reading never hits
 		// it; one that stopped reading errors this write, the handler
 		// abandons the connection, and route() stops blocking on it —
 		// one stalled peer cannot wedge the shared dispatcher for good.
 		_ = rc.SetWriteDeadline(time.Now().Add(s.cfg.WriteStallTimeout)) //lppm:allow droppederr -- best-effort stall guard; without deadline support a stalled peer is still caught by request teardown
-		for _, rec := range wnd {
+		for _, rec := range tw.recs {
 			if err := rw.Write(rec); err != nil {
 				return err
 			}
@@ -534,6 +675,9 @@ func (s *Server) writeStream(w http.ResponseWriter, rc *http.ResponseController,
 		}
 		if err := rc.Flush(); err != nil {
 			return err
+		}
+		if s.clock != nil {
+			s.clock.Observe(obs.StageWrite, pickup, obs.Stamp())
 		}
 	}
 	// Clear the deadline for the trailer write.

@@ -10,6 +10,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/lppm"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/trace"
 )
@@ -259,8 +260,55 @@ func NewController(g *Gateway, dep *core.Deployment, cfg ControllerConfig) (*Con
 		obj:        cfg.Objectives,
 		deployed:   dep.Clone(),
 	}
+	c.registerMetrics(g.Obs())
 	g.SetTap(c)
 	return c, nil
+}
+
+// registerMetrics exposes the control loop's counters and latest estimates
+// on the gateway's registry. Everything is Func-backed — a Gather takes the
+// controller mutex briefly per callback, the control loop pays nothing.
+// (Gather runs callbacks outside the registry lock, so taking c.mu here
+// cannot deadlock against registration.)
+func (c *Controller) registerMetrics(r *obs.Registry) {
+	locked := func(read func() float64) func() float64 {
+		return func() float64 {
+			c.mu.Lock()
+			defer c.mu.Unlock()
+			return read()
+		}
+	}
+	lockedU := func(read func() uint64) func() uint64 {
+		return func() uint64 {
+			c.mu.Lock()
+			defer c.mu.Unlock()
+			return read()
+		}
+	}
+	r.CounterFunc("lppm_controller_windows_observed_total",
+		"sampled windows delivered to the controller", nil,
+		lockedU(func() uint64 { return c.windows }))
+	r.CounterFunc("lppm_controller_records_observed_total",
+		"records in sampled windows", nil,
+		lockedU(func() uint64 { return c.records }))
+	r.CounterFunc("lppm_controller_evaluations_total",
+		"drift checks that judged the objectives", nil,
+		lockedU(func() uint64 { return c.evals }))
+	r.CounterFunc("lppm_controller_swaps_total",
+		"reconfigurations re-deployed into the gateway", nil,
+		lockedU(func() uint64 { return c.swaps }))
+	r.CounterFunc("lppm_controller_override_skips_total",
+		"per-user overrides rejected during reconfiguration", nil,
+		lockedU(func() uint64 { return c.overrideSkips }))
+	r.GaugeFunc("lppm_controller_users_tracked",
+		"users with live sliding aggregates", nil,
+		locked(func() float64 { return float64(len(c.users)) }))
+	r.GaugeFunc("lppm_controller_last_privacy",
+		"most recent online privacy estimate", nil,
+		locked(func() float64 { return c.lastPriv }))
+	r.GaugeFunc("lppm_controller_last_utility",
+		"most recent online utility estimate", nil,
+		locked(func() float64 { return c.lastUtil }))
 }
 
 // User implements Tap: one sampler per user stream, seeded by name.

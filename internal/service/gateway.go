@@ -14,12 +14,14 @@ import (
 	"hash/fnv"
 	"runtime"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/lppm"
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/trace"
 )
@@ -66,6 +68,11 @@ type Config struct {
 	// table). Entries may be partial; they are merged over Params and
 	// validated at New.
 	Overrides map[string]lppm.Params
+	// Obs is the metric registry the gateway (and every component wired
+	// to it — controller, HTTP server) registers into; nil gets a fresh
+	// private registry. Pass obs.Nop() to disable collection, which also
+	// skips the stage clock's wall-clock reads on the hot path.
+	Obs *obs.Registry
 }
 
 // ConfigFromDeployment wires a step-3 deployment into a gateway
@@ -205,6 +212,10 @@ type userState struct {
 // pending window.
 type shardMsg struct {
 	batch []trace.Record
+	// enqueuedNS is the obs.Stamp at which the batch entered the queue —
+	// the start of its queue-residency measurement; 0 when the stage
+	// clock is disabled.
+	enqueuedNS int64
 	// flushUser, when non-empty, asks the worker to flush that user's
 	// pending window immediately (an end-of-stream flush for a network
 	// connection that will send no more records). done, if non-nil, is
@@ -223,6 +234,16 @@ type shard struct {
 	stageMu sync.Mutex
 	stage   []trace.Record
 	dead    bool // no further sends on in; set before in closes
+	// stageStartNS is the obs.Stamp at which the stage went empty →
+	// non-empty (guarded by stageMu); 0 when empty, when the clock is
+	// disabled, or when this batch is not in the 1-in-obsSampleEvery
+	// measurement sample.
+	stageStartNS int64
+	// stageTick counts batches (guarded by stageMu) and flushTick counts
+	// window flushes (shard goroutine only); both drive the deterministic
+	// 1-in-obsSampleEvery stage-clock sampling.
+	stageTick uint64
+	flushTick uint64
 
 	ingested  atomic.Uint64
 	emitted   atomic.Uint64
@@ -291,6 +312,9 @@ type Gateway struct {
 	swaps  atomic.Uint64
 	tap    atomic.Pointer[tapHolder]
 
+	reg   *obs.Registry
+	clock *obs.StageClock // nil when reg is disabled
+
 	wg        sync.WaitGroup
 	closeOnce sync.Once
 
@@ -318,7 +342,12 @@ func New(ctx context.Context, cfg Config) (*Gateway, error) {
 		shards: make([]*shard, cfg.Shards),
 		out:    make(chan []trace.Record, cfg.Shards),
 		done:   make(chan struct{}),
+		reg:    cfg.Obs,
 	}
+	if g.reg == nil {
+		g.reg = obs.NewRegistry()
+	}
+	g.clock = obs.NewStageClock(g.reg)
 	g.deploy.Store(&deployState{
 		mech:      cfg.Mechanism,
 		params:    cfg.Params.Clone(),
@@ -337,9 +366,72 @@ func New(ctx context.Context, cfg Config) (*Gateway, error) {
 		g.wg.Add(1)
 		go g.run(s)
 	}
+	g.registerMetrics()
 	go g.watch()
 	go g.sweep()
 	return g, nil
+}
+
+// Obs returns the gateway's metric registry — the one registry of the
+// serving stack; downstream components (controller, HTTP server, admin
+// plane) register into and expose this.
+func (g *Gateway) Obs() *obs.Registry { return g.reg }
+
+// registerMetrics exposes the counters the gateway already keeps. All
+// series are Func-backed reads of the existing atomics, so registration
+// adds zero hot-path cost and the exposed values cannot drift from Stats.
+func (g *Gateway) registerMetrics() {
+	for i, s := range g.shards {
+		l := obs.Labels{"shard": strconv.Itoa(i)}
+		g.reg.CounterFunc("lppm_shard_ingested_total",
+			"records accepted into the shard stage", l, s.ingested.Load)
+		g.reg.CounterFunc("lppm_shard_emitted_total",
+			"protected records delivered to the gateway output", l, s.emitted.Load)
+		g.reg.CounterFunc("lppm_shard_flushes_total",
+			"windows flushed through protection", l, s.flushes.Load)
+		g.reg.CounterFunc("lppm_shard_dropped_total",
+			"records lost because cancellation outran delivery", l, s.dropped.Load)
+		g.reg.CounterFunc("lppm_shard_reconfigs_total",
+			"user streams refreshed to a newer deployment", l, s.reconfigs.Load)
+		g.reg.GaugeFunc("lppm_shard_users",
+			"per-user streams held by the shard", l,
+			func() float64 { return float64(s.userN.Load()) })
+		g.reg.GaugeFunc("lppm_shard_queue_depth",
+			"shard input-queue occupancy in batches", l,
+			func() float64 { return float64(len(s.in)) })
+	}
+	g.reg.GaugeFunc("lppm_gateway_generation",
+		"serving deployment generation (0 = installed at New)", nil,
+		func() float64 { return float64(g.deploy.Load().gen) })
+	g.reg.CounterFunc("lppm_gateway_swaps_total",
+		"successful deployment hot-swaps", nil, g.swaps.Load)
+}
+
+// obsSampleEvery is the stage clock's deterministic sampling period: one
+// in every obsSampleEvery batches (and, independently, window flushes)
+// carries wall-clock stamps; the rest skip every clock read. A 37 ns
+// time.Now per stamp times two stamps per window flush was the dominant
+// instrumentation cost — sampling keeps the measured overhead well under
+// the 2% budget while the histograms, being statistical objects over
+// exchangeable batches, lose only tail resolution. Must be a power of two
+// (the gate is a mask); the first tick always samples so short tests and
+// low-traffic deployments still populate every stage series.
+const obsSampleEvery = 8
+
+// takeStage removes the shard's staged batch as a queue message (caller
+// holds stageMu), closing out the batch's ingest-stage measurement and
+// stamping the start of its queue residency. Unsampled batches (zero
+// stageStartNS) carry no stamp and stay off the clock downstream.
+func (g *Gateway) takeStage(s *shard) shardMsg {
+	msg := shardMsg{batch: s.stage}
+	s.stage = nil
+	if g.clock != nil && s.stageStartNS != 0 {
+		now := obs.Stamp()
+		msg.enqueuedNS = now
+		g.clock.Observe(obs.StageIngest, s.stageStartNS, now)
+	}
+	s.stageStartNS = 0
+	return msg
 }
 
 // watch finalizes the gateway once every worker has exited: leftover staged
@@ -401,13 +493,16 @@ func (g *Gateway) sweep() {
 					continue
 				}
 				if !s.dead && len(s.stage) > 0 {
+					msg := g.takeStage(s)
 					select {
-					case s.in <- shardMsg{batch: s.stage}:
-						s.stage = nil
+					case s.in <- msg:
 					default:
-						// Queue full: the worker is busy; the
-						// stage goes out on the next sweep or
-						// when it fills.
+						// Queue full: the worker is busy; put the
+						// stage back for the next sweep or until
+						// it fills. (Its ingest-stage span is
+						// already recorded; the zero start stamp
+						// keeps it from being recorded twice.)
+						s.stage = msg.batch
 					}
 				}
 				s.stageMu.Unlock()
@@ -445,6 +540,12 @@ func (g *Gateway) Ingest(rec trace.Record) error {
 	if s.stage == nil {
 		s.stage = make([]trace.Record, 0, g.cfg.StageSize)
 	}
+	if len(s.stage) == 0 && g.clock != nil {
+		s.stageTick++
+		if s.stageTick&(obsSampleEvery-1) == 1 {
+			s.stageStartNS = obs.Stamp()
+		}
+	}
 	s.stage = append(s.stage, rec)
 	s.ingested.Add(1)
 	if len(s.stage) < g.cfg.StageSize {
@@ -454,13 +555,12 @@ func (g *Gateway) Ingest(rec trace.Record) error {
 	// backpressure. The stage lock stays held — competing producers
 	// would only block on the same full queue anyway, and holding it
 	// keeps every send ordered before any close(s.in).
-	batch := s.stage
-	s.stage = nil
+	msg := g.takeStage(s)
 	select {
-	case s.in <- shardMsg{batch: batch}:
+	case s.in <- msg:
 		return nil
 	case <-g.ctx.Done():
-		s.dropped.Add(uint64(len(batch)))
+		s.dropped.Add(uint64(len(msg.batch)))
 		return g.ctx.Err()
 	}
 }
@@ -497,12 +597,11 @@ func (g *Gateway) FlushUser(user string) error {
 		// still waiting there; both sends stay under stageMu to keep them
 		// ordered before any close(s.in).
 		if len(s.stage) > 0 {
-			batch := s.stage
-			s.stage = nil
+			msg := g.takeStage(s)
 			select {
-			case s.in <- shardMsg{batch: batch}:
+			case s.in <- msg:
 			case <-g.ctx.Done():
-				s.dropped.Add(uint64(len(batch)))
+				s.dropped.Add(uint64(len(msg.batch)))
 				return g.ctx.Err()
 			}
 		}
@@ -657,12 +756,11 @@ func (g *Gateway) Close() error {
 			s.stageMu.Lock()
 			if !s.dead {
 				if len(s.stage) > 0 {
+					msg := g.takeStage(s)
 					select {
-					case s.in <- shardMsg{batch: s.stage}:
-						s.stage = nil
+					case s.in <- msg:
 					case <-g.ctx.Done():
-						s.dropped.Add(uint64(len(s.stage)))
-						s.stage = nil
+						s.dropped.Add(uint64(len(msg.batch)))
 					}
 				}
 				s.dead = true
@@ -752,6 +850,9 @@ func (g *Gateway) run(s *shard) {
 // handleMsg windows each record of a queued batch and executes any control
 // command, acknowledging it.
 func (g *Gateway) handleMsg(s *shard, msg shardMsg) {
+	if g.clock != nil && msg.enqueuedNS != 0 {
+		g.clock.Observe(obs.StageQueue, msg.enqueuedNS, obs.Stamp())
+	}
 	for _, rec := range msg.batch {
 		g.handle(s, rec)
 	}
@@ -807,6 +908,15 @@ func (g *Gateway) flush(s *shard, u *userState) {
 	if n == 0 {
 		return
 	}
+	// Sampled like the ingest/queue stages: most flushes skip both clock
+	// reads, one in obsSampleEvery measures window-flush → emission.
+	var flushStart int64
+	if g.clock != nil {
+		s.flushTick++
+		if s.flushTick&(obsSampleEvery-1) == 1 {
+			flushStart = obs.Stamp()
+		}
+	}
 	if dep := g.deploy.Load(); dep.gen != u.gen {
 		if err := us.Reconfigure(dep.mech, dep.paramsFor(us.User())); err != nil {
 			// Reject the refresh but keep serving the old, valid
@@ -848,6 +958,9 @@ func (g *Gateway) flush(s *shard, u *userState) {
 	select {
 	case g.out <- recs:
 		s.emitted.Add(uint64(len(recs)))
+		if g.clock != nil && flushStart != 0 {
+			g.clock.Observe(obs.StageFlush, flushStart, obs.Stamp())
+		}
 		return
 	case <-g.ctx.Done():
 	}
@@ -862,6 +975,9 @@ func (g *Gateway) flush(s *shard, u *userState) {
 	select {
 	case g.out <- recs:
 		s.emitted.Add(uint64(len(recs)))
+		if g.clock != nil && flushStart != 0 {
+			g.clock.Observe(obs.StageFlush, flushStart, obs.Stamp())
+		}
 	case <-timer.C:
 		s.dropped.Add(uint64(len(recs)))
 	}
