@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check vet lint build test bench-smoke bench bench-serve bench-obs clean
+.PHONY: all check vet lint build test bench-smoke bench bench-serve bench-obs bench-journal fuzz-smoke clean
 
 all: check
 
@@ -42,6 +42,23 @@ bench:
 # to it, see ci.yml).
 bench-obs:
 	BENCH_OBS_JSON=BENCH_obs.json $(GO) test -run '^$$' -bench='ObsOverhead' -benchtime=20x .
+
+# Journal (crash-safety) overhead: the same gateway workload with the
+# write-behind journal on and off, interleaved per iteration. The
+# benchmark asserts bit-identical protected output in both modes always,
+# and the < 5% throughput budget once the sample is long enough and a
+# core is free for the pump (single-CPU hosts serialize the journal work
+# with protection and measure the disk, not the design); the measurement
+# lands in BENCH_journal.json and CI gates on it under the same
+# multicore condition, see ci.yml.
+bench-journal:
+	BENCH_JOURNAL_JSON=BENCH_journal.json $(GO) test -run '^$$' -bench='JournalOverhead' -benchtime=20x .
+
+# Short fuzz pass over the journal frame decoder: the fuzz engine mutates
+# the committed corpus (torn frames, flipped CRCs, truncated varints) and
+# the target asserts decode never panics and round-trips what it accepts.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz 'FuzzDecode' -fuzztime 10s ./internal/journal
 
 # Loopback serving smoke: the load generator drives a synthetic fleet
 # through the HTTP front-end and records throughput + latency percentiles

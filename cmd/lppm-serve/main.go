@@ -69,6 +69,13 @@ func main() {
 		stats      = flag.Bool("stats", false, "print gateway stats to stderr on exit")
 		admin      = flag.String("admin", "", "serve /metrics, /metrics.json and /debug/pprof on this address (e.g. 127.0.0.1:6060); empty disables")
 
+		journal = flag.String("journal", "",
+			"append-only journal directory: checkpoint per-user stream state for crash-safe resume; auto-recovers on start (empty disables)")
+		checkpointEvery = flag.Int("checkpoint-every", 0,
+			"journal appends between compacted snapshots, 0 for default (with -journal)")
+		journalSync = flag.Int("journal-sync", 0,
+			"fsync the journal every Nth append; 0 or 1 sync every append — the setting the kill-and-resume equivalence proof assumes (with -journal)")
+
 		listen     = flag.String("listen", "", "serve the gateway over HTTP on this address (e.g. :8080) instead of -in/-out")
 		maxStreams = flag.Int("max-streams", 0, "max concurrent /v1/stream connections (0 default, negative unlimited; with -listen)")
 		rateLimit  = flag.Float64("rate-limit", 0, "per-tenant request rate limit in req/s, 0 disables (with -listen)")
@@ -112,6 +119,7 @@ func main() {
 		inPath: *inPath, outPath: *outPath, formatName: *formatName,
 		shards: *shards, queue: *queue, flushEvery: *flushEvery,
 		seed: *seed, stats: *stats, admin: *admin,
+		journal: *journal, checkpointEvery: *checkpointEvery, journalSync: *journalSync,
 		reconfEvery: *reconfEvery, objectives: obj,
 		sampleFrac: *sampleFrac, paramName: *paramName,
 		listen: *listen, maxStreams: *maxStreams,
@@ -120,7 +128,11 @@ func main() {
 	if opts.listen != "" {
 		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 		defer stop()
-		if err := runListen(ctx, reg, opts); err != nil {
+		// stop is forwarded so the drain path restores default signal
+		// handling the moment the first signal lands: a second SIGTERM
+		// then kills the process outright instead of being swallowed
+		// while a stuck drain runs out its timeout.
+		if err := runListen(ctx, stop, reg, opts); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -173,6 +185,10 @@ type serveOpts struct {
 	stats      bool
 	admin      string
 
+	journal         string
+	checkpointEvery int
+	journalSync     int
+
 	reconfEvery time.Duration
 	objectives  model.Objectives
 	sampleFrac  float64
@@ -203,6 +219,12 @@ func (o *serveOpts) validate() error {
 		return fmt.Errorf("-rate-limit must be non-negative, got %v", o.rateLimit)
 	case o.burst < 0:
 		return fmt.Errorf("-burst must be non-negative, got %d", o.burst)
+	case o.checkpointEvery < 0:
+		return fmt.Errorf("-checkpoint-every must be non-negative, got %d", o.checkpointEvery)
+	case o.journalSync < 0:
+		return fmt.Errorf("-journal-sync must be non-negative, got %d", o.journalSync)
+	case o.journal == "" && (o.checkpointEvery != 0 || o.journalSync != 0):
+		return fmt.Errorf("-checkpoint-every/-journal-sync require -journal")
 	}
 	if _, err := trace.ParseFormat(o.formatName); err != nil {
 		return fmt.Errorf("-format: %v", err)
@@ -211,24 +233,52 @@ func (o *serveOpts) validate() error {
 }
 
 // buildServing turns the flags into the serving stack shared by the file
-// and network modes: deployment → gateway → optional controller.
-func buildServing(ctx context.Context, reg *lppm.Registry, o serveOpts) (*service.Gateway, *service.Controller, error) {
+// and network modes: deployment → gateway → optional controller. With
+// -journal the gateway is built by service.Recover instead: a fresh
+// directory starts a journal, an existing one resumes every
+// checkpointed user stream bit-identically (the journaled deployment wins
+// over the flags — the journal is authoritative for what was serving).
+func buildServing(ctx context.Context, reg *lppm.Registry, o serveOpts) (*service.Gateway, *service.Controller, *service.RecoveryInfo, error) {
 	mech, err := reg.Get(o.mechName)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	// Defaults plus -set overrides, validated once up front.
 	dep, err := core.NewDeployment(mech, o.params)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	cfg := service.ConfigFromDeployment(dep, o.seed)
 	cfg.Shards = o.shards
 	cfg.QueueSize = o.queue
 	cfg.FlushEvery = o.flushEvery
-	g, err := service.New(ctx, cfg)
-	if err != nil {
-		return nil, nil, err
+	var g *service.Gateway
+	var info *service.RecoveryInfo
+	if o.journal != "" {
+		g, info, err = service.Recover(ctx, cfg, service.JournalConfig{
+			Dir:          o.journal,
+			SyncEvery:    o.journalSync,
+			CompactEvery: o.checkpointEvery,
+			Resolve:      reg.Get,
+		})
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		if info.Resumed {
+			note := ""
+			if info.Corrupted {
+				note = ", torn tail truncated"
+			}
+			log.Printf("journal %s: resumed %d users at generation %d (%d segments, %d entries%s)",
+				o.journal, info.Users, info.Generation, info.Segments, info.Entries, note)
+		} else {
+			log.Printf("journal %s: started fresh", o.journal)
+		}
+	} else {
+		g, err = service.New(ctx, cfg)
+		if err != nil {
+			return nil, nil, nil, err
+		}
 	}
 	var ctrl *service.Controller
 	if o.reconfEvery > 0 {
@@ -248,11 +298,11 @@ func buildServing(ctx context.Context, reg *lppm.Registry, o serveOpts) (*servic
 			Seed:       o.seed,
 		})
 		if err != nil {
-			return nil, nil, errors.Join(err, g.Close())
+			return nil, nil, nil, errors.Join(err, g.Close())
 		}
 		go ctrl.Run(ctx, o.reconfEvery)
 	}
-	return g, ctrl, nil
+	return g, ctrl, info, nil
 }
 
 // adminServer is the observability side-car: /metrics, /metrics.json and
@@ -290,8 +340,11 @@ func (a *adminServer) Close() error {
 
 // runListen is the network daemon: the serving stack behind an HTTP
 // front-end until the context (SIGINT/SIGTERM) ends it, then a graceful
-// drain that flushes every user stream exactly once.
-func runListen(ctx context.Context, reg *lppm.Registry, o serveOpts) error {
+// drain that flushes every user stream exactly once and — when a journal
+// is attached — closes the journal only after the last tail window has
+// been checkpointed, so the on-disk state a later -journal start resumes
+// from covers everything the drain delivered.
+func runListen(ctx context.Context, stop context.CancelFunc, reg *lppm.Registry, o serveOpts) error {
 	if err := o.validate(); err != nil {
 		return err
 	}
@@ -299,15 +352,17 @@ func runListen(ctx context.Context, reg *lppm.Registry, o serveOpts) error {
 	if err != nil {
 		return err
 	}
-	return serveListener(ctx, reg, o, ln)
+	return serveListener(ctx, stop, reg, o, ln)
 }
 
 // serveListener runs the daemon on an existing listener (split from
-// runListen so tests can bind :0 and learn the port).
-func serveListener(ctx context.Context, reg *lppm.Registry, o serveOpts, ln net.Listener) error {
+// runListen so tests can bind :0 and learn the port). stop, when non-nil,
+// is called as soon as the shutdown begins, restoring default signal
+// disposition so a second signal kills a wedged drain outright.
+func serveListener(ctx context.Context, stop context.CancelFunc, reg *lppm.Registry, o serveOpts, ln net.Listener) error {
 	gctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
-	g, ctrl, err := buildServing(gctx, reg, o)
+	g, ctrl, info, err := buildServing(gctx, reg, o)
 	if err != nil {
 		return errors.Join(err, ln.Close())
 	}
@@ -325,6 +380,7 @@ func serveListener(ctx context.Context, reg *lppm.Registry, o serveOpts, ln net.
 		RatePerSec: o.rateLimit,
 		Burst:      o.burst,
 		Seed:       o.seed,
+		Recovery:   info,
 	})
 	if err != nil {
 		if admin != nil {
@@ -342,6 +398,9 @@ func serveListener(ctx context.Context, reg *lppm.Registry, o serveOpts, ln net.
 	case <-ctx.Done():
 	case runErr = <-serveErr:
 		// The listener died under us; still drain what is in flight.
+	}
+	if stop != nil {
+		stop()
 	}
 	dctx, dcancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer dcancel()
@@ -405,7 +464,7 @@ func run(reg *lppm.Registry, o serveOpts) error {
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
-	g, ctrl, err := buildServing(ctx, reg, o)
+	g, ctrl, _, err := buildServing(ctx, reg, o)
 	if err != nil {
 		return err
 	}

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"repro/internal/geo"
+	"repro/internal/journal"
 	"repro/internal/lppm"
 	"repro/internal/model"
 	"repro/internal/server/client"
@@ -169,6 +170,9 @@ func TestRunRejectsBadFlags(t *testing.T) {
 		{"negative reconfigure", func(o *serveOpts) { o.reconfEvery = -time.Second }, "-reconfigure-every"},
 		{"negative rate limit", func(o *serveOpts) { o.rateLimit = -1 }, "-rate-limit"},
 		{"negative burst", func(o *serveOpts) { o.burst = -1 }, "-burst"},
+		{"negative checkpoint cadence", func(o *serveOpts) { o.journal = "j"; o.checkpointEvery = -1 }, "-checkpoint-every"},
+		{"negative journal sync", func(o *serveOpts) { o.journal = "j"; o.journalSync = -1 }, "-journal-sync"},
+		{"journal knobs without journal", func(o *serveOpts) { o.checkpointEvery = 16 }, "-journal"},
 	}
 	for _, tc := range cases {
 		o := baseOpts(in, out)
@@ -238,7 +242,7 @@ func TestAdminPlane(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	o := baseOpts("-", "-")
-	g, _, err := buildServing(ctx, lppm.NewRegistry(), o)
+	g, _, _, err := buildServing(ctx, lppm.NewRegistry(), o)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -350,7 +354,7 @@ func TestServeListenRoundTrip(t *testing.T) {
 	o.admin = "127.0.0.1:0" // exercise the side-car's daemon wiring and shutdown
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan error, 1)
-	go func() { done <- serveListener(ctx, lppm.NewRegistry(), o, ln) }()
+	go func() { done <- serveListener(ctx, nil, lppm.NewRegistry(), o, ln) }()
 
 	cl := client.New("http://" + ln.Addr().String())
 	wctx, wcancel := context.WithTimeout(context.Background(), 10*time.Second)
@@ -413,4 +417,134 @@ func TestServeListenRoundTrip(t *testing.T) {
 	case <-time.After(30 * time.Second):
 		t.Fatal("daemon never exited after cancellation")
 	}
+}
+
+// TestServeListenJournalDrainOrdering pins the daemon's shutdown sequence
+// with -journal attached: drain first (the partial tail window is flushed
+// and checkpointed), journal close second, exit-code join last. After a
+// clean exit the on-disk journal must cover every record the daemon ever
+// ingested — including the pending records only the drain flushed — and a
+// second daemon start must resume from it.
+func TestServeListenJournalDrainOrdering(t *testing.T) {
+	jdir := filepath.Join(t.TempDir(), "wal")
+	rec := func(i int) trace.Record {
+		return trace.Record{
+			User:  "net-user",
+			Time:  time.Unix(1211025600+int64(i)*60, 0).UTC(),
+			Point: geo.Point{Lat: 37.7749 + float64(i)*0.0004, Lng: -122.4194},
+		}
+	}
+	start := func() (*client.Client, context.CancelFunc, chan error) {
+		t.Helper()
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		o := baseOpts("-", "-")
+		o.listen = ln.Addr().String()
+		o.journal = jdir
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan error, 1)
+		go func() { done <- serveListener(ctx, nil, lppm.NewRegistry(), o, ln) }()
+		cl := client.New("http://" + ln.Addr().String())
+		wctx, wcancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer wcancel()
+		if err := cl.WaitHealthy(wctx); err != nil {
+			t.Fatal(err)
+		}
+		return cl, cancel, done
+	}
+	waitExit := func(cancel context.CancelFunc, done chan error) {
+		t.Helper()
+		cancel()
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("daemon exit: %v", err)
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatal("daemon never exited after cancellation")
+		}
+	}
+
+	cl, cancel, done := start()
+	st, err := cl.Stream(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 6 records against flushEvery=4: one window flushes live, two stay
+	// pending — only the drain can checkpoint them.
+	for i := 0; i < 6; i++ {
+		if err := st.Send(rec(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		stats, err := cl.Stats(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.Gateway.Emitted >= 4 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("first window never flushed: %+v", stats.Gateway)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	waitExit(cancel, done) // drain mid-stream; exit code must stay clean
+	_ = st.Close()
+
+	// The journal on disk is the ordering witness: In=6 proves the drain's
+	// tail flush checkpointed before the journal closed, Corrupted=false
+	// proves the close was clean, and a decodable snapshot-headed segment
+	// proves the exit-code join ran after both.
+	w, jst, info, err := journal.Open(jdir, journal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !info.Resumed || info.Corrupted {
+		t.Fatalf("journal after clean exit: %+v, want resumed and uncorrupted", info)
+	}
+	u := jst.Users["net-user"]
+	if u == nil {
+		t.Fatal("journal lost the user checkpoint")
+	}
+	if u.In != 6 || u.Out != 6 || u.Windows != 2 {
+		t.Errorf("journal checkpoint in=%d out=%d windows=%d, want 6/6/2 (drain tail not checkpointed before close?)",
+			u.In, u.Out, u.Windows)
+	}
+
+	// Second start resumes from the journal and says so on /healthz.
+	cl2, cancel2, done2 := start()
+	resp, err := http.Get(cl2.BaseURL() + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health struct {
+		Recovery *struct {
+			Resumed bool `json:"resumed"`
+			Users   int  `json:"users"`
+		} `json:"recovery"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&health)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if health.Recovery == nil || !health.Recovery.Resumed || health.Recovery.Users != 1 {
+		t.Errorf("healthz recovery after restart: %+v, want resumed with 1 user", health.Recovery)
+	}
+	res, err := cl2.Resume(context.Background(), "net-user")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Known || res.In != 6 {
+		t.Errorf("resume after restart: %+v, want known in=6", res)
+	}
+	waitExit(cancel2, done2)
 }

@@ -1,0 +1,310 @@
+// Package faultfs is an in-memory filesystem for fault-injection tests
+// of the stream journal. It implements journal.FS and adds three
+// levers the real filesystem won't pull on demand:
+//
+//   - FailAt(n, mode): the Nth write-path operation fails — with an
+//     error, a short write, or a silently dropped fsync.
+//   - Crash(): every file reverts to its last-synced length and every
+//     open handle is poisoned, simulating a process death plus the
+//     kernel discarding unflushed page cache.
+//   - TruncateFile: byte-precise torn tails for the crash matrix.
+//
+// The clock-free, path-flat model matches exactly what the journal
+// needs: segments created once, appended, synced, removed.
+package faultfs
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"path"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/journal"
+)
+
+// FS implements journal.FS (compile-time check).
+var _ journal.FS = (*FS)(nil)
+
+// Mode selects how an injected fault manifests.
+type Mode int
+
+const (
+	// ModeError makes the selected operation return an error.
+	ModeError Mode = iota
+	// ModeShortWrite makes the selected Write persist only half its
+	// bytes and report the short count (Sync ops selected under this
+	// mode fall back to ModeError).
+	ModeShortWrite
+	// ModeSyncDrop makes the selected Sync report success without
+	// advancing the durable length — the lying-disk case.
+	ModeSyncDrop
+)
+
+// ErrInjected is the failure injected by ModeError/ModeShortWrite.
+var ErrInjected = errors.New("faultfs: injected fault")
+
+// ErrCrashed is returned by handles used after Crash.
+var ErrCrashed = errors.New("faultfs: filesystem crashed")
+
+type memFile struct {
+	data   []byte
+	synced int // durable prefix length
+}
+
+// FS is the fault-injectable in-memory filesystem. The zero value is
+// not usable; call New.
+type FS struct {
+	mu      sync.Mutex
+	files   map[string]*memFile
+	dirs    map[string]bool
+	ops     int // write-path operations seen (Write + Sync)
+	failAt  int // 1-based op index to fail; 0 = never
+	mode    Mode
+	fired   bool
+	crashed bool
+}
+
+// New returns an empty filesystem.
+func New() *FS {
+	return &FS{files: make(map[string]*memFile), dirs: make(map[string]bool)}
+}
+
+// FailAt arms a one-shot fault: the nth (1-based) subsequent write-path
+// operation — Write or Sync — fails per mode. n<=0 disarms.
+func (fs *FS) FailAt(n int, mode Mode) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.ops = 0
+	fs.failAt = n
+	fs.mode = mode
+	fs.fired = false
+}
+
+// Ops returns the number of write-path operations since the last FailAt.
+func (fs *FS) Ops() int {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.ops
+}
+
+// Crash simulates process death with cache loss: all files revert to
+// their last-synced prefix and every open handle errors from now on.
+// The filesystem itself stays usable (a "restarted process" can reopen).
+func (fs *FS) Crash() {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.crashed = true
+	for _, f := range fs.files {
+		f.data = f.data[:f.synced]
+	}
+}
+
+// restart clears the crash poison for newly opened handles; called
+// implicitly by Open/Create so a "restarted" journal just works.
+func (fs *FS) restartLocked() { fs.crashed = false }
+
+// shouldFire advances the op counter and reports whether this operation
+// is the armed one. Callers hold fs.mu.
+func (fs *FS) shouldFire() bool {
+	fs.ops++
+	if fs.fired || fs.failAt <= 0 || fs.ops != fs.failAt {
+		return false
+	}
+	fs.fired = true
+	return true
+}
+
+// ReadFile returns a copy of a file's full (not just synced) content.
+func (fs *FS) ReadFile(name string) ([]byte, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f := fs.files[clean(name)]
+	if f == nil {
+		return nil, fmt.Errorf("faultfs: %s: no such file", name)
+	}
+	return append([]byte(nil), f.data...), nil
+}
+
+// WriteFile replaces a file's content, fully synced — the test-side
+// escape hatch the crash matrix uses to plant torn tails.
+func (fs *FS) WriteFile(name string, data []byte) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.files[clean(name)] = &memFile{data: append([]byte(nil), data...), synced: len(data)}
+}
+
+// TruncateFile cuts a file to n bytes (synced), simulating a torn tail
+// at an exact byte boundary.
+func (fs *FS) TruncateFile(name string, n int) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f := fs.files[clean(name)]
+	if f == nil {
+		return fmt.Errorf("faultfs: %s: no such file", name)
+	}
+	if n < 0 || n > len(f.data) {
+		return fmt.Errorf("faultfs: truncate %s to %d outside [0,%d]", name, n, len(f.data))
+	}
+	f.data = f.data[:n]
+	if f.synced > n {
+		f.synced = n
+	}
+	return nil
+}
+
+// Files returns the sorted names (full paths) of all files.
+func (fs *FS) Files() []string {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	names := make([]string, 0, len(fs.files))
+	for n := range fs.files {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// --- journal.FS surface ---
+
+// MkdirAll records the directory; parents are implicit.
+func (fs *FS) MkdirAll(dir string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.dirs[clean(dir)] = true
+	return nil
+}
+
+// ReadDir lists file names (not paths) directly inside dir, sorted.
+func (fs *FS) ReadDir(dir string) ([]string, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	dir = clean(dir)
+	if !fs.dirs[dir] {
+		return nil, fmt.Errorf("faultfs: %s: no such directory", dir)
+	}
+	var names []string
+	prefix := dir + "/"
+	for n := range fs.files {
+		if strings.HasPrefix(n, prefix) && !strings.Contains(n[len(prefix):], "/") {
+			names = append(names, n[len(prefix):])
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Open opens an existing file for reading from its current content.
+func (fs *FS) Open(name string) (journal.File, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.restartLocked()
+	f := fs.files[clean(name)]
+	if f == nil {
+		return nil, fmt.Errorf("faultfs: %s: no such file", name)
+	}
+	return &Handle{fs: fs, f: f, readable: true}, nil
+}
+
+// Create creates or truncates a file for writing.
+func (fs *FS) Create(name string) (journal.File, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.restartLocked()
+	f := &memFile{}
+	fs.files[clean(name)] = f
+	return &Handle{fs: fs, f: f, writable: true}, nil
+}
+
+// Remove deletes a file.
+func (fs *FS) Remove(name string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	name = clean(name)
+	if fs.files[name] == nil {
+		return fmt.Errorf("faultfs: %s: no such file", name)
+	}
+	delete(fs.files, name)
+	return nil
+}
+
+// Handle is one open file, implementing journal.File.
+type Handle struct {
+	fs       *FS
+	f        *memFile
+	off      int
+	readable bool
+	writable bool
+	closed   bool
+}
+
+func (h *Handle) Read(p []byte) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.closed || h.fs.crashed {
+		return 0, ErrCrashed
+	}
+	if !h.readable {
+		return 0, fmt.Errorf("faultfs: handle not open for reading")
+	}
+	if h.off >= len(h.f.data) {
+		return 0, io.EOF
+	}
+	n := copy(p, h.f.data[h.off:])
+	h.off += n
+	return n, nil
+}
+
+func (h *Handle) Write(p []byte) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.closed || h.fs.crashed {
+		return 0, ErrCrashed
+	}
+	if !h.writable {
+		return 0, fmt.Errorf("faultfs: handle not open for writing")
+	}
+	if h.fs.shouldFire() {
+		switch h.fs.mode {
+		case ModeShortWrite:
+			n := len(p) / 2
+			h.f.data = append(h.f.data, p[:n]...)
+			return n, ErrInjected
+		default:
+			return 0, ErrInjected
+		}
+	}
+	h.f.data = append(h.f.data, p...)
+	return len(p), nil
+}
+
+func (h *Handle) Sync() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.closed || h.fs.crashed {
+		return ErrCrashed
+	}
+	if !h.writable {
+		return nil // read handles sync trivially
+	}
+	if h.fs.shouldFire() {
+		if h.fs.mode == ModeSyncDrop {
+			return nil // lie: report success, durable length unchanged
+		}
+		return ErrInjected
+	}
+	h.f.synced = len(h.f.data)
+	return nil
+}
+
+func (h *Handle) Close() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	h.closed = true
+	return nil
+}
+
+// clean normalizes a path for map keying.
+func clean(p string) string { return path.Clean(strings.ReplaceAll(p, "\\", "/")) }

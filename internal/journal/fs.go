@@ -1,0 +1,68 @@
+package journal
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// FS is the filesystem seam the journal writes through. Production uses
+// OSFS; the fault-injection harness (internal/faultfs) substitutes an
+// in-memory implementation that can fail, short-write or drop fsyncs at
+// the Nth operation and then simulate a crash. The interface is the
+// minimal surface a segmented append-only log needs — no renames, no
+// seeks: segments are created once, appended, and removed.
+type FS interface {
+	// MkdirAll creates the directory (and parents) if absent.
+	MkdirAll(dir string) error
+	// ReadDir lists the file names (not paths) in dir, in any order.
+	ReadDir(dir string) ([]string, error)
+	// Open opens an existing file for reading.
+	Open(name string) (File, error)
+	// Create creates (or truncates) a file for writing.
+	Create(name string) (File, error)
+	// Remove deletes a file.
+	Remove(name string) error
+}
+
+// File is one open journal segment.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	// Sync flushes written data to stable storage.
+	Sync() error
+}
+
+// OSFS is the production FS: the host filesystem via package os.
+type OSFS struct{}
+
+func (OSFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+func (OSFS) ReadDir(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (OSFS) Open(name string) (File, error) { return os.Open(name) }
+
+func (OSFS) Create(name string) (File, error) {
+	return os.OpenFile(name, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+}
+
+func (OSFS) Remove(name string) error { return os.Remove(name) }
+
+// join builds a path inside the journal directory. Segments never nest,
+// so plain filepath.Join suffices for every FS implementation.
+func join(dir, name string) string { return filepath.Join(dir, name) }

@@ -52,6 +52,12 @@ func NewUserStream(m Mechanism, p Params, user string, r *rng.Source) (*UserStre
 // User returns the stream's user identifier.
 func (s *UserStream) User() string { return s.user }
 
+// Pos returns the stream's random-source draw position. Together with
+// the pending buffer it is the stream's complete resumable state: a
+// stream rebuilt by RestoreUserStream from (Pos, PendingRecords) is
+// bit-identical to this one for all future operations.
+func (s *UserStream) Pos() uint64 { return s.r.Pos() }
+
 // Pending returns the number of buffered, not-yet-protected records.
 func (s *UserStream) Pending() int { return len(s.pending) }
 
@@ -79,6 +85,31 @@ func (s *UserStream) Reconfigure(m Mechanism, p Params) error {
 	s.mech = m
 	s.params = p.Clone()
 	return nil
+}
+
+// RestoreUserStream rebuilds a stream from checkpointed state: it
+// creates the stream, seeks the (freshly seeded) random source to the
+// journaled draw position, and re-buffers the pending window. The
+// result is bit-identical to the stream the checkpoint described — same
+// future draws, same window split — which is the foundation of the
+// crash-recovery equivalence proof (DESIGN.md §13). The SeekTo replays
+// r from its seed, so restore cost grows with stream age; recovery pays
+// it lazily, per returning user (see internal/service).
+func RestoreUserStream(m Mechanism, p Params, user string, r *rng.Source, pos uint64, pending []trace.Record) (*UserStream, error) {
+	s, err := NewUserStream(m, p, user, r)
+	if err != nil {
+		return nil, err
+	}
+	if cur := r.Pos(); cur > pos {
+		return nil, fmt.Errorf("lppm: restore %s: source already at draw %d, past checkpoint %d", user, cur, pos)
+	}
+	r.SeekTo(pos)
+	for _, rec := range pending {
+		if err := s.Push(rec); err != nil {
+			return nil, fmt.Errorf("lppm: restore %s: %w", user, err)
+		}
+	}
+	return s, nil
 }
 
 // Push buffers one record. Records of other users are rejected.

@@ -196,9 +196,30 @@ type errorResponse struct {
 	Error string `json:"error"`
 }
 
-// healthResponse is GET /healthz's body.
+// healthResponse is GET /healthz's body. Recovery is present when the
+// process resumed from a journal: what service.Recover
+// reconstructed at startup.
 type healthResponse struct {
-	Status string `json:"status"`
+	Status   string                `json:"status"`
+	Recovery *service.RecoveryInfo `json:"recovery,omitempty"`
+}
+
+// resumeResponse is GET /v1/resume's body: the journal's progress for one
+// user. Known is false (with zero counters) when the journal has no
+// checkpoint for the user — a fresh user resumes from zero. In is the
+// live absorbed count (never re-send below it to a live server);
+// DurableIn is what has reached stable storage (never *trim* below it —
+// the write-behind tail between the two can be lost by a crash and must
+// then be refilled by resending). With the default per-append fsync the
+// two are equal.
+type resumeResponse struct {
+	User       string `json:"user"`
+	Known      bool   `json:"known"`
+	Generation uint64 `json:"generation"`
+	In         uint64 `json:"in"`
+	DurableIn  uint64 `json:"durable_in"`
+	Out        uint64 `json:"out"`
+	Windows    uint64 `json:"windows"`
 }
 
 // reconfigureRequest is POST /v1/reconfigure's body: parameter values

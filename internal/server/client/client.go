@@ -67,7 +67,7 @@ func WithObs(reg *obs.Registry) Option {
 			return
 		}
 		c.met = make(map[string]*opMetrics)
-		for _, op := range []string{"health", "stats", "deployment", "reconfigure", "protect", "stream"} {
+		for _, op := range []string{"health", "stats", "deployment", "reconfigure", "protect", "stream", "resume", "replay"} {
 			l := obs.Labels{"op": op}
 			c.met[op] = &opMetrics{
 				reqs: reg.Counter("lppm_client_requests_total", "client requests issued", l),
@@ -111,6 +111,9 @@ func New(base string, opts ...Option) *Client {
 	}
 	return c
 }
+
+// BaseURL returns the server address the client talks to.
+func (c *Client) BaseURL() string { return c.base }
 
 // apiError reads a failed response's JSON body into an APIError.
 func apiError(resp *http.Response) error {

@@ -39,6 +39,7 @@ import (
 	"math"
 	"net/http"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -101,6 +102,11 @@ type Config struct {
 	// stateless: identical requests protect identically, matching the
 	// batch file path under the same seed.
 	Seed int64
+	// Recovery, when set, is the journal recovery report from
+	// service.Recover; /healthz includes it so operators (and reconnecting
+	// clients) can see whether this process resumed from a
+	// journal and how much state it reconstructed.
+	Recovery *service.RecoveryInfo
 
 	// now is the admission clock, replaceable in tests.
 	now func() time.Time
@@ -239,6 +245,8 @@ func New(cfg Config) (*Server, error) {
 	s.mux.Handle("GET /v1/stats", s.instrument("stats", s.handleStats))
 	s.mux.Handle("GET /v1/deployment", s.instrument("deployment", s.handleDeployment))
 	s.mux.Handle("POST /v1/reconfigure", s.instrument("reconfigure", s.handleReconfigure))
+	s.mux.Handle("GET /v1/resume", s.instrument("resume", s.handleResume))
+	s.mux.Handle("GET /v1/replay", s.instrument("replay", s.handleReplay))
 	s.mux.Handle("GET /healthz", s.instrument("healthz", s.handleHealthz))
 	go s.dispatch()
 	return s, nil
@@ -795,14 +803,116 @@ func (s *Server) handleDeployment(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleHealthz serves GET /healthz: 200 while serving, 503 while draining
-// so load balancers stop routing before the drain completes.
+// so load balancers stop routing before the drain completes. When the
+// process resumed from a journal, the body carries the
+// recovery report (users restored, generation, segments folded).
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	draining := s.draining
 	s.mu.Unlock()
+	resp := healthResponse{Status: "ok", Recovery: s.cfg.Recovery}
 	if draining {
-		writeJSON(w, http.StatusServiceUnavailable, healthResponse{Status: "draining"})
+		resp.Status = "draining"
+		writeJSON(w, http.StatusServiceUnavailable, resp)
 		return
 	}
-	writeJSON(w, http.StatusOK, healthResponse{Status: "ok"})
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleResume serves GET /v1/resume?user=U: the journal's progress
+// counters for one user. A client reconnecting after a crash (its own or
+// the server's) trims its send queue to DurableIn, resends only from In —
+// records a live server has absorbed must not be re-sent, or the
+// mechanism would draw fresh randomness for them — and fetches the
+// protected output it never received via /v1/replay. Answers 404 when
+// the gateway runs journal-less: resume-by-counter is exactly the
+// capability the journal adds.
+func (s *Server) handleResume(w http.ResponseWriter, r *http.Request) {
+	if !s.admitUnary(w, r) {
+		return
+	}
+	jw := s.gw.Journal()
+	if jw == nil {
+		httpError(w, http.StatusNotFound, "server: no journal configured")
+		return
+	}
+	user := r.URL.Query().Get("user")
+	if user == "" {
+		httpError(w, http.StatusBadRequest, "server: missing user parameter")
+		return
+	}
+	// The journal is write-behind; wait for the pump so the counters
+	// cover every window emitted before this request.
+	if err := s.gw.JournalBarrier(); err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	resp := resumeResponse{User: user}
+	if us := jw.UserResume(user); us != nil {
+		resp.Known = true
+		resp.Generation = us.Generation
+		resp.In = us.In
+		resp.DurableIn = us.DurableIn
+		resp.Out = us.Out
+		resp.Windows = us.Windows
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleReplay serves GET /v1/replay?user=U&from=N: the retained protected
+// records with absolute output index >= N, as NDJSON in emission order —
+// the delivery gap of a client that crashed (or lost its connection) after
+// the journal made a window durable but before the bytes arrived. The
+// ring is bounded (Options.RetainWindows), so a gap older than the ring
+// answers 410: the journal can prove the records existed but no longer
+// holds them.
+func (s *Server) handleReplay(w http.ResponseWriter, r *http.Request) {
+	if !s.admitUnary(w, r) {
+		return
+	}
+	jw := s.gw.Journal()
+	if jw == nil {
+		httpError(w, http.StatusNotFound, "server: no journal configured")
+		return
+	}
+	q := r.URL.Query()
+	user := q.Get("user")
+	if user == "" {
+		httpError(w, http.StatusBadRequest, "server: missing user parameter")
+		return
+	}
+	from, err := strconv.ParseUint(q.Get("from"), 10, 64)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("server: bad from parameter: %v", err))
+		return
+	}
+	// As in handleResume: the ring must cover every emitted window before
+	// the gap is computed, or an in-flight window could be skipped.
+	if err := s.gw.JournalBarrier(); err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	us := jw.UserResume(user)
+	if us == nil {
+		httpError(w, http.StatusNotFound, fmt.Sprintf("server: no checkpoint for user %q", user))
+		return
+	}
+	recs, ok := us.ReplayFrom(from)
+	if !ok {
+		httpError(w, http.StatusGone,
+			fmt.Sprintf("server: retained windows for %q no longer reach back to %d", user, from))
+		return
+	}
+	w.Header().Set("Content-Type", ndjsonContentType)
+	rw, err := trace.NewRecordWriter(w, wireFormat)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	for _, rec := range recs {
+		if err := rw.Write(rec); err != nil {
+			return // sink died; nothing useful left to report
+		}
+	}
+	_ = rw.Flush() //lppm:allow droppederr -- unary response tail: the client observes the truncation; the handler has no channel left to report it on
 }

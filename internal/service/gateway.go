@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/journal"
 	"repro/internal/lppm"
 	"repro/internal/obs"
 	"repro/internal/rng"
@@ -198,11 +199,17 @@ type Stats struct {
 // userState is one user's stream plus the deployment generation its
 // parameters came from (flush refreshes it lazily after a Swap) and the
 // cached per-user tap handle (re-resolved when SetTap installs a new tap).
+// in/out/windows are the stream's journal counters: input records
+// consumed, protected records emitted, windows flushed — exactly what a
+// checkpoint records and what the resume protocol reports to clients.
 type userState struct {
-	us     *lppm.UserStream
-	gen    uint64
-	tapSrc *tapHolder
-	tap    TapUser
+	us      *lppm.UserStream
+	gen     uint64
+	in      uint64
+	out     uint64
+	windows uint64
+	tapSrc  *tapHolder
+	tap     TapUser
 }
 
 // shardMsg is one element of a shard's input queue: a batch of staged
@@ -221,6 +228,11 @@ type shardMsg struct {
 	// connection that will send no more records). done, if non-nil, is
 	// closed once the command has been processed.
 	flushUser string
+	// evictUser, when non-empty, asks the worker to checkpoint that
+	// user's stream (pending window included, unflushed — eviction must
+	// not change the window split) and drop it from the table; the user
+	// restores lazily on their next record.
+	evictUser string
 	done      chan struct{}
 }
 
@@ -230,6 +242,12 @@ type shardMsg struct {
 type shard struct {
 	in    chan shardMsg
 	users map[string]*userState
+	// restore holds checkpoints of users not currently in the table —
+	// recovered from the journal at startup or parked by EvictUser. A
+	// user's first record after that rebuilds the stream from its entry
+	// (lppm.RestoreUserStream), paying the rng re-seek lazily, per
+	// returning user. Shard-goroutine-only after newGateway.
+	restore map[string]journal.Checkpoint
 
 	stageMu sync.Mutex
 	stage   []trace.Record
@@ -309,8 +327,40 @@ type Gateway struct {
 	done   chan struct{} // closed once every shard has exited
 
 	deploy atomic.Pointer[deployState]
-	swaps  atomic.Uint64
-	tap    atomic.Pointer[tapHolder]
+	// swapMu serializes Swap so the deploy journal record and the
+	// deployment installation are one atomic step: no checkpoint taken
+	// under generation G can enter the journal queue before the gen-G
+	// deploy record (flush enqueues under the shard goroutine after
+	// loading the deployment, and the deployment only becomes loadable
+	// after its record is enqueued — the FIFO queue preserves that order
+	// on disk). It also guards jqClosed, so enqueues from Swap and
+	// JournalBarrier never race the queue close.
+	swapMu   sync.Mutex
+	jqClosed bool
+	swaps    atomic.Uint64
+	tap      atomic.Pointer[tapHolder]
+
+	// jw, when non-nil, is the stream journal. Appends are write-behind:
+	// flush and evict enqueue checkpoints on jq and the pump goroutine
+	// encodes, writes and fsyncs them off the protection path, so the
+	// journal's cost on the serving hot path is one bounded channel send.
+	// Crash safety does not rest on emit-after-append ordering but on the
+	// resume protocol: clients trim their send buffers only to the
+	// journal's *durable* In (journal.Writer.UserResume) and re-protection
+	// after a resend is deterministic, so any window the journal lost is
+	// regenerated bit-identically. Swap appends synchronously through the
+	// queue (deploy records gate the swap); Close drains the queue and
+	// then closes the journal, after the last drain flush.
+	jw *journal.Writer
+	// jq feeds the journal pump; nil when jw is nil. Bounded: a stalled
+	// disk eventually backpressures flushes instead of growing the heap.
+	jq chan journalReq
+	// jpumpEnd closes when the pump goroutine has drained jq and exited.
+	jpumpEnd chan struct{}
+	// jhist measures the sampled cost the hot path actually pays for
+	// journaling — the enqueue wait, which is ~zero until the pump falls
+	// behind (nil when jw is nil or metrics are disabled).
+	jhist *obs.Histogram
 
 	reg   *obs.Registry
 	clock *obs.StageClock // nil when reg is disabled
@@ -331,7 +381,18 @@ type tapHolder struct{ t Tap }
 // New validates the configuration and starts the shard workers. The context
 // bounds the gateway's lifetime: cancellation stops intake, drains the
 // bounded queues, flushes every per-user window and closes Output.
+//
+// A gateway built by New does not journal; use Recover to open (or
+// create) a stream journal and resume from it.
 func New(ctx context.Context, cfg Config) (*Gateway, error) {
+	return newGateway(ctx, cfg, nil, 0, nil)
+}
+
+// newGateway is the shared constructor: jw, when non-nil, is an
+// Install-ed journal writer the gateway owns from now on; gen is the
+// deployment generation to resume at; restore seeds the lazy per-user
+// restore tables from journaled checkpoints.
+func newGateway(ctx context.Context, cfg Config, jw *journal.Writer, gen uint64, restore map[string]journal.Checkpoint) (*Gateway, error) {
 	if err := cfg.normalize(); err != nil {
 		return nil, err
 	}
@@ -343,12 +404,23 @@ func New(ctx context.Context, cfg Config) (*Gateway, error) {
 		out:    make(chan []trace.Record, cfg.Shards),
 		done:   make(chan struct{}),
 		reg:    cfg.Obs,
+		jw:     jw,
 	}
 	if g.reg == nil {
 		g.reg = obs.NewRegistry()
 	}
 	g.clock = obs.NewStageClock(g.reg)
+	if jw != nil && !g.reg.Disabled() {
+		g.jhist = g.reg.Histogram("lppm_journal_append_ns",
+			"sampled hot-path journal enqueue latency", nil)
+	}
+	if jw != nil {
+		g.jq = make(chan journalReq, journalQueueDepth)
+		g.jpumpEnd = make(chan struct{})
+		go g.journalPump() //lppm:allow goroleak -- exits when Close closes jq after the shards drain; every done channel it answers is made with capacity 1, so no send blocks
+	}
 	g.deploy.Store(&deployState{
+		gen:       gen,
 		mech:      cfg.Mechanism,
 		params:    cfg.Params.Clone(),
 		overrides: cfg.Overrides,
@@ -359,10 +431,18 @@ func New(ctx context.Context, cfg Config) (*Gateway, error) {
 	}
 	for i := range g.shards {
 		s := &shard{
-			in:    make(chan shardMsg, batches),
-			users: make(map[string]*userState),
+			in:      make(chan shardMsg, batches),
+			users:   make(map[string]*userState),
+			restore: make(map[string]journal.Checkpoint),
 		}
 		g.shards[i] = s
+	}
+	// Distribute journaled checkpoints to their owning shards before any
+	// worker starts, so the tables are shard-goroutine-only afterwards.
+	for u, cp := range restore {
+		g.shards[shardOf(u, len(g.shards))].restore[u] = cp
+	}
+	for _, s := range g.shards {
 		g.wg.Add(1)
 		go g.run(s)
 	}
@@ -371,6 +451,88 @@ func New(ctx context.Context, cfg Config) (*Gateway, error) {
 	go g.sweep()
 	return g, nil
 }
+
+// journalQueueDepth bounds the write-behind journal queue: enough to ride
+// out an fsync without stalling flushes, small enough that backpressure
+// kicks in before a dead disk hides megabytes of unjournaled windows.
+const journalQueueDepth = 256
+
+// Journal request kinds.
+const (
+	jreqCheckpoint byte = iota
+	jreqDeploy
+	jreqBarrier
+)
+
+// journalReq is one unit of work for the journal pump. done, when
+// non-nil, receives the append's result — Swap gates on it, and barriers
+// use it as a queue-drained signal.
+type journalReq struct {
+	kind byte
+	cp   journal.Checkpoint
+	dep  journal.Deployment
+	done chan error
+}
+
+// journalPump is the write-behind journal goroutine: it serializes every
+// append off the protection path. FIFO order makes the on-disk record
+// order identical to the enqueue order, which is what the swapMu ordering
+// argument (deploy before dependent checkpoints) relies on.
+func (g *Gateway) journalPump() {
+	defer close(g.jpumpEnd)
+	for req := range g.jq {
+		var err error
+		switch req.kind {
+		case jreqCheckpoint:
+			err = g.jw.AppendCheckpoint(req.cp)
+		case jreqDeploy:
+			err = g.jw.AppendDeploy(req.dep)
+		}
+		if req.done != nil {
+			req.done <- err
+		} else if err != nil {
+			g.setErr(err)
+		}
+	}
+}
+
+// JournalBarrier waits until every journal append enqueued so far has
+// been applied, so the writer's folded state covers everything the
+// gateway has emitted. The server's resume/replay handlers call it before
+// reading per-user state: without the barrier, a window emitted moments
+// ago could be missing from both the client's delivery and the folded
+// replay ring. No-op without a journal or after Close (a drained, closed
+// journal is trivially current).
+func (g *Gateway) JournalBarrier() error {
+	done := g.enqueueBarrier()
+	if done == nil {
+		return nil
+	}
+	return <-done
+}
+
+// enqueueBarrier places a barrier request on the journal queue, holding
+// swapMu only for the enqueue (the wait happens in JournalBarrier, after
+// the lock is gone). A nil return means there is nothing to wait for:
+// the gateway is journal-less, or the queue already drained and closed.
+func (g *Gateway) enqueueBarrier() chan error {
+	if g.jw == nil {
+		return nil
+	}
+	g.swapMu.Lock()
+	defer g.swapMu.Unlock()
+	if g.jqClosed {
+		return nil
+	}
+	done := make(chan error, 1)
+	g.jq <- journalReq{kind: jreqBarrier, done: done} //lppm:allow sendlock -- swapMu excludes Close's channel-close during the send; the pump drains jq unconditionally and never takes swapMu, so the send completes in bounded time
+	return done
+}
+
+// Journal returns the gateway's stream journal writer, or nil when the
+// gateway does not journal. The server's resume/replay endpoints read
+// per-user state through it (behind JournalBarrier).
+func (g *Gateway) Journal() *journal.Writer { return g.jw }
 
 // Obs returns the gateway's metric registry — the one registry of the
 // serving stack; downstream components (controller, HTTP server, admin
@@ -405,6 +567,23 @@ func (g *Gateway) registerMetrics() {
 		func() float64 { return float64(g.deploy.Load().gen) })
 	g.reg.CounterFunc("lppm_gateway_swaps_total",
 		"successful deployment hot-swaps", nil, g.swaps.Load)
+	if g.jw != nil {
+		g.reg.CounterFunc("lppm_journal_appends_total",
+			"checkpoint/deploy records appended to the stream journal", nil,
+			func() uint64 { return g.jw.Stats().Appends })
+		g.reg.CounterFunc("lppm_journal_snapshots_total",
+			"snapshot frames written (startup install + rotations)", nil,
+			func() uint64 { return g.jw.Stats().Snapshots })
+		g.reg.CounterFunc("lppm_journal_bytes_total",
+			"journal bytes written, framing included", nil,
+			func() uint64 { return g.jw.Stats().Bytes })
+		g.reg.CounterFunc("lppm_journal_errors_total",
+			"journal append/sync/remove failures", nil,
+			func() uint64 { return g.jw.Stats().Errors })
+		g.reg.GaugeFunc("lppm_journal_segment",
+			"current journal segment index", nil,
+			func() float64 { return float64(g.jw.Stats().Segment) })
+	}
 }
 
 // obsSampleEvery is the stage clock's deterministic sampling period: one
@@ -621,6 +800,53 @@ func (g *Gateway) FlushUser(user string) error {
 	return nil
 }
 
+// EvictUser checkpoints a user's stream — pending records included, the
+// window split untouched — and releases its memory; the user's next
+// record rebuilds the stream from the checkpoint, bit-identically. With
+// a journal attached the checkpoint is durable; without one it is held
+// in memory. The command rides the shard queue behind every record
+// already ingested, like FlushUser, and returns once processed. Evicting
+// an unknown user is a no-op.
+func (g *Gateway) EvictUser(user string) error {
+	if user == "" {
+		return fmt.Errorf("service: evict for empty user id")
+	}
+	s := g.shards[shardOf(user, len(g.shards))]
+	done := make(chan struct{})
+	err := func() error {
+		s.stageMu.Lock()
+		defer s.stageMu.Unlock()
+		if s.dead {
+			return ErrClosed
+		}
+		if err := g.ctx.Err(); err != nil {
+			return err
+		}
+		// Push the stage first so the eviction sees every record already
+		// ingested for this user (same ordering rule as FlushUser).
+		if len(s.stage) > 0 {
+			msg := g.takeStage(s)
+			select {
+			case s.in <- msg:
+			case <-g.ctx.Done():
+				s.dropped.Add(uint64(len(msg.batch)))
+				return g.ctx.Err()
+			}
+		}
+		select {
+		case s.in <- shardMsg{evictUser: user, done: done}:
+			return nil
+		case <-g.ctx.Done():
+			return g.ctx.Err()
+		}
+	}()
+	if err != nil {
+		return err
+	}
+	<-done
+	return nil
+}
+
 // IngestAll feeds a slice of records in order, stopping at the first error.
 func (g *Gateway) IngestAll(recs []trace.Record) error {
 	for _, rec := range recs {
@@ -667,20 +893,51 @@ func (g *Gateway) Swap(d *core.Deployment) error {
 			return err
 		}
 	}
-	for {
-		cur := g.deploy.Load()
-		next := &deployState{
-			gen:       cur.gen + 1,
-			mech:      d.Mechanism,
-			params:    params,
-			overrides: overrides,
+	g.swapMu.Lock()
+	defer g.swapMu.Unlock()
+	cur := g.deploy.Load()
+	next := &deployState{
+		gen:       cur.gen + 1,
+		mech:      d.Mechanism,
+		params:    params,
+		overrides: overrides,
+	}
+	// The deploy record must precede any gen-G checkpoint in the journal,
+	// or recovery could fold a checkpoint from a journal that never heard
+	// of generation G — enqueueing under swapMu before the deployment
+	// becomes loadable guarantees that via the queue's FIFO order. Unlike
+	// window checkpoints, the swap waits for the append result: a journal
+	// that cannot persist the record rejects the swap, and the old
+	// deployment keeps serving and keeps matching the journal.
+	if g.jq != nil {
+		if g.jqClosed {
+			return fmt.Errorf("service: swap rejected: %w", journal.ErrClosed)
 		}
-		if g.deploy.CompareAndSwap(cur, next) {
-			break
+		done := make(chan error, 1)
+		g.jq <- journalReq{kind: jreqDeploy, dep: journalDeployment(next), done: done} //lppm:allow sendlock -- the deploy record must enter the queue under swapMu to order ahead of gen-G checkpoints; the pump drains jq unconditionally and never takes swapMu, so the send completes in bounded time
+		if err := <-done; err != nil {
+			return fmt.Errorf("service: swap rejected, journal append failed: %w", err)
 		}
 	}
+	g.deploy.Store(next)
 	g.swaps.Add(1)
 	return nil
+}
+
+// journalDeployment renders a deployState as its journal record.
+func journalDeployment(d *deployState) journal.Deployment {
+	jd := journal.Deployment{
+		Generation: d.gen,
+		Mechanism:  d.mech.Name(),
+		Params:     map[string]float64(d.params),
+	}
+	if len(d.overrides) > 0 {
+		jd.Overrides = make(map[string]map[string]float64, len(d.overrides))
+		for u, p := range d.overrides {
+			jd.Overrides[u] = map[string]float64(p)
+		}
+	}
+	return jd
 }
 
 // Generation returns the serving deployment's generation: 0 until the
@@ -773,6 +1030,24 @@ func (g *Gateway) Close() error {
 	// accounting runs there, and returning earlier would let a
 	// Close-then-Stats caller observe Ingested > Emitted+Dropped.
 	<-g.done
+	// Every drain flush has enqueued its checkpoint by now; close the
+	// queue, wait for the pump to drain it, then close the journal — so
+	// it closes after the last tail window, the drain → journal-close
+	// ordering the server's shutdown path relies on. jqClosed is guarded
+	// by swapMu so a concurrent Swap or JournalBarrier never sends on the
+	// closed channel; Close stays idempotent.
+	if g.jw != nil {
+		g.swapMu.Lock()
+		if !g.jqClosed {
+			g.jqClosed = true
+			close(g.jq)
+		}
+		g.swapMu.Unlock()
+		<-g.jpumpEnd
+		if err := g.jw.Close(); err != nil {
+			g.setErr(err)
+		}
+	}
 	g.errMu.Lock()
 	defer g.errMu.Unlock()
 	return g.err
@@ -861,6 +1136,9 @@ func (g *Gateway) handleMsg(s *shard, msg shardMsg) {
 			g.flush(s, u)
 		}
 	}
+	if msg.evictUser != "" {
+		g.evict(s, msg.evictUser)
+	}
 	if msg.done != nil {
 		close(msg.done)
 	}
@@ -875,15 +1153,32 @@ func (g *Gateway) handle(s *shard, rec trace.Record) {
 		// identical whatever the shard count — and, for mechanisms
 		// that draw randomness strictly per record, identical to the
 		// batch result. Parameters come from the serving deployment,
-		// override table included.
+		// override table included. A checkpointed user (recovered from
+		// the journal or parked by EvictUser) restores instead: same
+		// named source, re-seeked to the checkpointed draw position,
+		// pending window re-buffered — bit-identical to the stream the
+		// checkpoint described.
 		dep := g.deploy.Load()
-		us, err := lppm.NewUserStream(dep.mech, dep.paramsFor(rec.User), rec.User, g.root.Named(rec.User))
+		src := g.root.Named(rec.User)
+		var us *lppm.UserStream
+		var err error
+		if cp, ok := s.restore[rec.User]; ok {
+			us, err = lppm.RestoreUserStream(dep.mech, dep.paramsFor(rec.User), rec.User, src, cp.RNGPos, cp.Pending)
+			if err == nil {
+				delete(s.restore, rec.User)
+				u = &userState{us: us, gen: dep.gen, in: cp.In, out: cp.Out, windows: cp.Windows}
+			}
+		} else {
+			us, err = lppm.NewUserStream(dep.mech, dep.paramsFor(rec.User), rec.User, src)
+			if err == nil {
+				u = &userState{us: us, gen: dep.gen}
+			}
+		}
 		if err != nil {
 			g.setErr(err)
 			s.dropped.Add(1)
 			return
 		}
-		u = &userState{us: us, gen: dep.gen}
 		s.users[rec.User] = u
 		s.userN.Add(1)
 	}
@@ -892,9 +1187,39 @@ func (g *Gateway) handle(s *shard, rec trace.Record) {
 		s.dropped.Add(1)
 		return
 	}
+	u.in++
 	if u.us.Pending() >= g.cfg.FlushEvery {
 		g.flush(s, u)
 	}
+}
+
+// evict checkpoints one user's stream — pending window included,
+// unflushed, so the window split (and with it the bit-identity
+// equivalence) is preserved — parks the checkpoint in the restore table
+// and drops the stream. Journaled when a journal is attached; purely
+// in-memory otherwise. A user with no stream is a no-op.
+func (g *Gateway) evict(s *shard, user string) {
+	u := s.users[user]
+	if u == nil {
+		return
+	}
+	cp := journal.Checkpoint{
+		User:       user,
+		Generation: u.gen,
+		RNGPos:     u.us.Pos(),
+		In:         u.in,
+		Out:        u.out,
+		Windows:    u.windows,
+		Pending:    append([]trace.Record(nil), u.us.PendingRecords()...),
+	}
+	if g.jq != nil {
+		// Write-behind like flush; an append error latches via the pump,
+		// and the in-memory restore entry stays exact regardless.
+		g.jq <- journalReq{kind: jreqCheckpoint, cp: cp}
+	}
+	s.restore[user] = cp
+	delete(s.users, user)
+	s.userN.Add(-1)
 }
 
 // flush protects one user's window and emits it. The window boundary is
@@ -952,6 +1277,35 @@ func (g *Gateway) flush(s *shard, u *userState) {
 		return
 	}
 	s.flushes.Add(1)
+	u.windows++
+	u.out += uint64(len(recs))
+	// Write-behind: the checkpoint (with this window's protected records)
+	// is enqueued for the journal pump and the window is emitted without
+	// waiting for the disk. Crash safety survives the reordering because
+	// clients only trim their send buffers to the journal's durable In
+	// and re-protection of a resend is deterministic — a window the
+	// journal never saw is regenerated bit-identically from the client's
+	// buffer. The bounded queue turns a stalled disk into flush
+	// backpressure; append errors latch via the pump.
+	if g.jq != nil {
+		cp := journal.Checkpoint{
+			User:       us.User(),
+			Generation: u.gen,
+			RNGPos:     us.Pos(),
+			In:         u.in,
+			Out:        u.out,
+			Windows:    u.windows,
+			Window:     recs,
+		}
+		var jStart int64
+		if g.jhist != nil && flushStart != 0 {
+			jStart = obs.Stamp()
+		}
+		g.jq <- journalReq{kind: jreqCheckpoint, cp: cp}
+		if jStart != 0 {
+			g.jhist.Observe(obs.Stamp() - jStart)
+		}
+	}
 	if tp != nil {
 		tp.Observe(u.gen, actual, recs)
 	}
