@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check vet lint build test bench-smoke bench bench-serve bench-obs bench-journal fuzz-smoke clean
+.PHONY: all check vet lint build test bench-smoke bench bench-serve bench-obs bench-journal fuzz-smoke trace-smoke clean
 
 all: check
 
@@ -34,12 +34,13 @@ bench-smoke:
 bench:
 	$(GO) test -run '^$$' -bench=. -benchmem .
 
-# Observability overhead: the same gateway workload with a collecting
-# registry and with obs.Nop(), interleaved per iteration. The benchmark
+# Observability overhead: the same gateway workload with collection on —
+# registry plus a fully-sampled span tracer — and with everything off
+# (obs.Nop(), nil tracer), interleaved per iteration. The benchmark
 # asserts bit-identical protected output in both modes always, and the
 # < 2% throughput budget once the sample is long enough to mean something;
 # the measurement lands in BENCH_obs.json (CI applies a looser 5% red line
-# to it, see ci.yml).
+# to it on multicore runners, see ci.yml).
 bench-obs:
 	BENCH_OBS_JSON=BENCH_obs.json $(GO) test -run '^$$' -bench='ObsOverhead' -benchtime=20x .
 
@@ -54,11 +55,21 @@ bench-obs:
 bench-journal:
 	BENCH_JOURNAL_JSON=BENCH_journal.json $(GO) test -run '^$$' -bench='JournalOverhead' -benchtime=20x .
 
-# Short fuzz pass over the journal frame decoder: the fuzz engine mutates
-# the committed corpus (torn frames, flipped CRCs, truncated varints) and
-# the target asserts decode never panics and round-trips what it accepts.
+# Short fuzz pass over the journal frame decoder and the traceparent
+# parser: the fuzz engine mutates the committed corpora (torn frames,
+# flipped CRCs, truncated varints; malformed W3C headers) and each target
+# asserts its decoder never panics and round-trips what it accepts. Go
+# runs one -fuzz target per invocation, so the two run back to back.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz 'FuzzDecode' -fuzztime 10s ./internal/journal
+	$(GO) test -run '^$$' -fuzz 'FuzzParseTraceparent' -fuzztime 10s ./internal/obs/tracing
+
+# Tracing smoke: drive a traced fleet through the in-process server and
+# dump the span ring as Chrome trace_event JSON (trace.chrome) — the file
+# CI uploads and the README's Perfetto walkthrough loads.
+trace-smoke:
+	$(GO) run ./cmd/lppm-load -self-serve -users 4 -points 96 -flush 16 \
+		-conns 2 -trace-out trace.chrome
 
 # Loopback serving smoke: the load generator drives a synthetic fleet
 # through the HTTP front-end and records throughput + latency percentiles

@@ -81,8 +81,8 @@ func runGatewayPass(b *testing.B, shards int, slices [][]trace.Record, total int
 	consumed := make(chan int)
 	go func() {
 		n := 0
-		for batch := range g.Output() {
-			n += len(batch)
+		for wnd := range g.Output() {
+			n += len(wnd.Records)
 		}
 		consumed <- n
 	}()

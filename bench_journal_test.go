@@ -50,7 +50,8 @@ func runJournalPass(b *testing.B, shards int, slices [][]trace.Record, total int
 	go func() {
 		per := make(map[string]uint64, 256)
 		n := 0
-		for batch := range g.Output() {
+		for wnd := range g.Output() {
+			batch := wnd.Records
 			for i := range batch {
 				rec := &batch[i]
 				h, ok := per[rec.User]

@@ -5,12 +5,14 @@ import (
 	"encoding/json"
 	"math"
 	"os"
+	"runtime"
 	"sort"
 	"testing"
 	"time"
 
 	"repro/internal/lppm"
 	"repro/internal/obs"
+	"repro/internal/obs/tracing"
 	"repro/internal/service"
 	"repro/internal/trace"
 )
@@ -43,7 +45,7 @@ func fnvMixString(h uint64, s string) uint64 {
 // order (per-user order is deterministic), then the per-user hashes fold in
 // sorted-user order into one value that is independent of how the shards'
 // batches interleaved. Identical protected output ⇒ identical digest.
-func runObsPass(b *testing.B, shards int, slices [][]trace.Record, total int, seed int64, reg *obs.Registry) uint64 {
+func runObsPass(b *testing.B, shards int, slices [][]trace.Record, total int, seed int64, reg *obs.Registry, tr *tracing.Tracer) uint64 {
 	b.Helper()
 	cfg := service.Config{
 		Mechanism:  lppm.NewGeoIndistinguishability(),
@@ -52,6 +54,7 @@ func runObsPass(b *testing.B, shards int, slices [][]trace.Record, total int, se
 		FlushEvery: 8,
 		Seed:       seed,
 		Obs:        reg,
+		Tracer:     tr,
 	}
 	g, err := service.New(context.Background(), cfg)
 	if err != nil {
@@ -65,7 +68,8 @@ func runObsPass(b *testing.B, shards int, slices [][]trace.Record, total int, se
 	go func() {
 		per := make(map[string]uint64, 256)
 		n := 0
-		for batch := range g.Output() {
+		for wnd := range g.Output() {
+			batch := wnd.Records
 			for i := range batch {
 				rec := &batch[i]
 				h, ok := per[rec.User]
@@ -113,10 +117,11 @@ func runObsPass(b *testing.B, shards int, slices [][]trace.Record, total int, se
 }
 
 // BenchmarkObsOverhead prices the observability subsystem on the serving
-// hot path: the same workload with a collecting registry (counters, gauges,
-// stage histograms, wall-clock stamps) and with obs.Nop() (every stamp and
-// update skipped), interleaved within each iteration with alternating order
-// — the same single-CPU discipline as BenchmarkGatewayControllerOverhead.
+// hot path: the same workload with collection on — a registry (counters,
+// gauges, stage histograms, wall-clock stamps) plus a fully-sampled span
+// tracer — and with everything off (obs.Nop(), nil tracer), interleaved
+// within each iteration with alternating order — the same single-CPU
+// discipline as BenchmarkGatewayControllerOverhead.
 // Two contracts are enforced, not just printed: the protected output must
 // be bit-identical between the modes (instrumentation reads clocks and
 // bumps atomics but feeds nothing back into protection), and on a sample
@@ -134,24 +139,28 @@ func BenchmarkObsOverhead(b *testing.B) {
 	)
 	slices := gatewayWorkload(users, perUser, producers)
 	total := users * perUser
-	newReg := []func() *obs.Registry{
-		func() *obs.Registry { return obs.Nop() },
-		obs.NewRegistry,
+	modes := []func() (*obs.Registry, *tracing.Tracer){
+		func() (*obs.Registry, *tracing.Tracer) { return obs.Nop(), nil },
+		func() (*obs.Registry, *tracing.Tracer) {
+			return obs.NewRegistry(), tracing.New(tracing.Config{RingSize: 1024})
+		},
 	}
 	var elapsed [2]time.Duration
 	var digests [2]uint64
-	for _, mk := range newReg {
-		runObsPass(b, shards, slices, total, 0, mk())
+	for _, mk := range modes {
+		reg, tr := mk()
+		runObsPass(b, shards, slices, total, 0, reg, tr)
 	}
 	b.ResetTimer()
 	for iter := 0; iter < b.N; iter++ {
 		// Alternate which mode goes first: with only two configs, a fixed
 		// order would let slow host-load oscillations masquerade as a
 		// systematic mode difference.
-		for k := range newReg {
-			mi := (iter + k) % len(newReg)
+		for k := range modes {
+			mi := (iter + k) % len(modes)
+			reg, tr := modes[mi]()
 			start := time.Now()
-			digests[mi] = runObsPass(b, shards, slices, total, int64(iter+1), newReg[mi]())
+			digests[mi] = runObsPass(b, shards, slices, total, int64(iter+1), reg, tr)
 			elapsed[mi] += time.Since(start)
 		}
 		if digests[0] != digests[1] {
@@ -175,12 +184,13 @@ func BenchmarkObsOverhead(b *testing.B) {
 
 	if path := os.Getenv("BENCH_OBS_JSON"); path != "" {
 		payload := struct {
-			Benchmark string             `json:"benchmark"`
-			Users     int                `json:"users"`
-			Records   int                `json:"records"`
-			Iters     int                `json:"iterations"`
-			Metrics   map[string]float64 `json:"metrics"`
-		}{"BenchmarkObsOverhead", users, total, b.N, map[string]float64{
+			Benchmark  string             `json:"benchmark"`
+			Users      int                `json:"users"`
+			Records    int                `json:"records"`
+			Iters      int                `json:"iterations"`
+			Gomaxprocs int                `json:"gomaxprocs"`
+			Metrics    map[string]float64 `json:"metrics"`
+		}{"BenchmarkObsOverhead", users, total, b.N, runtime.GOMAXPROCS(0), map[string]float64{
 			"points/sec:off": off,
 			"points/sec:on":  on,
 			"overhead_pct":   overheadPct,

@@ -29,7 +29,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -43,6 +43,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/lppm"
 	"repro/internal/obs"
+	"repro/internal/obs/tracing"
 	"repro/internal/server"
 	"repro/internal/server/client"
 	"repro/internal/service"
@@ -50,9 +51,17 @@ import (
 	"repro/internal/trace"
 )
 
+// logger is the generator's structured logger (stderr; the report goes
+// to stdout and -out).
+var logger *slog.Logger
+
+func fatal(err error) {
+	logger.Error("fatal", "err", err)
+	os.Exit(1)
+}
+
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("lppm-load: ")
+	logger = obs.NewLogger(os.Stderr, obs.LoggerOptions{})
 
 	var o loadOpts
 	flag.StringVar(&o.addr, "addr", "", "base URL of a running server (e.g. http://127.0.0.1:8080); empty requires -self-serve")
@@ -68,6 +77,8 @@ func main() {
 	flag.IntVar(&o.rounds, "rounds", 0, "measurement rounds per configuration, 0 = 2 when comparing, 1 otherwise")
 	flag.StringVar(&o.compareShards, "compare-shards", "", "comma-separated shard counts to compare in interleaved rounds (-self-serve only), e.g. 1,4")
 	flag.StringVar(&o.outPath, "out", "", "write the report as JSON to this path")
+	flag.StringVar(&o.traceOut, "trace-out", "", "write the in-process tracer's span ring as Chrome trace_event JSON to this path at teardown (-self-serve only; with rounds the last run wins)")
+	flag.IntVar(&o.exemplars, "exemplars", 3, "report the k worst-latency records as exemplars with their stream's trace ID, 0 disables")
 	params := lppm.Params{}
 	flag.Func("set", "mechanism parameter as name=value for -self-serve (repeatable)", func(s string) error {
 		name, val, ok := strings.Cut(s, "=")
@@ -86,15 +97,18 @@ func main() {
 
 	report, err := run(o)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	for _, c := range report.Configs {
 		fmt.Printf("%-12s  %10.0f points/sec   p50 %7.2f ms   p99 %7.2f ms   (%d records, %d rounds)\n",
 			c.Name, c.PointsPerSec, c.P50Millis, c.P99Millis, c.Records, c.Rounds)
+		for _, e := range c.Exemplars {
+			fmt.Printf("  slow record: user=%s latency=%.2fms trace=%s\n", e.User, e.LatencyMillis, e.Trace)
+		}
 	}
 	if o.outPath != "" {
 		if err := report.write(o.outPath); err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 	}
 }
@@ -114,6 +128,8 @@ type loadOpts struct {
 	rounds        int
 	compareShards string
 	outPath       string
+	traceOut      string
+	exemplars     int
 }
 
 // validate fails fast with a single-line error before any work starts.
@@ -137,6 +153,10 @@ func (o *loadOpts) validate() error {
 		return fmt.Errorf("-flush must be >= 1, got %d", o.flushEvery)
 	case o.compareShards != "" && !o.selfServe:
 		return fmt.Errorf("-compare-shards needs -self-serve (it builds one server per configuration)")
+	case o.traceOut != "" && !o.selfServe:
+		return fmt.Errorf("-trace-out needs -self-serve (it dumps the in-process tracer's ring)")
+	case o.exemplars < 0:
+		return fmt.Errorf("-exemplars must be non-negative, got %d", o.exemplars)
 	}
 	if o.conns > o.users {
 		o.conns = o.users
@@ -144,15 +164,41 @@ func (o *loadOpts) validate() error {
 	return nil
 }
 
+// exemplar is one of the k worst-latency records: who it belonged to,
+// what an LBS client would have waited, and the trace ID of the stream
+// that carried it — the handle to paste into GET /trace (or grep in
+// trace.chrome) to see where that window's time went.
+type exemplar struct {
+	User          string  `json:"user"`
+	LatencyMillis float64 `json:"latency_ms"`
+	Trace         string  `json:"trace"`
+}
+
+// insertExemplar keeps ex sorted worst-first and capped at k entries.
+func insertExemplar(ex []exemplar, e exemplar, k int) []exemplar {
+	i := sort.Search(len(ex), func(i int) bool { return ex[i].LatencyMillis < e.LatencyMillis })
+	if i >= k {
+		return ex
+	}
+	ex = append(ex, exemplar{})
+	copy(ex[i+1:], ex[i:])
+	ex[i] = e
+	if len(ex) > k {
+		ex = ex[:k]
+	}
+	return ex
+}
+
 // benchConfig is one measured configuration's aggregate result.
 type benchConfig struct {
-	Name         string  `json:"name"`
-	Shards       int     `json:"shards,omitempty"`
-	Rounds       int     `json:"rounds"`
-	Records      int     `json:"records"`
-	PointsPerSec float64 `json:"points_per_sec"`
-	P50Millis    float64 `json:"p50_ms"`
-	P99Millis    float64 `json:"p99_ms"`
+	Name         string     `json:"name"`
+	Shards       int        `json:"shards,omitempty"`
+	Rounds       int        `json:"rounds"`
+	Records      int        `json:"records"`
+	PointsPerSec float64    `json:"points_per_sec"`
+	P50Millis    float64    `json:"p50_ms"`
+	P99Millis    float64    `json:"p99_ms"`
+	Exemplars    []exemplar `json:"exemplars,omitempty"`
 }
 
 // benchReport is the JSON written to -out.
@@ -227,6 +273,7 @@ func run(o loadOpts) (*benchReport, error) {
 		records int
 		seconds float64
 		lat     *obs.Histogram
+		ex      []exemplar
 	}
 	aggs := make([]agg, len(cfgs))
 	for i := range aggs {
@@ -240,6 +287,9 @@ func run(o loadOpts) (*benchReport, error) {
 			}
 			aggs[i].records += res.records
 			aggs[i].seconds += res.seconds
+			for _, e := range res.exemplars {
+				aggs[i].ex = insertExemplar(aggs[i].ex, e, o.exemplars)
+			}
 		}
 	}
 	for i, c := range cfgs {
@@ -255,6 +305,7 @@ func run(o loadOpts) (*benchReport, error) {
 		}
 		bc.P50Millis = quantileMillis(a.lat, 0.50)
 		bc.P99Millis = quantileMillis(a.lat, 0.99)
+		bc.Exemplars = a.ex
 		report.Configs = append(report.Configs, bc)
 	}
 	return report, nil
@@ -287,8 +338,9 @@ func generateFleet(o loadOpts) (map[string][]trace.Record, error) {
 
 // trialResult is one measurement run.
 type trialResult struct {
-	records int
-	seconds float64
+	records   int
+	seconds   float64
+	exemplars []exemplar
 }
 
 // runTrial measures one configuration once: spin up the server (self-serve)
@@ -329,8 +381,9 @@ func runTrial(o loadOpts, shards int, perUser map[string][]trace.Record, lat *ob
 	cl := client.New(base)
 	ratePerConn := o.rate / float64(o.conns)
 	type connResult struct {
-		received int
-		err      error
+		received  int
+		exemplars []exemplar
+		err       error
 	}
 	results := make(chan connResult, o.conns)
 	start := time.Now()
@@ -339,7 +392,8 @@ func runTrial(o loadOpts, shards int, perUser map[string][]trace.Record, lat *ob
 		wg.Add(1)
 		go func(recs []trace.Record) {
 			defer wg.Done()
-			results <- driveConn(cl, recs, ratePerConn, lat)
+			r := driveConn(cl, recs, ratePerConn, lat, o.exemplars)
+			results <- connResult{received: r.received, exemplars: r.exemplars, err: r.err}
 		}(connRecs[ci])
 	}
 	wg.Wait()
@@ -350,6 +404,9 @@ func runTrial(o loadOpts, shards int, perUser map[string][]trace.Record, lat *ob
 			err = r.err
 		}
 		res.records += r.received
+		for _, e := range r.exemplars {
+			res.exemplars = insertExemplar(res.exemplars, e, o.exemplars)
+		}
 	}
 	res.seconds = elapsed.Seconds()
 	if err != nil {
@@ -371,11 +428,19 @@ func runTrial(o loadOpts, shards int, perUser map[string][]trace.Record, lat *ob
 // mechanisms that inject or drop records only the matched prefix
 // contributes latencies, while throughput counts everything. Matched
 // latencies are observed straight into lat in nanoseconds.
-func driveConn(cl *client.Client, recs []trace.Record, rate float64, lat *obs.Histogram) (out struct {
-	received int
-	err      error
+//
+// Each connection originates its own trace: a fresh root context is
+// injected as a traceparent header, so a tracing server correlates every
+// window this stream produces under one client-visible trace ID — the ID
+// the k worst-latency exemplars report.
+func driveConn(cl *client.Client, recs []trace.Record, rate float64, lat *obs.Histogram, k int) (out struct {
+	received  int
+	exemplars []exemplar
+	err       error
 }) {
-	ctx := context.Background()
+	sc := tracing.NewRootContext()
+	traceID := sc.Trace.String()
+	ctx := tracing.ContextWithSpanContext(context.Background(), sc)
 	st, err := cl.Stream(ctx)
 	if err != nil {
 		out.err = err
@@ -404,7 +469,15 @@ func driveConn(cl *client.Client, recs []trace.Record, rate float64, lat *obs.Hi
 			sent := sendTimes[rec.User]
 			mu.Unlock()
 			if i < len(sent) {
-				lat.Observe(int64(now.Sub(sent[i])))
+				d := now.Sub(sent[i])
+				lat.Observe(int64(d))
+				if k > 0 {
+					out.exemplars = insertExemplar(out.exemplars, exemplar{
+						User:          rec.User,
+						LatencyMillis: float64(d) / float64(time.Millisecond),
+						Trace:         traceID,
+					}, k)
+				}
 			}
 		}
 	}()
@@ -455,6 +528,11 @@ func startSelfServe(o loadOpts, shards int) (string, func() error, error) {
 	gwCfg := service.ConfigFromDeployment(dep, o.seed)
 	gwCfg.Shards = shards
 	gwCfg.FlushEvery = o.flushEvery
+	var tr *tracing.Tracer
+	if o.traceOut != "" {
+		tr = tracing.New(tracing.Config{})
+		gwCfg.Tracer = tr
+	}
 	gw, err := service.New(context.Background(), gwCfg)
 	if err != nil {
 		return "", nil, err
@@ -476,10 +554,18 @@ func startSelfServe(o loadOpts, shards int) (string, func() error, error) {
 		// Shutdown waits for in-flight responses (tail windows still
 		// being written); Close would sever them.
 		cerr := hs.Shutdown(ctx)
-		if derr != nil {
-			return derr
+		var terr error
+		if tr != nil {
+			// Dump after the drain so the tail windows' spans are in the
+			// ring. The file is Perfetto-loadable as-is.
+			f, ferr := os.Create(o.traceOut)
+			if ferr != nil {
+				terr = ferr
+			} else {
+				terr = errors.Join(tr.WriteChrome(f), f.Close())
+			}
 		}
-		return cerr
+		return errors.Join(derr, cerr, terr)
 	}
 	return "http://" + ln.Addr().String(), teardown, nil
 }

@@ -14,7 +14,10 @@
 // With -admin (either mode) an observability side-car serves GET /metrics
 // (Prometheus text format), GET /metrics.json and /debug/pprof on its own
 // listener, so scraping and profiling never contend with — and pprof is
-// never reachable from — the serving address.
+// never reachable from — the serving address. Adding -trace records a
+// span tree per sampled window and mounts GET /trace (JSON),
+// GET /trace.chrome (Chrome trace_event, loadable in Perfetto) and
+// GET /debug/flight (the flight recorder) on the same admin plane.
 //
 // Usage:
 //
@@ -32,7 +35,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -47,14 +50,28 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/model"
 	"repro/internal/obs"
+	"repro/internal/obs/tracing"
 	"repro/internal/server"
 	"repro/internal/service"
 	"repro/internal/trace"
 )
 
+// logger is the process-wide structured logger. main installs a plain
+// one immediately; buildServing replaces it with a gateway-correlated
+// one (deployment generation on every line, trace/span IDs from request
+// contexts, events teed into the flight recorder) as soon as a gateway
+// exists.
+var logger *slog.Logger
+
+// fatal reports a terminal error through the structured logger and
+// exits non-zero — the slog replacement for log.Fatal.
+func fatal(err error) {
+	logger.Error("fatal", "err", err)
+	os.Exit(1)
+}
+
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("lppm-serve: ")
+	logger = obs.NewLogger(os.Stderr, obs.LoggerOptions{ContextAttrs: tracing.ContextAttrs})
 
 	var (
 		mechName   = flag.String("mech", "geoi", "mechanism to apply (see -list)")
@@ -68,6 +85,11 @@ func main() {
 		seed       = flag.Int64("seed", 42, "master random seed")
 		stats      = flag.Bool("stats", false, "print gateway stats to stderr on exit")
 		admin      = flag.String("admin", "", "serve /metrics, /metrics.json and /debug/pprof on this address (e.g. 127.0.0.1:6060); empty disables")
+
+		traceOn = flag.Bool("trace", false,
+			"record per-window span trees; mounts /trace, /trace.chrome and /debug/flight on the -admin plane")
+		traceSample = flag.Float64("trace-sample", 1.0,
+			"fraction of windows traced, in (0, 1] — deterministic in the trace ID (with -trace)")
 
 		journal = flag.String("journal", "",
 			"append-only journal directory: checkpoint per-user stream state for crash-safe resume; auto-recovers on start (empty disables)")
@@ -112,13 +134,14 @@ func main() {
 	}
 	obj, err := parseObjectives(*objectives)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	opts := serveOpts{
 		mechName: *mechName, params: params,
 		inPath: *inPath, outPath: *outPath, formatName: *formatName,
 		shards: *shards, queue: *queue, flushEvery: *flushEvery,
 		seed: *seed, stats: *stats, admin: *admin,
+		traceOn: *traceOn, traceSample: *traceSample,
 		journal: *journal, checkpointEvery: *checkpointEvery, journalSync: *journalSync,
 		reconfEvery: *reconfEvery, objectives: obj,
 		sampleFrac: *sampleFrac, paramName: *paramName,
@@ -133,12 +156,12 @@ func main() {
 		// then kills the process outright instead of being swallowed
 		// while a stuck drain runs out its timeout.
 		if err := runListen(ctx, stop, reg, opts); err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		return
 	}
 	if err := run(reg, opts); err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 }
 
@@ -185,6 +208,9 @@ type serveOpts struct {
 	stats      bool
 	admin      string
 
+	traceOn     bool
+	traceSample float64
+
 	journal         string
 	checkpointEvery int
 	journalSync     int
@@ -225,6 +251,10 @@ func (o *serveOpts) validate() error {
 		return fmt.Errorf("-journal-sync must be non-negative, got %d", o.journalSync)
 	case o.journal == "" && (o.checkpointEvery != 0 || o.journalSync != 0):
 		return fmt.Errorf("-checkpoint-every/-journal-sync require -journal")
+	case o.traceSample < 0 || o.traceSample > 1:
+		return fmt.Errorf("-trace-sample must be in (0, 1], got %v", o.traceSample)
+	case !o.traceOn && o.traceSample != 0 && o.traceSample != 1.0:
+		return fmt.Errorf("-trace-sample requires -trace")
 	}
 	if _, err := trace.ParseFormat(o.formatName); err != nil {
 		return fmt.Errorf("-format: %v", err)
@@ -252,6 +282,9 @@ func buildServing(ctx context.Context, reg *lppm.Registry, o serveOpts) (*servic
 	cfg.Shards = o.shards
 	cfg.QueueSize = o.queue
 	cfg.FlushEvery = o.flushEvery
+	if o.traceOn {
+		cfg.Tracer = tracing.New(tracing.Config{SampleFrac: o.traceSample})
+	}
 	var g *service.Gateway
 	var info *service.RecoveryInfo
 	if o.journal != "" {
@@ -264,20 +297,29 @@ func buildServing(ctx context.Context, reg *lppm.Registry, o serveOpts) (*servic
 		if err != nil {
 			return nil, nil, nil, err
 		}
-		if info.Resumed {
-			note := ""
-			if info.Corrupted {
-				note = ", torn tail truncated"
-			}
-			log.Printf("journal %s: resumed %d users at generation %d (%d segments, %d entries%s)",
-				o.journal, info.Users, info.Generation, info.Segments, info.Entries, note)
-		} else {
-			log.Printf("journal %s: started fresh", o.journal)
-		}
 	} else {
 		g, err = service.New(ctx, cfg)
 		if err != nil {
 			return nil, nil, nil, err
+		}
+	}
+	// The gateway exists: runtime self-metrics join its registry, and the
+	// process logger is rebuilt correlated — deployment generation on
+	// every line, trace/span IDs from request contexts, and every event
+	// teed into the flight recorder (nil-safe when tracing is off).
+	obs.RegisterRuntimeMetrics(g.Obs())
+	logger = obs.NewLogger(os.Stderr, obs.LoggerOptions{
+		ContextAttrs: tracing.ContextAttrs,
+		Generation:   g.Generation,
+		Sink:         g.Tracer().Flight(),
+	})
+	if info != nil {
+		if info.Resumed {
+			logger.Info("journal resumed",
+				"dir", o.journal, "users", info.Users, "generation", info.Generation,
+				"segments", info.Segments, "entries", info.Entries, "torn_tail", info.Corrupted)
+		} else {
+			logger.Info("journal started fresh", "dir", o.journal)
 		}
 	}
 	var ctrl *service.Controller
@@ -315,15 +357,22 @@ type adminServer struct {
 }
 
 // startAdmin binds addr and serves the admin mux over reg in the
-// background. Callers own the returned server and must Close it on exit.
-func startAdmin(addr string, reg *obs.Registry) (*adminServer, error) {
+// background, mounting the tracing endpoints when a tracer is attached.
+// Callers own the returned server and must Close it on exit.
+func startAdmin(addr string, reg *obs.Registry, t *tracing.Tracer) (*adminServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("admin listener: %w", err)
 	}
-	hs := &http.Server{Handler: obs.AdminMux(reg)}
+	mux := obs.AdminMux(reg)
+	if t != nil {
+		mux.Handle("/trace", tracing.TraceHandler(t))
+		mux.Handle("/trace.chrome", tracing.ChromeHandler(t))
+		mux.Handle("/debug/flight", tracing.FlightHandler(t))
+	}
+	hs := &http.Server{Handler: mux}
 	go hs.Serve(ln)
-	log.Printf("admin plane on http://%s/metrics", ln.Addr())
+	logger.Info("admin plane up", "url", fmt.Sprintf("http://%s/metrics", ln.Addr()), "tracing", t != nil)
 	return &adminServer{hs: hs, ln: ln}, nil
 }
 
@@ -368,7 +417,7 @@ func serveListener(ctx context.Context, stop context.CancelFunc, reg *lppm.Regis
 	}
 	var admin *adminServer
 	if o.admin != "" {
-		admin, err = startAdmin(o.admin, g.Obs())
+		admin, err = startAdmin(o.admin, g.Obs(), g.Tracer())
 		if err != nil {
 			return errors.Join(err, ln.Close(), g.Close())
 		}
@@ -391,7 +440,7 @@ func serveListener(ctx context.Context, stop context.CancelFunc, reg *lppm.Regis
 	hs := &http.Server{Handler: srv}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- hs.Serve(ln) }()
-	log.Printf("listening on %s", ln.Addr())
+	logger.Info("listening", "addr", ln.Addr().String())
 
 	var runErr error
 	select {
@@ -470,7 +519,7 @@ func run(reg *lppm.Registry, o serveOpts) error {
 	}
 	var admin *adminServer
 	if o.admin != "" {
-		admin, err = startAdmin(o.admin, g.Obs())
+		admin, err = startAdmin(o.admin, g.Obs(), g.Tracer())
 		if err != nil {
 			return errors.Join(err, g.Close())
 		}
@@ -482,8 +531,8 @@ func run(reg *lppm.Registry, o serveOpts) error {
 	}
 	writeDone := make(chan error, 1)
 	go func() {
-		for batch := range g.Output() {
-			for _, rec := range batch {
+		for wnd := range g.Output() {
+			for _, rec := range wnd.Records {
 				if err := rw.Write(rec); err != nil {
 					writeDone <- err
 					cancel()

@@ -270,7 +270,7 @@ func TestAdminPlane(t *testing.T) {
 	}
 	<-drained
 
-	admin, err := startAdmin("127.0.0.1:0", g.Obs())
+	admin, err := startAdmin("127.0.0.1:0", g.Obs(), g.Tracer())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -11,7 +11,7 @@ import (
 	"context"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/lppm"
+	"repro/internal/obs"
 	"repro/internal/server"
 	"repro/internal/server/client"
 	"repro/internal/service"
@@ -27,10 +28,15 @@ import (
 	"repro/internal/trace"
 )
 
+// logger is the example's structured logger; run rebuilds it once the
+// gateway exists so every line carries the serving generation.
+var logger *slog.Logger
+
 func main() {
-	log.SetFlags(0)
+	logger = obs.NewLogger(os.Stderr, obs.LoggerOptions{})
 	if err := run(); err != nil {
-		log.Fatal(err)
+		logger.Error("fatal", "err", err)
+		os.Exit(1)
 	}
 }
 
@@ -63,6 +69,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	logger = obs.NewLogger(os.Stderr, obs.LoggerOptions{Generation: gw.Generation})
 	srv, err := server.New(server.Config{Gateway: gw, Seed: 42})
 	if err != nil {
 		return err
@@ -97,7 +104,7 @@ func run() error {
 		for {
 			if _, err := st.Recv(); err != nil {
 				if err != io.EOF {
-					log.Printf("recv: %v", err)
+					logger.Error("recv", "err", err)
 				}
 				received <- n
 				return

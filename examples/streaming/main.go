@@ -11,7 +11,8 @@ package main
 import (
 	"context"
 	"fmt"
-	"log"
+	"log/slog"
+	"os"
 	"sort"
 	"time"
 
@@ -19,13 +20,23 @@ import (
 	"repro/internal/lppm"
 	"repro/internal/metrics"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/service"
 	"repro/internal/synth"
 	"repro/internal/trace"
 )
 
+// logger is the example's structured logger; once the gateway exists it
+// is rebuilt to stamp the serving generation on every line.
+var logger *slog.Logger
+
+func fatal(err error) {
+	logger.Error("fatal", "err", err)
+	os.Exit(1)
+}
+
 func main() {
-	log.SetFlags(0)
+	logger = obs.NewLogger(os.Stderr, obs.LoggerOptions{})
 
 	// Offline: a day of synthetic cabs, analyzed and configured — here
 	// under deliberately loose objectives, the kind of first guess a
@@ -35,7 +46,7 @@ func main() {
 	gen.Duration = 12 * time.Hour
 	fleet, err := synth.Generate(gen, nil)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	def := core.Definition{
 		Mechanism: lppm.NewGeoIndistinguishability(),
@@ -46,12 +57,12 @@ func main() {
 	}
 	analysis, err := core.Analyze(context.Background(), def, fleet.Dataset)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	loose := model.Objectives{MaxPrivacy: 0.95, MinUtility: 0.10}
 	dep, err := analysis.Deploy(loose)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	fmt.Printf("deploying %s with %s = %.4g (objectives: privacy ≤ %.2f, utility ≥ %.2f)\n",
 		dep.Mechanism.Name(), dep.Param, dep.Params[dep.Param], loose.MaxPrivacy, loose.MinUtility)
@@ -70,8 +81,11 @@ func main() {
 	cfg.StageSize = 1 // no ingest staging: phase-1 windows flush promptly
 	gw, err := service.New(context.Background(), cfg)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
+	// From here every log line carries the serving generation — it flips
+	// from 0 to 1 when the controller hot-swaps below.
+	logger = obs.NewLogger(os.Stderr, obs.LoggerOptions{Generation: gw.Generation})
 	// The controller closes the loop over the served stream: it observes
 	// a quarter of the flushed windows and re-runs Define→Model→Configure
 	// on the observed data whenever the estimates drift outside the
@@ -87,13 +101,13 @@ func main() {
 		Seed:       7,
 	})
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	protected := make(chan int, 1)
 	go func() {
 		n := 0
-		for batch := range gw.Output() {
-			n += len(batch)
+		for wnd := range gw.Output() {
+			n += len(wnd.Records)
 		}
 		protected <- n
 	}()
@@ -101,7 +115,7 @@ func main() {
 	start := time.Now()
 	half := len(stream) / 2
 	if err := gw.IngestAll(stream[:half]); err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	// IngestAll returns once records are queued, not flushed: wait until
 	// the controller has actually observed enough phase-1 windows, or
@@ -109,7 +123,7 @@ func main() {
 	// would be wrong.
 	for deadline := time.Now().Add(10 * time.Second); ctrl.Stats().WindowsObserved < 40; {
 		if time.Now().After(deadline) {
-			log.Fatalf("phase-1 windows never observed: %+v", ctrl.Stats())
+			fatal(fmt.Errorf("phase-1 windows never observed: %+v", ctrl.Stats()))
 		}
 		time.Sleep(time.Millisecond)
 	}
@@ -119,7 +133,7 @@ func main() {
 	// and hot-swaps the result into the running gateway.
 	tight := model.Objectives{MaxPrivacy: 0.30, MinUtility: 0.65}
 	if err := ctrl.SetObjectives(tight); err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	// Counters snapshot before Evaluate: a swap resets the aggregates, so
 	// reading them after would misreport the data the decision used.
@@ -140,10 +154,10 @@ func main() {
 		fmt.Println("controller: observed stream still meets the objectives, nothing to do")
 	}
 	if err := gw.IngestAll(stream[half:]); err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	if err := gw.Close(); err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	n := <-protected
 	elapsed := time.Since(start)
@@ -157,7 +171,7 @@ func main() {
 		fmt.Printf("  shard %d: %d users, %d records, %d flushes\n", i, ss.Users, ss.Ingested, ss.Flushes)
 	}
 	if n != len(stream) {
-		log.Fatalf("protected %d records, ingested %d", n, len(stream))
+		fatal(fmt.Errorf("protected %d records, ingested %d", n, len(stream)))
 	}
 	fmt.Println("every ingested record came back protected — across the swap")
 }

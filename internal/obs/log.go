@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"context"
+	"io"
+	"log/slog"
+)
+
+// LogAttr is one rendered attribute of a captured log event. Ordered
+// list, not a map, so flight-recorder output is deterministic.
+type LogAttr struct {
+	Key string `json:"k"`
+	Val string `json:"v"`
+}
+
+// LogEvent is a structured-log record as captured for the flight
+// recorder: everything rendered to strings, stamped on the Stamp()
+// monotonic timebase.
+type LogEvent struct {
+	Seq    uint64    `json:"seq"`
+	WhenNS int64     `json:"when_ns"`
+	Level  string    `json:"level"`
+	Msg    string    `json:"msg"`
+	Attrs  []LogAttr `json:"attrs,omitempty"`
+}
+
+// LogSink receives every record the Logger handles — the flight
+// recorder's hook. Implementations must be safe for concurrent use
+// and must not block (they run inline with the logging call).
+type LogSink interface {
+	LogEvent(LogEvent)
+}
+
+// LoggerOptions configures NewLogger. The zero value is usable: info
+// level, no correlation, no sink.
+type LoggerOptions struct {
+	// Level is the minimum level to emit; nil means slog.LevelInfo.
+	Level slog.Leveler
+	// ContextAttrs, when non-nil, extracts correlation attributes from
+	// the logging context — tracing.ContextAttrs stamps trace_id and
+	// span_id so logs join spans on one key.
+	ContextAttrs func(context.Context) []slog.Attr
+	// Generation, when non-nil, stamps every record with the current
+	// deployment generation — logs join metrics and swap history.
+	Generation func() uint64
+	// Sink, when non-nil, receives a rendered copy of every record
+	// (the flight recorder). A typed-nil sink is tolerated.
+	Sink LogSink
+}
+
+// NewLogger builds the serving plane's structured logger: slog text
+// output to w, with every record stamped with the deployment
+// generation and any trace/span identity carried by the context, and
+// teed into the flight recorder's log buffer. This is the replacement
+// for ad-hoc stdlib log in the daemons — one record, three joins
+// (logs ↔ spans ↔ metrics).
+func NewLogger(w io.Writer, opts LoggerOptions) *slog.Logger {
+	level := opts.Level
+	if level == nil {
+		level = slog.LevelInfo
+	}
+	inner := slog.NewTextHandler(w, &slog.HandlerOptions{Level: level})
+	return slog.New(&handler{inner: inner, opts: opts})
+}
+
+// handler decorates a slog.Handler with generation + trace stamping
+// and the sink tee.
+type handler struct {
+	inner slog.Handler
+	opts  LoggerOptions
+}
+
+func (h *handler) Enabled(ctx context.Context, level slog.Level) bool {
+	return h.inner.Enabled(ctx, level)
+}
+
+func (h *handler) Handle(ctx context.Context, rec slog.Record) error {
+	if h.opts.Generation != nil {
+		rec.AddAttrs(slog.Uint64("gen", h.opts.Generation()))
+	}
+	if h.opts.ContextAttrs != nil {
+		if attrs := h.opts.ContextAttrs(ctx); len(attrs) > 0 {
+			rec.AddAttrs(attrs...)
+		}
+	}
+	if h.opts.Sink != nil {
+		e := LogEvent{
+			WhenNS: Stamp(),
+			Level:  rec.Level.String(),
+			Msg:    rec.Message,
+		}
+		rec.Attrs(func(a slog.Attr) bool {
+			e.Attrs = append(e.Attrs, LogAttr{Key: a.Key, Val: a.Value.String()})
+			return true
+		})
+		h.opts.Sink.LogEvent(e)
+	}
+	return h.inner.Handle(ctx, rec)
+}
+
+func (h *handler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	return &handler{inner: h.inner.WithAttrs(attrs), opts: h.opts}
+}
+
+func (h *handler) WithGroup(name string) slog.Handler {
+	return &handler{inner: h.inner.WithGroup(name), opts: h.opts}
+}

@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+// captureSink collects every LogEvent the handler tees.
+type captureSink struct{ events []LogEvent }
+
+func (s *captureSink) LogEvent(e LogEvent) { s.events = append(s.events, e) }
+
+// TestLoggerCorrelation checks the three joins NewLogger provides: the
+// deployment generation on every record, trace attributes pulled from
+// the context, and a rendered copy teed into the sink.
+func TestLoggerCorrelation(t *testing.T) {
+	var buf bytes.Buffer
+	sink := &captureSink{}
+	gen := uint64(7)
+	log := NewLogger(&buf, LoggerOptions{
+		Generation: func() uint64 { return gen },
+		ContextAttrs: func(ctx context.Context) []slog.Attr {
+			if v, ok := ctx.Value(ctxKeyTest{}).(string); ok {
+				return []slog.Attr{slog.String("trace_id", v)}
+			}
+			return nil
+		},
+		Sink: sink,
+	})
+
+	ctx := context.WithValue(context.Background(), ctxKeyTest{}, "cafe01")
+	log.InfoContext(ctx, "window flushed", "user", "u00")
+	gen = 8
+	log.WarnContext(context.Background(), "drift")
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines: %q", len(lines), buf.String())
+	}
+	for _, want := range []string{"msg=\"window flushed\"", "user=u00", "gen=7", "trace_id=cafe01"} {
+		if !strings.Contains(lines[0], want) {
+			t.Errorf("line 1 missing %q: %s", want, lines[0])
+		}
+	}
+	if !strings.Contains(lines[1], "gen=8") || strings.Contains(lines[1], "trace_id") {
+		t.Errorf("line 2 wrong correlation: %s", lines[1])
+	}
+
+	if len(sink.events) != 2 {
+		t.Fatalf("sink got %d events, want 2", len(sink.events))
+	}
+	e := sink.events[0]
+	if e.Level != "INFO" || e.Msg != "window flushed" || e.WhenNS == 0 {
+		t.Fatalf("sink event 1 = %+v", e)
+	}
+	got := map[string]string{}
+	for _, a := range e.Attrs {
+		got[a.Key] = a.Val
+	}
+	if got["user"] != "u00" || got["gen"] != "7" || got["trace_id"] != "cafe01" {
+		t.Fatalf("sink attrs = %v", e.Attrs)
+	}
+	if sink.events[1].Level != "WARN" {
+		t.Fatalf("sink event 2 = %+v", sink.events[1])
+	}
+}
+
+type ctxKeyTest struct{}
+
+// TestLoggerLevelGate: records below the configured level reach neither
+// the writer nor the sink.
+func TestLoggerLevelGate(t *testing.T) {
+	var buf bytes.Buffer
+	sink := &captureSink{}
+	log := NewLogger(&buf, LoggerOptions{Level: slog.LevelWarn, Sink: sink})
+	log.Info("quiet")
+	log.Warn("loud")
+	if strings.Contains(buf.String(), "quiet") || len(sink.events) != 1 {
+		t.Fatalf("level gate leaked: out=%q sink=%d", buf.String(), len(sink.events))
+	}
+}

@@ -53,6 +53,11 @@ var epoch = time.Now()
 // well under a nanosecond per record.
 func Stamp() int64 { return int64(time.Since(epoch)) }
 
+// Epoch returns the wall-clock instant Stamp counts from, so exports
+// that leave the process (trace dumps, flight snapshots) can anchor
+// the monotonic timebase to calendar time.
+func Epoch() time.Time { return epoch }
+
 // StageClock is the per-stage latency histogram bundle. Constructing one
 // on a registry is idempotent — the histograms are get-or-create — so the
 // gateway and the HTTP server each build their own clock over the shared

@@ -1,0 +1,135 @@
+package tracing
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// spanJSON is the wire form of a completed span on GET /trace.
+type spanJSON struct {
+	Trace   string `json:"trace"`
+	Span    string `json:"span"`
+	Parent  string `json:"parent,omitempty"`
+	Name    string `json:"name"`
+	StartNS int64  `json:"start_ns"`
+	DurNS   int64  `json:"dur_ns"`
+	Err     string `json:"err,omitempty"`
+	Attrs   []Attr `json:"attrs,omitempty"`
+}
+
+func toSpanJSON(d *SpanData) spanJSON {
+	j := spanJSON{
+		Trace:   d.Trace.String(),
+		Span:    d.Span.String(),
+		Name:    d.Name,
+		StartNS: d.StartNS,
+		DurNS:   d.EndNS - d.StartNS,
+		Err:     d.Err,
+		Attrs:   d.Attrs,
+	}
+	if !d.Parent.IsZero() {
+		j.Parent = d.Parent.String()
+	}
+	return j
+}
+
+// traceDump is the GET /trace envelope. Epoch is the wall-clock origin
+// of the start_ns timebase, so samples can be aligned with logs.
+type traceDump struct {
+	Epoch string     `json:"epoch"`
+	Spans []spanJSON `json:"spans"`
+}
+
+// TraceHandler serves the span ring as JSON (GET /trace), oldest span
+// first.
+func TraceHandler(t *Tracer) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		all := t.Spans()
+		dump := traceDump{
+			Epoch: obs.Epoch().Format(time.RFC3339Nano),
+			Spans: make([]spanJSON, 0, len(all)),
+		}
+		for _, d := range all {
+			dump.Spans = append(dump.Spans, toSpanJSON(d))
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(dump) //lppm:allow droppederr -- admin-plane response write; the peer hanging up is not actionable
+	})
+}
+
+// chromeEvent is one Chrome trace_event record: a complete ("X") slice
+// with microsecond timestamps. The format is what about:tracing and
+// Perfetto load natively, with zero dependencies on our side.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat"`
+	Ph   string            `json:"ph"`
+	TS   float64           `json:"ts"`  // micros since obs epoch
+	Dur  float64           `json:"dur"` // micros
+	PID  int               `json:"pid"`
+	TID  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+type chromeDump struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChrome writes the span ring in Chrome trace_event format. Each
+// trace gets its own tid (first-seen order over the seq-sorted ring),
+// so Perfetto draws one lane per trace with parent/child slices
+// nesting by time. Deterministic for a given ring state: spans are
+// seq-ordered and tids are assigned in that order.
+func (t *Tracer) WriteChrome(w io.Writer) error {
+	all := t.Spans()
+	tids := make(map[TraceID]int, len(all))
+	dump := chromeDump{
+		TraceEvents:     make([]chromeEvent, 0, len(all)),
+		DisplayTimeUnit: "ms",
+	}
+	for _, d := range all {
+		tid, ok := tids[d.Trace]
+		if !ok {
+			tid = len(tids) + 1
+			tids[d.Trace] = tid
+		}
+		args := make(map[string]string, len(d.Attrs)+2)
+		args["trace"] = d.Trace.String()
+		if d.Err != "" {
+			args["err"] = d.Err
+		}
+		for _, a := range d.Attrs {
+			args[a.Key] = a.Val
+		}
+		dump.TraceEvents = append(dump.TraceEvents, chromeEvent{
+			Name: d.Name,
+			Cat:  "lppm",
+			Ph:   "X",
+			TS:   float64(d.StartNS) / 1e3,
+			Dur:  float64(d.EndNS-d.StartNS) / 1e3,
+			PID:  1,
+			TID:  tid,
+			Args: args,
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(dump)
+}
+
+// ChromeHandler serves the span ring in Chrome trace_event format
+// (GET /trace.chrome) — save the body and load it in Perfetto or
+// about:tracing.
+func ChromeHandler(t *Tracer) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Disposition", `attachment; filename="trace.chrome"`)
+		_ = t.WriteChrome(w) //lppm:allow droppederr -- admin-plane response write; the peer hanging up is not actionable
+	})
+}

@@ -1,0 +1,154 @@
+package tracing
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// flightSpanN bounds the spans copied into one flight snapshot — the
+// "last N spans" of the incident, not the whole ring.
+const flightSpanN = 128
+
+// FlightRecorder keeps a rolling buffer of recent log events alongside
+// the tracer's span ring, and freezes both into a snapshot when
+// something goes wrong (stream error, swap rejection, recovery). The
+// post-mortem then reads GET /debug/flight instead of hoping a scrape
+// was running at the right moment.
+//
+// A nil *FlightRecorder no-ops on every method, so wiring code can
+// call tracer.Flight().Snapshot(...) unconditionally. It implements
+// obs.LogSink, so the slog handler tees every record into it.
+type FlightRecorder struct {
+	spans *spanRing
+
+	logSlots []atomic.Pointer[obs.LogEvent]
+	logSeq   atomic.Uint64
+	logMask  uint64
+
+	mu       sync.Mutex
+	snaps    []*FlightSnapshot
+	maxSnaps int
+	snapSeq  uint64
+}
+
+func newFlightRecorder(spans *spanRing, logSize, maxSnaps int) *FlightRecorder {
+	if logSize <= 0 {
+		logSize = 256
+	}
+	n := 1
+	for n < logSize {
+		n <<= 1
+	}
+	if maxSnaps <= 0 {
+		maxSnaps = 8
+	}
+	return &FlightRecorder{
+		spans:    spans,
+		logSlots: make([]atomic.Pointer[obs.LogEvent], n),
+		logMask:  uint64(n - 1),
+		maxSnaps: maxSnaps,
+	}
+}
+
+// LogEvent records one structured-log event into the rolling buffer
+// (the obs.LogSink interface). Lock-free, same discipline as the span
+// ring.
+func (f *FlightRecorder) LogEvent(e obs.LogEvent) {
+	if f == nil {
+		return
+	}
+	seq := f.logSeq.Add(1) - 1
+	e.Seq = seq
+	f.logSlots[seq&f.logMask].Store(&e)
+}
+
+// FlightSnapshot is one frozen incident: the last spans and log events
+// as of the trigger.
+type FlightSnapshot struct {
+	Seq    uint64         `json:"seq"`
+	Reason string         `json:"reason"`
+	WhenNS int64          `json:"when_ns"`
+	Spans  []spanJSON     `json:"spans"`
+	Logs   []obs.LogEvent `json:"logs"`
+}
+
+// Snapshot freezes the tail of the span ring and the log buffer under
+// the given reason. Bounded: only the newest snapshots are retained
+// (oldest dropped), and each holds at most flightSpanN spans.
+func (f *FlightRecorder) Snapshot(reason string) {
+	if f == nil {
+		return
+	}
+	tail := f.spans.tail(flightSpanN)
+	spans := make([]spanJSON, 0, len(tail))
+	for _, d := range tail {
+		spans = append(spans, toSpanJSON(d))
+	}
+	logs := make([]obs.LogEvent, 0, len(f.logSlots))
+	for i := range f.logSlots {
+		if e := f.logSlots[i].Load(); e != nil {
+			logs = append(logs, *e)
+		}
+	}
+	// Oldest-first by buffer sequence, mirroring the span ordering.
+	for i := 1; i < len(logs); i++ {
+		for j := i; j > 0 && logs[j-1].Seq > logs[j].Seq; j-- {
+			logs[j-1], logs[j] = logs[j], logs[j-1]
+		}
+	}
+	snap := &FlightSnapshot{
+		Reason: reason,
+		WhenNS: obs.Stamp(),
+		Spans:  spans,
+		Logs:   logs,
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	snap.Seq = f.snapSeq
+	f.snapSeq++
+	f.snaps = append(f.snaps, snap)
+	if len(f.snaps) > f.maxSnaps {
+		f.snaps = f.snaps[len(f.snaps)-f.maxSnaps:]
+	}
+}
+
+// Snapshots returns the retained snapshots, oldest-first.
+func (f *FlightRecorder) Snapshots() []*FlightSnapshot {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]*FlightSnapshot, len(f.snaps))
+	copy(out, f.snaps)
+	return out
+}
+
+// flightDump is the GET /debug/flight envelope.
+type flightDump struct {
+	Epoch     string            `json:"epoch"`
+	Snapshots []*FlightSnapshot `json:"snapshots"`
+}
+
+// FlightHandler serves the flight recorder's snapshots
+// (GET /debug/flight).
+func FlightHandler(t *Tracer) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		dump := flightDump{
+			Epoch:     obs.Epoch().Format(time.RFC3339Nano),
+			Snapshots: t.Flight().Snapshots(),
+		}
+		if dump.Snapshots == nil {
+			dump.Snapshots = []*FlightSnapshot{}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(dump) //lppm:allow droppederr -- admin-plane response write; the peer hanging up is not actionable
+	})
+}

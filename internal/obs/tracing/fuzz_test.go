@@ -1,0 +1,41 @@
+package tracing
+
+import "testing"
+
+// FuzzParseTraceparent drives Parse with arbitrary headers. The
+// invariants: no panic; an error always yields a zero context and a
+// zero Extract; a success always yields a valid context whose
+// canonical re-serialization parses back to the identical value (so a
+// future-version header normalizes losslessly onto the 00 layout).
+func FuzzParseTraceparent(f *testing.F) {
+	f.Add("00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01")
+	f.Add("00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-00")
+	f.Add("cc-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-extra.fields")
+	f.Add("ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01")
+	f.Add("00-00000000000000000000000000000000-0000000000000000-00")
+	f.Add("00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-no-trailing-allowed")
+	f.Add("")
+	f.Add("garbage")
+	f.Fuzz(func(t *testing.T, header string) {
+		sc, err := Parse(header)
+		if err != nil {
+			if sc != (SpanContext{}) {
+				t.Fatalf("Parse(%q) errored with non-zero context %+v", header, sc)
+			}
+			if got := Extract(header); got != (SpanContext{}) {
+				t.Fatalf("Extract(%q) = %+v after Parse error", header, got)
+			}
+			return
+		}
+		if !sc.Valid() {
+			t.Fatalf("Parse(%q) accepted invalid context %+v", header, sc)
+		}
+		rt, err := Parse(sc.Traceparent())
+		if err != nil {
+			t.Fatalf("canonical %q of %q does not re-parse: %v", sc.Traceparent(), header, err)
+		}
+		if rt != sc {
+			t.Fatalf("round-trip of %q: %+v != %+v", header, rt, sc)
+		}
+	})
+}

@@ -1,0 +1,58 @@
+package tracing
+
+import (
+	"sort"
+	"sync/atomic"
+)
+
+// spanRing is a bounded lock-free MPMC ring of completed spans. Writers
+// claim a slot with one atomic add and publish with one atomic pointer
+// store — no locks, no allocation beyond the span itself — so ending a
+// span is safe on the hot path. Readers snapshot by loading every slot;
+// a concurrent writer can at worst replace a slot mid-snapshot, which
+// only makes the snapshot *newer*, never torn (slots hold pointers to
+// immutable-after-publish SpanData).
+type spanRing struct {
+	slots  []atomic.Pointer[SpanData]
+	cursor atomic.Uint64
+	mask   uint64
+}
+
+func newSpanRing(size int) *spanRing {
+	n := 1
+	for n < size {
+		n <<= 1
+	}
+	return &spanRing{slots: make([]atomic.Pointer[SpanData], n), mask: uint64(n - 1)}
+}
+
+// put publishes a completed span, stamping its ring sequence number.
+// The oldest span in the slot (if any) is overwritten — the ring keeps
+// the most recent len(slots) spans.
+func (r *spanRing) put(d *SpanData) {
+	seq := r.cursor.Add(1) - 1
+	d.Seq = seq
+	r.slots[seq&r.mask].Store(d)
+}
+
+// snapshot returns the ring contents sorted oldest-first by sequence
+// number. The result is never nil.
+func (r *spanRing) snapshot() []*SpanData {
+	out := make([]*SpanData, 0, len(r.slots))
+	for i := range r.slots {
+		if d := r.slots[i].Load(); d != nil {
+			out = append(out, d)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// tail returns the newest n spans, oldest-first.
+func (r *spanRing) tail(n int) []*SpanData {
+	all := r.snapshot()
+	if len(all) > n {
+		all = all[len(all)-n:]
+	}
+	return all
+}

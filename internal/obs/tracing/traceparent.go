@@ -1,0 +1,141 @@
+package tracing
+
+import (
+	"context"
+	"encoding/hex"
+	"fmt"
+	"log/slog"
+)
+
+// Header is the W3C Trace Context propagation header name.
+const Header = "traceparent"
+
+// Traceparent serializes the context as a W3C traceparent header:
+// version 00, 32 hex trace-id digits, 16 hex span-id digits, 2 hex
+// flag digits, dash-separated.
+func (sc SpanContext) Traceparent() string {
+	return fmt.Sprintf("00-%s-%s-%02x", sc.Trace, sc.Span, sc.Flags)
+}
+
+// Parse decodes a W3C traceparent header. It accepts any version
+// except the reserved ff (per spec, future versions must stay
+// front-compatible with the 00 layout), requires non-zero IDs, and
+// rejects anything malformed. Callers that just want "use it if
+// valid" should use Extract, which never returns an error.
+func Parse(header string) (SpanContext, error) {
+	var sc SpanContext
+	// 00-<32 hex>-<16 hex>-<2 hex> = 55 bytes. Later versions may
+	// append fields after the flags; tolerate a longer header iff the
+	// version is not 00 and byte 55 is a dash.
+	if len(header) < 55 {
+		return sc, fmt.Errorf("tracing: traceparent too short (%d bytes)", len(header))
+	}
+	if header[2] != '-' || header[35] != '-' || header[52] != '-' {
+		return sc, fmt.Errorf("tracing: traceparent separators malformed")
+	}
+	if !isHex(header[0]) || !isHex(header[1]) {
+		return sc, fmt.Errorf("tracing: traceparent version not hex")
+	}
+	version := hexByte(header[0])<<4 | hexByte(header[1])
+	if version == 0xff {
+		return sc, fmt.Errorf("tracing: traceparent version ff is reserved")
+	}
+	if len(header) > 55 {
+		if version == 0 {
+			return sc, fmt.Errorf("tracing: version 00 traceparent has trailing bytes")
+		}
+		if header[55] != '-' {
+			return sc, fmt.Errorf("tracing: traceparent trailing bytes malformed")
+		}
+	}
+	if _, err := hex.Decode(sc.Trace[:], []byte(header[3:35])); err != nil {
+		return SpanContext{}, fmt.Errorf("tracing: traceparent trace-id: %w", err)
+	}
+	if _, err := hex.Decode(sc.Span[:], []byte(header[36:52])); err != nil {
+		return SpanContext{}, fmt.Errorf("tracing: traceparent span-id: %w", err)
+	}
+	flags, err := hex.DecodeString(header[53:55])
+	if err != nil {
+		return SpanContext{}, fmt.Errorf("tracing: traceparent flags: %w", err)
+	}
+	sc.Flags = flags[0]
+	if !sc.Valid() {
+		return SpanContext{}, fmt.Errorf("tracing: traceparent has zero trace or span id")
+	}
+	return sc, nil
+}
+
+// Extract decodes a traceparent header, returning the zero (invalid)
+// context for anything malformed or absent — the server side of
+// propagation: an invalid header simply means "start a fresh root
+// trace", never an error and never a panic.
+func Extract(header string) SpanContext {
+	sc, err := Parse(header)
+	if err != nil {
+		return SpanContext{}
+	}
+	return sc
+}
+
+func isHex(c byte) bool {
+	return c >= '0' && c <= '9' || c >= 'a' && c <= 'f'
+}
+
+func hexByte(c byte) byte {
+	switch {
+	case c >= '0' && c <= '9':
+		return c - '0'
+	case c >= 'a' && c <= 'f':
+		return c - 'a' + 10
+	}
+	return 0
+}
+
+// spanKey carries an in-flight *Span; remoteKey carries a bare
+// SpanContext (a client that has IDs but no recording tracer).
+type spanKey struct{}
+type remoteKey struct{}
+
+// ContextWithSpan returns ctx carrying sp (for the server side:
+// handlers fetch it to parent child work and loggers fetch it to
+// correlate records).
+func ContextWithSpan(ctx context.Context, sp *Span) context.Context {
+	return context.WithValue(ctx, spanKey{}, sp)
+}
+
+// SpanFromContext returns the span carried by ctx, or nil.
+func SpanFromContext(ctx context.Context) *Span {
+	sp, _ := ctx.Value(spanKey{}).(*Span)
+	return sp
+}
+
+// ContextWithSpanContext returns ctx carrying a bare propagation
+// context (for the client side: no tracer, just identity to inject).
+func ContextWithSpanContext(ctx context.Context, sc SpanContext) context.Context {
+	return context.WithValue(ctx, remoteKey{}, sc)
+}
+
+// FromContext returns the propagation context carried by ctx — an
+// in-flight span's context if present, else a bare SpanContext, else
+// the zero context. This is what the HTTP client injects.
+func FromContext(ctx context.Context) SpanContext {
+	if sp := SpanFromContext(ctx); sp != nil {
+		return sp.Context()
+	}
+	sc, _ := ctx.Value(remoteKey{}).(SpanContext)
+	return sc
+}
+
+// ContextAttrs extracts correlation attributes (trace_id, span_id)
+// from ctx for structured logging — the obs.LoggerOptions.ContextAttrs
+// hook. Returns nil when ctx carries no trace.
+func ContextAttrs(ctx context.Context) []slog.Attr {
+	sc := FromContext(ctx)
+	if !sc.Valid() {
+		return nil
+	}
+	return []slog.Attr{
+		slog.String("trace_id", sc.Trace.String()),
+		slog.String("span_id", sc.Span.String()),
+	}
+}

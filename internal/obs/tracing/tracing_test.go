@@ -1,0 +1,320 @@
+package tracing
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// mustParse fails the test on a Parse error.
+func mustParse(t *testing.T, header string) SpanContext {
+	t.Helper()
+	sc, err := Parse(header)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", header, err)
+	}
+	return sc
+}
+
+// TestTraceparentGoldenRoundTrip pins the exact wire form: a known
+// context serializes to the W3C example header and parses back equal.
+func TestTraceparentGoldenRoundTrip(t *testing.T) {
+	sc := SpanContext{Flags: FlagSampled}
+	mustDecodeHex(t, sc.Trace[:], "4bf92f3577b34da6a3ce929d0e0e4736")
+	mustDecodeHex(t, sc.Span[:], "00f067aa0ba902b7")
+	const want = "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+	if got := sc.Traceparent(); got != want {
+		t.Fatalf("Traceparent() = %q, want %q", got, want)
+	}
+	if got := mustParse(t, want); got != sc {
+		t.Fatalf("Parse round-trip = %+v, want %+v", got, sc)
+	}
+	// An unsampled header round-trips the flag too.
+	unsampled := sc
+	unsampled.Flags = 0
+	got := mustParse(t, unsampled.Traceparent())
+	if got != unsampled || got.Sampled() {
+		t.Fatalf("unsampled round-trip = %+v (sampled=%v)", got, got.Sampled())
+	}
+}
+
+func mustDecodeHex(t *testing.T, dst []byte, s string) {
+	t.Helper()
+	if len(s) != 2*len(dst) {
+		t.Fatalf("hex %q does not fill %d bytes", s, len(dst))
+	}
+	for i := 0; i < len(s); i += 2 {
+		dst[i/2] = hexByte(s[i])<<4 | hexByte(s[i+1])
+	}
+}
+
+// TestParseMalformed is the reject table: every W3C-invalid shape must
+// error from Parse and come back zero from Extract.
+func TestParseMalformed(t *testing.T) {
+	valid := "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+	cases := map[string]string{
+		"empty":            "",
+		"short":            valid[:54],
+		"bad sep 1":        valid[:2] + "_" + valid[3:],
+		"bad sep 2":        valid[:35] + "_" + valid[36:],
+		"bad sep 3":        valid[:52] + "_" + valid[53:],
+		"version not hex":  "zz" + valid[2:],
+		"version ff":       "ff" + valid[2:],
+		"v00 trailing":     valid + "-extra",
+		"trailing no dash": "01" + valid[2:] + "x",
+		"trace id not hex": "00-zzf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",
+		"span id not hex":  "00-4bf92f3577b34da6a3ce929d0e0e4736-zzf067aa0ba902b7-01",
+		"flags not hex":    valid[:53] + "zz",
+		"zero trace id":    "00-00000000000000000000000000000000-00f067aa0ba902b7-01",
+		"zero span id":     "00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01",
+		"all zero":         "00-00000000000000000000000000000000-0000000000000000-00",
+	}
+	for name, header := range cases {
+		if sc, err := Parse(header); err == nil {
+			t.Errorf("%s: Parse(%q) accepted as %+v", name, header, sc)
+		}
+		if sc := Extract(header); sc != (SpanContext{}) {
+			t.Errorf("%s: Extract(%q) = %+v, want zero", name, header, sc)
+		}
+	}
+	// Forward compatibility: a future version may append fields after a
+	// dash at byte 55 — parseable, IDs preserved.
+	future := "01" + valid[2:] + "-futurefield"
+	sc := mustParse(t, future)
+	if sc != mustParse(t, valid) {
+		t.Fatalf("future-version parse = %+v, want same IDs as v00", sc)
+	}
+}
+
+// TestHeadSamplingDeterministic checks the sampling decision is pure
+// arithmetic on the trace ID — same ID, same verdict, and the verdict
+// is exactly lo64(id) < frac·2⁶⁴.
+func TestHeadSamplingDeterministic(t *testing.T) {
+	half := New(Config{SampleFrac: 0.5})
+	mkID := func(lo uint64) TraceID {
+		var id TraceID
+		id[0] = 1 // non-zero high half
+		binary.BigEndian.PutUint64(id[8:], lo)
+		return id
+	}
+	cases := []struct {
+		lo   uint64
+		want bool
+	}{
+		{0, true},
+		{1 << 62, true},
+		{1<<63 - 1, true},
+		{1 << 63, false},
+		{^uint64(0), false},
+	}
+	for _, c := range cases {
+		for i := 0; i < 3; i++ { // repeatable, not probabilistic
+			if got := half.sampled(mkID(c.lo)); got != c.want {
+				t.Fatalf("sampled(lo=%#x) = %v, want %v", c.lo, got, c.want)
+			}
+		}
+	}
+	// frac=1 (and the 0 default) samples everything.
+	if all := New(Config{}); !all.sampled(mkID(^uint64(0))) {
+		t.Fatal("default tracer rejected a trace")
+	}
+	// A child of an unsampled parent records nothing; a sampled parent's
+	// child records.
+	if sp := half.ChildAt(SpanContext{}, "x", 1); sp != nil {
+		t.Fatal("child of invalid parent is non-nil")
+	}
+	parent := SpanContext{Trace: mkID(3), Span: SpanID{1}, Flags: FlagSampled}
+	if sp := half.ChildAt(parent, "x", 1); sp == nil {
+		t.Fatal("child of sampled parent is nil")
+	}
+}
+
+// TestRingWrap checks the span ring keeps exactly the newest spans in
+// seq order once it wraps.
+func TestRingWrap(t *testing.T) {
+	tr := New(Config{RingSize: 8})
+	for i := 0; i < 20; i++ {
+		tr.ForceRootAt("s", int64(i)).AttrInt("i", int64(i)).EndAt(int64(i) + 1)
+	}
+	spans := tr.Spans()
+	if len(spans) != 8 {
+		t.Fatalf("ring holds %d spans, want 8", len(spans))
+	}
+	for i, sp := range spans {
+		if want := int64(12 + i); sp.StartNS != want {
+			t.Fatalf("span %d started at %d, want %d (newest 8, oldest first)", i, sp.StartNS, want)
+		}
+		if i > 0 && spans[i-1].Seq >= sp.Seq {
+			t.Fatalf("seq not increasing at %d", i)
+		}
+	}
+}
+
+// TestNilSafety: every method on nil tracer/span/flight must no-op —
+// the property that keeps call sites guard-free.
+func TestNilSafety(t *testing.T) {
+	var tr *Tracer
+	if tr.Spans() != nil || tr.Flight() != nil {
+		t.Fatal("nil tracer returned non-nil state")
+	}
+	sp := tr.Root("x")
+	sp = sp.Attr("k", "v").AttrInt("i", 1).AttrUint("u", 1).AttrFloat("f", 1)
+	sp.End()
+	sp.EndErr(errors.New("x"))
+	sp.EndAt(1)
+	sp.EndErrAt(1, nil)
+	if sp.Context().Valid() {
+		t.Fatal("nil span has a valid context")
+	}
+	tr.ForceRoot("x").End()
+	tr.Child(SpanContext{}, "x").End()
+	tr.Flight().Snapshot("x")
+	tr.Flight().LogEvent(obs.LogEvent{})
+	if tr.Flight().Snapshots() != nil {
+		t.Fatal("nil flight recorder returned snapshots")
+	}
+}
+
+// TestHandlers exercises the three admin endpoints over a small ring.
+func TestHandlers(t *testing.T) {
+	tr := New(Config{RingSize: 16})
+	root := tr.ForceRootAt("batch", 100)
+	tr.ChildAt(root.Context(), "window", 110).Attr("user", "u00").EndAt(150)
+	root.EndErrAt(200, errors.New("boom"))
+	tr.Flight().Snapshot("test incident")
+
+	rec := httptest.NewRecorder()
+	TraceHandler(tr).ServeHTTP(rec, httptest.NewRequest("GET", "/trace", nil))
+	var dump struct {
+		Epoch string `json:"epoch"`
+		Spans []struct {
+			Trace, Span, Parent, Name, Err string
+			StartNS                        int64 `json:"start_ns"`
+			DurNS                          int64 `json:"dur_ns"`
+		} `json:"spans"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &dump); err != nil {
+		t.Fatalf("GET /trace: %v", err)
+	}
+	if dump.Epoch == "" || len(dump.Spans) != 2 {
+		t.Fatalf("GET /trace: epoch=%q spans=%d", dump.Epoch, len(dump.Spans))
+	}
+	wnd, bat := dump.Spans[0], dump.Spans[1] // window ended first
+	if wnd.Name != "window" || wnd.Parent != bat.Span || wnd.Trace != bat.Trace {
+		t.Fatalf("span tree wrong: window=%+v batch=%+v", wnd, bat)
+	}
+	if wnd.DurNS != 40 || bat.Err != "boom" {
+		t.Fatalf("span fields wrong: window=%+v batch=%+v", wnd, bat)
+	}
+
+	rec = httptest.NewRecorder()
+	ChromeHandler(tr).ServeHTTP(rec, httptest.NewRequest("GET", "/trace.chrome", nil))
+	var chrome struct {
+		TraceEvents []struct {
+			Name string            `json:"name"`
+			Ph   string            `json:"ph"`
+			TID  int               `json:"tid"`
+			Args map[string]string `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &chrome); err != nil {
+		t.Fatalf("GET /trace.chrome: %v", err)
+	}
+	if chrome.DisplayTimeUnit != "ms" || len(chrome.TraceEvents) != 2 {
+		t.Fatalf("chrome dump: unit=%q events=%d", chrome.DisplayTimeUnit, len(chrome.TraceEvents))
+	}
+	for _, ev := range chrome.TraceEvents {
+		if ev.Ph != "X" || ev.Args["trace"] != bat.Trace {
+			t.Fatalf("chrome event wrong: %+v", ev)
+		}
+	}
+	if chrome.TraceEvents[1].Args["err"] != "boom" {
+		t.Fatalf("chrome err arg missing: %+v", chrome.TraceEvents[1])
+	}
+
+	rec = httptest.NewRecorder()
+	FlightHandler(tr).ServeHTTP(rec, httptest.NewRequest("GET", "/debug/flight", nil))
+	if !strings.Contains(rec.Body.String(), `"test incident"`) {
+		t.Fatalf("GET /debug/flight missing snapshot: %s", rec.Body.String())
+	}
+}
+
+// TestFlightRecorder checks snapshot bounding and log-event ordering.
+func TestFlightRecorder(t *testing.T) {
+	tr := New(Config{RingSize: 8, FlightLog: 4, FlightSnapshots: 2})
+	fl := tr.Flight()
+	for i := 0; i < 6; i++ {
+		fl.LogEvent(obs.LogEvent{Msg: string(rune('a' + i)), WhenNS: int64(i)})
+	}
+	tr.ForceRootAt("s", 1).EndAt(2)
+	fl.Snapshot("first")
+	fl.Snapshot("second")
+	fl.Snapshot("third")
+	snaps := fl.Snapshots()
+	if len(snaps) != 2 || snaps[0].Reason != "second" || snaps[1].Reason != "third" {
+		t.Fatalf("retained %d snapshots (%v), want newest 2", len(snaps), snaps)
+	}
+	s := snaps[1]
+	if len(s.Spans) != 1 || s.Spans[0].Name != "s" {
+		t.Fatalf("snapshot spans = %+v", s.Spans)
+	}
+	// Log ring held 4 slots: events c..f survive, oldest first.
+	if len(s.Logs) != 4 {
+		t.Fatalf("snapshot holds %d log events, want 4", len(s.Logs))
+	}
+	for i, e := range s.Logs {
+		if want := string(rune('c' + i)); e.Msg != want {
+			t.Fatalf("log %d = %q, want %q", i, e.Msg, want)
+		}
+		if i > 0 && s.Logs[i-1].Seq >= e.Seq {
+			t.Fatalf("log seq not increasing at %d", i)
+		}
+	}
+	if s.WhenNS == 0 {
+		t.Fatal("snapshot not timestamped")
+	}
+}
+
+// TestContextPlumbing checks the context carriers the server and client
+// share: span > bare context > zero precedence, and the slog attrs.
+func TestContextPlumbing(t *testing.T) {
+	tr := New(Config{})
+	sp := tr.ForceRoot("h")
+	ctx := ContextWithSpan(t.Context(), sp)
+	if got := FromContext(ctx); got != sp.Context() {
+		t.Fatalf("FromContext(span ctx) = %+v, want %+v", got, sp.Context())
+	}
+	remote := NewRootContext()
+	rctx := ContextWithSpanContext(t.Context(), remote)
+	if got := FromContext(rctx); got != remote {
+		t.Fatalf("FromContext(remote ctx) = %+v, want %+v", got, remote)
+	}
+	if got := FromContext(t.Context()); got.Valid() {
+		t.Fatalf("FromContext(bare ctx) = %+v, want invalid", got)
+	}
+	attrs := ContextAttrs(rctx)
+	if len(attrs) != 2 || attrs[0].Value.String() != remote.Trace.String() {
+		t.Fatalf("ContextAttrs = %v", attrs)
+	}
+	if ContextAttrs(t.Context()) != nil {
+		t.Fatal("ContextAttrs on bare context is non-nil")
+	}
+	sp.End()
+}
+
+// TestNewRootContext: fresh contexts are valid, sampled, and unique.
+func TestNewRootContext(t *testing.T) {
+	a, b := NewRootContext(), NewRootContext()
+	if !a.Sampled() || !b.Sampled() {
+		t.Fatalf("root contexts not sampled: %+v %+v", a, b)
+	}
+	if a.Trace == b.Trace || a.Span == b.Span {
+		t.Fatalf("root contexts collide: %+v %+v", a, b)
+	}
+}

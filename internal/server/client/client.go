@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/tracing"
 	"repro/internal/server"
 	"repro/internal/service"
 	"repro/internal/trace"
@@ -135,6 +136,14 @@ func (c *Client) newRequest(ctx context.Context, method, path string, body io.Re
 	}
 	if c.tenant != "" {
 		req.Header.Set("X-Tenant", c.tenant)
+	}
+	// W3C trace propagation: a caller that put a span or a bare span
+	// context in ctx (tracing.ContextWithSpanContext) gets it injected
+	// as a traceparent header, so the server's spans for this request —
+	// and, on a stream, every window of its users — join the caller's
+	// trace.
+	if sc := tracing.FromContext(ctx); sc.Valid() {
+		req.Header.Set(tracing.Header, sc.Traceparent())
 	}
 	return req, nil
 }

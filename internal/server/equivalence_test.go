@@ -80,8 +80,8 @@ func TestFileVsLoopbackEquivalence(t *testing.T) {
 	fileDone := make(chan map[string][]trace.Record)
 	go func() {
 		got := make(map[string][]trace.Record)
-		for batch := range fileGW.Output() {
-			for _, rec := range batch {
+		for wnd := range fileGW.Output() {
+			for _, rec := range wnd.Records {
 				got[rec.User] = append(got[rec.User], rec)
 			}
 		}

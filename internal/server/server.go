@@ -47,6 +47,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/lppm"
 	"repro/internal/obs"
+	"repro/internal/obs/tracing"
 	"repro/internal/rng"
 	"repro/internal/service"
 	"repro/internal/trace"
@@ -156,10 +157,12 @@ func (c *Config) normalize() error {
 // timedWindow is one flushed window in a connection's outbound queue,
 // carrying the obs.Stamp at which the dispatcher received it (0 when the
 // stage clock is off) so the writer can attribute queue residency to the
-// dispatch stage and the wire time to the write stage.
+// dispatch stage and the wire time to the write stage, plus the window's
+// trace context so those hops extend the window's span tree.
 type timedWindow struct {
 	recs []trace.Record
 	ns   int64
+	span tracing.SpanContext
 }
 
 // streamConn is one /v1/stream connection's server-side state: the window
@@ -169,6 +172,10 @@ type streamConn struct {
 	windows chan timedWindow
 	gone    chan struct{} // closed when the response sink is abandoned
 	users   map[string]struct{}
+	// trace is the connection's request-span context — the client's
+	// traceparent continued, or a fresh server-side root. Written once
+	// by the stream handler before the reader goroutine starts.
+	trace tracing.SpanContext
 
 	closeOnce sync.Once
 	goneOnce  sync.Once
@@ -216,8 +223,9 @@ type Server struct {
 	droppedWindows  atomic.Uint64
 	stallAbandons   atomic.Uint64
 
-	reg   *obs.Registry
-	clock *obs.StageClock // nil when the gateway's registry is disabled
+	reg    *obs.Registry
+	clock  *obs.StageClock // nil when the gateway's registry is disabled
+	tracer *tracing.Tracer // the gateway's tracer; nil when tracing is off
 }
 
 // New validates the configuration and starts the dispatcher that routes
@@ -237,6 +245,7 @@ func New(cfg Config) (*Server, error) {
 		barrierCh:    make(chan chan struct{}),
 		dispatchDone: make(chan struct{}),
 		reg:          cfg.Gateway.Obs(),
+		tracer:       cfg.Gateway.Tracer(),
 	}
 	s.clock = obs.NewStageClock(s.reg)
 	s.registerMetrics()
@@ -322,8 +331,25 @@ func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.Handler {
 		m.inflight.Add(1)
 		defer m.inflight.Add(-1)
 		sw := &statusWriter{ResponseWriter: w}
+		var sp *tracing.Span
+		if s.tracer != nil {
+			// W3C propagation: continue the client's trace when the
+			// request carries a valid traceparent (Extract treats a
+			// malformed header as absent — fresh root, never an error),
+			// otherwise head-sample a server-side root.
+			if remote := tracing.Extract(r.Header.Get(tracing.Header)); remote.Sampled() {
+				sp = s.tracer.Child(remote, "http."+endpoint)
+			} else {
+				sp = s.tracer.Root("http." + endpoint)
+			}
+			if sp != nil {
+				r = r.WithContext(tracing.ContextWithSpan(r.Context(), sp))
+			}
+		}
 		h(sw, r)
-		m.done(sw.statusCode())
+		code := sw.statusCode()
+		m.done(code)
+		sp.AttrInt("status", int64(code)).End()
 	})
 }
 
@@ -432,19 +458,22 @@ func (s *Server) dispatch() {
 // route hands one flushed window to its owner, or drops it when the owner
 // is gone (client left) or was never registered (windows flushed by the
 // gateway drain after their connection ended).
-func (s *Server) route(wnd []trace.Record) {
-	if len(wnd) == 0 {
+func (s *Server) route(wnd service.Window) {
+	recs := wnd.Records
+	if len(recs) == 0 {
 		return
 	}
 	s.mu.Lock()
-	c := s.owners[wnd[0].User]
+	c := s.owners[recs[0].User]
 	s.mu.Unlock()
 	if c == nil {
 		s.orphanWindows.Add(1)
 		return
 	}
-	tw := timedWindow{recs: wnd}
-	if s.clock != nil {
+	tw := timedWindow{recs: recs, span: wnd.Span}
+	// A traced window gets its dispatch stamp even when the stage clock
+	// is off: the window's trace already opted in upstream.
+	if s.clock != nil || (s.tracer != nil && wnd.Span.Sampled()) {
 		tw.ns = obs.Stamp()
 	}
 	select {
@@ -483,21 +512,23 @@ func (s *Server) awaitDispatch() {
 	}
 }
 
-// claim registers the connection as the user's owner. A user already owned
-// by another live connection is a conflict: two writers would interleave
-// one stream and windows could not be attributed.
-func (s *Server) claim(user string, c *streamConn) error {
+// claim registers the connection as the user's owner, reporting whether
+// this call established the ownership (first record of the user on this
+// connection). A user already owned by another live connection is a
+// conflict: two writers would interleave one stream and windows could
+// not be attributed.
+func (s *Server) claim(user string, c *streamConn) (bool, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if cur, ok := s.owners[user]; ok {
 		if cur != c {
-			return fmt.Errorf("server: user %q is already streaming on another connection", user)
+			return false, fmt.Errorf("server: user %q is already streaming on another connection", user)
 		}
-		return nil
+		return false, nil
 	}
 	s.owners[user] = c
 	c.users[user] = struct{}{}
-	return nil
+	return true, nil
 }
 
 // releaseStream ends a connection's serving: flush each owned user's
@@ -564,6 +595,10 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	}()
 	c := newStreamConn(s.cfg.WindowBuffer)
 	defer c.abandon()
+	if sp := tracing.SpanFromContext(r.Context()); sp != nil {
+		// Before the reader goroutine starts, so the write is race-free.
+		c.trace = sp.Context()
+	}
 	s.mu.Lock()
 	s.conns[c] = struct{}{}
 	s.mu.Unlock()
@@ -603,11 +638,16 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case readErr != nil && !errors.Is(readErr, errDraining):
 		w.Header().Set(streamErrTrailer, readErr.Error())
+		// A real stream error (not the routine drain handover) freezes
+		// the flight recorder, so the post-mortem has the spans and log
+		// events leading up to it.
+		s.tracer.Flight().Snapshot("stream error: " + readErr.Error())
 	case readErr != nil:
 		w.Header().Set(streamErrTrailer, errDraining.Error())
 	case writeErr != nil:
 		// Best effort: if the sink died the trailer rarely arrives.
 		w.Header().Set(streamErrTrailer, writeErr.Error())
+		s.tracer.Flight().Snapshot("stream write failed: " + writeErr.Error())
 	}
 }
 
@@ -624,8 +664,16 @@ func (s *Server) readStream(r *http.Request, c *streamConn) error {
 			return context.Canceled
 		default:
 		}
-		if err := s.claim(rec.User, c); err != nil {
+		claimed, err := s.claim(rec.User, c)
+		if err != nil {
 			return err
+		}
+		if claimed && c.trace.Sampled() {
+			// First record of this user on a traced connection: continue
+			// the trace into the gateway, so the user's windows are
+			// recorded under the request span (and, through it, under a
+			// client-originated traceparent).
+			_ = s.gw.SetUserTrace(rec.User, c.trace) //lppm:allow droppederr -- best-effort diagnostic binding: losing it to a shutdown race costs spans only, and the Ingest below surfaces the closure
 		}
 		if err := s.gw.Ingest(rec); err != nil {
 			if errors.Is(err, service.ErrClosed) {
@@ -663,10 +711,16 @@ func (s *Server) writeStream(w http.ResponseWriter, rc *http.ResponseController,
 		return err
 	}
 	for tw := range c.windows {
+		// A traced window reuses the dispatch/write stamps for its last
+		// two spans — same readings, no extra clock cost.
+		traced := s.tracer != nil && tw.span.Sampled() && tw.ns != 0
 		var pickup int64
-		if s.clock != nil {
+		if s.clock != nil || traced {
 			pickup = obs.Stamp()
 			s.clock.Observe(obs.StageDispatch, tw.ns, pickup)
+			if traced {
+				s.tracer.ChildAt(tw.span, "dispatch", tw.ns).EndAt(pickup)
+			}
 		}
 		// Rolling stall deadline: a client that keeps reading never hits
 		// it; one that stopped reading errors this write, the handler
@@ -684,8 +738,12 @@ func (s *Server) writeStream(w http.ResponseWriter, rc *http.ResponseController,
 		if err := rc.Flush(); err != nil {
 			return err
 		}
-		if s.clock != nil {
-			s.clock.Observe(obs.StageWrite, pickup, obs.Stamp())
+		if s.clock != nil || traced {
+			end := obs.Stamp()
+			s.clock.Observe(obs.StageWrite, pickup, end)
+			if traced {
+				s.tracer.ChildAt(tw.span, "write", pickup).EndAt(end)
+			}
 		}
 	}
 	// Clear the deadline for the trailer write.

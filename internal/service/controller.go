@@ -512,6 +512,16 @@ func (c *Controller) Evaluate(ctx context.Context) (swapped bool, err error) {
 	if fresh < uint64(c.cfg.MinWindows) || tracked == 0 {
 		return false, nil
 	}
+	// Control-plane span: passes the cheap gate rarely, so it pays its
+	// own clock reads. Covers snapshot and estimation; on drift the
+	// redeploy and swap run as child spans.
+	esp := c.gw.tracer.ForceRoot("controller.evaluate")
+	defer func() {
+		if swapped {
+			esp.Attr("swapped", "true")
+		}
+		esp.EndErr(err)
+	}()
 	actuals, protecteds, users, obj, _ := c.snapshot()
 	if len(users) == 0 {
 		return false, nil
@@ -563,12 +573,14 @@ func (c *Controller) Evaluate(ctx context.Context) (swapped bool, err error) {
 		privSum += pv
 		utilSum += uv
 	}
+	esp.AttrInt("users", int64(len(users))).AttrInt("estimates", int64(len(ests)))
 	if len(ests) == 0 {
 		return false, nil
 	}
 	evaluated = true
 	priv := privSum / float64(len(ests))
 	util := utilSum / float64(len(ests))
+	esp.AttrFloat("privacy", priv).AttrFloat("utility", util)
 
 	c.mu.Lock()
 	c.evals++
@@ -583,6 +595,7 @@ func (c *Controller) Evaluate(ctx context.Context) (swapped bool, err error) {
 
 	// Drift: re-run Define → Model → Configure on what the stream
 	// actually carried, then make the result live.
+	esp.Attr("drift", "true")
 	ds := trace.NewDataset()
 	for _, u := range users {
 		ds.Add(actuals[u])
@@ -594,19 +607,25 @@ func (c *Controller) Evaluate(ctx context.Context) (swapped bool, err error) {
 	// The re-analysis sweeps the very traces the estimates above were
 	// computed on (ds aliases the snapshot), so the cached prepared
 	// evaluators carry straight into the sweep's inner loop.
+	rsp := c.gw.tracer.Child(esp.Context(), "controller.redeploy")
 	dep, analysis, rerr := core.RedeployCached(ctx, def, ds, obj, c.cache)
 	if rerr != nil {
 		// Analysis failure or objectives infeasible on observed data:
 		// keep serving the old configuration rather than shipping
 		// nothing.
+		rsp.EndErr(rerr)
 		return false, fmt.Errorf("service: drift redeploy: %w", rerr)
 	}
+	rsp.End()
 	if c.cfg.PerUserOverrides {
 		c.deriveOverrides(dep, analysis, ests, priv, obj)
 	}
+	ssp := c.gw.tracer.Child(esp.Context(), "controller.swap")
 	if serr := c.gw.Swap(dep); serr != nil {
+		ssp.EndErr(serr)
 		return false, fmt.Errorf("service: swap: %w", serr)
 	}
+	ssp.End()
 	c.mu.Lock()
 	c.swaps++
 	c.deployed = dep.Clone()

@@ -89,8 +89,8 @@ func collectGateway(g *Gateway) chan map[string][]trace.Record {
 	done := make(chan map[string][]trace.Record)
 	go func() {
 		got := make(map[string][]trace.Record)
-		for batch := range g.Output() {
-			got[batch[0].User] = append(got[batch[0].User], batch...)
+		for wnd := range g.Output() {
+			got[wnd.Records[0].User] = append(got[wnd.Records[0].User], wnd.Records...)
 		}
 		done <- got
 	}()

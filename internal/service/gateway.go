@@ -23,6 +23,7 @@ import (
 	"repro/internal/journal"
 	"repro/internal/lppm"
 	"repro/internal/obs"
+	"repro/internal/obs/tracing"
 	"repro/internal/rng"
 	"repro/internal/trace"
 )
@@ -74,6 +75,14 @@ type Config struct {
 	// private registry. Pass obs.Nop() to disable collection, which also
 	// skips the stage clock's wall-clock reads on the hot path.
 	Obs *obs.Registry
+	// Tracer, when non-nil, records per-window span trees (ingest →
+	// shard queue → flush → journal append, continued downstream into
+	// dispatch and response write via Window.Span). Span timestamps
+	// reuse the stage clock's sampled stamps, so tracing adds no
+	// hot-path clock reads beyond the 1-in-obsSampleEvery already
+	// budgeted — except for client-traced streams (SetUserTrace), whose
+	// explicit opt-in pays its own reads. nil disables tracing.
+	Tracer *tracing.Tracer
 }
 
 // ConfigFromDeployment wires a step-3 deployment into a gateway
@@ -210,6 +219,10 @@ type userState struct {
 	windows uint64
 	tapSrc  *tapHolder
 	tap     TapUser
+	// remote is the client-originated trace context bound by
+	// SetUserTrace (zero when the stream is not client-traced). When
+	// sampled, every window of this user is recorded under it.
+	remote tracing.SpanContext
 }
 
 // shardMsg is one element of a shard's input queue: a batch of staged
@@ -221,8 +234,18 @@ type shardMsg struct {
 	batch []trace.Record
 	// enqueuedNS is the obs.Stamp at which the batch entered the queue —
 	// the start of its queue-residency measurement; 0 when the stage
-	// clock is disabled.
+	// clock and tracer are both disabled, or for unsampled batches.
 	enqueuedNS int64
+	// stagedNS is the obs.Stamp at which the batch's first record was
+	// staged — the ingest-stage start. Set exactly when enqueuedNS is:
+	// the tracer reuses the stage clock's sampled stamps to build the
+	// batch span tree without new clock reads.
+	stagedNS int64
+	// traceUser, when non-empty, binds traceCtx as that user's remote
+	// trace context (SetUserTrace). Rides the queue so the binding
+	// orders with ingested records.
+	traceUser string
+	traceCtx  tracing.SpanContext
 	// flushUser, when non-empty, asks the worker to flush that user's
 	// pending window immediately (an end-of-stream flush for a network
 	// connection that will send no more records). done, if non-nil, is
@@ -262,6 +285,14 @@ type shard struct {
 	// 1-in-obsSampleEvery stage-clock sampling.
 	stageTick uint64
 	flushTick uint64
+	// batch is the span context of the sampled batch currently being
+	// handled (zero for unsampled batches); windows flushed while
+	// processing that batch parent under it. Shard goroutine only.
+	batch tracing.SpanContext
+	// remote parks SetUserTrace bindings for users with no stream yet;
+	// applied (and removed) when the user's state is created. Shard
+	// goroutine only after newGateway.
+	remote map[string]tracing.SpanContext
 
 	ingested  atomic.Uint64
 	emitted   atomic.Uint64
@@ -323,8 +354,9 @@ type Gateway struct {
 	ctx    context.Context //lppm:allow ctxflow -- the context IS the gateway's lifetime (fixed at New, honored by every shard loop's select); callers cancel it to stop the pipeline
 	root   *rng.Source
 	shards []*shard
-	out    chan []trace.Record
+	out    chan Window
 	done   chan struct{} // closed once every shard has exited
+	tracer *tracing.Tracer
 
 	deploy atomic.Pointer[deployState]
 	// swapMu serializes Swap so the deploy journal record and the
@@ -401,8 +433,9 @@ func newGateway(ctx context.Context, cfg Config, jw *journal.Writer, gen uint64,
 		ctx:    ctx,
 		root:   rng.New(cfg.Seed),
 		shards: make([]*shard, cfg.Shards),
-		out:    make(chan []trace.Record, cfg.Shards),
+		out:    make(chan Window, cfg.Shards),
 		done:   make(chan struct{}),
+		tracer: cfg.Tracer,
 		reg:    cfg.Obs,
 		jw:     jw,
 	}
@@ -434,6 +467,7 @@ func newGateway(ctx context.Context, cfg Config, jw *journal.Writer, gen uint64,
 			in:      make(chan shardMsg, batches),
 			users:   make(map[string]*userState),
 			restore: make(map[string]journal.Checkpoint),
+			remote:  make(map[string]tracing.SpanContext),
 		}
 		g.shards[i] = s
 	}
@@ -539,6 +573,11 @@ func (g *Gateway) Journal() *journal.Writer { return g.jw }
 // plane) register into and expose this.
 func (g *Gateway) Obs() *obs.Registry { return g.reg }
 
+// Tracer returns the gateway's span tracer, or nil when tracing is off
+// — the HTTP server continues window traces through it and the admin
+// plane mounts its /trace and /debug/flight exports.
+func (g *Gateway) Tracer() *tracing.Tracer { return g.tracer }
+
 // registerMetrics exposes the counters the gateway already keeps. All
 // series are Func-backed reads of the existing atomics, so registration
 // adds zero hot-path cost and the exposed values cannot drift from Stats.
@@ -583,6 +622,9 @@ func (g *Gateway) registerMetrics() {
 		g.reg.GaugeFunc("lppm_journal_segment",
 			"current journal segment index", nil,
 			func() float64 { return float64(g.jw.Stats().Segment) })
+		g.reg.GaugeFunc("lppm_journal_queue_depth",
+			"write-behind journal queue occupancy in pending appends", nil,
+			func() float64 { return float64(len(g.jq)) })
 	}
 }
 
@@ -604,9 +646,13 @@ const obsSampleEvery = 8
 func (g *Gateway) takeStage(s *shard) shardMsg {
 	msg := shardMsg{batch: s.stage}
 	s.stage = nil
-	if g.clock != nil && s.stageStartNS != 0 {
+	if s.stageStartNS != 0 {
 		now := obs.Stamp()
 		msg.enqueuedNS = now
+		// Carry the ingest-start stamp too: the tracer rebuilds the
+		// batch's ingest and queue spans from the same two readings the
+		// stage clock already paid for.
+		msg.stagedNS = s.stageStartNS
 		g.clock.Observe(obs.StageIngest, s.stageStartNS, now)
 	}
 	s.stageStartNS = 0
@@ -719,7 +765,7 @@ func (g *Gateway) Ingest(rec trace.Record) error {
 	if s.stage == nil {
 		s.stage = make([]trace.Record, 0, g.cfg.StageSize)
 	}
-	if len(s.stage) == 0 && g.clock != nil {
+	if len(s.stage) == 0 && (g.clock != nil || g.tracer != nil) {
 		s.stageTick++
 		if s.stageTick&(obsSampleEvery-1) == 1 {
 			s.stageStartNS = obs.Stamp()
@@ -847,6 +893,39 @@ func (g *Gateway) EvictUser(user string) error {
 	return nil
 }
 
+// SetUserTrace binds a remote, client-originated trace context to a
+// user's stream: every window flushed for that user from then on is
+// recorded as a child of the remote span — how a traceparent that
+// arrived on an HTTP stream shows up in GET /trace with the gateway's
+// window/journal/dispatch/write spans under it. The command rides the
+// user's shard queue like FlushUser, so it orders with records already
+// ingested, but does not wait to be processed (a binding can only
+// start one window early, never tear one). The binding persists until
+// replaced — a zero context unbinds. No-op without a tracer.
+func (g *Gateway) SetUserTrace(user string, sc tracing.SpanContext) error {
+	if g.tracer == nil {
+		return nil
+	}
+	if user == "" {
+		return fmt.Errorf("service: trace bind for empty user id")
+	}
+	s := g.shards[shardOf(user, len(g.shards))]
+	s.stageMu.Lock()
+	defer s.stageMu.Unlock()
+	if s.dead {
+		return ErrClosed
+	}
+	if err := g.ctx.Err(); err != nil {
+		return err
+	}
+	select {
+	case s.in <- shardMsg{traceUser: user, traceCtx: sc}:
+		return nil
+	case <-g.ctx.Done():
+		return g.ctx.Err()
+	}
+}
+
 // IngestAll feeds a slice of records in order, stopping at the first error.
 func (g *Gateway) IngestAll(recs []trace.Record) error {
 	for _, rec := range recs {
@@ -857,12 +936,22 @@ func (g *Gateway) IngestAll(recs []trace.Record) error {
 	return nil
 }
 
-// Output returns the protected stream. Each element is one flushed window:
-// protected records of a single user in time order. Windows of one user
-// arrive in stream order; windows of different users interleave freely. The
-// channel closes once every shard has drained (after Close or
-// cancellation); consumers must read until then.
-func (g *Gateway) Output() <-chan []trace.Record { return g.out }
+// Window is one flushed window on the gateway output: the protected
+// records of a single user, in time order, plus the span context of
+// the window's trace — zero when tracing is off or this flush was not
+// in the trace sample — so downstream hops (the server's dispatcher
+// and response writer) attach their spans to the same tree.
+type Window struct {
+	Records []trace.Record
+	Span    tracing.SpanContext
+}
+
+// Output returns the protected stream. Each element is one flushed window
+// of a single user. Windows of one user arrive in stream order; windows of
+// different users interleave freely. The channel closes once every shard
+// has drained (after Close or cancellation); consumers must read until
+// then.
+func (g *Gateway) Output() <-chan Window { return g.out }
 
 // Swap hot-swaps the serving deployment — mechanism, parameters and
 // per-user override table — without restart or record loss. The swap is
@@ -911,11 +1000,13 @@ func (g *Gateway) Swap(d *core.Deployment) error {
 	// deployment keeps serving and keeps matching the journal.
 	if g.jq != nil {
 		if g.jqClosed {
+			g.tracer.Flight().Snapshot("swap rejected: journal closed")
 			return fmt.Errorf("service: swap rejected: %w", journal.ErrClosed)
 		}
 		done := make(chan error, 1)
 		g.jq <- journalReq{kind: jreqDeploy, dep: journalDeployment(next), done: done} //lppm:allow sendlock -- the deploy record must enter the queue under swapMu to order ahead of gen-G checkpoints; the pump drains jq unconditionally and never takes swapMu, so the send completes in bounded time
 		if err := <-done; err != nil {
+			g.tracer.Flight().Snapshot("swap rejected: journal append failed: " + err.Error())
 			return fmt.Errorf("service: swap rejected, journal append failed: %w", err)
 		}
 	}
@@ -1125,11 +1216,34 @@ func (g *Gateway) run(s *shard) {
 // handleMsg windows each record of a queued batch and executes any control
 // command, acknowledging it.
 func (g *Gateway) handleMsg(s *shard, msg shardMsg) {
-	if g.clock != nil && msg.enqueuedNS != 0 {
-		g.clock.Observe(obs.StageQueue, msg.enqueuedNS, obs.Stamp())
+	if msg.enqueuedNS != 0 {
+		dequeued := obs.Stamp()
+		g.clock.Observe(obs.StageQueue, msg.enqueuedNS, dequeued)
+		if g.tracer != nil {
+			// A sampled batch gets its span tree from the three stamps
+			// the stage clock already read: staged → enqueued → dequeued.
+			// ForceRoot, not Root — the 1-in-obsSampleEvery tick mask is
+			// the sampling decision here. Windows flushed while this
+			// batch is being handled parent under it (s.batch).
+			root := g.tracer.ForceRootAt("batch", msg.stagedNS)
+			sc := root.Context()
+			g.tracer.ChildAt(sc, "ingest", msg.stagedNS).EndAt(msg.enqueuedNS)
+			g.tracer.ChildAt(sc, "queue", msg.enqueuedNS).EndAt(dequeued)
+			root.AttrInt("records", int64(len(msg.batch))).EndAt(dequeued)
+			s.batch = sc
+		}
+	} else if g.tracer != nil {
+		s.batch = tracing.SpanContext{}
 	}
 	for _, rec := range msg.batch {
 		g.handle(s, rec)
+	}
+	if msg.traceUser != "" {
+		if u := s.users[msg.traceUser]; u != nil {
+			u.remote = msg.traceCtx
+		} else {
+			s.remote[msg.traceUser] = msg.traceCtx
+		}
 	}
 	if msg.flushUser != "" {
 		if u := s.users[msg.flushUser]; u != nil {
@@ -1178,6 +1292,12 @@ func (g *Gateway) handle(s *shard, rec trace.Record) {
 			g.setErr(err)
 			s.dropped.Add(1)
 			return
+		}
+		if sc, ok := s.remote[rec.User]; ok {
+			// A SetUserTrace binding that arrived before the user's
+			// first record.
+			u.remote = sc
+			delete(s.remote, rec.User)
 		}
 		s.users[rec.User] = u
 		s.userN.Add(1)
@@ -1236,11 +1356,33 @@ func (g *Gateway) flush(s *shard, u *userState) {
 	// Sampled like the ingest/queue stages: most flushes skip both clock
 	// reads, one in obsSampleEvery measures window-flush → emission.
 	var flushStart int64
-	if g.clock != nil {
+	if g.clock != nil || g.tracer != nil {
 		s.flushTick++
 		if s.flushTick&(obsSampleEvery-1) == 1 {
 			flushStart = obs.Stamp()
 		}
+	}
+	// The window span reuses the flush stamps. Parent priority: a
+	// client-originated trace bound by SetUserTrace wins (and, being an
+	// explicit opt-in, is recorded on every flush — paying its own
+	// clock read when this flush isn't in the sample); otherwise a
+	// sampled flush parents under the sampled batch that triggered it,
+	// or stands alone as a root.
+	var wspan *tracing.Span
+	if g.tracer != nil {
+		switch {
+		case u.remote.Sampled():
+			start := flushStart
+			if start == 0 {
+				start = obs.Stamp()
+			}
+			wspan = g.tracer.ChildAt(u.remote, "window", start)
+		case flushStart != 0 && s.batch.Sampled():
+			wspan = g.tracer.ChildAt(s.batch, "window", flushStart)
+		case flushStart != 0:
+			wspan = g.tracer.ForceRootAt("window", flushStart)
+		}
+		wspan.Attr("user", us.User()).AttrInt("records", int64(n))
 	}
 	if dep := g.deploy.Load(); dep.gen != u.gen {
 		if err := us.Reconfigure(dep.mech, dep.paramsFor(us.User())); err != nil {
@@ -1274,8 +1416,10 @@ func (g *Gateway) flush(s *shard, u *userState) {
 		// error; discard so the window is counted dropped exactly once
 		// rather than again per retry.
 		s.dropped.Add(uint64(us.Discard()))
+		wspan.EndErr(err)
 		return
 	}
+	wspan.AttrUint("generation", u.gen)
 	s.flushes.Add(1)
 	u.windows++
 	u.out += uint64(len(recs))
@@ -1298,22 +1442,28 @@ func (g *Gateway) flush(s *shard, u *userState) {
 			Window:     recs,
 		}
 		var jStart int64
-		if g.jhist != nil && flushStart != 0 {
+		if (g.jhist != nil && flushStart != 0) || wspan != nil {
 			jStart = obs.Stamp()
 		}
 		g.jq <- journalReq{kind: jreqCheckpoint, cp: cp}
 		if jStart != 0 {
-			g.jhist.Observe(obs.Stamp() - jStart)
+			jEnd := obs.Stamp()
+			if g.jhist != nil && flushStart != 0 {
+				g.jhist.Observe(jEnd - jStart)
+			}
+			g.tracer.ChildAt(wspan.Context(), "journal.append", jStart).EndAt(jEnd)
 		}
 	}
 	if tp != nil {
 		tp.Observe(u.gen, actual, recs)
 	}
 	select {
-	case g.out <- recs:
+	case g.out <- Window{Records: recs, Span: wspan.Context()}:
 		s.emitted.Add(uint64(len(recs)))
-		if g.clock != nil && flushStart != 0 {
-			g.clock.Observe(obs.StageFlush, flushStart, obs.Stamp())
+		if flushStart != 0 || wspan != nil {
+			end := obs.Stamp()
+			g.clock.Observe(obs.StageFlush, flushStart, end)
+			wspan.EndAt(end)
 		}
 		return
 	case <-g.ctx.Done():
@@ -1327,15 +1477,22 @@ func (g *Gateway) flush(s *shard, u *userState) {
 	timer := time.NewTimer(time.Until(g.graceUntil))
 	defer timer.Stop()
 	select {
-	case g.out <- recs:
+	case g.out <- Window{Records: recs, Span: wspan.Context()}:
 		s.emitted.Add(uint64(len(recs)))
-		if g.clock != nil && flushStart != 0 {
-			g.clock.Observe(obs.StageFlush, flushStart, obs.Stamp())
+		if flushStart != 0 || wspan != nil {
+			end := obs.Stamp()
+			g.clock.Observe(obs.StageFlush, flushStart, end)
+			wspan.EndAt(end)
 		}
 	case <-timer.C:
 		s.dropped.Add(uint64(len(recs)))
+		wspan.EndErr(errWindowDropped)
 	}
 }
+
+// errWindowDropped marks a window span whose delivery lost the race
+// with cancellation.
+var errWindowDropped = errors.New("window dropped: output consumer gone")
 
 // drain flushes every user's remaining window, in sorted user order so the
 // shutdown flush sequence is deterministic across runs (§3: identical seeds

@@ -47,8 +47,8 @@ func runGateway(t *testing.T, cfg Config, recs []trace.Record) (map[string][]tra
 	done := make(chan map[string][]trace.Record)
 	go func() {
 		got := make(map[string][]trace.Record)
-		for batch := range g.Output() {
-			for _, r := range batch {
+		for wnd := range g.Output() {
+			for _, r := range wnd.Records {
 				got[r.User] = append(got[r.User], r)
 			}
 		}
@@ -194,8 +194,8 @@ func TestGatewayCancellationDrains(t *testing.T) {
 		}
 	}
 	var emitted int
-	for batch := range g.Output() { // closes once shards drained
-		emitted += len(batch)
+	for wnd := range g.Output() { // closes once shards drained
+		emitted += len(wnd.Records)
 	}
 	st := g.Stats()
 	if uint64(emitted) != st.Emitted {
@@ -236,8 +236,8 @@ func TestGatewayDrainOrderDeterministic(t *testing.T) {
 		done := make(chan []string)
 		go func() {
 			var users []string
-			for batch := range g.Output() {
-				users = append(users, batch[0].User)
+			for wnd := range g.Output() {
+				users = append(users, wnd.Records[0].User)
 			}
 			done <- users
 		}()
@@ -285,8 +285,8 @@ func TestGatewayCancelGraceDropsOnce(t *testing.T) {
 	gotOne := make(chan int)
 	go func() {
 		// Slow, then absent: consume a single window and walk away.
-		batch := <-g.Output()
-		gotOne <- len(batch)
+		wnd := <-g.Output()
+		gotOne <- len(wnd.Records)
 	}()
 	if err := g.IngestAll(recs); err != nil {
 		t.Fatal(err)
@@ -343,8 +343,8 @@ func TestGatewaySwapVisibleOnlyAtWindowBoundary(t *testing.T) {
 	done := make(chan map[string][]trace.Record)
 	go func() {
 		got := make(map[string][]trace.Record)
-		for batch := range g.Output() {
-			got[batch[0].User] = append(got[batch[0].User], batch...)
+		for wnd := range g.Output() {
+			got[wnd.Records[0].User] = append(got[wnd.Records[0].User], wnd.Records...)
 		}
 		done <- got
 	}()
@@ -440,8 +440,8 @@ func TestGatewaySwapPerUserOverride(t *testing.T) {
 	done := make(chan map[string][]trace.Record)
 	go func() {
 		got := make(map[string][]trace.Record)
-		for batch := range g.Output() {
-			got[batch[0].User] = append(got[batch[0].User], batch...)
+		for wnd := range g.Output() {
+			got[wnd.Records[0].User] = append(got[wnd.Records[0].User], wnd.Records...)
 		}
 		done <- got
 	}()
@@ -561,7 +561,7 @@ func TestGatewayFlushUserEmitsStagedTail(t *testing.T) {
 	windows := make(chan []trace.Record, 8)
 	go func() {
 		for w := range g.Output() {
-			windows <- w
+			windows <- w.Records
 		}
 		close(windows)
 	}()
@@ -634,8 +634,8 @@ func TestGatewayFlushUserKeepsPerUserOutput(t *testing.T) {
 	done := make(chan map[string][]trace.Record)
 	go func() {
 		got := make(map[string][]trace.Record)
-		for batch := range g.Output() {
-			for _, r := range batch {
+		for wnd := range g.Output() {
+			for _, r := range wnd.Records {
 				got[r.User] = append(got[r.User], r)
 			}
 		}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/model"
 	"repro/internal/obs"
+	"repro/internal/obs/tracing"
 )
 
 // TestObsDoesNotPerturbOutput is the determinism guarantee of §12: the
@@ -42,6 +43,102 @@ func TestObsDoesNotPerturbOutput(t *testing.T) {
 				t.Fatalf("user %s record %d differs: on=%+v off=%+v", u, i, rsOn[i], rsOff[i])
 			}
 		}
+	}
+}
+
+// TestTracingDoesNotPerturbOutput extends the §12 guarantee to the span
+// pipeline: a fully-sampled tracing run reuses the stage clock's stamps
+// and writes into its own ring, feeding nothing back into protection, so
+// it emits bit-identical protected output to a run with everything off.
+func TestTracingDoesNotPerturbOutput(t *testing.T) {
+	recs := makeRecords(10, 29)
+	base := Config{
+		Mechanism:  lppm.NewGeoIndistinguishability(),
+		Shards:     3,
+		QueueSize:  32,
+		FlushEvery: 8,
+		Seed:       42,
+	}
+	on := base
+	on.Obs = obs.NewRegistry()
+	on.Tracer = tracing.New(tracing.Config{RingSize: 4096})
+	off := base
+	off.Obs = obs.Nop()
+	gotOn, _ := runGateway(t, on, recs)
+	gotOff, _ := runGateway(t, off, recs)
+	if len(gotOn) != len(gotOff) {
+		t.Fatalf("user count differs: on=%d off=%d", len(gotOn), len(gotOff))
+	}
+	for u, rsOn := range gotOn {
+		rsOff := gotOff[u]
+		if len(rsOn) != len(rsOff) {
+			t.Fatalf("user %s: on=%d records, off=%d", u, len(rsOn), len(rsOff))
+		}
+		for i := range rsOn {
+			if rsOn[i] != rsOff[i] {
+				t.Fatalf("user %s record %d differs: on=%+v off=%+v", u, i, rsOn[i], rsOff[i])
+			}
+		}
+	}
+	// The equality must not be vacuous: the traced run recorded spans.
+	var windows int
+	for _, sp := range on.Tracer.Spans() {
+		if sp.Name == "window" {
+			windows++
+		}
+	}
+	if windows == 0 {
+		t.Fatal("traced run recorded no window spans")
+	}
+}
+
+// TestSetUserTraceCorrelatesWindows binds a client-originated trace to a
+// user and checks the user's window spans become children of it — the
+// gateway half of end-to-end propagation.
+func TestSetUserTraceCorrelatesWindows(t *testing.T) {
+	tr := tracing.New(tracing.Config{})
+	cfg := Config{
+		Mechanism:  lppm.NewGeoIndistinguishability(),
+		Shards:     2,
+		FlushEvery: 4,
+		Seed:       5,
+		Tracer:     tr,
+	}
+	g, err := New(t.Context(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for range g.Output() {
+		}
+	}()
+	remote := tracing.NewRootContext()
+	if err := g.SetUserTrace("u00", remote); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.IngestAll(makeRecords(2, 8)); err != nil { // u00, u01
+		t.Fatal(err)
+	}
+	if err := g.Close(); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	var bound int
+	for _, sp := range tr.Spans() {
+		if sp.Name != "window" {
+			continue
+		}
+		if sp.Trace == remote.Trace {
+			if sp.Parent != remote.Span {
+				t.Errorf("bound window parented to %s, want remote span %s", sp.Parent, remote.Span)
+			}
+			bound++
+		}
+	}
+	if bound == 0 {
+		t.Fatal("no window span carries the bound trace ID")
 	}
 }
 

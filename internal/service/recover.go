@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/journal"
 	"repro/internal/lppm"
+	"repro/internal/obs"
 )
 
 // JournalConfig wires a stream journal into a gateway.
@@ -65,6 +66,10 @@ type RecoveryInfo struct {
 func Recover(ctx context.Context, cfg Config, jc JournalConfig) (*Gateway, *RecoveryInfo, error) {
 	if jc.Dir == "" {
 		return nil, nil, fmt.Errorf("service: journal dir required")
+	}
+	var recStart int64
+	if cfg.Tracer != nil {
+		recStart = obs.Stamp()
 	}
 	w, st, open, err := journal.Open(jc.Dir, journal.Options{
 		FS:            jc.FS,
@@ -145,6 +150,27 @@ func Recover(ctx context.Context, cfg Config, jc JournalConfig) (*Gateway, *Reco
 	g, err := newGateway(ctx, cfg, w, gen, restore)
 	if err != nil {
 		return nil, nil, closeOnErr(w, err)
+	}
+	if cfg.Tracer != nil {
+		// Recovery is rare and load-bearing: always record its span, and
+		// freeze a flight snapshot when state was actually resumed so
+		// the post-restart /debug/flight explains what was rebuilt.
+		sp := cfg.Tracer.ForceRootAt("recover", recStart)
+		sp.Attr("dir", jc.Dir).
+			AttrInt("segments", int64(info.Segments)).
+			AttrInt("entries", int64(info.Entries)).
+			AttrInt("users", int64(info.Users)).
+			AttrUint("generation", info.Generation)
+		if info.Resumed {
+			sp.Attr("resumed", "true")
+		}
+		if info.Corrupted {
+			sp.Attr("corrupted", "true")
+		}
+		sp.End()
+		if info.Resumed {
+			cfg.Tracer.Flight().Snapshot("recovery: resumed from journal")
+		}
 	}
 	return g, info, nil
 }

@@ -63,8 +63,8 @@ func collectOutput(g *Gateway) func() map[string][]trace.Record {
 	done := make(chan map[string][]trace.Record, 1)
 	go func() {
 		got := make(map[string][]trace.Record)
-		for batch := range g.Output() {
-			for _, r := range batch {
+		for wnd := range g.Output() {
+			for _, r := range wnd.Records {
 				got[r.User] = append(got[r.User], r)
 			}
 		}
